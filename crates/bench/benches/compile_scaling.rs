@@ -1,0 +1,41 @@
+//! Perf D: scheduler throughput on synthetic equation chains, plus the
+//! loop-fusion ablation.
+//!
+//! Expected shape: scheduling scales roughly linearly in the number of
+//! equations; fusion collapses the N independent DOALL nests into one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::synthetic_chain;
+use ps_core::{compile, CompileOptions};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_scaling");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for &n in &[8usize, 32, 128] {
+        let src = synthetic_chain(n);
+        // Sanity: it compiles, and fusion collapses the chain.
+        let plain = compile(&src, CompileOptions::default()).unwrap();
+        let mut fuse_opts = CompileOptions::default();
+        fuse_opts.schedule.fuse_loops = true;
+        let fused = compile(&src, fuse_opts).unwrap();
+        let (_, plain_doall) = plain.schedule.flowchart.loop_counts();
+        let (_, fused_doall) = fused.schedule.flowchart.loop_counts();
+        assert_eq!(plain_doall, n);
+        assert_eq!(fused_doall, 1, "fusion merges the whole chain");
+
+        g.bench_with_input(BenchmarkId::new("compile", n), &src, |b, src| {
+            b.iter(|| compile(black_box(src), CompileOptions::default()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("compile_fused", n), &src, |b, src| {
+            let mut opts = CompileOptions::default();
+            opts.schedule.fuse_loops = true;
+            b.iter(|| compile(black_box(src), opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

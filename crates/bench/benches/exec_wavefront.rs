@@ -1,0 +1,44 @@
+//! Perf B (implied by Section 4): the hyperplane transform turns the
+//! serial Gauss–Seidel nest into a parallel wavefront.
+//!
+//! Series: sequential Gauss–Seidel (baseline), sequential wavefront
+//! (transform overhead), parallel wavefront (the win). Expected shape:
+//! sequential wavefront is slower than the baseline (rectangular sweep
+//! overhead ≈ 2×); the parallel wavefront crosses over and wins as threads
+//! grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::{compile_v2, relaxation_inputs};
+use ps_core::{
+    execute, execute_transformed, RuntimeOptions, Sequential, StorageMode, ThreadPool,
+};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let comp = compile_v2(Some(StorageMode::Windowed));
+    let (m, maxk) = (96i64, 12i64);
+    let inputs = relaxation_inputs(m, maxk);
+
+    let mut g = c.benchmark_group("exec_wavefront");
+    g.measurement_time(Duration::from_secs(4)).sample_size(10);
+    g.bench_function(BenchmarkId::new("gauss_seidel_seq", m), |b| {
+        b.iter(|| execute(&comp, &inputs, &Sequential, RuntimeOptions::default()).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("wavefront_seq", m), |b| {
+        b.iter(|| {
+            execute_transformed(&comp, &inputs, &Sequential, RuntimeOptions::default()).unwrap()
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        g.bench_function(BenchmarkId::new(format!("wavefront_par{threads}"), m), |b| {
+            b.iter(|| {
+                execute_transformed(&comp, &inputs, &pool, RuntimeOptions::default()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 3: dependency-graph construction for the Relaxation module.
+//!
+//! Asserts the paper's graph structure (8 nodes, 15 edges in our edge
+//! taxonomy) and measures front-end + graph-construction throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ps_core::programs;
+use ps_depgraph::build_depgraph;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let module = ps_lang::frontend(programs::RELAXATION_V1).unwrap();
+
+    // Structural assertions (the "figure" itself).
+    let dg = build_depgraph(&module);
+    let s = ps_depgraph::stats::stats(&dg);
+    assert_eq!((s.data_nodes, s.equation_nodes), (5, 3));
+    assert_eq!((s.read_edges, s.def_edges, s.bound_edges), (8, 3, 4));
+
+    let mut g = c.benchmark_group("fig3_depgraph");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    g.bench_function("frontend_relaxation", |b| {
+        b.iter(|| ps_lang::frontend(black_box(programs::RELAXATION_V1)).unwrap())
+    });
+    g.bench_function("build_depgraph_relaxation", |b| {
+        b.iter(|| build_depgraph(black_box(&module)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

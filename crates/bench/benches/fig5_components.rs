@@ -1,0 +1,34 @@
+//! Figure 5: MSCC decomposition of the Relaxation dependency graph.
+//!
+//! Asserts the 7-component structure and measures the Tarjan + ordered
+//! condensation pass in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ps_core::programs;
+use ps_depgraph::build_depgraph;
+use ps_graph::ordered_components_filtered;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let module = ps_lang::frontend(programs::RELAXATION_V1).unwrap();
+    let dg = build_depgraph(&module);
+
+    let sccs = ordered_components_filtered(&dg.graph, |_| true);
+    assert_eq!(sccs.len(), 7, "Figure 5: seven components");
+    assert_eq!(
+        sccs.iter().filter(|(_, ns)| ns.len() > 1).count(),
+        1,
+        "one multi-node MSCC: {{A, eq.3}}"
+    );
+
+    let mut g = c.benchmark_group("fig5_components");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    g.bench_function("mscc_decomposition", |b| {
+        b.iter(|| ordered_components_filtered(black_box(&dg.graph), |_| true))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 6: scheduling the Jacobi Relaxation module.
+//!
+//! Asserts the exact flowchart and window, and measures Schedule-Graph /
+//! Schedule-Component end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ps_core::programs;
+use ps_depgraph::build_depgraph;
+use ps_scheduler::{schedule_module, ScheduleOptions};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let module = ps_lang::frontend(programs::RELAXATION_V1).unwrap();
+    let dg = build_depgraph(&module);
+
+    let r = schedule_module(&module, &dg, ScheduleOptions::default()).unwrap();
+    assert_eq!(
+        r.flowchart.compact(&|e| module.equations[e].label.clone()),
+        "DOALL I (DOALL J (eq.1)); DO K (DOALL I (DOALL J (eq.3))); DOALL I (DOALL J (eq.2))"
+    );
+    let a = module.data_by_name("A").unwrap();
+    assert_eq!(r.memory.window(a, 0), Some(2));
+
+    let mut g = c.benchmark_group("fig6_schedule");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    g.bench_function("schedule_relaxation_v1", |b| {
+        b.iter(|| {
+            schedule_module(
+                black_box(&module),
+                black_box(&dg),
+                ScheduleOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

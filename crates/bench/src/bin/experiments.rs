@@ -1,0 +1,191 @@
+//! Regenerate every figure of the paper plus the implied performance
+//! experiments, in one run:
+//!
+//! ```sh
+//! cargo run --release -p ps-bench --bin experiments
+//! ```
+//!
+//! Sections mirror DESIGN.md §5 and feed EXPERIMENTS.md.
+
+use ps_bench::{compile_v1, compile_v2, relaxation_inputs, synthetic_chain};
+use ps_core::{
+    compile, execute, execute_transformed, CompileOptions, Executor, RuntimeOptions, Sequential,
+    StorageMode, ThreadPool,
+};
+use ps_support::{FxHashMap, Symbol};
+use std::time::{Duration, Instant};
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn time_runs(mut f: impl FnMut(), reps: usize) -> Duration {
+    // Warm up once, then report the best of `reps` (stable for short runs).
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn main() {
+    println!("PS compiler reproduction — experiment suite");
+    println!("paper: Gokhale, 'Exploiting Loop Level Parallelism in");
+    println!("        Nonprocedural Dataflow Programs', ICPP 1987");
+
+    // ---- Figure 1 ------------------------------------------------------
+    header("Figure 1 — the Relaxation module (PS source, round-tripped)");
+    let sink = ps_support::DiagnosticSink::new();
+    let prog = ps_lang::parser::parse_program(
+        &ps_lang::lexer::lex(ps_core::programs::RELAXATION_V1, &sink),
+        &sink,
+    );
+    print!("{}", ps_lang::print::print_module(&prog.modules[0]));
+
+    // ---- Figure 3 ------------------------------------------------------
+    let v1 = compile_v1();
+    header("Figure 3 — dependency graph for Relaxation");
+    print!("{}", ps_core::report::figure3(&v1));
+
+    // ---- Figure 5 ------------------------------------------------------
+    header("Figure 5 — component graph and corresponding flowcharts");
+    print!("{}", ps_core::report::figure5(&v1));
+
+    // ---- Figure 6 ------------------------------------------------------
+    header("Figure 6 — flowchart for Relaxation (v1, Jacobi)");
+    print!("{}", ps_core::report::figure6or7(&v1));
+
+    // ---- Figure 7 ------------------------------------------------------
+    let v2 = compile_v2(Some(StorageMode::Windowed));
+    header("Figure 7 — flowchart with revised eq.3 (v2, Gauss-Seidel)");
+    print!("{}", ps_core::report::figure6or7(&v2));
+
+    // ---- Section 4 -----------------------------------------------------
+    header("Section 4 — hyperplane restructuring transformation");
+    print!("{}", ps_core::report::section4(&v2));
+
+    // ---- Perf A: DOALL scaling (Jacobi) --------------------------------
+    header("Perf A — DOALL concurrency: Jacobi relaxation");
+    let (m, maxk) = (192i64, 10i64);
+    let inputs = relaxation_inputs(m, maxk);
+    println!("grid {0}x{0}, {maxk} sweeps", m + 2);
+    let t_seq = time_runs(
+        || {
+            execute(&v1, &inputs, &Sequential, RuntimeOptions::default()).unwrap();
+        },
+        3,
+    );
+    println!("  threads=1 (Sequential): {t_seq:>10.2?}   speedup 1.00x");
+    for threads in [2usize, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        let t = time_runs(
+            || {
+                execute(&v1, &inputs, &pool, RuntimeOptions::default()).unwrap();
+            },
+            3,
+        );
+        println!(
+            "  threads={threads}             : {t:>10.2?}   speedup {:.2}x",
+            t_seq.as_secs_f64() / t.as_secs_f64()
+        );
+        let _ = pool.threads();
+    }
+
+    // ---- Perf B: wavefront vs Gauss-Seidel ------------------------------
+    header("Perf B — hyperplane wavefront vs sequential Gauss-Seidel");
+    let (m, maxk) = (192i64, 10i64);
+    let inputs = relaxation_inputs(m, maxk);
+    println!("grid {0}x{0}, {maxk} sweeps", m + 2);
+    let t_gs = time_runs(
+        || {
+            execute(&v2, &inputs, &Sequential, RuntimeOptions::default()).unwrap();
+        },
+        3,
+    );
+    println!("  Gauss-Seidel sequential DO K(DO I(DO J)) : {t_gs:>10.2?}   1.00x");
+    let t_wseq = time_runs(
+        || {
+            execute_transformed(&v2, &inputs, &Sequential, RuntimeOptions::default()).unwrap();
+        },
+        3,
+    );
+    println!(
+        "  wavefront sequential                     : {t_wseq:>10.2?}   {:.2}x",
+        t_gs.as_secs_f64() / t_wseq.as_secs_f64()
+    );
+    for threads in [2usize, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        let t = time_runs(
+            || {
+                execute_transformed(&v2, &inputs, &pool, RuntimeOptions::default()).unwrap();
+            },
+            3,
+        );
+        println!(
+            "  wavefront {threads} threads                      : {t:>10.2?}   {:.2}x",
+            t_gs.as_secs_f64() / t.as_secs_f64()
+        );
+    }
+
+    // ---- Perf C: memory ------------------------------------------------
+    header("Perf C — storage: full vs window-2 vs transformed window-3");
+    let mut params: FxHashMap<Symbol, i64> = FxHashMap::default();
+    params.insert(Symbol::intern("M"), 192);
+    params.insert(Symbol::intern("maxK"), 100);
+    let a = v2.module.data_by_name("A").unwrap();
+    let full = ps_scheduler::MemoryPlan::full_elements(&v2.module, a, &params).unwrap();
+    let windowed = v2
+        .schedule
+        .memory
+        .alloc_elements(&v2.module, a, &params)
+        .unwrap();
+    let art = v2.transformed.as_ref().unwrap();
+    let wave = art
+        .schedule
+        .memory
+        .alloc_elements(&art.result.module, art.result.new_array, &params)
+        .unwrap();
+    println!("M = 192, maxK = 100, 8-byte reals:");
+    println!(
+        "  full maxK x (M+2)^2     : {full:>12} elements = {:>8.1} MiB",
+        full as f64 * 8.0 / (1 << 20) as f64
+    );
+    println!(
+        "  window-2 (Sec. 3.4)     : {windowed:>12} elements = {:>8.1} MiB  ({:.1}x smaller)",
+        windowed as f64 * 8.0 / (1 << 20) as f64,
+        full as f64 / windowed as f64
+    );
+    println!(
+        "  wavefront window-3      : {wave:>12} elements = {:>8.1} MiB  ({:.1}x smaller)",
+        wave as f64 * 8.0 / (1 << 20) as f64,
+        full as f64 / wave as f64
+    );
+
+    // ---- Perf D: compile scaling + fusion ablation ----------------------
+    header("Perf D — scheduler throughput and fusion ablation");
+    for n in [8usize, 32, 128] {
+        let src = synthetic_chain(n);
+        let t = time_runs(
+            || {
+                compile(&src, CompileOptions::default()).unwrap();
+            },
+            3,
+        );
+        let mut fuse = CompileOptions::default();
+        fuse.schedule.fuse_loops = true;
+        let plain = compile(&src, CompileOptions::default()).unwrap();
+        let fused = compile(&src, fuse).unwrap();
+        let (_, d_plain) = plain.schedule.flowchart.loop_counts();
+        let (_, d_fused) = fused.schedule.flowchart.loop_counts();
+        println!(
+            "  {n:>4} chained equations: compile {t:>9.2?}, DOALL loops {d_plain} -> {d_fused} fused"
+        );
+    }
+
+    println!("\ndone.");
+}

@@ -1,0 +1,127 @@
+//! Minimal C-type inference over HIR expressions.
+//!
+//! The checker has already inserted every widening cast, so types are
+//! derivable bottom-up without an environment beyond the module tables.
+
+use ps_lang::ast::BinOp;
+use ps_lang::hir::{Builtin, Equation, HExpr, HirModule};
+use ps_lang::{ScalarTy, Ty};
+
+/// The three C carrier types used by the emitter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CTy {
+    /// `long`
+    Int,
+    /// `double`
+    Real,
+    /// `int` (0/1)
+    Bool,
+}
+
+impl CTy {
+    pub fn c_name(&self) -> &'static str {
+        match self {
+            CTy::Int => "long",
+            CTy::Real => "double",
+            CTy::Bool => "int",
+        }
+    }
+
+    pub fn of_scalar(s: ScalarTy) -> CTy {
+        match s {
+            ScalarTy::Int | ScalarTy::Char => CTy::Int,
+            ScalarTy::Real => CTy::Real,
+            ScalarTy::Bool => CTy::Bool,
+        }
+    }
+}
+
+/// Infer the C carrier type of an expression.
+#[allow(clippy::only_used_in_recursion)] // uniform signature for callers
+pub fn infer(module: &HirModule, eq: &Equation, e: &HExpr) -> CTy {
+    match e {
+        HExpr::Int(_) | HExpr::Char(_) | HExpr::EnumConst(..) | HExpr::Iv(_) => CTy::Int,
+        HExpr::Real(_) => CTy::Real,
+        HExpr::Bool(_) => CTy::Bool,
+        HExpr::ReadScalar(d) => match &module.data[*d].ty {
+            Ty::Scalar(s) => CTy::of_scalar(*s),
+            Ty::Enum(_) => CTy::Int,
+            other => panic!("scalar read of {other}"),
+        },
+        HExpr::ReadField(d, idx) => match &module.data[*d].ty {
+            Ty::Record(rid) => match &module.records[*rid].fields[*idx].1 {
+                Ty::Scalar(s) => CTy::of_scalar(*s),
+                Ty::Enum(_) => CTy::Int,
+                other => panic!("field of type {other}"),
+            },
+            other => panic!("field read of {other}"),
+        },
+        HExpr::ReadArray { array, .. } => CTy::of_scalar(
+            module.data[*array]
+                .elem_scalar()
+                .expect("arrays have scalar elements"),
+        ),
+        HExpr::Binary { op, lhs, .. } => match op {
+            BinOp::Div => CTy::Real,
+            BinOp::IntDiv | BinOp::Mod => CTy::Int,
+            op if op.is_comparison() || op.is_logical() => CTy::Bool,
+            _ => infer(module, eq, lhs),
+        },
+        HExpr::Unary { op, operand } => match op {
+            ps_lang::ast::UnOp::Not => CTy::Bool,
+            ps_lang::ast::UnOp::Neg => infer(module, eq, operand),
+        },
+        HExpr::If { arms, else_ } => {
+            // Arms are unified by the checker; any arm's type works, but a
+            // real in any arm means the whole expression is real.
+            let mut ty = infer(module, eq, else_);
+            for (_, v) in arms {
+                if infer(module, eq, v) == CTy::Real {
+                    ty = CTy::Real;
+                }
+            }
+            ty
+        }
+        HExpr::Call { builtin, args } => match builtin {
+            Builtin::Sqrt
+            | Builtin::Exp
+            | Builtin::Ln
+            | Builtin::Sin
+            | Builtin::Cos
+            | Builtin::RealFn => CTy::Real,
+            Builtin::Trunc | Builtin::Round | Builtin::Ord => CTy::Int,
+            Builtin::Abs | Builtin::Min | Builtin::Max => infer(module, eq, &args[0]),
+        },
+        HExpr::CastReal(_) => CTy::Real,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carrier_names() {
+        assert_eq!(CTy::Int.c_name(), "long");
+        assert_eq!(CTy::Real.c_name(), "double");
+        assert_eq!(CTy::Bool.c_name(), "int");
+        assert_eq!(CTy::of_scalar(ScalarTy::Char), CTy::Int);
+    }
+
+    #[test]
+    fn infer_over_relaxation() {
+        let m = ps_lang::frontend(
+            "T: module (x: int): [y: real];
+             define y = if x > 0 then 1.0 else real(x) / 2.0;
+             end T;",
+        )
+        .unwrap();
+        let eq = &m.equations[ps_lang::EqId(0)];
+        assert_eq!(infer(&m, eq, &eq.rhs), CTy::Real);
+        if let HExpr::If { arms, .. } = &eq.rhs {
+            assert_eq!(infer(&m, eq, &arms[0].0), CTy::Bool);
+        } else {
+            panic!("expected if");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! C identifier mangling.
+//!
+//! PS names are mostly C-compatible; the transformed arrays (`A'`, index
+//! variables `K'`) are not, and user names may collide with C keywords.
+
+use ps_lang::hir::HirModule;
+use ps_lang::DataId;
+use ps_support::FxHashMap;
+
+const C_KEYWORDS: &[&str] = &[
+    "auto", "break", "case", "char", "const", "continue", "default", "do", "double", "else",
+    "enum", "extern", "float", "for", "goto", "if", "inline", "int", "long", "register",
+    "restrict", "return", "short", "signed", "sizeof", "static", "struct", "switch", "typedef",
+    "union", "unsigned", "void", "volatile", "while", "main",
+];
+
+/// Deterministic mapping from PS names to unique C identifiers.
+pub struct Mangler {
+    by_data: FxHashMap<DataId, String>,
+    used: ps_support::FxHashSet<String>,
+}
+
+/// Sanitize a single name (primes become `_p`, other non-alnum becomes `_`).
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' => out.push(c),
+            '\'' => out.push_str("_p"),
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if C_KEYWORDS.contains(&out.as_str()) {
+        out.push('_');
+    }
+    out
+}
+
+impl Mangler {
+    /// Pre-assign names for every data item of the module.
+    pub fn for_module(module: &HirModule) -> Mangler {
+        let mut m = Mangler {
+            by_data: FxHashMap::default(),
+            used: Default::default(),
+        };
+        for (id, item) in module.data.iter_enumerated() {
+            let mut base = sanitize(item.name.as_str());
+            while !m.used.insert(base.clone()) {
+                base.push('_');
+            }
+            m.by_data.insert(id, base);
+        }
+        m
+    }
+
+    pub fn data(&self, id: DataId) -> &str {
+        &self.by_data[&id]
+    }
+
+    /// A fresh helper identifier derived from `hint`.
+    pub fn fresh(&mut self, hint: &str) -> String {
+        let mut name = sanitize(hint);
+        while !self.used.insert(name.clone()) {
+            name.push('_');
+        }
+        name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_primes_and_keywords() {
+        assert_eq!(sanitize("A'"), "A_p");
+        assert_eq!(sanitize("K'"), "K_p");
+        assert_eq!(sanitize("for"), "for_");
+        assert_eq!(sanitize("main"), "main_");
+        assert_eq!(sanitize("2fast"), "_2fast");
+        assert_eq!(sanitize("newA"), "newA");
+    }
+
+    #[test]
+    fn mangler_deduplicates() {
+        let m = ps_lang::frontend(
+            "T: module (x: int): [y: int];
+             var if_, while_: int;
+             define if_ = x; while_ = x; y = if_ + while_;
+             end T;",
+        )
+        .unwrap();
+        let mangler = Mangler::for_module(&m);
+        let names: Vec<&str> = m
+            .data
+            .iter_enumerated()
+            .map(|(id, _)| mangler.data(id))
+            .collect();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len(), "all names unique: {names:?}");
+    }
+
+    #[test]
+    fn fresh_names_avoid_collisions() {
+        let m = ps_lang::frontend("T: module (x: int): [y: int]; define y = x; end T;").unwrap();
+        let mut mangler = Mangler::for_module(&m);
+        let a = mangler.fresh("x");
+        let b = mangler.fresh("x");
+        assert_ne!(a, b);
+        assert_ne!(a, "x", "x is taken by the parameter");
+    }
+}

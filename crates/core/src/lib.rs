@@ -1,0 +1,49 @@
+//! `ps-core` — the public façade of the PS compiler reproduction.
+//!
+//! This crate wires the full pipeline of Gokhale's ICPP'87 paper together:
+//!
+//! ```text
+//!        ps-lang          ps-depgraph        ps-scheduler
+//! source ──────▶ HIR ───────────▶ dep graph ───────────▶ DO/DOALL flowchart
+//!                                                  │            │
+//!                     ps-hyperplane (Section 4) ◀──┘            ├─▶ ps-codegen (C)
+//!                      wavefront transform                      └─▶ ps-runtime (execute)
+//! ```
+//!
+//! Quick start:
+//!
+//! ```
+//! use ps_core::{compile, programs, CompileOptions};
+//!
+//! let comp = compile(programs::RELAXATION_V1, CompileOptions::default()).unwrap();
+//! let fc = comp.compact_flowchart();
+//! assert!(fc.starts_with("DOALL I (DOALL J (eq.1))"));
+//! ```
+//!
+//! See `examples/` for runnable end-to-end programs and `ps-bench` for the
+//! benchmark harness regenerating every figure of the paper.
+
+pub mod pipeline;
+pub mod programs;
+pub mod report;
+
+pub use pipeline::{
+    compile, execute, execute_transformed, CompileError, CompileOptions, Compilation,
+    TransformedArtifacts,
+};
+
+// Re-export the building blocks so downstream users need one dependency.
+pub use ps_codegen::{emit_main, emit_module, CodegenOptions};
+pub use ps_depgraph::{build_depgraph, DepGraph};
+pub use ps_eqfront::translate_equation;
+pub use ps_executor::{Executor, Sequential, ThreadPool};
+pub use ps_hyperplane::{
+    find_recursive_target, hyperplane_transform, schedule_transformed, HyperplaneResult,
+    StorageMode,
+};
+pub use ps_lang::{frontend, HirModule};
+pub use ps_runtime::{run_module, run_naive, Inputs, OwnedArray, Outputs, RuntimeOptions, Value};
+pub use ps_scheduler::{
+    schedule_module, validate_flowchart, Flowchart, MemoryPlan, PickPolicy, ScheduleOptions,
+    ScheduleResult,
+};

@@ -1,0 +1,281 @@
+//! The end-to-end compile pipeline.
+
+use ps_codegen::{emit_module, CodegenOptions};
+use ps_depgraph::{build_depgraph, DepGraph};
+use ps_executor::Executor;
+use ps_hyperplane::{
+    find_recursive_target, hyperplane_transform, schedule_transformed, HyperplaneError,
+    HyperplaneResult, StorageMode,
+};
+use ps_lang::HirModule;
+use ps_runtime::{run_module, Inputs, Outputs, RuntimeOptions};
+use ps_scheduler::{schedule_module, ScheduleError, ScheduleOptions, ScheduleResult};
+use ps_support::{DiagnosticSink, SourceMap};
+
+/// Options for [`compile`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompileOptions {
+    pub schedule: ScheduleOptions,
+    /// Apply the Section-4 hyperplane transformation to the (unique)
+    /// recursive array, producing [`Compilation::transformed`].
+    pub hyperplane: Option<StorageMode>,
+    pub codegen: CodegenOptions,
+}
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Lexing / parsing / type checking failed; rendered diagnostics.
+    Frontend(String),
+    Schedule(ScheduleError),
+    Hyperplane(HyperplaneError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Frontend(s) => write!(f, "front end:\n{s}"),
+            CompileError::Schedule(e) => write!(f, "scheduler: {e}"),
+            CompileError::Hyperplane(e) => write!(f, "hyperplane: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Artifacts of the hyperplane transformation.
+pub struct TransformedArtifacts {
+    pub result: HyperplaneResult,
+    pub schedule: ScheduleResult,
+    pub c_code: String,
+}
+
+/// Everything produced for one module.
+pub struct Compilation {
+    pub module: HirModule,
+    pub depgraph: DepGraph,
+    pub schedule: ScheduleResult,
+    pub c_code: String,
+    pub transformed: Option<TransformedArtifacts>,
+}
+
+impl Compilation {
+    /// One-line flowchart with `eq.N` labels (Figure 6/7 compact form).
+    pub fn compact_flowchart(&self) -> String {
+        self.schedule
+            .flowchart
+            .compact(&|e| self.module.equations[e].label.clone())
+    }
+
+    /// Compact flowchart of the transformed program, when present.
+    pub fn transformed_flowchart(&self) -> Option<String> {
+        self.transformed.as_ref().map(|t| {
+            t.schedule
+                .flowchart
+                .compact(&|e| t.result.module.equations[e].label.clone())
+        })
+    }
+}
+
+/// Compile a single-module source string through the full pipeline.
+pub fn compile(source: &str, options: CompileOptions) -> Result<Compilation, CompileError> {
+    let mut sources = SourceMap::new();
+    let file = sources.add_file("<input>", source);
+    let sink = DiagnosticSink::new();
+    let tokens = ps_lang::lexer::lex(source, &sink);
+    let program = ps_lang::parser::parse_program(&tokens, &sink);
+    if sink.has_errors() {
+        return Err(CompileError::Frontend(sink.render_all(file, &sources)));
+    }
+    let Some(ast) = program.modules.into_iter().next() else {
+        return Err(CompileError::Frontend("no module in source".into()));
+    };
+    let module = ps_lang::check::check_module(&ast, &sink);
+    if sink.has_errors() {
+        return Err(CompileError::Frontend(sink.render_all(file, &sources)));
+    }
+    let module = module.expect("no errors implies a module");
+
+    let depgraph = build_depgraph(&module);
+    let schedule =
+        schedule_module(&module, &depgraph, options.schedule).map_err(CompileError::Schedule)?;
+    let c_code = emit_module(&module, &schedule.flowchart, &schedule.memory, options.codegen);
+
+    let transformed = match options.hyperplane {
+        None => None,
+        Some(mode) => {
+            let target = find_recursive_target(&module)
+                .ok_or(CompileError::Hyperplane(HyperplaneError::NoRecursiveArray))?;
+            let result = hyperplane_transform(&module, target, mode)
+                .map_err(CompileError::Hyperplane)?;
+            let tsched = schedule_transformed(&result, options.schedule)
+                .map_err(CompileError::Hyperplane)?;
+            let tc = emit_module(
+                &result.module,
+                &tsched.flowchart,
+                &tsched.memory,
+                options.codegen,
+            );
+            Some(TransformedArtifacts {
+                result,
+                schedule: tsched,
+                c_code: tc,
+            })
+        }
+    };
+
+    Ok(Compilation {
+        module,
+        depgraph,
+        schedule,
+        c_code,
+        transformed,
+    })
+}
+
+/// Execute a compiled module on the given inputs.
+pub fn execute(
+    comp: &Compilation,
+    inputs: &Inputs,
+    executor: &dyn Executor,
+    options: RuntimeOptions,
+) -> Result<Outputs, ps_runtime::store::RuntimeError> {
+    run_module(
+        &comp.module,
+        &comp.schedule.flowchart,
+        &comp.schedule.memory,
+        inputs,
+        executor,
+        options,
+    )
+}
+
+/// Execute the transformed (wavefront) program of a compilation.
+pub fn execute_transformed(
+    comp: &Compilation,
+    inputs: &Inputs,
+    executor: &dyn Executor,
+    options: RuntimeOptions,
+) -> Result<Outputs, ps_runtime::store::RuntimeError> {
+    let t = comp
+        .transformed
+        .as_ref()
+        .expect("compilation has no transformed artifacts");
+    run_module(
+        &t.result.module,
+        &t.schedule.flowchart,
+        &t.schedule.memory,
+        inputs,
+        executor,
+        options,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+    use ps_executor::Sequential;
+    use ps_runtime::OwnedArray;
+
+    #[test]
+    fn full_pipeline_v1() {
+        let comp = compile(programs::RELAXATION_V1, CompileOptions::default()).unwrap();
+        assert_eq!(
+            comp.compact_flowchart(),
+            "DOALL I (DOALL J (eq.1)); DO K (DOALL I (DOALL J (eq.3))); \
+             DOALL I (DOALL J (eq.2))"
+        );
+        assert!(comp.c_code.contains("void ps_Relaxation"));
+        assert!(comp.transformed.is_none());
+    }
+
+    #[test]
+    fn full_pipeline_v2_with_hyperplane() {
+        let comp = compile(
+            programs::RELAXATION_V2,
+            CompileOptions {
+                hyperplane: Some(StorageMode::Windowed),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Untransformed: Figure 7 (fully iterative).
+        assert!(comp.compact_flowchart().contains("DO K (DO I (DO J (eq.3)))"));
+        // Transformed: wavefront with a drain.
+        let t = comp.transformed_flowchart().unwrap();
+        assert!(t.contains("DO K' (DOALL I' (DOALL J' (eq.3)); DRAIN K')"), "{t}");
+        let art = comp.transformed.as_ref().unwrap();
+        assert_eq!(art.result.pi, vec![2, 1, 1]);
+        assert!(art.c_code.contains("ps_Relaxation2"));
+    }
+
+    #[test]
+    fn execute_pipeline_end_to_end() {
+        let comp = compile(programs::RECURRENCE_1D, CompileOptions::default()).unwrap();
+        let out = execute(
+            &comp,
+            &Inputs::new().set_real("rate", 0.5).set_int("n", 10),
+            &Sequential,
+            RuntimeOptions::default(),
+        )
+        .unwrap();
+        let expected = 1.5f64.powi(9);
+        assert!((out.scalar("final").as_real() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frontend_errors_are_reported() {
+        let Err(err) =
+            compile("T: module (): [y: int]; define y = zzz; end T;", Default::default())
+        else {
+            panic!("expected a frontend error");
+        };
+        match err {
+            CompileError::Frontend(s) => assert!(s.contains("E0246"), "{s}"),
+            other => panic!("expected frontend error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn gather_program_executes() {
+        let comp = compile(programs::GATHER, CompileOptions::default()).unwrap();
+        let out = execute(
+            &comp,
+            &Inputs::new()
+                .set_int("n", 4)
+                .set_array("xs", OwnedArray::real(vec![(1, 4)], vec![10.0, 20.0, 30.0, 40.0]))
+                .set_array("perm", OwnedArray::int(vec![(1, 4)], vec![4, 3, 2, 1])),
+            &Sequential,
+            RuntimeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            out.array("out").as_real_slice(),
+            &[40.0, 30.0, 20.0, 10.0]
+        );
+    }
+
+    #[test]
+    fn table_2d_full_mode_transform() {
+        let comp = compile(
+            programs::TABLE_2D,
+            CompileOptions {
+                hyperplane: Some(StorageMode::Full),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let art = comp.transformed.as_ref().unwrap();
+        assert_eq!(art.result.pi, vec![1, 1], "anti-diagonal wavefront");
+        // Executing both versions gives the same corner value.
+        let inputs = Inputs::new().set_int("n", 8);
+        let base = execute(&comp, &inputs, &Sequential, RuntimeOptions::default()).unwrap();
+        let wave =
+            execute_transformed(&comp, &inputs, &Sequential, RuntimeOptions::default()).unwrap();
+        assert_eq!(
+            base.scalar("corner").as_real(),
+            wave.scalar("corner").as_real()
+        );
+    }
+}

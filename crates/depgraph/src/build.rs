@@ -1,0 +1,370 @@
+//! Dependency-graph construction from a checked module.
+
+use crate::graph::*;
+use ps_lang::hir::{HirModule, SubscriptExpr};
+use ps_lang::{DataId, SubrangeId};
+use ps_support::FxHashSet;
+
+/// Build the dependency graph of `module` (paper Section 3.1 / Figure 3).
+pub fn build_depgraph(module: &HirModule) -> DepGraph {
+    let mut dg = DepGraph::new();
+
+    // Data nodes, with one node label per declared dimension. Record
+    // variables additionally get one node per field, linked to the record
+    // node by hierarchical edges.
+    for (id, item) in module.data.iter_enumerated() {
+        let record_node = dg.insert_data(
+            id,
+            DepNode {
+                kind: DepNodeKind::Data(id),
+                dim_subranges: item.dims().to_vec(),
+                eq_dims: Vec::new(),
+                name: item.name.to_string(),
+            },
+        );
+        if let ps_lang::Ty::Record(rid) = &item.ty {
+            for (fidx, (fname, _)) in module.records[*rid].fields.iter().enumerate() {
+                let fnode = dg.insert_field(
+                    id,
+                    fidx,
+                    DepNode {
+                        kind: DepNodeKind::Field(id, fidx),
+                        dim_subranges: Vec::new(),
+                        eq_dims: Vec::new(),
+                        name: format!("{}.{}", item.name, fname),
+                    },
+                );
+                dg.graph.add_edge(
+                    fnode,
+                    record_node,
+                    DepEdge {
+                        kind: EdgeKind::Hierarchical,
+                        labels: Vec::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    // Equation nodes, with one node label per bound index variable.
+    for (id, eq) in module.equations.iter_enumerated() {
+        let eq_dims: Vec<EqDim> = eq
+            .ivs
+            .iter_enumerated()
+            .map(|(iv, info)| EqDim {
+                iv,
+                subrange: info.subrange,
+                name: info.name,
+            })
+            .collect();
+        dg.insert_eq(
+            id,
+            DepNode {
+                kind: DepNodeKind::Equation(id),
+                dim_subranges: eq_dims.iter().map(|d| d.subrange).collect(),
+                eq_dims,
+                name: eq.label.clone(),
+            },
+        );
+    }
+
+    // Read, def and bound edges.
+    for (eq_id, eq) in module.equations.iter_enumerated() {
+        let eq_node = dg.eq_node(eq_id);
+
+        // Def edge: equation → LHS variable (or record field).
+        let lhs_node = match eq.lhs_field {
+            Some(fidx) => dg.field_node(eq.lhs, fidx),
+            None => dg.data_node(eq.lhs),
+        };
+        dg.graph.add_edge(
+            eq_node,
+            lhs_node,
+            DepEdge {
+                kind: EdgeKind::Def,
+                labels: Vec::new(),
+            },
+        );
+
+        // Read edges: one per array reference, labelled per source dim.
+        for (array, subs) in eq.rhs.array_reads() {
+            let labels = subs
+                .iter()
+                .enumerate()
+                .map(|(dim, s)| classify(module, eq, array, dim, s))
+                .collect();
+            let src = dg.data_node(array);
+            dg.graph.add_edge(
+                src,
+                eq_node,
+                DepEdge {
+                    kind: EdgeKind::Read,
+                    labels,
+                },
+            );
+        }
+
+        // Scalar reads (parameters, scalar locals) — deduplicated per
+        // (source, equation) pair. Record reads resolve to field nodes.
+        let mut seen: FxHashSet<DataId> = FxHashSet::default();
+        for d in eq.rhs.scalar_reads() {
+            if matches!(module.data[d].ty, ps_lang::Ty::Record(_)) {
+                continue; // handled via field_reads below
+            }
+            if seen.insert(d) {
+                let src = dg.data_node(d);
+                dg.graph.add_edge(
+                    src,
+                    eq_node,
+                    DepEdge {
+                        kind: EdgeKind::Read,
+                        labels: Vec::new(),
+                    },
+                );
+            }
+        }
+        let mut seen_fields: FxHashSet<(DataId, usize)> = FxHashSet::default();
+        for (d, fidx) in eq.rhs.field_reads() {
+            if seen_fields.insert((d, fidx)) {
+                let src = dg.field_node(d, fidx);
+                dg.graph.add_edge(
+                    src,
+                    eq_node,
+                    DepEdge {
+                        kind: EdgeKind::Read,
+                        labels: Vec::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    // Bound edges: parameter → data item when the parameter appears in one
+    // of the item's dimension bounds ("a data dependency edge is drawn from
+    // M to InitialA, to A, and to NewA").
+    for (id, item) in module.data.iter_enumerated() {
+        let mut seen: FxHashSet<DataId> = FxHashSet::default();
+        for &dim in item.dims() {
+            for param in bound_params(module, dim) {
+                if seen.insert(param) {
+                    let src = dg.data_node(param);
+                    let dst = dg.data_node(id);
+                    dg.graph.add_edge(
+                        src,
+                        dst,
+                        DepEdge {
+                            kind: EdgeKind::Bound,
+                            labels: Vec::new(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    dg
+}
+
+/// Parameters appearing in the bounds of `sr`.
+fn bound_params(module: &HirModule, sr: SubrangeId) -> Vec<DataId> {
+    let subrange = &module.subranges[sr];
+    let mut out = Vec::new();
+    for sym in subrange.lo.params().chain(subrange.hi.params()) {
+        if let Some(d) = module.data_by_name(sym.as_str()) {
+            if !out.contains(&d) {
+                out.push(d);
+            }
+        }
+    }
+    out
+}
+
+/// Classify one subscript into its Figure-2 edge label.
+fn classify(
+    module: &HirModule,
+    eq: &ps_lang::hir::Equation,
+    array: DataId,
+    dim: usize,
+    s: &SubscriptExpr,
+) -> DimLabel {
+    match s {
+        SubscriptExpr::Var(iv) => DimLabel {
+            form: SubscriptForm::Identity,
+            iv: Some(*iv),
+            delta: 0,
+            at_upper_bound: false,
+        },
+        SubscriptExpr::VarOffset(iv, delta) => DimLabel {
+            form: if *delta < 0 {
+                SubscriptForm::OffsetBack
+            } else {
+                SubscriptForm::Other
+            },
+            iv: Some(*iv),
+            delta: *delta,
+            at_upper_bound: false,
+        },
+        SubscriptExpr::Affine(a) if a.is_constant() => {
+            // Constant subscript: check the virtual-dimension rule-2 pattern
+            // "subscript = declared upper bound of this dimension".
+            let at_ub = module.data[array]
+                .dims()
+                .get(dim)
+                .map(|&sr| {
+                    module.subranges[sr]
+                        .hi
+                        .const_difference(&a.rest)
+                        == Some(0)
+                })
+                .unwrap_or(false);
+            let _ = eq;
+            DimLabel {
+                form: SubscriptForm::Constant,
+                iv: None,
+                delta: 0,
+                at_upper_bound: at_ub,
+            }
+        }
+        SubscriptExpr::Affine(_) | SubscriptExpr::Dynamic(_) => DimLabel {
+            form: SubscriptForm::Other,
+            iv: None,
+            delta: 0,
+            at_upper_bound: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_lang::frontend;
+
+    const RELAXATION_V1: &str = "
+        Relaxation: module (InitialA: array[I,J] of real;
+                            M: int; maxK: int):
+                    [newA: array[I,J] of real];
+        type
+            I, J = 0 .. M+1;
+            K = 2 .. maxK;
+        var
+            A: array [1 .. maxK] of array[I,J] of real;
+        define
+            A[1] = InitialA;
+            newA = A[maxK];
+            A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+                       then A[K-1,I,J]
+                       else ( A[K-1,I,J-1]
+                            + A[K-1,I-1,J]
+                            + A[K-1,I,J+1]
+                            + A[K-1,I+1,J] ) / 4;
+        end Relaxation;
+    ";
+
+    #[test]
+    fn figure3_node_structure() {
+        let m = frontend(RELAXATION_V1).unwrap();
+        let dg = build_depgraph(&m);
+        // Data: InitialA, M, maxK, newA, A. Equations: eq.1..eq.3.
+        let (data, eqs) = dg.node_counts();
+        assert_eq!(data, 5);
+        assert_eq!(eqs, 3);
+    }
+
+    #[test]
+    fn figure3_edge_structure() {
+        let m = frontend(RELAXATION_V1).unwrap();
+        let dg = build_depgraph(&m);
+        let (read, def, bound) = dg.edge_counts();
+        // Reads: InitialA→eq1 (1), A→eq2 (1), A→eq3 (5), M→eq3 (1, deduped).
+        assert_eq!(read, 8);
+        // Defs: eq1→A, eq2→newA, eq3→A.
+        assert_eq!(def, 3);
+        // Bounds: M→InitialA, M→newA, M→A, maxK→A.
+        assert_eq!(bound, 4);
+    }
+
+    #[test]
+    fn recursive_edges_are_parallel() {
+        let m = frontend(RELAXATION_V1).unwrap();
+        let dg = build_depgraph(&m);
+        let a = dg.data_node(m.data_by_name("A").unwrap());
+        let eq3 = dg.eq_node(m.equation_by_label("eq.3").unwrap());
+        let edges = dg.read_edges_from(a, eq3);
+        assert_eq!(edges.len(), 5);
+        // All five references use K-1 in dimension 0.
+        for e in &edges {
+            let lbl = &dg.graph.edge(*e).labels[0];
+            assert_eq!(lbl.form, SubscriptForm::OffsetBack);
+            assert_eq!(lbl.back_offset(), Some(1));
+        }
+    }
+
+    #[test]
+    fn eq3_ij_labels_include_other_forms() {
+        let m = frontend(RELAXATION_V1).unwrap();
+        let dg = build_depgraph(&m);
+        let a = dg.data_node(m.data_by_name("A").unwrap());
+        let eq3 = dg.eq_node(m.equation_by_label("eq.3").unwrap());
+        let forms: Vec<(SubscriptForm, SubscriptForm)> = dg
+            .read_edges_from(a, eq3)
+            .into_iter()
+            .map(|e| {
+                let l = &dg.graph.edge(e).labels;
+                (l[1].form, l[2].form)
+            })
+            .collect();
+        // Boundary carry-over A[K-1,I,J]: identity in both I and J.
+        assert!(forms.contains(&(SubscriptForm::Identity, SubscriptForm::Identity)));
+        // A[K-1,I,J+1] gives an Other in J; A[K-1,I-1,J] an OffsetBack in I.
+        assert!(forms.iter().any(|f| f.1 == SubscriptForm::Other));
+        assert!(forms.iter().any(|f| f.0 == SubscriptForm::OffsetBack));
+    }
+
+    #[test]
+    fn upper_bound_read_detected() {
+        let m = frontend(RELAXATION_V1).unwrap();
+        let dg = build_depgraph(&m);
+        let a = dg.data_node(m.data_by_name("A").unwrap());
+        let eq2 = dg.eq_node(m.equation_by_label("eq.2").unwrap());
+        let edges = dg.read_edges_from(a, eq2);
+        assert_eq!(edges.len(), 1);
+        let lbl = &dg.graph.edge(edges[0]).labels[0];
+        assert_eq!(lbl.form, SubscriptForm::Constant);
+        assert!(lbl.at_upper_bound, "A[maxK] reads the upper bound plane");
+    }
+
+    #[test]
+    fn equation_node_dims_are_ivs() {
+        let m = frontend(RELAXATION_V1).unwrap();
+        let dg = build_depgraph(&m);
+        let eq3 = dg.eq_node(m.equation_by_label("eq.3").unwrap());
+        let node = dg.graph.node(eq3);
+        assert_eq!(node.eq_dims.len(), 3);
+        let names: Vec<&str> = node.eq_dims.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["K", "I", "J"]);
+    }
+
+    #[test]
+    fn bound_edges_match_paper_quote() {
+        // "a data dependency edge is drawn from M to InitialA, to A, and to
+        //  NewA. A data dependency edge is drawn from maxK to A."
+        let m = frontend(RELAXATION_V1).unwrap();
+        let dg = build_depgraph(&m);
+        let m_node = dg.data_node(m.data_by_name("M").unwrap());
+        let maxk_node = dg.data_node(m.data_by_name("maxK").unwrap());
+        let targets: Vec<String> = dg
+            .graph
+            .successors(m_node)
+            .map(|n| dg.graph.node(n).name.clone())
+            .collect();
+        assert!(targets.contains(&"InitialA".to_string()));
+        assert!(targets.contains(&"A".to_string()));
+        assert!(targets.contains(&"newA".to_string()));
+        let maxk_targets: Vec<String> = dg
+            .graph
+            .successors(maxk_node)
+            .map(|n| dg.graph.node(n).name.clone())
+            .collect();
+        assert!(maxk_targets.contains(&"A".to_string()));
+    }
+}

@@ -1,0 +1,129 @@
+//! Structural statistics for a dependency graph (Figure 3 reporting).
+
+use crate::graph::{DepGraph, EdgeKind};
+use std::fmt;
+
+/// Summary counts used by the Figure-3 experiment and the `psc` CLI.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GraphStats {
+    pub data_nodes: usize,
+    pub equation_nodes: usize,
+    pub read_edges: usize,
+    pub def_edges: usize,
+    pub bound_edges: usize,
+    /// Read edges whose dimension labels include an `I - constant` form
+    /// (candidate recursive references).
+    pub offset_back_edges: usize,
+    /// Read edges with at least one `other`-form label.
+    pub other_form_edges: usize,
+}
+
+impl GraphStats {
+    pub fn total_nodes(&self) -> usize {
+        self.data_nodes + self.equation_nodes
+    }
+
+    pub fn total_edges(&self) -> usize {
+        self.read_edges + self.def_edges + self.bound_edges
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "nodes: {} ({} data + {} equations)",
+            self.total_nodes(),
+            self.data_nodes,
+            self.equation_nodes
+        )?;
+        writeln!(
+            f,
+            "edges: {} ({} read + {} def + {} bound)",
+            self.total_edges(),
+            self.read_edges,
+            self.def_edges,
+            self.bound_edges
+        )?;
+        write!(
+            f,
+            "read-edge forms: {} with I-constant, {} with other",
+            self.offset_back_edges, self.other_form_edges
+        )
+    }
+}
+
+/// Compute summary statistics.
+pub fn stats(dg: &DepGraph) -> GraphStats {
+    let (data_nodes, equation_nodes) = dg.node_counts();
+    let (read_edges, def_edges, bound_edges) = dg.edge_counts();
+    let mut offset_back_edges = 0;
+    let mut other_form_edges = 0;
+    for e in dg.graph.edge_ids() {
+        let edge = dg.graph.edge(e);
+        if edge.kind != EdgeKind::Read {
+            continue;
+        }
+        if edge
+            .labels
+            .iter()
+            .any(|l| l.form == crate::graph::SubscriptForm::OffsetBack)
+        {
+            offset_back_edges += 1;
+        }
+        if edge
+            .labels
+            .iter()
+            .any(|l| l.form == crate::graph::SubscriptForm::Other)
+        {
+            other_form_edges += 1;
+        }
+    }
+    GraphStats {
+        data_nodes,
+        equation_nodes,
+        read_edges,
+        def_edges,
+        bound_edges,
+        offset_back_edges,
+        other_form_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_depgraph;
+    use ps_lang::frontend;
+
+    #[test]
+    fn relaxation_stats() {
+        let m = frontend(
+            "Relaxation: module (InitialA: array[I,J] of real;
+                                 M: int; maxK: int):
+                         [newA: array[I,J] of real];
+             type I, J = 0 .. M+1; K = 2 .. maxK;
+             var A: array [1 .. maxK] of array[I,J] of real;
+             define
+                A[1] = InitialA;
+                newA = A[maxK];
+                A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+                           then A[K-1,I,J]
+                           else ( A[K-1,I,J-1] + A[K-1,I-1,J]
+                                + A[K-1,I,J+1] + A[K-1,I+1,J] ) / 4;
+             end Relaxation;",
+        )
+        .unwrap();
+        let s = stats(&build_depgraph(&m));
+        assert_eq!(s.total_nodes(), 8);
+        assert_eq!(s.data_nodes, 5);
+        assert_eq!(s.equation_nodes, 3);
+        assert_eq!(s.read_edges, 8);
+        assert_eq!(s.def_edges, 3);
+        assert_eq!(s.bound_edges, 4);
+        assert_eq!(s.offset_back_edges, 5, "all five A refs use K-1");
+        assert_eq!(s.other_form_edges, 2, "J+1 and I+1 references");
+        let rendered = format!("{s}");
+        assert!(rendered.contains("8 (5 data + 3 equations)"));
+    }
+}

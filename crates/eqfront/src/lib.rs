@@ -1,0 +1,381 @@
+//! Equation-notation front end.
+//!
+//! The paper's introduction: *"Our ultimate goal is a translator of
+//! equations in the form of (1), perhaps as TeX or Postscript files, to
+//! modules in this language."* This crate implements that translator for
+//! the paper's equation shape — a grid recurrence with one iteration
+//! superscript and spatial subscripts:
+//!
+//! ```text
+//! A^{k}_{i,j} = (A^{k-1}_{i,j-1} + A^{k-1}_{i-1,j} + A^{k-1}_{i,j+1} + A^{k-1}_{i+1,j}) / 4
+//! ```
+//!
+//! [`translate_equation`] parses the TeX-style notation and emits a
+//! complete PS module in the style of the paper's Figure 1: the iteration
+//! superscript becomes the first array subscript, boundary points carry
+//! over from the previous iteration, the initial plane comes from an input
+//! array, and the result is the final plane.
+
+use ps_support::{Diagnostic, DiagnosticSink};
+
+/// Translation failure with a human-readable reason.
+#[derive(Clone, Debug)]
+pub struct EqFrontError(pub String);
+
+impl std::fmt::Display for EqFrontError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for EqFrontError {}
+
+/// A parsed array reference `A^{k-1}_{i,j+1}`.
+#[derive(Clone, Debug, PartialEq)]
+struct Ref {
+    name: String,
+    /// Iteration offset relative to the superscript variable (0 or < 0).
+    super_offset: i64,
+    /// Spatial offsets relative to the subscript variables.
+    sub_offsets: Vec<i64>,
+}
+
+/// A token of the equation notation.
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ref(Ref),
+    Num(String),
+    Op(char),
+    LParen,
+    RParen,
+}
+
+/// Translate one TeX-style recurrence into a PS module named `module_name`.
+///
+/// The generated module has the Figure-1 shape:
+/// * input `Initial<A>`: the starting grid,
+/// * `M`, `maxK` parameters,
+/// * boundary rows/columns carried over from the previous iteration,
+/// * result `new<A>`: the grid after `maxK` iterations.
+pub fn translate_equation(equation: &str, module_name: &str) -> Result<String, EqFrontError> {
+    let (lhs, rhs) = equation
+        .split_once('=')
+        .ok_or_else(|| EqFrontError("equation needs `=`".into()))?;
+
+    let lhs_toks = tokenize(lhs)?;
+    let [Tok::Ref(target)] = lhs_toks.as_slice() else {
+        return Err(EqFrontError(
+            "left-hand side must be a single reference like A^{k}_{i,j}".into(),
+        ));
+    };
+    if target.super_offset != 0 || target.sub_offsets.iter().any(|&o| o != 0) {
+        return Err(EqFrontError(
+            "left-hand side must be unoffset (A^{k}_{i,j})".into(),
+        ));
+    }
+    let rank = target.sub_offsets.len();
+    if rank == 0 {
+        return Err(EqFrontError("need at least one spatial subscript".into()));
+    }
+
+    let rhs_toks = tokenize(rhs)?;
+    // Validate references and collect dependence sanity.
+    for t in &rhs_toks {
+        if let Tok::Ref(r) = t {
+            if r.name != target.name {
+                return Err(EqFrontError(format!(
+                    "only self-references to `{}` are supported, found `{}`",
+                    target.name, r.name
+                )));
+            }
+            if r.sub_offsets.len() != rank {
+                return Err(EqFrontError(format!(
+                    "reference has {} subscripts, target has {rank}",
+                    r.sub_offsets.len()
+                )));
+            }
+            if r.super_offset > 0 {
+                return Err(EqFrontError(
+                    "references to future iterations (^{k+1}) are not causal".into(),
+                ));
+            }
+        }
+    }
+
+    // Index variable names: K for iteration, then I, J, L, P, Q...
+    let spatial_names: Vec<String> = ["I", "J", "L", "P", "Q", "R"]
+        .iter()
+        .take(rank)
+        .map(|s| s.to_string())
+        .collect();
+    if spatial_names.len() < rank {
+        return Err(EqFrontError("at most 6 spatial dimensions".into()));
+    }
+
+    let a = &target.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{module_name}: module (Initial{a}: array[{dims}] of real;\n",
+        dims = spatial_names.join(",")
+    ));
+    out.push_str(&format!(
+        "        M: int; maxK: int):\n    [new{a}: array[{dims}] of real];\n",
+        dims = spatial_names.join(",")
+    ));
+    out.push_str(&format!(
+        "type\n    {names} = 0 .. M+1;\n    K = 2 .. maxK;\n",
+        names = spatial_names.join(", ")
+    ));
+    out.push_str(&format!(
+        "var\n    {a}: array [1 .. maxK] of array[{dims}] of real;\n",
+        dims = spatial_names.join(",")
+    ));
+    out.push_str("define\n");
+    out.push_str(&format!("    {a}[1] = Initial{a};\n"));
+    out.push_str(&format!("    new{a} = {a}[maxK];\n"));
+
+    // Boundary guard: any spatial index at 0 or M+1.
+    let guard: Vec<String> = spatial_names
+        .iter()
+        .flat_map(|n| [format!("({n} = 0)"), format!("({n} = M+1)")])
+        .collect();
+    let carry_subs: Vec<String> = std::iter::once("K-1".to_string())
+        .chain(spatial_names.iter().cloned())
+        .collect();
+
+    out.push_str(&format!(
+        "    {a}[K,{vars}] = if {guard}\n               then {a}[{carry}]\n               else ",
+        vars = spatial_names.join(","),
+        guard = guard.join(" or "),
+        carry = carry_subs.join(",")
+    ));
+    out.push_str(&render_rhs(&rhs_toks, &spatial_names));
+    out.push_str(";\n");
+    out.push_str(&format!("end {module_name};\n"));
+
+    // Sanity: the output must survive the real front end.
+    let sink = DiagnosticSink::new();
+    let toks = ps_lang::lexer::lex(&out, &sink);
+    let prog = ps_lang::parser::parse_program(&toks, &sink);
+    if sink.has_errors() {
+        return Err(EqFrontError(format!(
+            "internal: generated PS does not parse:\n{out}\n{:?}",
+            sink.snapshot()
+                .iter()
+                .map(|d: &Diagnostic| d.message.clone())
+                .collect::<Vec<_>>()
+        )));
+    }
+    let _ = prog;
+    Ok(out)
+}
+
+fn render_rhs(toks: &[Tok], spatial: &[String]) -> String {
+    let mut out = String::new();
+    for t in toks {
+        match t {
+            Tok::Ref(r) => {
+                let mut subs = Vec::with_capacity(1 + spatial.len());
+                subs.push(offset_str("K", r.super_offset));
+                for (name, &off) in spatial.iter().zip(&r.sub_offsets) {
+                    subs.push(offset_str(name, off));
+                }
+                out.push_str(&format!("{}[{}]", r.name, subs.join(",")));
+            }
+            Tok::Num(n) => out.push_str(n),
+            Tok::Op(c) => out.push_str(&format!(" {c} ")),
+            Tok::LParen => out.push('('),
+            Tok::RParen => out.push(')'),
+        }
+    }
+    out
+}
+
+fn offset_str(base: &str, off: i64) -> String {
+    match off.cmp(&0) {
+        std::cmp::Ordering::Equal => base.to_string(),
+        std::cmp::Ordering::Greater => format!("{base}+{off}"),
+        std::cmp::Ordering::Less => format!("{base}-{}", -off),
+    }
+}
+
+fn tokenize(s: &str) -> Result<Vec<Tok>, EqFrontError> {
+    let mut out = Vec::new();
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '+' | '-' | '*' | '/' => {
+                out.push(Tok::Op(c));
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                out.push(Tok::Num(s[start..i].to_string()));
+            }
+            'a'..='z' | 'A'..='Z' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let name = s[start..i].to_string();
+                let (super_offset, ni) = parse_script(s, i, '^')?;
+                i = ni;
+                let (subs, ni) = parse_subscripts(s, i)?;
+                i = ni;
+                out.push(Tok::Ref(Ref {
+                    name,
+                    super_offset: super_offset.unwrap_or(0),
+                    sub_offsets: subs,
+                }));
+            }
+            other => {
+                return Err(EqFrontError(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse `^{k}` / `^{k-1}` at position `i`; returns the offset.
+fn parse_script(s: &str, i: usize, sigil: char) -> Result<(Option<i64>, usize), EqFrontError> {
+    let b = s.as_bytes();
+    if i >= b.len() || b[i] as char != sigil {
+        return Ok((None, i));
+    }
+    let (inner, ni) = braced(s, i + 1)?;
+    let off = offset_of(&inner)?;
+    Ok((Some(off), ni))
+}
+
+/// Parse `_{i,j-1}`; returns the offsets.
+fn parse_subscripts(s: &str, i: usize) -> Result<(Vec<i64>, usize), EqFrontError> {
+    let b = s.as_bytes();
+    if i >= b.len() || b[i] != b'_' {
+        return Ok((Vec::new(), i));
+    }
+    let (inner, ni) = braced(s, i + 1)?;
+    let mut subs = Vec::new();
+    for part in inner.split(',') {
+        subs.push(offset_of(part)?);
+    }
+    Ok((subs, ni))
+}
+
+fn braced(s: &str, i: usize) -> Result<(String, usize), EqFrontError> {
+    let b = s.as_bytes();
+    if i >= b.len() || b[i] != b'{' {
+        return Err(EqFrontError("expected `{` after ^ or _".into()));
+    }
+    let mut j = i + 1;
+    while j < b.len() && b[j] != b'}' {
+        j += 1;
+    }
+    if j >= b.len() {
+        return Err(EqFrontError("unterminated `{`".into()));
+    }
+    Ok((s[i + 1..j].to_string(), j + 1))
+}
+
+/// `k` → 0, `k-1` → -1, `i+2` → 2.
+fn offset_of(script: &str) -> Result<i64, EqFrontError> {
+    let t = script.trim();
+    let split = t.find(['+', '-']);
+    match split {
+        None => {
+            if t.chars().all(|c| c.is_ascii_alphanumeric()) && !t.is_empty() {
+                Ok(0)
+            } else {
+                Err(EqFrontError(format!("bad index `{t}`")))
+            }
+        }
+        Some(pos) => {
+            let magnitude: i64 = t[pos + 1..]
+                .trim()
+                .parse()
+                .map_err(|_| EqFrontError(format!("bad offset in `{t}`")))?;
+            Ok(if t.as_bytes()[pos] == b'-' {
+                -magnitude
+            } else {
+                magnitude
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JACOBI: &str =
+        "A^{k}_{i,j} = (A^{k-1}_{i,j-1} + A^{k-1}_{i-1,j} + A^{k-1}_{i,j+1} + A^{k-1}_{i+1,j}) / 4";
+    const GAUSS_SEIDEL: &str =
+        "A^{k}_{i,j} = (A^{k}_{i,j-1} + A^{k}_{i-1,j} + A^{k-1}_{i,j+1} + A^{k-1}_{i+1,j}) / 4";
+
+    #[test]
+    fn equation1_translates_and_checks() {
+        let ps = translate_equation(JACOBI, "Relaxation").unwrap();
+        assert!(ps.contains("A[1] = InitialA;"), "{ps}");
+        assert!(ps.contains("newA = A[maxK];"), "{ps}");
+        assert!(ps.contains("A[K-1,I,J-1]"), "{ps}");
+        // The generated module passes the full front end.
+        let m = ps_lang::frontend(&ps).expect("generated PS type-checks");
+        assert_eq!(m.equations.len(), 3);
+    }
+
+    #[test]
+    fn equation2_translates() {
+        let ps = translate_equation(GAUSS_SEIDEL, "Relaxation2").unwrap();
+        assert!(ps.contains("A[K,I,J-1]"), "{ps}");
+        assert!(ps.contains("A[K-1,I,J+1]"), "{ps}");
+        ps_lang::frontend(&ps).expect("generated PS type-checks");
+    }
+
+    #[test]
+    fn one_dimensional_recurrence() {
+        let ps = translate_equation("u^{k}_{i} = (u^{k-1}_{i-1} + u^{k-1}_{i+1}) / 2", "Heat")
+            .unwrap();
+        assert!(ps.contains("u: array [1 .. maxK] of array[I] of real;"), "{ps}");
+        ps_lang::frontend(&ps).expect("generated PS type-checks");
+    }
+
+    #[test]
+    fn future_reference_rejected() {
+        let err =
+            translate_equation("A^{k}_{i} = A^{k+1}_{i}", "Bad").unwrap_err();
+        assert!(err.0.contains("causal"), "{err}");
+    }
+
+    #[test]
+    fn offset_parsing() {
+        assert_eq!(offset_of("k").unwrap(), 0);
+        assert_eq!(offset_of("k-1").unwrap(), -1);
+        assert_eq!(offset_of("i+2").unwrap(), 2);
+        assert!(offset_of("").is_err());
+    }
+
+    #[test]
+    fn foreign_reference_rejected() {
+        let err = translate_equation("A^{k}_{i} = B^{k-1}_{i}", "Bad").unwrap_err();
+        assert!(err.0.contains("self-references"), "{err}");
+    }
+
+    #[test]
+    fn lhs_must_be_unoffset() {
+        let err = translate_equation("A^{k-1}_{i} = A^{k-2}_{i}", "Bad").unwrap_err();
+        assert!(err.0.contains("unoffset"), "{err}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Counting latch: blocks one thread until N completions are signalled.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A one-shot countdown latch.
+///
+/// The counter starts at `n`; workers call [`CountLatch::count_down`] once
+/// each; the owner calls [`CountLatch::wait`] and returns once the counter
+/// reaches zero. The fast path is a single atomic; the mutex/condvar pair
+/// only engages when the waiter actually sleeps.
+pub struct CountLatch {
+    remaining: AtomicUsize,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    pub fn new(n: usize) -> CountLatch {
+        CountLatch {
+            remaining: AtomicUsize::new(n),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Signal one completion. The release ordering pairs with the acquire
+    /// in [`CountLatch::wait`] so work done before `count_down` is visible
+    /// to the waiter.
+    pub fn count_down(&self) {
+        if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            // Last signal: wake the waiter. Taking the lock here avoids the
+            // lost-wakeup race with a waiter that just checked the counter.
+            let _guard = self.mutex.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Current count (test/diagnostic aid).
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Block until the counter reaches zero.
+    pub fn wait(&self) {
+        // Fast path.
+        if self.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut guard = self.mutex.lock();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            self.cond.wait(&mut guard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_latch_does_not_block() {
+        CountLatch::new(0).wait();
+    }
+
+    #[test]
+    fn waits_for_all_signals() {
+        let latch = Arc::new(CountLatch::new(4));
+        let flag = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = latch.clone();
+            let f = flag.clone();
+            handles.push(std::thread::spawn(move || {
+                f.fetch_add(1, Ordering::SeqCst);
+                l.count_down();
+            }));
+        }
+        latch.wait();
+        assert_eq!(flag.load(Ordering::SeqCst), 4, "all work visible after wait");
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(latch.remaining(), 0);
+    }
+
+    #[test]
+    fn repeated_waits_after_completion() {
+        let latch = CountLatch::new(1);
+        latch.count_down();
+        latch.wait();
+        latch.wait(); // idempotent
+    }
+}

@@ -1,0 +1,275 @@
+//! The worker pool and the sequential executor.
+
+use crate::latch::CountLatch;
+use crate::stats::{PoolStats, PoolStatsSnapshot};
+use crate::Executor;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Executes ranges inline on the calling thread.
+pub struct Sequential;
+
+impl Executor for Sequential {
+    fn threads(&self) -> usize {
+        1
+    }
+
+    fn for_range(&self, lo: i64, hi: i64, f: &(dyn Fn(i64) + Sync)) {
+        for i in lo..=hi {
+            f(i);
+        }
+    }
+
+    fn for_chunks(&self, lo: i64, hi: i64, f: &(dyn Fn(i64, i64) + Sync)) {
+        if hi >= lo {
+            f(lo, hi + 1);
+        }
+    }
+}
+
+/// Shared state of one `for_range` region.
+///
+/// Workers self-schedule: each grabs `[next, next+chunk)` slices off the
+/// atomic cursor until the range is exhausted.
+struct Region {
+    /// Next index to hand out.
+    next: AtomicI64,
+    /// One past the last index.
+    end: i64,
+    /// Chunk width.
+    chunk: i64,
+    /// The user chunk closure `f(start, stop)`. Lifetime-erased: the caller
+    /// of `for_range`/`for_chunks` blocks on `latch` before returning, so
+    /// the borrow outlives all uses.
+    func: *const (dyn Fn(i64, i64) + Sync),
+    /// Counted down once per worker that finishes draining the region.
+    latch: CountLatch,
+    /// Set when any invocation panicked.
+    panicked: AtomicBool,
+}
+
+// SAFETY: `func` points to a `Sync` closure that outlives the region (the
+// submitting thread waits on `latch`); all other fields are atomics.
+unsafe impl Send for Region {}
+unsafe impl Sync for Region {}
+
+impl Region {
+    /// Drain chunks until the cursor passes `end`. Returns items executed.
+    fn drain(&self, stats: &PoolStats) {
+        // SAFETY: see the `Send`/`Sync` justification above.
+        let f = unsafe { &*self.func };
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.end {
+                return;
+            }
+            let stop = (start + self.chunk).min(self.end);
+            stats.record_chunk((stop - start) as u64);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                f(start, stop);
+            }));
+            if result.is_err() {
+                self.panicked.store(true, Ordering::Release);
+                // Keep draining so the latch still completes; remaining
+                // indices are skipped by claiming them.
+                self.next.store(self.end, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+enum Message {
+    Work(Arc<Region>),
+    Shutdown,
+}
+
+thread_local! {
+    /// True on pool worker threads; nested `for_range` calls run inline to
+    /// avoid self-deadlock.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct ThreadPool {
+    sender: Sender<Message>,
+    workers: Vec<JoinHandle<()>>,
+    n_threads: usize,
+    stats: Arc<PoolStats>,
+}
+
+impl ThreadPool {
+    /// Create a pool with `n` worker threads (minimum 1). The calling
+    /// thread also participates in every region, so the effective
+    /// parallelism of `for_range` is `n` (workers) + 1 (caller), capped by
+    /// the chunk count.
+    pub fn new(n: usize) -> ThreadPool {
+        let n = n.max(1);
+        // The caller participates, so spawn n-1 workers for n-way
+        // parallelism.
+        let n_workers = n - 1;
+        let (sender, receiver): (Sender<Message>, Receiver<Message>) = unbounded();
+        let stats = Arc::new(PoolStats::default());
+        let workers = (0..n_workers)
+            .map(|w| {
+                let rx = receiver.clone();
+                let stats = stats.clone();
+                std::thread::Builder::new()
+                    .name(format!("ps-worker-{w}"))
+                    .spawn(move || {
+                        IN_WORKER.with(|f| f.set(true));
+                        while let Ok(Message::Work(region)) = rx.recv() {
+                            region.drain(&stats);
+                            region.latch.count_down();
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        ThreadPool {
+            sender,
+            workers,
+            n_threads: n,
+            stats,
+        }
+    }
+
+    /// A pool sized to the machine (`available_parallelism`).
+    pub fn with_default_size() -> ThreadPool {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ThreadPool::new(n)
+    }
+
+    /// Cumulative execution statistics.
+    pub fn stats(&self) -> PoolStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl Executor for ThreadPool {
+    fn threads(&self) -> usize {
+        self.n_threads
+    }
+
+    fn for_range(&self, lo: i64, hi: i64, f: &(dyn Fn(i64) + Sync)) {
+        let by_chunk = move |start: i64, stop: i64| {
+            for i in start..stop {
+                f(i);
+            }
+        };
+        self.for_chunks(lo, hi, &by_chunk);
+    }
+
+    fn for_chunks(&self, lo: i64, hi: i64, f: &(dyn Fn(i64, i64) + Sync)) {
+        if hi < lo {
+            return;
+        }
+        let total = hi - lo + 1;
+        self.stats.record_region(total as u64);
+
+        // Run inline when parallelism cannot help or when called from a
+        // worker thread (nested DOALL).
+        let nested = IN_WORKER.with(|flag| flag.get());
+        if self.workers.is_empty() || total < 2 || nested {
+            f(lo, hi + 1);
+            return;
+        }
+
+        // Aim for several chunks per participant so imbalanced iterations
+        // still spread out.
+        let participants = (self.workers.len() + 1) as i64;
+        let chunk = (total / (participants * 4)).max(1);
+
+        let region = Arc::new(Region {
+            next: AtomicI64::new(lo),
+            end: hi + 1,
+            chunk,
+            // SAFETY: erased to 'static; `wait` below keeps the borrow live.
+            func: unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(i64, i64) + Sync),
+                    *const (dyn Fn(i64, i64) + Sync),
+                >(f as *const _)
+            },
+            latch: CountLatch::new(self.workers.len()),
+            panicked: AtomicBool::new(false),
+        });
+
+        for _ in 0..self.workers.len() {
+            self.sender
+                .send(Message::Work(region.clone()))
+                .expect("workers alive while pool alive");
+        }
+        // The caller works too.
+        region.drain(&self.stats);
+        region.latch.wait();
+
+        if region.panicked.load(Ordering::Acquire) {
+            panic!("a DOALL iteration panicked (see worker output above)");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            let _ = self.sender.send(Message::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let count = AtomicUsize::new(0);
+        pool.for_range(0, 99, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(8);
+        pool.for_range(0, 100, &|_| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn chunk_sizing_covers_uneven_ranges() {
+        let pool = ThreadPool::new(3);
+        for total in [1i64, 2, 3, 5, 7, 11, 97, 1000, 1001] {
+            let count = AtomicUsize::new(0);
+            pool.for_range(0, total - 1, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed) as i64, total);
+        }
+    }
+
+    #[test]
+    fn default_size_pool_works() {
+        let pool = ThreadPool::with_default_size();
+        assert!(pool.threads() >= 1);
+        let count = AtomicUsize::new(0);
+        pool.for_range(1, 64, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+}

@@ -1,0 +1,69 @@
+//! Execution counters for the pool (cheap relaxed atomics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal counters shared by all workers.
+#[derive(Default)]
+pub struct PoolStats {
+    regions: AtomicU64,
+    chunks: AtomicU64,
+    items: AtomicU64,
+}
+
+impl PoolStats {
+    pub(crate) fn record_region(&self, items: u64) {
+        self.regions.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_chunk(&self, _items: u64) {
+        self.chunks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            regions: self.regions.load(Ordering::Relaxed),
+            chunks: self.chunks.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the pool counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStatsSnapshot {
+    /// `for_range` invocations.
+    pub regions: u64,
+    /// Chunks claimed by participants (parallel regions only).
+    pub chunks: u64,
+    /// Total loop iterations requested.
+    pub items: u64,
+}
+
+impl std::fmt::Display for PoolStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} regions, {} chunks, {} items",
+            self.regions, self.chunks, self.items
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let s = PoolStats::default();
+        s.record_region(10);
+        s.record_chunk(5);
+        s.record_chunk(5);
+        let snap = s.snapshot();
+        assert_eq!(snap.regions, 1);
+        assert_eq!(snap.chunks, 2);
+        assert_eq!(snap.items, 10);
+        assert!(format!("{snap}").contains("1 regions"));
+    }
+}

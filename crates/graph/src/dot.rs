@@ -1,0 +1,145 @@
+//! Graphviz DOT export.
+//!
+//! Used to render Figure 3 (the dependency graph for the Relaxation module)
+//! and for debugging arbitrary scheduler subgraphs.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use ps_support::pretty::PrettyWriter;
+
+/// Node-labelling callback.
+pub type NodeLabelFn<'a, N> = Box<dyn Fn(NodeId, &N) -> String + 'a>;
+/// Node-attribute callback.
+pub type NodeAttrsFn<'a, N> = Box<dyn Fn(NodeId, &N) -> Option<String> + 'a>;
+/// Edge-labelling callback.
+pub type EdgeLabelFn<'a, E> = Box<dyn Fn(EdgeId, &E) -> String + 'a>;
+
+/// Options controlling DOT rendering.
+pub struct DotOptions<'a, N, E> {
+    /// Graph name emitted after `digraph`.
+    pub name: &'a str,
+    /// Label for a node; default is the node id.
+    pub node_label: NodeLabelFn<'a, N>,
+    /// Optional extra attributes for a node (e.g. `shape=box`).
+    pub node_attrs: NodeAttrsFn<'a, N>,
+    /// Label for an edge; empty string omits the label.
+    pub edge_label: EdgeLabelFn<'a, E>,
+    /// Render deactivated edges (dashed) instead of omitting them.
+    pub show_inactive: bool,
+}
+
+impl<'a, N, E> DotOptions<'a, N, E> {
+    pub fn new(name: &'a str) -> Self {
+        DotOptions {
+            name,
+            node_label: Box::new(|id, _| format!("{id:?}")),
+            node_attrs: Box::new(|_, _| None),
+            edge_label: Box::new(|_, _| String::new()),
+            show_inactive: false,
+        }
+    }
+
+    pub fn with_node_label(mut self, f: impl Fn(NodeId, &N) -> String + 'a) -> Self {
+        self.node_label = Box::new(f);
+        self
+    }
+
+    pub fn with_node_attrs(mut self, f: impl Fn(NodeId, &N) -> Option<String> + 'a) -> Self {
+        self.node_attrs = Box::new(f);
+        self
+    }
+
+    pub fn with_edge_label(mut self, f: impl Fn(EdgeId, &E) -> String + 'a) -> Self {
+        self.edge_label = Box::new(f);
+        self
+    }
+
+    pub fn show_inactive(mut self) -> Self {
+        self.show_inactive = true;
+        self
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render `graph` to DOT text.
+pub fn to_dot<N, E>(graph: &DiGraph<N, E>, opts: &DotOptions<'_, N, E>) -> String {
+    let mut w = PrettyWriter::with_indent_str("  ");
+    w.linef(format_args!("digraph \"{}\" {{", escape(opts.name)));
+    w.indented(|w| {
+        w.line("rankdir=TB;");
+        for id in graph.node_ids() {
+            let label = escape(&(opts.node_label)(id, graph.node(id)));
+            let attrs = (opts.node_attrs)(id, graph.node(id))
+                .map(|a| format!(", {a}"))
+                .unwrap_or_default();
+            w.linef(format_args!("n{} [label=\"{label}\"{attrs}];", id.0));
+        }
+        for eid in graph.edge_ids() {
+            let active = graph.is_edge_active(eid);
+            if !active && !opts.show_inactive {
+                continue;
+            }
+            let (s, t) = graph.edge_endpoints(eid);
+            let label = escape(&(opts.edge_label)(eid, graph.edge(eid)));
+            let mut attrs = Vec::new();
+            if !label.is_empty() {
+                attrs.push(format!("label=\"{label}\""));
+            }
+            if !active {
+                attrs.push("style=dashed".to_string());
+            }
+            let attrs = if attrs.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", attrs.join(", "))
+            };
+            w.linef(format_args!("n{} -> n{}{attrs};", s.0, t.0));
+        }
+    });
+    w.line("}");
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g: DiGraph<&str, &str> = DiGraph::new();
+        let a = g.add_node("M");
+        let b = g.add_node("A");
+        g.add_edge(a, b, "bound");
+        let opts = DotOptions::new("deps")
+            .with_node_label(|_, w: &&str| w.to_string())
+            .with_edge_label(|_, w: &&str| w.to_string());
+        let dot = to_dot(&g, &opts);
+        assert!(dot.contains("digraph \"deps\""));
+        assert!(dot.contains("n0 [label=\"M\"]"));
+        assert!(dot.contains("n0 -> n1 [label=\"bound\"]"));
+    }
+
+    #[test]
+    fn inactive_edges_hidden_by_default() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let e = g.add_edge(a, b, ());
+        g.deactivate_edge(e);
+        let dot = to_dot(&g, &DotOptions::new("g"));
+        assert!(!dot.contains("->"));
+        let dot2 = to_dot(&g, &DotOptions::new("g").show_inactive());
+        assert!(dot2.contains("style=dashed"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        g.add_node("say \"hi\"\nnow");
+        let opts = DotOptions::new("g").with_node_label(|_, w: &&str| w.to_string());
+        let dot = to_dot(&g, &opts);
+        assert!(dot.contains("say \\\"hi\\\"\\nnow"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Directed-graph substrate for the PS compiler.
+//!
+//! The scheduler in the paper is driven entirely by graph structure: it
+//! decomposes the dependency graph into *Maximally Strongly Connected
+//! Components* (MSCCs), visits them in topological order, and repeatedly
+//! re-runs the decomposition on subgraphs with edges deleted. This crate
+//! provides the generic machinery:
+//!
+//! * [`DiGraph`] — an adjacency-list directed multigraph with typed node and
+//!   edge ids and edge deactivation (the scheduler "deletes" `I - constant`
+//!   edges without rebuilding),
+//! * [`scc`] — an iterative Tarjan strongly-connected-components algorithm
+//!   whose output order is reverse-topological over the condensation,
+//! * [`topo`] — Kahn topological sort and cycle detection,
+//! * [`traverse`] — DFS/BFS iterators and reachability,
+//! * [`dot`] — Graphviz export used to render Figure 3.
+
+pub mod digraph;
+pub mod dot;
+pub mod scc;
+pub mod topo;
+pub mod traverse;
+
+pub use digraph::{DiGraph, EdgeId, NodeId};
+pub use scc::{condensation, ordered_components_filtered, strongly_connected_components, Condensation, SccId, Sccs};
+pub use topo::{topological_sort, TopoError};

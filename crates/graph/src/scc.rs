@@ -1,0 +1,389 @@
+//! Strongly connected components (iterative Tarjan) and condensation.
+//!
+//! `Schedule-Graph` step 1 is "Find the MSCC's of the graph". Tarjan's
+//! algorithm emits components in *reverse* topological order of the
+//! condensation; we reverse that so callers can process producers before
+//! consumers, which is exactly the equation ordering the paper needs.
+
+use crate::digraph::{DiGraph, NodeId};
+use ps_support::new_index_type;
+
+new_index_type!(
+    /// Component handle within [`Sccs`] / [`Condensation`].
+    pub struct SccId; "scc"
+);
+
+/// The SCC decomposition of (the active part of) a graph.
+#[derive(Clone, Debug)]
+pub struct Sccs {
+    /// Components in topological order: if an edge runs from component X to
+    /// component Y (X ≠ Y), X appears before Y.
+    pub components: Vec<Vec<NodeId>>,
+    /// For each node, the index (into `components`) of its component.
+    component_of: Vec<u32>,
+}
+
+impl Sccs {
+    /// The component containing `node`.
+    pub fn component_of(&self, node: NodeId) -> SccId {
+        SccId(self.component_of[node.0 as usize])
+    }
+
+    /// Nodes in component `id`.
+    pub fn nodes(&self, id: SccId) -> &[NodeId] {
+        &self.components[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// True when `a` and `b` are in the same component.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.component_of(a) == self.component_of(b)
+    }
+
+    /// Iterate `(SccId, &nodes)` in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (SccId, &[NodeId])> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, ns)| (SccId(i as u32), ns.as_slice()))
+    }
+}
+
+/// Compute SCCs over the active edges of `graph`, restricted to the nodes for
+/// which `include` returns true. Excluded nodes belong to no component.
+///
+/// The scheduler passes shrinking `include` filters as it recurses into
+/// subgraphs, so restriction must be first-class rather than a rebuild.
+pub fn strongly_connected_components_filtered<N, E>(
+    graph: &DiGraph<N, E>,
+    include: impl Fn(NodeId) -> bool,
+) -> Sccs {
+    const UNVISITED: u32 = u32::MAX;
+
+    let n = graph.node_count();
+    let mut index_of = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    let mut component_of = vec![u32::MAX; n];
+
+    // Explicit DFS frame: node plus an iterator position over its successors.
+    struct Frame {
+        node: NodeId,
+        succ_pos: usize,
+    }
+
+    for start in graph.node_ids() {
+        if !include(start) || index_of[start.0 as usize] != UNVISITED {
+            continue;
+        }
+        let mut call_stack = vec![Frame {
+            node: start,
+            succ_pos: 0,
+        }];
+        index_of[start.0 as usize] = next_index;
+        lowlink[start.0 as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start.0 as usize] = true;
+
+        while let Some(frame) = call_stack.last_mut() {
+            let v = frame.node;
+            // Materialized on demand; successor lists are short in practice.
+            let succs: Vec<NodeId> = graph
+                .successors(v)
+                .filter(|&w| include(w))
+                .collect();
+            if frame.succ_pos < succs.len() {
+                let w = succs[frame.succ_pos];
+                frame.succ_pos += 1;
+                let wi = w.0 as usize;
+                if index_of[wi] == UNVISITED {
+                    index_of[wi] = next_index;
+                    lowlink[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    call_stack.push(Frame {
+                        node: w,
+                        succ_pos: 0,
+                    });
+                } else if on_stack[wi] {
+                    let vi = v.0 as usize;
+                    lowlink[vi] = lowlink[vi].min(index_of[wi]);
+                }
+            } else {
+                // v is finished: pop, fold lowlink into parent, maybe emit.
+                let vi = v.0 as usize;
+                if lowlink[vi] == index_of[vi] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.0 as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.reverse();
+                    for &m in &comp {
+                        component_of[m.0 as usize] = components.len() as u32;
+                    }
+                    components.push(comp);
+                }
+                call_stack.pop();
+                if let Some(parent) = call_stack.last() {
+                    let pi = parent.node.0 as usize;
+                    lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                }
+            }
+        }
+    }
+
+    // Tarjan emits components in reverse topological order; flip so that
+    // producers come first (the order Schedule-Graph wants).
+    components.reverse();
+    let count = components.len() as u32;
+    for c in component_of.iter_mut() {
+        if *c != u32::MAX {
+            *c = count - 1 - *c;
+        }
+    }
+
+    Sccs {
+        components,
+        component_of,
+    }
+}
+
+/// SCCs over all nodes of the graph.
+pub fn strongly_connected_components<N, E>(graph: &DiGraph<N, E>) -> Sccs {
+    strongly_connected_components_filtered(graph, |_| true)
+}
+
+/// Like [`strongly_connected_components_filtered`], but with a fully
+/// deterministic component order: Kahn's algorithm over the condensation,
+/// breaking ties by the smallest node id in each component. Independent
+/// components therefore appear in node-insertion (declaration) order, which
+/// keeps scheduler output stable and matches the paper's presentation.
+pub fn ordered_components_filtered<N, E>(
+    graph: &DiGraph<N, E>,
+    include: impl Fn(NodeId) -> bool,
+) -> Sccs {
+    let sccs = strongly_connected_components_filtered(graph, &include);
+    let n = sccs.len();
+    if n == 0 {
+        return sccs;
+    }
+
+    // Build condensation edges and in-degrees.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut in_deg = vec![0usize; n];
+    let mut seen = ps_support::FxHashSet::default();
+    for e in graph.active_edge_ids() {
+        let (s, t) = graph.edge_endpoints(e);
+        if !include(s) || !include(t) {
+            continue;
+        }
+        let (cs, ct) = (
+            sccs.component_of(s).0 as usize,
+            sccs.component_of(t).0 as usize,
+        );
+        if cs != ct && seen.insert((cs, ct)) {
+            succs[cs].push(ct);
+            in_deg[ct] += 1;
+        }
+    }
+
+    let min_id: Vec<u32> = sccs
+        .components
+        .iter()
+        .map(|c| c.iter().map(|n| n.0).min().unwrap_or(u32::MAX))
+        .collect();
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(u32, usize)>> = (0..n)
+        .filter(|&c| in_deg[c] == 0)
+        .map(|c| std::cmp::Reverse((min_id[c], c)))
+        .collect();
+
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse((_, c))) = ready.pop() {
+        order.push(c);
+        for &s in &succs[c] {
+            in_deg[s] -= 1;
+            if in_deg[s] == 0 {
+                ready.push(std::cmp::Reverse((min_id[s], s)));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "condensation must be acyclic");
+
+    let mut components = Vec::with_capacity(n);
+    let mut component_of = vec![u32::MAX; graph.node_count()];
+    for (new_idx, &old_idx) in order.iter().enumerate() {
+        let nodes = sccs.components[old_idx].clone();
+        for &node in &nodes {
+            component_of[node.0 as usize] = new_idx as u32;
+        }
+        components.push(nodes);
+    }
+    Sccs {
+        components,
+        component_of,
+    }
+}
+
+/// The condensation: one node per SCC, with deduplicated edges between
+/// distinct components.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    pub sccs: Sccs,
+    /// Edges between components (no self-edges, deduplicated), as index
+    /// pairs into `sccs.components`.
+    pub edges: Vec<(SccId, SccId)>,
+}
+
+/// Build the condensation of the active part of `graph`.
+pub fn condensation<N, E>(graph: &DiGraph<N, E>) -> Condensation {
+    let sccs = strongly_connected_components(graph);
+    let mut edges = Vec::new();
+    let mut seen = ps_support::FxHashSet::default();
+    for e in graph.active_edge_ids() {
+        let (s, t) = graph.edge_endpoints(e);
+        let (cs, ct) = (sccs.component_of(s), sccs.component_of(t));
+        if cs != ct && seen.insert((cs, ct)) {
+            edges.push((cs, ct));
+        }
+    }
+    Condensation { sccs, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a → b → c → a (cycle), c → d, d → e, e → d (cycle)
+    fn two_cycles() -> (DiGraph<&'static str, ()>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let ns: Vec<_> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|&w| g.add_node(w))
+            .collect();
+        g.add_edge(ns[0], ns[1], ());
+        g.add_edge(ns[1], ns[2], ());
+        g.add_edge(ns[2], ns[0], ());
+        g.add_edge(ns[2], ns[3], ());
+        g.add_edge(ns[3], ns[4], ());
+        g.add_edge(ns[4], ns[3], ());
+        (g, ns)
+    }
+
+    #[test]
+    fn finds_both_cycles() {
+        let (g, ns) = two_cycles();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.same_component(ns[0], ns[2]));
+        assert!(sccs.same_component(ns[3], ns[4]));
+        assert!(!sccs.same_component(ns[0], ns[3]));
+    }
+
+    #[test]
+    fn topological_order_of_components() {
+        let (g, ns) = two_cycles();
+        let sccs = strongly_connected_components(&g);
+        // {a,b,c} feeds {d,e}, so it must come first.
+        let first = sccs.component_of(ns[0]);
+        let second = sccs.component_of(ns[3]);
+        assert!(first.0 < second.0, "producer component must precede consumer");
+    }
+
+    #[test]
+    fn singleton_components_in_dag() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        let order: Vec<_> = [a, b, c].iter().map(|&n| sccs.component_of(n).0).collect();
+        assert!(order[0] < order[1] && order[1] < order[2]);
+    }
+
+    #[test]
+    fn deactivated_edges_break_cycles() {
+        let (mut g, ns) = two_cycles();
+        // Break the a→b→c→a cycle.
+        let e = g.edges_connecting(ns[2], ns[0])[0];
+        g.deactivate_edge(e);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 4); // a, b, c singletons + {d,e}
+        assert!(!sccs.same_component(ns[0], ns[2]));
+        assert!(sccs.same_component(ns[3], ns[4]));
+    }
+
+    #[test]
+    fn filtered_nodes_excluded() {
+        let (g, ns) = two_cycles();
+        // Exclude c: the first cycle disappears.
+        let sccs = strongly_connected_components_filtered(&g, |n| n != ns[2]);
+        assert!(!sccs.same_component(ns[0], ns[1]));
+        assert!(sccs.same_component(ns[3], ns[4]));
+        // c belongs to no component.
+        assert_eq!(sccs.component_of[ns[2].0 as usize], u32::MAX);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_component() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, a, ());
+        g.add_edge(a, b, ());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs.nodes(sccs.component_of(a)), &[a]);
+    }
+
+    #[test]
+    fn condensation_edges_deduplicated() {
+        let (g, ns) = two_cycles();
+        let cond = condensation(&g);
+        assert_eq!(cond.sccs.len(), 2);
+        assert_eq!(cond.edges.len(), 1);
+        let (s, t) = cond.edges[0];
+        assert_eq!(s, cond.sccs.component_of(ns[0]));
+        assert_eq!(t, cond.sccs.component_of(ns[3]));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let sccs = strongly_connected_components(&g);
+        assert!(sccs.is_empty());
+    }
+
+    #[test]
+    fn large_cycle_does_not_overflow_stack() {
+        // The iterative implementation must handle deep graphs.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n = 200_000;
+        let nodes: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+        for i in 0..n {
+            g.add_edge(nodes[i], nodes[(i + 1) % n], ());
+        }
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs.nodes(SccId(0)).len(), n);
+    }
+}

@@ -1,0 +1,125 @@
+//! Kahn topological sort over active edges.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Error returned when the graph has an active cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopoError {
+    /// The nodes that remained with nonzero in-degree (all lie on or
+    /// downstream of a cycle).
+    pub cyclic_nodes: Vec<NodeId>,
+}
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph contains a cycle through {} node(s)",
+            self.cyclic_nodes.len()
+        )
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Topologically sort the active part of `graph`.
+///
+/// Ties are broken by node id so the result is deterministic, which keeps
+/// emitted code and rendered flowcharts stable across runs.
+pub fn topological_sort<N, E>(graph: &DiGraph<N, E>) -> Result<Vec<NodeId>, TopoError> {
+    let n = graph.node_count();
+    let mut in_degree = vec![0usize; n];
+    for e in graph.active_edge_ids() {
+        let (_, t) = graph.edge_endpoints(e);
+        in_degree[t.0 as usize] += 1;
+    }
+
+    // Min-heap on node id for determinism.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = in_degree
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(i, _)| std::cmp::Reverse(i as u32))
+        .collect();
+
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(v)) = ready.pop() {
+        let v = NodeId(v);
+        order.push(v);
+        for succ in graph.successors(v) {
+            let d = &mut in_degree[succ.0 as usize];
+            *d -= 1;
+            if *d == 0 {
+                ready.push(std::cmp::Reverse(succ.0));
+            }
+        }
+    }
+
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let in_order: std::collections::HashSet<u32> = order.iter().map(|n| n.0).collect();
+        Err(TopoError {
+            cyclic_nodes: graph
+                .node_ids()
+                .filter(|id| !in_order.contains(&id.0))
+                .collect(),
+        })
+    }
+}
+
+/// True when the active part of `graph` is acyclic.
+pub fn is_acyclic<N, E>(graph: &DiGraph<N, E>) -> bool {
+    topological_sort(graph).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_dag() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(c, b, ());
+        g.add_edge(b, a, ());
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order, vec![c, b, a]);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        let err = topological_sort(&g).unwrap_err();
+        assert_eq!(err.cyclic_nodes.len(), 2);
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn deactivating_cycle_edge_restores_order() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        let back = g.add_edge(b, a, ());
+        g.deactivate_edge(back);
+        assert_eq!(topological_sort(&g).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn ties_broken_by_node_id() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        // No edges at all: order must be id order.
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order, vec![a, b, c]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Depth/breadth-first traversal and reachability over active edges.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Nodes reachable from `start` (including `start`), in DFS preorder.
+pub fn dfs_preorder<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; graph.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        if std::mem::replace(&mut visited[v.0 as usize], true) {
+            continue;
+        }
+        order.push(v);
+        // Push successors in reverse so the first successor is visited first.
+        let succs: Vec<_> = graph.successors(v).collect();
+        for w in succs.into_iter().rev() {
+            if !visited[w.0 as usize] {
+                stack.push(w);
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from `start` (including `start`), in BFS order.
+pub fn bfs_order<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; graph.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start.0 as usize] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for w in graph.successors(v) {
+            if !std::mem::replace(&mut visited[w.0 as usize], true) {
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// True when `target` is reachable from `source` over active edges.
+pub fn is_reachable<N, E>(graph: &DiGraph<N, E>, source: NodeId, target: NodeId) -> bool {
+    if source == target {
+        return true;
+    }
+    let mut visited = vec![false; graph.node_count()];
+    let mut stack = vec![source];
+    visited[source.0 as usize] = true;
+    while let Some(v) = stack.pop() {
+        for w in graph.successors(v) {
+            if w == target {
+                return true;
+            }
+            if !std::mem::replace(&mut visited[w.0 as usize], true) {
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+/// The full reachability set from `start` as a boolean mask indexed by node id.
+pub fn reachable_set<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<bool> {
+    let mut visited = vec![false; graph.node_count()];
+    let mut stack = vec![start];
+    visited[start.0 as usize] = true;
+    while let Some(v) = stack.pop() {
+        for w in graph.successors(v) {
+            if !std::mem::replace(&mut visited[w.0 as usize], true) {
+                stack.push(w);
+            }
+        }
+    }
+    visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_with_branch() -> (DiGraph<(), ()>, Vec<NodeId>) {
+        // 0 → 1 → 2, 0 → 3
+        let mut g = DiGraph::new();
+        let ns: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ns[0], ns[1], ());
+        g.add_edge(ns[1], ns[2], ());
+        g.add_edge(ns[0], ns[3], ());
+        (g, ns)
+    }
+
+    #[test]
+    fn dfs_visits_first_branch_first() {
+        let (g, ns) = chain_with_branch();
+        assert_eq!(dfs_preorder(&g, ns[0]), vec![ns[0], ns[1], ns[2], ns[3]]);
+    }
+
+    #[test]
+    fn bfs_visits_level_by_level() {
+        let (g, ns) = chain_with_branch();
+        assert_eq!(bfs_order(&g, ns[0]), vec![ns[0], ns[1], ns[3], ns[2]]);
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, ns) = chain_with_branch();
+        assert!(is_reachable(&g, ns[0], ns[2]));
+        assert!(!is_reachable(&g, ns[2], ns[0]));
+        assert!(is_reachable(&g, ns[1], ns[1]));
+        let set = reachable_set(&g, ns[1]);
+        assert_eq!(set, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn traversal_respects_deactivation() {
+        let (mut g, ns) = chain_with_branch();
+        let e = g.edges_connecting(ns[0], ns[1])[0];
+        g.deactivate_edge(e);
+        assert!(!is_reachable(&g, ns[0], ns[2]));
+        assert_eq!(dfs_preorder(&g, ns[0]), vec![ns[0], ns[3]]);
+    }
+
+    #[test]
+    fn cyclic_traversal_terminates() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        assert_eq!(dfs_preorder(&g, a).len(), 2);
+        assert_eq!(bfs_order(&g, a).len(), 2);
+    }
+}

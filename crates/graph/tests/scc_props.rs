@@ -1,0 +1,88 @@
+//! Property tests: Tarjan SCC against brute-force reachability, and
+//! topological validity of the deterministic component order.
+
+use proptest::prelude::*;
+use ps_graph::{ordered_components_filtered, strongly_connected_components, DiGraph};
+
+fn arb_graph() -> impl Strategy<Value = DiGraph<(), ()>> {
+    (2usize..24, prop::collection::vec((0usize..24, 0usize..24), 0..60)).prop_map(
+        |(n, edges)| {
+            let mut g = DiGraph::new();
+            let nodes: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+            for (a, b) in edges {
+                g.add_edge(nodes[a % n], nodes[b % n], ());
+            }
+            g
+        },
+    )
+}
+
+/// Floyd–Warshall reachability as the oracle.
+fn reach_matrix(g: &DiGraph<(), ()>) -> Vec<Vec<bool>> {
+    let n = g.node_count();
+    let mut r = vec![vec![false; n]; n];
+    for (i, row) in r.iter_mut().enumerate() {
+        row[i] = true;
+    }
+    for e in g.active_edge_ids() {
+        let (s, t) = g.edge_endpoints(e);
+        r[s.0 as usize][t.0 as usize] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if r[i][k] && r[k][j] {
+                    r[i][j] = true;
+                }
+            }
+        }
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scc_matches_mutual_reachability(g in arb_graph()) {
+        let sccs = strongly_connected_components(&g);
+        let r = reach_matrix(&g);
+        for a in g.node_ids() {
+            for b in g.node_ids() {
+                let mutual = r[a.0 as usize][b.0 as usize] && r[b.0 as usize][a.0 as usize];
+                prop_assert_eq!(
+                    sccs.same_component(a, b),
+                    mutual,
+                    "nodes {:?} {:?}", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn component_order_is_topological(g in arb_graph()) {
+        let sccs = ordered_components_filtered(&g, |_| true);
+        for e in g.active_edge_ids() {
+            let (s, t) = g.edge_endpoints(e);
+            let (cs, ct) = (sccs.component_of(s), sccs.component_of(t));
+            if cs != ct {
+                prop_assert!(cs.0 < ct.0, "edge {:?}->{:?} violates order", s, t);
+            }
+        }
+        // Partition: every node appears exactly once.
+        let total: usize = sccs.iter().map(|(_, ns)| ns.len()).sum();
+        prop_assert_eq!(total, g.node_count());
+    }
+
+    #[test]
+    fn ordered_and_plain_sccs_agree(g in arb_graph()) {
+        let a = strongly_connected_components(&g);
+        let b = ordered_components_filtered(&g, |_| true);
+        prop_assert_eq!(a.len(), b.len());
+        for x in g.node_ids() {
+            for y in g.node_ids() {
+                prop_assert_eq!(a.same_component(x, y), b.same_component(x, y));
+            }
+        }
+    }
+}

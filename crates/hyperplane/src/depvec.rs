@@ -1,0 +1,220 @@
+//! Dependence-vector extraction from a recursive component.
+//!
+//! For the paper's revised relaxation the five recursive references produce
+//!
+//! ```text
+//! A[K-1, I,   J  ]  →  d = (1,  0,  0)
+//! A[K,   I,   J-1]  →  d = (0,  0,  1)
+//! A[K,   I-1, J  ]  →  d = (0,  1,  0)
+//! A[K-1, I,   J+1]  →  d = (1,  0, -1)
+//! A[K-1, I+1, J  ]  →  d = (1, -1,  0)
+//! ```
+//!
+//! which induce exactly the five dependence inequalities of Section 4:
+//! `a > 0`, `c > 0`, `b > 0`, `a > c`, `a > b`.
+
+use ps_lang::hir::{HirModule, LhsSub, SubscriptExpr};
+use ps_lang::{DataId, EqId};
+
+/// The extracted dependence structure of one recursive array.
+#[derive(Clone, Debug)]
+pub struct DependenceInfo {
+    /// The recursive array.
+    pub target: DataId,
+    /// The equations that both define and reference it.
+    pub equations: Vec<EqId>,
+    /// Distinct dependence vectors: element `x` depends on `x - d`.
+    pub vectors: Vec<Vec<i64>>,
+}
+
+/// Failure to express the recursion as constant-offset dependences.
+#[derive(Clone, Debug)]
+pub struct DepVecError(pub String);
+
+impl std::fmt::Display for DepVecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DepVecError {}
+
+/// Extract the dependence vectors of `target` from its defining equations.
+///
+/// Every self-reference must use the same index variable as the defining
+/// dimension, offset by a constant (`I`, `I - c`, `I + c`); anything else
+/// (constant planes, transposed variables, dynamic subscripts) makes the
+/// hyperplane method inapplicable and is reported as an error.
+pub fn extract_dependences(
+    module: &HirModule,
+    target: DataId,
+) -> Result<DependenceInfo, DepVecError> {
+    let rank = module.data[target].dims().len();
+    let mut vectors: Vec<Vec<i64>> = Vec::new();
+    let mut equations = Vec::new();
+
+    for eq_id in module.defs_of(target) {
+        let eq = &module.equations[eq_id];
+        let reads: Vec<_> = eq
+            .rhs
+            .array_reads()
+            .into_iter()
+            .filter(|(a, _)| *a == target)
+            .collect();
+        if reads.is_empty() {
+            continue; // e.g. the A[1] = InitialA initialization plane
+        }
+        equations.push(eq_id);
+
+        for (_, subs) in reads {
+            if subs.len() != rank {
+                return Err(DepVecError(format!(
+                    "{}: self-reference of {} has rank {} (expected {rank})",
+                    eq.label,
+                    module.data[target].name,
+                    subs.len()
+                )));
+            }
+            let mut d = Vec::with_capacity(rank);
+            for (dim, s) in subs.iter().enumerate() {
+                // The defining dimension must be a variable...
+                let Some(LhsSub::Var(lhs_iv)) = eq.lhs_subs.get(dim) else {
+                    return Err(DepVecError(format!(
+                        "{}: dimension {dim} of the recursive definition is a \
+                         constant plane; the hyperplane method needs variable \
+                         dimensions",
+                        eq.label
+                    )));
+                };
+                // ...and the reference must offset the same variable.
+                let delta = match s {
+                    SubscriptExpr::Var(iv) if iv == lhs_iv => 0,
+                    SubscriptExpr::VarOffset(iv, delta) if iv == lhs_iv => *delta,
+                    other => {
+                        return Err(DepVecError(format!(
+                            "{}: self-reference uses {:?} at dimension {dim}; only \
+                             constant offsets of the defining index variable are \
+                             supported",
+                            eq.label, other
+                        )));
+                    }
+                };
+                // subscript = iv + delta reads element (x + delta) at this
+                // dim, i.e. x - d with d = -delta.
+                d.push(-delta);
+            }
+            if d.iter().all(|&x| x == 0) {
+                return Err(DepVecError(format!(
+                    "{}: element depends on itself (zero dependence vector)",
+                    eq.label
+                )));
+            }
+            if !vectors.contains(&d) {
+                vectors.push(d);
+            }
+        }
+    }
+
+    if vectors.is_empty() {
+        return Err(DepVecError(format!(
+            "{} has no recursive references",
+            module.data[target].name
+        )));
+    }
+
+    Ok(DependenceInfo {
+        target,
+        equations,
+        vectors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_lang::frontend;
+
+    #[test]
+    fn relaxation_v2_vectors_match_paper() {
+        let m = frontend(
+            "R2: module (InitialA: array[I,J] of real; M: int; maxK: int):
+                 [newA: array[I,J] of real];
+             type I, J = 0 .. M+1; K = 2 .. maxK;
+             var A: array [1 .. maxK] of array[I,J] of real;
+             define
+                A[1] = InitialA;
+                newA = A[maxK];
+                A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+                           then A[K-1,I,J]
+                           else ( A[K,I,J-1] + A[K,I-1,J]
+                                + A[K-1,I,J+1] + A[K-1,I+1,J] ) / 4;
+             end R2;",
+        )
+        .unwrap();
+        let a = m.data_by_name("A").unwrap();
+        let info = extract_dependences(&m, a).unwrap();
+        let expected: Vec<Vec<i64>> = vec![
+            vec![1, 0, 0],
+            vec![0, 0, 1],
+            vec![0, 1, 0],
+            vec![1, 0, -1],
+            vec![1, -1, 0],
+        ];
+        assert_eq!(info.vectors.len(), 5);
+        for e in &expected {
+            assert!(info.vectors.contains(e), "missing {e:?}");
+        }
+        assert_eq!(info.equations.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_vectors_deduplicated() {
+        let m = frontend(
+            "T: module (n: int): [y: real];
+             type K = 2 .. n;
+             var a: array [1 .. n] of real;
+             define
+                a[1] = 1.0;
+                a[K] = a[K-1] + a[K-1] * 2.0;
+                y = a[n];
+             end T;",
+        )
+        .unwrap();
+        let a = m.data_by_name("a").unwrap();
+        let info = extract_dependences(&m, a).unwrap();
+        assert_eq!(info.vectors, vec![vec![1]]);
+    }
+
+    #[test]
+    fn zero_vector_rejected() {
+        let m = frontend(
+            "T: module (n: int; b: array[1..n] of real): [y: real];
+             type I = 1 .. n;
+             var a: array [I] of real;
+             define
+                a[I] = a[I] + b[I];
+                y = a[n];
+             end T;",
+        )
+        .unwrap();
+        let a = m.data_by_name("a").unwrap();
+        let err = extract_dependences(&m, a).unwrap_err();
+        assert!(err.0.contains("depends on itself"), "{err}");
+    }
+
+    #[test]
+    fn transposed_reference_rejected() {
+        let m = frontend(
+            "T: module (n: int): [y: real];
+             type I, J = 1 .. n;
+             var a: array [I, J] of real;
+             define
+                a[I, J] = if (I = 1) or (J = 1) then 1.0 else a[J, I-1];
+                y = a[n, n];
+             end T;",
+        )
+        .unwrap();
+        let a = m.data_by_name("a").unwrap();
+        assert!(extract_dependences(&m, a).is_err());
+    }
+}

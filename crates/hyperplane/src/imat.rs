@@ -1,0 +1,386 @@
+//! Exact small integer matrices: determinants, inverses of unimodular
+//! matrices, and unimodular completion of a primitive row vector.
+//!
+//! Dimensions here are tiny (the rank of a PS array, ≤ 8 in practice), so
+//! everything uses exact `i128` arithmetic with no attention to asymptotics.
+
+use std::fmt;
+
+/// A dense square integer matrix.
+#[derive(Clone, PartialEq, Eq)]
+pub struct IMat {
+    n: usize,
+    a: Vec<i64>,
+}
+
+impl IMat {
+    pub fn zero(n: usize) -> IMat {
+        IMat {
+            n,
+            a: vec![0; n * n],
+        }
+    }
+
+    pub fn identity(n: usize) -> IMat {
+        let mut m = IMat::zero(n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Build from rows; every row must have length `rows.len()`.
+    pub fn from_rows(rows: &[Vec<i64>]) -> IMat {
+        let n = rows.len();
+        assert!(rows.iter().all(|r| r.len() == n), "ragged rows");
+        IMat {
+            n,
+            a: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn row(&self, i: usize) -> &[i64] {
+        &self.a[i * self.n..(i + 1) * self.n]
+    }
+
+    pub fn rows(&self) -> impl Iterator<Item = &[i64]> {
+        (0..self.n).map(|i| self.row(i))
+    }
+
+    /// Matrix–vector product `self · v`.
+    pub fn mul_vec(&self, v: &[i64]) -> Vec<i64> {
+        assert_eq!(v.len(), self.n);
+        self.rows()
+            .map(|r| r.iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Matrix product `self · other`.
+    pub fn mul(&self, other: &IMat) -> IMat {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let mut out = IMat::zero(n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc: i64 = 0;
+                for k in 0..n {
+                    acc += self[(i, k)] * other[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Exact determinant (Bareiss fraction-free elimination over `i128`).
+    pub fn det(&self) -> i64 {
+        let n = self.n;
+        if n == 0 {
+            return 1;
+        }
+        let mut m: Vec<i128> = self.a.iter().map(|&x| x as i128).collect();
+        let at = |m: &Vec<i128>, i: usize, j: usize| m[i * n + j];
+        let mut sign: i128 = 1;
+        let mut prev: i128 = 1;
+        for k in 0..n - 1 {
+            if at(&m, k, k) == 0 {
+                // Find a pivot row below and swap.
+                let Some(p) = (k + 1..n).find(|&p| at(&m, p, k) != 0) else {
+                    return 0;
+                };
+                for j in 0..n {
+                    m.swap(k * n + j, p * n + j);
+                }
+                sign = -sign;
+            }
+            for i in k + 1..n {
+                for j in k + 1..n {
+                    let v = at(&m, i, j) * at(&m, k, k) - at(&m, i, k) * at(&m, k, j);
+                    m[i * n + j] = v / prev;
+                }
+                m[i * n + k] = 0;
+            }
+            prev = at(&m, k, k);
+        }
+        let d = sign * at(&m, n - 1, n - 1);
+        i64::try_from(d).expect("determinant overflows i64")
+    }
+
+    /// Exact inverse of a unimodular matrix (`det = ±1`), via the adjugate.
+    /// Panics when `|det| != 1`.
+    pub fn unimodular_inverse(&self) -> IMat {
+        let d = self.det();
+        assert!(
+            d == 1 || d == -1,
+            "unimodular_inverse requires det ±1, got {d}"
+        );
+        let n = self.n;
+        let mut inv = IMat::zero(n);
+        for i in 0..n {
+            for j in 0..n {
+                // Cofactor C_ji (note the transpose for the adjugate).
+                let minor = self.minor(j, i);
+                let sign = if (i + j) % 2 == 0 { 1 } else { -1 };
+                inv[(i, j)] = sign * minor.det() * d; // divide by det = multiply (det ±1)
+            }
+        }
+        inv
+    }
+
+    fn minor(&self, skip_row: usize, skip_col: usize) -> IMat {
+        let n = self.n;
+        let mut rows = Vec::with_capacity(n - 1);
+        for i in 0..n {
+            if i == skip_row {
+                continue;
+            }
+            let mut row = Vec::with_capacity(n - 1);
+            for j in 0..n {
+                if j == skip_col {
+                    continue;
+                }
+                row.push(self[(i, j)]);
+            }
+            rows.push(row);
+        }
+        IMat::from_rows(&rows)
+    }
+
+    /// Rank over ℚ (fraction-free elimination).
+    pub fn rank_of_rows(rows: &[Vec<i64>]) -> usize {
+        if rows.is_empty() {
+            return 0;
+        }
+        let cols = rows[0].len();
+        let mut m: Vec<Vec<i128>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&x| x as i128).collect())
+            .collect();
+        let mut rank = 0;
+        let mut row = 0;
+        for col in 0..cols {
+            let Some(p) = (row..m.len()).find(|&p| m[p][col] != 0) else {
+                continue;
+            };
+            m.swap(row, p);
+            for r in row + 1..m.len() {
+                if m[r][col] != 0 {
+                    let (a, b) = (m[row][col], m[r][col]);
+                    let pivot_row = m[row].clone();
+                    for (x, &p) in m[r].iter_mut().zip(&pivot_row) {
+                        *x = *x * a - p * b;
+                    }
+                }
+            }
+            row += 1;
+            rank += 1;
+            if row == m.len() {
+                break;
+            }
+        }
+        rank
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for IMat {
+    type Output = i64;
+    fn index(&self, (i, j): (usize, usize)) -> &i64 {
+        &self.a[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for IMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut i64 {
+        &mut self.a[i * self.n + j]
+    }
+}
+
+impl fmt::Debug for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[")?;
+        for r in self.rows() {
+            writeln!(f, "  {r:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Complete the primitive vector `pi` (gcd 1) to a unimodular matrix whose
+/// **first row is `pi`**.
+///
+/// Strategy: greedily append standard unit vectors that keep the rows
+/// linearly independent, then check `det = ±1`. This reproduces the paper's
+/// completion for `π = (2,1,1)`:
+/// `T = [[2,1,1],[1,0,0],[0,1,0]]` (i.e. `I' = K`, `J' = I`). When the
+/// greedy result is not unimodular, fall back to an extended-gcd
+/// construction that always succeeds for primitive `pi`.
+pub fn unimodular_completion(pi: &[i64]) -> IMat {
+    let n = pi.len();
+    assert!(n > 0);
+    let g = pi.iter().fold(0i64, |acc, &x| gcd(acc, x.abs()));
+    assert_eq!(g, 1, "time vector must be primitive (gcd 1), got gcd {g}");
+
+    // Greedy unit-vector completion.
+    let mut rows: Vec<Vec<i64>> = vec![pi.to_vec()];
+    for i in 0..n {
+        if rows.len() == n {
+            break;
+        }
+        let mut e = vec![0i64; n];
+        e[i] = 1;
+        rows.push(e);
+        if IMat::rank_of_rows(&rows) != rows.len() {
+            rows.pop();
+        }
+    }
+    if rows.len() == n {
+        let t = IMat::from_rows(&rows);
+        let d = t.det();
+        if d == 1 || d == -1 {
+            return t;
+        }
+    }
+
+    // Fallback: build unimodular U with pi·U = e1 (column operations on a
+    // row vector, tracked in U); then pi is the first row of U⁻¹.
+    let mut v: Vec<i64> = pi.to_vec();
+    let mut u = IMat::identity(n);
+    // Reduce v to (g, 0, ..., 0) with column ops.
+    loop {
+        // Find the two nonzero entries of smallest magnitude.
+        let nz: Vec<usize> = (0..n).filter(|&i| v[i] != 0).collect();
+        if nz.len() <= 1 {
+            break;
+        }
+        let mut idx = nz.clone();
+        idx.sort_by_key(|&i| v[i].abs());
+        let (i, j) = (idx[0], idx[1]);
+        let q = v[j] / v[i];
+        // col_j -= q * col_i  (applied to v and accumulated into U).
+        v[j] -= q * v[i];
+        for r in 0..n {
+            let ui = u[(r, i)];
+            u[(r, j)] -= q * ui;
+        }
+    }
+    // Move the remaining nonzero entry to position 0 and fix its sign.
+    let pos = (0..n).find(|&i| v[i] != 0).expect("pi nonzero");
+    if pos != 0 {
+        v.swap(0, pos);
+        for r in 0..n {
+            let tmp = u[(r, 0)];
+            u[(r, 0)] = u[(r, pos)];
+            u[(r, pos)] = tmp;
+        }
+    }
+    if v[0] < 0 {
+        v[0] = -v[0];
+        for r in 0..n {
+            u[(r, 0)] = -u[(r, 0)];
+        }
+    }
+    debug_assert_eq!(v[0], 1, "gcd must be 1");
+    let t = u.unimodular_inverse();
+    debug_assert_eq!(t.row(0), pi, "first row of U^-1 must be pi");
+    t
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_small_cases() {
+        assert_eq!(IMat::identity(3).det(), 1);
+        let m = IMat::from_rows(&[vec![2, 1, 1], vec![1, 0, 0], vec![0, 1, 0]]);
+        assert_eq!(m.det(), 1);
+        let singular = IMat::from_rows(&[vec![1, 2], vec![2, 4]]);
+        assert_eq!(singular.det(), 0);
+        let neg = IMat::from_rows(&[vec![0, 1], vec![1, 0]]);
+        assert_eq!(neg.det(), -1);
+    }
+
+    #[test]
+    fn inverse_of_paper_matrix() {
+        // T = [[2,1,1],[1,0,0],[0,1,0]]; inverse encodes K=I', I=J',
+        // J=K'-2I'-J'.
+        let t = IMat::from_rows(&[vec![2, 1, 1], vec![1, 0, 0], vec![0, 1, 0]]);
+        let inv = t.unimodular_inverse();
+        assert_eq!(inv.row(0), &[0, 1, 0]);
+        assert_eq!(inv.row(1), &[0, 0, 1]);
+        assert_eq!(inv.row(2), &[1, -2, -1]);
+        assert_eq!(t.mul(&inv), IMat::identity(3));
+        assert_eq!(inv.mul(&t), IMat::identity(3));
+    }
+
+    #[test]
+    fn completion_reproduces_paper() {
+        let t = unimodular_completion(&[2, 1, 1]);
+        assert_eq!(t.row(0), &[2, 1, 1]);
+        assert_eq!(t.row(1), &[1, 0, 0]);
+        assert_eq!(t.row(2), &[0, 1, 0]);
+        assert_eq!(t.det(), 1);
+    }
+
+    #[test]
+    fn completion_various_vectors() {
+        for pi in [
+            vec![1, 0, 0],
+            vec![1, 1],
+            vec![3, 2],
+            vec![2, 3, 5],
+            vec![1, 1, 1, 1],
+            vec![5, 7, 11, 13],
+            vec![0, 1],
+            vec![0, 0, 1],
+        ] {
+            let t = unimodular_completion(&pi);
+            assert_eq!(t.row(0), pi.as_slice(), "first row must be pi");
+            let d = t.det();
+            assert!(d == 1 || d == -1, "det {d} for pi {pi:?}");
+            // Inverse round-trips.
+            let inv = t.unimodular_inverse();
+            assert_eq!(t.mul(&inv), IMat::identity(pi.len()));
+        }
+    }
+
+    #[test]
+    fn mul_vec_applies_rows() {
+        let t = IMat::from_rows(&[vec![2, 1, 1], vec![1, 0, 0], vec![0, 1, 0]]);
+        // The paper's example: (K,I,J) = (1,0,0) → (2,1,0).
+        assert_eq!(t.mul_vec(&[1, 0, 0]), vec![2, 1, 0]);
+        // d = (1,0,-1) → (1,1,0).
+        assert_eq!(t.mul_vec(&[1, 0, -1]), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn rank_detects_dependence() {
+        assert_eq!(
+            IMat::rank_of_rows(&[vec![2, 1, 1], vec![4, 2, 2]]),
+            1,
+            "parallel rows"
+        );
+        assert_eq!(
+            IMat::rank_of_rows(&[vec![2, 1, 1], vec![1, 0, 0], vec![0, 1, 0]]),
+            3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unimodular_inverse")]
+    fn inverse_rejects_non_unimodular() {
+        IMat::from_rows(&[vec![2, 0], vec![0, 1]]).unimodular_inverse();
+    }
+}

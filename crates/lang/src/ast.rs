@@ -1,0 +1,315 @@
+//! Abstract syntax tree for PS modules, produced by the parser.
+//!
+//! The AST mirrors the surface syntax of the paper's Figure 1: module header
+//! with parameters and results, `type` / `var` / `define` sections, and
+//! equations whose right-hand sides are expressions (including the `if`
+//! expression used for boundary handling). Semantic structure (resolved
+//! types, classified subscripts) lives in [`crate::hir`], not here.
+
+use ps_support::{Span, Symbol};
+
+/// A parsed program: one or more modules.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    pub modules: Vec<Module>,
+}
+
+/// One PS module.
+#[derive(Clone, Debug)]
+pub struct Module {
+    pub name: Symbol,
+    pub params: Vec<ParamDecl>,
+    pub results: Vec<ParamDecl>,
+    pub sections: Vec<Section>,
+    /// Identifier after `end`; checked to match `name`.
+    pub end_name: Symbol,
+    pub span: Span,
+}
+
+impl Module {
+    /// All type declarations across sections, in order.
+    pub fn type_decls(&self) -> impl Iterator<Item = &TypeDecl> {
+        self.sections.iter().flat_map(|s| match s {
+            Section::Types(ds) => ds.as_slice(),
+            _ => &[],
+        })
+    }
+
+    /// All variable declarations across sections, in order.
+    pub fn var_decls(&self) -> impl Iterator<Item = &VarDecl> {
+        self.sections.iter().flat_map(|s| match s {
+            Section::Vars(ds) => ds.as_slice(),
+            _ => &[],
+        })
+    }
+
+    /// All equations across sections, in order.
+    pub fn equations(&self) -> impl Iterator<Item = &EquationDecl> {
+        self.sections.iter().flat_map(|s| match s {
+            Section::Define(ds) => ds.as_slice(),
+            _ => &[],
+        })
+    }
+}
+
+/// A parameter or result declaration `names: type`.
+#[derive(Clone, Debug)]
+pub struct ParamDecl {
+    pub names: Vec<(Symbol, Span)>,
+    pub ty: TypeExpr,
+    pub span: Span,
+}
+
+/// One section of a module body.
+#[derive(Clone, Debug)]
+pub enum Section {
+    Types(Vec<TypeDecl>),
+    Vars(Vec<VarDecl>),
+    Define(Vec<EquationDecl>),
+}
+
+/// `I, J = 0 .. M+1;`
+#[derive(Clone, Debug)]
+pub struct TypeDecl {
+    pub names: Vec<(Symbol, Span)>,
+    pub ty: TypeExpr,
+    pub span: Span,
+}
+
+/// `A: array [1..maxK] of array [I, J] of real;`
+#[derive(Clone, Debug)]
+pub struct VarDecl {
+    pub names: Vec<(Symbol, Span)>,
+    pub ty: TypeExpr,
+    pub span: Span,
+}
+
+/// A type expression as written.
+#[derive(Clone, Debug)]
+pub enum TypeExpr {
+    /// A named type: a primitive (`int`, `real`, `bool`, `char`) or a
+    /// user-declared type.
+    Named(Symbol, Span),
+    /// `lo .. hi` subrange with expression bounds.
+    Subrange {
+        lo: Expr,
+        hi: Expr,
+        span: Span,
+    },
+    /// `array [specs] of elem`; each spec is itself a type expression
+    /// (typically a named subrange or an inline `lo..hi`).
+    Array {
+        index_specs: Vec<TypeExpr>,
+        elem: Box<TypeExpr>,
+        span: Span,
+    },
+    /// `record field: ty; ... end`
+    Record {
+        fields: Vec<(Symbol, TypeExpr, Span)>,
+        span: Span,
+    },
+    /// `(red, green, blue)` enumeration.
+    Enum {
+        variants: Vec<(Symbol, Span)>,
+        span: Span,
+    },
+}
+
+impl TypeExpr {
+    pub fn span(&self) -> Span {
+        match self {
+            TypeExpr::Named(_, s) => *s,
+            TypeExpr::Subrange { span, .. } => *span,
+            TypeExpr::Array { span, .. } => *span,
+            TypeExpr::Record { span, .. } => *span,
+            TypeExpr::Enum { span, .. } => *span,
+        }
+    }
+}
+
+/// An equation `lhs = rhs;` in the `define` section.
+#[derive(Clone, Debug)]
+pub struct EquationDecl {
+    pub lhs: LhsExpr,
+    pub rhs: Expr,
+    pub span: Span,
+}
+
+/// The left-hand side of an equation: a variable, optionally subscripted,
+/// optionally a record-field target.
+#[derive(Clone, Debug)]
+pub struct LhsExpr {
+    pub name: Symbol,
+    pub name_span: Span,
+    /// Subscripts, if any: `A[K, I, J]`.
+    pub subscripts: Vec<Expr>,
+    /// Record-field path, if any: `R.x`.
+    pub field: Option<(Symbol, Span)>,
+    pub span: Span,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Real division `/`.
+    Div,
+    /// Integer division `div`.
+    IntDiv,
+    /// Integer modulus `mod`.
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::IntDiv => "div",
+            BinOp::Mod => "mod",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    IntLit(i64, Span),
+    RealLit(f64, Span),
+    BoolLit(bool, Span),
+    CharLit(char, Span),
+    /// A bare identifier: variable, parameter, index variable, or enum
+    /// variant — resolution happens in the checker.
+    Var(Symbol, Span),
+    /// `base[subscripts]` — base is an expression to allow `R.a[i]` style
+    /// chains, though in practice it is a variable.
+    Subscript {
+        base: Box<Expr>,
+        subscripts: Vec<Expr>,
+        span: Span,
+    },
+    /// `base.field`
+    Field {
+        base: Box<Expr>,
+        field: Symbol,
+        span: Span,
+    },
+    /// `name(args)` — builtin function call.
+    Call {
+        name: Symbol,
+        name_span: Span,
+        args: Vec<Expr>,
+        span: Span,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+        span: Span,
+    },
+    /// `if c1 then e1 elsif c2 then e2 ... else en`
+    If {
+        /// `(condition, value)` arms; at least one.
+        arms: Vec<(Expr, Expr)>,
+        else_: Box<Expr>,
+        span: Span,
+    },
+    /// Parenthesized expression (kept for faithful pretty-printing).
+    Paren(Box<Expr>, Span),
+}
+
+impl Expr {
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit(_, s)
+            | Expr::RealLit(_, s)
+            | Expr::BoolLit(_, s)
+            | Expr::CharLit(_, s)
+            | Expr::Var(_, s)
+            | Expr::Paren(_, s) => *s,
+            Expr::Subscript { span, .. }
+            | Expr::Field { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::If { span, .. } => *span,
+        }
+    }
+
+    /// Strip redundant parens.
+    pub fn unparen(&self) -> &Expr {
+        match self {
+            Expr::Paren(inner, _) => inner.unparen(),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unparen_strips_nesting() {
+        let inner = Expr::IntLit(3, Span::DUMMY);
+        let wrapped = Expr::Paren(
+            Box::new(Expr::Paren(Box::new(inner), Span::DUMMY)),
+            Span::DUMMY,
+        );
+        match wrapped.unparen() {
+            Expr::IntLit(3, _) => {}
+            other => panic!("expected int literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert_eq!(BinOp::IntDiv.as_str(), "div");
+    }
+}

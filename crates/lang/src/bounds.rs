@@ -1,0 +1,231 @@
+//! Affine expressions over integer module parameters.
+//!
+//! Subrange bounds in PS are expressions like `M+1` or `maxK`; the scheduler
+//! and the hyperplane transform need to *reason* about them symbolically
+//! (e.g. "is the subscript `maxK` equal to the upper bound of dimension K?",
+//! Section 3.4 rule 2). [`Affine`] is a linear form `c + Σ kᵢ·pᵢ` over
+//! parameter symbols, with exact comparison where provable.
+
+use ps_support::{FxHashMap, Symbol};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An affine form `konst + Σ coeff·param` with `i64` coefficients.
+///
+/// Terms are kept sorted by symbol so equality and hashing are structural.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Affine {
+    /// Parameter terms with nonzero coefficients, sorted by symbol.
+    terms: BTreeMap<Symbol, i64>,
+    konst: i64,
+}
+
+impl Affine {
+    /// The constant form `k`.
+    pub fn constant(k: i64) -> Affine {
+        Affine {
+            terms: BTreeMap::new(),
+            konst: k,
+        }
+    }
+
+    /// The form `1·param`.
+    pub fn param(p: Symbol) -> Affine {
+        let mut terms = BTreeMap::new();
+        terms.insert(p, 1);
+        Affine { terms, konst: 0 }
+    }
+
+    /// True when the form is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, if [`Affine::is_constant`].
+    pub fn as_constant(&self) -> Option<i64> {
+        self.is_constant().then_some(self.konst)
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> i64 {
+        self.konst
+    }
+
+    /// Iterate `(param, coefficient)` terms.
+    pub fn terms(&self) -> impl Iterator<Item = (Symbol, i64)> + '_ {
+        self.terms.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// Parameters appearing with nonzero coefficient.
+    pub fn params(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.terms.keys().copied()
+    }
+
+    pub fn add(&self, other: &Affine) -> Affine {
+        let mut out = self.clone();
+        out.konst += other.konst;
+        for (&p, &c) in &other.terms {
+            let e = out.terms.entry(p).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                out.terms.remove(&p);
+            }
+        }
+        out
+    }
+
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.scale(-1))
+    }
+
+    pub fn scale(&self, k: i64) -> Affine {
+        if k == 0 {
+            return Affine::constant(0);
+        }
+        Affine {
+            terms: self.terms.iter().map(|(&p, &c)| (p, c * k)).collect(),
+            konst: self.konst * k,
+        }
+    }
+
+    pub fn add_const(&self, k: i64) -> Affine {
+        let mut out = self.clone();
+        out.konst += k;
+        out
+    }
+
+    /// Multiply two affine forms when the result stays affine (at least one
+    /// side constant). Returns `None` for `param * param`.
+    pub fn mul(&self, other: &Affine) -> Option<Affine> {
+        if let Some(k) = self.as_constant() {
+            return Some(other.scale(k));
+        }
+        if let Some(k) = other.as_constant() {
+            return Some(self.scale(k));
+        }
+        None
+    }
+
+    /// `self - other` when the difference is a provable constant.
+    ///
+    /// This is the workhorse comparison: `maxK - maxK = 0` proves the
+    /// upper-bound rule, `(M+1) - 0` proves range widths, etc.
+    pub fn const_difference(&self, other: &Affine) -> Option<i64> {
+        self.sub(other).as_constant()
+    }
+
+    /// Evaluate under a parameter environment. `None` if a parameter is
+    /// missing from `env`.
+    pub fn eval(&self, env: &FxHashMap<Symbol, i64>) -> Option<i64> {
+        let mut total = self.konst;
+        for (&p, &c) in &self.terms {
+            total += c * env.get(&p)?;
+        }
+        Some(total)
+    }
+}
+
+impl fmt::Debug for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        for (&p, &c) in &self.terms {
+            if c == 0 {
+                continue;
+            }
+            if wrote {
+                write!(f, "{}", if c > 0 { " + " } else { " - " })?;
+            } else if c < 0 {
+                write!(f, "-")?;
+            }
+            let mag = c.unsigned_abs();
+            if mag != 1 {
+                write!(f, "{mag}*")?;
+            }
+            write!(f, "{p}")?;
+            wrote = true;
+        }
+        if self.konst != 0 || !wrote {
+            if wrote {
+                write!(
+                    f,
+                    " {} {}",
+                    if self.konst >= 0 { "+" } else { "-" },
+                    self.konst.unsigned_abs()
+                )?;
+            } else {
+                write!(f, "{}", self.konst)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn arithmetic() {
+        let m = Affine::param(sym("M"));
+        let m_plus_1 = m.add_const(1);
+        let two_m = m.scale(2);
+        assert_eq!(m_plus_1.sub(&m).as_constant(), Some(1));
+        assert_eq!(two_m.sub(&m), m);
+        assert_eq!(m.sub(&m), Affine::constant(0));
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let m = Affine::param(sym("M"));
+        let zero = m.sub(&m);
+        assert!(zero.is_constant());
+        assert_eq!(zero.terms().count(), 0);
+    }
+
+    #[test]
+    fn mul_rules() {
+        let m = Affine::param(sym("M"));
+        let k3 = Affine::constant(3);
+        assert_eq!(m.mul(&k3), Some(m.scale(3)));
+        assert_eq!(k3.mul(&m), Some(m.scale(3)));
+        assert_eq!(m.mul(&m), None, "param * param is not affine");
+    }
+
+    #[test]
+    fn const_difference_proves_equality() {
+        let a = Affine::param(sym("maxK"));
+        let b = Affine::param(sym("maxK"));
+        assert_eq!(a.const_difference(&b), Some(0));
+        let c = Affine::param(sym("M"));
+        assert_eq!(a.const_difference(&c), None, "different params: unprovable");
+    }
+
+    #[test]
+    fn eval_under_env() {
+        let mut env = FxHashMap::default();
+        env.insert(sym("M"), 8);
+        let e = Affine::param(sym("M")).scale(2).add_const(1);
+        assert_eq!(e.eval(&env), Some(17));
+        let missing = Affine::param(sym("Q"));
+        assert_eq!(missing.eval(&env), None);
+    }
+
+    #[test]
+    fn display_formatting() {
+        let m = Affine::param(sym("M"));
+        assert_eq!(format!("{}", m.add_const(1)), "M + 1");
+        assert_eq!(format!("{}", m.scale(2).add_const(-3)), "2*M - 3");
+        assert_eq!(format!("{}", Affine::constant(0)), "0");
+        assert_eq!(format!("{}", m.scale(-1)), "-M");
+    }
+}

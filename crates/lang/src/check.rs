@@ -1,0 +1,1610 @@
+//! Semantic analysis: name resolution, type checking, and lowering of the
+//! AST to [`crate::hir`].
+//!
+//! Processing order within a module (PS allows forward references in the
+//! header — `newA: array[I,J] of real` names subranges declared later):
+//!
+//! 1. register scalar-typed parameters (their values appear in bounds),
+//! 2. process `type` declarations in order (bounds may use scalar params),
+//! 3. resolve parameter/result types (subranges now known),
+//! 4. process `var` declarations,
+//! 5. lower equations (binding index variables, expanding implicit slices,
+//!    classifying subscripts, inserting widenings),
+//! 6. run the definition-region analysis ([`crate::region`]).
+
+use crate::ast::{self, BinOp, Expr, Module, TypeExpr, UnOp};
+use crate::bounds::Affine;
+use crate::hir::*;
+use crate::region;
+use crate::types::*;
+use ps_support::idx::IndexVec;
+use ps_support::{Diagnostic, DiagnosticSink, FxHashMap, Span, Symbol};
+
+/// Check every module of a program. Modules that fail produce `None` in the
+/// result vector (diagnostics explain why).
+pub fn check_program(program: &ast::Program, sink: &DiagnosticSink) -> Vec<Option<HirModule>> {
+    program
+        .modules
+        .iter()
+        .map(|m| check_module(m, sink))
+        .collect()
+}
+
+/// Check a single module. Returns `None` when errors were emitted.
+pub fn check_module(module: &Module, sink: &DiagnosticSink) -> Option<HirModule> {
+    Checker::new(sink).run(module)
+}
+
+/// What a name refers to at module scope.
+#[derive(Clone, Copy, Debug)]
+enum NameDef {
+    Data(DataId),
+    TypeSubrange(SubrangeId),
+    TypeEnum(EnumId),
+    TypeRecord(RecordId),
+    TypeScalar(ScalarTy),
+    EnumVariant(EnumId, usize),
+}
+
+struct Checker<'a> {
+    sink: &'a DiagnosticSink,
+    data: IndexVec<DataId, DataItem>,
+    subranges: IndexVec<SubrangeId, Subrange>,
+    enums: IndexVec<EnumId, EnumDef>,
+    records: IndexVec<RecordId, RecordDef>,
+    names: FxHashMap<Symbol, NameDef>,
+    /// Scalar int parameters usable inside affine bounds.
+    affine_params: ps_support::FxHashSet<Symbol>,
+    /// Named array types (structural aliases): `Grid = array [I,J] of real`.
+    array_aliases: FxHashMap<Symbol, Ty>,
+}
+
+impl<'a> Checker<'a> {
+    fn new(sink: &'a DiagnosticSink) -> Self {
+        let mut names = FxHashMap::default();
+        for (n, t) in [
+            ("int", ScalarTy::Int),
+            ("real", ScalarTy::Real),
+            ("bool", ScalarTy::Bool),
+            ("char", ScalarTy::Char),
+        ] {
+            names.insert(Symbol::intern(n), NameDef::TypeScalar(t));
+        }
+        Checker {
+            sink,
+            data: IndexVec::new(),
+            subranges: IndexVec::new(),
+            enums: IndexVec::new(),
+            records: IndexVec::new(),
+            names,
+            affine_params: Default::default(),
+            array_aliases: FxHashMap::default(),
+        }
+    }
+
+    fn error(&self, code: &'static str, msg: impl Into<String>, span: Span) {
+        self.sink.emit(Diagnostic::error(code, msg).with_span(span));
+    }
+
+    fn warn(&self, code: &'static str, msg: impl Into<String>, span: Span) {
+        self.sink
+            .emit(Diagnostic::warning(code, msg).with_span(span));
+    }
+
+    fn define_name(&mut self, name: Symbol, def: NameDef, span: Span) {
+        if self.names.insert(name, def).is_some() {
+            self.error("E0201", format!("`{name}` is declared more than once"), span);
+        }
+    }
+
+    fn run(mut self, module: &Module) -> Option<HirModule> {
+        let errors_before = self.sink.error_count();
+
+        // Pass 1: scalar params first — their names appear in type bounds.
+        let mut deferred_params: Vec<(Symbol, Span, &TypeExpr, DataKind)> = Vec::new();
+        for p in &module.params {
+            for (name, nspan) in &p.names {
+                if let TypeExpr::Named(tn, _) = &p.ty {
+                    if let Some(NameDef::TypeScalar(s)) = self.names.get(tn).copied() {
+                        let id = self.data.push(DataItem {
+                            name: *name,
+                            kind: DataKind::Param,
+                            ty: Ty::Scalar(s),
+                            span: *nspan,
+                        });
+                        self.define_name(*name, NameDef::Data(id), *nspan);
+                        if s == ScalarTy::Int {
+                            self.affine_params.insert(*name);
+                        }
+                        continue;
+                    }
+                }
+                deferred_params.push((*name, *nspan, &p.ty, DataKind::Param));
+            }
+        }
+        for r in &module.results {
+            for (name, nspan) in &r.names {
+                deferred_params.push((*name, *nspan, &r.ty, DataKind::Result));
+            }
+        }
+
+        // Pass 2: type declarations, in order.
+        for td in module.type_decls() {
+            self.type_decl(td);
+        }
+
+        // Pass 3: deferred parameter/result types.
+        for (name, nspan, te, kind) in deferred_params {
+            let ty = self.resolve_value_type(te);
+            let id = self.data.push(DataItem {
+                name,
+                kind,
+                ty,
+                span: nspan,
+            });
+            self.define_name(name, NameDef::Data(id), nspan);
+        }
+
+        // Pass 4: var declarations.
+        for vd in module.var_decls() {
+            let ty = self.resolve_value_type(&vd.ty);
+            for (name, nspan) in &vd.names {
+                let id = self.data.push(DataItem {
+                    name: *name,
+                    kind: DataKind::Local,
+                    ty: ty.clone(),
+                    span: *nspan,
+                });
+                self.define_name(*name, NameDef::Data(id), *nspan);
+            }
+        }
+
+        // Preserve declaration order (scalar params were registered first
+        // for bound resolution, but the module signature must follow the
+        // source).
+        let mut params: Vec<DataId> = Vec::new();
+        for p in &module.params {
+            for (name, _) in &p.names {
+                if let Some(NameDef::Data(id)) = self.names.get(name) {
+                    if self.data[*id].kind == DataKind::Param {
+                        params.push(*id);
+                    }
+                }
+            }
+        }
+        let results: Vec<DataId> = self
+            .data
+            .iter_enumerated()
+            .filter(|(_, d)| d.kind == DataKind::Result)
+            .map(|(id, _)| id)
+            .collect();
+
+        // Pass 5: equations.
+        let mut equations: IndexVec<EqId, Equation> = IndexVec::new();
+        for (i, eq) in module.equations().enumerate() {
+            if let Some(lowered) = self.equation(eq, i + 1) {
+                equations.push(lowered);
+            }
+        }
+
+        let hir = HirModule {
+            name: module.name,
+            data: self.data,
+            params,
+            results,
+            subranges: self.subranges,
+            enums: self.enums,
+            records: self.records,
+            equations,
+        };
+
+        // Pass 6: single-assignment / coverage analysis.
+        region::check_regions(&hir, self.sink);
+
+        if self.sink.error_count() > errors_before {
+            None
+        } else {
+            Some(hir)
+        }
+    }
+
+    // ---- types ---------------------------------------------------------
+
+    fn type_decl(&mut self, td: &ast::TypeDecl) {
+        match &td.ty {
+            TypeExpr::Subrange { lo, hi, span } => {
+                // `I, J = 0 .. M+1` declares *distinct* subranges with equal
+                // bounds: I and J are separate index variables in equations.
+                let lo_a = self.require_affine(lo);
+                let hi_a = self.require_affine(hi);
+                for (name, nspan) in &td.names {
+                    let id = self.subranges.push(Subrange {
+                        name: Some(*name),
+                        lo: lo_a.clone(),
+                        hi: hi_a.clone(),
+                        span: *span,
+                    });
+                    self.define_name(*name, NameDef::TypeSubrange(id), *nspan);
+                }
+            }
+            TypeExpr::Enum { variants, span } => {
+                if td.names.len() != 1 {
+                    self.error(
+                        "E0202",
+                        "an enumeration declaration must introduce exactly one name",
+                        td.span,
+                    );
+                }
+                let (name, nspan) = td.names[0];
+                let id = self.enums.push(EnumDef {
+                    name,
+                    variants: variants.iter().map(|(v, _)| *v).collect(),
+                    span: *span,
+                });
+                self.define_name(name, NameDef::TypeEnum(id), nspan);
+                for (idx, (v, vspan)) in variants.iter().enumerate() {
+                    self.define_name(*v, NameDef::EnumVariant(id, idx), *vspan);
+                }
+            }
+            TypeExpr::Record { fields, span } => {
+                if td.names.len() != 1 {
+                    self.error(
+                        "E0203",
+                        "a record declaration must introduce exactly one name",
+                        td.span,
+                    );
+                }
+                let (name, nspan) = td.names[0];
+                let mut rfields = Vec::new();
+                for (fname, fty, fspan) in fields {
+                    let ty = self.resolve_value_type(fty);
+                    if ty.rank() != 0 {
+                        self.error(
+                            "E0204",
+                            "record fields must be scalar-typed in this implementation",
+                            *fspan,
+                        );
+                    }
+                    if rfields.iter().any(|(n, _)| *n == *fname) {
+                        self.error("E0205", format!("duplicate record field `{fname}`"), *fspan);
+                    }
+                    rfields.push((*fname, ty));
+                }
+                let id = self.records.push(RecordDef {
+                    name,
+                    fields: rfields,
+                    span: *span,
+                });
+                self.define_name(name, NameDef::TypeRecord(id), nspan);
+            }
+            TypeExpr::Named(alias_of, span) => {
+                // Aliases: `T = int;` or `L = I;`
+                let target = self.names.get(alias_of).copied();
+                for (name, nspan) in &td.names {
+                    match target {
+                        Some(NameDef::TypeScalar(_))
+                        | Some(NameDef::TypeSubrange(_))
+                        | Some(NameDef::TypeEnum(_))
+                        | Some(NameDef::TypeRecord(_)) => {
+                            self.define_name(*name, target.unwrap(), *nspan);
+                        }
+                        _ => {
+                            self.error(
+                                "E0206",
+                                format!("`{alias_of}` does not name a type"),
+                                *span,
+                            );
+                        }
+                    }
+                }
+            }
+            TypeExpr::Array { .. } => {
+                // Named array types: resolve once, alias each name to the
+                // same structure by declaring anonymous subranges up front.
+                let ty = self.resolve_value_type(&td.ty);
+                for (name, nspan) in &td.names {
+                    // Array type aliases are stored as data-free "types" via
+                    // a synthetic record-less approach: reuse NameDef by
+                    // declaring a named record is wrong, so instead we store
+                    // them in a side table keyed by name.
+                    self.array_aliases.insert(*name, ty.clone());
+                    let _ = nspan;
+                }
+            }
+        }
+    }
+
+    /// Resolve a type expression in *value position* (variable/param/result
+    /// declarations). Subranges used as value types behave as `int`.
+    fn resolve_value_type(&mut self, te: &TypeExpr) -> Ty {
+        match te {
+            TypeExpr::Named(name, span) => match self.names.get(name).copied() {
+                Some(NameDef::TypeScalar(s)) => Ty::Scalar(s),
+                Some(NameDef::TypeSubrange(_)) => Ty::Scalar(ScalarTy::Int),
+                Some(NameDef::TypeEnum(id)) => Ty::Enum(id),
+                Some(NameDef::TypeRecord(id)) => Ty::Record(id),
+                _ => {
+                    if let Some(alias) = self.array_aliases.get(name) {
+                        return alias.clone();
+                    }
+                    self.error("E0207", format!("unknown type `{name}`"), *span);
+                    Ty::Error
+                }
+            },
+            TypeExpr::Subrange { .. } => Ty::Scalar(ScalarTy::Int),
+            TypeExpr::Array {
+                index_specs,
+                elem,
+                span,
+            } => {
+                let mut dims = Vec::new();
+                for spec in index_specs {
+                    if let Some(id) = self.resolve_index_spec(spec) {
+                        dims.push(id);
+                    } else {
+                        return Ty::Error;
+                    }
+                }
+                // Flatten nested arrays: `array [..] of array [..] of real`.
+                match self.resolve_value_type(elem) {
+                    Ty::Array {
+                        dims: inner_dims,
+                        elem: inner_elem,
+                    } => {
+                        dims.extend(inner_dims);
+                        Ty::Array {
+                            dims,
+                            elem: inner_elem,
+                        }
+                    }
+                    Ty::Scalar(s) => Ty::Array { dims, elem: s },
+                    Ty::Error => Ty::Error,
+                    other => {
+                        self.error(
+                            "E0208",
+                            format!("array elements must be scalar, found {other}"),
+                            *span,
+                        );
+                        Ty::Error
+                    }
+                }
+            }
+            TypeExpr::Record { .. } | TypeExpr::Enum { .. } => {
+                self.error(
+                    "E0209",
+                    "record and enumeration types must be declared in a `type` section",
+                    te.span(),
+                );
+                Ty::Error
+            }
+        }
+    }
+
+    /// Resolve an array index spec to a subrange id. Inline `lo..hi` specs
+    /// create anonymous subranges.
+    fn resolve_index_spec(&mut self, te: &TypeExpr) -> Option<SubrangeId> {
+        match te {
+            TypeExpr::Named(name, span) => match self.names.get(name).copied() {
+                Some(NameDef::TypeSubrange(id)) => Some(id),
+                _ => {
+                    self.error(
+                        "E0210",
+                        format!("array dimension `{name}` must name a subrange type"),
+                        *span,
+                    );
+                    None
+                }
+            },
+            TypeExpr::Subrange { lo, hi, span } => {
+                let lo_a = self.require_affine(lo);
+                let hi_a = self.require_affine(hi);
+                Some(self.subranges.push(Subrange {
+                    name: None,
+                    lo: lo_a,
+                    hi: hi_a,
+                    span: *span,
+                }))
+            }
+            other => {
+                self.error(
+                    "E0211",
+                    "array dimensions must be subranges",
+                    other.span(),
+                );
+                None
+            }
+        }
+    }
+
+    // ---- affine bound expressions ---------------------------------------
+
+    /// Fold an AST expression into an affine form over scalar int params.
+    fn affine_of(&self, e: &Expr) -> Option<Affine> {
+        match e.unparen() {
+            Expr::IntLit(v, _) => Some(Affine::constant(*v)),
+            Expr::Var(name, _) => {
+                if self.affine_params.contains(name) {
+                    Some(Affine::param(*name))
+                } else {
+                    None
+                }
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let l = self.affine_of(lhs)?;
+                let r = self.affine_of(rhs)?;
+                match op {
+                    BinOp::Add => Some(l.add(&r)),
+                    BinOp::Sub => Some(l.sub(&r)),
+                    BinOp::Mul => l.mul(&r),
+                    _ => None,
+                }
+            }
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+                ..
+            } => Some(self.affine_of(operand)?.scale(-1)),
+            _ => None,
+        }
+    }
+
+    fn require_affine(&self, e: &Expr) -> Affine {
+        match self.affine_of(e) {
+            Some(a) => a,
+            None => {
+                self.error(
+                    "E0212",
+                    "bound must be an affine expression over integer parameters",
+                    e.span(),
+                );
+                Affine::constant(0)
+            }
+        }
+    }
+
+    // ---- equations -------------------------------------------------------
+
+    fn equation(&mut self, eq: &ast::EquationDecl, number: usize) -> Option<Equation> {
+        let label = format!("eq.{number}");
+        let lhs_name = eq.lhs.name;
+        let lhs_id = match self.names.get(&lhs_name).copied() {
+            Some(NameDef::Data(id)) => id,
+            _ => {
+                self.error(
+                    "E0220",
+                    format!("`{lhs_name}` is not a variable or result"),
+                    eq.lhs.name_span,
+                );
+                return None;
+            }
+        };
+        let lhs_item = self.data[lhs_id].clone();
+        if lhs_item.kind == DataKind::Param {
+            self.error(
+                "E0221",
+                format!("cannot define input parameter `{lhs_name}`"),
+                eq.lhs.name_span,
+            );
+            return None;
+        }
+
+        // Record-field target.
+        let mut lhs_field = None;
+        if let Some((fname, fspan)) = eq.lhs.field {
+            match &lhs_item.ty {
+                Ty::Record(rid) => match self.records[*rid].field_index(fname) {
+                    Some(idx) => lhs_field = Some(idx),
+                    None => {
+                        self.error(
+                            "E0222",
+                            format!("record `{lhs_name}` has no field `{fname}`"),
+                            fspan,
+                        );
+                        return None;
+                    }
+                },
+                _ => {
+                    self.error(
+                        "E0223",
+                        format!("`{lhs_name}` is not a record"),
+                        fspan,
+                    );
+                    return None;
+                }
+            }
+        } else if matches!(lhs_item.ty, Ty::Record(_)) {
+            self.error(
+                "E0224",
+                format!(
+                    "whole-record assignment to `{lhs_name}` is not supported; define each field"
+                ),
+                eq.lhs.span,
+            );
+            return None;
+        }
+
+        let dims: Vec<SubrangeId> = lhs_item.dims().to_vec();
+        if eq.lhs.subscripts.len() > dims.len() {
+            self.error(
+                "E0225",
+                format!(
+                    "`{lhs_name}` has {} dimension(s) but {} subscripts were given",
+                    dims.len(),
+                    eq.lhs.subscripts.len()
+                ),
+                eq.lhs.span,
+            );
+            return None;
+        }
+
+        // Bind index variables from explicit LHS subscripts; synthesize
+        // implicit ones for the remaining (sliced) dimensions.
+        let mut ivs: IndexVec<IvId, IndexVar> = IndexVec::new();
+        let mut iv_names: FxHashMap<Symbol, IvId> = FxHashMap::default();
+        let mut lhs_subs: Vec<LhsSub> = Vec::new();
+
+        for (dim, sub) in eq.lhs.subscripts.iter().enumerate() {
+            match sub.unparen() {
+                Expr::Var(name, span) => match self.names.get(name).copied() {
+                    Some(NameDef::TypeSubrange(sr)) => {
+                        let display = if iv_names.contains_key(name) {
+                            let n2 = Symbol::intern(&format!("{name}#{}", dim + 1));
+                            self.warn(
+                                "E0226",
+                                format!(
+                                    "index variable `{name}` appears twice on the left-hand side; \
+                                     the second occurrence is renamed `{n2}` and cannot be \
+                                     referenced on the right-hand side"
+                                ),
+                                *span,
+                            );
+                            n2
+                        } else {
+                            *name
+                        };
+                        let iv = ivs.push(IndexVar {
+                            name: display,
+                            subrange: sr,
+                            implicit: false,
+                        });
+                        iv_names.entry(*name).or_insert(iv);
+                        self.check_dim_compat(sr, dims[dim], *span);
+                        lhs_subs.push(LhsSub::Var(iv));
+                    }
+                    _ => match self.affine_of(sub) {
+                        Some(a) => lhs_subs.push(LhsSub::Const(a)),
+                        None => {
+                            self.error(
+                                    "E0227",
+                                    format!(
+                                        "left-hand subscript must be a subrange name or a constant \
+                                         expression over parameters, found `{name}`"
+                                    ),
+                                    *span,
+                                );
+                            return None;
+                        }
+                    },
+                },
+                other => match self.affine_of(other) {
+                    Some(a) => lhs_subs.push(LhsSub::Const(a)),
+                    None => {
+                        self.error(
+                            "E0228",
+                            "left-hand subscript must be a subrange name or a constant \
+                             expression over parameters",
+                            other.span(),
+                        );
+                        return None;
+                    }
+                },
+            }
+        }
+
+        // Implicit dimensions: synthesize index variables named after the
+        // dimension subrange (the paper's `A[1] = InitialA` expansion).
+        for (dim, &sr) in dims.iter().enumerate().skip(eq.lhs.subscripts.len()) {
+            let base_name = self.subranges[sr]
+                .name
+                .unwrap_or_else(|| Symbol::intern(&format!("i{dim}")));
+            let display = if iv_names.contains_key(&base_name) {
+                Symbol::intern(&format!("{base_name}#{}", dim + 1))
+            } else {
+                base_name
+            };
+            let iv = ivs.push(IndexVar {
+                name: display,
+                subrange: sr,
+                implicit: true,
+            });
+            iv_names.entry(base_name).or_insert(iv);
+            lhs_subs.push(LhsSub::Var(iv));
+        }
+
+        // Padding vars for partial RHS reads: trailing LHS Var dims.
+        let pad_ivs: Vec<IvId> = lhs_subs
+            .iter()
+            .filter_map(|s| match s {
+                LhsSub::Var(iv) => Some(*iv),
+                LhsSub::Const(_) => None,
+            })
+            .collect();
+
+        let mut ecx = ExprCx {
+            chk: self,
+            ivs: &mut ivs,
+            iv_names: &iv_names,
+            pad_ivs: &pad_ivs,
+        };
+        let (mut rhs, rhs_ty) = ecx.lower(&eq.rhs)?;
+
+        // Expected type of the defined element.
+        let expected = match lhs_field {
+            Some(idx) => match &lhs_item.ty {
+                Ty::Record(rid) => self.records[*rid].fields[idx].1.clone(),
+                _ => Ty::Error,
+            },
+            None => match &lhs_item.ty {
+                Ty::Array { elem, .. } => Ty::Scalar(*elem),
+                other => other.clone(),
+            },
+        };
+        if expected == Ty::REAL && rhs_ty == Ty::INT {
+            rhs = HExpr::CastReal(Box::new(rhs));
+        } else if !expected.assignable_from(&rhs_ty) {
+            self.error(
+                "E0229",
+                format!("equation defines `{lhs_name}` of type {expected} with a value of type {rhs_ty}"),
+                eq.span,
+            );
+        }
+
+        Some(Equation {
+            label,
+            lhs: lhs_id,
+            lhs_field,
+            lhs_subs,
+            ivs,
+            rhs,
+            span: eq.span,
+        })
+    }
+
+    /// Warn when an index variable's subrange and the array dimension's
+    /// subrange are not provably the same interval.
+    fn check_dim_compat(&self, iv_sr: SubrangeId, dim_sr: SubrangeId, span: Span) {
+        if iv_sr == dim_sr {
+            return;
+        }
+        let a = &self.subranges[iv_sr];
+        let b = &self.subranges[dim_sr];
+        // Subset is fine (K = 2..maxK indexing dimension 1..maxK); only
+        // provably-out-of-range is an error.
+        let lo_ok = a.lo.const_difference(&b.lo).map(|d| d >= 0);
+        let hi_ok = a.hi.const_difference(&b.hi).map(|d| d <= 0);
+        if lo_ok == Some(false) || hi_ok == Some(false) {
+            self.error(
+                "E0230",
+                format!(
+                    "index variable range {}..{} exceeds dimension range {}..{}",
+                    a.lo, a.hi, b.lo, b.hi
+                ),
+                span,
+            );
+        } else if lo_ok.is_none() || hi_ok.is_none() {
+            self.warn(
+                "E0231",
+                format!(
+                    "cannot prove index range {}..{} fits dimension range {}..{}",
+                    a.lo, a.hi, b.lo, b.hi
+                ),
+                span,
+            );
+        }
+    }
+}
+
+/// Expression lowering context: one equation's index variables plus the
+/// enclosing checker.
+struct ExprCx<'a, 'b> {
+    chk: &'a mut Checker<'b>,
+    ivs: &'a mut IndexVec<IvId, IndexVar>,
+    iv_names: &'a FxHashMap<Symbol, IvId>,
+    pad_ivs: &'a [IvId],
+}
+
+impl<'a, 'b> ExprCx<'a, 'b> {
+    /// Lower an expression; returns the HIR node and its type.
+    fn lower(&mut self, e: &Expr) -> Option<(HExpr, Ty)> {
+        match e {
+            Expr::IntLit(v, _) => Some((HExpr::Int(*v), Ty::INT)),
+            Expr::RealLit(v, _) => Some((HExpr::Real(*v), Ty::REAL)),
+            Expr::BoolLit(v, _) => Some((HExpr::Bool(*v), Ty::BOOL)),
+            Expr::CharLit(c, _) => Some((HExpr::Char(*c), Ty::Scalar(ScalarTy::Char))),
+            Expr::Paren(inner, _) => self.lower(inner),
+            Expr::Var(name, span) => self.lower_var(*name, *span),
+            Expr::Field { base, field, span } => self.lower_field(base, *field, *span),
+            Expr::Subscript {
+                base,
+                subscripts,
+                span,
+            } => self.lower_subscripted(base, subscripts, *span),
+            Expr::Call {
+                name,
+                name_span,
+                args,
+                ..
+            } => self.lower_call(*name, *name_span, args),
+            Expr::Unary { op, operand, span } => {
+                let (inner, ty) = self.lower(operand)?;
+                match op {
+                    UnOp::Neg => {
+                        if !ty.is_numeric() {
+                            self.chk
+                                .error("E0240", format!("cannot negate {ty}"), *span);
+                        }
+                        Some((
+                            HExpr::Unary {
+                                op: UnOp::Neg,
+                                operand: Box::new(inner),
+                            },
+                            ty,
+                        ))
+                    }
+                    UnOp::Not => {
+                        if ty != Ty::BOOL && !ty.is_error() {
+                            self.chk
+                                .error("E0241", format!("`not` requires bool, found {ty}"), *span);
+                        }
+                        Some((
+                            HExpr::Unary {
+                                op: UnOp::Not,
+                                operand: Box::new(inner),
+                            },
+                            Ty::BOOL,
+                        ))
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => self.lower_binary(*op, lhs, rhs, *span),
+            Expr::If { arms, else_, span } => {
+                let mut harms = Vec::new();
+                let mut lowered_values: Vec<HExpr> = Vec::new();
+                let mut value_tys: Vec<Ty> = Vec::new();
+                for (cond, value) in arms {
+                    let (c, cty) = self.lower(cond)?;
+                    if cty != Ty::BOOL && !cty.is_error() {
+                        self.chk.error(
+                            "E0242",
+                            format!("`if` condition must be bool, found {cty}"),
+                            cond.span(),
+                        );
+                    }
+                    let (v, vty) = self.lower(value)?;
+                    harms.push(c);
+                    lowered_values.push(v);
+                    value_tys.push(vty);
+                }
+                let (ev, ety) = self.lower(else_)?;
+                lowered_values.push(ev);
+                value_tys.push(ety);
+
+                // Unify arm types with int→real widening.
+                let result_ty = if value_tys.contains(&Ty::REAL) {
+                    Ty::REAL
+                } else {
+                    value_tys[0].clone()
+                };
+                for (v, t) in lowered_values.iter_mut().zip(&value_tys) {
+                    if result_ty == Ty::REAL && *t == Ty::INT {
+                        let taken = std::mem::replace(v, HExpr::Bool(false));
+                        *v = HExpr::CastReal(Box::new(taken));
+                    } else if !result_ty.assignable_from(t) {
+                        self.chk.error(
+                            "E0243",
+                            format!("`if` arms have incompatible types {result_ty} and {t}"),
+                            *span,
+                        );
+                    }
+                }
+                let else_v = Box::new(lowered_values.pop().expect("else arm"));
+                let arms_v: Vec<(HExpr, HExpr)> =
+                    harms.into_iter().zip(lowered_values).collect();
+                Some((
+                    HExpr::If {
+                        arms: arms_v,
+                        else_: else_v,
+                    },
+                    result_ty,
+                ))
+            }
+        }
+    }
+
+    fn lower_var(&mut self, name: Symbol, span: Span) -> Option<(HExpr, Ty)> {
+        if let Some(&iv) = self.iv_names.get(&name) {
+            return Some((HExpr::Iv(iv), Ty::INT));
+        }
+        match self.chk.names.get(&name).copied() {
+            Some(NameDef::Data(id)) => {
+                let item = &self.chk.data[id];
+                match &item.ty {
+                    Ty::Array { .. } => {
+                        // Bare array read = fully sliced: pad all dims.
+                        self.pad_read(id, &[], span)
+                    }
+                    Ty::Record(_) => {
+                        self.chk.error(
+                            "E0244",
+                            format!("record `{name}` must be read through a field"),
+                            span,
+                        );
+                        None
+                    }
+                    ty => Some((HExpr::ReadScalar(id), ty.clone())),
+                }
+            }
+            Some(NameDef::EnumVariant(eid, idx)) => {
+                Some((HExpr::EnumConst(eid, idx), Ty::Enum(eid)))
+            }
+            Some(NameDef::TypeSubrange(_)) => {
+                self.chk.error(
+                    "E0245",
+                    format!(
+                        "index variable `{name}` is not bound by the left-hand side of this equation"
+                    ),
+                    span,
+                );
+                None
+            }
+            _ => {
+                self.chk
+                    .error("E0246", format!("unknown name `{name}`"), span);
+                None
+            }
+        }
+    }
+
+    fn lower_field(&mut self, base: &Expr, field: Symbol, span: Span) -> Option<(HExpr, Ty)> {
+        match base.unparen() {
+            Expr::Var(name, vspan) => match self.chk.names.get(name).copied() {
+                Some(NameDef::Data(id)) => match &self.chk.data[id].ty {
+                    Ty::Record(rid) => {
+                        let rec = &self.chk.records[*rid];
+                        match rec.field_index(field) {
+                            Some(idx) => {
+                                let fty = rec.fields[idx].1.clone();
+                                Some((HExpr::ReadField(id, idx), fty))
+                            }
+                            None => {
+                                self.chk.error(
+                                    "E0247",
+                                    format!("record `{name}` has no field `{field}`"),
+                                    span,
+                                );
+                                None
+                            }
+                        }
+                    }
+                    other => {
+                        self.chk.error(
+                            "E0248",
+                            format!("`{name}` of type {other} has no fields"),
+                            *vspan,
+                        );
+                        None
+                    }
+                },
+                _ => {
+                    self.chk
+                        .error("E0246", format!("unknown name `{name}`"), *vspan);
+                    None
+                }
+            },
+            other => {
+                self.chk.error(
+                    "E0249",
+                    "field access is only supported on record variables",
+                    other.span(),
+                );
+                None
+            }
+        }
+    }
+
+    fn lower_subscripted(
+        &mut self,
+        base: &Expr,
+        subscripts: &[Expr],
+        span: Span,
+    ) -> Option<(HExpr, Ty)> {
+        let Expr::Var(name, vspan) = base.unparen() else {
+            self.chk.error(
+                "E0250",
+                "subscripts may only be applied to array variables",
+                base.span(),
+            );
+            return None;
+        };
+        let Some(NameDef::Data(id)) = self.chk.names.get(name).copied() else {
+            self.chk
+                .error("E0246", format!("unknown name `{name}`"), *vspan);
+            return None;
+        };
+        let rank = self.chk.data[id].dims().len();
+        if rank == 0 {
+            self.chk.error(
+                "E0251",
+                format!("`{name}` is not an array and cannot be subscripted"),
+                span,
+            );
+            return None;
+        }
+        if subscripts.len() > rank {
+            self.chk.error(
+                "E0252",
+                format!("`{name}` has {rank} dimension(s), got {}", subscripts.len()),
+                span,
+            );
+            return None;
+        }
+        let mut subs = Vec::with_capacity(rank);
+        for s in subscripts {
+            subs.push(self.lower_subscript(s)?);
+        }
+        self.pad_read_with(id, subs, span)
+    }
+
+    /// Pad a partial read with this equation's trailing LHS index variables,
+    /// mirroring the slice expansion done on the left-hand side.
+    fn pad_read(&mut self, id: DataId, given: &[SubscriptExpr], span: Span) -> Option<(HExpr, Ty)> {
+        self.pad_read_with(id, given.to_vec(), span)
+    }
+
+    fn pad_read_with(
+        &mut self,
+        id: DataId,
+        mut subs: Vec<SubscriptExpr>,
+        span: Span,
+    ) -> Option<(HExpr, Ty)> {
+        let item = self.chk.data[id].clone();
+        let rank = item.dims().len();
+        let missing = rank - subs.len();
+        if missing > 0 {
+            if self.pad_ivs.len() < missing {
+                self.chk.error(
+                    "E0253",
+                    format!(
+                        "cannot expand slice read of `{}`: equation binds {} index variable(s) \
+                         but {missing} are needed",
+                        item.name,
+                        self.pad_ivs.len()
+                    ),
+                    span,
+                );
+                return None;
+            }
+            let given = subs.len();
+            let pads = &self.pad_ivs[self.pad_ivs.len() - missing..];
+            for (k, &iv) in pads.iter().enumerate() {
+                let target_dim = item.dims()[given + k];
+                let iv_sr = self.ivs[iv].subrange;
+                self.chk.check_dim_compat(iv_sr, target_dim, span);
+                subs.push(SubscriptExpr::Var(iv));
+            }
+        }
+        let elem = match &item.ty {
+            Ty::Array { elem, .. } => Ty::Scalar(*elem),
+            _ => Ty::Error,
+        };
+        Some((
+            HExpr::ReadArray {
+                array: id,
+                subs,
+                span,
+            },
+            elem,
+        ))
+    }
+
+    /// Lower one subscript expression and classify it (Figure 2).
+    fn lower_subscript(&mut self, e: &Expr) -> Option<SubscriptExpr> {
+        if let Some(aff) = self.affine_ix_of(e) {
+            return Some(SubscriptExpr::from_affine(aff));
+        }
+        // Non-affine: lower as a dynamic expression; must be int-typed.
+        let (h, ty) = self.lower(e)?;
+        if ty != Ty::INT && !ty.is_error() {
+            self.chk.error(
+                "E0254",
+                format!("subscript must be an integer expression, found {ty}"),
+                e.span(),
+            );
+        }
+        Some(SubscriptExpr::Dynamic(Box::new(h)))
+    }
+
+    /// Fold an expression into an affine combination of index variables and
+    /// parameters, when possible.
+    fn affine_ix_of(&self, e: &Expr) -> Option<AffineIx> {
+        match e.unparen() {
+            Expr::IntLit(v, _) => Some(AffineIx::constant(Affine::constant(*v))),
+            Expr::Var(name, _) => {
+                if let Some(&iv) = self.iv_names.get(name) {
+                    return Some(AffineIx::from_iv(iv));
+                }
+                if self.chk.affine_params.contains(name) {
+                    return Some(AffineIx::constant(Affine::param(*name)));
+                }
+                None
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let l = self.affine_ix_of(lhs)?;
+                let r = self.affine_ix_of(rhs)?;
+                match op {
+                    BinOp::Add => Some(l.add(&r)),
+                    BinOp::Sub => Some(l.sub(&r)),
+                    BinOp::Mul => {
+                        if l.is_constant() {
+                            if let Some(k) = l.rest.as_constant() {
+                                return Some(r.scale(k));
+                            }
+                        }
+                        if r.is_constant() {
+                            if let Some(k) = r.rest.as_constant() {
+                                return Some(l.scale(k));
+                            }
+                        }
+                        None
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+                ..
+            } => Some(self.affine_ix_of(operand)?.scale(-1)),
+            _ => None,
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        name: Symbol,
+        name_span: Span,
+        args: &[Expr],
+    ) -> Option<(HExpr, Ty)> {
+        let Some(builtin) = Builtin::lookup(name.as_str()) else {
+            self.chk.error(
+                "E0255",
+                format!(
+                    "unknown function `{name}` (cross-module calls are not supported \
+                     in this reproduction)"
+                ),
+                name_span,
+            );
+            return None;
+        };
+        if args.len() != builtin.arity() {
+            self.chk.error(
+                "E0256",
+                format!(
+                    "`{}` expects {} argument(s), got {}",
+                    builtin.name(),
+                    builtin.arity(),
+                    args.len()
+                ),
+                name_span,
+            );
+            return None;
+        }
+        let mut lowered = Vec::new();
+        let mut tys = Vec::new();
+        for a in args {
+            let (h, t) = self.lower(a)?;
+            lowered.push(h);
+            tys.push(t);
+        }
+        let result_ty = match builtin {
+            Builtin::Abs => {
+                if !tys[0].is_numeric() {
+                    self.chk
+                        .error("E0257", format!("`abs` requires a number, found {}", tys[0]), name_span);
+                }
+                tys[0].clone()
+            }
+            Builtin::Min | Builtin::Max => {
+                let widen = tys.contains(&Ty::REAL);
+                for (v, t) in lowered.iter_mut().zip(&tys) {
+                    if widen && *t == Ty::INT {
+                        let taken = std::mem::replace(v, HExpr::Bool(false));
+                        *v = HExpr::CastReal(Box::new(taken));
+                    } else if !t.is_numeric() {
+                        self.chk.error(
+                            "E0257",
+                            format!("`{}` requires numbers, found {t}", builtin.name()),
+                            name_span,
+                        );
+                    }
+                }
+                if widen {
+                    Ty::REAL
+                } else {
+                    Ty::INT
+                }
+            }
+            Builtin::Sqrt | Builtin::Exp | Builtin::Ln | Builtin::Sin | Builtin::Cos => {
+                if tys[0] == Ty::INT {
+                    let taken = std::mem::replace(&mut lowered[0], HExpr::Bool(false));
+                    lowered[0] = HExpr::CastReal(Box::new(taken));
+                } else if tys[0] != Ty::REAL && !tys[0].is_error() {
+                    self.chk.error(
+                        "E0257",
+                        format!("`{}` requires a real, found {}", builtin.name(), tys[0]),
+                        name_span,
+                    );
+                }
+                Ty::REAL
+            }
+            Builtin::Trunc | Builtin::Round => {
+                if tys[0] != Ty::REAL && !tys[0].is_error() {
+                    self.chk.error(
+                        "E0257",
+                        format!("`{}` requires a real, found {}", builtin.name(), tys[0]),
+                        name_span,
+                    );
+                }
+                Ty::INT
+            }
+            Builtin::RealFn => {
+                if tys[0] != Ty::INT && !tys[0].is_error() {
+                    self.chk.error(
+                        "E0257",
+                        format!("`real` requires an int, found {}", tys[0]),
+                        name_span,
+                    );
+                }
+                Ty::REAL
+            }
+            Builtin::Ord => match tys[0] {
+                Ty::Enum(_) | Ty::Scalar(ScalarTy::Char) | Ty::Scalar(ScalarTy::Int) => Ty::INT,
+                ref other => {
+                    if !other.is_error() {
+                        self.chk.error(
+                            "E0257",
+                            format!("`ord` requires an enum or char, found {other}"),
+                            name_span,
+                        );
+                    }
+                    Ty::INT
+                }
+            },
+        };
+        Some((
+            HExpr::Call {
+                builtin,
+                args: lowered,
+            },
+            result_ty,
+        ))
+    }
+
+    fn lower_binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+    ) -> Option<(HExpr, Ty)> {
+        let (mut l, lt) = self.lower(lhs)?;
+        let (mut r, rt) = self.lower(rhs)?;
+
+        let widen_both = |l: &mut HExpr, r: &mut HExpr, lt: &Ty, rt: &Ty| {
+            if *lt == Ty::INT && *rt == Ty::REAL {
+                let taken = std::mem::replace(l, HExpr::Bool(false));
+                *l = HExpr::CastReal(Box::new(taken));
+                true
+            } else if *lt == Ty::REAL && *rt == Ty::INT {
+                let taken = std::mem::replace(r, HExpr::Bool(false));
+                *r = HExpr::CastReal(Box::new(taken));
+                true
+            } else {
+                *lt == Ty::REAL && *rt == Ty::REAL
+            }
+        };
+
+        let ty = match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                if !lt.is_numeric() || !rt.is_numeric() {
+                    self.chk.error(
+                        "E0260",
+                        format!("`{}` requires numbers, found {lt} and {rt}", op.as_str()),
+                        span,
+                    );
+                    Ty::Error
+                } else if widen_both(&mut l, &mut r, &lt, &rt) {
+                    Ty::REAL
+                } else {
+                    Ty::INT
+                }
+            }
+            BinOp::Div => {
+                // `/` is real division; ints are widened (Pascal semantics).
+                if !lt.is_numeric() || !rt.is_numeric() {
+                    self.chk.error(
+                        "E0260",
+                        format!("`/` requires numbers, found {lt} and {rt}"),
+                        span,
+                    );
+                    Ty::Error
+                } else {
+                    if lt == Ty::INT {
+                        l = HExpr::CastReal(Box::new(l));
+                    }
+                    if rt == Ty::INT {
+                        r = HExpr::CastReal(Box::new(r));
+                    }
+                    Ty::REAL
+                }
+            }
+            BinOp::IntDiv | BinOp::Mod => {
+                if (lt != Ty::INT && !lt.is_error()) || (rt != Ty::INT && !rt.is_error()) {
+                    self.chk.error(
+                        "E0261",
+                        format!(
+                            "`{}` requires integers, found {lt} and {rt}",
+                            op.as_str()
+                        ),
+                        span,
+                    );
+                }
+                Ty::INT
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let comparable = (lt.is_numeric() && rt.is_numeric())
+                    || lt == rt
+                    || lt.is_error()
+                    || rt.is_error();
+                if !comparable {
+                    self.chk.error(
+                        "E0262",
+                        format!("cannot compare {lt} with {rt}"),
+                        span,
+                    );
+                } else if lt.is_numeric() && rt.is_numeric() {
+                    widen_both(&mut l, &mut r, &lt, &rt);
+                }
+                Ty::BOOL
+            }
+            BinOp::And | BinOp::Or => {
+                if (lt != Ty::BOOL && !lt.is_error()) || (rt != Ty::BOOL && !rt.is_error()) {
+                    self.chk.error(
+                        "E0263",
+                        format!(
+                            "`{}` requires booleans, found {lt} and {rt}",
+                            op.as_str()
+                        ),
+                        span,
+                    );
+                }
+                Ty::BOOL
+            }
+        };
+        Some((
+            HExpr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            },
+            ty,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hir::{HExpr, SubscriptExpr};
+    use crate::lexer::lex;
+    use crate::parser::parse_program;
+
+    pub(crate) const RELAXATION_V1: &str = "
+        Relaxation: module (InitialA: array[I,J] of real;
+                            M: int; maxK: int):
+                    [newA: array[I,J] of real];
+        type
+            I, J = 0 .. M+1;
+            K = 2 .. maxK;
+        var
+            A: array [1 .. maxK] of array[I,J] of real;
+        define
+            A[1] = InitialA;
+            newA = A[maxK];
+            A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+                       then A[K-1,I,J]
+                       else ( A[K-1,I,J-1]
+                            + A[K-1,I-1,J]
+                            + A[K-1,I,J+1]
+                            + A[K-1,I+1,J] ) / 4;
+        end Relaxation;
+    ";
+
+    fn check_ok(src: &str) -> HirModule {
+        let sink = DiagnosticSink::new();
+        let prog = parse_program(&lex(src, &sink), &sink);
+        assert!(!sink.has_errors(), "parse: {:#?}", sink.snapshot());
+        let m = check_module(&prog.modules[0], &sink);
+        assert!(
+            !sink.has_errors(),
+            "check errors: {:#?}",
+            sink.snapshot()
+        );
+        m.expect("module")
+    }
+
+    fn check_err(src: &str) -> Vec<String> {
+        let sink = DiagnosticSink::new();
+        let prog = parse_program(&lex(src, &sink), &sink);
+        assert!(!sink.has_errors(), "parse: {:#?}", sink.snapshot());
+        let _ = check_module(&prog.modules[0], &sink);
+        let diags = sink.snapshot();
+        assert!(
+            diags.iter().any(|d| d.severity == ps_support::Severity::Error),
+            "expected errors, got {diags:#?}"
+        );
+        diags.into_iter().map(|d| d.code.to_string()).collect()
+    }
+
+    #[test]
+    fn relaxation_checks_clean() {
+        let m = check_ok(RELAXATION_V1);
+        assert_eq!(m.equations.len(), 3);
+        assert_eq!(m.params.len(), 3);
+        assert_eq!(m.results.len(), 1);
+        // A is a flattened rank-3 local.
+        let a = m.data_by_name("A").unwrap();
+        assert_eq!(m.data[a].dims().len(), 3);
+    }
+
+    #[test]
+    fn eq1_implicit_expansion() {
+        let m = check_ok(RELAXATION_V1);
+        let eq1 = &m.equations[m.equation_by_label("eq.1").unwrap()];
+        // A[1] = InitialA → lhs_subs = [Const(1), Var(I), Var(J)]
+        assert_eq!(eq1.lhs_subs.len(), 3);
+        assert!(matches!(&eq1.lhs_subs[0], LhsSub::Const(a) if a.as_constant() == Some(1)));
+        assert!(matches!(eq1.lhs_subs[1], LhsSub::Var(_)));
+        assert_eq!(eq1.ivs.len(), 2);
+        assert!(eq1.ivs.iter().all(|iv| iv.implicit));
+        // RHS is a padded full-rank read of InitialA.
+        let reads = eq1.rhs.array_reads();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].1.len(), 2);
+        assert!(matches!(reads[0].1[0], SubscriptExpr::Var(_)));
+    }
+
+    #[test]
+    fn eq2_upper_bound_subscript() {
+        let m = check_ok(RELAXATION_V1);
+        let eq2 = &m.equations[m.equation_by_label("eq.2").unwrap()];
+        let reads = eq2.rhs.array_reads();
+        assert_eq!(reads.len(), 1);
+        // First subscript is the constant-affine `maxK`.
+        match &reads[0].1[0] {
+            SubscriptExpr::Affine(a) => {
+                assert!(a.is_constant());
+                assert_eq!(a.rest.terms().count(), 1);
+            }
+            other => panic!("expected affine maxK, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eq3_subscript_classification() {
+        let m = check_ok(RELAXATION_V1);
+        let eq3 = &m.equations[m.equation_by_label("eq.3").unwrap()];
+        assert_eq!(eq3.ivs.len(), 3);
+        assert!(eq3.ivs.iter().all(|iv| !iv.implicit));
+        let reads = eq3.rhs.array_reads();
+        assert_eq!(reads.len(), 5, "boundary + 4 interior reads");
+        // Every K subscript is K-1 (VarOffset with delta -1).
+        for (_, subs) in &reads {
+            assert!(
+                matches!(subs[0], SubscriptExpr::VarOffset(_, -1)),
+                "K dim should be K-1: {subs:?}"
+            );
+        }
+        // There is at least one J+1 (VarOffset +1) — the "other" form.
+        let has_plus = reads
+            .iter()
+            .flat_map(|(_, s)| s.iter())
+            .any(|s| matches!(s, SubscriptExpr::VarOffset(_, 1)));
+        assert!(has_plus);
+        // The RHS value was widened: `/ 4` produces a real division where the
+        // literal 4 is cast.
+        fn has_cast(e: &HExpr) -> bool {
+            let mut found = false;
+            e.visit(&mut |n| {
+                if matches!(n, HExpr::CastReal(_)) {
+                    found = true;
+                }
+            });
+            found
+        }
+        assert!(has_cast(&eq3.rhs));
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        let codes = check_err("T: module (): [y: int]; define y = nope; end T;");
+        assert!(codes.contains(&"E0246".to_string()));
+    }
+
+    #[test]
+    fn defining_param_rejected() {
+        let codes = check_err("T: module (x: int): [y: int]; define x = 1; y = 2; end T;");
+        assert!(codes.contains(&"E0221".to_string()));
+    }
+
+    #[test]
+    fn missing_definition_rejected() {
+        let codes = check_err("T: module (): [y: int]; define end T;");
+        assert!(codes.contains(&"E0270".to_string()));
+    }
+
+    #[test]
+    fn double_scalar_definition_rejected() {
+        let codes =
+            check_err("T: module (): [y: int]; define y = 1; y = 2; end T;");
+        assert!(codes.contains(&"E0271".to_string()));
+    }
+
+    #[test]
+    fn overlapping_array_definitions_rejected() {
+        let codes = check_err(
+            "T: module (n: int): [y: int];
+             type I = 1 .. n;
+             var a: array [I] of int;
+             define
+                a[I] = 0;
+                a[I] = 1;
+                y = a[1];
+             end T;",
+        );
+        assert!(codes.contains(&"E0272".to_string()));
+    }
+
+    #[test]
+    fn unbound_index_var_rejected() {
+        let codes = check_err(
+            "T: module (n: int): [y: int];
+             type I = 1 .. n;
+             var a: array [I] of int;
+             define
+                a[I] = 0;
+                y = I;
+             end T;",
+        );
+        assert!(codes.contains(&"E0245".to_string()));
+    }
+
+    #[test]
+    fn type_errors_rejected() {
+        let codes = check_err("T: module (): [y: bool]; define y = 1 + true; end T;");
+        assert!(codes.contains(&"E0260".to_string()));
+        let codes = check_err("T: module (x: real): [y: int]; define y = x; end T;");
+        assert!(codes.contains(&"E0229".to_string()));
+    }
+
+    #[test]
+    fn int_division_operators() {
+        let m = check_ok("T: module (a: int; b: int): [y: int]; define y = a div b + a mod b; end T;");
+        assert_eq!(m.equations.len(), 1);
+        // `/` on ints must yield real and be rejected for an int target.
+        let codes = check_err("T: module (a: int; b: int): [y: int]; define y = a / b; end T;");
+        assert!(codes.contains(&"E0229".to_string()));
+    }
+
+    #[test]
+    fn enums_and_records() {
+        let m = check_ok(
+            "T: module (): [y: int];
+             type Color = (red, green, blue);
+                  Pt = record a: real; b: real; end;
+             var c: Color; p: Pt;
+             define
+                c = green;
+                p.a = 1.0;
+                p.b = p.a + 1.0;
+                y = ord(c);
+             end T;",
+        );
+        assert_eq!(m.enums.len(), 1);
+        assert_eq!(m.records.len(), 1);
+        assert_eq!(m.equations.len(), 4);
+    }
+
+    #[test]
+    fn record_missing_field_def_rejected() {
+        let codes = check_err(
+            "T: module (): [y: real];
+             type Pt = record a: real; b: real; end;
+             var p: Pt;
+             define
+                p.a = 1.0;
+                y = p.a;
+             end T;",
+        );
+        assert!(codes.contains(&"E0270".to_string()));
+    }
+
+    #[test]
+    fn out_of_range_index_var_rejected() {
+        let codes = check_err(
+            "T: module (n: int): [y: int];
+             type I = 1 .. 10; Wide = 0 .. 20;
+             var a: array [I] of int;
+             define
+                a[Wide] = 0;
+                y = a[1];
+             end T;",
+        );
+        assert!(codes.contains(&"E0230".to_string()));
+    }
+
+    #[test]
+    fn dynamic_subscript_allowed() {
+        let m = check_ok(
+            "T: module (n: int; idx: array[1..10] of int): [y: int];
+             type I = 1 .. 10;
+             var a: array [I] of int;
+             define
+                a[I] = I * 2;
+                y = a[idx[1]];
+             end T;",
+        );
+        let eq = &m.equations[m.equation_by_label("eq.2").unwrap()];
+        let reads = eq.rhs.array_reads();
+        // Outer read a[...] has a Dynamic subscript; inner read idx[1].
+        assert!(reads
+            .iter()
+            .any(|(_, s)| matches!(s[0], SubscriptExpr::Dynamic(_))));
+    }
+
+    #[test]
+    fn affine_multi_var_subscript() {
+        // The transformed-program shape: subscript affine in two index vars.
+        let m = check_ok(
+            "T: module (n: int; b: array[0..30] of real): [y: real];
+             type I = 1 .. 10; J = 1 .. 2;
+             var a: array [I, J] of real;
+             define
+                a[I, J] = b[2*I + J - 3];
+                y = a[1, 1];
+             end T;",
+        );
+        let eq = &m.equations[m.equation_by_label("eq.1").unwrap()];
+        let reads = eq.rhs.array_reads();
+        match &reads[0].1[0] {
+            SubscriptExpr::Affine(a) => {
+                assert_eq!(a.iv_terms.len(), 2);
+                assert_eq!(a.rest.as_constant(), Some(-3));
+            }
+            other => panic!("expected affine subscript, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frontend_helper_works() {
+        let m = crate::frontend(RELAXATION_V1).expect("frontend");
+        assert_eq!(m.name.as_str(), "Relaxation");
+    }
+
+    #[test]
+    fn frontend_reports_errors() {
+        let err = crate::frontend("T: module (): [y: int]; define y = zzz; end T;")
+            .expect_err("should fail");
+        assert!(err.contains("E0246"), "{err}");
+    }
+}

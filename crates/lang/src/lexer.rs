@@ -1,0 +1,395 @@
+//! Hand-written lexer for PS.
+//!
+//! Notable PS lexical features:
+//! * comments are `(* ... *)` and **nest** (the paper's Figure 1 carries a
+//!   `(*$m+v+x+t-*)` pragma comment — treated as an ordinary comment here);
+//! * `..` (subrange) must be distinguished from the decimal point, so `0..M`
+//!   lexes as `0`, `..`, `M` while `0.5` is a real literal;
+//! * identifiers are case-sensitive; keywords are lowercase.
+
+use crate::token::{Token, TokenKind};
+use ps_support::{Diagnostic, DiagnosticSink, Span, Symbol};
+
+struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+/// Lex `source`, reporting errors to `sink`. Always produces a token stream
+/// terminated by [`TokenKind::Eof`]; on errors the offending characters are
+/// skipped so parsing can still proceed for later constructs.
+pub fn lex(source: &str, sink: &DiagnosticSink) -> Vec<Token> {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        tokens: Vec::new(),
+    };
+    lx.run(sink);
+    lx.tokens
+}
+
+impl<'src> Lexer<'src> {
+    fn peek(&self) -> u8 {
+        self.src.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek2(&self) -> u8 {
+        self.src.get(self.pos + 1).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    fn push(&mut self, kind: TokenKind, lo: usize) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(lo as u32, self.pos as u32),
+        });
+    }
+
+    fn run(&mut self, sink: &DiagnosticSink) {
+        loop {
+            self.skip_trivia(sink);
+            let lo = self.pos;
+            if self.pos >= self.src.len() {
+                self.push(TokenKind::Eof, lo);
+                break;
+            }
+            let b = self.peek();
+            match b {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(lo),
+                b'0'..=b'9' => self.number(lo, sink),
+                b'\'' => self.char_literal(lo, sink),
+                b'(' => {
+                    self.bump();
+                    self.push(TokenKind::LParen, lo);
+                }
+                b')' => {
+                    self.bump();
+                    self.push(TokenKind::RParen, lo);
+                }
+                b'[' => {
+                    self.bump();
+                    self.push(TokenKind::LBracket, lo);
+                }
+                b']' => {
+                    self.bump();
+                    self.push(TokenKind::RBracket, lo);
+                }
+                b':' => {
+                    self.bump();
+                    self.push(TokenKind::Colon, lo);
+                }
+                b';' => {
+                    self.bump();
+                    self.push(TokenKind::Semi, lo);
+                }
+                b',' => {
+                    self.bump();
+                    self.push(TokenKind::Comma, lo);
+                }
+                b'.' => {
+                    self.bump();
+                    if self.peek() == b'.' {
+                        self.bump();
+                        self.push(TokenKind::DotDot, lo);
+                    } else {
+                        self.push(TokenKind::Dot, lo);
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    self.push(TokenKind::Eq, lo);
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        b'>' => {
+                            self.bump();
+                            self.push(TokenKind::Ne, lo);
+                        }
+                        b'=' => {
+                            self.bump();
+                            self.push(TokenKind::Le, lo);
+                        }
+                        _ => self.push(TokenKind::Lt, lo),
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        self.push(TokenKind::Ge, lo);
+                    } else {
+                        self.push(TokenKind::Gt, lo);
+                    }
+                }
+                b'+' => {
+                    self.bump();
+                    self.push(TokenKind::Plus, lo);
+                }
+                b'-' => {
+                    self.bump();
+                    self.push(TokenKind::Minus, lo);
+                }
+                b'*' => {
+                    self.bump();
+                    self.push(TokenKind::Star, lo);
+                }
+                b'/' => {
+                    self.bump();
+                    self.push(TokenKind::Slash, lo);
+                }
+                other => {
+                    self.bump();
+                    sink.emit(
+                        Diagnostic::error(
+                            "E0101",
+                            format!("unexpected character `{}`", other as char),
+                        )
+                        .with_span(Span::new(lo as u32, self.pos as u32)),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Skip whitespace and (nested) `(* ... *)` comments.
+    fn skip_trivia(&mut self, sink: &DiagnosticSink) {
+        loop {
+            while self.peek().is_ascii_whitespace() {
+                self.bump();
+            }
+            if self.peek() == b'(' && self.peek2() == b'*' {
+                let lo = self.pos;
+                self.bump();
+                self.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    if self.pos >= self.src.len() {
+                        sink.emit(
+                            Diagnostic::error("E0102", "unterminated comment")
+                                .with_span(Span::new(lo as u32, self.pos as u32)),
+                        );
+                        return;
+                    }
+                    if self.peek() == b'(' && self.peek2() == b'*' {
+                        self.bump();
+                        self.bump();
+                        depth += 1;
+                    } else if self.peek() == b'*' && self.peek2() == b')' {
+                        self.bump();
+                        self.bump();
+                        depth -= 1;
+                    } else {
+                        self.bump();
+                    }
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn ident(&mut self, lo: usize) {
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[lo..self.pos]).expect("ascii ident");
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(Symbol::intern(text)));
+        self.push(kind, lo);
+    }
+
+    fn number(&mut self, lo: usize, sink: &DiagnosticSink) {
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        let mut is_real = false;
+        // A '.' followed by a digit is a decimal point; `..` is a subrange.
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_real = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E') {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), b'+' | b'-') {
+                self.bump();
+            }
+            if self.peek().is_ascii_digit() {
+                is_real = true;
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. `2elsif...` won't occur,
+                // but `2e` followed by an ident char): back off.
+                self.pos = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[lo..self.pos]).expect("ascii number");
+        let span = Span::new(lo as u32, self.pos as u32);
+        if is_real {
+            match text.parse::<f64>() {
+                Ok(v) => self.push(TokenKind::Real(v), lo),
+                Err(_) => {
+                    sink.emit(
+                        Diagnostic::error("E0103", format!("invalid real literal `{text}`"))
+                            .with_span(span),
+                    );
+                    self.push(TokenKind::Real(0.0), lo);
+                }
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => self.push(TokenKind::Int(v), lo),
+                Err(_) => {
+                    sink.emit(
+                        Diagnostic::error(
+                            "E0104",
+                            format!("integer literal `{text}` out of range"),
+                        )
+                        .with_span(span),
+                    );
+                    self.push(TokenKind::Int(0), lo);
+                }
+            }
+        }
+    }
+
+    fn char_literal(&mut self, lo: usize, sink: &DiagnosticSink) {
+        self.bump(); // opening quote
+        let c = self.bump();
+        if self.peek() == b'\'' {
+            self.bump();
+            self.push(TokenKind::Char(c as char), lo);
+        } else {
+            sink.emit(
+                Diagnostic::error("E0105", "unterminated character literal")
+                    .with_span(Span::new(lo as u32, self.pos as u32)),
+            );
+            self.push(TokenKind::Char(c as char), lo);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let sink = DiagnosticSink::new();
+        let toks = lex(src, &sink);
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_module_header() {
+        let ks = kinds("Relaxation: module (M: int):");
+        assert_eq!(ks[0], TokenKind::Ident(Symbol::intern("Relaxation")));
+        assert_eq!(ks[1], TokenKind::Colon);
+        assert_eq!(ks[2], TokenKind::KwModule);
+        assert_eq!(ks[3], TokenKind::LParen);
+    }
+
+    #[test]
+    fn subrange_vs_real() {
+        assert_eq!(
+            kinds("0..9"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::DotDot,
+                TokenKind::Int(9),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("0.5"), vec![TokenKind::Real(0.5), TokenKind::Eof]);
+        assert_eq!(
+            kinds("1..M"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::DotDot,
+                TokenKind::Ident(Symbol::intern("M")),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn exponents() {
+        assert_eq!(kinds("2.5e3"), vec![TokenKind::Real(2500.0), TokenKind::Eof]);
+        assert_eq!(kinds("1e-2"), vec![TokenKind::Real(0.01), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn nested_comments_skipped() {
+        let ks = kinds("(* outer (* inner *) still outer *) x");
+        assert_eq!(ks, vec![TokenKind::Ident(Symbol::intern("x")), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn pragma_comment_is_comment() {
+        let ks = kinds("(*$m+v+x+t-*) define");
+        assert_eq!(ks, vec![TokenKind::KwDefine, TokenKind::Eof]);
+    }
+
+    #[test]
+    fn relational_operators() {
+        assert_eq!(
+            kinds("< <= <> > >= ="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Ne,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        let sink = DiagnosticSink::new();
+        lex("(* never closed", &sink);
+        assert!(sink.has_errors());
+    }
+
+    #[test]
+    fn unexpected_character_recovers() {
+        let sink = DiagnosticSink::new();
+        let toks = lex("a ? b", &sink);
+        assert!(sink.has_errors());
+        // `a` and `b` still lexed.
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds("'x'"), vec![TokenKind::Char('x'), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn spans_cover_lexemes() {
+        let sink = DiagnosticSink::new();
+        let toks = lex("abc 12", &sink);
+        assert_eq!(toks[0].span, Span::new(0, 3));
+        assert_eq!(toks[1].span, Span::new(4, 6));
+    }
+
+    #[test]
+    fn keywords_are_case_sensitive() {
+        let ks = kinds("if If");
+        assert_eq!(ks[0], TokenKind::KwIf);
+        assert_eq!(ks[1], TokenKind::Ident(Symbol::intern("If")));
+    }
+}

@@ -1,0 +1,922 @@
+//! Recursive-descent parser for PS.
+//!
+//! Grammar (EBNF, `{}` repetition, `[]` option):
+//!
+//! ```text
+//! program    = { module } ;
+//! module     = IDENT ":" "module" "(" [ params ] ")" ":"
+//!              "[" results "]" ";" { section } "end" IDENT ";" ;
+//! params     = paramdecl { ";" paramdecl } ;
+//! results    = paramdecl { ("," | ";") paramdecl } ;
+//! paramdecl  = IDENT { "," IDENT } ":" typeexpr ;
+//! section    = "type" { typedecl } | "var" { vardecl } | "define" { equation } ;
+//! typedecl   = IDENT { "," IDENT } "=" typeexpr ";" ;
+//! vardecl    = IDENT { "," IDENT } ":" typeexpr ";" ;
+//! equation   = lhs "=" expr ";" ;
+//! lhs        = IDENT [ "." IDENT ] [ "[" expr { "," expr } "]" ] ;
+//! typeexpr   = "array" "[" typeexpr { "," typeexpr } "]" "of" typeexpr
+//!            | "record" { paramdecl ";" } "end"
+//!            | "(" IDENT { "," IDENT } ")"
+//!            | expr ".." expr
+//!            | IDENT ;
+//! ```
+//!
+//! Expressions use standard precedence:
+//! `if/or/and/not/relational/additive/multiplicative/unary/postfix`.
+//! Error recovery synchronizes on `;` so one bad equation does not hide the
+//! rest of the module.
+
+use crate::ast::*;
+use crate::token::{Token, TokenKind};
+use ps_support::{Diagnostic, DiagnosticSink, Span, Symbol};
+
+/// Parse a whole program (sequence of modules).
+pub fn parse_program(tokens: &[Token], sink: &DiagnosticSink) -> Program {
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        sink,
+    };
+    let mut modules = Vec::new();
+    while !p.at(TokenKind::Eof) {
+        let before = p.pos;
+        if let Some(m) = p.module() {
+            modules.push(m);
+        }
+        if p.pos == before {
+            // Ensure progress even on unrecoverable garbage.
+            p.bump();
+        }
+    }
+    Program { modules }
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    sink: &'a DiagnosticSink,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Token {
+        self.tokens
+            .get(self.pos)
+            .copied()
+            .unwrap_or_else(|| *self.tokens.last().expect("lexer always emits Eof"))
+    }
+
+    fn peek_kind(&self) -> TokenKind {
+        self.peek().kind
+    }
+
+    fn nth_kind(&self, n: usize) -> TokenKind {
+        self.tokens
+            .get(self.pos + n)
+            .map(|t| t.kind)
+            .unwrap_or(TokenKind::Eof)
+    }
+
+    fn at(&self, kind: TokenKind) -> bool {
+        std::mem::discriminant(&self.peek_kind()) == std::mem::discriminant(&kind)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, ctx: &str) -> Option<Token> {
+        if self.at(kind) {
+            Some(self.bump())
+        } else {
+            let found = self.peek();
+            self.sink.emit(
+                Diagnostic::error(
+                    "E0110",
+                    format!(
+                        "expected {} {ctx}, found {}",
+                        kind.describe(),
+                        found.kind.describe()
+                    ),
+                )
+                .with_span(found.span),
+            );
+            None
+        }
+    }
+
+    fn expect_ident(&mut self, ctx: &str) -> Option<(Symbol, Span)> {
+        match self.peek_kind() {
+            TokenKind::Ident(s) => {
+                let t = self.bump();
+                Some((s, t.span))
+            }
+            other => {
+                self.sink.emit(
+                    Diagnostic::error(
+                        "E0111",
+                        format!("expected identifier {ctx}, found {}", other.describe()),
+                    )
+                    .with_span(self.peek().span),
+                );
+                None
+            }
+        }
+    }
+
+    /// Skip ahead past the next `;` (or stop at `end`/EOF) after an error.
+    fn synchronize(&mut self) {
+        loop {
+            match self.peek_kind() {
+                TokenKind::Semi => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::Eof | TokenKind::KwEnd => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ---- module -----------------------------------------------------------
+
+    fn module(&mut self) -> Option<Module> {
+        let (name, name_span) = self.expect_ident("as module name")?;
+        self.expect(TokenKind::Colon, "after module name")?;
+        self.expect(TokenKind::KwModule, "in module header")?;
+        self.expect(TokenKind::LParen, "before module parameters")?;
+        let mut params = Vec::new();
+        if !self.at(TokenKind::RParen) {
+            loop {
+                if let Some(p) = self.param_decl() {
+                    params.push(p);
+                } else {
+                    self.synchronize();
+                }
+                if !self.eat(TokenKind::Semi) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "after module parameters")?;
+        self.expect(TokenKind::Colon, "before module results")?;
+        self.expect(TokenKind::LBracket, "before module results")?;
+        let mut results = Vec::new();
+        while let Some(r) = self.param_decl() {
+            results.push(r);
+            if !(self.eat(TokenKind::Comma) || {
+                // Results may also be `;`-separated, mirroring parameters.
+                self.at(TokenKind::Semi) && {
+                    self.bump();
+                    true
+                }
+            }) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RBracket, "after module results")?;
+        self.expect(TokenKind::Semi, "after module header")?;
+
+        let mut sections = Vec::new();
+        loop {
+            match self.peek_kind() {
+                TokenKind::KwType => {
+                    self.bump();
+                    sections.push(Section::Types(self.type_decls()));
+                }
+                TokenKind::KwVar => {
+                    self.bump();
+                    sections.push(Section::Vars(self.var_decls()));
+                }
+                TokenKind::KwDefine => {
+                    self.bump();
+                    sections.push(Section::Define(self.equations()));
+                }
+                TokenKind::KwEnd => break,
+                TokenKind::Eof => {
+                    self.sink.emit(
+                        Diagnostic::error("E0112", "missing `end` for module")
+                            .with_span(self.peek().span),
+                    );
+                    break;
+                }
+                other => {
+                    self.sink.emit(
+                        Diagnostic::error(
+                            "E0113",
+                            format!(
+                                "expected `type`, `var`, `define` or `end`, found {}",
+                                other.describe()
+                            ),
+                        )
+                        .with_span(self.peek().span),
+                    );
+                    self.synchronize();
+                }
+            }
+        }
+        self.eat(TokenKind::KwEnd);
+        let end_name = self
+            .expect_ident("after `end`")
+            .map(|(s, _)| s)
+            .unwrap_or(name);
+        self.expect(TokenKind::Semi, "after `end <name>`");
+        if end_name != name {
+            self.sink.emit(
+                Diagnostic::error(
+                    "E0114",
+                    format!("module `{name}` is closed by `end {end_name}`"),
+                )
+                .with_span(name_span),
+            );
+        }
+        let end_span = self.tokens[self.pos.saturating_sub(1)].span;
+        Some(Module {
+            name,
+            params,
+            results,
+            sections,
+            end_name,
+            span: name_span.to(end_span),
+        })
+    }
+
+    fn param_decl(&mut self) -> Option<ParamDecl> {
+        let first = self.expect_ident("in declaration")?;
+        let mut names = vec![first];
+        while self.eat(TokenKind::Comma) {
+            names.push(self.expect_ident("in declaration")?);
+        }
+        self.expect(TokenKind::Colon, "before type")?;
+        let ty = self.type_expr()?;
+        let span = names[0].1.to(ty.span());
+        Some(ParamDecl { names, ty, span })
+    }
+
+    // ---- declarations ------------------------------------------------------
+
+    fn decl_names(&mut self) -> Option<Vec<(Symbol, Span)>> {
+        let first = self.expect_ident("in declaration")?;
+        let mut names = vec![first];
+        while self.eat(TokenKind::Comma) {
+            names.push(self.expect_ident("in declaration")?);
+        }
+        Some(names)
+    }
+
+    fn type_decls(&mut self) -> Vec<TypeDecl> {
+        let mut decls = Vec::new();
+        // A type section runs until the next section keyword or `end`.
+        while matches!(self.peek_kind(), TokenKind::Ident(_)) {
+            let start = self.peek().span;
+            let Some(names) = self.decl_names() else {
+                self.synchronize();
+                continue;
+            };
+            if self.expect(TokenKind::Eq, "in type declaration").is_none() {
+                self.synchronize();
+                continue;
+            }
+            let Some(ty) = self.type_expr() else {
+                self.synchronize();
+                continue;
+            };
+            let end = self.peek().span;
+            self.expect(TokenKind::Semi, "after type declaration");
+            decls.push(TypeDecl {
+                names,
+                ty,
+                span: start.to(end),
+            });
+        }
+        decls
+    }
+
+    fn var_decls(&mut self) -> Vec<VarDecl> {
+        let mut decls = Vec::new();
+        while matches!(self.peek_kind(), TokenKind::Ident(_)) {
+            let start = self.peek().span;
+            let Some(names) = self.decl_names() else {
+                self.synchronize();
+                continue;
+            };
+            if self.expect(TokenKind::Colon, "in variable declaration").is_none() {
+                self.synchronize();
+                continue;
+            }
+            let Some(ty) = self.type_expr() else {
+                self.synchronize();
+                continue;
+            };
+            let end = self.peek().span;
+            self.expect(TokenKind::Semi, "after variable declaration");
+            decls.push(VarDecl {
+                names,
+                ty,
+                span: start.to(end),
+            });
+        }
+        decls
+    }
+
+    fn equations(&mut self) -> Vec<EquationDecl> {
+        let mut eqs = Vec::new();
+        while matches!(self.peek_kind(), TokenKind::Ident(_)) {
+            match self.equation() {
+                Some(eq) => eqs.push(eq),
+                None => self.synchronize(),
+            }
+        }
+        eqs
+    }
+
+    fn equation(&mut self) -> Option<EquationDecl> {
+        let (name, name_span) = self.expect_ident("at start of equation")?;
+        let mut field = None;
+        if self.eat(TokenKind::Dot) {
+            field = Some(self.expect_ident("after `.` in equation target")?);
+        }
+        let mut subscripts = Vec::new();
+        if self.eat(TokenKind::LBracket) {
+            loop {
+                subscripts.push(self.expr()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RBracket, "after subscripts")?;
+        }
+        let lhs_end = self.tokens[self.pos.saturating_sub(1)].span;
+        self.expect(TokenKind::Eq, "in equation")?;
+        let rhs = self.expr()?;
+        let end = self.peek().span;
+        self.expect(TokenKind::Semi, "after equation")?;
+        Some(EquationDecl {
+            lhs: LhsExpr {
+                name,
+                name_span,
+                subscripts,
+                field,
+                span: name_span.to(lhs_end),
+            },
+            rhs,
+            span: name_span.to(end),
+        })
+    }
+
+    // ---- types -------------------------------------------------------------
+
+    fn type_expr(&mut self) -> Option<TypeExpr> {
+        match self.peek_kind() {
+            TokenKind::KwArray => {
+                let start = self.bump().span;
+                self.expect(TokenKind::LBracket, "after `array`")?;
+                let mut index_specs = Vec::new();
+                loop {
+                    index_specs.push(self.type_expr()?);
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RBracket, "after array index types")?;
+                self.expect(TokenKind::KwOf, "in array type")?;
+                let elem = Box::new(self.type_expr()?);
+                let span = start.to(elem.span());
+                Some(TypeExpr::Array {
+                    index_specs,
+                    elem,
+                    span,
+                })
+            }
+            TokenKind::KwRecord => {
+                let start = self.bump().span;
+                let mut fields = Vec::new();
+                while matches!(self.peek_kind(), TokenKind::Ident(_)) {
+                    let Some(decl) = self.param_decl() else {
+                        self.synchronize();
+                        continue;
+                    };
+                    self.expect(TokenKind::Semi, "after record field");
+                    for (name, nspan) in &decl.names {
+                        fields.push((*name, decl.ty.clone(), *nspan));
+                    }
+                }
+                let end = self.peek().span;
+                self.expect(TokenKind::KwEnd, "to close record type")?;
+                Some(TypeExpr::Record {
+                    fields,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::LParen => {
+                // Could be an enumeration `(a, b, c)` or a parenthesized
+                // bound expression starting a subrange `(M+1) .. N`.
+                if let TokenKind::Ident(_) = self.nth_kind(1) {
+                    if matches!(self.nth_kind(2), TokenKind::Comma | TokenKind::RParen) {
+                        return self.enum_type();
+                    }
+                }
+                self.subrange_or_named()
+            }
+            _ => self.subrange_or_named(),
+        }
+    }
+
+    fn enum_type(&mut self) -> Option<TypeExpr> {
+        let start = self.expect(TokenKind::LParen, "in enumeration")?.span;
+        let mut variants = Vec::new();
+        loop {
+            variants.push(self.expect_ident("as enumeration variant")?);
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        let end = self.expect(TokenKind::RParen, "after enumeration")?.span;
+        Some(TypeExpr::Enum {
+            variants,
+            span: start.to(end),
+        })
+    }
+
+    /// Parse either `expr .. expr` (subrange) or a bare type name.
+    fn subrange_or_named(&mut self) -> Option<TypeExpr> {
+        let start = self.peek().span;
+        let first = self.expr()?;
+        if self.eat(TokenKind::DotDot) {
+            let hi = self.expr()?;
+            let span = start.to(hi.span());
+            return Some(TypeExpr::Subrange {
+                lo: first,
+                hi,
+                span,
+            });
+        }
+        match first.unparen() {
+            Expr::Var(name, span) => Some(TypeExpr::Named(*name, *span)),
+            other => {
+                self.sink.emit(
+                    Diagnostic::error(
+                        "E0115",
+                        "expected a type name or a `lo .. hi` subrange",
+                    )
+                    .with_span(other.span()),
+                );
+                None
+            }
+        }
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    fn expr(&mut self) -> Option<Expr> {
+        if self.at(TokenKind::KwIf) {
+            return self.if_expr();
+        }
+        self.or_expr()
+    }
+
+    fn if_expr(&mut self) -> Option<Expr> {
+        let start = self.expect(TokenKind::KwIf, "")?.span;
+        let mut arms = Vec::new();
+        let cond = self.expr()?;
+        self.expect(TokenKind::KwThen, "in `if` expression")?;
+        let value = self.expr()?;
+        arms.push((cond, value));
+        while self.eat(TokenKind::KwElsif) {
+            let c = self.expr()?;
+            self.expect(TokenKind::KwThen, "in `elsif` arm")?;
+            let v = self.expr()?;
+            arms.push((c, v));
+        }
+        self.expect(TokenKind::KwElse, "in `if` expression")?;
+        let else_ = Box::new(self.expr()?);
+        let span = start.to(else_.span());
+        Some(Expr::If { arms, else_, span })
+    }
+
+    fn or_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.at(TokenKind::KwOr) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Some(lhs)
+    }
+
+    fn and_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.at(TokenKind::KwAnd) {
+            self.bump();
+            let rhs = self.not_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Some(lhs)
+    }
+
+    fn not_expr(&mut self) -> Option<Expr> {
+        if self.at(TokenKind::KwNot) {
+            let start = self.bump().span;
+            let operand = self.not_expr()?;
+            let span = start.to(operand.span());
+            return Some(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.rel_expr()
+    }
+
+    fn rel_expr(&mut self) -> Option<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Some(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        let span = lhs.span().to(rhs.span());
+        Some(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span,
+        })
+    }
+
+    fn add_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Some(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::KwDiv => BinOp::IntDiv,
+                TokenKind::KwMod => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Some(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Option<Expr> {
+        if self.at(TokenKind::Minus) {
+            let start = self.bump().span;
+            let operand = self.unary_expr()?;
+            let span = start.to(operand.span());
+            return Some(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Option<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek_kind() {
+                TokenKind::LBracket => {
+                    self.bump();
+                    let mut subscripts = Vec::new();
+                    loop {
+                        subscripts.push(self.expr()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    let end = self.expect(TokenKind::RBracket, "after subscripts")?.span;
+                    let span = e.span().to(end);
+                    e = Expr::Subscript {
+                        base: Box::new(e),
+                        subscripts,
+                        span,
+                    };
+                }
+                TokenKind::Dot => {
+                    self.bump();
+                    let (field, fspan) = self.expect_ident("after `.`")?;
+                    let span = e.span().to(fspan);
+                    e = Expr::Field {
+                        base: Box::new(e),
+                        field,
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Some(e)
+    }
+
+    fn primary_expr(&mut self) -> Option<Expr> {
+        match self.peek_kind() {
+            TokenKind::Int(v) => {
+                let t = self.bump();
+                Some(Expr::IntLit(v, t.span))
+            }
+            TokenKind::Real(v) => {
+                let t = self.bump();
+                Some(Expr::RealLit(v, t.span))
+            }
+            TokenKind::Char(c) => {
+                let t = self.bump();
+                Some(Expr::CharLit(c, t.span))
+            }
+            TokenKind::KwTrue => {
+                let t = self.bump();
+                Some(Expr::BoolLit(true, t.span))
+            }
+            TokenKind::KwFalse => {
+                let t = self.bump();
+                Some(Expr::BoolLit(false, t.span))
+            }
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                if self.at(TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(TokenKind::RParen, "after call arguments")?.span;
+                    Some(Expr::Call {
+                        name,
+                        name_span: t.span,
+                        args,
+                        span: t.span.to(end),
+                    })
+                } else {
+                    Some(Expr::Var(name, t.span))
+                }
+            }
+            TokenKind::LParen => {
+                let start = self.bump().span;
+                let inner = self.expr()?;
+                let end = self.expect(TokenKind::RParen, "to close parenthesis")?.span;
+                Some(Expr::Paren(Box::new(inner), start.to(end)))
+            }
+            other => {
+                self.sink.emit(
+                    Diagnostic::error(
+                        "E0116",
+                        format!("expected expression, found {}", other.describe()),
+                    )
+                    .with_span(self.peek().span),
+                );
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> Program {
+        let sink = DiagnosticSink::new();
+        let toks = lex(src, &sink);
+        let prog = parse_program(&toks, &sink);
+        assert!(
+            !sink.has_errors(),
+            "unexpected parse errors: {:#?}",
+            sink.snapshot()
+        );
+        prog
+    }
+
+    const MINI: &str = "
+        Mini: module (x: int): [y: int];
+        define
+            y = x + 1;
+        end Mini;
+    ";
+
+    #[test]
+    fn parses_minimal_module() {
+        let prog = parse_ok(MINI);
+        assert_eq!(prog.modules.len(), 1);
+        let m = &prog.modules[0];
+        assert_eq!(m.name.as_str(), "Mini");
+        assert_eq!(m.params.len(), 1);
+        assert_eq!(m.results.len(), 1);
+        assert_eq!(m.equations().count(), 1);
+    }
+
+    #[test]
+    fn parses_relaxation_shape() {
+        let src = "
+            Relaxation: module (InitialA: array[I,J] of real;
+                                M: int; maxK: int):
+                        [newA: array[I,J] of real];
+            type
+                I, J = 0 .. M+1;
+                K = 2 .. maxK;
+            var
+                A: array [1 .. maxK] of array[I,J] of real;
+            define
+                A[1] = InitialA;
+                newA = A[maxK];
+                A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+                           then A[K-1,I,J]
+                           else ( A[K-1,I,J-1]
+                                + A[K-1,I-1,J]
+                                + A[K-1,I,J+1]
+                                + A[K-1,I+1,J] ) / 4;
+            end Relaxation;
+        ";
+        let prog = parse_ok(src);
+        let m = &prog.modules[0];
+        assert_eq!(m.type_decls().count(), 2);
+        assert_eq!(m.var_decls().count(), 1);
+        let eqs: Vec<_> = m.equations().collect();
+        assert_eq!(eqs.len(), 3);
+        // eq.1: A[1] = InitialA
+        assert_eq!(eqs[0].lhs.name.as_str(), "A");
+        assert_eq!(eqs[0].lhs.subscripts.len(), 1);
+        // eq.3 has a 3-subscript LHS and an if RHS.
+        assert_eq!(eqs[2].lhs.subscripts.len(), 3);
+        assert!(matches!(eqs[2].rhs, Expr::If { .. }));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let prog = parse_ok("T: module (): [y: int]; define y = 1 + 2 * 3; end T;");
+        let eq = prog.modules[0].equations().next().unwrap();
+        match &eq.rhs {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("expected Add at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_with_elsif_chain() {
+        let prog = parse_ok(
+            "T: module (x: int): [y: int];
+             define y = if x < 0 then 0 elsif x > 10 then 10 else x;
+             end T;",
+        );
+        let eq = prog.modules[0].equations().next().unwrap();
+        match &eq.rhs {
+            Expr::If { arms, .. } => assert_eq!(arms.len(), 2),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enum_and_record_types() {
+        let prog = parse_ok(
+            "T: module (): [y: int];
+             type
+                Color = (red, green, blue);
+                Pt = record x: real; y: real; end;
+             define y = 1;
+             end T;",
+        );
+        let decls: Vec<_> = prog.modules[0].type_decls().collect();
+        assert!(matches!(decls[0].ty, TypeExpr::Enum { .. }));
+        assert!(matches!(decls[1].ty, TypeExpr::Record { .. }));
+    }
+
+    #[test]
+    fn parenthesized_subrange_bound() {
+        let prog = parse_ok(
+            "T: module (n: int): [y: int];
+             type R = (n-1) .. (n*2);
+             define y = 1;
+             end T;",
+        );
+        let decl = prog.modules[0].type_decls().next().unwrap();
+        assert!(matches!(decl.ty, TypeExpr::Subrange { .. }));
+    }
+
+    #[test]
+    fn error_recovery_keeps_later_equations() {
+        let sink = DiagnosticSink::new();
+        let toks = lex(
+            "T: module (): [y: int];
+             define
+                y = 1 + ;
+                z = 2;
+             end T;",
+            &sink,
+        );
+        let prog = parse_program(&toks, &sink);
+        assert!(sink.has_errors());
+        // The bad equation is dropped but `z = 2;` survives.
+        let eqs: Vec<_> = prog.modules[0].equations().collect();
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].lhs.name.as_str(), "z");
+    }
+
+    #[test]
+    fn mismatched_end_name_reported() {
+        let sink = DiagnosticSink::new();
+        let toks = lex("A: module (): [y: int]; define y = 1; end B;", &sink);
+        parse_program(&toks, &sink);
+        assert!(sink.has_errors());
+    }
+
+    #[test]
+    fn record_field_lhs() {
+        let prog = parse_ok(
+            "T: module (): [y: real];
+             type Pt = record a: real; b: real; end;
+             var p: Pt;
+             define
+                p.a = 1.0;
+                p.b = 2.0;
+                y = p.a + p.b;
+             end T;",
+        );
+        let eqs: Vec<_> = prog.modules[0].equations().collect();
+        assert_eq!(eqs[0].lhs.field.map(|(s, _)| s.as_str()), Some("a"));
+    }
+
+    #[test]
+    fn multiple_modules() {
+        let prog = parse_ok(
+            "A: module (): [y: int]; define y = 1; end A;
+             B: module (): [z: int]; define z = 2; end B;",
+        );
+        assert_eq!(prog.modules.len(), 2);
+    }
+
+    #[test]
+    fn builtin_call_syntax() {
+        let prog = parse_ok("T: module (x: real): [y: real]; define y = max(abs(x), 1.0); end T;");
+        let eq = prog.modules[0].equations().next().unwrap();
+        assert!(matches!(eq.rhs, Expr::Call { .. }));
+    }
+}

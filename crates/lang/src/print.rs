@@ -1,0 +1,296 @@
+//! Pretty-printers: AST → PS surface syntax and HIR → annotated listing.
+//!
+//! The AST printer supports the Figure-1 round-trip test (parse the paper's
+//! Relaxation module, print it, re-parse, compare structure); the HIR
+//! printer is a debugging aid showing classified subscripts.
+
+use crate::ast::{self, Expr, Module, TypeExpr};
+use crate::hir::{HExpr, HirModule, LhsSub, SubscriptExpr};
+use ps_support::pretty::PrettyWriter;
+
+/// Render a module back to PS source.
+pub fn print_module(m: &Module) -> String {
+    let mut w = PrettyWriter::new();
+    w.write(&format!("{}: module (", m.name));
+    let params: Vec<String> = m.params.iter().map(print_param).collect();
+    w.write(&params.join("; "));
+    w.write("):");
+    w.newline();
+    w.indented(|w| {
+        let results: Vec<String> = m.results.iter().map(print_param).collect();
+        w.line(&format!("[{}];", results.join(", ")));
+    });
+    for section in &m.sections {
+        match section {
+            ast::Section::Types(ds) => {
+                w.line("type");
+                w.indented(|w| {
+                    for d in ds {
+                        let names: Vec<String> =
+                            d.names.iter().map(|(n, _)| n.to_string()).collect();
+                        w.line(&format!("{} = {};", names.join(", "), print_type(&d.ty)));
+                    }
+                });
+            }
+            ast::Section::Vars(ds) => {
+                w.line("var");
+                w.indented(|w| {
+                    for d in ds {
+                        let names: Vec<String> =
+                            d.names.iter().map(|(n, _)| n.to_string()).collect();
+                        w.line(&format!("{}: {};", names.join(", "), print_type(&d.ty)));
+                    }
+                });
+            }
+            ast::Section::Define(eqs) => {
+                w.line("define");
+                w.indented(|w| {
+                    for eq in eqs {
+                        let mut lhs = eq.lhs.name.to_string();
+                        if let Some((f, _)) = eq.lhs.field {
+                            lhs.push('.');
+                            lhs.push_str(f.as_str());
+                        }
+                        if !eq.lhs.subscripts.is_empty() {
+                            let subs: Vec<String> =
+                                eq.lhs.subscripts.iter().map(print_expr).collect();
+                            lhs = format!("{lhs}[{}]", subs.join(", "));
+                        }
+                        w.line(&format!("{lhs} = {};", print_expr(&eq.rhs)));
+                    }
+                });
+            }
+        }
+    }
+    w.line(&format!("end {};", m.name));
+    w.finish()
+}
+
+fn print_param(p: &ast::ParamDecl) -> String {
+    let names: Vec<String> = p.names.iter().map(|(n, _)| n.to_string()).collect();
+    format!("{}: {}", names.join(", "), print_type(&p.ty))
+}
+
+/// Render a type expression.
+pub fn print_type(t: &TypeExpr) -> String {
+    match t {
+        TypeExpr::Named(n, _) => n.to_string(),
+        TypeExpr::Subrange { lo, hi, .. } => {
+            format!("{} .. {}", print_expr(lo), print_expr(hi))
+        }
+        TypeExpr::Array {
+            index_specs, elem, ..
+        } => {
+            let specs: Vec<String> = index_specs.iter().map(print_type).collect();
+            format!("array [{}] of {}", specs.join(", "), print_type(elem))
+        }
+        TypeExpr::Record { fields, .. } => {
+            let fs: Vec<String> = fields
+                .iter()
+                .map(|(n, t, _)| format!("{n}: {}", print_type(t)))
+                .collect();
+            format!("record {} end", fs.join("; "))
+        }
+        TypeExpr::Enum { variants, .. } => {
+            let vs: Vec<String> = variants.iter().map(|(n, _)| n.to_string()).collect();
+            format!("({})", vs.join(", "))
+        }
+    }
+}
+
+/// Render an expression.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit(v, _) => v.to_string(),
+        Expr::RealLit(v, _) => {
+            let s = v.to_string();
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::BoolLit(v, _) => v.to_string(),
+        Expr::CharLit(c, _) => format!("'{c}'"),
+        Expr::Var(n, _) => n.to_string(),
+        Expr::Subscript {
+            base, subscripts, ..
+        } => {
+            let subs: Vec<String> = subscripts.iter().map(print_expr).collect();
+            format!("{}[{}]", print_expr(base), subs.join(", "))
+        }
+        Expr::Field { base, field, .. } => format!("{}.{field}", print_expr(base)),
+        Expr::Call { name, args, .. } => {
+            let a: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", a.join(", "))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("{} {} {}", print_expr(lhs), op.as_str(), print_expr(rhs))
+        }
+        Expr::Unary { op, operand, .. } => match op {
+            ast::UnOp::Neg => format!("-{}", print_expr(operand)),
+            ast::UnOp::Not => format!("not {}", print_expr(operand)),
+        },
+        Expr::If { arms, else_, .. } => {
+            let mut s = String::new();
+            for (i, (c, v)) in arms.iter().enumerate() {
+                let kw = if i == 0 { "if" } else { " elsif" };
+                s.push_str(&format!("{kw} {} then {}", print_expr(c), print_expr(v)));
+            }
+            s.push_str(&format!(" else {}", print_expr(else_)));
+            s
+        }
+        Expr::Paren(inner, _) => format!("({})", print_expr(inner)),
+    }
+}
+
+/// Render a checked module as an annotated listing (debugging aid).
+pub fn print_hir(m: &HirModule) -> String {
+    let mut w = PrettyWriter::new();
+    w.line(&format!("module {}", m.name));
+    w.indented(|w| {
+        for (id, d) in m.data.iter_enumerated() {
+            let dims: Vec<String> = d
+                .dims()
+                .iter()
+                .map(|&sr| m.subranges[sr].display_name())
+                .collect();
+            let dims = if dims.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", dims.join(", "))
+            };
+            w.line(&format!("{id:?} {:?} {}{dims}: {}", d.kind, d.name, d.ty));
+        }
+        for (_, eq) in m.equations.iter_enumerated() {
+            let subs: Vec<String> = eq
+                .lhs_subs
+                .iter()
+                .map(|s| match s {
+                    LhsSub::Const(a) => a.to_string(),
+                    LhsSub::Var(iv) => eq.ivs[*iv].name.to_string(),
+                })
+                .collect();
+            let target = if subs.is_empty() {
+                m.data[eq.lhs].name.to_string()
+            } else {
+                format!("{}[{}]", m.data[eq.lhs].name, subs.join(", "))
+            };
+            w.line(&format!("{}: {target} = {}", eq.label, print_hexpr(m, eq, &eq.rhs)));
+        }
+    });
+    w.finish()
+}
+
+/// Render an HIR expression (uses equation context for index-var names).
+pub fn print_hexpr(m: &HirModule, eq: &crate::hir::Equation, e: &HExpr) -> String {
+    match e {
+        HExpr::Int(v) => v.to_string(),
+        HExpr::Real(v) => format!("{v:?}"),
+        HExpr::Bool(v) => v.to_string(),
+        HExpr::Char(c) => format!("'{c}'"),
+        HExpr::EnumConst(eid, idx) => m.enums[*eid].variants[*idx].to_string(),
+        HExpr::ReadScalar(d) => m.data[*d].name.to_string(),
+        HExpr::ReadField(d, idx) => {
+            let rec = match &m.data[*d].ty {
+                crate::types::Ty::Record(rid) => &m.records[*rid],
+                _ => return format!("{}.<field{idx}>", m.data[*d].name),
+            };
+            format!("{}.{}", m.data[*d].name, rec.fields[*idx].0)
+        }
+        HExpr::Iv(iv) => eq.ivs[*iv].name.to_string(),
+        HExpr::ReadArray { array, subs, .. } => {
+            let ss: Vec<String> = subs.iter().map(|s| print_subscript(m, eq, s)).collect();
+            format!("{}[{}]", m.data[*array].name, ss.join(", "))
+        }
+        HExpr::Binary { op, lhs, rhs } => format!(
+            "({} {} {})",
+            print_hexpr(m, eq, lhs),
+            op.as_str(),
+            print_hexpr(m, eq, rhs)
+        ),
+        HExpr::Unary { op, operand } => match op {
+            ast::UnOp::Neg => format!("-{}", print_hexpr(m, eq, operand)),
+            ast::UnOp::Not => format!("not {}", print_hexpr(m, eq, operand)),
+        },
+        HExpr::If { arms, else_ } => {
+            let mut s = String::new();
+            for (i, (c, v)) in arms.iter().enumerate() {
+                let kw = if i == 0 { "if" } else { " elsif" };
+                s.push_str(&format!(
+                    "{kw} {} then {}",
+                    print_hexpr(m, eq, c),
+                    print_hexpr(m, eq, v)
+                ));
+            }
+            s.push_str(&format!(" else {}", print_hexpr(m, eq, else_)));
+            s
+        }
+        HExpr::Call { builtin, args } => {
+            let a: Vec<String> = args.iter().map(|x| print_hexpr(m, eq, x)).collect();
+            format!("{}({})", builtin.name(), a.join(", "))
+        }
+        HExpr::CastReal(inner) => format!("real({})", print_hexpr(m, eq, inner)),
+    }
+}
+
+/// Render a classified subscript.
+pub fn print_subscript(m: &HirModule, eq: &crate::hir::Equation, s: &SubscriptExpr) -> String {
+    match s {
+        SubscriptExpr::Var(iv) => eq.ivs[*iv].name.to_string(),
+        SubscriptExpr::VarOffset(iv, d) => {
+            if *d >= 0 {
+                format!("{}+{d}", eq.ivs[*iv].name)
+            } else {
+                format!("{}-{}", eq.ivs[*iv].name, -d)
+            }
+        }
+        SubscriptExpr::Affine(a) => {
+            let mut parts: Vec<String> = Vec::new();
+            for &(iv, c) in &a.iv_terms {
+                let name = eq.ivs[iv].name;
+                parts.push(match c {
+                    1 => name.to_string(),
+                    -1 => format!("-{name}"),
+                    c => format!("{c}*{name}"),
+                });
+            }
+            let rest = a.rest.to_string();
+            if rest != "0" || parts.is_empty() {
+                parts.push(rest);
+            }
+            parts.join(" + ").replace("+ -", "- ")
+        }
+        SubscriptExpr::Dynamic(e) => print_hexpr(m, eq, e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_program;
+    use ps_support::DiagnosticSink;
+
+    #[test]
+    fn ast_print_round_trips() {
+        let src = "
+            T: module (x: int; ys: array[1..3] of real): [z: real];
+            type I = 1 .. 3;
+            define
+                z = if x > 0 then ys[x] else 0.0;
+            end T;
+        ";
+        let sink = DiagnosticSink::new();
+        let prog = parse_program(&lex(src, &sink), &sink);
+        assert!(!sink.has_errors());
+        let printed = print_module(&prog.modules[0]);
+
+        // Re-parse the printed text; structure must survive.
+        let sink2 = DiagnosticSink::new();
+        let prog2 = parse_program(&lex(&printed, &sink2), &sink2);
+        assert!(!sink2.has_errors(), "reparse failed:\n{printed}");
+        let printed2 = print_module(&prog2.modules[0]);
+        assert_eq!(printed, printed2, "printing must be a fixed point");
+    }
+}

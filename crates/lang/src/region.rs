@@ -1,0 +1,394 @@
+//! Definition-region analysis: the single-assignment discipline for arrays.
+//!
+//! PS is a single-assignment language, but an *array* may legally be defined
+//! by several equations covering disjoint regions — the paper's Relaxation
+//! module defines `A[1]` in eq.1 and `A[K,I,J]` for `K = 2..maxK` in eq.3.
+//! This pass checks, per data item:
+//!
+//! * scalars and record fields have **exactly one** defining equation;
+//! * arrays have at least one definition, pairwise **provably disjoint**
+//!   definitions (or a warning when disjointness is unprovable), and —
+//!   when provable in the affine bound algebra — definitions that **tile**
+//!   the declared index space exactly (a warning, not an error, otherwise:
+//!   incompletely defined elements surface as runtime errors).
+
+use crate::bounds::Affine;
+use crate::hir::{DataId, DataKind, Equation, HirModule, LhsSub};
+use crate::types::Ty;
+use ps_support::{Diagnostic, DiagnosticSink};
+
+/// One dimension of a definition region.
+#[derive(Clone, Debug)]
+enum DimPattern {
+    /// A single plane at a parameter-affine position.
+    Point(Affine),
+    /// The full range of a subrange `lo..hi`.
+    Range(Affine, Affine),
+}
+
+/// Three-valued comparison result for symbolic analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Tri {
+    Yes,
+    No,
+    Unknown,
+}
+
+fn patterns_of(module: &HirModule, eq: &Equation) -> Vec<DimPattern> {
+    eq.lhs_subs
+        .iter()
+        .map(|s| match s {
+            LhsSub::Const(a) => DimPattern::Point(a.clone()),
+            LhsSub::Var(iv) => {
+                let sr = &module.subranges[eq.ivs[*iv].subrange];
+                DimPattern::Range(sr.lo.clone(), sr.hi.clone())
+            }
+        })
+        .collect()
+}
+
+/// Is the intersection of two dim patterns provably empty / nonempty?
+fn dims_disjoint(a: &DimPattern, b: &DimPattern) -> Tri {
+    match (a, b) {
+        (DimPattern::Point(x), DimPattern::Point(y)) => match x.const_difference(y) {
+            Some(0) => Tri::No,
+            Some(_) => Tri::Yes,
+            None => Tri::Unknown,
+        },
+        (DimPattern::Point(p), DimPattern::Range(lo, hi))
+        | (DimPattern::Range(lo, hi), DimPattern::Point(p)) => {
+            let below = lo.const_difference(p).map(|d| d > 0); // lo > p
+            let above = p.const_difference(hi).map(|d| d > 0); // p > hi
+            match (below, above) {
+                (Some(true), _) | (_, Some(true)) => Tri::Yes,
+                (Some(false), Some(false)) => Tri::No,
+                _ => Tri::Unknown,
+            }
+        }
+        (DimPattern::Range(lo1, hi1), DimPattern::Range(lo2, hi2)) => {
+            // Structurally identical ranges overlap (declared subranges are
+            // nonempty by assumption; the runtime validates that).
+            if lo1.const_difference(lo2) == Some(0) && hi1.const_difference(hi2) == Some(0) {
+                return Tri::No;
+            }
+            let sep1 = lo2.const_difference(hi1).map(|d| d > 0); // lo2 > hi1
+            let sep2 = lo1.const_difference(hi2).map(|d| d > 0); // lo1 > hi2
+            match (sep1, sep2) {
+                (Some(true), _) | (_, Some(true)) => Tri::Yes,
+                (Some(false), Some(false)) => Tri::No,
+                _ => Tri::Unknown,
+            }
+        }
+    }
+}
+
+/// Run the analysis over every data item of `module`.
+pub fn check_regions(module: &HirModule, sink: &DiagnosticSink) {
+    for (data_id, item) in module.data.iter_enumerated() {
+        if item.kind == DataKind::Param {
+            continue;
+        }
+        match &item.ty {
+            Ty::Record(rid) => check_record(module, sink, data_id, *rid),
+            Ty::Array { .. } => check_array(module, sink, data_id),
+            Ty::Error => {}
+            _ => check_scalar(module, sink, data_id),
+        }
+    }
+}
+
+fn check_scalar(module: &HirModule, sink: &DiagnosticSink, data_id: DataId) {
+    let defs = module.defs_of(data_id);
+    let item = &module.data[data_id];
+    match defs.len() {
+        0 => sink.emit(
+            Diagnostic::error(
+                "E0270",
+                format!("`{}` has no defining equation", item.name),
+            )
+            .with_span(item.span),
+        ),
+        1 => {}
+        _ => sink.emit(
+            Diagnostic::error(
+                "E0271",
+                format!("`{}` is defined by {} equations", item.name, defs.len()),
+            )
+            .with_span(module.equations[defs[1]].span),
+        ),
+    }
+}
+
+fn check_record(
+    module: &HirModule,
+    sink: &DiagnosticSink,
+    data_id: DataId,
+    rid: crate::types::RecordId,
+) {
+    let item = &module.data[data_id];
+    let rec = &module.records[rid];
+    for (fidx, (fname, _)) in rec.fields.iter().enumerate() {
+        let defs: Vec<_> = module
+            .defs_of(data_id)
+            .into_iter()
+            .filter(|&e| module.equations[e].lhs_field == Some(fidx))
+            .collect();
+        match defs.len() {
+            0 => sink.emit(
+                Diagnostic::error(
+                    "E0270",
+                    format!("field `{}.{}` has no defining equation", item.name, fname),
+                )
+                .with_span(item.span),
+            ),
+            1 => {}
+            _ => sink.emit(
+                Diagnostic::error(
+                    "E0271",
+                    format!(
+                        "field `{}.{}` is defined by {} equations",
+                        item.name,
+                        fname,
+                        defs.len()
+                    ),
+                )
+                .with_span(module.equations[defs[1]].span),
+            ),
+        }
+    }
+}
+
+fn check_array(module: &HirModule, sink: &DiagnosticSink, data_id: DataId) {
+    let item = &module.data[data_id];
+    let defs = module.defs_of(data_id);
+    if defs.is_empty() {
+        sink.emit(
+            Diagnostic::error(
+                "E0270",
+                format!("`{}` has no defining equation", item.name),
+            )
+            .with_span(item.span),
+        );
+        return;
+    }
+
+    let patterns: Vec<Vec<DimPattern>> = defs
+        .iter()
+        .map(|&e| patterns_of(module, &module.equations[e]))
+        .collect();
+
+    // Pairwise disjointness: regions are disjoint when *some* dimension is
+    // provably disjoint; they provably overlap when *every* dimension
+    // provably intersects.
+    for i in 0..defs.len() {
+        for j in (i + 1)..defs.len() {
+            let mut any_disjoint = false;
+            let mut all_overlap = true;
+            for (a, b) in patterns[i].iter().zip(&patterns[j]) {
+                match dims_disjoint(a, b) {
+                    Tri::Yes => any_disjoint = true,
+                    Tri::No => {}
+                    Tri::Unknown => all_overlap = false,
+                }
+            }
+            if any_disjoint {
+                continue;
+            }
+            let eq_i = &module.equations[defs[i]];
+            let eq_j = &module.equations[defs[j]];
+            if all_overlap {
+                sink.emit(
+                    Diagnostic::error(
+                        "E0272",
+                        format!(
+                            "`{}` is multiply defined: {} and {} cover overlapping regions",
+                            item.name, eq_i.label, eq_j.label
+                        ),
+                    )
+                    .with_span(eq_j.span)
+                    .with_note(format!("first definition in {}", eq_i.label), Some(eq_i.span)),
+                );
+            } else {
+                sink.emit(
+                    Diagnostic::warning(
+                        "E0273",
+                        format!(
+                            "cannot prove that {} and {} define disjoint regions of `{}`",
+                            eq_i.label, eq_j.label, item.name
+                        ),
+                    )
+                    .with_span(eq_j.span),
+                );
+            }
+        }
+    }
+
+    check_coverage(module, sink, data_id, &defs, &patterns);
+}
+
+/// Best-effort tiling check: provable only in simple (but common) shapes.
+fn check_coverage(
+    module: &HirModule,
+    sink: &DiagnosticSink,
+    data_id: DataId,
+    defs: &[crate::hir::EqId],
+    patterns: &[Vec<DimPattern>],
+) {
+    let item = &module.data[data_id];
+    let dims = item.dims();
+
+    // Single definition covering every dimension fully?
+    if defs.len() == 1 {
+        let full = patterns[0].iter().zip(dims).all(|(p, &d)| {
+            let decl = &module.subranges[d];
+            match p {
+                DimPattern::Range(lo, hi) => {
+                    lo.const_difference(&decl.lo) == Some(0)
+                        && hi.const_difference(&decl.hi) == Some(0)
+                }
+                DimPattern::Point(_) => false,
+            }
+        });
+        if !full {
+            sink.emit(
+                Diagnostic::warning(
+                    "E0274",
+                    format!(
+                        "the single definition of `{}` may not cover the whole array",
+                        item.name
+                    ),
+                )
+                .with_span(module.equations[defs[0]].span),
+            );
+        }
+        return;
+    }
+
+    // Multiple definitions: provable when they agree on all dimensions
+    // except one, and the pieces in that dimension tile the declared range.
+    let rank = dims.len();
+    let mut varying_dim: Option<usize> = None;
+    for d in 0..rank {
+        let all_full = patterns.iter().all(|p| {
+            let decl = &module.subranges[dims[d]];
+            matches!(&p[d], DimPattern::Range(lo, hi)
+                if lo.const_difference(&decl.lo) == Some(0)
+                    && hi.const_difference(&decl.hi) == Some(0))
+        });
+        if all_full {
+            continue;
+        }
+        if varying_dim.is_some() {
+            // Too complex to prove; stay silent rather than noisy — the
+            // disjointness check above already guards correctness.
+            return;
+        }
+        varying_dim = Some(d);
+    }
+    let Some(d) = varying_dim else {
+        return;
+    };
+
+    // Collect pieces in dimension d as (lo, hi) affine pairs.
+    let mut pieces: Vec<(Affine, Affine)> = patterns
+        .iter()
+        .map(|p| match &p[d] {
+            DimPattern::Point(a) => (a.clone(), a.clone()),
+            DimPattern::Range(lo, hi) => (lo.clone(), hi.clone()),
+        })
+        .collect();
+    let decl = &module.subranges[dims[d]];
+
+    // Sort by provable offset from the declared low bound; bail out when
+    // unprovable.
+    let mut keyed: Vec<(i64, Affine, Affine)> = Vec::new();
+    for (lo, hi) in pieces.drain(..) {
+        match lo.const_difference(&decl.lo) {
+            Some(k) => keyed.push((k, lo, hi)),
+            None => return,
+        }
+    }
+    keyed.sort_by_key(|(k, _, _)| *k);
+
+    let mut ok = keyed.first().map(|(k, _, _)| *k == 0).unwrap_or(false);
+    if ok {
+        for w in keyed.windows(2) {
+            let (_, _, prev_hi) = &w[0];
+            let (_, next_lo, _) = &w[1];
+            if next_lo.const_difference(prev_hi) != Some(1) {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        let (_, _, last_hi) = keyed.last().expect("nonempty");
+        ok = last_hi.const_difference(&decl.hi) == Some(0);
+    }
+    if !ok {
+        sink.emit(
+            Diagnostic::warning(
+                "E0274",
+                format!(
+                    "the definitions of `{}` may not tile dimension {} ({}..{})",
+                    item.name, d, decl.lo, decl.hi
+                ),
+            )
+            .with_span(item.span),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_support::Symbol;
+
+    fn aff_const(k: i64) -> Affine {
+        Affine::constant(k)
+    }
+
+    fn aff_param(p: &str) -> Affine {
+        Affine::param(Symbol::intern(p))
+    }
+
+    #[test]
+    fn point_point_disjointness() {
+        let a = DimPattern::Point(aff_const(1));
+        let b = DimPattern::Point(aff_const(2));
+        assert_eq!(dims_disjoint(&a, &b), Tri::Yes);
+        assert_eq!(dims_disjoint(&a, &a), Tri::No);
+        let p = DimPattern::Point(aff_param("M"));
+        assert_eq!(dims_disjoint(&a, &p), Tri::Unknown);
+    }
+
+    #[test]
+    fn point_range_disjointness() {
+        let range = DimPattern::Range(aff_const(2), aff_param("maxK"));
+        assert_eq!(
+            dims_disjoint(&DimPattern::Point(aff_const(1)), &range),
+            Tri::Yes,
+            "1 < lo bound 2"
+        );
+        assert_eq!(
+            dims_disjoint(&DimPattern::Point(aff_const(2)), &range),
+            Tri::Unknown,
+            "2 >= 2 but vs maxK unknown"
+        );
+        let bounded = DimPattern::Range(aff_const(2), aff_const(9));
+        assert_eq!(
+            dims_disjoint(&DimPattern::Point(aff_const(5)), &bounded),
+            Tri::No
+        );
+    }
+
+    #[test]
+    fn range_range_disjointness() {
+        let a = DimPattern::Range(aff_const(0), aff_const(4));
+        let b = DimPattern::Range(aff_const(5), aff_const(9));
+        assert_eq!(dims_disjoint(&a, &b), Tri::Yes);
+        assert_eq!(dims_disjoint(&b, &a), Tri::Yes);
+        let c = DimPattern::Range(aff_const(4), aff_const(9));
+        assert_eq!(dims_disjoint(&a, &c), Tri::No);
+    }
+}

@@ -1,0 +1,172 @@
+//! Token definitions for the PS language.
+
+use ps_support::{Span, Symbol};
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TokenKind {
+    // Literals and identifiers
+    Ident(Symbol),
+    Int(i64),
+    Real(f64),
+    Char(char),
+
+    // Keywords
+    KwModule,
+    KwType,
+    KwVar,
+    KwDefine,
+    KwEnd,
+    KwIf,
+    KwThen,
+    KwElsif,
+    KwElse,
+    KwArray,
+    KwOf,
+    KwRecord,
+    KwAnd,
+    KwOr,
+    KwNot,
+    KwDiv,
+    KwMod,
+    KwTrue,
+    KwFalse,
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Colon,
+    Semi,
+    Comma,
+    Dot,
+    DotDot,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        Some(match text {
+            "module" => TokenKind::KwModule,
+            "type" => TokenKind::KwType,
+            "var" => TokenKind::KwVar,
+            "define" => TokenKind::KwDefine,
+            "end" => TokenKind::KwEnd,
+            "if" => TokenKind::KwIf,
+            "then" => TokenKind::KwThen,
+            "elsif" => TokenKind::KwElsif,
+            "else" => TokenKind::KwElse,
+            "array" => TokenKind::KwArray,
+            "of" => TokenKind::KwOf,
+            "record" => TokenKind::KwRecord,
+            "and" => TokenKind::KwAnd,
+            "or" => TokenKind::KwOr,
+            "not" => TokenKind::KwNot,
+            "div" => TokenKind::KwDiv,
+            "mod" => TokenKind::KwMod,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable description used in "expected X, found Y" diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Real(v) => format!("real `{v}`"),
+            TokenKind::Char(c) => format!("character '{c}'"),
+            TokenKind::KwModule => "`module`".into(),
+            TokenKind::KwType => "`type`".into(),
+            TokenKind::KwVar => "`var`".into(),
+            TokenKind::KwDefine => "`define`".into(),
+            TokenKind::KwEnd => "`end`".into(),
+            TokenKind::KwIf => "`if`".into(),
+            TokenKind::KwThen => "`then`".into(),
+            TokenKind::KwElsif => "`elsif`".into(),
+            TokenKind::KwElse => "`else`".into(),
+            TokenKind::KwArray => "`array`".into(),
+            TokenKind::KwOf => "`of`".into(),
+            TokenKind::KwRecord => "`record`".into(),
+            TokenKind::KwAnd => "`and`".into(),
+            TokenKind::KwOr => "`or`".into(),
+            TokenKind::KwNot => "`not`".into(),
+            TokenKind::KwDiv => "`div`".into(),
+            TokenKind::KwMod => "`mod`".into(),
+            TokenKind::KwTrue => "`true`".into(),
+            TokenKind::KwFalse => "`false`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::DotDot => "`..`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Ne => "`<>`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("module"), Some(TokenKind::KwModule));
+        assert_eq!(TokenKind::keyword("div"), Some(TokenKind::KwDiv));
+        assert_eq!(TokenKind::keyword("Module"), None, "keywords are lowercase");
+        assert_eq!(TokenKind::keyword("relax"), None);
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(TokenKind::DotDot.describe(), "`..`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+        assert_eq!(
+            TokenKind::Ident(Symbol::intern("A")).describe(),
+            "identifier `A`"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Semantic types for checked PS modules.
+//!
+//! The key type is the *subrange*: a named (or anonymous) integer interval
+//! with affine bounds, e.g. `I, J = 0 .. M+1`. Subranges play a double role
+//! in PS, exactly as in the paper:
+//!
+//! 1. as **array dimension types** (`array [I, J] of real`), and
+//! 2. as **index variables** in equations (`A[K, I, J] = ...` iterates the
+//!    equation over the ranges of `K`, `I`, `J`).
+//!
+//! The scheduler's loop descriptors are therefore identified by
+//! [`SubrangeId`]s, and `I` and `J` get *distinct* ids even though they have
+//! equal bounds — the paper's Figure 5 `DOALL I (DOALL J ...)` depends on
+//! that distinction.
+
+use crate::bounds::Affine;
+use ps_support::{new_index_type, Span, Symbol};
+use std::fmt;
+
+new_index_type!(
+    /// Handle to a [`Subrange`] in a module's subrange table.
+    pub struct SubrangeId; "sr"
+);
+new_index_type!(
+    /// Handle to an enumeration declaration.
+    pub struct EnumId; "en"
+);
+new_index_type!(
+    /// Handle to a record declaration.
+    pub struct RecordId; "rec"
+);
+
+/// Primitive scalar types.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ScalarTy {
+    Int,
+    Real,
+    Bool,
+    Char,
+}
+
+impl ScalarTy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalarTy::Int => "int",
+            ScalarTy::Real => "real",
+            ScalarTy::Bool => "bool",
+            ScalarTy::Char => "char",
+        }
+    }
+
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, ScalarTy::Int | ScalarTy::Real)
+    }
+}
+
+/// A declared or anonymous subrange `lo .. hi` with affine bounds.
+#[derive(Clone, Debug)]
+pub struct Subrange {
+    /// Declared name (`I`, `J`, `K`) or `None` for inline `array [1..maxK]`
+    /// dimension types.
+    pub name: Option<Symbol>,
+    pub lo: Affine,
+    pub hi: Affine,
+    pub span: Span,
+}
+
+impl Subrange {
+    /// Display name: the declared name, or `lo..hi` for anonymous ranges.
+    pub fn display_name(&self) -> String {
+        match self.name {
+            Some(n) => n.to_string(),
+            None => format!("{}..{}", self.lo, self.hi),
+        }
+    }
+
+    /// Number of elements when the width is provable: `hi - lo + 1`.
+    pub fn width(&self) -> Option<i64> {
+        self.hi.const_difference(&self.lo).map(|d| d + 1)
+    }
+
+    /// True when both subranges have provably equal bounds.
+    pub fn same_bounds(&self, other: &Subrange) -> bool {
+        self.lo.const_difference(&other.lo) == Some(0)
+            && self.hi.const_difference(&other.hi) == Some(0)
+    }
+}
+
+/// An enumeration type.
+#[derive(Clone, Debug)]
+pub struct EnumDef {
+    pub name: Symbol,
+    pub variants: Vec<Symbol>,
+    pub span: Span,
+}
+
+/// A record type with scalar-typed fields.
+#[derive(Clone, Debug)]
+pub struct RecordDef {
+    pub name: Symbol,
+    pub fields: Vec<(Symbol, Ty)>,
+    pub span: Span,
+}
+
+impl RecordDef {
+    pub fn field_index(&self, name: Symbol) -> Option<usize> {
+        self.fields.iter().position(|(f, _)| *f == name)
+    }
+}
+
+/// A semantic type.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Ty {
+    Scalar(ScalarTy),
+    Enum(EnumId),
+    /// An array with one [`SubrangeId`] per (flattened) dimension. Nested
+    /// `array [..] of array [..]` declarations are flattened at check time,
+    /// matching the paper's treatment of `A` as a 3-dimensional array.
+    Array {
+        dims: Vec<SubrangeId>,
+        elem: ScalarTy,
+    },
+    Record(RecordId),
+    /// Error recovery placeholder; compares equal to everything so one type
+    /// error does not cascade.
+    Error,
+}
+
+impl Ty {
+    pub const INT: Ty = Ty::Scalar(ScalarTy::Int);
+    pub const REAL: Ty = Ty::Scalar(ScalarTy::Real);
+    pub const BOOL: Ty = Ty::Scalar(ScalarTy::Bool);
+
+    pub fn is_error(&self) -> bool {
+        matches!(self, Ty::Error)
+    }
+
+    pub fn scalar(&self) -> Option<ScalarTy> {
+        match self {
+            Ty::Scalar(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Ty::Scalar(s) if s.is_numeric()) || self.is_error()
+    }
+
+    /// Array rank; 0 for scalars.
+    pub fn rank(&self) -> usize {
+        match self {
+            Ty::Array { dims, .. } => dims.len(),
+            _ => 0,
+        }
+    }
+
+    /// Compatible for assignment/unification, with `int → real` widening.
+    pub fn assignable_from(&self, from: &Ty) -> bool {
+        if self.is_error() || from.is_error() {
+            return true;
+        }
+        match (self, from) {
+            (Ty::Scalar(ScalarTy::Real), Ty::Scalar(ScalarTy::Int)) => true,
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Scalar(s) => write!(f, "{}", s.name()),
+            Ty::Enum(id) => write!(f, "enum#{id}"),
+            Ty::Array { dims, elem } => {
+                write!(f, "array[rank {}] of {}", dims.len(), elem.name())
+            }
+            Ty::Record(id) => write!(f, "record#{id}"),
+            Ty::Error => write!(f, "<error>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subrange_width() {
+        let sr = Subrange {
+            name: Some(Symbol::intern("I")),
+            lo: Affine::constant(0),
+            hi: Affine::param(Symbol::intern("M")).add_const(1),
+            span: Span::DUMMY,
+        };
+        assert_eq!(sr.width(), None, "symbolic width is unprovable");
+        let sr2 = Subrange {
+            name: None,
+            lo: Affine::constant(1),
+            hi: Affine::constant(10),
+            span: Span::DUMMY,
+        };
+        assert_eq!(sr2.width(), Some(10));
+        assert_eq!(sr2.display_name(), "1..10");
+    }
+
+    #[test]
+    fn same_bounds_requires_provable_equality() {
+        let m = Affine::param(Symbol::intern("M"));
+        let a = Subrange {
+            name: Some(Symbol::intern("I")),
+            lo: Affine::constant(0),
+            hi: m.add_const(1),
+            span: Span::DUMMY,
+        };
+        let b = Subrange {
+            name: Some(Symbol::intern("J")),
+            lo: Affine::constant(0),
+            hi: m.add_const(1),
+            span: Span::DUMMY,
+        };
+        assert!(a.same_bounds(&b));
+    }
+
+    #[test]
+    fn widening_assignability() {
+        assert!(Ty::REAL.assignable_from(&Ty::INT));
+        assert!(!Ty::INT.assignable_from(&Ty::REAL));
+        assert!(Ty::Error.assignable_from(&Ty::BOOL));
+        assert!(Ty::BOOL.assignable_from(&Ty::Error));
+    }
+
+    #[test]
+    fn rank_of_types() {
+        assert_eq!(Ty::INT.rank(), 0);
+        let arr = Ty::Array {
+            dims: vec![SubrangeId(0), SubrangeId(1)],
+            elem: ScalarTy::Real,
+        };
+        assert_eq!(arr.rank(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the affine bound algebra: ring laws and evaluation
+//! homomorphism.
+
+use proptest::prelude::*;
+use ps_lang::Affine;
+use ps_support::{FxHashMap, Symbol};
+
+const PARAMS: [&str; 3] = ["M", "maxK", "n"];
+
+fn arb_affine() -> impl Strategy<Value = Affine> {
+    (
+        prop::collection::vec((-5i64..=5, 0usize..PARAMS.len()), 0..4),
+        -20i64..=20,
+    )
+        .prop_map(|(terms, k)| {
+            let mut a = Affine::constant(k);
+            for (c, p) in terms {
+                a = a.add(&Affine::param(Symbol::intern(PARAMS[p])).scale(c));
+            }
+            a
+        })
+}
+
+fn arb_env() -> impl Strategy<Value = FxHashMap<Symbol, i64>> {
+    prop::collection::vec(-10i64..=10, PARAMS.len()).prop_map(|vs| {
+        PARAMS
+            .iter()
+            .zip(vs)
+            .map(|(p, v)| (Symbol::intern(p), v))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn eval_is_a_homomorphism(a in arb_affine(), b in arb_affine(), k in -7i64..=7, env in arb_env()) {
+        let ea = a.eval(&env).unwrap();
+        let eb = b.eval(&env).unwrap();
+        prop_assert_eq!(a.add(&b).eval(&env).unwrap(), ea + eb);
+        prop_assert_eq!(a.sub(&b).eval(&env).unwrap(), ea - eb);
+        prop_assert_eq!(a.scale(k).eval(&env).unwrap(), ea * k);
+        prop_assert_eq!(a.add_const(k).eval(&env).unwrap(), ea + k);
+        if let Some(prod) = a.mul(&Affine::constant(k)) {
+            prop_assert_eq!(prod.eval(&env).unwrap(), ea * k);
+        }
+    }
+
+    #[test]
+    fn ring_laws(a in arb_affine(), b in arb_affine(), c in arb_affine()) {
+        // Commutativity and associativity of addition.
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        // Subtraction is inverse of addition.
+        prop_assert_eq!(a.add(&b).sub(&b), a.clone());
+        // Zero is the identity.
+        prop_assert_eq!(a.add(&Affine::constant(0)), a.clone());
+        // Self-subtraction cancels to a structural zero.
+        let zero = a.sub(&a);
+        prop_assert!(zero.is_constant());
+        prop_assert_eq!(zero.as_constant(), Some(0));
+    }
+
+    #[test]
+    fn const_difference_soundness(a in arb_affine(), b in arb_affine(), env in arb_env()) {
+        if let Some(d) = a.const_difference(&b) {
+            // Provable differences hold under EVERY environment.
+            prop_assert_eq!(a.eval(&env).unwrap() - b.eval(&env).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_eval(a in arb_affine(), env in arb_env()) {
+        // The rendering contains every parameter with nonzero coefficient.
+        let text = format!("{a}");
+        for (p, c) in a.terms() {
+            if c != 0 {
+                prop_assert!(text.contains(p.as_str()), "{text} missing {p}");
+            }
+        }
+        let _ = a.eval(&env);
+    }
+}

@@ -1,0 +1,300 @@
+//! Expression evaluation over the live store.
+
+use crate::store::Store;
+use crate::value::Value;
+use ps_lang::ast::{BinOp, UnOp};
+use ps_lang::hir::{Builtin, Equation, HExpr, SubscriptExpr};
+use ps_lang::{EqId, IvId};
+
+/// The index environment: bindings of `(equation, index variable)` pairs to
+/// loop counter values. Small (loop depth × 1), so linear scan wins over
+/// hashing.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    bindings: Vec<((EqId, IvId), i64)>,
+}
+
+impl Env {
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    pub fn bind(&mut self, eq: EqId, iv: IvId, value: i64) {
+        self.bindings.push(((eq, iv), value));
+    }
+
+    pub fn lookup(&self, eq: EqId, iv: IvId) -> i64 {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|((e, v), _)| *e == eq && *v == iv)
+            .map(|(_, val)| *val)
+            .unwrap_or_else(|| panic!("index variable {iv:?} of {eq:?} unbound"))
+    }
+
+    pub fn child(&self) -> Env {
+        self.clone()
+    }
+
+    /// Push a binding slot with a placeholder value; returns its index for
+    /// cheap in-place updates via [`Env::set_slot`]. Used by the
+    /// interpreter to hoist environment construction out of hot DOALL
+    /// element loops.
+    pub fn push_slot(&mut self, eq: EqId, iv: IvId) -> usize {
+        self.bindings.push(((eq, iv), 0));
+        self.bindings.len() - 1
+    }
+
+    /// Overwrite the value of a slot created by [`Env::push_slot`].
+    pub fn set_slot(&mut self, slot: usize, value: i64) {
+        self.bindings[slot].1 = value;
+    }
+}
+
+/// Evaluate the right-hand side of `eq` under `env`.
+pub fn eval(store: &Store<'_>, eq_id: EqId, eq: &Equation, env: &Env, e: &HExpr) -> Value {
+    match e {
+        HExpr::Int(v) => Value::Int(*v),
+        HExpr::Real(v) => Value::Real(*v),
+        HExpr::Bool(v) => Value::Bool(*v),
+        HExpr::Char(c) => Value::Int(*c as i64),
+        HExpr::EnumConst(_, ord) => Value::Int(*ord as i64),
+        HExpr::ReadScalar(d) => {
+            let item = &store.module.data[*d];
+            if item.kind == ps_lang::hir::DataKind::Param || !item.is_array() {
+                store.read_scalar(*d, 0)
+            } else {
+                panic!("array `{}` read as scalar", item.name)
+            }
+        }
+        HExpr::ReadField(d, idx) => store.read_scalar(*d, *idx + 1),
+        HExpr::Iv(iv) => Value::Int(env.lookup(eq_id, *iv)),
+        HExpr::ReadArray { array, subs, .. } => {
+            let index = resolve_subs(store, eq_id, eq, env, subs);
+            store.array(*array).read(&index)
+        }
+        HExpr::Binary { op, lhs, rhs } => {
+            // Short-circuit logical operators first.
+            match op {
+                BinOp::And => {
+                    return if eval(store, eq_id, eq, env, lhs).as_bool() {
+                        eval(store, eq_id, eq, env, rhs)
+                    } else {
+                        Value::Bool(false)
+                    };
+                }
+                BinOp::Or => {
+                    return if eval(store, eq_id, eq, env, lhs).as_bool() {
+                        Value::Bool(true)
+                    } else {
+                        eval(store, eq_id, eq, env, rhs)
+                    };
+                }
+                _ => {}
+            }
+            let l = eval(store, eq_id, eq, env, lhs);
+            let r = eval(store, eq_id, eq, env, rhs);
+            binary(*op, l, r)
+        }
+        HExpr::Unary { op, operand } => {
+            let v = eval(store, eq_id, eq, env, operand);
+            match (op, v) {
+                (UnOp::Neg, Value::Int(x)) => Value::Int(-x),
+                (UnOp::Neg, Value::Real(x)) => Value::Real(-x),
+                (UnOp::Not, Value::Bool(x)) => Value::Bool(!x),
+                (op, v) => panic!("bad unary {op:?} on {v:?}"),
+            }
+        }
+        HExpr::If { arms, else_ } => {
+            for (cond, value) in arms {
+                if eval(store, eq_id, eq, env, cond).as_bool() {
+                    return eval(store, eq_id, eq, env, value);
+                }
+            }
+            eval(store, eq_id, eq, env, else_)
+        }
+        HExpr::Call { builtin, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(store, eq_id, eq, env, a))
+                .collect();
+            call(*builtin, &vals)
+        }
+        HExpr::CastReal(inner) => {
+            Value::Real(eval(store, eq_id, eq, env, inner).widen_real())
+        }
+    }
+}
+
+/// Resolve a subscript vector to concrete indices.
+pub fn resolve_subs(
+    store: &Store<'_>,
+    eq_id: EqId,
+    eq: &Equation,
+    env: &Env,
+    subs: &[SubscriptExpr],
+) -> Vec<i64> {
+    subs.iter()
+        .map(|s| match s {
+            SubscriptExpr::Var(iv) => env.lookup(eq_id, *iv),
+            SubscriptExpr::VarOffset(iv, d) => env.lookup(eq_id, *iv) + d,
+            SubscriptExpr::Affine(a) => {
+                let mut total = a
+                    .rest
+                    .eval(&store.params)
+                    .unwrap_or_else(|| panic!("cannot evaluate {}", a.rest));
+                for &(iv, c) in &a.iv_terms {
+                    total += c * env.lookup(eq_id, iv);
+                }
+                total
+            }
+            SubscriptExpr::Dynamic(e) => eval(store, eq_id, eq, env, e).as_int(),
+        })
+        .collect()
+}
+
+fn binary(op: BinOp, l: Value, r: Value) -> Value {
+    use Value::*;
+    match op {
+        BinOp::Add => match (l, r) {
+            (Int(a), Int(b)) => Int(a + b),
+            (Real(a), Real(b)) => Real(a + b),
+            _ => panic!("add type mismatch: {l:?} + {r:?}"),
+        },
+        BinOp::Sub => match (l, r) {
+            (Int(a), Int(b)) => Int(a - b),
+            (Real(a), Real(b)) => Real(a - b),
+            _ => panic!("sub type mismatch"),
+        },
+        BinOp::Mul => match (l, r) {
+            (Int(a), Int(b)) => Int(a * b),
+            (Real(a), Real(b)) => Real(a * b),
+            _ => panic!("mul type mismatch"),
+        },
+        BinOp::Div => match (l, r) {
+            (Real(a), Real(b)) => Real(a / b),
+            _ => panic!("`/` requires reals (checker inserts casts)"),
+        },
+        BinOp::IntDiv => match (l, r) {
+            (Int(a), Int(b)) => {
+                assert!(b != 0, "div by zero");
+                Int(a.div_euclid(b))
+            }
+            _ => panic!("`div` requires ints"),
+        },
+        BinOp::Mod => match (l, r) {
+            (Int(a), Int(b)) => {
+                assert!(b != 0, "mod by zero");
+                Int(a.rem_euclid(b))
+            }
+            _ => panic!("`mod` requires ints"),
+        },
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = match (l, r) {
+                (Int(a), Int(b)) => a.partial_cmp(&b),
+                (Real(a), Real(b)) => a.partial_cmp(&b),
+                (Bool(a), Bool(b)) => a.partial_cmp(&b),
+                _ => panic!("comparison type mismatch"),
+            };
+            let Some(ord) = ord else {
+                // NaN comparisons: all false except `<>`.
+                return Bool(op == BinOp::Ne);
+            };
+            Bool(match op {
+                BinOp::Eq => ord.is_eq(),
+                BinOp::Ne => !ord.is_eq(),
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            })
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled via short-circuit"),
+    }
+}
+
+fn call(builtin: Builtin, args: &[Value]) -> Value {
+    use Value::*;
+    match builtin {
+        Builtin::Abs => match args[0] {
+            Int(x) => Int(x.abs()),
+            Real(x) => Real(x.abs()),
+            v => panic!("abs on {v:?}"),
+        },
+        Builtin::Min => match (args[0], args[1]) {
+            (Int(a), Int(b)) => Int(a.min(b)),
+            (Real(a), Real(b)) => Real(a.min(b)),
+            _ => panic!("min type mismatch"),
+        },
+        Builtin::Max => match (args[0], args[1]) {
+            (Int(a), Int(b)) => Int(a.max(b)),
+            (Real(a), Real(b)) => Real(a.max(b)),
+            _ => panic!("max type mismatch"),
+        },
+        Builtin::Sqrt => Real(args[0].as_real().sqrt()),
+        Builtin::Exp => Real(args[0].as_real().exp()),
+        Builtin::Ln => Real(args[0].as_real().ln()),
+        Builtin::Sin => Real(args[0].as_real().sin()),
+        Builtin::Cos => Real(args[0].as_real().cos()),
+        Builtin::Trunc => Int(args[0].as_real().trunc() as i64),
+        Builtin::Round => Int(args[0].as_real().round() as i64),
+        Builtin::RealFn => Real(args[0].as_int() as f64),
+        Builtin::Ord => Int(args[0].as_int()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_shadows_inner_bindings() {
+        let mut env = Env::new();
+        env.bind(EqId(0), IvId(0), 1);
+        env.bind(EqId(0), IvId(0), 2);
+        assert_eq!(env.lookup(EqId(0), IvId(0)), 2);
+    }
+
+    #[test]
+    fn binary_semantics() {
+        assert_eq!(binary(BinOp::Add, Value::Int(2), Value::Int(3)), Value::Int(5));
+        assert_eq!(
+            binary(BinOp::Div, Value::Real(1.0), Value::Real(4.0)),
+            Value::Real(0.25)
+        );
+        assert_eq!(
+            binary(BinOp::IntDiv, Value::Int(7), Value::Int(2)),
+            Value::Int(3)
+        );
+        assert_eq!(
+            binary(BinOp::Mod, Value::Int(-1), Value::Int(3)),
+            Value::Int(2),
+            "euclidean mod"
+        );
+        assert_eq!(
+            binary(BinOp::Le, Value::Real(1.0), Value::Real(1.0)),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(call(Builtin::Abs, &[Value::Int(-3)]), Value::Int(3));
+        assert_eq!(
+            call(Builtin::Max, &[Value::Real(1.0), Value::Real(2.0)]),
+            Value::Real(2.0)
+        );
+        assert_eq!(call(Builtin::Sqrt, &[Value::Real(9.0)]), Value::Real(3.0));
+        assert_eq!(call(Builtin::Round, &[Value::Real(2.6)]), Value::Int(3));
+        assert_eq!(call(Builtin::RealFn, &[Value::Int(2)]), Value::Real(2.0));
+    }
+
+    #[test]
+    fn nan_comparisons() {
+        let nan = Value::Real(f64::NAN);
+        assert_eq!(binary(BinOp::Eq, nan, nan), Value::Bool(false));
+        assert_eq!(binary(BinOp::Ne, nan, nan), Value::Bool(true));
+        assert_eq!(binary(BinOp::Lt, nan, Value::Real(1.0)), Value::Bool(false));
+    }
+}

@@ -1,0 +1,460 @@
+//! The scheduled flowchart interpreter.
+//!
+//! `DO` loops run in order; `DOALL` loops are handed to the executor.
+//! Perfectly nested `DOALL` chains are flattened into a single
+//! `parallel_for` over the product index space so a `DOALL I (DOALL J)`
+//! nest saturates the pool even when the outer extent is small.
+
+use crate::eval::{eval, Env};
+use crate::store::{Inputs, Outputs, RuntimeError, Store};
+use crate::value::Value;
+use ps_executor::Executor;
+use ps_lang::hir::{HirModule, LhsSub};
+use ps_lang::EqId;
+use ps_scheduler::{Descriptor, DrainSpec, Flowchart, LoopDescriptor, LoopKind, MemoryPlan};
+
+/// Knobs for [`run_module`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuntimeOptions {
+    /// Track logical tags per physical slot, catching double writes and
+    /// window evictions (slow; for tests).
+    pub check_writes: bool,
+}
+
+/// Execute a scheduled module.
+pub fn run_module(
+    module: &HirModule,
+    flowchart: &Flowchart,
+    plan: &MemoryPlan,
+    inputs: &Inputs,
+    executor: &dyn Executor,
+    options: RuntimeOptions,
+) -> Result<Outputs, RuntimeError> {
+    let store = Store::build(module, plan, inputs, options.check_writes)?;
+    let cx = Interp {
+        store: &store,
+        executor,
+    };
+    cx.run_items(&flowchart.items, &Env::new());
+    Ok(store.into_outputs())
+}
+
+struct Interp<'a, 'm> {
+    store: &'a Store<'m>,
+    executor: &'a dyn Executor,
+}
+
+impl<'a, 'm> Interp<'a, 'm> {
+    fn module(&self) -> &'m HirModule {
+        self.store.module
+    }
+
+    fn run_items(&self, items: &[Descriptor], env: &Env) {
+        for d in items {
+            match d {
+                Descriptor::Equation(eq) => self.run_equation(*eq, env),
+                Descriptor::Loop(l) => self.run_loop(l, env),
+                Descriptor::Drain(spec) => {
+                    panic!(
+                        "drain over {} reached outside a time loop",
+                        spec.time_name
+                    )
+                }
+            }
+        }
+    }
+
+    fn bounds(&self, sr: ps_lang::SubrangeId) -> (i64, i64) {
+        let s = &self.module().subranges[sr];
+        let lo = s
+            .lo
+            .eval(&self.store.params)
+            .unwrap_or_else(|| panic!("cannot evaluate bound {}", s.lo));
+        let hi = s
+            .hi
+            .eval(&self.store.params)
+            .unwrap_or_else(|| panic!("cannot evaluate bound {}", s.hi));
+        (lo, hi)
+    }
+
+    fn run_loop(&self, l: &LoopDescriptor, env: &Env) {
+        match l.kind {
+            LoopKind::Do => {
+                let (lo, hi) = self.bounds(l.subrange);
+                for i in lo..=hi {
+                    let mut child = env.child();
+                    for &(eq, iv) in &l.bindings {
+                        child.bind(eq, iv, i);
+                    }
+                    // A DO body may contain a Drain, which needs the time
+                    // index: handle it inline here.
+                    for d in &l.body {
+                        match d {
+                            Descriptor::Drain(spec) => self.run_drain(spec, i),
+                            other => self.run_items(std::slice::from_ref(other), &child),
+                        }
+                    }
+                }
+            }
+            LoopKind::Doall => {
+                // Flatten perfectly nested DOALLs: [this, inner, ...].
+                let mut chain: Vec<&LoopDescriptor> = vec![l];
+                let mut body: &[Descriptor] = &l.body;
+                while let [Descriptor::Loop(inner)] = body {
+                    if inner.kind != LoopKind::Doall {
+                        break;
+                    }
+                    chain.push(inner);
+                    body = &inner.body;
+                }
+                let ranges: Vec<(i64, i64)> =
+                    chain.iter().map(|c| self.bounds(c.subrange)).collect();
+                let widths: Vec<i64> = ranges
+                    .iter()
+                    .map(|&(lo, hi)| (hi - lo + 1).max(0))
+                    .collect();
+                let total: i64 = widths.iter().product();
+                if total <= 0 {
+                    return;
+                }
+                let innermost_body = body;
+                // One environment per chunk: binding slots are created once
+                // and overwritten per element (hot path).
+                self.executor.for_chunks(0, total - 1, &|start, stop| {
+                    let mut child = env.child();
+                    // Slot layout: per chain level, one slot per binding.
+                    let mut slots: Vec<Vec<usize>> = Vec::with_capacity(chain.len());
+                    for level in &chain {
+                        slots.push(
+                            level
+                                .bindings
+                                .iter()
+                                .map(|&(eq, iv)| child.push_slot(eq, iv))
+                                .collect(),
+                        );
+                    }
+                    for flat in start..stop {
+                        let mut rem = flat;
+                        for k in (0..chain.len()).rev() {
+                            let idx = ranges[k].0 + rem % widths[k];
+                            rem /= widths[k];
+                            for &slot in &slots[k] {
+                                child.set_slot(slot, idx);
+                            }
+                        }
+                        self.run_items(innermost_body, &child);
+                    }
+                });
+            }
+        }
+    }
+
+    fn run_equation(&self, eq_id: EqId, env: &Env) {
+        let eq = &self.module().equations[eq_id];
+        let value = eval(self.store, eq_id, eq, env, &eq.rhs);
+        match eq.lhs_field {
+            Some(fidx) => self.store.write_scalar(eq.lhs, fidx + 1, value),
+            None => {
+                if eq.lhs_subs.is_empty() {
+                    self.store.write_scalar(eq.lhs, 0, value);
+                } else {
+                    let index: Vec<i64> = eq
+                        .lhs_subs
+                        .iter()
+                        .map(|s| match s {
+                            LhsSub::Const(a) => a
+                                .eval(&self.store.params)
+                                .unwrap_or_else(|| panic!("cannot evaluate {a}")),
+                            LhsSub::Var(iv) => env.lookup(eq_id, *iv),
+                        })
+                        .collect();
+                    self.store.array(eq.lhs).write(&index, value);
+                }
+            }
+        }
+    }
+
+    /// The windowed-hyperplane drain: copy finished elements of the
+    /// transformed array into the destination while plane `t` is current.
+    fn run_drain(&self, spec: &DrainSpec, t: i64) {
+        let ranges: Vec<(i64, i64)> = spec.inner.iter().map(|&sr| self.bounds(sr)).collect();
+        let widths: Vec<i64> = ranges
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1).max(0))
+            .collect();
+        let total: i64 = widths.iter().product();
+        if total <= 0 {
+            return;
+        }
+        let bounds: Vec<(i64, i64)> = spec
+            .original_bounds
+            .iter()
+            .map(|(lo, hi)| {
+                (
+                    lo.eval(&self.store.params)
+                        .unwrap_or_else(|| panic!("cannot evaluate {lo}")),
+                    hi.eval(&self.store.params)
+                        .unwrap_or_else(|| panic!("cannot evaluate {hi}")),
+                )
+            })
+            .collect();
+
+        self.executor.for_chunks(0, total - 1, &|start, stop| {
+            let n_inner = widths.len();
+            let mut inner_idx = vec![0i64; n_inner];
+            let mut loop_vals = vec![0i64; 1 + n_inner];
+            let mut original = vec![0i64; spec.original.len()];
+            let mut src_index = vec![0i64; 1 + n_inner];
+            'elem: for flat in start..stop {
+                let mut rem = flat;
+                for k in (0..n_inner).rev() {
+                    inner_idx[k] = ranges[k].0 + rem % widths[k];
+                    rem /= widths[k];
+                }
+                // Transformed point [t, inner...] → original coordinates.
+                loop_vals[0] = t;
+                loop_vals[1..].copy_from_slice(&inner_idx);
+                for (o, (coeffs, rest)) in original.iter_mut().zip(&spec.original) {
+                    *o = rest.eval(&self.store.params).unwrap_or(0)
+                        + coeffs
+                            .iter()
+                            .zip(&loop_vals)
+                            .map(|(c, v)| c * v)
+                            .sum::<i64>();
+                }
+                for (k, &(lo, hi)) in bounds.iter().enumerate() {
+                    if original[k] < lo || original[k] > hi {
+                        continue 'elem;
+                    }
+                }
+                if original[spec.drain_dim] != bounds[spec.drain_dim].1 {
+                    continue 'elem;
+                }
+                src_index[0] = t;
+                src_index[1..].copy_from_slice(&inner_idx);
+                let v = self.store.array(spec.src).read(&src_index);
+                let dst_index: Vec<i64> = original
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != spec.drain_dim)
+                    .map(|(_, &x)| x)
+                    .collect();
+                self.store.array(spec.dst).write(&dst_index, v);
+            }
+        });
+    }
+}
+
+/// Convenience used by tests and benches: read one element of an array
+/// through an equation-free context (inputs validation path).
+pub fn read_result(outputs: &Outputs, name: &str, index: &[i64]) -> Value {
+    outputs.array(name).get(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::OwnedArray;
+    use ps_depgraph::build_depgraph;
+    use ps_executor::{Sequential, ThreadPool};
+    use ps_lang::frontend;
+    use ps_scheduler::{schedule_module, ScheduleOptions};
+
+    const RELAXATION_V1: &str = "
+        Relaxation: module (InitialA: array[I,J] of real;
+                            M: int; maxK: int):
+                    [newA: array[I,J] of real];
+        type I, J = 0 .. M+1; K = 2 .. maxK;
+        var A: array [1 .. maxK] of array[I,J] of real;
+        define
+            A[1] = InitialA;
+            newA = A[maxK];
+            A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+                       then A[K-1,I,J]
+                       else ( A[K-1,I,J-1] + A[K-1,I-1,J]
+                            + A[K-1,I,J+1] + A[K-1,I+1,J] ) / 4;
+        end Relaxation;
+    ";
+
+    fn grid_inputs(m_size: i64, maxk: i64) -> Inputs {
+        let side = (m_size + 2) as usize;
+        let mut data = vec![0.0f64; side * side];
+        // Hot interior spot.
+        for i in 1..=m_size {
+            for j in 1..=m_size {
+                data[(i as usize) * side + j as usize] =
+                    if i == m_size / 2 + 1 && j == m_size / 2 + 1 {
+                        100.0
+                    } else {
+                        1.0
+                    };
+            }
+        }
+        Inputs::new()
+            .set_int("M", m_size)
+            .set_int("maxK", maxk)
+            .set_array(
+                "InitialA",
+                OwnedArray::real(vec![(0, m_size + 1), (0, m_size + 1)], data),
+            )
+    }
+
+    fn run_relaxation(executor: &dyn Executor, check: bool) -> Outputs {
+        let m = frontend(RELAXATION_V1).unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        run_module(
+            &m,
+            &sched.flowchart,
+            &sched.memory,
+            &grid_inputs(6, 8),
+            executor,
+            RuntimeOptions {
+                check_writes: check,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn relaxation_runs_sequentially() {
+        let out = run_relaxation(&Sequential, true);
+        let a = out.array("newA");
+        // Boundary padded with zeros, interior smoothed but positive.
+        assert_eq!(a.get(&[0, 0]), Value::Real(0.0));
+        assert!(a.get(&[3, 3]).as_real() > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = run_relaxation(&Sequential, false);
+        let pool = ThreadPool::new(4);
+        let par = run_relaxation(&pool, false);
+        let diff = seq.array("newA").max_abs_diff(par.array("newA"));
+        assert_eq!(diff, 0.0, "bitwise identical: same operations, same order per element");
+    }
+
+    #[test]
+    fn windowed_storage_is_used_and_correct() {
+        // The memory plan gives A window 2; the checker validates reads.
+        let out = run_relaxation(&Sequential, true);
+        // Smoothing conserves interior mass towards uniformity; sanity only.
+        let total: f64 = out.array("newA").as_real_slice().iter().sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn scalar_chain_runs() {
+        let m = frontend(
+            "T: module (x: int): [y: int];
+             var a, b: int;
+             define
+                a = x * 2;
+                b = a + 1;
+                y = b * b;
+             end T;",
+        )
+        .unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let out = run_module(
+            &m,
+            &sched.flowchart,
+            &sched.memory,
+            &Inputs::new().set_int("x", 3),
+            &Sequential,
+            RuntimeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.scalar("y"), Value::Int(49));
+    }
+
+    #[test]
+    fn record_fields_and_enums_run() {
+        let m = frontend(
+            "T: module (): [y: real];
+             type Color = (red, green, blue);
+                  Pt = record a: real; b: real; end;
+             var c: Color; p: Pt;
+             define
+                c = blue;
+                p.a = 1.5;
+                p.b = p.a * 2.0;
+                y = p.b + real(ord(c));
+             end T;",
+        )
+        .unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let out = run_module(
+            &m,
+            &sched.flowchart,
+            &sched.memory,
+            &Inputs::new(),
+            &Sequential,
+            RuntimeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.scalar("y"), Value::Real(5.0));
+    }
+
+    #[test]
+    fn fibonacci_window_three() {
+        let m = frontend(
+            "T: module (n: int): [y: int];
+             type K = 3 .. n;
+             var a: array [1 .. n] of int;
+             define
+                a[1] = 1;
+                a[2] = 1;
+                a[K] = a[K-1] + a[K-2];
+                y = a[n];
+             end T;",
+        )
+        .unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let a = m.data_by_name("a").unwrap();
+        assert_eq!(sched.memory.window(a, 0), Some(3));
+        let out = run_module(
+            &m,
+            &sched.flowchart,
+            &sched.memory,
+            &Inputs::new().set_int("n", 30),
+            &Sequential,
+            RuntimeOptions {
+                check_writes: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.scalar("y"), Value::Int(832040), "fib(30)");
+    }
+
+    #[test]
+    fn dynamic_subscripts_run() {
+        let m = frontend(
+            "T: module (n: int; idx: array[1..3] of int): [y: int];
+             type I = 1 .. 3;
+             var a: array [I] of int;
+             define
+                a[I] = I * 10;
+                y = a[idx[2]];
+             end T;",
+        )
+        .unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let out = run_module(
+            &m,
+            &sched.flowchart,
+            &sched.memory,
+            &Inputs::new()
+                .set_int("n", 3)
+                .set_array("idx", OwnedArray::int(vec![(1, 3)], vec![3, 1, 2])),
+            &Sequential,
+            RuntimeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.scalar("y"), Value::Int(10), "a[idx[2]] = a[1] = 10");
+    }
+}

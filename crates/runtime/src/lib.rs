@@ -1,0 +1,33 @@
+//! Execution of scheduled PS programs.
+//!
+//! Two independent execution paths, used to differentially test each other:
+//!
+//! * [`interp`] — the *scheduled* interpreter: walks a flowchart produced by
+//!   `ps-scheduler`, executes `DO` loops in order and maps `DOALL` loops
+//!   (flattening perfectly nested ones) onto a [`ps_executor::Executor`].
+//!   Array storage honours the virtual-dimension [`MemoryPlan`]: windowed
+//!   dimensions are allocated `window` planes and indexed modulo the window,
+//!   exactly like the C the paper's compiler emits.
+//! * [`naive`] — the *oracle*: a demand-driven memoizing evaluator that
+//!   executes the nonprocedural semantics directly from the equations, with
+//!   no scheduler involved. Slow, sequential, and obviously correct.
+//!
+//! Writes from `DOALL` iterations go through interior-mutability cells; the
+//! single-assignment discipline (enforced by the checker and the scheduler)
+//! guarantees disjointness. `RuntimeOptions::check_writes` additionally
+//! tags every physical slot with the logical index it holds, catching both
+//! double writes and window-eviction races in tests.
+//!
+//! [`MemoryPlan`]: ps_scheduler::MemoryPlan
+
+pub mod eval;
+pub mod interp;
+pub mod naive;
+pub mod ndarray;
+pub mod store;
+pub mod value;
+
+pub use interp::{run_module, RuntimeOptions};
+pub use naive::run_naive;
+pub use store::{Inputs, Outputs};
+pub use value::{OwnedArray, Value};

@@ -1,0 +1,343 @@
+//! Strided N-d array storage with per-dimension windows and interior
+//! mutability for disjoint parallel writes.
+
+use crate::value::{OwnedArray, OwnedBuffer, Value};
+use ps_lang::ScalarTy;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// One dimension: inclusive logical bounds plus optional window.
+#[derive(Clone, Copy, Debug)]
+pub struct DimSpec {
+    pub lo: i64,
+    pub hi: i64,
+    /// `Some(w)`: only `w` planes are allocated; logical index `i` maps to
+    /// physical `(i - lo) mod w` — the paper's virtual dimension.
+    pub window: Option<i64>,
+}
+
+impl DimSpec {
+    pub fn logical_width(&self) -> i64 {
+        (self.hi - self.lo + 1).max(0)
+    }
+
+    pub fn physical_width(&self) -> i64 {
+        match self.window {
+            Some(w) => w.min(self.logical_width()),
+            None => self.logical_width(),
+        }
+    }
+}
+
+/// Layout of an array instance.
+#[derive(Clone, Debug)]
+pub struct NdSpec {
+    pub dims: Vec<DimSpec>,
+}
+
+impl NdSpec {
+    pub fn physical_len(&self) -> usize {
+        self.dims
+            .iter()
+            .map(|d| d.physical_width() as usize)
+            .product()
+    }
+
+    pub fn logical_len(&self) -> usize {
+        self.dims
+            .iter()
+            .map(|d| d.logical_width() as usize)
+            .product()
+    }
+
+    /// Physical offset of a logical index (window-mapped). Panics when out
+    /// of logical bounds — schedule guards must prevent that.
+    pub fn offset(&self, index: &[i64]) -> usize {
+        debug_assert_eq!(index.len(), self.dims.len());
+        let mut off = 0usize;
+        for (d, &i) in self.dims.iter().zip(index) {
+            assert!(
+                i >= d.lo && i <= d.hi,
+                "index {i} outside {}..{} (windowed array)",
+                d.lo,
+                d.hi
+            );
+            let rel = i - d.lo;
+            let phys = match d.window {
+                Some(w) if w < d.logical_width() => rel % w,
+                _ => rel,
+            };
+            off = off * d.physical_width() as usize + phys as usize;
+        }
+        off
+    }
+
+    /// Flat index in the *logical* (unwindowed) space; used by the write
+    /// checker's tags.
+    pub fn logical_flat(&self, index: &[i64]) -> i64 {
+        let mut off = 0i64;
+        for (d, &i) in self.dims.iter().zip(index) {
+            off = off * d.logical_width() + (i - d.lo);
+        }
+        off
+    }
+
+    pub fn is_windowed(&self) -> bool {
+        self.dims
+            .iter()
+            .any(|d| matches!(d.window, Some(w) if w < d.logical_width()))
+    }
+}
+
+/// Element-wise `UnsafeCell` buffer for disjoint parallel writes.
+struct ParVec<T> {
+    data: Box<[UnsafeCell<T>]>,
+}
+
+// SAFETY: all mutation goes through `set`, whose callers (the flowchart
+// interpreter) guarantee distinct indices across threads — the
+// single-assignment property checked by the front end and validated by the
+// scheduler. Reads of a slot racing with its own write cannot occur for the
+// same reason (a value is never read before the schedule has written it).
+unsafe impl<T: Send> Sync for ParVec<T> {}
+
+impl<T: Copy> ParVec<T> {
+    fn new(v: Vec<T>) -> Self {
+        ParVec {
+            data: v.into_iter().map(UnsafeCell::new).collect(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> T {
+        unsafe { *self.data[i].get() }
+    }
+
+    /// # Safety
+    /// No concurrent write to the same `i`, and no concurrent read of `i`.
+    #[inline]
+    unsafe fn set(&self, i: usize, v: T) {
+        unsafe {
+            *self.data[i].get() = v;
+        }
+    }
+
+    fn into_inner(self) -> Vec<T> {
+        self.data
+            .into_vec()
+            .into_iter()
+            .map(|c| c.into_inner())
+            .collect()
+    }
+}
+
+enum SharedBuffer {
+    Real(ParVec<f64>),
+    Int(ParVec<i64>),
+    Bool(ParVec<bool>),
+}
+
+/// A live array instance: layout + shared buffer + optional write checker.
+pub struct ArrayInstance {
+    pub spec: NdSpec,
+    buf: SharedBuffer,
+    /// Write-check tags: for every *physical* slot, the logical flat index
+    /// currently stored there (−1 = empty). Catches double writes and
+    /// reads of evicted window planes.
+    tags: Option<Vec<AtomicI64>>,
+}
+
+impl ArrayInstance {
+    pub fn new(spec: NdSpec, elem: ScalarTy, check_writes: bool) -> ArrayInstance {
+        let len = spec.physical_len();
+        let buf = match elem {
+            ScalarTy::Real => SharedBuffer::Real(ParVec::new(vec![0.0; len])),
+            ScalarTy::Int | ScalarTy::Char => SharedBuffer::Int(ParVec::new(vec![0; len])),
+            ScalarTy::Bool => SharedBuffer::Bool(ParVec::new(vec![false; len])),
+        };
+        let tags = check_writes.then(|| (0..len).map(|_| AtomicI64::new(-1)).collect());
+        ArrayInstance { spec, buf, tags }
+    }
+
+    /// Build from caller-provided input data (always physical).
+    pub fn from_owned(owned: &OwnedArray) -> ArrayInstance {
+        let spec = NdSpec {
+            dims: owned
+                .dims
+                .iter()
+                .map(|&(lo, hi)| DimSpec {
+                    lo,
+                    hi,
+                    window: None,
+                })
+                .collect(),
+        };
+        let buf = match &owned.data {
+            OwnedBuffer::Real(v) => SharedBuffer::Real(ParVec::new(v.clone())),
+            OwnedBuffer::Int(v) => SharedBuffer::Int(ParVec::new(v.clone())),
+            OwnedBuffer::Bool(v) => SharedBuffer::Bool(ParVec::new(v.clone())),
+        };
+        // Inputs are fully defined: tag them as such when checking.
+        ArrayInstance { spec, buf, tags: None }
+    }
+
+    pub fn read(&self, index: &[i64]) -> Value {
+        let off = self.spec.offset(index);
+        if let Some(tags) = &self.tags {
+            let expected = self.spec.logical_flat(index);
+            let tag = tags[off].load(Ordering::Acquire);
+            assert!(
+                tag == expected,
+                "read of {index:?}: slot holds logical {tag} (expected {expected}) — \
+                 element missing or evicted from its window"
+            );
+        }
+        match &self.buf {
+            SharedBuffer::Real(v) => Value::Real(v.get(off)),
+            SharedBuffer::Int(v) => Value::Int(v.get(off)),
+            SharedBuffer::Bool(v) => Value::Bool(v.get(off)),
+        }
+    }
+
+    /// Write one element.
+    ///
+    /// Safety of the underlying unsafe cell rests on the schedule: distinct
+    /// `DOALL` iterations write distinct logical (hence physical) slots.
+    pub fn write(&self, index: &[i64], value: Value) {
+        let off = self.spec.offset(index);
+        if let Some(tags) = &self.tags {
+            let logical = self.spec.logical_flat(index);
+            let prev = tags[off].swap(logical, Ordering::AcqRel);
+            assert!(
+                prev != logical,
+                "double write of logical index {index:?} (single assignment violated)"
+            );
+        }
+        match (&self.buf, value) {
+            (SharedBuffer::Real(v), Value::Real(x)) => unsafe { v.set(off, x) },
+            (SharedBuffer::Real(v), Value::Int(x)) => unsafe { v.set(off, x as f64) },
+            (SharedBuffer::Int(v), Value::Int(x)) => unsafe { v.set(off, x) },
+            (SharedBuffer::Bool(v), Value::Bool(x)) => unsafe { v.set(off, x) },
+            (_, v) => panic!("type mismatch writing {v:?}"),
+        }
+    }
+
+    /// Extract the full logical content (only for non-windowed arrays).
+    pub fn to_owned_array(self) -> OwnedArray {
+        assert!(
+            !self.spec.is_windowed(),
+            "cannot export a windowed array in full"
+        );
+        let dims: Vec<(i64, i64)> = self.spec.dims.iter().map(|d| (d.lo, d.hi)).collect();
+        let data = match self.buf {
+            SharedBuffer::Real(v) => OwnedBuffer::Real(v.into_inner()),
+            SharedBuffer::Int(v) => OwnedBuffer::Int(v.into_inner()),
+            SharedBuffer::Bool(v) => OwnedBuffer::Bool(v.into_inner()),
+        };
+        OwnedArray { dims, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec2(lo0: i64, hi0: i64, w0: Option<i64>, lo1: i64, hi1: i64) -> NdSpec {
+        NdSpec {
+            dims: vec![
+                DimSpec {
+                    lo: lo0,
+                    hi: hi0,
+                    window: w0,
+                },
+                DimSpec {
+                    lo: lo1,
+                    hi: hi1,
+                    window: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn physical_allocation_respects_window() {
+        let full = spec2(1, 10, None, 0, 4);
+        assert_eq!(full.physical_len(), 50);
+        let win = spec2(1, 10, Some(2), 0, 4);
+        assert_eq!(win.physical_len(), 10);
+        assert_eq!(win.logical_len(), 50);
+        assert!(win.is_windowed());
+        assert!(!full.is_windowed());
+    }
+
+    #[test]
+    fn window_mapping_wraps() {
+        let win = spec2(1, 10, Some(2), 0, 4);
+        // Plane 1 and plane 3 share physical slots; 1 and 2 do not.
+        assert_eq!(win.offset(&[1, 0]), win.offset(&[3, 0]));
+        assert_ne!(win.offset(&[1, 0]), win.offset(&[2, 0]));
+    }
+
+    #[test]
+    fn read_back_written_values() {
+        let a = ArrayInstance::new(spec2(0, 3, None, 0, 3), ScalarTy::Real, false);
+        a.write(&[2, 1], Value::Real(6.5));
+        assert_eq!(a.read(&[2, 1]), Value::Real(6.5));
+        // Int widening into a real buffer.
+        a.write(&[0, 0], Value::Int(3));
+        assert_eq!(a.read(&[0, 0]), Value::Real(3.0));
+    }
+
+    #[test]
+    fn windowed_rotation_works() {
+        let a = ArrayInstance::new(spec2(1, 100, Some(2), 0, 0), ScalarTy::Real, false);
+        // Simulate the K loop: write plane k, read plane k-1.
+        a.write(&[1, 0], Value::Real(1.0));
+        for k in 2..=100 {
+            let prev = a.read(&[k - 1, 0]).as_real();
+            a.write(&[k, 0], Value::Real(prev + 1.0));
+        }
+        assert_eq!(a.read(&[100, 0]), Value::Real(100.0));
+    }
+
+    #[test]
+    fn checker_catches_double_write() {
+        let a = ArrayInstance::new(spec2(0, 3, None, 0, 0), ScalarTy::Real, true);
+        a.write(&[1, 0], Value::Real(1.0));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.write(&[1, 0], Value::Real(2.0));
+        }));
+        assert!(err.is_err(), "double write must be caught");
+    }
+
+    #[test]
+    fn checker_catches_window_eviction() {
+        let a = ArrayInstance::new(spec2(1, 10, Some(2), 0, 0), ScalarTy::Real, true);
+        a.write(&[1, 0], Value::Real(1.0));
+        a.write(&[2, 0], Value::Real(2.0));
+        a.write(&[3, 0], Value::Real(3.0)); // evicts plane 1
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.read(&[1, 0]);
+        }));
+        assert!(err.is_err(), "reading an evicted plane must be caught");
+        assert_eq!(a.read(&[3, 0]), Value::Real(3.0));
+    }
+
+    #[test]
+    fn export_round_trip() {
+        let a = ArrayInstance::new(spec2(0, 1, None, 0, 1), ScalarTy::Real, false);
+        a.write(&[0, 0], Value::Real(1.0));
+        a.write(&[0, 1], Value::Real(2.0));
+        a.write(&[1, 0], Value::Real(3.0));
+        a.write(&[1, 1], Value::Real(4.0));
+        let owned = a.to_owned_array();
+        assert_eq!(owned.as_real_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_owned_reads_input() {
+        let input = OwnedArray::real(vec![(0, 1)], vec![5.0, 6.0]);
+        let inst = ArrayInstance::from_owned(&input);
+        assert_eq!(inst.read(&[1]), Value::Real(6.0));
+    }
+}

@@ -1,0 +1,305 @@
+//! Input bindings, the live data store, and module outputs.
+
+use crate::ndarray::{ArrayInstance, DimSpec, NdSpec};
+use crate::value::{OwnedArray, Value};
+use parking_lot::RwLock;
+use ps_lang::hir::{DataKind, HirModule};
+use ps_lang::{DataId, ScalarTy, Ty};
+use ps_scheduler::MemoryPlan;
+use ps_support::{FxHashMap, Symbol};
+
+/// Parameter bindings supplied by the caller.
+#[derive(Clone, Debug, Default)]
+pub struct Inputs {
+    scalars: FxHashMap<Symbol, Value>,
+    arrays: FxHashMap<Symbol, OwnedArray>,
+}
+
+impl Inputs {
+    pub fn new() -> Inputs {
+        Inputs::default()
+    }
+
+    pub fn set_int(mut self, name: &str, v: i64) -> Inputs {
+        self.scalars.insert(Symbol::intern(name), Value::Int(v));
+        self
+    }
+
+    pub fn set_real(mut self, name: &str, v: f64) -> Inputs {
+        self.scalars.insert(Symbol::intern(name), Value::Real(v));
+        self
+    }
+
+    pub fn set_bool(mut self, name: &str, v: bool) -> Inputs {
+        self.scalars.insert(Symbol::intern(name), Value::Bool(v));
+        self
+    }
+
+    pub fn set_array(mut self, name: &str, a: OwnedArray) -> Inputs {
+        self.arrays.insert(Symbol::intern(name), a);
+        self
+    }
+
+    pub fn scalar(&self, name: Symbol) -> Option<Value> {
+        self.scalars.get(&name).copied()
+    }
+
+    pub fn array(&self, name: Symbol) -> Option<&OwnedArray> {
+        self.arrays.get(&name)
+    }
+
+    /// The affine-parameter environment (scalar ints only).
+    pub fn param_env(&self) -> FxHashMap<Symbol, i64> {
+        self.scalars
+            .iter()
+            .filter_map(|(&s, v)| match v {
+                Value::Int(i) => Some((s, *i)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Module results returned by the interpreter or oracle.
+#[derive(Clone, Debug, Default)]
+pub struct Outputs {
+    pub scalars: FxHashMap<String, Value>,
+    pub arrays: FxHashMap<String, OwnedArray>,
+}
+
+impl Outputs {
+    pub fn array(&self, name: &str) -> &OwnedArray {
+        &self.arrays[name]
+    }
+
+    pub fn scalar(&self, name: &str) -> Value {
+        self.scalars[name]
+    }
+}
+
+/// Setup failure (missing input, unevaluable bound, shape mismatch).
+#[derive(Clone, Debug)]
+pub struct RuntimeError(pub String);
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The live data store for one module execution.
+pub struct Store<'m> {
+    pub module: &'m HirModule,
+    pub params: FxHashMap<Symbol, i64>,
+    arrays: FxHashMap<DataId, ArrayInstance>,
+    /// Scalar *parameters*: immutable after construction, read lock-free —
+    /// guards in hot DOALL bodies read `M`/`maxK` millions of times.
+    param_scalars: FxHashMap<DataId, Value>,
+    /// Scalar locals/results and record fields (written only outside
+    /// loops; a lock keeps the structure simple and is uncontended).
+    scalars: RwLock<FxHashMap<(DataId, usize), Value>>,
+}
+
+impl<'m> Store<'m> {
+    /// Allocate every array of `module` per the memory plan, binding
+    /// parameters from `inputs`.
+    pub fn build(
+        module: &'m HirModule,
+        plan: &MemoryPlan,
+        inputs: &Inputs,
+        check_writes: bool,
+    ) -> Result<Store<'m>, RuntimeError> {
+        let params = inputs.param_env();
+        let mut arrays = FxHashMap::default();
+        let mut param_scalars = FxHashMap::default();
+        let scalars = FxHashMap::default();
+
+        for (id, item) in module.data.iter_enumerated() {
+            match item.kind {
+                DataKind::Param => {
+                    if item.is_array() {
+                        let owned = inputs.array(item.name).ok_or_else(|| {
+                            RuntimeError(format!("missing input array `{}`", item.name))
+                        })?;
+                        // Validate the declared shape.
+                        let declared = Self::bounds_of(module, &params, id)?;
+                        if declared != owned.dims {
+                            return Err(RuntimeError(format!(
+                                "input `{}` has dims {:?}, declared {:?}",
+                                item.name, owned.dims, declared
+                            )));
+                        }
+                        arrays.insert(id, ArrayInstance::from_owned(owned));
+                    } else {
+                        let v = inputs.scalar(item.name).ok_or_else(|| {
+                            RuntimeError(format!("missing input `{}`", item.name))
+                        })?;
+                        // Widen ints handed to real params.
+                        let v = match (&item.ty, v) {
+                            (Ty::Scalar(ScalarTy::Real), Value::Int(i)) => Value::Real(i as f64),
+                            _ => v,
+                        };
+                        param_scalars.insert(id, v);
+                    }
+                }
+                DataKind::Local | DataKind::Result => {
+                    if item.is_array() {
+                        let bounds = Self::bounds_of(module, &params, id)?;
+                        let dims: Vec<DimSpec> = bounds
+                            .iter()
+                            .enumerate()
+                            .map(|(d, &(lo, hi))| DimSpec {
+                                lo,
+                                hi,
+                                window: plan.window(id, d),
+                            })
+                            .collect();
+                        let elem = item.elem_scalar().ok_or_else(|| {
+                            RuntimeError(format!("`{}` has no scalar element", item.name))
+                        })?;
+                        arrays.insert(
+                            id,
+                            ArrayInstance::new(NdSpec { dims }, elem, check_writes),
+                        );
+                    }
+                }
+            }
+        }
+
+        Ok(Store {
+            module,
+            params,
+            arrays,
+            param_scalars,
+            scalars: RwLock::new(scalars),
+        })
+    }
+
+    /// Evaluate the declared inclusive bounds of an array.
+    pub fn bounds_of(
+        module: &HirModule,
+        params: &FxHashMap<Symbol, i64>,
+        id: DataId,
+    ) -> Result<Vec<(i64, i64)>, RuntimeError> {
+        module.data[id]
+            .dims()
+            .iter()
+            .map(|&sr| {
+                let s = &module.subranges[sr];
+                let lo = s.lo.eval(params).ok_or_else(|| {
+                    RuntimeError(format!("cannot evaluate bound {}", s.lo))
+                })?;
+                let hi = s.hi.eval(params).ok_or_else(|| {
+                    RuntimeError(format!("cannot evaluate bound {}", s.hi))
+                })?;
+                if hi < lo {
+                    return Err(RuntimeError(format!(
+                        "empty dimension {lo}..{hi} for `{}`",
+                        module.data[id].name
+                    )));
+                }
+                Ok((lo, hi))
+            })
+            .collect()
+    }
+
+    pub fn array(&self, id: DataId) -> &ArrayInstance {
+        self.arrays
+            .get(&id)
+            .unwrap_or_else(|| panic!("array `{}` not allocated", self.module.data[id].name))
+    }
+
+    pub fn read_scalar(&self, id: DataId, field: usize) -> Value {
+        if field == 0 {
+            if let Some(v) = self.param_scalars.get(&id) {
+                return *v;
+            }
+        }
+        self.scalars
+            .read()
+            .get(&(id, field))
+            .copied()
+            .unwrap_or_else(|| {
+                panic!(
+                    "scalar `{}` read before definition",
+                    self.module.data[id].name
+                )
+            })
+    }
+
+    pub fn write_scalar(&self, id: DataId, field: usize, v: Value) {
+        self.scalars.write().insert((id, field), v);
+    }
+
+    /// Extract results into [`Outputs`].
+    pub fn into_outputs(mut self) -> Outputs {
+        let mut out = Outputs::default();
+        for &id in &self.module.results.clone() {
+            let item = &self.module.data[id];
+            if item.is_array() {
+                let inst = self
+                    .arrays
+                    .remove(&id)
+                    .expect("result array was allocated");
+                out.arrays.insert(item.name.to_string(), inst.to_owned_array());
+            } else {
+                let v = self.read_scalar(id, 0);
+                out.scalars.insert(item.name.to_string(), v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_lang::frontend;
+
+    #[test]
+    fn inputs_builder_and_env() {
+        let inputs = Inputs::new()
+            .set_int("n", 5)
+            .set_real("x", 1.5)
+            .set_bool("flag", true);
+        assert_eq!(inputs.scalar(Symbol::intern("n")), Some(Value::Int(5)));
+        let env = inputs.param_env();
+        assert_eq!(env.get(&Symbol::intern("n")), Some(&5));
+        assert!(!env.contains_key(&Symbol::intern("x")), "reals not affine");
+    }
+
+    #[test]
+    fn store_allocates_and_validates() {
+        let m = frontend(
+            "T: module (n: int; init: array[1..n] of real): [y: real];
+             type K = 2 .. n;
+             var a: array [1 .. n] of real;
+             define
+                a[1] = init[1];
+                a[K] = a[K-1] + 1.0;
+                y = a[n];
+             end T;",
+        )
+        .unwrap();
+        let plan = MemoryPlan::new();
+        let inputs = Inputs::new()
+            .set_int("n", 4)
+            .set_array("init", OwnedArray::real(vec![(1, 4)], vec![1.0; 4]));
+        let store = Store::build(&m, &plan, &inputs, false).unwrap();
+        let a = m.data_by_name("a").unwrap();
+        assert_eq!(store.array(a).spec.physical_len(), 4);
+
+        // Shape mismatch rejected.
+        let bad = Inputs::new()
+            .set_int("n", 4)
+            .set_array("init", OwnedArray::real(vec![(1, 3)], vec![1.0; 3]));
+        assert!(Store::build(&m, &plan, &bad, false).is_err());
+
+        // Missing scalar rejected.
+        let missing = Inputs::new()
+            .set_array("init", OwnedArray::real(vec![(1, 4)], vec![1.0; 4]));
+        assert!(Store::build(&m, &plan, &missing, false).is_err());
+    }
+}

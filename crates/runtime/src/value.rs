@@ -1,0 +1,201 @@
+//! Scalar values and owned array results.
+
+use std::fmt;
+
+/// A runtime scalar. Enumeration values and characters are carried as
+/// integers (their ordinal / code point), mirroring the generated C.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    Int(i64),
+    Real(f64),
+    Bool(bool),
+}
+
+impl Value {
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    pub fn as_real(&self) -> f64 {
+        match self {
+            Value::Real(v) => *v,
+            other => panic!("expected real, got {other:?}"),
+        }
+    }
+
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(v) => *v,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    /// Numeric coercion used by comparisons and mixed arithmetic (the
+    /// checker inserts explicit casts, so this only handles exact matches
+    /// plus the int→real widening the casts produce).
+    pub fn widen_real(&self) -> f64 {
+        match self {
+            Value::Int(v) => *v as f64,
+            Value::Real(v) => *v,
+            Value::Bool(_) => panic!("cannot widen bool to real"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A dense owned array with inclusive per-dimension bounds, used for module
+/// inputs and outputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OwnedArray {
+    /// Inclusive `(lo, hi)` bounds per dimension.
+    pub dims: Vec<(i64, i64)>,
+    /// Row-major data; `len == Π (hi-lo+1)`.
+    pub data: OwnedBuffer,
+}
+
+/// Element storage for [`OwnedArray`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum OwnedBuffer {
+    Real(Vec<f64>),
+    Int(Vec<i64>),
+    Bool(Vec<bool>),
+}
+
+impl OwnedArray {
+    pub fn real(dims: Vec<(i64, i64)>, data: Vec<f64>) -> OwnedArray {
+        let arr = OwnedArray {
+            dims,
+            data: OwnedBuffer::Real(data),
+        };
+        arr.check_len();
+        arr
+    }
+
+    pub fn int(dims: Vec<(i64, i64)>, data: Vec<i64>) -> OwnedArray {
+        let arr = OwnedArray {
+            dims,
+            data: OwnedBuffer::Int(data),
+        };
+        arr.check_len();
+        arr
+    }
+
+    fn check_len(&self) {
+        assert_eq!(
+            self.len(),
+            self.element_count(),
+            "data length must match dims {:?}",
+            self.dims
+        );
+    }
+
+    pub fn element_count(&self) -> usize {
+        self.dims
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1).max(0) as usize)
+            .product()
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.data {
+            OwnedBuffer::Real(v) => v.len(),
+            OwnedBuffer::Int(v) => v.len(),
+            OwnedBuffer::Bool(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn flat(&self, index: &[i64]) -> usize {
+        assert_eq!(index.len(), self.dims.len(), "rank mismatch");
+        let mut off = 0usize;
+        for (&(lo, hi), &i) in self.dims.iter().zip(index) {
+            assert!(i >= lo && i <= hi, "index {i} outside {lo}..{hi}");
+            off = off * (hi - lo + 1) as usize + (i - lo) as usize;
+        }
+        off
+    }
+
+    /// Read one element.
+    pub fn get(&self, index: &[i64]) -> Value {
+        let off = self.flat(index);
+        match &self.data {
+            OwnedBuffer::Real(v) => Value::Real(v[off]),
+            OwnedBuffer::Int(v) => Value::Int(v[off]),
+            OwnedBuffer::Bool(v) => Value::Bool(v[off]),
+        }
+    }
+
+    /// Maximum absolute difference against another real array.
+    pub fn max_abs_diff(&self, other: &OwnedArray) -> f64 {
+        match (&self.data, &other.data) {
+            (OwnedBuffer::Real(a), OwnedBuffer::Real(b)) => {
+                assert_eq!(a.len(), b.len(), "shape mismatch");
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0, f64::max)
+            }
+            _ => panic!("max_abs_diff requires real arrays"),
+        }
+    }
+
+    /// The real data, when real-typed.
+    pub fn as_real_slice(&self) -> &[f64] {
+        match &self.data {
+            OwnedBuffer::Real(v) => v,
+            other => panic!("expected real array, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_respects_bounds() {
+        let a = OwnedArray::real(vec![(0, 1), (10, 12)], (0..6).map(|x| x as f64).collect());
+        assert_eq!(a.get(&[0, 10]), Value::Real(0.0));
+        assert_eq!(a.get(&[0, 12]), Value::Real(2.0));
+        assert_eq!(a.get(&[1, 10]), Value::Real(3.0));
+        assert_eq!(a.get(&[1, 12]), Value::Real(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_panics() {
+        let a = OwnedArray::real(vec![(0, 1)], vec![1.0, 2.0]);
+        a.get(&[2]);
+    }
+
+    #[test]
+    fn diff_metric() {
+        let a = OwnedArray::real(vec![(1, 3)], vec![1.0, 2.0, 3.0]);
+        let b = OwnedArray::real(vec![(1, 3)], vec![1.0, 2.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_int(), 3);
+        assert_eq!(Value::Real(2.5).as_real(), 2.5);
+        assert!(Value::Bool(true).as_bool());
+        assert_eq!(Value::Int(2).widen_real(), 2.0);
+        assert_eq!(format!("{}", Value::Int(7)), "7");
+    }
+}

@@ -1,0 +1,262 @@
+//! Dimension matching: step 2–3 of Schedule-Component.
+//!
+//! A *dimension* of a component is an equivalence between one index variable
+//! of each equation node and one dimension position of each data node,
+//! induced by the subscript structure. The paper states the requirement as:
+//!
+//! > "verify that the subrange associated with that dimension appears in a
+//! > consistent position in each node of the component, and that the only
+//! > subscript expressions used in that dimension are either `I` or
+//! > `I - constant`."
+//!
+//! Starting from a seed `(equation, index variable)`, [`try_match`]
+//! propagates the assignment across def and read edges to a fixed point,
+//! rejecting the candidate on any conflict (the paper's footnote example
+//! `A[I,J] = A[I,J-1] + A[J,I]` fails here: `I` would need to sit at both
+//! position 0 and position 1 of `A`).
+
+use crate::schedule::SchedState;
+use ps_depgraph::{DepGraph, EdgeKind, SubscriptForm};
+use ps_graph::{EdgeId, NodeId};
+use ps_lang::hir::{HirModule, LhsSub};
+use ps_lang::{IvId, SubrangeId};
+use ps_support::{FxHashMap, FxHashSet};
+
+/// A verified dimension assignment for a component.
+#[derive(Clone, Debug)]
+pub struct DimMatch {
+    /// Matched index variable per equation node.
+    pub eq_iv: FxHashMap<NodeId, IvId>,
+    /// Matched dimension position per data node.
+    pub data_pos: FxHashMap<NodeId, usize>,
+    /// Read edges with `I - constant` form at the matched dimension — the
+    /// edges Schedule-Component deletes (step 4).
+    pub deletable: Vec<EdgeId>,
+    /// Display name (the seed index variable's name).
+    pub name: String,
+    /// The subrange the generated loop iterates over.
+    pub subrange: SubrangeId,
+}
+
+/// Attempt to extend the seed `(seed_eq_node, seed_iv)` to a consistent
+/// dimension over all of `comp`. Returns `None` when the paper's step-3
+/// verification fails.
+pub fn try_match(
+    module: &HirModule,
+    dg: &DepGraph,
+    state: &SchedState,
+    comp: &FxHashSet<NodeId>,
+    seed_eq_node: NodeId,
+    seed_iv: IvId,
+) -> Option<DimMatch> {
+    let mut eq_iv: FxHashMap<NodeId, IvId> = FxHashMap::default();
+    let mut data_pos: FxHashMap<NodeId, usize> = FxHashMap::default();
+    let mut work: Vec<NodeId> = vec![seed_eq_node];
+    eq_iv.insert(seed_eq_node, seed_iv);
+
+    // Fixed-point propagation over the component's active edges.
+    while let Some(n) = work.pop() {
+        if dg.is_equation(n) {
+            let v = eq_iv[&n];
+            let eq_id = match dg.node_kind(n) {
+                ps_depgraph::DepNodeKind::Equation(e) => e,
+                _ => unreachable!(),
+            };
+            let eq = &module.equations[eq_id];
+
+            // Def edge: the LHS dimension bound to v fixes the position of
+            // the defined array.
+            let lhs_node = dg.data_node(eq.lhs);
+            if comp.contains(&lhs_node) {
+                let pos = eq.lhs_subs.iter().position(
+                    |s| matches!(s, LhsSub::Var(iv) if *iv == v),
+                )?;
+                if !assign_data(&mut data_pos, &mut work, lhs_node, pos) {
+                    return None;
+                }
+            }
+
+            // Read edges into this equation: labels using v fix the source
+            // array's position.
+            for e in state.graph.in_edges(n) {
+                if state.graph.edge(e).kind != EdgeKind::Read {
+                    continue;
+                }
+                let src = state.graph.edge_source(e);
+                if !comp.contains(&src) {
+                    continue;
+                }
+                let labels = &state.graph.edge(e).labels;
+                let mut pos_for_v: Option<usize> = None;
+                for (d, l) in labels.iter().enumerate() {
+                    if l.iv == Some(v)
+                        && pos_for_v.replace(d).is_some() {
+                            // v used at two positions of the same reference.
+                            return None;
+                        }
+                }
+                if let Some(d) = pos_for_v {
+                    if !assign_data(&mut data_pos, &mut work, src, d) {
+                        return None;
+                    }
+                }
+            }
+        } else {
+            // Data node with a known position: every in-component reference
+            // at that position must be `I` / `I - constant` over a single
+            // index variable of the target equation; every in-component
+            // definition must bind a variable there.
+            let d = data_pos[&n];
+            for e in state.graph.out_edges(n) {
+                if state.graph.edge(e).kind != EdgeKind::Read {
+                    continue;
+                }
+                let tgt = state.graph.edge_target(e);
+                if !comp.contains(&tgt) {
+                    continue;
+                }
+                let l = state.graph.edge(e).labels.get(d)?;
+                match l.form {
+                    SubscriptForm::Identity | SubscriptForm::OffsetBack => {
+                        let v = l.iv.expect("identity/offset labels carry an iv");
+                        if !assign_eq(&mut eq_iv, &mut work, tgt, v) {
+                            return None;
+                        }
+                    }
+                    // `I + constant`, general affine, dynamic, or constant:
+                    // the paper's step-3 verification fails.
+                    SubscriptForm::Other | SubscriptForm::Constant => return None,
+                }
+            }
+            for e in state.graph.in_edges(n) {
+                if state.graph.edge(e).kind != EdgeKind::Def {
+                    continue;
+                }
+                let src = state.graph.edge_source(e);
+                if !comp.contains(&src) {
+                    continue;
+                }
+                let eq_id = match dg.node_kind(src) {
+                    ps_depgraph::DepNodeKind::Equation(eq) => eq,
+                    _ => continue,
+                };
+                match module.equations[eq_id].lhs_subs.get(d) {
+                    Some(LhsSub::Var(v)) => {
+                        if !assign_eq(&mut eq_iv, &mut work, src, *v) {
+                            return None;
+                        }
+                    }
+                    // A constant plane at the scheduled dimension inside the
+                    // recursion: not schedulable in this dimension.
+                    _ => return None,
+                }
+            }
+        }
+    }
+
+    // Every node of the component must participate in the dimension.
+    for &n in comp {
+        if dg.is_equation(n) {
+            if !eq_iv.contains_key(&n) {
+                return None;
+            }
+        } else if !data_pos.contains_key(&n) {
+            return None;
+        }
+    }
+
+    // The matched variables must be unscheduled, and all equation loops must
+    // range over provably identical subranges.
+    let seed_subrange = iv_subrange(module, dg, seed_eq_node, seed_iv);
+    for (&n, &v) in &eq_iv {
+        if state.is_eq_scheduled(n, v) {
+            return None;
+        }
+        let sr = iv_subrange(module, dg, n, v);
+        if sr != seed_subrange
+            && !module.subranges[sr].same_bounds(&module.subranges[seed_subrange])
+        {
+            return None;
+        }
+    }
+    for (&n, &d) in &data_pos {
+        if state.is_data_scheduled(n, d) {
+            return None;
+        }
+    }
+
+    // Collect the deletable `I - constant` edges (step 4): in-component read
+    // edges whose label at the source's matched position is OffsetBack.
+    let mut deletable = Vec::new();
+    for (&src, &d) in &data_pos {
+        for e in state.graph.out_edges(src) {
+            if state.graph.edge(e).kind != EdgeKind::Read {
+                continue;
+            }
+            let tgt = state.graph.edge_target(e);
+            if !comp.contains(&tgt) {
+                continue;
+            }
+            if state.graph.edge(e).labels[d].form == SubscriptForm::OffsetBack {
+                deletable.push(e);
+            }
+        }
+    }
+
+    let name = eq_iv_name(module, dg, seed_eq_node, seed_iv);
+    Some(DimMatch {
+        eq_iv,
+        data_pos,
+        deletable,
+        name,
+        subrange: seed_subrange,
+    })
+}
+
+fn assign_data(
+    data_pos: &mut FxHashMap<NodeId, usize>,
+    work: &mut Vec<NodeId>,
+    node: NodeId,
+    pos: usize,
+) -> bool {
+    match data_pos.get(&node) {
+        Some(&existing) => existing == pos,
+        None => {
+            data_pos.insert(node, pos);
+            work.push(node);
+            true
+        }
+    }
+}
+
+fn assign_eq(
+    eq_iv: &mut FxHashMap<NodeId, IvId>,
+    work: &mut Vec<NodeId>,
+    node: NodeId,
+    iv: IvId,
+) -> bool {
+    match eq_iv.get(&node) {
+        Some(&existing) => existing == iv,
+        None => {
+            eq_iv.insert(node, iv);
+            work.push(node);
+            true
+        }
+    }
+}
+
+fn iv_subrange(module: &HirModule, dg: &DepGraph, node: NodeId, iv: IvId) -> SubrangeId {
+    match dg.node_kind(node) {
+        ps_depgraph::DepNodeKind::Equation(eq) => module.equations[eq].ivs[iv].subrange,
+        _ => unreachable!("iv lookup on data node"),
+    }
+}
+
+fn eq_iv_name(module: &HirModule, dg: &DepGraph, node: NodeId, iv: IvId) -> String {
+    match dg.node_kind(node) {
+        ps_depgraph::DepNodeKind::Equation(eq) => {
+            module.equations[eq].ivs[iv].name.to_string()
+        }
+        _ => unreachable!(),
+    }
+}

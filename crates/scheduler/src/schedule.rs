@@ -1,0 +1,537 @@
+//! Schedule-Graph / Schedule-Component (paper Section 3.3).
+
+use crate::dims::{try_match, DimMatch};
+use crate::flowchart::{Descriptor, Flowchart, LoopDescriptor, LoopKind};
+use crate::memory::MemoryPlan;
+use crate::virtualdim;
+use ps_depgraph::{DepEdge, DepGraph, DepNode, DepNodeKind};
+use ps_graph::scc::ordered_components_filtered;
+use ps_graph::{DiGraph, NodeId};
+use ps_lang::hir::HirModule;
+use ps_lang::IvId;
+use ps_support::{FxHashMap, FxHashSet};
+
+/// How Schedule-Component picks among candidate dimensions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PickPolicy {
+    /// The paper's behaviour: first unscheduled dimension in declaration
+    /// order (equation nodes in id order, index variables in LHS order).
+    #[default]
+    DeclarationOrder,
+    /// Ablation: among verifiable candidates, prefer one that deletes no
+    /// edges (yielding an outer DOALL) before falling back.
+    PreferParallel,
+}
+
+/// Options for [`schedule_module`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScheduleOptions {
+    pub pick: PickPolicy,
+    /// Run the loop-fusion post-pass (paper: "improvement of the scheduler
+    /// to better merge iterative loops").
+    pub fuse_loops: bool,
+}
+
+/// A component row of the Figure-5 table.
+#[derive(Clone, Debug)]
+pub struct ComponentInfo {
+    /// Names of the nodes in the MSCC (`["A", "eq.3"]`).
+    pub nodes: Vec<String>,
+    /// Compact flowchart returned by Schedule-Component for this component.
+    pub flowchart: String,
+}
+
+/// Scheduling failure: the algorithm of the paper signals an error when a
+/// multi-node component has no schedulable dimension left (step 2a).
+#[derive(Clone, Debug)]
+pub struct ScheduleError {
+    pub message: String,
+    /// Node names of the offending component.
+    pub component: Vec<String>,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (component: {})",
+            self.message,
+            self.component.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The output of the scheduler.
+#[derive(Clone, Debug)]
+pub struct ScheduleResult {
+    pub flowchart: Flowchart,
+    /// Virtual-dimension memory plan (Section 3.4).
+    pub memory: MemoryPlan,
+    /// Top-level MSCCs in scheduling order with their per-component
+    /// flowcharts (the Figure-5 table).
+    pub components: Vec<ComponentInfo>,
+}
+
+/// Internal scheduling state shared with the dimension matcher.
+pub struct SchedState {
+    /// Mutable copy of the dependency graph; edge deletion is deactivation.
+    pub graph: DiGraph<DepNode, DepEdge>,
+    /// Scheduled index variables per equation node.
+    scheduled_eq: FxHashMap<NodeId, FxHashSet<IvId>>,
+    /// Scheduled dimension positions per data node.
+    scheduled_data: FxHashMap<NodeId, FxHashSet<usize>>,
+}
+
+impl SchedState {
+    pub fn is_eq_scheduled(&self, node: NodeId, iv: IvId) -> bool {
+        self.scheduled_eq
+            .get(&node)
+            .map(|s| s.contains(&iv))
+            .unwrap_or(false)
+    }
+
+    pub fn is_data_scheduled(&self, node: NodeId, dim: usize) -> bool {
+        self.scheduled_data
+            .get(&node)
+            .map(|s| s.contains(&dim))
+            .unwrap_or(false)
+    }
+}
+
+struct Scheduler<'a> {
+    module: &'a HirModule,
+    dg: &'a DepGraph,
+    state: SchedState,
+    memory: MemoryPlan,
+    options: ScheduleOptions,
+}
+
+/// Run the scheduling algorithm over a module's dependency graph.
+pub fn schedule_module(
+    module: &HirModule,
+    dg: &DepGraph,
+    options: ScheduleOptions,
+) -> Result<ScheduleResult, ScheduleError> {
+    let mut sched = Scheduler {
+        module,
+        dg,
+        state: SchedState {
+            graph: dg.graph.clone(),
+            scheduled_eq: FxHashMap::default(),
+            scheduled_data: FxHashMap::default(),
+        },
+        memory: MemoryPlan::new(),
+        options,
+    };
+
+    // Top level of Schedule-Graph, with per-component bookkeeping for the
+    // Figure-5 table.
+    let all: FxHashSet<NodeId> = sched.state.graph.node_ids().collect();
+    let sccs = ordered_components_filtered(&sched.state.graph, |n| all.contains(&n));
+    let mut flowchart = Flowchart::new();
+    let mut components = Vec::new();
+    for (_, comp_nodes) in sccs.iter() {
+        let comp_fc = sched.schedule_component(comp_nodes)?;
+        components.push(ComponentInfo {
+            nodes: comp_nodes
+                .iter()
+                .map(|&n| sched.state.graph.node(n).name.clone())
+                .collect(),
+            flowchart: if comp_fc.is_empty() {
+                "null".to_string()
+            } else {
+                comp_fc.compact(&|e| sched.module.equations[e].label.clone())
+            },
+        });
+        flowchart.concat(comp_fc);
+    }
+
+    if options.fuse_loops {
+        flowchart = crate::fusion::fuse(module, dg, flowchart);
+    }
+
+    Ok(ScheduleResult {
+        flowchart,
+        memory: sched.memory,
+        components,
+    })
+}
+
+impl<'a> Scheduler<'a> {
+    /// Schedule-Graph: MSCC decomposition in topological order.
+    fn schedule_graph(&mut self, nodes: &FxHashSet<NodeId>) -> Result<Flowchart, ScheduleError> {
+        let sccs = ordered_components_filtered(&self.state.graph, |n| nodes.contains(&n));
+        let mut fc = Flowchart::new();
+        // Collect node lists first: scheduling mutates edge activation, but
+        // never the node set, so the decomposition stays valid.
+        let comps: Vec<Vec<NodeId>> = sccs.components.clone();
+        for comp in &comps {
+            fc.concat(self.schedule_component(comp)?);
+        }
+        Ok(fc)
+    }
+
+    /// Schedule-Component: steps 1–8 of the paper.
+    fn schedule_component(&mut self, comp: &[NodeId]) -> Result<Flowchart, ScheduleError> {
+        // Step 1: a single data node schedules to null.
+        if comp.len() == 1 && self.dg.is_data(comp[0]) {
+            return Ok(Flowchart::new());
+        }
+
+        let comp_set: FxHashSet<NodeId> = comp.iter().copied().collect();
+        let candidates = self.candidates(comp);
+
+        if candidates.is_empty() {
+            // Step 2a/2b: no dimensions left.
+            if comp.len() == 1 {
+                if let DepNodeKind::Equation(eq) = self.dg.node_kind(comp[0]) {
+                    return Ok(Flowchart {
+                        items: vec![Descriptor::Equation(eq)],
+                    });
+                }
+            }
+            return Err(self.not_schedulable(comp, "no unscheduled dimension is available"));
+        }
+
+        // Steps 2–3: try candidates until one verifies.
+        let mut matches: Vec<DimMatch> = Vec::new();
+        for (seed_node, seed_iv) in candidates {
+            if let Some(m) = try_match(
+                self.module,
+                self.dg,
+                &self.state,
+                &comp_set,
+                seed_node,
+                seed_iv,
+            ) {
+                match self.options.pick {
+                    PickPolicy::DeclarationOrder => {
+                        matches.push(m);
+                        break;
+                    }
+                    PickPolicy::PreferParallel => {
+                        if m.deletable.is_empty() {
+                            // An outer DOALL: take it immediately.
+                            matches.insert(0, m);
+                            break;
+                        }
+                        matches.push(m);
+                    }
+                }
+            }
+        }
+        let Some(m) = matches.into_iter().next() else {
+            return Err(self.not_schedulable(
+                comp,
+                "no dimension appears in a consistent position with only \
+                 `I` / `I - constant` subscripts",
+            ));
+        };
+
+        // Section 3.4: virtual-dimension analysis runs while the component
+        // is being scheduled, before edge deletion (it must see every
+        // reference, including edges deleted for outer dimensions).
+        virtualdim::analyze(
+            self.module,
+            self.dg,
+            &self.state,
+            &comp_set,
+            &m,
+            &mut self.memory,
+        );
+
+        // Step 4: delete the `I - constant` edges.
+        for &e in &m.deletable {
+            self.state.graph.deactivate_edge(e);
+        }
+        // Step 6: iterative if edges were deleted, parallel otherwise.
+        let kind = if m.deletable.is_empty() {
+            LoopKind::Doall
+        } else {
+            LoopKind::Do
+        };
+
+        // Step 5: mark the dimension scheduled.
+        let mut bindings = Vec::new();
+        for (&node, &iv) in &m.eq_iv {
+            self.state
+                .scheduled_eq
+                .entry(node)
+                .or_default()
+                .insert(iv);
+            if let DepNodeKind::Equation(eq) = self.dg.node_kind(node) {
+                bindings.push((eq, iv));
+            }
+        }
+        bindings.sort_by_key(|(eq, _)| *eq);
+        for (&node, &dim) in &m.data_pos {
+            self.state
+                .scheduled_data
+                .entry(node)
+                .or_default()
+                .insert(dim);
+        }
+
+        // Steps 7–8: recurse on the subgraph and wrap in the loop.
+        let body = self.schedule_graph(&comp_set)?;
+        Ok(Flowchart {
+            items: vec![Descriptor::Loop(LoopDescriptor {
+                kind,
+                subrange: m.subrange,
+                name: m.name,
+                bindings,
+                body: body.items,
+            })],
+        })
+    }
+
+    /// Candidate seeds: unscheduled index variables of the component's
+    /// equation nodes, in declaration order.
+    fn candidates(&self, comp: &[NodeId]) -> Vec<(NodeId, IvId)> {
+        let mut nodes: Vec<NodeId> = comp
+            .iter()
+            .copied()
+            .filter(|&n| self.dg.is_equation(n))
+            .collect();
+        nodes.sort();
+        let mut out = Vec::new();
+        for n in nodes {
+            if let DepNodeKind::Equation(eq) = self.dg.node_kind(n) {
+                for (iv, _) in self.module.equations[eq].ivs.iter_enumerated() {
+                    if !self.state.is_eq_scheduled(n, iv) {
+                        out.push((n, iv));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn not_schedulable(&self, comp: &[NodeId], reason: &str) -> ScheduleError {
+        ScheduleError {
+            message: format!("equations cannot be scheduled by this algorithm: {reason}"),
+            component: comp
+                .iter()
+                .map(|&n| self.state.graph.node(n).name.clone())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_depgraph::build_depgraph;
+    use ps_lang::frontend;
+
+    pub(crate) use crate::testprogs::RELAXATION_V1;
+
+    pub(crate) use crate::testprogs::RELAXATION_V2;
+
+    fn run(src: &str) -> (ps_lang::HirModule, ScheduleResult) {
+        let m = frontend(src).unwrap();
+        let dg = build_depgraph(&m);
+        let r = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        (m, r)
+    }
+
+    fn compact(m: &ps_lang::HirModule, fc: &Flowchart) -> String {
+        fc.compact(&|e| m.equations[e].label.clone())
+    }
+
+    #[test]
+    fn figure6_schedule_for_v1() {
+        let (m, r) = run(RELAXATION_V1);
+        assert_eq!(
+            compact(&m, &r.flowchart),
+            "DOALL I (DOALL J (eq.1)); DO K (DOALL I (DOALL J (eq.3))); \
+             DOALL I (DOALL J (eq.2))"
+        );
+        assert_eq!(r.flowchart.loop_counts(), (1, 6));
+    }
+
+    #[test]
+    fn figure7_schedule_for_v2() {
+        let (m, r) = run(RELAXATION_V2);
+        assert_eq!(
+            compact(&m, &r.flowchart),
+            "DOALL I (DOALL J (eq.1)); DO K (DO I (DO J (eq.3))); \
+             DOALL I (DOALL J (eq.2))"
+        );
+    }
+
+    #[test]
+    fn figure5_component_table() {
+        let (_, r) = run(RELAXATION_V1);
+        // Seven MSCCs (paper Figure 5).
+        assert_eq!(r.components.len(), 7);
+        let names: Vec<Vec<String>> = r.components.iter().map(|c| c.nodes.clone()).collect();
+        // The multi-node component is exactly {A, eq.3}.
+        let multi: Vec<_> = names.iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(multi.len(), 1);
+        let mut ab = multi[0].clone();
+        ab.sort();
+        assert_eq!(ab, vec!["A".to_string(), "eq.3".to_string()]);
+        // Data-only components schedule to null.
+        for c in &r.components {
+            if c.nodes.len() == 1 && !c.nodes[0].starts_with("eq.") {
+                assert_eq!(c.flowchart, "null");
+            }
+        }
+        // eq.1 must come before the recursive component, which precedes eq.2.
+        let pos = |label: &str| {
+            r.components
+                .iter()
+                .position(|c| c.flowchart.contains(label))
+                .unwrap()
+        };
+        assert!(pos("eq.1") < pos("eq.3"));
+        assert!(pos("eq.3") < pos("eq.2"));
+    }
+
+    #[test]
+    fn virtual_window_for_v1() {
+        let (m, r) = run(RELAXATION_V1);
+        let a = m.data_by_name("A").unwrap();
+        // Dimension K of A is virtual with window 2; I and J physical.
+        assert_eq!(r.memory.window(a, 0), Some(2));
+        assert_eq!(r.memory.window(a, 1), None);
+        assert_eq!(r.memory.window(a, 2), None);
+    }
+
+    #[test]
+    fn virtual_window_for_v2_matches_paper() {
+        // "The virtual dimension analysis gives the same result as in the
+        //  previous version: the first dimension of A is virtual with window
+        //  of two elements."
+        let (m, r) = run(RELAXATION_V2);
+        let a = m.data_by_name("A").unwrap();
+        assert_eq!(r.memory.window(a, 0), Some(2));
+        assert_eq!(r.memory.window(a, 1), None, "I has I+1 references");
+        assert_eq!(r.memory.window(a, 2), None, "J has J+1 references");
+    }
+
+    #[test]
+    fn footnote_inconsistent_positions_rejected() {
+        // A[I,J] = A[I,J-1] + A[J,I]: I and J are not in consistent
+        // positions (paper footnote 2) — and no other dimension works.
+        let m = frontend(
+            "T: module (n: int; init: array[I] of real): [y: real];
+             type I, J = 1 .. n;
+             var a: array [I, J] of real;
+             define
+                a[I, J] = if (I = 1) or (J = 1) then 0.5
+                          else a[I, J-1] + a[J, I];
+                y = a[n, n];
+             end T;",
+        )
+        .unwrap();
+        let dg = build_depgraph(&m);
+        let err = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap_err();
+        assert!(err.component.contains(&"a".to_string()), "{err}");
+    }
+
+    #[test]
+    fn simple_recurrence_is_iterative() {
+        let m = frontend(
+            "T: module (n: int): [y: real];
+             type K = 2 .. n;
+             var a: array [1 .. n] of real;
+             define
+                a[1] = 1.0;
+                a[K] = a[K-1] * 2.0;
+                y = a[n];
+             end T;",
+        )
+        .unwrap();
+        let dg = build_depgraph(&m);
+        let r = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let s = r.flowchart.compact(&|e| m.equations[e].label.clone());
+        assert_eq!(s, "eq.1; DO K (eq.2); eq.3");
+        // Window 2 on the only dimension.
+        let a = m.data_by_name("a").unwrap();
+        assert_eq!(r.memory.window(a, 0), Some(2));
+    }
+
+    #[test]
+    fn independent_equations_all_parallel() {
+        let m = frontend(
+            "T: module (n: int; b: array[1..n] of real): [y: real];
+             type I = 1 .. n;
+             var a, c: array [I] of real;
+             define
+                a[I] = b[I] * 2.0;
+                c[I] = b[I] + 1.0;
+                y = a[1] + c[1];
+             end T;",
+        )
+        .unwrap();
+        let dg = build_depgraph(&m);
+        let r = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let (do_n, doall_n) = r.flowchart.loop_counts();
+        assert_eq!(do_n, 0);
+        assert_eq!(doall_n, 2);
+    }
+
+    #[test]
+    fn offset_two_gives_window_three() {
+        let m = frontend(
+            "T: module (n: int): [y: real];
+             type K = 3 .. n;
+             var a: array [1 .. n] of real;
+             define
+                a[1] = 0.0;
+                a[2] = 1.0;
+                a[K] = a[K-1] + a[K-2];
+                y = a[n];
+             end T;",
+        )
+        .unwrap();
+        let dg = build_depgraph(&m);
+        let r = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let a = m.data_by_name("a").unwrap();
+        assert_eq!(r.memory.window(a, 0), Some(3), "fibonacci needs 3 planes");
+    }
+
+    #[test]
+    fn result_read_not_at_upper_bound_blocks_window() {
+        // y reads a[1] (not the upper bound) from outside the component:
+        // rule 2 fails, dimension must stay physical.
+        let m = frontend(
+            "T: module (n: int): [y: real];
+             type K = 2 .. n;
+             var a: array [1 .. n] of real;
+             define
+                a[1] = 1.0;
+                a[K] = a[K-1] * 2.0;
+                y = a[1];
+             end T;",
+        )
+        .unwrap();
+        let dg = build_depgraph(&m);
+        let r = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let a = m.data_by_name("a").unwrap();
+        assert_eq!(r.memory.window(a, 0), None);
+    }
+
+    #[test]
+    fn scalar_cycle_not_schedulable() {
+        // Mutually recursive scalars (via arrays) cannot be scheduled.
+        let m = frontend(
+            "T: module (n: int): [y: real];
+             type I = 1 .. n;
+             var a: array [I] of real; s: real;
+             define
+                s = a[n];
+                a[I] = s + 1.0;
+                y = s;
+             end T;",
+        )
+        .unwrap();
+        let dg = build_depgraph(&m);
+        let err = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap_err();
+        assert!(err.message.contains("cannot be scheduled"));
+    }
+}

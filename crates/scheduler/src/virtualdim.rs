@@ -1,0 +1,152 @@
+//! Virtual-dimension analysis (paper Section 3.4).
+//!
+//! > "A data node dimension is virtual if the dimension is mapped to a
+//! > 'window' of elements, and the width of the window is smaller than the
+//! > PS declared size."
+//!
+//! While Schedule-Component schedules a dimension of component `Mi`, every
+//! *local* data node `Nr` in `Mi` is examined: the scheduled dimension is
+//! marked virtual when each read edge out of `Nr` is either
+//!
+//! 1. an `I` / `I - constant` reference at that dimension whose target is
+//!    inside `Mi`, or
+//! 2. an edge leaving the component whose subscript at that dimension is the
+//!    *upper bound* of the dimension's subrange (only the last plane is used
+//!    outside the loop).
+//!
+//! The window width is `1 + max offset` over the form-1 references (2 for
+//! the Relaxation array `A`, 3 for the transformed `A'` of Section 4).
+//!
+//! The analysis must inspect *all* read edges — including edges deactivated
+//! while scheduling outer dimensions — because storage must accommodate
+//! every reference in the program, not just the ones still active.
+//!
+//! One soundness refinement over the paper's literal wording: a dimension
+//! is only windowed when every in-component reference has a **zero offset
+//! in all previously scheduled (outer) dimensions**. A reference like
+//! `t[I-1, J]` (outer offset 1) reaches back across a full sweep of the
+//! inner `J` loop, so a `J` window of 2 would have evicted the element; the
+//! paper's running example never exhibits this case, but the 2-D wavefront
+//! table does, and the runtime's write checker catches the eviction.
+
+use crate::dims::DimMatch;
+use crate::memory::MemoryPlan;
+use crate::schedule::SchedState;
+use ps_depgraph::{DepGraph, DepNodeKind, EdgeKind, SubscriptForm};
+use ps_graph::NodeId;
+use ps_lang::hir::{DataKind, HirModule, LhsSub};
+use ps_support::FxHashSet;
+
+/// Run the analysis for one scheduled dimension of one component, recording
+/// windows into `memory`. `state` carries which dimensions are already
+/// scheduled (the enclosing loops).
+pub fn analyze(
+    module: &HirModule,
+    dg: &DepGraph,
+    state: &SchedState,
+    comp: &FxHashSet<NodeId>,
+    m: &DimMatch,
+    memory: &mut MemoryPlan,
+) {
+    for (&node, &dim) in &m.data_pos {
+        let DepNodeKind::Data(data_id) = dg.node_kind(node) else {
+            continue;
+        };
+        // Only local variables are windowed; parameters arrive whole and
+        // results leave whole (the paper's NewA footnote).
+        if module.data[data_id].kind != DataKind::Local {
+            continue;
+        }
+
+        let mut ok = true;
+        let mut max_offset: i64 = 0;
+        // All read edges out of this data node, active or deleted.
+        for e in dg.graph.edge_ids() {
+            let edge = dg.graph.edge(e);
+            if edge.kind != EdgeKind::Read {
+                continue;
+            }
+            let (src, tgt) = dg.graph.edge_endpoints(e);
+            if src != node {
+                continue;
+            }
+            let label = &edge.labels[dim];
+            if comp.contains(&tgt) {
+                // Form 1: I or I - constant, target inside the component.
+                match label.form {
+                    SubscriptForm::Identity => {}
+                    SubscriptForm::OffsetBack => {
+                        max_offset = max_offset.max(-label.delta);
+                    }
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+                // Soundness: the reference must not reach across an outer
+                // (already scheduled) loop iteration — an outer offset
+                // means the inner window has cycled by the time of use.
+                for (outer, l) in edge.labels.iter().enumerate() {
+                    if outer != dim
+                        && state.is_data_scheduled(node, outer)
+                        && !(l.form == SubscriptForm::Identity)
+                    {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    break;
+                }
+            } else {
+                // Form 2: reference from outside must read the last plane.
+                if !(label.form == SubscriptForm::Constant && label.at_upper_bound) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+
+        // Initialization writes from outside the component (eq.1's
+        // `A[1] = InitialA`) land before the loop runs; they are compatible
+        // with a window only when they write a single constant plane within
+        // window distance of the loop's first iteration. (A Var-plane
+        // initializer like the table's `t[I,1] = 1` pre-writes many planes,
+        // which the window would evict before the loop reads them.)
+        if ok {
+            let loop_lo = &module.subranges[m.subrange].lo;
+            for e in dg.graph.edge_ids() {
+                let edge = dg.graph.edge(e);
+                if edge.kind != EdgeKind::Def {
+                    continue;
+                }
+                let (src, tgt) = dg.graph.edge_endpoints(e);
+                if tgt != node || comp.contains(&src) {
+                    continue;
+                }
+                let DepNodeKind::Equation(eq_id) = dg.node_kind(src) else {
+                    continue;
+                };
+                match module.equations[eq_id].lhs_subs.get(dim) {
+                    Some(LhsSub::Const(c)) => {
+                        match loop_lo.const_difference(c) {
+                            Some(k) if k >= 0 && k <= max_offset => {}
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if ok {
+            memory.set_window(data_id, dim, 1 + max_offset);
+        }
+    }
+}

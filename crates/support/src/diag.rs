@@ -1,0 +1,219 @@
+//! Structured compiler diagnostics.
+
+use crate::source::{FileId, SourceMap};
+use crate::span::Span;
+use std::cell::RefCell;
+use std::fmt;
+
+/// How severe a diagnostic is. Errors abort the pipeline stage that produced
+/// them; warnings and notes do not.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    Note,
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One diagnostic message, optionally anchored at a span, with secondary
+/// notes attached.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `E0103`. Codes are grouped per
+    /// pipeline stage: `E01xx` lexer/parser, `E02xx` semantic analysis,
+    /// `E03xx` scheduler, `E04xx` hyperplane transform, `E05xx` runtime.
+    pub code: &'static str,
+    pub message: String,
+    pub span: Option<Span>,
+    pub notes: Vec<(String, Option<Span>)>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    pub fn note_diag(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Anchor the diagnostic at `span`.
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach a secondary note, optionally with its own span.
+    pub fn with_note(mut self, message: impl Into<String>, span: Option<Span>) -> Diagnostic {
+        self.notes.push((message.into(), span));
+        self
+    }
+
+    /// Render the diagnostic with a source excerpt and caret line.
+    pub fn render(&self, file: FileId, sources: &SourceMap) -> String {
+        let mut out = String::new();
+        match self.span {
+            Some(span) if !span.is_dummy() => {
+                let lc = sources.lookup(file, span.lo);
+                out.push_str(&format!(
+                    "{}[{}]: {}\n  --> {}:{}\n",
+                    self.severity,
+                    self.code,
+                    self.message,
+                    sources.file_name(file),
+                    lc
+                ));
+                let line = sources.line_text(file, span.lo);
+                out.push_str(&format!("   | {line}\n"));
+                let col = lc.col as usize - 1;
+                let width = (span.len() as usize).max(1).min(line.len().saturating_sub(col).max(1));
+                out.push_str(&format!("   | {}{}\n", " ".repeat(col), "^".repeat(width)));
+            }
+            _ => {
+                out.push_str(&format!("{}[{}]: {}\n", self.severity, self.code, self.message));
+            }
+        }
+        for (note, nspan) in &self.notes {
+            match nspan {
+                Some(s) if !s.is_dummy() => {
+                    let lc = sources.lookup(file, s.lo);
+                    out.push_str(&format!("   = note: {note} (at {lc})\n"));
+                }
+                _ => out.push_str(&format!("   = note: {note}\n")),
+            }
+        }
+        out
+    }
+}
+
+/// Collects diagnostics emitted during a pipeline stage.
+///
+/// Interior mutability keeps emission ergonomic from `&self` contexts (the
+/// type checker threads a shared sink through visitors).
+#[derive(Default)]
+pub struct DiagnosticSink {
+    diags: RefCell<Vec<Diagnostic>>,
+}
+
+impl DiagnosticSink {
+    pub fn new() -> DiagnosticSink {
+        DiagnosticSink::default()
+    }
+
+    pub fn emit(&self, diag: Diagnostic) {
+        self.diags.borrow_mut().push(diag);
+    }
+
+    /// Number of error-severity diagnostics collected so far.
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .borrow()
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.diags.borrow().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.diags.borrow().len()
+    }
+
+    /// Drain all collected diagnostics, leaving the sink empty.
+    pub fn take(&self) -> Vec<Diagnostic> {
+        std::mem::take(&mut *self.diags.borrow_mut())
+    }
+
+    /// Clone out the collected diagnostics without draining.
+    pub fn snapshot(&self) -> Vec<Diagnostic> {
+        self.diags.borrow().clone()
+    }
+
+    /// Render every diagnostic against `file`.
+    pub fn render_all(&self, file: FileId, sources: &SourceMap) -> String {
+        self.diags
+            .borrow()
+            .iter()
+            .map(|d| d.render(file, sources))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_counts_by_severity() {
+        let sink = DiagnosticSink::new();
+        sink.emit(Diagnostic::error("E0001", "bad"));
+        sink.emit(Diagnostic::warning("E0002", "meh"));
+        sink.emit(Diagnostic::note_diag("E0003", "fyi"));
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.error_count(), 1);
+        assert!(sink.has_errors());
+    }
+
+    #[test]
+    fn take_drains() {
+        let sink = DiagnosticSink::new();
+        sink.emit(Diagnostic::error("E0001", "bad"));
+        assert_eq!(sink.take().len(), 1);
+        assert!(sink.is_empty());
+        assert!(!sink.has_errors());
+    }
+
+    #[test]
+    fn render_includes_caret() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("t.ps", "abc defg hij\n");
+        let d = Diagnostic::error("E0100", "unexpected token").with_span(Span::new(4, 8));
+        let rendered = d.render(f, &sm);
+        assert!(rendered.contains("error[E0100]: unexpected token"));
+        assert!(rendered.contains("t.ps:1:5"));
+        assert!(rendered.contains("^^^^"));
+    }
+
+    #[test]
+    fn render_spanless() {
+        let sm = SourceMap::new();
+        let mut sm2 = sm;
+        let f = sm2.add_file("t.ps", "x\n");
+        let d = Diagnostic::warning("E0200", "global issue").with_note("context", None);
+        let rendered = d.render(f, &sm2);
+        assert!(rendered.contains("warning[E0200]: global issue"));
+        assert!(rendered.contains("note: context"));
+    }
+}

@@ -1,0 +1,120 @@
+//! The Fx hash function (as used by rustc and Firefox).
+//!
+//! The compiler hashes small integer ids and interned symbols in hot paths
+//! (dependency-graph construction, scheduling work lists). SipHash's DoS
+//! resistance buys nothing here — inputs are our own ids — so we use the
+//! classic multiply-xor Fx hasher, implemented from scratch to stay within
+//! the approved dependency set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hasher: `state = (state rotl 5 ^ word) * SEED` per word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let word = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            self.add_to_hash(word);
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let word = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+            self.add_to_hash(word as u64);
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"relax"), hash_of(&"relax"));
+    }
+
+    #[test]
+    fn sensitive_to_input() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m[&1], "one");
+
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        assert!(s.insert("x"));
+        assert!(!s.insert("x"));
+    }
+
+    #[test]
+    fn slice_hash_covers_tail_bytes() {
+        // Slices whose difference lies in the trailing (<8 byte) region must
+        // still hash differently.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,140 @@
+//! Global string interning.
+//!
+//! Identifiers flow through every stage of the compiler (AST, HIR, dependency
+//! graph, scheduler, code generator), so they are interned once into
+//! copyable [`Symbol`]s. The interner is a process-global table guarded by a
+//! `parking_lot::RwLock`; resolution of a `Symbol` back to `&'static str` is
+//! lock-free after the first leak.
+
+use crate::fxhash::FxHashMap;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Cheap to copy, hash and compare; ordering compares the
+/// underlying strings so rendered output is deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: FxHashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: FxHashMap::default(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `s`, returning its symbol. Repeated calls with equal strings
+    /// return equal symbols.
+    pub fn intern(s: &str) -> Symbol {
+        {
+            let guard = interner().read();
+            if let Some(&id) = guard.map.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut guard = interner().write();
+        if let Some(&id) = guard.map.get(s) {
+            return Symbol(id);
+        }
+        // Leaking is bounded by the set of distinct identifiers in the
+        // session; this is the standard rustc-style interner trade-off.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = guard.strings.len() as u32;
+        guard.strings.push(leaked);
+        guard.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Resolve back to the interned string.
+    pub fn as_str(&self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// The raw interner index (stable within a process run only).
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("relaxation");
+        let b = Symbol::intern("relaxation");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "relaxation");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let a = Symbol::intern("K");
+        let b = Symbol::intern("K'");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Intern in reverse order to make sure ordering is not by id.
+        let z = Symbol::intern("zzz_order_test");
+        let a = Symbol::intern("aaa_order_test");
+        assert!(a < z);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Symbol::intern("newA");
+        assert_eq!(format!("{s}"), "newA");
+        assert_eq!(format!("{s:?}"), "\"newA\"");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::intern("shared-name").index()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

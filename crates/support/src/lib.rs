@@ -1,0 +1,31 @@
+//! Shared substrate for the PS compiler workspace.
+//!
+//! This crate holds the infrastructure every other crate leans on:
+//!
+//! * [`span`] — byte spans and the [`source::SourceMap`] that resolves them
+//!   to file/line/column positions,
+//! * [`diag`] — structured diagnostics with severities, error codes and
+//!   rendered source excerpts,
+//! * [`intern`] — a global string interner producing copyable [`intern::Symbol`]s,
+//! * [`fxhash`] — the Fx multiply-xor hasher (deterministic, fast for the
+//!   small integer/symbol keys the compiler uses everywhere),
+//! * [`idx`] — strongly-typed index newtypes and [`idx::IndexVec`],
+//! * [`pretty`] — an indenting text writer used by all renderers.
+//!
+//! Nothing in here is specific to the PS language; it is the kind of support
+//! layer the paper's 24,000-line Pascal implementation would have carried
+//! implicitly.
+
+pub mod diag;
+pub mod fxhash;
+pub mod idx;
+pub mod intern;
+pub mod pretty;
+pub mod source;
+pub mod span;
+
+pub use diag::{Diagnostic, DiagnosticSink, Severity};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use intern::Symbol;
+pub use source::{FileId, SourceMap};
+pub use span::Span;

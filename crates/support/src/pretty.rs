@@ -1,0 +1,171 @@
+//! Indenting text writer used by every renderer (flowcharts, C code, DOT,
+//! PS pretty-printing).
+
+use std::fmt::Write as _;
+
+/// Accumulates text with automatic indentation at line starts.
+pub struct PrettyWriter {
+    buf: String,
+    indent: usize,
+    indent_str: &'static str,
+    at_line_start: bool,
+}
+
+impl PrettyWriter {
+    pub fn new() -> PrettyWriter {
+        PrettyWriter::with_indent_str("    ")
+    }
+
+    /// Use a custom indentation unit (e.g. two spaces for flowcharts).
+    pub fn with_indent_str(indent_str: &'static str) -> PrettyWriter {
+        PrettyWriter {
+            buf: String::new(),
+            indent: 0,
+            indent_str,
+            at_line_start: true,
+        }
+    }
+
+    fn pad(&mut self) {
+        if self.at_line_start {
+            for _ in 0..self.indent {
+                self.buf.push_str(self.indent_str);
+            }
+            self.at_line_start = false;
+        }
+    }
+
+    /// Write text without a trailing newline. Embedded newlines re-trigger
+    /// indentation for the following text.
+    pub fn write(&mut self, text: &str) {
+        let mut parts = text.split('\n');
+        if let Some(first) = parts.next() {
+            if !first.is_empty() {
+                self.pad();
+                self.buf.push_str(first);
+            }
+        }
+        for part in parts {
+            self.buf.push('\n');
+            self.at_line_start = true;
+            if !part.is_empty() {
+                self.pad();
+                self.buf.push_str(part);
+            }
+        }
+    }
+
+    /// Write a full line (appends a newline).
+    pub fn line(&mut self, text: &str) {
+        self.write(text);
+        self.newline();
+    }
+
+    /// Write a formatted full line.
+    pub fn linef(&mut self, args: std::fmt::Arguments<'_>) {
+        self.pad();
+        self.buf.write_fmt(args).expect("string write cannot fail");
+        self.newline();
+    }
+
+    /// End the current line.
+    pub fn newline(&mut self) {
+        self.buf.push('\n');
+        self.at_line_start = true;
+    }
+
+    /// Emit a blank line (only if not already at one).
+    pub fn blank(&mut self) {
+        if !self.buf.is_empty() && !self.buf.ends_with("\n\n") {
+            if !self.at_line_start {
+                self.newline();
+            }
+            self.buf.push('\n');
+        }
+    }
+
+    pub fn indent(&mut self) {
+        self.indent += 1;
+    }
+
+    pub fn dedent(&mut self) {
+        debug_assert!(self.indent > 0, "dedent below zero");
+        self.indent = self.indent.saturating_sub(1);
+    }
+
+    /// Run `body` one level deeper.
+    pub fn indented(&mut self, body: impl FnOnce(&mut PrettyWriter)) {
+        self.indent();
+        body(self);
+        self.dedent();
+    }
+
+    /// Open with `open`, run `body` indented, close with `close` — the
+    /// `{ ... }` / `( ... )` block pattern.
+    pub fn block(
+        &mut self,
+        open: &str,
+        close: &str,
+        body: impl FnOnce(&mut PrettyWriter),
+    ) {
+        self.line(open);
+        self.indented(body);
+        self.line(close);
+    }
+
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+impl Default for PrettyWriter {
+    fn default() -> Self {
+        PrettyWriter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indents_nested_blocks() {
+        let mut w = PrettyWriter::with_indent_str("  ");
+        w.block("DO K (", ")", |w| {
+            w.block("DOALL I (", ")", |w| {
+                w.line("eq.3");
+            });
+        });
+        assert_eq!(w.finish(), "DO K (\n  DOALL I (\n    eq.3\n  )\n)\n");
+    }
+
+    #[test]
+    fn write_handles_embedded_newlines() {
+        let mut w = PrettyWriter::with_indent_str(">");
+        w.indent();
+        w.write("a\nb");
+        w.newline();
+        assert_eq!(w.finish(), ">a\n>b\n");
+    }
+
+    #[test]
+    fn blank_collapses_duplicates() {
+        let mut w = PrettyWriter::new();
+        w.line("x");
+        w.blank();
+        w.blank();
+        w.line("y");
+        assert_eq!(w.finish(), "x\n\ny\n");
+    }
+
+    #[test]
+    fn linef_formats() {
+        let mut w = PrettyWriter::new();
+        w.linef(format_args!("window = {}", 2));
+        assert_eq!(w.finish(), "window = 2\n");
+    }
+}

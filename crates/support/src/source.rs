@@ -1,0 +1,165 @@
+//! Source file registry and span resolution.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Identifies a file registered in a [`SourceMap`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FileId(pub u32);
+
+/// A 1-based line/column position produced by [`SourceMap::lookup`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LineCol {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+struct SourceFile {
+    name: String,
+    text: String,
+    /// Byte offset of the start of each line, always beginning with 0.
+    line_starts: Vec<u32>,
+}
+
+/// Owns the text of every source file in a compilation session and resolves
+/// [`Span`]s to human-readable positions.
+#[derive(Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    pub fn new() -> SourceMap {
+        SourceMap::default()
+    }
+
+    /// Register a file and return its id. The text is stored verbatim.
+    pub fn add_file(&mut self, name: impl Into<String>, text: impl Into<String>) -> FileId {
+        let text = text.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        self.files.push(SourceFile {
+            name: name.into(),
+            text,
+            line_starts,
+        });
+        FileId(self.files.len() as u32 - 1)
+    }
+
+    /// The registered name of `file`.
+    pub fn file_name(&self, file: FileId) -> &str {
+        &self.files[file.0 as usize].name
+    }
+
+    /// The full text of `file`.
+    pub fn file_text(&self, file: FileId) -> &str {
+        &self.files[file.0 as usize].text
+    }
+
+    /// The text covered by `span` within `file`.
+    pub fn snippet(&self, file: FileId, span: Span) -> &str {
+        let text = self.file_text(file);
+        let lo = (span.lo as usize).min(text.len());
+        let hi = (span.hi as usize).min(text.len());
+        &text[lo..hi]
+    }
+
+    /// Resolve a byte offset to a 1-based line/column pair.
+    pub fn lookup(&self, file: FileId, offset: u32) -> LineCol {
+        let f = &self.files[file.0 as usize];
+        let line_idx = match f.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let line_start = f.line_starts[line_idx];
+        // Column is measured in bytes; the PS language is ASCII so this
+        // matches characters for all real inputs.
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - line_start + 1,
+        }
+    }
+
+    /// The full source line (without trailing newline) containing `offset`.
+    pub fn line_text(&self, file: FileId, offset: u32) -> &str {
+        let f = &self.files[file.0 as usize];
+        let lc = self.lookup(file, offset);
+        let start = f.line_starts[lc.line as usize - 1] as usize;
+        let end = f
+            .line_starts
+            .get(lc.line as usize)
+            .map(|&e| e as usize)
+            .unwrap_or(f.text.len());
+        f.text[start..end].trim_end_matches(['\n', '\r'])
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files are registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_first_line() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("a.ps", "hello\nworld\n");
+        assert_eq!(sm.lookup(f, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(sm.lookup(f, 4), LineCol { line: 1, col: 5 });
+    }
+
+    #[test]
+    fn lookup_later_lines() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("a.ps", "hello\nworld\nlast");
+        assert_eq!(sm.lookup(f, 6), LineCol { line: 2, col: 1 });
+        assert_eq!(sm.lookup(f, 12), LineCol { line: 3, col: 1 });
+        assert_eq!(sm.lookup(f, 15), LineCol { line: 3, col: 4 });
+    }
+
+    #[test]
+    fn snippet_and_line_text() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("a.ps", "alpha\nbeta gamma\n");
+        assert_eq!(sm.snippet(f, Span::new(6, 10)), "beta");
+        assert_eq!(sm.line_text(f, 8), "beta gamma");
+        assert_eq!(sm.line_text(f, 0), "alpha");
+    }
+
+    #[test]
+    fn lookup_on_line_boundary_points_at_line_start() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("a.ps", "ab\ncd");
+        // Offset 3 is the 'c' that starts line 2.
+        assert_eq!(sm.lookup(f, 3), LineCol { line: 2, col: 1 });
+    }
+
+    #[test]
+    fn multiple_files_are_independent() {
+        let mut sm = SourceMap::new();
+        let a = sm.add_file("a.ps", "one");
+        let b = sm.add_file("b.ps", "two two");
+        assert_eq!(sm.file_name(a), "a.ps");
+        assert_eq!(sm.file_name(b), "b.ps");
+        assert_eq!(sm.file_text(b), "two two");
+        assert_eq!(sm.len(), 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Byte spans into source text.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` within a single source file.
+///
+/// Spans are deliberately tiny (8 bytes) because every token, AST node and
+/// diagnostic carries one. The owning [`crate::source::SourceMap`] knows which
+/// file a span belongs to; spans themselves are file-relative offsets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub lo: u32,
+    /// Exclusive end byte offset.
+    pub hi: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized nodes.
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// Create a span from byte offsets. `lo` must not exceed `hi`.
+    pub fn new(lo: u32, hi: u32) -> Span {
+        debug_assert!(lo <= hi, "span lo {lo} > hi {hi}");
+        Span { lo, hi }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// True when the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True for the placeholder [`Span::DUMMY`].
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    ///
+    /// A dummy span is the identity element, so joining a synthesized node
+    /// with a real one keeps the real location.
+    pub fn to(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() {
+            return self;
+        }
+        Span::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// A zero-width span at the start of this one (useful for "expected X
+    /// before ..." diagnostics).
+    pub fn shrink_to_lo(self) -> Span {
+        Span::new(self.lo, self.lo)
+    }
+
+    /// A zero-width span at the end of this one.
+    pub fn shrink_to_hi(self) -> Span {
+        Span::new(self.hi, self.hi)
+    }
+
+    /// True when `other` is fully contained in `self`.
+    pub fn contains(&self, other: Span) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_orders_endpoints() {
+        let a = Span::new(4, 9);
+        let b = Span::new(1, 6);
+        assert_eq!(a.to(b), Span::new(1, 9));
+        assert_eq!(b.to(a), Span::new(1, 9));
+    }
+
+    #[test]
+    fn dummy_is_identity_for_join() {
+        let a = Span::new(10, 20);
+        assert_eq!(a.to(Span::DUMMY), a);
+        assert_eq!(Span::DUMMY.to(a), a);
+    }
+
+    #[test]
+    fn contains_and_shrink() {
+        let a = Span::new(2, 10);
+        assert!(a.contains(Span::new(2, 2)));
+        assert!(a.contains(Span::new(5, 10)));
+        assert!(!a.contains(Span::new(5, 11)));
+        assert_eq!(a.shrink_to_lo(), Span::new(2, 2));
+        assert_eq!(a.shrink_to_hi(), Span::new(10, 10));
+        assert!(a.shrink_to_hi().is_empty());
+    }
+
+    #[test]
+    fn len_reports_byte_width() {
+        assert_eq!(Span::new(3, 8).len(), 5);
+        assert!(!Span::new(3, 8).is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration tests for the `psc` command-line interface.
+
+use std::process::Command;
+
+fn psc(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_psc"))
+        .args(args)
+        .output()
+        .expect("psc runs");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn list_names_builtins() {
+    let (stdout, _, ok) = psc(&["--list"]);
+    assert!(ok);
+    for name in [
+        "@relaxation_v1",
+        "@relaxation_v2",
+        "@heat_1d",
+        "@wave_1d",
+        "@table_2d",
+    ] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+}
+
+#[test]
+fn flowchart_emission() {
+    let (stdout, _, ok) = psc(&["@relaxation_v1"]);
+    assert!(ok);
+    assert!(stdout.contains("DO K ("), "{stdout}");
+    assert!(stdout.contains("DOALL I ("), "{stdout}");
+    assert!(stdout.contains("virtual(window 2)"), "{stdout}");
+}
+
+#[test]
+fn c_emission() {
+    let (stdout, _, ok) = psc(&["@relaxation_v1", "--emit", "c"]);
+    assert!(ok);
+    assert!(stdout.contains("void ps_Relaxation"), "{stdout}");
+    assert!(stdout.contains("#pragma omp parallel for"), "{stdout}");
+}
+
+#[test]
+fn hyperplane_flag() {
+    let (stdout, _, ok) = psc(&["@relaxation_v2", "--hyperplane", "windowed"]);
+    assert!(ok);
+    assert!(stdout.contains("pi = [2, 1, 1]"), "{stdout}");
+    assert!(stdout.contains("window on the time dimension: 3"), "{stdout}");
+}
+
+#[test]
+fn components_and_depgraph_emission() {
+    let (stdout, _, ok) = psc(&["@relaxation_v1", "--emit", "components"]);
+    assert!(ok);
+    assert!(stdout.contains("null"), "{stdout}");
+    let (stdout, _, ok) = psc(&["@relaxation_v1", "--emit", "depgraph"]);
+    assert!(ok);
+    assert!(stdout.contains("digraph"), "{stdout}");
+}
+
+#[test]
+fn equation_translation() {
+    let (stdout, _, ok) = psc(&[
+        "--equation",
+        "A^{k}_{i} = (A^{k-1}_{i-1} + A^{k-1}_{i+1}) / 2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Translated: module"), "{stdout}");
+    assert!(stdout.contains("A[K-1,I-1]"), "{stdout}");
+}
+
+#[test]
+fn file_input_and_errors() {
+    let dir = std::env::temp_dir().join(format!("psc_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let f = dir.join("mini.ps");
+    std::fs::write(&f, "Mini: module (x: int): [y: int]; define y = x * 2; end Mini;").unwrap();
+    let (stdout, _, ok) = psc(&[f.to_str().unwrap(), "--emit", "hir"]);
+    assert!(ok);
+    assert!(stdout.contains("module Mini"), "{stdout}");
+
+    // Bad source reports diagnostics and fails.
+    let bad = dir.join("bad.ps");
+    std::fs::write(&bad, "Bad: module (): [y: int]; define y = zzz; end Bad;").unwrap();
+    let (_, stderr, ok) = psc(&[bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("E0246"), "{stderr}");
+
+    // Unknown builtin.
+    let (_, stderr, ok) = psc(&["@nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown built-in"), "{stderr}");
+}
+
+#[test]
+fn wave_builtin_schedules_with_window_three() {
+    let (stdout, _, ok) = psc(&["@wave_1d"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("virtual(window 3)"), "{stdout}");
+}

@@ -1,0 +1,232 @@
+//! Language-level integration tests: a corpus of PS snippets exercising
+//! parser and checker acceptance/rejection behaviour through the public
+//! pipeline.
+
+use ps_core::{compile, CompileError, CompileOptions};
+
+fn ok(src: &str) {
+    compile(src, CompileOptions::default())
+        .unwrap_or_else(|e| panic!("expected success:\n{src}\n{e}"));
+}
+
+fn frontend_err(src: &str, code: &str) {
+    match compile(src, CompileOptions::default()) {
+        Err(CompileError::Frontend(msg)) => {
+            assert!(msg.contains(code), "expected {code} in:\n{msg}")
+        }
+        Err(other) => panic!("expected frontend error {code}, got {other}"),
+        Ok(_) => panic!("expected frontend error {code}, but compiled:\n{src}"),
+    }
+}
+
+fn schedule_err(src: &str) {
+    match compile(src, CompileOptions::default()) {
+        Err(CompileError::Schedule(_)) => {}
+        Err(other) => panic!("expected schedule error, got {other}"),
+        Ok(_) => panic!("expected schedule error, but compiled:\n{src}"),
+    }
+}
+
+#[test]
+fn accepts_figure1_variants() {
+    // Comment styles, pragma comments, nested comments, odd whitespace.
+    ok("
+        (*$m+v+x+t-*)
+        T: module (x: int): [y: int];
+        define (* outer (* inner *) comment *) y = x;
+        end T;
+    ");
+    // Multiple declarations per line, `;`-separated results.
+    ok("
+        T: module (a, b: int): [y: int; z: int];
+        define y = a + b; z = a - b;
+        end T;
+    ");
+    // elsif chains and boolean algebra.
+    ok("
+        T: module (x: int): [y: int];
+        define y = if x < 0 and not (x = -1) then 0
+                   elsif x = 0 or x = 1 then 1
+                   else x;
+        end T;
+    ");
+}
+
+#[test]
+fn accepts_numeric_forms() {
+    ok("T: module (): [y: real]; define y = 1.5e3 + 2.0E-2 + 0.5 + 1e2; end T;");
+    ok("T: module (): [y: int]; define y = -3 + 7 div 2 mod 3; end T;");
+}
+
+#[test]
+fn accepts_subrange_shapes() {
+    // Parenthesized bounds, negative bounds, nested arrays of 3 levels.
+    ok("
+        T: module (n: int): [y: real];
+        type R = (0-5) .. (n*2+1);
+        var a: array [R] of real;
+        define a[R] = 1.0; y = a[0];
+        end T;
+    ");
+    ok("
+        T: module (n: int): [y: real];
+        type I = 1 .. n;
+        var c: array [I] of array [I] of array [I] of real;
+        define c[I] = 0.5; y = c[1,1,1];
+        end T;
+    ");
+}
+
+#[test]
+fn rejects_syntax_errors() {
+    frontend_err("T: module (x: int): [y: int]; define y = ; end T;", "E0116");
+    frontend_err("T: module (x int): [y: int]; define y = 1; end T;", "E0110");
+    frontend_err("T: module (x: int): [y: int]; define y = 1; end Z;", "E0114");
+    frontend_err("T: module (x: int): [y: int]; define y = (1; end T;", "E0110");
+}
+
+#[test]
+fn rejects_lexical_errors() {
+    frontend_err("T: module (): [y: int]; define y = 1 ? 2; end T;", "E0101");
+    frontend_err("T: module (): [y: int]; define y = 1; (* no close", "E0102");
+}
+
+#[test]
+fn rejects_semantic_errors() {
+    // Unknown type.
+    frontend_err("T: module (x: quux): [y: int]; define y = 1; end T;", "E0207");
+    // Duplicate declaration.
+    frontend_err(
+        "T: module (x: int; x: int): [y: int]; define y = x; end T;",
+        "E0201",
+    );
+    // Array dimension must be a subrange.
+    frontend_err(
+        "T: module (): [y: int]; var a: array [int] of int; define a = 0; y = 1; end T;",
+        "E0210",
+    );
+    // Subscripting a scalar.
+    frontend_err(
+        "T: module (x: int): [y: int]; define y = x[1]; end T;",
+        "E0251",
+    );
+    // Too many subscripts.
+    frontend_err(
+        "T: module (b: array[1..3] of real): [y: real]; define y = b[1,2]; end T;",
+        "E0252",
+    );
+    // Unknown function (cross-module calls unsupported).
+    frontend_err(
+        "T: module (x: int): [y: int]; define y = frobnicate(x); end T;",
+        "E0255",
+    );
+    // Wrong builtin arity.
+    frontend_err(
+        "T: module (x: real): [y: real]; define y = min(x); end T;",
+        "E0256",
+    );
+}
+
+#[test]
+fn rejects_definition_errors() {
+    frontend_err("T: module (): [y: int]; define end T;", "E0270");
+    frontend_err(
+        "T: module (): [y: int]; define y = 1; y = 2; end T;",
+        "E0271",
+    );
+    frontend_err(
+        "T: module (x: int): [y: int]; define x = 1; y = 2; end T;",
+        "E0221",
+    );
+    // Overlapping array regions.
+    frontend_err(
+        "T: module (n: int): [y: int];
+         type I = 1 .. 5;
+         var a: array [I] of int;
+         define a[I] = 0; a[3] = 1; y = a[1];
+         end T;",
+        "E0272",
+    );
+}
+
+#[test]
+fn rejects_unschedulable_systems() {
+    // The paper's footnote example: inconsistent positions.
+    schedule_err(
+        "T: module (n: int): [y: real];
+         type I, J = 1 .. n;
+         var a: array [I, J] of real;
+         define
+            a[I, J] = if (I = 1) or (J = 1) then 0.5 else a[I, J-1] + a[J, I];
+            y = a[n, n];
+         end T;",
+    );
+    // Mutually recursive arrays with identity references at every dim.
+    schedule_err(
+        "T: module (n: int): [y: real];
+         type I = 1 .. n;
+         var a, b: array [I] of real;
+         define
+            a[I] = b[I] + 1.0;
+            b[I] = a[I] * 2.0;
+            y = a[1];
+         end T;",
+    );
+}
+
+#[test]
+fn mutually_recursive_arrays_with_offsets_schedule() {
+    // a and b feed each other across iterations: one MSCC, iterative loop,
+    // both equations inside.
+    let comp = compile(
+        "T: module (n: int): [y: real];
+         type K = 2 .. n;
+         var a, b: array [1 .. n] of real;
+         define
+            a[1] = 1.0;
+            b[1] = 2.0;
+            a[K] = b[K-1] + 1.0;
+            b[K] = a[K-1] * 2.0;
+            y = a[n] + b[n];
+         end T;",
+        CompileOptions::default(),
+    )
+    .unwrap();
+    let fc = comp.compact_flowchart();
+    assert!(fc.contains("DO K (eq.3; eq.4)") || fc.contains("DO K (eq.4; eq.3)"), "{fc}");
+    // Both arrays windowed to 2 planes.
+    let a = comp.module.data_by_name("a").unwrap();
+    let b = comp.module.data_by_name("b").unwrap();
+    assert_eq!(comp.schedule.memory.window(a, 0), Some(2));
+    assert_eq!(comp.schedule.memory.window(b, 0), Some(2));
+}
+
+#[test]
+fn warning_cases_still_compile() {
+    // Unprovable disjointness warns but compiles.
+    ok("
+        T: module (n, m: int): [y: int];
+        var a: array [1 .. 10] of int;
+        define
+            a[n] = 1;
+            a[m] = 2;
+            y = a[1];
+        end T;
+    ");
+}
+
+#[test]
+fn enum_record_char_round_trip() {
+    ok("
+        T: module (c: char): [y: int];
+        type Mode = (off, slow, fast);
+             Acc = record total: real; count: int; end;
+        var m: Mode; acc: Acc;
+        define
+            m = fast;
+            acc.total = 10.5;
+            acc.count = 3;
+            y = ord(m) + acc.count + ord(c);
+        end T;
+    ");
+}

@@ -1,0 +1,206 @@
+//! Property tests for the scheduler: on randomly generated stencil systems
+//! the scheduler either produces a flowchart that passes the conservative
+//! replay validator, or reports a clean `NotSchedulable` error — it must
+//! never emit an invalid schedule.
+
+use proptest::prelude::*;
+use ps_core::{
+    compile, execute, run_naive, CompileError, CompileOptions, Inputs, RuntimeOptions,
+    Sequential, ThreadPool,
+};
+use ps_support::{FxHashMap, Symbol};
+
+/// A randomly generated 1-D two-array stencil program.
+#[derive(Debug, Clone)]
+struct StencilProgram {
+    /// Offsets (≥1) with which `a[K]` reads `a[K-off]`.
+    a_self: Vec<i64>,
+    /// Offsets with which `a[K]` reads `b[K-off]` (0 = same iteration).
+    a_from_b: Vec<i64>,
+    /// Offsets (≥1) with which `b[K]` reads `a[K-off]`.
+    b_from_a: Vec<i64>,
+    init_planes: i64,
+}
+
+impl StencilProgram {
+    fn max_offset(&self) -> i64 {
+        self.a_self
+            .iter()
+            .chain(&self.a_from_b)
+            .chain(&self.b_from_a)
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    fn source(&self) -> String {
+        let lo = self.init_planes + 1;
+        let mut eqs = String::new();
+        for p in 1..=self.init_planes {
+            eqs.push_str(&format!("    a[{p}] = {p}.0;\n    b[{p}] = {}.5;\n", p));
+        }
+        let mut a_terms: Vec<String> =
+            self.a_self.iter().map(|o| format!("a[K-{o}]")).collect();
+        a_terms.extend(self.a_from_b.iter().map(|o| {
+            if *o == 0 {
+                "b[K]".to_string()
+            } else {
+                format!("b[K-{o}]")
+            }
+        }));
+        a_terms.push("1.0".to_string());
+        let mut b_terms: Vec<String> =
+            self.b_from_a.iter().map(|o| format!("a[K-{o}]")).collect();
+        b_terms.push("0.5".to_string());
+        eqs.push_str(&format!("    a[K] = {};\n", a_terms.join(" + ")));
+        eqs.push_str(&format!("    b[K] = {};\n", b_terms.join(" + ")));
+        format!(
+            "Gen: module (n: int): [y: real];
+             type K = {lo} .. n;
+             var a, b: array [1 .. n] of real;
+             define
+             {eqs}
+                 y = a[n] + b[n];
+             end Gen;"
+        )
+    }
+}
+
+fn stencil_strategy() -> impl Strategy<Value = StencilProgram> {
+    (
+        prop::collection::vec(1i64..4, 1..3),
+        prop::collection::vec(0i64..3, 0..3),
+        prop::collection::vec(1i64..4, 0..3),
+    )
+        .prop_map(|(a_self, a_from_b, b_from_a)| {
+            let mut p = StencilProgram {
+                a_self,
+                a_from_b,
+                b_from_a,
+                init_planes: 0,
+            };
+            p.init_planes = p.max_offset();
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the offsets, the schedule validates and the scheduled
+    /// interpreter agrees with the oracle (b[K] reading a[K] same-iteration
+    /// is legal: a's equation runs first inside the fused component).
+    #[test]
+    fn random_stencils_schedule_correctly(prog in stencil_strategy()) {
+        let src = prog.source();
+        let n = 8 + prog.max_offset();
+        match compile(&src, CompileOptions::default()) {
+            Ok(comp) => {
+                // 1. The replay validator accepts the flowchart.
+                let mut params = FxHashMap::default();
+                params.insert(Symbol::intern("n"), n);
+                ps_core::validate_flowchart(&comp.module, &comp.schedule.flowchart, &params)
+                    .expect("schedule must validate");
+
+                // 2. Scheduled execution (with the write checker) matches
+                //    the demand-driven oracle.
+                let inputs = Inputs::new().set_int("n", n);
+                let scheduled = execute(
+                    &comp,
+                    &inputs,
+                    &Sequential,
+                    RuntimeOptions { check_writes: true },
+                ).expect("runs");
+                let oracle = run_naive(&comp.module, &inputs).expect("oracle runs");
+                let s = scheduled.scalar("y").as_real();
+                let o = oracle.scalar("y").as_real();
+                prop_assert!((s - o).abs() < 1e-9, "scheduled {s} vs oracle {o}\n{src}");
+            }
+            Err(CompileError::Schedule(_)) => {
+                // Clean refusal is acceptable (e.g. same-iteration cycles).
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("{other}\n{src}"))),
+        }
+    }
+}
+
+/// Random 2-D grid programs built from a safe offset menu: always
+/// schedulable; parallel equals sequential equals oracle.
+#[derive(Debug, Clone)]
+struct GridProgram {
+    /// Spatial offsets (di, dj) read at iteration K-1.
+    prev_reads: Vec<(i64, i64)>,
+}
+
+fn grid_strategy() -> impl Strategy<Value = GridProgram> {
+    prop::collection::vec((-1i64..=1, -1i64..=1), 1..5)
+        .prop_map(|prev_reads| GridProgram { prev_reads })
+}
+
+impl GridProgram {
+    fn source(&self) -> String {
+        let terms: Vec<String> = self
+            .prev_reads
+            .iter()
+            .map(|(di, dj)| {
+                let i = match di.cmp(&0) {
+                    std::cmp::Ordering::Equal => "I".to_string(),
+                    std::cmp::Ordering::Greater => format!("I+{di}"),
+                    std::cmp::Ordering::Less => format!("I-{}", -di),
+                };
+                let j = match dj.cmp(&0) {
+                    std::cmp::Ordering::Equal => "J".to_string(),
+                    std::cmp::Ordering::Greater => format!("J+{dj}"),
+                    std::cmp::Ordering::Less => format!("J-{}", -dj),
+                };
+                format!("g[K-1,{i},{j}]")
+            })
+            .collect();
+        let sum = terms.join(" + ");
+        let count = terms.len();
+        format!(
+            "Grid: module (init: array[I,J] of real; M: int; maxK: int):
+                 [out: array[I,J] of real];
+             type I, J = 0 .. M+1; K = 2 .. maxK;
+             var g: array [1 .. maxK] of array[I,J] of real;
+             define
+                g[1] = init;
+                out = g[maxK];
+                g[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+                           then g[K-1,I,J]
+                           else ({sum}) / {count};
+             end Grid;"
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_grids_parallel_equals_oracle(prog in grid_strategy()) {
+        let src = prog.source();
+        let comp = compile(&src, CompileOptions::default()).expect("schedulable");
+        // Jacobi shape: outer DO, inner DOALLs.
+        let (do_n, doall_n) = comp.schedule.flowchart.loop_counts();
+        prop_assert_eq!(do_n, 1);
+        prop_assert!(doall_n >= 4);
+
+        let m = 5i64;
+        let side = (m + 2) as usize;
+        let data: Vec<f64> = (0..side * side).map(|i| (i % 13) as f64 * 0.5).collect();
+        let inputs = Inputs::new()
+            .set_int("M", m)
+            .set_int("maxK", 4)
+            .set_array(
+                "init",
+                ps_core::OwnedArray::real(vec![(0, m + 1), (0, m + 1)], data),
+            );
+        let pool = ThreadPool::new(3);
+        let par = execute(&comp, &inputs, &pool, RuntimeOptions::default()).expect("parallel");
+        let oracle = run_naive(&comp.module, &inputs).expect("oracle");
+        let diff = par.array("out").max_abs_diff(oracle.array("out"));
+        prop_assert!(diff < 1e-9, "diff {diff}\n{src}");
+    }
+}

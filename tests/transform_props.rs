@@ -1,0 +1,191 @@
+//! Property tests for the hyperplane machinery: the time-vector solver and
+//! unimodular completion on random dependence sets, and the full transform
+//! on random Gauss–Seidel-like stencils.
+
+use proptest::prelude::*;
+use ps_core::{
+    compile, execute, execute_transformed, CompileOptions, Inputs, RuntimeOptions, Sequential,
+    StorageMode, ThreadPool,
+};
+use ps_hyperplane::imat::unimodular_completion;
+use ps_hyperplane::solve_time_vector;
+
+/// Dependence vectors guaranteed feasible: each has a strictly positive
+/// first component (a "time-like" axis exists).
+fn feasible_deps(dims: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(
+        (1i64..3, prop::collection::vec(-2i64..=2, dims - 1)),
+        1..6,
+    )
+    .prop_map(|vs| {
+        vs.into_iter()
+            .map(|(first, rest)| {
+                let mut v = vec![first];
+                v.extend(rest);
+                v
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solved time vector satisfies every inequality, is nonnegative,
+    /// and is sum-minimal (no vector with a smaller coefficient sum works).
+    #[test]
+    fn solver_is_sound_and_minimal(deps in feasible_deps(3)) {
+        let pi = solve_time_vector(&deps).expect("feasible by construction");
+        prop_assert!(pi.iter().all(|&c| c >= 0));
+        for d in &deps {
+            let dot: i64 = pi.iter().zip(d).map(|(a, b)| a * b).sum();
+            prop_assert!(dot >= 1, "pi {pi:?} fails {d:?}");
+        }
+        // Minimality: brute-force all vectors with smaller sum.
+        let sum: i64 = pi.iter().sum();
+        for a in 0..sum {
+            for b in 0..(sum - a) {
+                let c = sum - 1 - a - b;
+                if c < 0 { continue; }
+                let cand = [a, b, c];
+                let ok = deps.iter().all(|d| {
+                    cand.iter().zip(d).map(|(x, y)| x * y).sum::<i64>() >= 1
+                });
+                prop_assert!(!ok, "smaller vector {cand:?} also works (pi {pi:?})");
+            }
+        }
+    }
+
+    /// Unimodular completion: first row is pi, |det| = 1, exact inverse.
+    #[test]
+    fn completion_is_unimodular(deps in feasible_deps(4)) {
+        let pi = solve_time_vector(&deps).expect("feasible");
+        // The solver result may share a factor only if gcd > 1 is optimal —
+        // the minimal solution always has gcd 1 (dividing by the gcd keeps
+        // all inequalities, contradicting minimality otherwise).
+        let t = unimodular_completion(&pi);
+        prop_assert_eq!(t.row(0), pi.as_slice());
+        let det = t.det();
+        prop_assert!(det == 1 || det == -1);
+        let inv = t.unimodular_inverse();
+        let prod = t.mul(&inv);
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert_eq!(prod[(i, j)], i64::from(i == j));
+            }
+        }
+        // Every transformed dependence moves strictly forward in time.
+        for d in &deps {
+            prop_assert!(t.mul_vec(d)[0] >= 1);
+        }
+    }
+}
+
+/// Random Gauss–Seidel-style stencils: mix of same-iteration reads from the
+/// "past" quadrant and previous-iteration reads from anywhere nearby.
+#[derive(Debug, Clone)]
+struct GsProgram {
+    /// Same-iteration reads: (di, dj) with di + dj < 0 lexicographically
+    /// safe offsets drawn from {(0,-1), (-1,0), (-1,-1), (-1,1)}.
+    current: Vec<(i64, i64)>,
+    /// Previous-iteration reads: any |di|,|dj| ≤ 1.
+    previous: Vec<(i64, i64)>,
+}
+
+fn gs_strategy() -> impl Strategy<Value = GsProgram> {
+    let cur = prop::sample::subsequence(
+        vec![(0i64, -1i64), (-1, 0), (-1, -1), (-1, 1)],
+        1..=3,
+    );
+    let prev = prop::collection::vec((-1i64..=1, -1i64..=1), 1..4);
+    (cur, prev).prop_map(|(current, previous)| GsProgram { current, previous })
+}
+
+fn offset(base: &str, d: i64) -> String {
+    match d.cmp(&0) {
+        std::cmp::Ordering::Equal => base.to_string(),
+        std::cmp::Ordering::Greater => format!("{base}+{d}"),
+        std::cmp::Ordering::Less => format!("{base}-{}", -d),
+    }
+}
+
+impl GsProgram {
+    fn source(&self) -> String {
+        let mut terms = Vec::new();
+        for (di, dj) in &self.current {
+            terms.push(format!("g[K,{},{}]", offset("I", *di), offset("J", *dj)));
+        }
+        for (di, dj) in &self.previous {
+            terms.push(format!("g[K-1,{},{}]", offset("I", *di), offset("J", *dj)));
+        }
+        let n = terms.len();
+        format!(
+            "GS: module (init: array[I,J] of real; M: int; maxK: int):
+                 [out: array[I,J] of real];
+             type I, J = 0 .. M+1; K = 2 .. maxK;
+             var g: array [1 .. maxK] of array[I,J] of real;
+             define
+                g[1] = init;
+                out = g[maxK];
+                g[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+                           then g[K-1,I,J]
+                           else ({}) / {n};
+             end GS;",
+            terms.join(" + ")
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The windowed wavefront transform preserves semantics on random
+    /// Gauss–Seidel stencils, sequentially and in parallel, with the write
+    /// checker enabled.
+    #[test]
+    fn random_gs_transform_preserves_semantics(prog in gs_strategy()) {
+        let src = prog.source();
+        let comp = compile(
+            &src,
+            CompileOptions {
+                hyperplane: Some(StorageMode::Windowed),
+                ..Default::default()
+            },
+        ).expect("transformable");
+        let art = comp.transformed.as_ref().unwrap();
+        // Legality: all transformed deps step forward in time.
+        for d in &art.result.transformed_deps {
+            prop_assert!(d[0] >= 1);
+        }
+        // Window = 1 + max time offset.
+        let max_t = art.result.transformed_deps.iter().map(|d| d[0]).max().unwrap();
+        prop_assert_eq!(art.result.window, 1 + max_t);
+
+        let m = 5i64;
+        let side = (m + 2) as usize;
+        let data: Vec<f64> = (0..side * side).map(|i| ((i * 7) % 11) as f64).collect();
+        let inputs = Inputs::new()
+            .set_int("M", m)
+            .set_int("maxK", 4)
+            .set_array(
+                "init",
+                ps_core::OwnedArray::real(vec![(0, m + 1), (0, m + 1)], data),
+            );
+        let base = execute(&comp, &inputs, &Sequential, RuntimeOptions::default())
+            .expect("base runs");
+        let wave = execute_transformed(
+            &comp,
+            &inputs,
+            &Sequential,
+            RuntimeOptions { check_writes: true },
+        ).expect("wavefront runs");
+        let diff = base.array("out").max_abs_diff(wave.array("out"));
+        prop_assert!(diff < 1e-9, "diff {diff}\n{src}");
+
+        let pool = ThreadPool::new(3);
+        let wave_par = execute_transformed(&comp, &inputs, &pool, RuntimeOptions::default())
+            .expect("parallel wavefront runs");
+        let pdiff = wave.array("out").max_abs_diff(wave_par.array("out"));
+        prop_assert!(pdiff == 0.0);
+    }
+}
