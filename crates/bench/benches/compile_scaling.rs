@@ -4,15 +4,12 @@
 //! Expected shape: scheduling scales roughly linearly in the number of
 //! equations; fusion collapses the N independent DOALL nests into one.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ps_bench::synthetic_chain;
+use ps_bench::{synthetic_chain, Harness};
 use ps_core::{compile, CompileOptions};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile_scaling");
-    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+fn main() {
+    let mut g = Harness::new("compile_scaling");
     for &n in &[8usize, 32, 128] {
         let src = synthetic_chain(n);
         // Sanity: it compiles, and fusion collapses the chain.
@@ -25,17 +22,14 @@ fn bench(c: &mut Criterion) {
         assert_eq!(plain_doall, n);
         assert_eq!(fused_doall, 1, "fusion merges the whole chain");
 
-        g.bench_with_input(BenchmarkId::new("compile", n), &src, |b, src| {
-            b.iter(|| compile(black_box(src), CompileOptions::default()).unwrap())
+        g.bench(&format!("compile/{n}"), || {
+            compile(black_box(&src), CompileOptions::default()).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("compile_fused", n), &src, |b, src| {
+        g.bench(&format!("compile_fused/{n}"), || {
             let mut opts = CompileOptions::default();
             opts.schedule.fuse_loops = true;
-            b.iter(|| compile(black_box(src), opts).unwrap())
+            compile(black_box(&src), opts).unwrap()
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -4,42 +4,26 @@
 //! Expected shape: near-linear speedup of the DOALL-parallel inner loops
 //! for grids large enough to amortize pool overhead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ps_bench::{compile_v1, relaxation_inputs};
-use ps_core::{execute, Executor, RuntimeOptions, Sequential, ThreadPool};
-use std::time::Duration;
+use ps_bench::{compile_v1, relaxation_inputs, Harness};
+use ps_core::{execute, RuntimeOptions, Sequential, ThreadPool};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let comp = compile_v1();
     let maxk = 8i64;
 
-    let mut g = c.benchmark_group("exec_jacobi");
-    g.measurement_time(Duration::from_secs(4)).sample_size(10);
+    let mut g = Harness::new("exec_jacobi");
     for &m in &[64i64, 128] {
         let inputs = relaxation_inputs(m, maxk);
         let cells = ((m + 2) * (m + 2) * maxk) as u64;
-        g.throughput(Throughput::Elements(cells));
-        g.bench_with_input(BenchmarkId::new("seq", m), &m, |b, _| {
-            b.iter(|| {
-                execute(&comp, &inputs, &Sequential, RuntimeOptions::default()).unwrap()
-            })
+        g.bench_with_elements(&format!("seq/{m}"), cells, || {
+            execute(&comp, &inputs, &Sequential, RuntimeOptions::default()).unwrap()
         });
         for threads in [2usize, 4, 8] {
             let pool = ThreadPool::new(threads);
-            g.bench_with_input(
-                BenchmarkId::new(format!("par{threads}"), m),
-                &m,
-                |b, _| {
-                    b.iter(|| {
-                        execute(&comp, &inputs, &pool, RuntimeOptions::default()).unwrap()
-                    })
-                },
-            );
-            let _ = pool.threads();
+            g.bench_with_elements(&format!("par{threads}/{m}"), cells, || {
+                execute(&comp, &inputs, &pool, RuntimeOptions::default()).unwrap()
+            });
         }
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

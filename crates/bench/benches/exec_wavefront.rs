@@ -7,38 +7,26 @@
 //! overhead ≈ 2×); the parallel wavefront crosses over and wins as threads
 //! grow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ps_bench::{compile_v2, relaxation_inputs};
-use ps_core::{
-    execute, execute_transformed, RuntimeOptions, Sequential, StorageMode, ThreadPool,
-};
-use std::time::Duration;
+use ps_bench::{compile_v2, relaxation_inputs, Harness};
+use ps_core::{execute, execute_transformed, RuntimeOptions, Sequential, StorageMode, ThreadPool};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let comp = compile_v2(Some(StorageMode::Windowed));
     let (m, maxk) = (96i64, 12i64);
     let inputs = relaxation_inputs(m, maxk);
 
-    let mut g = c.benchmark_group("exec_wavefront");
-    g.measurement_time(Duration::from_secs(4)).sample_size(10);
-    g.bench_function(BenchmarkId::new("gauss_seidel_seq", m), |b| {
-        b.iter(|| execute(&comp, &inputs, &Sequential, RuntimeOptions::default()).unwrap())
+    let mut g = Harness::new("exec_wavefront");
+    g.bench(&format!("gauss_seidel_seq/{m}"), || {
+        execute(&comp, &inputs, &Sequential, RuntimeOptions::default()).unwrap()
     });
-    g.bench_function(BenchmarkId::new("wavefront_seq", m), |b| {
-        b.iter(|| {
-            execute_transformed(&comp, &inputs, &Sequential, RuntimeOptions::default()).unwrap()
-        })
+    g.bench(&format!("wavefront_seq/{m}"), || {
+        execute_transformed(&comp, &inputs, &Sequential, RuntimeOptions::default()).unwrap()
     });
     for threads in [2usize, 4, 8] {
         let pool = ThreadPool::new(threads);
-        g.bench_function(BenchmarkId::new(format!("wavefront_par{threads}"), m), |b| {
-            b.iter(|| {
-                execute_transformed(&comp, &inputs, &pool, RuntimeOptions::default()).unwrap()
-            })
+        g.bench(&format!("wavefront_par{threads}/{m}"), || {
+            execute_transformed(&comp, &inputs, &pool, RuntimeOptions::default()).unwrap()
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

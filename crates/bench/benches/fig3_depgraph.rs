@@ -3,13 +3,12 @@
 //! Asserts the paper's graph structure (8 nodes, 15 edges in our edge
 //! taxonomy) and measures front-end + graph-construction throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ps_bench::Harness;
 use ps_core::programs;
 use ps_depgraph::build_depgraph;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let module = ps_lang::frontend(programs::RELAXATION_V1).unwrap();
 
     // Structural assertions (the "figure" itself).
@@ -18,16 +17,12 @@ fn bench(c: &mut Criterion) {
     assert_eq!((s.data_nodes, s.equation_nodes), (5, 3));
     assert_eq!((s.read_edges, s.def_edges, s.bound_edges), (8, 3, 4));
 
-    let mut g = c.benchmark_group("fig3_depgraph");
-    g.measurement_time(Duration::from_secs(2)).sample_size(30);
-    g.bench_function("frontend_relaxation", |b| {
-        b.iter(|| ps_lang::frontend(black_box(programs::RELAXATION_V1)).unwrap())
+    let mut g = Harness::new("fig3_depgraph");
+    g.bench("frontend_relaxation", || {
+        ps_lang::frontend(black_box(programs::RELAXATION_V1)).unwrap()
     });
-    g.bench_function("build_depgraph_relaxation", |b| {
-        b.iter(|| build_depgraph(black_box(&module)))
+    g.bench("build_depgraph_relaxation", || {
+        build_depgraph(black_box(&module))
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

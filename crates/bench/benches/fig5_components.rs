@@ -3,14 +3,13 @@
 //! Asserts the 7-component structure and measures the Tarjan + ordered
 //! condensation pass in isolation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ps_bench::Harness;
 use ps_core::programs;
 use ps_depgraph::build_depgraph;
 use ps_graph::ordered_components_filtered;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let module = ps_lang::frontend(programs::RELAXATION_V1).unwrap();
     let dg = build_depgraph(&module);
 
@@ -22,13 +21,9 @@ fn bench(c: &mut Criterion) {
         "one multi-node MSCC: {{A, eq.3}}"
     );
 
-    let mut g = c.benchmark_group("fig5_components");
-    g.measurement_time(Duration::from_secs(2)).sample_size(30);
-    g.bench_function("mscc_decomposition", |b| {
-        b.iter(|| ordered_components_filtered(black_box(&dg.graph), |_| true))
+    let mut g = Harness::new("fig5_components");
+    g.bench("mscc_decomposition", || {
+        ordered_components_filtered(black_box(&dg.graph), |_| true)
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,14 +3,13 @@
 //! Asserts the exact flowchart and window, and measures Schedule-Graph /
 //! Schedule-Component end to end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ps_bench::Harness;
 use ps_core::programs;
 use ps_depgraph::build_depgraph;
 use ps_scheduler::{schedule_module, ScheduleOptions};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let module = ps_lang::frontend(programs::RELAXATION_V1).unwrap();
     let dg = build_depgraph(&module);
 
@@ -22,20 +21,14 @@ fn bench(c: &mut Criterion) {
     let a = module.data_by_name("A").unwrap();
     assert_eq!(r.memory.window(a, 0), Some(2));
 
-    let mut g = c.benchmark_group("fig6_schedule");
-    g.measurement_time(Duration::from_secs(2)).sample_size(30);
-    g.bench_function("schedule_relaxation_v1", |b| {
-        b.iter(|| {
-            schedule_module(
-                black_box(&module),
-                black_box(&dg),
-                ScheduleOptions::default(),
-            )
-            .unwrap()
-        })
+    let mut g = Harness::new("fig6_schedule");
+    g.bench("schedule_relaxation_v1", || {
+        schedule_module(
+            black_box(&module),
+            black_box(&dg),
+            ScheduleOptions::default(),
+        )
+        .unwrap()
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,14 +1,13 @@
 //! Figure 7: scheduling the revised (Gauss–Seidel) eq.3 — all loops
 //! iterative — plus the PreferParallel pick-policy ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ps_bench::Harness;
 use ps_core::programs;
 use ps_depgraph::build_depgraph;
 use ps_scheduler::{schedule_module, PickPolicy, ScheduleOptions};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let module = ps_lang::frontend(programs::RELAXATION_V2).unwrap();
     let dg = build_depgraph(&module);
 
@@ -31,20 +30,14 @@ fn bench(c: &mut Criterion) {
     .unwrap();
     assert_eq!(alt.flowchart.loop_counts(), r.flowchart.loop_counts());
 
-    let mut g = c.benchmark_group("fig7_schedule");
-    g.measurement_time(Duration::from_secs(2)).sample_size(30);
-    g.bench_function("schedule_relaxation_v2", |b| {
-        b.iter(|| {
-            schedule_module(
-                black_box(&module),
-                black_box(&dg),
-                ScheduleOptions::default(),
-            )
-            .unwrap()
-        })
+    let mut g = Harness::new("fig7_schedule");
+    g.bench("schedule_relaxation_v2", || {
+        schedule_module(
+            black_box(&module),
+            black_box(&dg),
+            ScheduleOptions::default(),
+        )
+        .unwrap()
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

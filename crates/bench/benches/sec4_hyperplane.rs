@@ -3,7 +3,7 @@
 //! Asserts π = (2,1,1), the paper's T, and window 3; measures the solver
 //! and the full transform + reschedule.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ps_bench::Harness;
 use ps_core::programs;
 use ps_hyperplane::{
     find_recursive_target, hyperplane_transform, schedule_transformed, solve_time_vector,
@@ -11,9 +11,8 @@ use ps_hyperplane::{
 };
 use ps_scheduler::ScheduleOptions;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let module = ps_lang::frontend(programs::RELAXATION_V2).unwrap();
     let target = find_recursive_target(&module).unwrap();
 
@@ -23,25 +22,16 @@ fn bench(c: &mut Criterion) {
     assert_eq!(r.window, 3);
 
     let deps = r.dep_vectors.clone();
-    let mut g = c.benchmark_group("sec4_hyperplane");
-    g.measurement_time(Duration::from_secs(2)).sample_size(30);
-    g.bench_function("solve_time_vector", |b| {
-        b.iter(|| solve_time_vector(black_box(&deps)).unwrap())
+    let mut g = Harness::new("sec4_hyperplane");
+    g.bench("solve_time_vector", || {
+        solve_time_vector(black_box(&deps)).unwrap()
     });
-    g.bench_function("transform_windowed", |b| {
-        b.iter(|| {
-            hyperplane_transform(black_box(&module), target, StorageMode::Windowed).unwrap()
-        })
+    g.bench("transform_windowed", || {
+        hyperplane_transform(black_box(&module), target, StorageMode::Windowed).unwrap()
     });
-    g.bench_function("transform_and_schedule", |b| {
-        b.iter(|| {
-            let r =
-                hyperplane_transform(black_box(&module), target, StorageMode::Windowed).unwrap();
-            schedule_transformed(&r, ScheduleOptions::default()).unwrap()
-        })
+    g.bench("transform_and_schedule", || {
+        let r = hyperplane_transform(black_box(&module), target, StorageMode::Windowed).unwrap();
+        schedule_transformed(&r, ScheduleOptions::default()).unwrap()
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! A minimal, std-only timing harness replacing `criterion`.
+//!
+//! Each bench target sets `harness = false` and drives a [`Harness`] from
+//! its `main`. Two modes:
+//!
+//! * **Full** (`cargo bench`, which passes `--bench` to the binary):
+//!   warmup runs followed by `N` timed samples per benchmark; reports
+//!   min / median / max wall-clock per iteration.
+//! * **Smoke** (`cargo test`, no `--bench` argument): every closure runs
+//!   exactly once so the structural assertions in each bench file stay
+//!   part of the test suite, without paying for timing.
+//!
+//! Tuning knobs (full mode): `PS_BENCH_WARMUP` (default 3) and
+//! `PS_BENCH_SAMPLES` (default 15) iterations per benchmark.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One summarised benchmark measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    pub min: Duration,
+    pub median: Duration,
+    pub max: Duration,
+    pub samples: usize,
+}
+
+/// A named group of benchmarks, mirroring criterion's `benchmark_group`.
+pub struct Harness {
+    group: String,
+    full: bool,
+    warmup: usize,
+    samples: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Render a duration compactly (ns / µs / ms / s, three significant-ish
+/// digits), close to criterion's formatting.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+impl Harness {
+    /// Create a group. Mode is taken from the command line: `cargo bench`
+    /// invokes bench binaries with `--bench`, `cargo test` does not.
+    pub fn new(group: &str) -> Harness {
+        let full = std::env::args().any(|a| a == "--bench");
+        let h = Harness {
+            group: group.to_string(),
+            full,
+            warmup: env_usize("PS_BENCH_WARMUP", 3),
+            samples: env_usize("PS_BENCH_SAMPLES", 15),
+        };
+        if h.full {
+            println!(
+                "## {} (warmup {}, samples {})",
+                h.group, h.warmup, h.samples
+            );
+        } else {
+            println!("## {} (smoke mode; run `cargo bench` for timings)", h.group);
+        }
+        h
+    }
+
+    /// True when timing for real (`--bench` present).
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Time `f`, printing a `group/label` line. Returns the summary in full
+    /// mode, `None` in smoke mode (where `f` runs once for its assertions).
+    pub fn bench<T>(&mut self, label: &str, mut f: impl FnMut() -> T) -> Option<Summary> {
+        if !self.full {
+            black_box(f());
+            println!("  {}/{label}: ok", self.group);
+            return None;
+        }
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        let s = Summary {
+            min: times[0],
+            median: times[times.len() / 2],
+            max: times[times.len() - 1],
+            samples: times.len(),
+        };
+        println!(
+            "  {}/{label:<40} min {:>11}  median {:>11}  max {:>11}",
+            self.group,
+            fmt_duration(s.min),
+            fmt_duration(s.median),
+            fmt_duration(s.max)
+        );
+        Some(s)
+    }
+
+    /// Like [`Harness::bench`] but also reports element throughput
+    /// (elements / second at the median), criterion's `Throughput::Elements`.
+    pub fn bench_with_elements<T>(
+        &mut self,
+        label: &str,
+        elements: u64,
+        f: impl FnMut() -> T,
+    ) -> Option<Summary> {
+        let s = self.bench(label, f)?;
+        let secs = s.median.as_secs_f64();
+        if secs > 0.0 {
+            println!(
+                "  {}/{label:<40} throughput {:.1} Melem/s",
+                self.group,
+                elements as f64 / secs / 1e6
+            );
+        }
+        Some(s)
+    }
+
+    /// End the group (symmetry with criterion's `finish`; also flushes).
+    pub fn finish(self) {
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_covers_all_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(4)), "4.000 s");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        // Unit tests see no `--bench` argument, so this exercises smoke mode.
+        let mut h = Harness::new("harness_selftest");
+        let mut runs = 0;
+        let out = h.bench("counts", || {
+            runs += 1;
+            runs
+        });
+        assert!(out.is_none());
+        assert_eq!(runs, 1);
+        h.finish();
+    }
+}

@@ -4,7 +4,11 @@
 //! paper; see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
 //! recorded paper-vs-measured results.
 
-use ps_core::{compile, CompileOptions, Compilation, Inputs, OwnedArray, StorageMode};
+pub mod harness;
+
+pub use harness::{fmt_duration, Harness, Summary};
+
+use ps_core::{compile, Compilation, CompileOptions, Inputs, OwnedArray, StorageMode};
 
 /// Deterministic relaxation inputs: an (M+2)² grid with a mixed pattern.
 pub fn relaxation_inputs(m: i64, maxk: i64) -> Inputs {

@@ -28,7 +28,7 @@ pub mod programs;
 pub mod report;
 
 pub use pipeline::{
-    compile, execute, execute_transformed, CompileError, CompileOptions, Compilation,
+    compile, execute, execute_transformed, Compilation, CompileError, CompileOptions,
     TransformedArtifacts,
 };
 
@@ -42,7 +42,7 @@ pub use ps_hyperplane::{
     StorageMode,
 };
 pub use ps_lang::{frontend, HirModule};
-pub use ps_runtime::{run_module, run_naive, Inputs, OwnedArray, Outputs, RuntimeOptions, Value};
+pub use ps_runtime::{run_module, run_naive, Inputs, Outputs, OwnedArray, RuntimeOptions, Value};
 pub use ps_scheduler::{
     schedule_module, validate_flowchart, Flowchart, MemoryPlan, PickPolicy, ScheduleOptions,
     ScheduleResult,

@@ -99,15 +99,20 @@ pub fn compile(source: &str, options: CompileOptions) -> Result<Compilation, Com
     let depgraph = build_depgraph(&module);
     let schedule =
         schedule_module(&module, &depgraph, options.schedule).map_err(CompileError::Schedule)?;
-    let c_code = emit_module(&module, &schedule.flowchart, &schedule.memory, options.codegen);
+    let c_code = emit_module(
+        &module,
+        &schedule.flowchart,
+        &schedule.memory,
+        options.codegen,
+    );
 
     let transformed = match options.hyperplane {
         None => None,
         Some(mode) => {
             let target = find_recursive_target(&module)
                 .ok_or(CompileError::Hyperplane(HyperplaneError::NoRecursiveArray))?;
-            let result = hyperplane_transform(&module, target, mode)
-                .map_err(CompileError::Hyperplane)?;
+            let result =
+                hyperplane_transform(&module, target, mode).map_err(CompileError::Hyperplane)?;
             let tsched = schedule_transformed(&result, options.schedule)
                 .map_err(CompileError::Hyperplane)?;
             let tc = emit_module(
@@ -201,10 +206,15 @@ mod tests {
         )
         .unwrap();
         // Untransformed: Figure 7 (fully iterative).
-        assert!(comp.compact_flowchart().contains("DO K (DO I (DO J (eq.3)))"));
+        assert!(comp
+            .compact_flowchart()
+            .contains("DO K (DO I (DO J (eq.3)))"));
         // Transformed: wavefront with a drain.
         let t = comp.transformed_flowchart().unwrap();
-        assert!(t.contains("DO K' (DOALL I' (DOALL J' (eq.3)); DRAIN K')"), "{t}");
+        assert!(
+            t.contains("DO K' (DOALL I' (DOALL J' (eq.3)); DRAIN K')"),
+            "{t}"
+        );
         let art = comp.transformed.as_ref().unwrap();
         assert_eq!(art.result.pi, vec![2, 1, 1]);
         assert!(art.c_code.contains("ps_Relaxation2"));
@@ -226,9 +236,10 @@ mod tests {
 
     #[test]
     fn frontend_errors_are_reported() {
-        let Err(err) =
-            compile("T: module (): [y: int]; define y = zzz; end T;", Default::default())
-        else {
+        let Err(err) = compile(
+            "T: module (): [y: int]; define y = zzz; end T;",
+            Default::default(),
+        ) else {
             panic!("expected a frontend error");
         };
         match err {
@@ -244,16 +255,16 @@ mod tests {
             &comp,
             &Inputs::new()
                 .set_int("n", 4)
-                .set_array("xs", OwnedArray::real(vec![(1, 4)], vec![10.0, 20.0, 30.0, 40.0]))
+                .set_array(
+                    "xs",
+                    OwnedArray::real(vec![(1, 4)], vec![10.0, 20.0, 30.0, 40.0]),
+                )
                 .set_array("perm", OwnedArray::int(vec![(1, 4)], vec![4, 3, 2, 1])),
             &Sequential,
             RuntimeOptions::default(),
         )
         .unwrap();
-        assert_eq!(
-            out.array("out").as_real_slice(),
-            &[40.0, 30.0, 20.0, 10.0]
-        );
+        assert_eq!(out.array("out").as_real_slice(), &[40.0, 30.0, 20.0, 10.0]);
     }
 
     #[test]

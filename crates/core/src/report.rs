@@ -16,7 +16,10 @@ pub fn figure3(comp: &Compilation) -> String {
     w.line(&format!("{}", stats(&comp.depgraph)));
     w.blank();
     w.line("DOT rendering:");
-    w.write(&ps_depgraph::dot::depgraph_dot(&comp.module, &comp.depgraph));
+    w.write(&ps_depgraph::dot::depgraph_dot(
+        &comp.module,
+        &comp.depgraph,
+    ));
     w.finish()
 }
 

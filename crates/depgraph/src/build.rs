@@ -210,12 +210,7 @@ fn classify(
             let at_ub = module.data[array]
                 .dims()
                 .get(dim)
-                .map(|&sr| {
-                    module.subranges[sr]
-                        .hi
-                        .const_difference(&a.rest)
-                        == Some(0)
-                })
+                .map(|&sr| module.subranges[sr].hi.const_difference(&a.rest) == Some(0))
                 .unwrap_or(false);
             let _ = eq;
             DimLabel {

@@ -30,5 +30,7 @@ pub mod graph;
 pub mod stats;
 
 pub use build::build_depgraph;
-pub use graph::{DepEdge, DepGraph, DepNode, DepNodeKind, DimLabel, EdgeKind, EqDim, SubscriptForm};
+pub use graph::{
+    DepEdge, DepGraph, DepNode, DepNodeKind, DimLabel, EdgeKind, EqDim, SubscriptForm,
+};
 pub use stats::GraphStats;

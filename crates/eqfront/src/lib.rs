@@ -346,16 +346,18 @@ mod tests {
 
     #[test]
     fn one_dimensional_recurrence() {
-        let ps = translate_equation("u^{k}_{i} = (u^{k-1}_{i-1} + u^{k-1}_{i+1}) / 2", "Heat")
-            .unwrap();
-        assert!(ps.contains("u: array [1 .. maxK] of array[I] of real;"), "{ps}");
+        let ps =
+            translate_equation("u^{k}_{i} = (u^{k-1}_{i-1} + u^{k-1}_{i+1}) / 2", "Heat").unwrap();
+        assert!(
+            ps.contains("u: array [1 .. maxK] of array[I] of real;"),
+            "{ps}"
+        );
         ps_lang::frontend(&ps).expect("generated PS type-checks");
     }
 
     #[test]
     fn future_reference_rejected() {
-        let err =
-            translate_equation("A^{k}_{i} = A^{k+1}_{i}", "Bad").unwrap_err();
+        let err = translate_equation("A^{k}_{i} = A^{k+1}_{i}", "Bad").unwrap_err();
         assert!(err.0.contains("causal"), "{err}");
     }
 

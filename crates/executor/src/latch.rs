@@ -1,14 +1,14 @@
 //! Counting latch: blocks one thread until N completions are signalled.
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// A one-shot countdown latch.
 ///
 /// The counter starts at `n`; workers call [`CountLatch::count_down`] once
 /// each; the owner calls [`CountLatch::wait`] and returns once the counter
-/// reaches zero. The fast path is a single atomic; the mutex/condvar pair
-/// only engages when the waiter actually sleeps.
+/// reaches zero. The fast path is a single atomic; the `std::sync` mutex /
+/// condvar pair only engages when the waiter actually sleeps.
 pub struct CountLatch {
     remaining: AtomicUsize,
     mutex: Mutex<()>,
@@ -31,7 +31,7 @@ impl CountLatch {
         if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
             // Last signal: wake the waiter. Taking the lock here avoids the
             // lost-wakeup race with a waiter that just checked the counter.
-            let _guard = self.mutex.lock();
+            let _guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
             self.cond.notify_all();
         }
     }
@@ -47,9 +47,9 @@ impl CountLatch {
         if self.remaining.load(Ordering::Acquire) == 0 {
             return;
         }
-        let mut guard = self.mutex.lock();
+        let mut guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
         while self.remaining.load(Ordering::Acquire) != 0 {
-            self.cond.wait(&mut guard);
+            guard = self.cond.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -78,7 +78,11 @@ mod tests {
             }));
         }
         latch.wait();
-        assert_eq!(flag.load(Ordering::SeqCst), 4, "all work visible after wait");
+        assert_eq!(
+            flag.load(Ordering::SeqCst),
+            4,
+            "all work visible after wait"
+        );
         for h in handles {
             h.join().unwrap();
         }

@@ -8,9 +8,10 @@
 //! (self-scheduling, in the spirit of the era's *guided self-scheduling*
 //! literature the paper cites).
 //!
-//! Built strictly from the approved dependency set: `crossbeam` channels
-//! for job broadcast and `parking_lot` for the completion latch, following
-//! the construction patterns of *Rust Atomics and Locks*.
+//! Built strictly from the standard library — `std::sync::mpsc` channels
+//! for job broadcast and a `std::sync` mutex/condvar completion latch —
+//! following the construction patterns of *Rust Atomics and Locks*. The
+//! workspace carries zero external dependencies.
 
 pub mod latch;
 pub mod pool;

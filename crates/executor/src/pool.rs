@@ -3,10 +3,10 @@
 use crate::latch::CountLatch;
 use crate::stats::{PoolStats, PoolStatsSnapshot};
 use crate::Executor;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -94,10 +94,21 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// One persistent worker: its private job channel plus the join handle.
+///
+/// `std::sync::mpsc` receivers are single-consumer, so instead of one shared
+/// work queue (the crossbeam-style design) every worker owns its own channel
+/// and the pool broadcasts a clone of the `Arc<Region>` to each. Region
+/// *chunks* are still claimed dynamically off the shared atomic cursor, so
+/// load balancing is unchanged.
+struct Worker {
+    sender: Sender<Message>,
+    handle: Option<JoinHandle<()>>,
+}
+
 /// A fixed-size pool of persistent worker threads.
 pub struct ThreadPool {
-    sender: Sender<Message>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<Worker>,
     n_threads: usize,
     stats: Arc<PoolStats>,
 }
@@ -112,26 +123,28 @@ impl ThreadPool {
         // The caller participates, so spawn n-1 workers for n-way
         // parallelism.
         let n_workers = n - 1;
-        let (sender, receiver): (Sender<Message>, Receiver<Message>) = unbounded();
         let stats = Arc::new(PoolStats::default());
         let workers = (0..n_workers)
             .map(|w| {
-                let rx = receiver.clone();
+                let (sender, receiver) = std::sync::mpsc::channel::<Message>();
                 let stats = stats.clone();
-                std::thread::Builder::new()
+                let handle = std::thread::Builder::new()
                     .name(format!("ps-worker-{w}"))
                     .spawn(move || {
                         IN_WORKER.with(|f| f.set(true));
-                        while let Ok(Message::Work(region)) = rx.recv() {
+                        while let Ok(Message::Work(region)) = receiver.recv() {
                             region.drain(&stats);
                             region.latch.count_down();
                         }
                     })
-                    .expect("spawn worker")
+                    .expect("spawn worker");
+                Worker {
+                    sender,
+                    handle: Some(handle),
+                }
             })
             .collect();
         ThreadPool {
-            sender,
             workers,
             n_threads: n,
             stats,
@@ -201,8 +214,9 @@ impl Executor for ThreadPool {
             panicked: AtomicBool::new(false),
         });
 
-        for _ in 0..self.workers.len() {
-            self.sender
+        for worker in &self.workers {
+            worker
+                .sender
                 .send(Message::Work(region.clone()))
                 .expect("workers alive while pool alive");
         }
@@ -218,11 +232,13 @@ impl Executor for ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        for _ in &self.workers {
-            let _ = self.sender.send(Message::Shutdown);
+        for worker in &self.workers {
+            let _ = worker.sender.send(Message::Shutdown);
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
         }
     }
 }

@@ -2,14 +2,14 @@
 
 use ps_support::new_index_type;
 
-new_index_type!(
+new_index_type! {
     /// Node handle within a [`DiGraph`].
     pub struct NodeId; "n"
-);
-new_index_type!(
+}
+new_index_type! {
     /// Edge handle within a [`DiGraph`].
     pub struct EdgeId; "e"
-);
+}
 
 #[derive(Clone, Debug)]
 struct NodeData<N> {

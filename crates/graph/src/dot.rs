@@ -60,7 +60,9 @@ impl<'a, N, E> DotOptions<'a, N, E> {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Render `graph` to DOT text.

@@ -22,5 +22,8 @@ pub mod topo;
 pub mod traverse;
 
 pub use digraph::{DiGraph, EdgeId, NodeId};
-pub use scc::{condensation, ordered_components_filtered, strongly_connected_components, Condensation, SccId, Sccs};
+pub use scc::{
+    condensation, ordered_components_filtered, strongly_connected_components, Condensation, SccId,
+    Sccs,
+};
 pub use topo::{topological_sort, TopoError};

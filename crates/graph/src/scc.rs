@@ -8,10 +8,10 @@
 use crate::digraph::{DiGraph, NodeId};
 use ps_support::new_index_type;
 
-new_index_type!(
+new_index_type! {
     /// Component handle within [`Sccs`] / [`Condensation`].
     pub struct SccId; "scc"
-);
+}
 
 /// The SCC decomposition of (the active part of) a graph.
 #[derive(Clone, Debug)]
@@ -99,10 +99,7 @@ pub fn strongly_connected_components_filtered<N, E>(
         while let Some(frame) = call_stack.last_mut() {
             let v = frame.node;
             // Materialized on demand; successor lists are short in practice.
-            let succs: Vec<NodeId> = graph
-                .successors(v)
-                .filter(|&w| include(w))
-                .collect();
+            let succs: Vec<NodeId> = graph.successors(v).filter(|&w| include(w)).collect();
             if frame.succ_pos < succs.len() {
                 let w = succs[frame.succ_pos];
                 frame.succ_pos += 1;
@@ -303,7 +300,10 @@ mod tests {
         // {a,b,c} feeds {d,e}, so it must come first.
         let first = sccs.component_of(ns[0]);
         let second = sccs.component_of(ns[3]);
-        assert!(first.0 < second.0, "producer component must precede consumer");
+        assert!(
+            first.0 < second.0,
+            "producer component must precede consumer"
+        );
     }
 
     #[test]

@@ -1,20 +1,27 @@
 //! Property tests: Tarjan SCC against brute-force reachability, and
 //! topological validity of the deterministic component order.
+//!
+//! Driven by a seeded LCG (no `proptest`): each property replays the same
+//! 128 random graphs on every run; a failure names its case index.
 
-use proptest::prelude::*;
 use ps_graph::{ordered_components_filtered, strongly_connected_components, DiGraph};
+use ps_support::Lcg;
 
-fn arb_graph() -> impl Strategy<Value = DiGraph<(), ()>> {
-    (2usize..24, prop::collection::vec((0usize..24, 0usize..24), 0..60)).prop_map(
-        |(n, edges)| {
-            let mut g = DiGraph::new();
-            let nodes: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
-            for (a, b) in edges {
-                g.add_edge(nodes[a % n], nodes[b % n], ());
-            }
-            g
-        },
-    )
+const CASES: usize = 128;
+
+/// Random graph with 2..24 nodes and 0..60 edges (matches the proptest
+/// strategy this suite was originally written with).
+fn arb_graph(rng: &mut Lcg) -> DiGraph<(), ()> {
+    let n = rng.usize(2, 23);
+    let n_edges = rng.usize(0, 59);
+    let mut g = DiGraph::new();
+    let nodes: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+    for _ in 0..n_edges {
+        let a = rng.index(n);
+        let b = rng.index(n);
+        g.add_edge(nodes[a], nodes[b], ());
+    }
+    g
 }
 
 /// Floyd–Warshall reachability as the oracle.
@@ -40,48 +47,60 @@ fn reach_matrix(g: &DiGraph<(), ()>) -> Vec<Vec<bool>> {
     r
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn scc_matches_mutual_reachability(g in arb_graph()) {
+#[test]
+fn scc_matches_mutual_reachability() {
+    let mut rng = Lcg::new(0x5cc0);
+    for case in 0..CASES {
+        let g = arb_graph(&mut rng);
         let sccs = strongly_connected_components(&g);
         let r = reach_matrix(&g);
         for a in g.node_ids() {
             for b in g.node_ids() {
                 let mutual = r[a.0 as usize][b.0 as usize] && r[b.0 as usize][a.0 as usize];
-                prop_assert_eq!(
+                assert_eq!(
                     sccs.same_component(a, b),
                     mutual,
-                    "nodes {:?} {:?}", a, b
+                    "case {case}: nodes {a:?} {b:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn component_order_is_topological(g in arb_graph()) {
+#[test]
+fn component_order_is_topological() {
+    let mut rng = Lcg::new(0x5cc1);
+    for case in 0..CASES {
+        let g = arb_graph(&mut rng);
         let sccs = ordered_components_filtered(&g, |_| true);
         for e in g.active_edge_ids() {
             let (s, t) = g.edge_endpoints(e);
             let (cs, ct) = (sccs.component_of(s), sccs.component_of(t));
             if cs != ct {
-                prop_assert!(cs.0 < ct.0, "edge {:?}->{:?} violates order", s, t);
+                assert!(cs.0 < ct.0, "case {case}: edge {s:?}->{t:?} violates order");
             }
         }
         // Partition: every node appears exactly once.
         let total: usize = sccs.iter().map(|(_, ns)| ns.len()).sum();
-        prop_assert_eq!(total, g.node_count());
+        assert_eq!(total, g.node_count(), "case {case}");
     }
+}
 
-    #[test]
-    fn ordered_and_plain_sccs_agree(g in arb_graph()) {
+#[test]
+fn ordered_and_plain_sccs_agree() {
+    let mut rng = Lcg::new(0x5cc2);
+    for case in 0..CASES {
+        let g = arb_graph(&mut rng);
         let a = strongly_connected_components(&g);
         let b = ordered_components_filtered(&g, |_| true);
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len(), "case {case}");
         for x in g.node_ids() {
             for y in g.node_ids() {
-                prop_assert_eq!(a.same_component(x, y), b.same_component(x, y));
+                assert_eq!(
+                    a.same_component(x, y),
+                    b.same_component(x, y),
+                    "case {case}: nodes {x:?} {y:?}"
+                );
             }
         }
     }

@@ -196,9 +196,6 @@ mod tests {
             vec![1, -1, 0],
         ];
         let ineqs = render_inequalities(&deps);
-        assert_eq!(
-            ineqs,
-            vec!["a > 0", "c > 0", "b > 0", "a > c", "a > b"]
-        );
+        assert_eq!(ineqs, vec!["a > 0", "c > 0", "b > 0", "a > c", "a > b"]);
     }
 }

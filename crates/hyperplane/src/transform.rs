@@ -151,8 +151,7 @@ pub fn hyperplane_transform(
     let n = module.data[target].dims().len();
     let t_mat = unimodular_completion(&pi);
     let t_inv = t_mat.unimodular_inverse();
-    let transformed_deps: Vec<Vec<i64>> =
-        info.vectors.iter().map(|d| t_mat.mul_vec(d)).collect();
+    let transformed_deps: Vec<Vec<i64>> = info.vectors.iter().map(|d| t_mat.mul_vec(d)).collect();
     for (d, td) in info.vectors.iter().zip(&transformed_deps) {
         assert!(
             td[0] >= 1,
@@ -332,11 +331,7 @@ pub fn schedule_transformed(
     Ok(sched)
 }
 
-fn insert_drain(
-    items: &mut [Descriptor],
-    time_subrange: SubrangeId,
-    drain: &DrainSpec,
-) -> bool {
+fn insert_drain(items: &mut [Descriptor], time_subrange: SubrangeId, drain: &DrainSpec) -> bool {
     for d in items {
         if let Descriptor::Loop(l) = d {
             if l.subrange == time_subrange {
@@ -364,9 +359,7 @@ fn transformed_iv_names(module: &HirModule, eqs: &[EqId], n: usize) -> Vec<Symbo
                 .collect();
         }
     }
-    (0..n)
-        .map(|k| Symbol::intern(&format!("t{k}'")))
-        .collect()
+    (0..n).map(|k| Symbol::intern(&format!("t{k}'"))).collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -526,9 +519,8 @@ fn build_merged_equation(
             arms.push((and_chain(conds), rewritten));
         }
     }
-    let else_rhs = else_rhs.ok_or_else(|| {
-        HyperplaneError::Unsupported("target has no defining equations".into())
-    })?;
+    let else_rhs = else_rhs
+        .ok_or_else(|| HyperplaneError::Unsupported("target has no defining equations".into()))?;
 
     let rhs = if arms.is_empty() {
         else_rhs
@@ -611,9 +603,9 @@ fn rewrite_expr(
                 let mut new_subs = Vec::with_capacity(subs.len());
                 for s in subs {
                     match s.as_affine() {
-                        Some(a) => new_subs.push(SubscriptExpr::from_affine(
-                            substitute_affine(&a, subst),
-                        )),
+                        Some(a) => {
+                            new_subs.push(SubscriptExpr::from_affine(substitute_affine(&a, subst)))
+                        }
                         None => {
                             let SubscriptExpr::Dynamic(inner) = s else {
                                 unreachable!("non-affine is dynamic");
@@ -660,9 +652,9 @@ fn rewrite_expr(
                 .map(|a| rewrite_expr(a, subst, target, new_array, t_mat))
                 .collect::<Result<_, _>>()?,
         },
-        HExpr::CastReal(inner) => {
-            HExpr::CastReal(Box::new(rewrite_expr(inner, subst, target, new_array, t_mat)?))
-        }
+        HExpr::CastReal(inner) => HExpr::CastReal(Box::new(rewrite_expr(
+            inner, subst, target, new_array, t_mat,
+        )?)),
         leaf => leaf.clone(),
     })
 }

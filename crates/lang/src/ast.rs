@@ -91,11 +91,7 @@ pub enum TypeExpr {
     /// user-declared type.
     Named(Symbol, Span),
     /// `lo .. hi` subrange with expression bounds.
-    Subrange {
-        lo: Expr,
-        hi: Expr,
-        span: Span,
-    },
+    Subrange { lo: Expr, hi: Expr, span: Span },
     /// `array [specs] of elem`; each spec is itself a type expression
     /// (typically a named subrange or an inline `lo..hi`).
     Array {

@@ -93,7 +93,11 @@ impl<'a> Checker<'a> {
 
     fn define_name(&mut self, name: Symbol, def: NameDef, span: Span) {
         if self.names.insert(name, def).is_some() {
-            self.error("E0201", format!("`{name}` is declared more than once"), span);
+            self.error(
+                "E0201",
+                format!("`{name}` is declared more than once"),
+                span,
+            );
         }
     }
 
@@ -406,11 +410,7 @@ impl<'a> Checker<'a> {
                 }))
             }
             other => {
-                self.error(
-                    "E0211",
-                    "array dimensions must be subranges",
-                    other.span(),
-                );
+                self.error("E0211", "array dimensions must be subranges", other.span());
                 None
             }
         }
@@ -504,11 +504,7 @@ impl<'a> Checker<'a> {
                     }
                 },
                 _ => {
-                    self.error(
-                        "E0223",
-                        format!("`{lhs_name}` is not a record"),
-                        fspan,
-                    );
+                    self.error("E0223", format!("`{lhs_name}` is not a record"), fspan);
                     return None;
                 }
             }
@@ -575,13 +571,13 @@ impl<'a> Checker<'a> {
                         Some(a) => lhs_subs.push(LhsSub::Const(a)),
                         None => {
                             self.error(
-                                    "E0227",
-                                    format!(
-                                        "left-hand subscript must be a subrange name or a constant \
+                                "E0227",
+                                format!(
+                                    "left-hand subscript must be a subrange name or a constant \
                                          expression over parameters, found `{name}`"
-                                    ),
-                                    *span,
-                                );
+                                ),
+                                *span,
+                            );
                             return None;
                         }
                     },
@@ -753,8 +749,11 @@ impl<'a, 'b> ExprCx<'a, 'b> {
                     }
                     UnOp::Not => {
                         if ty != Ty::BOOL && !ty.is_error() {
-                            self.chk
-                                .error("E0241", format!("`not` requires bool, found {ty}"), *span);
+                            self.chk.error(
+                                "E0241",
+                                format!("`not` requires bool, found {ty}"),
+                                *span,
+                            );
                         }
                         Some((
                             HExpr::Unary {
@@ -808,8 +807,7 @@ impl<'a, 'b> ExprCx<'a, 'b> {
                     }
                 }
                 let else_v = Box::new(lowered_values.pop().expect("else arm"));
-                let arms_v: Vec<(HExpr, HExpr)> =
-                    harms.into_iter().zip(lowered_values).collect();
+                let arms_v: Vec<(HExpr, HExpr)> = harms.into_iter().zip(lowered_values).collect();
                 Some((
                     HExpr::If {
                         arms: arms_v,
@@ -1069,12 +1067,7 @@ impl<'a, 'b> ExprCx<'a, 'b> {
         }
     }
 
-    fn lower_call(
-        &mut self,
-        name: Symbol,
-        name_span: Span,
-        args: &[Expr],
-    ) -> Option<(HExpr, Ty)> {
+    fn lower_call(&mut self, name: Symbol, name_span: Span, args: &[Expr]) -> Option<(HExpr, Ty)> {
         let Some(builtin) = Builtin::lookup(name.as_str()) else {
             self.chk.error(
                 "E0255",
@@ -1109,8 +1102,11 @@ impl<'a, 'b> ExprCx<'a, 'b> {
         let result_ty = match builtin {
             Builtin::Abs => {
                 if !tys[0].is_numeric() {
-                    self.chk
-                        .error("E0257", format!("`abs` requires a number, found {}", tys[0]), name_span);
+                    self.chk.error(
+                        "E0257",
+                        format!("`abs` requires a number, found {}", tys[0]),
+                        name_span,
+                    );
                 }
                 tys[0].clone()
             }
@@ -1252,10 +1248,7 @@ impl<'a, 'b> ExprCx<'a, 'b> {
                 if (lt != Ty::INT && !lt.is_error()) || (rt != Ty::INT && !rt.is_error()) {
                     self.chk.error(
                         "E0261",
-                        format!(
-                            "`{}` requires integers, found {lt} and {rt}",
-                            op.as_str()
-                        ),
+                        format!("`{}` requires integers, found {lt} and {rt}", op.as_str()),
                         span,
                     );
                 }
@@ -1267,11 +1260,8 @@ impl<'a, 'b> ExprCx<'a, 'b> {
                     || lt.is_error()
                     || rt.is_error();
                 if !comparable {
-                    self.chk.error(
-                        "E0262",
-                        format!("cannot compare {lt} with {rt}"),
-                        span,
-                    );
+                    self.chk
+                        .error("E0262", format!("cannot compare {lt} with {rt}"), span);
                 } else if lt.is_numeric() && rt.is_numeric() {
                     widen_both(&mut l, &mut r, &lt, &rt);
                 }
@@ -1281,10 +1271,7 @@ impl<'a, 'b> ExprCx<'a, 'b> {
                 if (lt != Ty::BOOL && !lt.is_error()) || (rt != Ty::BOOL && !rt.is_error()) {
                     self.chk.error(
                         "E0263",
-                        format!(
-                            "`{}` requires booleans, found {lt} and {rt}",
-                            op.as_str()
-                        ),
+                        format!("`{}` requires booleans, found {lt} and {rt}", op.as_str()),
                         span,
                     );
                 }
@@ -1335,11 +1322,7 @@ mod tests {
         let prog = parse_program(&lex(src, &sink), &sink);
         assert!(!sink.has_errors(), "parse: {:#?}", sink.snapshot());
         let m = check_module(&prog.modules[0], &sink);
-        assert!(
-            !sink.has_errors(),
-            "check errors: {:#?}",
-            sink.snapshot()
-        );
+        assert!(!sink.has_errors(), "check errors: {:#?}", sink.snapshot());
         m.expect("module")
     }
 
@@ -1350,7 +1333,9 @@ mod tests {
         let _ = check_module(&prog.modules[0], &sink);
         let diags = sink.snapshot();
         assert!(
-            diags.iter().any(|d| d.severity == ps_support::Severity::Error),
+            diags
+                .iter()
+                .any(|d| d.severity == ps_support::Severity::Error),
             "expected errors, got {diags:#?}"
         );
         diags.into_iter().map(|d| d.code.to_string()).collect()
@@ -1455,8 +1440,7 @@ mod tests {
 
     #[test]
     fn double_scalar_definition_rejected() {
-        let codes =
-            check_err("T: module (): [y: int]; define y = 1; y = 2; end T;");
+        let codes = check_err("T: module (): [y: int]; define y = 1; y = 2; end T;");
         assert!(codes.contains(&"E0271".to_string()));
     }
 
@@ -1499,7 +1483,8 @@ mod tests {
 
     #[test]
     fn int_division_operators() {
-        let m = check_ok("T: module (a: int; b: int): [y: int]; define y = a div b + a mod b; end T;");
+        let m =
+            check_ok("T: module (a: int; b: int): [y: int]; define y = a div b + a mod b; end T;");
         assert_eq!(m.equations.len(), 1);
         // `/` on ints must yield real and be rejected for an int target.
         let codes = check_err("T: module (a: int; b: int): [y: int]; define y = a / b; end T;");

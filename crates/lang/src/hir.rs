@@ -23,18 +23,18 @@ use crate::types::{EnumDef, EnumId, RecordDef, RecordId, ScalarTy, Subrange, Sub
 use ps_support::idx::IndexVec;
 use ps_support::{new_index_type, Span, Symbol};
 
-new_index_type!(
+new_index_type! {
     /// Handle to a [`DataItem`] (parameter, result, or local variable).
     pub struct DataId; "d"
-);
-new_index_type!(
+}
+new_index_type! {
     /// Handle to an [`Equation`].
     pub struct EqId; "eq"
-);
-new_index_type!(
+}
+new_index_type! {
     /// Handle to an [`IndexVar`] *within one equation*.
     pub struct IvId; "iv"
-);
+}
 
 /// What role a data item plays in the module interface.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -544,9 +544,8 @@ mod tests {
         let aff = SubscriptExpr::from_affine(AffineIx::from_iv(IvId(0)).scale(2));
         assert!(matches!(aff, SubscriptExpr::Affine(_)));
         // param-only → constant affine
-        let c = SubscriptExpr::from_affine(AffineIx::constant(Affine::param(Symbol::intern(
-            "maxK",
-        ))));
+        let c =
+            SubscriptExpr::from_affine(AffineIx::constant(Affine::param(Symbol::intern("maxK"))));
         assert!(matches!(c, SubscriptExpr::Affine(a) if a.is_constant()));
     }
 

@@ -200,7 +200,8 @@ impl<'src> Lexer<'src> {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[lo..self.pos]).expect("ascii ident");
-        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(Symbol::intern(text)));
+        let kind =
+            TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(Symbol::intern(text)));
         self.push(kind, lo);
     }
 
@@ -325,14 +326,20 @@ mod tests {
 
     #[test]
     fn exponents() {
-        assert_eq!(kinds("2.5e3"), vec![TokenKind::Real(2500.0), TokenKind::Eof]);
+        assert_eq!(
+            kinds("2.5e3"),
+            vec![TokenKind::Real(2500.0), TokenKind::Eof]
+        );
         assert_eq!(kinds("1e-2"), vec![TokenKind::Real(0.01), TokenKind::Eof]);
     }
 
     #[test]
     fn nested_comments_skipped() {
         let ks = kinds("(* outer (* inner *) still outer *) x");
-        assert_eq!(ks, vec![TokenKind::Ident(Symbol::intern("x")), TokenKind::Eof]);
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident(Symbol::intern("x")), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -314,7 +314,10 @@ impl<'a> Parser<'a> {
                 self.synchronize();
                 continue;
             };
-            if self.expect(TokenKind::Colon, "in variable declaration").is_none() {
+            if self
+                .expect(TokenKind::Colon, "in variable declaration")
+                .is_none()
+            {
                 self.synchronize();
                 continue;
             }
@@ -469,11 +472,8 @@ impl<'a> Parser<'a> {
             Expr::Var(name, span) => Some(TypeExpr::Named(*name, *span)),
             other => {
                 self.sink.emit(
-                    Diagnostic::error(
-                        "E0115",
-                        "expected a type name or a `lo .. hi` subrange",
-                    )
-                    .with_span(other.span()),
+                    Diagnostic::error("E0115", "expected a type name or a `lo .. hi` subrange")
+                        .with_span(other.span()),
                 );
                 None
             }
@@ -813,7 +813,11 @@ mod tests {
         let prog = parse_ok("T: module (): [y: int]; define y = 1 + 2 * 3; end T;");
         let eq = prog.modules[0].equations().next().unwrap();
         match &eq.rhs {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("expected Add at top, got {other:?}"),

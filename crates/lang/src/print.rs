@@ -176,7 +176,11 @@ pub fn print_hir(m: &HirModule) -> String {
             } else {
                 format!("{}[{}]", m.data[eq.lhs].name, subs.join(", "))
             };
-            w.line(&format!("{}: {target} = {}", eq.label, print_hexpr(m, eq, &eq.rhs)));
+            w.line(&format!(
+                "{}: {target} = {}",
+                eq.label,
+                print_hexpr(m, eq, &eq.rhs)
+            ));
         }
     });
     w.finish()

@@ -102,11 +102,8 @@ fn check_scalar(module: &HirModule, sink: &DiagnosticSink, data_id: DataId) {
     let item = &module.data[data_id];
     match defs.len() {
         0 => sink.emit(
-            Diagnostic::error(
-                "E0270",
-                format!("`{}` has no defining equation", item.name),
-            )
-            .with_span(item.span),
+            Diagnostic::error("E0270", format!("`{}` has no defining equation", item.name))
+                .with_span(item.span),
         ),
         1 => {}
         _ => sink.emit(
@@ -163,11 +160,8 @@ fn check_array(module: &HirModule, sink: &DiagnosticSink, data_id: DataId) {
     let defs = module.defs_of(data_id);
     if defs.is_empty() {
         sink.emit(
-            Diagnostic::error(
-                "E0270",
-                format!("`{}` has no defining equation", item.name),
-            )
-            .with_span(item.span),
+            Diagnostic::error("E0270", format!("`{}` has no defining equation", item.name))
+                .with_span(item.span),
         );
         return;
     }
@@ -206,7 +200,10 @@ fn check_array(module: &HirModule, sink: &DiagnosticSink, data_id: DataId) {
                         ),
                     )
                     .with_span(eq_j.span)
-                    .with_note(format!("first definition in {}", eq_i.label), Some(eq_i.span)),
+                    .with_note(
+                        format!("first definition in {}", eq_i.label),
+                        Some(eq_i.span),
+                    ),
                 );
             } else {
                 sink.emit(

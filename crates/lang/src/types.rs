@@ -17,18 +17,18 @@ use crate::bounds::Affine;
 use ps_support::{new_index_type, Span, Symbol};
 use std::fmt;
 
-new_index_type!(
+new_index_type! {
     /// Handle to a [`Subrange`] in a module's subrange table.
     pub struct SubrangeId; "sr"
-);
-new_index_type!(
+}
+new_index_type! {
     /// Handle to an enumeration declaration.
     pub struct EnumId; "en"
-);
-new_index_type!(
+}
+new_index_type! {
     /// Handle to a record declaration.
     pub struct RecordId; "rec"
-);
+}
 
 /// Primitive scalar types.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]

@@ -1,82 +1,106 @@
 //! Property tests for the affine bound algebra: ring laws and evaluation
 //! homomorphism.
+//!
+//! Driven by a seeded LCG (no `proptest`): each property replays the same
+//! 256 random cases on every run; a failure names its case index.
 
-use proptest::prelude::*;
 use ps_lang::Affine;
-use ps_support::{FxHashMap, Symbol};
+use ps_support::{FxHashMap, Lcg, Symbol};
 
+const CASES: usize = 256;
 const PARAMS: [&str; 3] = ["M", "maxK", "n"];
 
-fn arb_affine() -> impl Strategy<Value = Affine> {
-    (
-        prop::collection::vec((-5i64..=5, 0usize..PARAMS.len()), 0..4),
-        -20i64..=20,
-    )
-        .prop_map(|(terms, k)| {
-            let mut a = Affine::constant(k);
-            for (c, p) in terms {
-                a = a.add(&Affine::param(Symbol::intern(PARAMS[p])).scale(c));
-            }
-            a
-        })
+/// Random affine form: up to 3 parameter terms with coefficients in
+/// -5..=5 plus a constant in -20..=20 (the original proptest strategy).
+fn arb_affine(rng: &mut Lcg) -> Affine {
+    let k = rng.int(-20, 20);
+    let mut a = Affine::constant(k);
+    for _ in 0..rng.usize(0, 3) {
+        let c = rng.int(-5, 5);
+        let p = rng.index(PARAMS.len());
+        a = a.add(&Affine::param(Symbol::intern(PARAMS[p])).scale(c));
+    }
+    a
 }
 
-fn arb_env() -> impl Strategy<Value = FxHashMap<Symbol, i64>> {
-    prop::collection::vec(-10i64..=10, PARAMS.len()).prop_map(|vs| {
-        PARAMS
-            .iter()
-            .zip(vs)
-            .map(|(p, v)| (Symbol::intern(p), v))
-            .collect()
-    })
+/// Random full environment: every parameter bound in -10..=10.
+fn arb_env(rng: &mut Lcg) -> FxHashMap<Symbol, i64> {
+    PARAMS
+        .iter()
+        .map(|p| (Symbol::intern(p), rng.int(-10, 10)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn eval_is_a_homomorphism(a in arb_affine(), b in arb_affine(), k in -7i64..=7, env in arb_env()) {
+#[test]
+fn eval_is_a_homomorphism() {
+    let mut rng = Lcg::new(0xaff0);
+    for case in 0..CASES {
+        let a = arb_affine(&mut rng);
+        let b = arb_affine(&mut rng);
+        let k = rng.int(-7, 7);
+        let env = arb_env(&mut rng);
         let ea = a.eval(&env).unwrap();
         let eb = b.eval(&env).unwrap();
-        prop_assert_eq!(a.add(&b).eval(&env).unwrap(), ea + eb);
-        prop_assert_eq!(a.sub(&b).eval(&env).unwrap(), ea - eb);
-        prop_assert_eq!(a.scale(k).eval(&env).unwrap(), ea * k);
-        prop_assert_eq!(a.add_const(k).eval(&env).unwrap(), ea + k);
+        assert_eq!(a.add(&b).eval(&env).unwrap(), ea + eb, "case {case}");
+        assert_eq!(a.sub(&b).eval(&env).unwrap(), ea - eb, "case {case}");
+        assert_eq!(a.scale(k).eval(&env).unwrap(), ea * k, "case {case}");
+        assert_eq!(a.add_const(k).eval(&env).unwrap(), ea + k, "case {case}");
         if let Some(prod) = a.mul(&Affine::constant(k)) {
-            prop_assert_eq!(prod.eval(&env).unwrap(), ea * k);
+            assert_eq!(prod.eval(&env).unwrap(), ea * k, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn ring_laws(a in arb_affine(), b in arb_affine(), c in arb_affine()) {
+#[test]
+fn ring_laws() {
+    let mut rng = Lcg::new(0xaff1);
+    for case in 0..CASES {
+        let a = arb_affine(&mut rng);
+        let b = arb_affine(&mut rng);
+        let c = arb_affine(&mut rng);
         // Commutativity and associativity of addition.
-        prop_assert_eq!(a.add(&b), b.add(&a));
-        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert_eq!(a.add(&b), b.add(&a), "case {case}");
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)), "case {case}");
         // Subtraction is inverse of addition.
-        prop_assert_eq!(a.add(&b).sub(&b), a.clone());
+        assert_eq!(a.add(&b).sub(&b), a.clone(), "case {case}");
         // Zero is the identity.
-        prop_assert_eq!(a.add(&Affine::constant(0)), a.clone());
+        assert_eq!(a.add(&Affine::constant(0)), a.clone(), "case {case}");
         // Self-subtraction cancels to a structural zero.
         let zero = a.sub(&a);
-        prop_assert!(zero.is_constant());
-        prop_assert_eq!(zero.as_constant(), Some(0));
+        assert!(zero.is_constant(), "case {case}");
+        assert_eq!(zero.as_constant(), Some(0), "case {case}");
     }
+}
 
-    #[test]
-    fn const_difference_soundness(a in arb_affine(), b in arb_affine(), env in arb_env()) {
+#[test]
+fn const_difference_soundness() {
+    let mut rng = Lcg::new(0xaff2);
+    for case in 0..CASES {
+        let a = arb_affine(&mut rng);
+        let b = arb_affine(&mut rng);
+        let env = arb_env(&mut rng);
         if let Some(d) = a.const_difference(&b) {
             // Provable differences hold under EVERY environment.
-            prop_assert_eq!(a.eval(&env).unwrap() - b.eval(&env).unwrap(), d);
+            assert_eq!(
+                a.eval(&env).unwrap() - b.eval(&env).unwrap(),
+                d,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn display_round_trips_through_eval(a in arb_affine(), env in arb_env()) {
+#[test]
+fn display_round_trips_through_eval() {
+    let mut rng = Lcg::new(0xaff3);
+    for case in 0..CASES {
+        let a = arb_affine(&mut rng);
+        let env = arb_env(&mut rng);
         // The rendering contains every parameter with nonzero coefficient.
         let text = format!("{a}");
         for (p, c) in a.terms() {
             if c != 0 {
-                prop_assert!(text.contains(p.as_str()), "{text} missing {p}");
+                assert!(text.contains(p.as_str()), "case {case}: {text} missing {p}");
             }
         }
         let _ = a.eval(&env);

@@ -120,9 +120,7 @@ pub fn eval(store: &Store<'_>, eq_id: EqId, eq: &Equation, env: &Env, e: &HExpr)
                 .collect();
             call(*builtin, &vals)
         }
-        HExpr::CastReal(inner) => {
-            Value::Real(eval(store, eq_id, eq, env, inner).widen_real())
-        }
+        HExpr::CastReal(inner) => Value::Real(eval(store, eq_id, eq, env, inner).widen_real()),
     }
 }
 
@@ -258,7 +256,10 @@ mod tests {
 
     #[test]
     fn binary_semantics() {
-        assert_eq!(binary(BinOp::Add, Value::Int(2), Value::Int(3)), Value::Int(5));
+        assert_eq!(
+            binary(BinOp::Add, Value::Int(2), Value::Int(3)),
+            Value::Int(5)
+        );
         assert_eq!(
             binary(BinOp::Div, Value::Real(1.0), Value::Real(4.0)),
             Value::Real(0.25)

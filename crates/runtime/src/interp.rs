@@ -55,10 +55,7 @@ impl<'a, 'm> Interp<'a, 'm> {
                 Descriptor::Equation(eq) => self.run_equation(*eq, env),
                 Descriptor::Loop(l) => self.run_loop(l, env),
                 Descriptor::Drain(spec) => {
-                    panic!(
-                        "drain over {} reached outside a time loop",
-                        spec.time_name
-                    )
+                    panic!("drain over {} reached outside a time loop", spec.time_name)
                 }
             }
         }
@@ -66,14 +63,12 @@ impl<'a, 'm> Interp<'a, 'm> {
 
     fn bounds(&self, sr: ps_lang::SubrangeId) -> (i64, i64) {
         let s = &self.module().subranges[sr];
-        let lo = s
-            .lo
-            .eval(&self.store.params)
-            .unwrap_or_else(|| panic!("cannot evaluate bound {}", s.lo));
-        let hi = s
-            .hi
-            .eval(&self.store.params)
-            .unwrap_or_else(|| panic!("cannot evaluate bound {}", s.hi));
+        let lo =
+            s.lo.eval(&self.store.params)
+                .unwrap_or_else(|| panic!("cannot evaluate bound {}", s.lo));
+        let hi =
+            s.hi.eval(&self.store.params)
+                .unwrap_or_else(|| panic!("cannot evaluate bound {}", s.hi));
         (lo, hi)
     }
 
@@ -331,7 +326,10 @@ mod tests {
         let pool = ThreadPool::new(4);
         let par = run_relaxation(&pool, false);
         let diff = seq.array("newA").max_abs_diff(par.array("newA"));
-        assert_eq!(diff, 0.0, "bitwise identical: same operations, same order per element");
+        assert_eq!(
+            diff, 0.0,
+            "bitwise identical: same operations, same order per element"
+        );
     }
 
     #[test]
@@ -422,9 +420,7 @@ mod tests {
             &sched.memory,
             &Inputs::new().set_int("n", 30),
             &Sequential,
-            RuntimeOptions {
-                check_writes: true,
-            },
+            RuntimeOptions { check_writes: true },
         )
         .unwrap();
         assert_eq!(out.scalar("y"), Value::Int(832040), "fib(30)");

@@ -60,10 +60,8 @@ pub fn run_naive(module: &HirModule, inputs: &Inputs) -> Result<Outputs, Runtime
                 ScalarTy::Int | ScalarTy::Char => OwnedBuffer::Int(ints),
                 ScalarTy::Bool => OwnedBuffer::Bool(bools),
             };
-            out.arrays.insert(
-                item.name.to_string(),
-                OwnedArray { dims: bounds, data },
-            );
+            out.arrays
+                .insert(item.name.to_string(), OwnedArray { dims: bounds, data });
         } else {
             out.scalars
                 .insert(item.name.to_string(), oracle.demand(id, &[])?);
@@ -86,9 +84,10 @@ impl<'m> Oracle<'m> {
         let item = &self.module.data[data];
         if item.kind == DataKind::Param {
             return if item.is_array() {
-                let arr = self.inputs.array(item.name).ok_or_else(|| {
-                    RuntimeError(format!("missing input array `{}`", item.name))
-                })?;
+                let arr = self
+                    .inputs
+                    .array(item.name)
+                    .ok_or_else(|| RuntimeError(format!("missing input array `{}`", item.name)))?;
                 Ok(arr.get(index))
             } else {
                 self.inputs

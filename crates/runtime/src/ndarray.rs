@@ -178,7 +178,11 @@ impl ArrayInstance {
             OwnedBuffer::Bool(v) => SharedBuffer::Bool(ParVec::new(v.clone())),
         };
         // Inputs are fully defined: tag them as such when checking.
-        ArrayInstance { spec, buf, tags: None }
+        ArrayInstance {
+            spec,
+            buf,
+            tags: None,
+        }
     }
 
     pub fn read(&self, index: &[i64]) -> Value {

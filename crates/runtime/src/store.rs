@@ -2,11 +2,11 @@
 
 use crate::ndarray::{ArrayInstance, DimSpec, NdSpec};
 use crate::value::{OwnedArray, Value};
-use parking_lot::RwLock;
 use ps_lang::hir::{DataKind, HirModule};
 use ps_lang::{DataId, ScalarTy, Ty};
 use ps_scheduler::MemoryPlan;
 use ps_support::{FxHashMap, Symbol};
+use std::sync::RwLock;
 
 /// Parameter bindings supplied by the caller.
 #[derive(Clone, Debug, Default)]
@@ -159,10 +159,7 @@ impl<'m> Store<'m> {
                         let elem = item.elem_scalar().ok_or_else(|| {
                             RuntimeError(format!("`{}` has no scalar element", item.name))
                         })?;
-                        arrays.insert(
-                            id,
-                            ArrayInstance::new(NdSpec { dims }, elem, check_writes),
-                        );
+                        arrays.insert(id, ArrayInstance::new(NdSpec { dims }, elem, check_writes));
                     }
                 }
             }
@@ -188,12 +185,12 @@ impl<'m> Store<'m> {
             .iter()
             .map(|&sr| {
                 let s = &module.subranges[sr];
-                let lo = s.lo.eval(params).ok_or_else(|| {
-                    RuntimeError(format!("cannot evaluate bound {}", s.lo))
-                })?;
-                let hi = s.hi.eval(params).ok_or_else(|| {
-                    RuntimeError(format!("cannot evaluate bound {}", s.hi))
-                })?;
+                let lo =
+                    s.lo.eval(params)
+                        .ok_or_else(|| RuntimeError(format!("cannot evaluate bound {}", s.lo)))?;
+                let hi =
+                    s.hi.eval(params)
+                        .ok_or_else(|| RuntimeError(format!("cannot evaluate bound {}", s.hi)))?;
                 if hi < lo {
                     return Err(RuntimeError(format!(
                         "empty dimension {lo}..{hi} for `{}`",
@@ -219,6 +216,7 @@ impl<'m> Store<'m> {
         }
         self.scalars
             .read()
+            .unwrap_or_else(|e| e.into_inner())
             .get(&(id, field))
             .copied()
             .unwrap_or_else(|| {
@@ -230,7 +228,10 @@ impl<'m> Store<'m> {
     }
 
     pub fn write_scalar(&self, id: DataId, field: usize, v: Value) {
-        self.scalars.write().insert((id, field), v);
+        self.scalars
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((id, field), v);
     }
 
     /// Extract results into [`Outputs`].
@@ -239,11 +240,9 @@ impl<'m> Store<'m> {
         for &id in &self.module.results.clone() {
             let item = &self.module.data[id];
             if item.is_array() {
-                let inst = self
-                    .arrays
-                    .remove(&id)
-                    .expect("result array was allocated");
-                out.arrays.insert(item.name.to_string(), inst.to_owned_array());
+                let inst = self.arrays.remove(&id).expect("result array was allocated");
+                out.arrays
+                    .insert(item.name.to_string(), inst.to_owned_array());
             } else {
                 let v = self.read_scalar(id, 0);
                 out.scalars.insert(item.name.to_string(), v);
@@ -298,8 +297,7 @@ mod tests {
         assert!(Store::build(&m, &plan, &bad, false).is_err());
 
         // Missing scalar rejected.
-        let missing = Inputs::new()
-            .set_array("init", OwnedArray::real(vec![(1, 4)], vec![1.0; 4]));
+        let missing = Inputs::new().set_array("init", OwnedArray::real(vec![(1, 4)], vec![1.0; 4]));
         assert!(Store::build(&m, &plan, &missing, false).is_err());
     }
 }

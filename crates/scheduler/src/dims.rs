@@ -68,9 +68,10 @@ pub fn try_match(
             // the defined array.
             let lhs_node = dg.data_node(eq.lhs);
             if comp.contains(&lhs_node) {
-                let pos = eq.lhs_subs.iter().position(
-                    |s| matches!(s, LhsSub::Var(iv) if *iv == v),
-                )?;
+                let pos = eq
+                    .lhs_subs
+                    .iter()
+                    .position(|s| matches!(s, LhsSub::Var(iv) if *iv == v))?;
                 if !assign_data(&mut data_pos, &mut work, lhs_node, pos) {
                     return None;
                 }
@@ -89,11 +90,10 @@ pub fn try_match(
                 let labels = &state.graph.edge(e).labels;
                 let mut pos_for_v: Option<usize> = None;
                 for (d, l) in labels.iter().enumerate() {
-                    if l.iv == Some(v)
-                        && pos_for_v.replace(d).is_some() {
-                            // v used at two positions of the same reference.
-                            return None;
-                        }
+                    if l.iv == Some(v) && pos_for_v.replace(d).is_some() {
+                        // v used at two positions of the same reference.
+                        return None;
+                    }
                 }
                 if let Some(d) = pos_for_v {
                     if !assign_data(&mut data_pos, &mut work, src, d) {
@@ -254,9 +254,7 @@ fn iv_subrange(module: &HirModule, dg: &DepGraph, node: NodeId, iv: IvId) -> Sub
 
 fn eq_iv_name(module: &HirModule, dg: &DepGraph, node: NodeId, iv: IvId) -> String {
     match dg.node_kind(node) {
-        ps_depgraph::DepNodeKind::Equation(eq) => {
-            module.equations[eq].ivs[iv].name.to_string()
-        }
+        ps_depgraph::DepNodeKind::Equation(eq) => module.equations[eq].ivs[iv].name.to_string(),
         _ => unreachable!(),
     }
 }

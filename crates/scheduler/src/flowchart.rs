@@ -221,10 +221,7 @@ mod tests {
     fn compact_rendering() {
         let fc = sample();
         let label = |e: EqId| format!("eq.{}", e.0 + 1);
-        assert_eq!(
-            fc.compact(&label),
-            "DOALL I (DOALL J (eq.1)); DO K (eq.3)"
-        );
+        assert_eq!(fc.compact(&label), "DOALL I (DOALL J (eq.1)); DO K (eq.3)");
     }
 
     #[test]

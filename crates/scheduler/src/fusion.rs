@@ -130,7 +130,7 @@ fn equations_of(items: &[Descriptor]) -> Vec<EqId> {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::schedule::{schedule_module, ScheduleOptions};
     use ps_depgraph::build_depgraph;
     use ps_lang::frontend;

@@ -256,11 +256,7 @@ impl<'a> Scheduler<'a> {
         // Step 5: mark the dimension scheduled.
         let mut bindings = Vec::new();
         for (&node, &iv) in &m.eq_iv {
-            self.state
-                .scheduled_eq
-                .entry(node)
-                .or_default()
-                .insert(iv);
+            self.state.scheduled_eq.entry(node).or_default().insert(iv);
             if let DepNodeKind::Equation(eq) = self.dg.node_kind(node) {
                 bindings.push((eq, iv));
             }

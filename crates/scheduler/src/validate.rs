@@ -79,12 +79,14 @@ impl<'a> Replay<'a> {
                 Descriptor::Equation(eq) => self.run_equation(*eq)?,
                 Descriptor::Loop(l) => {
                     let sr = &self.module.subranges[l.subrange];
-                    let lo = sr.lo.eval(self.params).ok_or_else(|| {
-                        self.err(format!("cannot evaluate bound {}", sr.lo))
-                    })?;
-                    let hi = sr.hi.eval(self.params).ok_or_else(|| {
-                        self.err(format!("cannot evaluate bound {}", sr.hi))
-                    })?;
+                    let lo = sr
+                        .lo
+                        .eval(self.params)
+                        .ok_or_else(|| self.err(format!("cannot evaluate bound {}", sr.lo)))?;
+                    let hi = sr
+                        .hi
+                        .eval(self.params)
+                        .ok_or_else(|| self.err(format!("cannot evaluate bound {}", sr.hi)))?;
                     let indices: Vec<i64> = if l.kind == LoopKind::Doall && self.reverse_doall {
                         (lo..=hi).rev().collect()
                     } else {
@@ -179,15 +181,12 @@ impl<'a> Replay<'a> {
                         LhsSub::Const(a) => a.eval(self.params).ok_or_else(|| {
                             self.err(format!("cannot evaluate LHS subscript {a}"))
                         })?,
-                        LhsSub::Var(iv) => *self
-                            .env
-                            .get(&(eq_id, *iv))
-                            .ok_or_else(|| {
-                                self.err(format!(
-                                    "{}: index variable {} unbound at execution",
-                                    eq.label, eq.ivs[*iv].name
-                                ))
-                            })?,
+                        LhsSub::Var(iv) => *self.env.get(&(eq_id, *iv)).ok_or_else(|| {
+                            self.err(format!(
+                                "{}: index variable {} unbound at execution",
+                                eq.label, eq.ivs[*iv].name
+                            ))
+                        })?,
                     };
                     out.push(v);
                 }
@@ -204,20 +203,21 @@ impl<'a> Replay<'a> {
     }
 
     fn run_drain(&mut self, spec: &DrainSpec) -> Result<(), ValidationError> {
-        let t = *self.loop_stack.last().ok_or_else(|| {
-            self.err("drain outside any loop".to_string())
-        })?;
+        let t = *self
+            .loop_stack
+            .last()
+            .ok_or_else(|| self.err("drain outside any loop".to_string()))?;
 
         // Iterate the inner (non-time) transformed dims.
         let mut ranges = Vec::new();
         for &sr in &spec.inner {
             let s = &self.module.subranges[sr];
-            let lo = s.lo.eval(self.params).ok_or_else(|| {
-                self.err(format!("cannot evaluate bound {}", s.lo))
-            })?;
-            let hi = s.hi.eval(self.params).ok_or_else(|| {
-                self.err(format!("cannot evaluate bound {}", s.hi))
-            })?;
+            let lo =
+                s.lo.eval(self.params)
+                    .ok_or_else(|| self.err(format!("cannot evaluate bound {}", s.lo)))?;
+            let hi =
+                s.hi.eval(self.params)
+                    .ok_or_else(|| self.err(format!("cannot evaluate bound {}", s.hi)))?;
             ranges.push((lo, hi));
         }
         let mut idx: Vec<i64> = ranges.iter().map(|&(lo, _)| lo).collect();
@@ -240,8 +240,8 @@ impl<'a> Replay<'a> {
                     )
                 })
                 .collect();
-            let original = original
-                .ok_or_else(|| self.err("cannot evaluate drain transform".to_string()))?;
+            let original =
+                original.ok_or_else(|| self.err("cannot evaluate drain transform".to_string()))?;
 
             // In-domain and at the drain plane?
             let mut in_domain = true;
@@ -305,9 +305,7 @@ impl<'a> Replay<'a> {
         subs.iter()
             .map(|s| match s {
                 SubscriptExpr::Var(iv) => self.env.get(&(eq, *iv)).copied(),
-                SubscriptExpr::VarOffset(iv, d) => {
-                    self.env.get(&(eq, *iv)).map(|v| v + d)
-                }
+                SubscriptExpr::VarOffset(iv, d) => self.env.get(&(eq, *iv)).map(|v| v + d),
                 SubscriptExpr::Affine(a) => {
                     let mut total = a.rest.eval(self.params)?;
                     for &(iv, c) in &a.iv_terms {
@@ -346,10 +344,7 @@ mod tests {
     use ps_lang::frontend;
 
     fn params(pairs: &[(&str, i64)]) -> FxHashMap<Symbol, i64> {
-        pairs
-            .iter()
-            .map(|&(n, v)| (Symbol::intern(n), v))
-            .collect()
+        pairs.iter().map(|&(n, v)| (Symbol::intern(n), v)).collect()
     }
 
     #[test]

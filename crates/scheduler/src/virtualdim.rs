@@ -128,15 +128,13 @@ pub fn analyze(
                     continue;
                 };
                 match module.equations[eq_id].lhs_subs.get(dim) {
-                    Some(LhsSub::Const(c)) => {
-                        match loop_lo.const_difference(c) {
-                            Some(k) if k >= 0 && k <= max_offset => {}
-                            _ => {
-                                ok = false;
-                                break;
-                            }
+                    Some(LhsSub::Const(c)) => match loop_lo.const_difference(c) {
+                        Some(k) if k >= 0 && k <= max_offset => {}
+                        _ => {
+                            ok = false;
+                            break;
                         }
-                    }
+                    },
                     _ => {
                         ok = false;
                         break;

@@ -19,7 +19,10 @@ const COLUMN_RECURRENCE: &str = "
     end T;
 ";
 
-fn compact(src: &str, pick: PickPolicy) -> (ps_lang::HirModule, String, ps_scheduler::ScheduleResult) {
+fn compact(
+    src: &str,
+    pick: PickPolicy,
+) -> (ps_lang::HirModule, String, ps_scheduler::ScheduleResult) {
     let m = frontend(src).unwrap();
     let dg = build_depgraph(&m);
     let r = schedule_module(
@@ -53,8 +56,7 @@ fn both_policies_validate() {
     params.insert(Symbol::intern("n"), 7i64);
     for pick in [PickPolicy::DeclarationOrder, PickPolicy::PreferParallel] {
         let (m, _, r) = compact(COLUMN_RECURRENCE, pick);
-        validate_flowchart(&m, &r.flowchart, &params)
-            .unwrap_or_else(|e| panic!("{pick:?}: {e}"));
+        validate_flowchart(&m, &r.flowchart, &params).unwrap_or_else(|e| panic!("{pick:?}: {e}"));
     }
 }
 

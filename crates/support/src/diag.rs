@@ -92,11 +92,16 @@ impl Diagnostic {
                 let line = sources.line_text(file, span.lo);
                 out.push_str(&format!("   | {line}\n"));
                 let col = lc.col as usize - 1;
-                let width = (span.len() as usize).max(1).min(line.len().saturating_sub(col).max(1));
+                let width = (span.len() as usize)
+                    .max(1)
+                    .min(line.len().saturating_sub(col).max(1));
                 out.push_str(&format!("   | {}{}\n", " ".repeat(col), "^".repeat(width)));
             }
             _ => {
-                out.push_str(&format!("{}[{}]: {}\n", self.severity, self.code, self.message));
+                out.push_str(&format!(
+                    "{}[{}]: {}\n",
+                    self.severity, self.code, self.message
+                ));
             }
         }
         for (note, nspan) in &self.notes {

@@ -174,7 +174,7 @@ impl<'a, I: Idx, T> IntoIterator for &'a IndexVec<I, T> {
 mod tests {
     use super::*;
 
-    new_index_type!(struct TestId; "t");
+    new_index_type! { struct TestId; "t" }
 
     #[test]
     fn push_returns_sequential_indices() {

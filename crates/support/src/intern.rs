@@ -3,13 +3,12 @@
 //! Identifiers flow through every stage of the compiler (AST, HIR, dependency
 //! graph, scheduler, code generator), so they are interned once into
 //! copyable [`Symbol`]s. The interner is a process-global table guarded by a
-//! `parking_lot::RwLock`; resolution of a `Symbol` back to `&'static str` is
-//! lock-free after the first leak.
+//! `std::sync::RwLock`; resolving a `Symbol` back to `&'static str` takes
+//! the (uncontended) read lock on each call.
 
 use crate::fxhash::FxHashMap;
-use parking_lot::RwLock;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string. Cheap to copy, hash and compare; ordering compares the
 /// underlying strings so rendered output is deterministic.
@@ -36,12 +35,12 @@ impl Symbol {
     /// return equal symbols.
     pub fn intern(s: &str) -> Symbol {
         {
-            let guard = interner().read();
+            let guard = interner().read().unwrap_or_else(|e| e.into_inner());
             if let Some(&id) = guard.map.get(s) {
                 return Symbol(id);
             }
         }
-        let mut guard = interner().write();
+        let mut guard = interner().write().unwrap_or_else(|e| e.into_inner());
         if let Some(&id) = guard.map.get(s) {
             return Symbol(id);
         }
@@ -56,7 +55,7 @@ impl Symbol {
 
     /// Resolve back to the interned string.
     pub fn as_str(&self) -> &'static str {
-        interner().read().strings[self.0 as usize]
+        interner().read().unwrap_or_else(|e| e.into_inner()).strings[self.0 as usize]
     }
 
     /// The raw interner index (stable within a process run only).

@@ -8,9 +8,11 @@
 //!   rendered source excerpts,
 //! * [`intern`] — a global string interner producing copyable [`intern::Symbol`]s,
 //! * [`fxhash`] — the Fx multiply-xor hasher (deterministic, fast for the
-//!   small integer/symbol keys the compiler uses everywhere),
+//!   small integer/symbol keys the compiler uses everywhere), vendored so
+//!   the workspace stays free of external crates,
 //! * [`idx`] — strongly-typed index newtypes and [`idx::IndexVec`],
-//! * [`pretty`] — an indenting text writer used by all renderers.
+//! * [`pretty`] — an indenting text writer used by all renderers,
+//! * [`rng`] — a seeded LCG driving the deterministic property tests.
 //!
 //! Nothing in here is specific to the PS language; it is the kind of support
 //! layer the paper's 24,000-line Pascal implementation would have carried
@@ -21,11 +23,13 @@ pub mod fxhash;
 pub mod idx;
 pub mod intern;
 pub mod pretty;
+pub mod rng;
 pub mod source;
 pub mod span;
 
 pub use diag::{Diagnostic, DiagnosticSink, Severity};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use intern::Symbol;
+pub use rng::Lcg;
 pub use source::{FileId, SourceMap};
 pub use span::Span;

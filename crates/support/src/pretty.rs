@@ -102,12 +102,7 @@ impl PrettyWriter {
 
     /// Open with `open`, run `body` indented, close with `close` — the
     /// `{ ... }` / `( ... )` block pattern.
-    pub fn block(
-        &mut self,
-        open: &str,
-        close: &str,
-        body: impl FnOnce(&mut PrettyWriter),
-    ) {
+    pub fn block(&mut self, open: &str, close: &str, body: impl FnOnce(&mut PrettyWriter)) {
         self.line(open);
         self.indented(body);
         self.line(close);

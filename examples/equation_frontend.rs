@@ -15,7 +15,9 @@ const DEFAULT: &str =
     "A^{k}_{i,j} = (A^{k-1}_{i,j-1} + A^{k-1}_{i-1,j} + A^{k-1}_{i,j+1} + A^{k-1}_{i+1,j}) / 4";
 
 fn main() {
-    let equation = std::env::args().nth(1).unwrap_or_else(|| DEFAULT.to_string());
+    let equation = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| DEFAULT.to_string());
     println!("equation:\n  {equation}\n");
 
     let ps_source = translate_equation(&equation, "Translated").expect("translates");
@@ -33,7 +35,10 @@ fn main() {
             .find(|(_, d)| d.kind == ps_lang::hir::DataKind::Local && d.is_array())
             .map(|(id, _)| id)
     });
-    let rank = target.map(|t| comp.module.data[t].dims().len()).unwrap_or(3) - 1;
+    let rank = target
+        .map(|t| comp.module.data[t].dims().len())
+        .unwrap_or(3)
+        - 1;
 
     let m = 6i64;
     let side = (m + 2) as usize;

@@ -47,13 +47,10 @@ fn main() {
     let side = (m + 2) as usize;
     let mut init = vec![0.0f64; side * side];
     init[(side / 2) * side + side / 2] = 100.0;
-    let inputs = Inputs::new()
-        .set_int("M", m)
-        .set_int("maxK", 20)
-        .set_array(
-            "InitialA",
-            OwnedArray::real(vec![(0, m + 1), (0, m + 1)], init),
-        );
+    let inputs = Inputs::new().set_int("M", m).set_int("maxK", 20).set_array(
+        "InitialA",
+        OwnedArray::real(vec![(0, m + 1), (0, m + 1)], init),
+    );
     let out = execute(&comp, &inputs, &Sequential, RuntimeOptions::default())
         .expect("execution succeeds");
 

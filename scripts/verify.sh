@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, fully offline (the workspace has zero external
+# dependencies, so --offline must always succeed).
+#
+#   scripts/verify.sh
+#
+# Runs: release build, the full test suite (unit + integration + doc),
+# the benchmark smoke pass (structural figure assertions), and rustfmt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo test -q --offline --benches (smoke: figure assertions)"
+cargo test -q --offline --benches
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

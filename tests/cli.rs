@@ -51,7 +51,10 @@ fn hyperplane_flag() {
     let (stdout, _, ok) = psc(&["@relaxation_v2", "--hyperplane", "windowed"]);
     assert!(ok);
     assert!(stdout.contains("pi = [2, 1, 1]"), "{stdout}");
-    assert!(stdout.contains("window on the time dimension: 3"), "{stdout}");
+    assert!(
+        stdout.contains("window on the time dimension: 3"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -80,7 +83,11 @@ fn file_input_and_errors() {
     let dir = std::env::temp_dir().join(format!("psc_cli_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let f = dir.join("mini.ps");
-    std::fs::write(&f, "Mini: module (x: int): [y: int]; define y = x * 2; end Mini;").unwrap();
+    std::fs::write(
+        &f,
+        "Mini: module (x: int): [y: int]; define y = x * 2; end Mini;",
+    )
+    .unwrap();
     let (stdout, _, ok) = psc(&[f.to_str().unwrap(), "--emit", "hir"]);
     assert!(ok);
     assert!(stdout.contains("module Mini"), "{stdout}");

@@ -10,11 +10,16 @@ use ps_core::{
 use std::process::Command;
 
 fn find_cc() -> Option<&'static str> {
-    ["cc", "gcc", "clang"].into_iter().find(|&cc| Command::new(cc)
-            .arg("--version")
-            .output()
-            .map(|o| o.status.success())
-            .unwrap_or(false)).map(|v| v as _)
+    ["cc", "gcc", "clang"]
+        .into_iter()
+        .find(|&cc| {
+            Command::new(cc)
+                .arg("--version")
+                .output()
+                .map(|o| o.status.success())
+                .unwrap_or(false)
+        })
+        .map(|v| v as _)
 }
 
 /// Fill pattern matching `emit_main`: reals get `(flat % 97) * 0.25 + 1.0`.
@@ -141,10 +146,8 @@ fn builtin_programs_emit_compilable_c() {
     // Compile-only smoke test over the whole program library.
     for (name, src) in ps_core::programs::ALL {
         let comp = compile(src, CompileOptions::default()).unwrap();
-        let dir = std::env::temp_dir().join(format!(
-            "ps_codegen_smoke_{name}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ps_codegen_smoke_{name}_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let srcf = dir.join("mod.c");
         std::fs::write(&srcf, &comp.c_code).unwrap();

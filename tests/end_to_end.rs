@@ -3,8 +3,8 @@
 //! wavefront must all agree on the computed values.
 
 use ps_core::{
-    compile, execute, execute_transformed, programs, run_naive, CompileOptions, Inputs,
-    OwnedArray, RuntimeOptions, Sequential, StorageMode, ThreadPool,
+    compile, execute, execute_transformed, programs, run_naive, CompileOptions, Inputs, OwnedArray,
+    RuntimeOptions, Sequential, StorageMode, ThreadPool,
 };
 
 fn grid(m: i64, pattern: impl Fn(i64, i64) -> f64) -> OwnedArray {
@@ -100,8 +100,7 @@ fn wavefront_matches_untransformed() {
     assert!(diff < 1e-12, "wavefront vs Gauss-Seidel diff {diff}");
 
     let pool = ThreadPool::new(4);
-    let wave_par =
-        execute_transformed(&comp, &inputs, &pool, RuntimeOptions::default()).unwrap();
+    let wave_par = execute_transformed(&comp, &inputs, &pool, RuntimeOptions::default()).unwrap();
     let pdiff = wave_checked
         .array("newA")
         .max_abs_diff(wave_par.array("newA"));
@@ -128,10 +127,9 @@ fn full_mode_matches_windowed() {
         },
     )
     .unwrap();
-    let a = execute_transformed(&windowed, &inputs, &Sequential, RuntimeOptions::default())
-        .unwrap();
-    let b =
-        execute_transformed(&full, &inputs, &Sequential, RuntimeOptions::default()).unwrap();
+    let a =
+        execute_transformed(&windowed, &inputs, &Sequential, RuntimeOptions::default()).unwrap();
+    let b = execute_transformed(&full, &inputs, &Sequential, RuntimeOptions::default()).unwrap();
     assert!(a.array("newA").max_abs_diff(b.array("newA")) < 1e-12);
 }
 
@@ -139,7 +137,9 @@ fn full_mode_matches_windowed() {
 fn heat_1d_agrees_with_oracle_across_sizes() {
     let comp = compile(programs::HEAT_1D, CompileOptions::default()).unwrap();
     for (m, maxk) in [(4i64, 3i64), (16, 10), (33, 21)] {
-        let rod: Vec<f64> = (0..(m + 2)).map(|i| (i as f64 * 0.37).sin() + 1.0).collect();
+        let rod: Vec<f64> = (0..(m + 2))
+            .map(|i| (i as f64 * 0.37).sin() + 1.0)
+            .collect();
         let inputs = Inputs::new()
             .set_int("M", m)
             .set_int("maxK", maxk)

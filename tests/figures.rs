@@ -247,7 +247,9 @@ fn sec4_memory_accounting() {
         Some(100 * side * side)
     );
     assert_eq!(
-        comp.schedule.memory.alloc_elements(&comp.module, a, &params),
+        comp.schedule
+            .memory
+            .alloc_elements(&comp.module, a, &params),
         Some(2 * side * side)
     );
 

@@ -81,8 +81,14 @@ fn accepts_subrange_shapes() {
 fn rejects_syntax_errors() {
     frontend_err("T: module (x: int): [y: int]; define y = ; end T;", "E0116");
     frontend_err("T: module (x int): [y: int]; define y = 1; end T;", "E0110");
-    frontend_err("T: module (x: int): [y: int]; define y = 1; end Z;", "E0114");
-    frontend_err("T: module (x: int): [y: int]; define y = (1; end T;", "E0110");
+    frontend_err(
+        "T: module (x: int): [y: int]; define y = 1; end Z;",
+        "E0114",
+    );
+    frontend_err(
+        "T: module (x: int): [y: int]; define y = (1; end T;",
+        "E0110",
+    );
 }
 
 #[test]
@@ -94,7 +100,10 @@ fn rejects_lexical_errors() {
 #[test]
 fn rejects_semantic_errors() {
     // Unknown type.
-    frontend_err("T: module (x: quux): [y: int]; define y = 1; end T;", "E0207");
+    frontend_err(
+        "T: module (x: quux): [y: int]; define y = 1; end T;",
+        "E0207",
+    );
     // Duplicate declaration.
     frontend_err(
         "T: module (x: int; x: int): [y: int]; define y = x; end T;",
@@ -193,7 +202,10 @@ fn mutually_recursive_arrays_with_offsets_schedule() {
     )
     .unwrap();
     let fc = comp.compact_flowchart();
-    assert!(fc.contains("DO K (eq.3; eq.4)") || fc.contains("DO K (eq.4; eq.3)"), "{fc}");
+    assert!(
+        fc.contains("DO K (eq.3; eq.4)") || fc.contains("DO K (eq.4; eq.3)"),
+        "{fc}"
+    );
     // Both arrays windowed to 2 planes.
     let a = comp.module.data_by_name("a").unwrap();
     let b = comp.module.data_by_name("b").unwrap();

@@ -2,13 +2,15 @@
 //! the scheduler either produces a flowchart that passes the conservative
 //! replay validator, or reports a clean `NotSchedulable` error — it must
 //! never emit an invalid schedule.
+//!
+//! Driven by a seeded LCG (no `proptest`): the same 48 stencil and 24 grid
+//! programs replay on every run; a failure names its case index and source.
 
-use proptest::prelude::*;
 use ps_core::{
-    compile, execute, run_naive, CompileError, CompileOptions, Inputs, RuntimeOptions,
-    Sequential, ThreadPool,
+    compile, execute, run_naive, CompileError, CompileOptions, Inputs, RuntimeOptions, Sequential,
+    ThreadPool,
 };
-use ps_support::{FxHashMap, Symbol};
+use ps_support::{FxHashMap, Lcg, Symbol};
 
 /// A randomly generated 1-D two-array stencil program.
 #[derive(Debug, Clone)]
@@ -40,8 +42,7 @@ impl StencilProgram {
         for p in 1..=self.init_planes {
             eqs.push_str(&format!("    a[{p}] = {p}.0;\n    b[{p}] = {}.5;\n", p));
         }
-        let mut a_terms: Vec<String> =
-            self.a_self.iter().map(|o| format!("a[K-{o}]")).collect();
+        let mut a_terms: Vec<String> = self.a_self.iter().map(|o| format!("a[K-{o}]")).collect();
         a_terms.extend(self.a_from_b.iter().map(|o| {
             if *o == 0 {
                 "b[K]".to_string()
@@ -50,8 +51,7 @@ impl StencilProgram {
             }
         }));
         a_terms.push("1.0".to_string());
-        let mut b_terms: Vec<String> =
-            self.b_from_a.iter().map(|o| format!("a[K-{o}]")).collect();
+        let mut b_terms: Vec<String> = self.b_from_a.iter().map(|o| format!("a[K-{o}]")).collect();
         b_terms.push("0.5".to_string());
         eqs.push_str(&format!("    a[K] = {};\n", a_terms.join(" + ")));
         eqs.push_str(&format!("    b[K] = {};\n", b_terms.join(" + ")));
@@ -67,32 +67,30 @@ impl StencilProgram {
     }
 }
 
-fn stencil_strategy() -> impl Strategy<Value = StencilProgram> {
-    (
-        prop::collection::vec(1i64..4, 1..3),
-        prop::collection::vec(0i64..3, 0..3),
-        prop::collection::vec(1i64..4, 0..3),
-    )
-        .prop_map(|(a_self, a_from_b, b_from_a)| {
-            let mut p = StencilProgram {
-                a_self,
-                a_from_b,
-                b_from_a,
-                init_planes: 0,
-            };
-            p.init_planes = p.max_offset();
-            p
-        })
+/// Mirrors the original proptest strategy: 1–2 self offsets in 1..=3,
+/// 0–2 `b` offsets in 0..=2, 0–2 cross offsets in 1..=3.
+fn arb_stencil(rng: &mut Lcg) -> StencilProgram {
+    let a_self = rng.vec_of(1, 2, |r| r.int(1, 3));
+    let a_from_b = rng.vec_of(0, 2, |r| r.int(0, 2));
+    let b_from_a = rng.vec_of(0, 2, |r| r.int(1, 3));
+    let mut p = StencilProgram {
+        a_self,
+        a_from_b,
+        b_from_a,
+        init_planes: 0,
+    };
+    p.init_planes = p.max_offset();
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Whatever the offsets, the schedule validates and the scheduled
-    /// interpreter agrees with the oracle (b[K] reading a[K] same-iteration
-    /// is legal: a's equation runs first inside the fused component).
-    #[test]
-    fn random_stencils_schedule_correctly(prog in stencil_strategy()) {
+/// Whatever the offsets, the schedule validates and the scheduled
+/// interpreter agrees with the oracle (b[K] reading a[K] same-iteration
+/// is legal: a's equation runs first inside the fused component).
+#[test]
+fn random_stencils_schedule_correctly() {
+    let mut rng = Lcg::new(0x5c11ed0);
+    for case in 0..48 {
+        let prog = arb_stencil(&mut rng);
         let src = prog.source();
         let n = 8 + prog.max_offset();
         match compile(&src, CompileOptions::default()) {
@@ -111,16 +109,20 @@ proptest! {
                     &inputs,
                     &Sequential,
                     RuntimeOptions { check_writes: true },
-                ).expect("runs");
+                )
+                .expect("runs");
                 let oracle = run_naive(&comp.module, &inputs).expect("oracle runs");
                 let s = scheduled.scalar("y").as_real();
                 let o = oracle.scalar("y").as_real();
-                prop_assert!((s - o).abs() < 1e-9, "scheduled {s} vs oracle {o}\n{src}");
+                assert!(
+                    (s - o).abs() < 1e-9,
+                    "case {case}: scheduled {s} vs oracle {o}\n{src}"
+                );
             }
             Err(CompileError::Schedule(_)) => {
                 // Clean refusal is acceptable (e.g. same-iteration cycles).
             }
-            Err(other) => return Err(TestCaseError::fail(format!("{other}\n{src}"))),
+            Err(other) => panic!("case {case}: {other}\n{src}"),
         }
     }
 }
@@ -133,9 +135,9 @@ struct GridProgram {
     prev_reads: Vec<(i64, i64)>,
 }
 
-fn grid_strategy() -> impl Strategy<Value = GridProgram> {
-    prop::collection::vec((-1i64..=1, -1i64..=1), 1..5)
-        .prop_map(|prev_reads| GridProgram { prev_reads })
+fn arb_grid(rng: &mut Lcg) -> GridProgram {
+    let prev_reads = rng.vec_of(1, 4, |r| (r.int(-1, 1), r.int(-1, 1)));
+    GridProgram { prev_reads }
 }
 
 impl GridProgram {
@@ -175,32 +177,29 @@ impl GridProgram {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_grids_parallel_equals_oracle(prog in grid_strategy()) {
+#[test]
+fn random_grids_parallel_equals_oracle() {
+    let mut rng = Lcg::new(0x5c11ed1);
+    for case in 0..24 {
+        let prog = arb_grid(&mut rng);
         let src = prog.source();
         let comp = compile(&src, CompileOptions::default()).expect("schedulable");
         // Jacobi shape: outer DO, inner DOALLs.
         let (do_n, doall_n) = comp.schedule.flowchart.loop_counts();
-        prop_assert_eq!(do_n, 1);
-        prop_assert!(doall_n >= 4);
+        assert_eq!(do_n, 1, "case {case}\n{src}");
+        assert!(doall_n >= 4, "case {case}\n{src}");
 
         let m = 5i64;
         let side = (m + 2) as usize;
         let data: Vec<f64> = (0..side * side).map(|i| (i % 13) as f64 * 0.5).collect();
-        let inputs = Inputs::new()
-            .set_int("M", m)
-            .set_int("maxK", 4)
-            .set_array(
-                "init",
-                ps_core::OwnedArray::real(vec![(0, m + 1), (0, m + 1)], data),
-            );
+        let inputs = Inputs::new().set_int("M", m).set_int("maxK", 4).set_array(
+            "init",
+            ps_core::OwnedArray::real(vec![(0, m + 1), (0, m + 1)], data),
+        );
         let pool = ThreadPool::new(3);
         let par = execute(&comp, &inputs, &pool, RuntimeOptions::default()).expect("parallel");
         let oracle = run_naive(&comp.module, &inputs).expect("oracle");
         let diff = par.array("out").max_abs_diff(oracle.array("out"));
-        prop_assert!(diff < 1e-9, "diff {diff}\n{src}");
+        assert!(diff < 1e-9, "case {case}: diff {diff}\n{src}");
     }
 }

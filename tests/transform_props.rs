@@ -1,82 +1,89 @@
 //! Property tests for the hyperplane machinery: the time-vector solver and
 //! unimodular completion on random dependence sets, and the full transform
 //! on random Gauss–Seidel-like stencils.
+//!
+//! Driven by a seeded LCG (no `proptest`): each property replays the same
+//! cases (64 solver, 64 completion, 16 stencil) on every run.
 
-use proptest::prelude::*;
 use ps_core::{
     compile, execute, execute_transformed, CompileOptions, Inputs, RuntimeOptions, Sequential,
     StorageMode, ThreadPool,
 };
 use ps_hyperplane::imat::unimodular_completion;
 use ps_hyperplane::solve_time_vector;
+use ps_support::Lcg;
 
 /// Dependence vectors guaranteed feasible: each has a strictly positive
-/// first component (a "time-like" axis exists).
-fn feasible_deps(dims: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
-    prop::collection::vec(
-        (1i64..3, prop::collection::vec(-2i64..=2, dims - 1)),
-        1..6,
-    )
-    .prop_map(|vs| {
-        vs.into_iter()
-            .map(|(first, rest)| {
-                let mut v = vec![first];
-                v.extend(rest);
-                v
-            })
-            .collect()
+/// first component (a "time-like" axis exists). 1–5 vectors, first
+/// component 1..=2, remaining components -2..=2 (the proptest strategy).
+fn feasible_deps(rng: &mut Lcg, dims: usize) -> Vec<Vec<i64>> {
+    rng.vec_of(1, 5, |r| {
+        let mut v = vec![r.int(1, 2)];
+        for _ in 1..dims {
+            v.push(r.int(-2, 2));
+        }
+        v
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The solved time vector satisfies every inequality, is nonnegative,
-    /// and is sum-minimal (no vector with a smaller coefficient sum works).
-    #[test]
-    fn solver_is_sound_and_minimal(deps in feasible_deps(3)) {
+/// The solved time vector satisfies every inequality, is nonnegative,
+/// and is sum-minimal (no vector with a smaller coefficient sum works).
+#[test]
+fn solver_is_sound_and_minimal() {
+    let mut rng = Lcg::new(0x44f0);
+    for case in 0..64 {
+        let deps = feasible_deps(&mut rng, 3);
         let pi = solve_time_vector(&deps).expect("feasible by construction");
-        prop_assert!(pi.iter().all(|&c| c >= 0));
+        assert!(pi.iter().all(|&c| c >= 0), "case {case}");
         for d in &deps {
             let dot: i64 = pi.iter().zip(d).map(|(a, b)| a * b).sum();
-            prop_assert!(dot >= 1, "pi {pi:?} fails {d:?}");
+            assert!(dot >= 1, "case {case}: pi {pi:?} fails {d:?}");
         }
         // Minimality: brute-force all vectors with smaller sum.
         let sum: i64 = pi.iter().sum();
         for a in 0..sum {
             for b in 0..(sum - a) {
                 let c = sum - 1 - a - b;
-                if c < 0 { continue; }
+                if c < 0 {
+                    continue;
+                }
                 let cand = [a, b, c];
-                let ok = deps.iter().all(|d| {
-                    cand.iter().zip(d).map(|(x, y)| x * y).sum::<i64>() >= 1
-                });
-                prop_assert!(!ok, "smaller vector {cand:?} also works (pi {pi:?})");
+                let ok = deps
+                    .iter()
+                    .all(|d| cand.iter().zip(d).map(|(x, y)| x * y).sum::<i64>() >= 1);
+                assert!(
+                    !ok,
+                    "case {case}: smaller vector {cand:?} also works (pi {pi:?})"
+                );
             }
         }
     }
+}
 
-    /// Unimodular completion: first row is pi, |det| = 1, exact inverse.
-    #[test]
-    fn completion_is_unimodular(deps in feasible_deps(4)) {
+/// Unimodular completion: first row is pi, |det| = 1, exact inverse.
+#[test]
+fn completion_is_unimodular() {
+    let mut rng = Lcg::new(0x44f1);
+    for case in 0..64 {
+        let deps = feasible_deps(&mut rng, 4);
         let pi = solve_time_vector(&deps).expect("feasible");
         // The solver result may share a factor only if gcd > 1 is optimal —
         // the minimal solution always has gcd 1 (dividing by the gcd keeps
         // all inequalities, contradicting minimality otherwise).
         let t = unimodular_completion(&pi);
-        prop_assert_eq!(t.row(0), pi.as_slice());
+        assert_eq!(t.row(0), pi.as_slice(), "case {case}");
         let det = t.det();
-        prop_assert!(det == 1 || det == -1);
+        assert!(det == 1 || det == -1, "case {case}");
         let inv = t.unimodular_inverse();
         let prod = t.mul(&inv);
         for i in 0..4 {
             for j in 0..4 {
-                prop_assert_eq!(prod[(i, j)], i64::from(i == j));
+                assert_eq!(prod[(i, j)], i64::from(i == j), "case {case}");
             }
         }
         // Every transformed dependence moves strictly forward in time.
         for d in &deps {
-            prop_assert!(t.mul_vec(d)[0] >= 1);
+            assert!(t.mul_vec(d)[0] >= 1, "case {case}");
         }
     }
 }
@@ -92,13 +99,11 @@ struct GsProgram {
     previous: Vec<(i64, i64)>,
 }
 
-fn gs_strategy() -> impl Strategy<Value = GsProgram> {
-    let cur = prop::sample::subsequence(
-        vec![(0i64, -1i64), (-1, 0), (-1, -1), (-1, 1)],
-        1..=3,
-    );
-    let prev = prop::collection::vec((-1i64..=1, -1i64..=1), 1..4);
-    (cur, prev).prop_map(|(current, previous)| GsProgram { current, previous })
+fn arb_gs(rng: &mut Lcg) -> GsProgram {
+    let menu = [(0i64, -1i64), (-1, 0), (-1, -1), (-1, 1)];
+    let current = rng.subsequence(&menu, 1, 3);
+    let previous = rng.vec_of(1, 3, |r| (r.int(-1, 1), r.int(-1, 1)));
+    GsProgram { current, previous }
 }
 
 fn offset(base: &str, d: i64) -> String {
@@ -136,14 +141,14 @@ impl GsProgram {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The windowed wavefront transform preserves semantics on random
-    /// Gauss–Seidel stencils, sequentially and in parallel, with the write
-    /// checker enabled.
-    #[test]
-    fn random_gs_transform_preserves_semantics(prog in gs_strategy()) {
+/// The windowed wavefront transform preserves semantics on random
+/// Gauss–Seidel stencils, sequentially and in parallel, with the write
+/// checker enabled.
+#[test]
+fn random_gs_transform_preserves_semantics() {
+    let mut rng = Lcg::new(0x44f2);
+    for case in 0..16 {
+        let prog = arb_gs(&mut rng);
         let src = prog.source();
         let comp = compile(
             &src,
@@ -151,41 +156,46 @@ proptest! {
                 hyperplane: Some(StorageMode::Windowed),
                 ..Default::default()
             },
-        ).expect("transformable");
+        )
+        .expect("transformable");
         let art = comp.transformed.as_ref().unwrap();
         // Legality: all transformed deps step forward in time.
         for d in &art.result.transformed_deps {
-            prop_assert!(d[0] >= 1);
+            assert!(d[0] >= 1, "case {case}");
         }
         // Window = 1 + max time offset.
-        let max_t = art.result.transformed_deps.iter().map(|d| d[0]).max().unwrap();
-        prop_assert_eq!(art.result.window, 1 + max_t);
+        let max_t = art
+            .result
+            .transformed_deps
+            .iter()
+            .map(|d| d[0])
+            .max()
+            .unwrap();
+        assert_eq!(art.result.window, 1 + max_t, "case {case}");
 
         let m = 5i64;
         let side = (m + 2) as usize;
         let data: Vec<f64> = (0..side * side).map(|i| ((i * 7) % 11) as f64).collect();
-        let inputs = Inputs::new()
-            .set_int("M", m)
-            .set_int("maxK", 4)
-            .set_array(
-                "init",
-                ps_core::OwnedArray::real(vec![(0, m + 1), (0, m + 1)], data),
-            );
-        let base = execute(&comp, &inputs, &Sequential, RuntimeOptions::default())
-            .expect("base runs");
+        let inputs = Inputs::new().set_int("M", m).set_int("maxK", 4).set_array(
+            "init",
+            ps_core::OwnedArray::real(vec![(0, m + 1), (0, m + 1)], data),
+        );
+        let base =
+            execute(&comp, &inputs, &Sequential, RuntimeOptions::default()).expect("base runs");
         let wave = execute_transformed(
             &comp,
             &inputs,
             &Sequential,
             RuntimeOptions { check_writes: true },
-        ).expect("wavefront runs");
+        )
+        .expect("wavefront runs");
         let diff = base.array("out").max_abs_diff(wave.array("out"));
-        prop_assert!(diff < 1e-9, "diff {diff}\n{src}");
+        assert!(diff < 1e-9, "case {case}: diff {diff}\n{src}");
 
         let pool = ThreadPool::new(3);
         let wave_par = execute_transformed(&comp, &inputs, &pool, RuntimeOptions::default())
             .expect("parallel wavefront runs");
         let pdiff = wave.array("out").max_abs_diff(wave_par.array("out"));
-        prop_assert!(pdiff == 0.0);
+        assert!(pdiff == 0.0, "case {case}");
     }
 }
