@@ -1,0 +1,57 @@
+//! Perf C (runtime overhead): per-region dispatch latency of the executor.
+//!
+//! The paper's speedups live in DOALL regions whose iterations are cheap
+//! (a handful of flops), so the time to *launch* a parallel region — wake
+//! workers, publish the closure, detect completion — bounds how small a
+//! region can profitably go parallel. This bench times batches of back-to-
+//! back regions at sizes 1, 4 and 64 iterations with a near-empty body, so
+//! the measurement is almost pure dispatch cost.
+//!
+//! Throughput is declared in *regions*, so the JSON/stdout `Melem/s` figure
+//! is regions per second and `median / REGIONS` is the per-region latency.
+//!
+//! Expected shape: `Sequential` and `par1` (zero workers, inline) set the
+//! floor; the broadcast-slot pool keeps `par2`..`par8` within a small
+//! multiple of it instead of the per-worker-channel-send multiple.
+
+use ps_bench::Harness;
+use ps_core::{Executor, Sequential, ThreadPool};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Regions per timed call: enough to amortise `Instant` resolution while
+/// keeping one sample well under a millisecond at the expected latencies.
+const REGIONS: usize = 256;
+
+/// Drive `REGIONS` regions of `size` iterations and return the checksum.
+fn dispatch_burst(ex: &dyn Executor, size: i64) -> i64 {
+    let sink = AtomicI64::new(0);
+    for _ in 0..REGIONS {
+        ex.for_range(0, size - 1, &|i| {
+            sink.fetch_add(i + 1, Ordering::Relaxed);
+        });
+    }
+    sink.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let mut g = Harness::new("exec_dispatch");
+    let pools: Vec<(String, Box<dyn Executor>)> = vec![
+        ("seq".into(), Box::new(Sequential)),
+        ("par1".into(), Box::new(ThreadPool::new(1))),
+        ("par2".into(), Box::new(ThreadPool::new(2))),
+        ("par4".into(), Box::new(ThreadPool::new(4))),
+    ];
+    for &size in &[1i64, 4, 64] {
+        // Every iteration of every region must run exactly once — checked
+        // inside the benched closure, so every warmup and timed sample is
+        // validated (an intermittent loss cannot hide behind a clean rerun).
+        let expected = REGIONS as i64 * (size * (size + 1) / 2);
+        for (name, ex) in &pools {
+            g.bench_with_elements(&format!("{name}/m{size}"), REGIONS as u64, || {
+                let got = dispatch_burst(ex.as_ref(), size);
+                assert_eq!(got, expected, "{name}/m{size} lost iterations");
+            });
+        }
+    }
+    g.finish();
+}

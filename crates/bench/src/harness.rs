@@ -12,6 +12,13 @@
 //!
 //! Tuning knobs (full mode): `PS_BENCH_WARMUP` (default 3) and
 //! `PS_BENCH_SAMPLES` (default 15) iterations per benchmark.
+//!
+//! Machine-readable output: pass `--bench-json <path>` (after `--` under
+//! `cargo bench`) and [`Harness::finish`] writes every measurement as a
+//! JSON document — name, samples, min/median/max in nanoseconds, and
+//! element throughput where declared — so CI can diff runs and track
+//! regressions. Smoke mode records its single run so the JSON pipeline
+//! itself can be exercised cheaply.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -25,12 +32,23 @@ pub struct Summary {
     pub samples: usize,
 }
 
+/// One benchmark's row in the `--bench-json` report.
+#[derive(Clone, Debug)]
+struct JsonEntry {
+    name: String,
+    summary: Summary,
+    /// Elements per call, when declared via [`Harness::bench_with_elements`].
+    elements: Option<u64>,
+}
+
 /// A named group of benchmarks, mirroring criterion's `benchmark_group`.
 pub struct Harness {
     group: String,
     full: bool,
     warmup: usize,
     samples: usize,
+    json_path: Option<String>,
+    entries: Vec<JsonEntry>,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -58,14 +76,23 @@ pub fn fmt_duration(d: Duration) -> String {
 
 impl Harness {
     /// Create a group. Mode is taken from the command line: `cargo bench`
-    /// invokes bench binaries with `--bench`, `cargo test` does not.
+    /// invokes bench binaries with `--bench`, `cargo test` does not. A
+    /// `--bench-json <path>` pair selects the machine-readable report.
     pub fn new(group: &str) -> Harness {
-        let full = std::env::args().any(|a| a == "--bench");
+        let args: Vec<String> = std::env::args().collect();
+        let full = args.iter().any(|a| a == "--bench");
+        let json_path = args
+            .iter()
+            .position(|a| a == "--bench-json")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
         let h = Harness {
             group: group.to_string(),
             full,
             warmup: env_usize("PS_BENCH_WARMUP", 3),
             samples: env_usize("PS_BENCH_SAMPLES", 15),
+            json_path,
+            entries: Vec::new(),
         };
         if h.full {
             println!(
@@ -85,10 +112,45 @@ impl Harness {
 
     /// Time `f`, printing a `group/label` line. Returns the summary in full
     /// mode, `None` in smoke mode (where `f` runs once for its assertions).
-    pub fn bench<T>(&mut self, label: &str, mut f: impl FnMut() -> T) -> Option<Summary> {
+    pub fn bench<T>(&mut self, label: &str, f: impl FnMut() -> T) -> Option<Summary> {
+        self.bench_inner(label, None, f)
+    }
+
+    /// Like [`Harness::bench`] but also reports element throughput
+    /// (elements / second at the median), criterion's `Throughput::Elements`.
+    pub fn bench_with_elements<T>(
+        &mut self,
+        label: &str,
+        elements: u64,
+        f: impl FnMut() -> T,
+    ) -> Option<Summary> {
+        self.bench_inner(label, Some(elements), f)
+    }
+
+    fn bench_inner<T>(
+        &mut self,
+        label: &str,
+        elements: Option<u64>,
+        mut f: impl FnMut() -> T,
+    ) -> Option<Summary> {
+        let name = format!("{}/{label}", self.group);
         if !self.full {
+            // Smoke: one timed run keeps the JSON pipeline exercisable
+            // without paying for warmup and sampling.
+            let t0 = Instant::now();
             black_box(f());
-            println!("  {}/{label}: ok", self.group);
+            let once = t0.elapsed();
+            println!("  {name}: ok");
+            self.entries.push(JsonEntry {
+                name,
+                summary: Summary {
+                    min: once,
+                    median: once,
+                    max: once,
+                    samples: 1,
+                },
+                elements,
+            });
             return None;
         }
         for _ in 0..self.warmup {
@@ -114,34 +176,87 @@ impl Harness {
             fmt_duration(s.median),
             fmt_duration(s.max)
         );
-        Some(s)
-    }
-
-    /// Like [`Harness::bench`] but also reports element throughput
-    /// (elements / second at the median), criterion's `Throughput::Elements`.
-    pub fn bench_with_elements<T>(
-        &mut self,
-        label: &str,
-        elements: u64,
-        f: impl FnMut() -> T,
-    ) -> Option<Summary> {
-        let s = self.bench(label, f)?;
-        let secs = s.median.as_secs_f64();
-        if secs > 0.0 {
-            println!(
-                "  {}/{label:<40} throughput {:.1} Melem/s",
-                self.group,
-                elements as f64 / secs / 1e6
-            );
+        if let Some(elements) = elements {
+            let secs = s.median.as_secs_f64();
+            if secs > 0.0 {
+                println!(
+                    "  {}/{label:<40} throughput {:.1} Melem/s",
+                    self.group,
+                    elements as f64 / secs / 1e6
+                );
+            }
         }
+        self.entries.push(JsonEntry {
+            name,
+            summary: s,
+            elements,
+        });
         Some(s)
     }
 
-    /// End the group (symmetry with criterion's `finish`; also flushes).
+    /// Render the collected measurements as a JSON document.
+    fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"group\": \"{}\",\n  \"mode\": \"{}\",\n  \"benchmarks\": [\n",
+            json_escape(&self.group),
+            if self.full { "full" } else { "smoke" }
+        ));
+        for (i, e) in self.entries.iter().enumerate() {
+            let s = &e.summary;
+            let throughput = match e.elements {
+                Some(n) if s.median.as_secs_f64() > 0.0 => {
+                    format!("{:.1}", n as f64 / s.median.as_secs_f64())
+                }
+                _ => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"samples\": {}, \"min_ns\": {}, \
+                 \"median_ns\": {}, \"max_ns\": {}, \"elements\": {}, \
+                 \"throughput_elems_per_s\": {}}}{}\n",
+                json_escape(&e.name),
+                s.samples,
+                s.min.as_nanos(),
+                s.median.as_nanos(),
+                s.max.as_nanos(),
+                e.elements.map_or("null".to_string(), |n| n.to_string()),
+                throughput,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// End the group: flush stdout and, when `--bench-json <path>` was
+    /// given, write the machine-readable report.
     pub fn finish(self) {
         use std::io::Write;
+        if let Some(path) = &self.json_path {
+            let doc = self.render_json();
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("bench-json: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("  bench-json written to {path}");
+        }
         let _ = std::io::stdout().flush();
     }
+}
+
+/// Escape a string for a JSON literal (labels are plain ASCII identifiers,
+/// so only quotes and backslashes matter; control characters are dropped).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {}
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -168,5 +283,32 @@ mod tests {
         assert!(out.is_none());
         assert_eq!(runs, 1);
         h.finish();
+    }
+
+    #[test]
+    fn json_report_has_all_fields() {
+        let mut h = Harness::new("json_selftest");
+        h.bench("plain", || 1);
+        h.bench_with_elements("with_elems", 1000, || 2);
+        let doc = h.render_json();
+        assert!(doc.contains("\"group\": \"json_selftest\""));
+        assert!(doc.contains("\"mode\": \"smoke\""));
+        assert!(doc.contains("\"name\": \"json_selftest/plain\""));
+        assert!(doc.contains("\"elements\": null"));
+        assert!(doc.contains("\"elements\": 1000"));
+        assert!(doc.contains("\"samples\": 1"));
+        for key in ["min_ns", "median_ns", "max_ns", "throughput_elems_per_s"] {
+            assert!(doc.contains(&format!("\"{key}\"")), "missing {key}\n{doc}");
+        }
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tabhere");
+        assert_eq!(json_escape("plain/label_1"), "plain/label_1");
     }
 }

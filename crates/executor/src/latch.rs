@@ -7,13 +7,18 @@ use std::sync::{Condvar, Mutex};
 ///
 /// The counter starts at `n`; workers call [`CountLatch::count_down`] once
 /// each; the owner calls [`CountLatch::wait`] and returns once the counter
-/// reaches zero. The fast path is a single atomic; the `std::sync` mutex /
-/// condvar pair only engages when the waiter actually sleeps.
+/// reaches zero. The fast path is a single atomic, followed by a bounded
+/// spin (the broadcast pool signals within nanoseconds of the waiter
+/// arriving for small regions); the `std::sync` mutex / condvar pair only
+/// engages when the waiter actually sleeps.
 pub struct CountLatch {
     remaining: AtomicUsize,
     mutex: Mutex<()>,
     cond: Condvar,
 }
+
+/// Spin iterations in [`CountLatch::wait`] before parking.
+const WAIT_SPINS: usize = 128;
 
 impl CountLatch {
     pub fn new(n: usize) -> CountLatch {
@@ -43,9 +48,12 @@ impl CountLatch {
 
     /// Block until the counter reaches zero.
     pub fn wait(&self) {
-        // Fast path.
-        if self.remaining.load(Ordering::Acquire) == 0 {
-            return;
+        // Fast path: already signalled, or signalled within a short spin.
+        for _ in 0..WAIT_SPINS {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::hint::spin_loop();
         }
         let mut guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
         while self.remaining.load(Ordering::Acquire) != 0 {

@@ -8,10 +8,12 @@
 //! (self-scheduling, in the spirit of the era's *guided self-scheduling*
 //! literature the paper cites).
 //!
-//! Built strictly from the standard library — `std::sync::mpsc` channels
-//! for job broadcast and a `std::sync` mutex/condvar completion latch —
-//! following the construction patterns of *Rust Atomics and Locks*. The
-//! workspace carries zero external dependencies.
+//! Built strictly from the standard library — a lock-free generation-
+//! counted broadcast slot publishes each region to all workers with a
+//! single `notify_all` (see [`pool`] for the protocol), and an item-counted
+//! mutex/condvar latch detects completion — following the construction
+//! patterns of *Rust Atomics and Locks*. The workspace carries zero
+//! external dependencies.
 
 pub mod latch;
 pub mod pool;

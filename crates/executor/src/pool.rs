@@ -1,13 +1,44 @@
 //! The worker pool and the sequential executor.
+//!
+//! ## Broadcast-slot design
+//!
+//! Publishing a region costs one pointer store, one generation bump and one
+//! `notify_all`, regardless of pool width — there are no per-worker
+//! channels and no per-region allocations (the `Region` lives on the
+//! submitter's stack). The shared `Slot` carries a generation counter
+//! (`epoch`, even = idle, odd = a region is live) and the raw pointer to
+//! the current region:
+//!
+//! * **Publish** (submitter, serialized by the `submit` mutex): store the
+//!   region pointer, bump `epoch` to odd, take the slot mutex and
+//!   `notify_all`. Workers spin briefly on the atomic `epoch` before ever
+//!   touching the mutex (futex-style fast path), so back-to-back regions
+//!   are often picked up without any sleep/wake transition.
+//! * **Drain**: every participant (workers + the calling thread) claims
+//!   `[next, next+chunk)` slices off the region's atomic cursor. Completion
+//!   is *item-counted*: whoever retires the last iteration signals the
+//!   region's one-shot latch. A worker that never wakes for a short region
+//!   simply misses it — it cannot delay completion, which is what makes
+//!   the many-small-region pattern fast.
+//! * **Retire** (submitter, after the latch): bump `epoch` back to even,
+//!   then wait until no worker still *announces* the retired generation.
+//!   Workers announce the epoch they are about to drain in a padded
+//!   per-worker cell and re-check the epoch afterwards (both seqcst, a
+//!   store-load handshake); the submitter's retire scan therefore cannot
+//!   return while any worker can still touch the stack-held region, and a
+//!   late-waking worker observes the bumped epoch and backs off without
+//!   dereferencing the stale pointer.
+//!
+//! `ThreadPool::new(1)` spawns no workers and short-circuits every region
+//! to inline execution — same behaviour as [`Sequential`], plus counters.
 
 use crate::latch::CountLatch;
 use crate::stats::{PoolStats, PoolStatsSnapshot};
 use crate::Executor;
 use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::mpsc::Sender;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Executes ranges inline on the calling thread.
@@ -33,34 +64,41 @@ impl Executor for Sequential {
 
 /// Shared state of one `for_range` region.
 ///
-/// Workers self-schedule: each grabs `[next, next+chunk)` slices off the
-/// atomic cursor until the range is exhausted.
+/// Lives on the submitting thread's stack: the retire scan in
+/// [`ThreadPool::for_chunks`] guarantees no worker dereferences the
+/// published pointer after the submitter returns.
 struct Region {
     /// Next index to hand out.
     next: AtomicI64,
     /// One past the last index.
     end: i64,
+    /// Total number of iterations (`end - lo`).
+    total: i64,
     /// Chunk width.
     chunk: i64,
+    /// Iterations retired (executed, or skipped after a panic). The region
+    /// completes when this reaches `total`.
+    completed: AtomicI64,
     /// The user chunk closure `f(start, stop)`. Lifetime-erased: the caller
     /// of `for_range`/`for_chunks` blocks on `latch` before returning, so
     /// the borrow outlives all uses.
     func: *const (dyn Fn(i64, i64) + Sync),
-    /// Counted down once per worker that finishes draining the region.
+    /// One-shot completion latch, signalled by whichever participant
+    /// retires the final iteration.
     latch: CountLatch,
     /// Set when any invocation panicked.
     panicked: AtomicBool,
 }
 
 // SAFETY: `func` points to a `Sync` closure that outlives the region (the
-// submitting thread waits on `latch`); all other fields are atomics.
-unsafe impl Send for Region {}
+// submitting thread waits on `latch` and then the retire scan before
+// returning); all other fields are atomics or immutable.
 unsafe impl Sync for Region {}
 
 impl Region {
-    /// Drain chunks until the cursor passes `end`. Returns items executed.
+    /// Drain chunks until the cursor passes `end`.
     fn drain(&self, stats: &PoolStats) {
-        // SAFETY: see the `Send`/`Sync` justification above.
+        // SAFETY: see the `Sync` justification above.
         let f = unsafe { &*self.func };
         loop {
             let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
@@ -74,80 +112,204 @@ impl Region {
             }));
             if result.is_err() {
                 self.panicked.store(true, Ordering::Release);
-                // Keep draining so the latch still completes; remaining
-                // indices are skipped by claiming them.
-                self.next.store(self.end, Ordering::Relaxed);
+                // Cancel the rest of the range: claim whatever is still
+                // unclaimed and retire it as skipped, so the latch still
+                // completes. Concurrently claimed chunks are retired by
+                // their claimers; anything past `end` was never real work.
+                let unclaimed = self.next.swap(self.end, Ordering::Relaxed);
+                let skipped = (self.end - unclaimed).max(0);
+                self.retire((stop - start) + skipped);
                 return;
             }
+            self.retire(stop - start);
+        }
+    }
+
+    /// Account `n` finished iterations; the last one signals the latch.
+    ///
+    /// `AcqRel` chains the retiring participants together so the final
+    /// retirer (and, through the latch, the submitter) observes every
+    /// write the user closure made.
+    fn retire(&self, n: i64) {
+        if n == 0 {
+            return;
+        }
+        if self.completed.fetch_add(n, Ordering::AcqRel) + n == self.total {
+            self.latch.count_down();
         }
     }
 }
 
-enum Message {
-    Work(Arc<Region>),
-    Shutdown,
+/// Worker announce cell, padded to its own cache line so the retire scan
+/// and the announce stores do not false-share.
+#[repr(align(128))]
+struct AnnounceCell(AtomicU64);
+
+/// Announce value meaning "not inside any region" (epochs start at 1).
+const IDLE: u64 = 0;
+
+/// The generation-stamped broadcast cell all workers watch.
+struct Slot {
+    /// Even = idle, odd = a region is published. Monotonic.
+    epoch: AtomicU64,
+    /// Pointer to the live region while `epoch` is odd.
+    region: AtomicPtr<Region>,
+    /// Sleep/wake plumbing; the mutex protects no data, only the condvar
+    /// protocol (workers re-check `epoch` under it before waiting).
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+struct Shared {
+    slot: Slot,
+    /// One announce cell per worker.
+    states: Box<[AnnounceCell]>,
+    /// Serializes submitters: one live region per pool at a time.
+    submit: Mutex<()>,
+    shutdown: AtomicBool,
+    stats: PoolStats,
 }
 
 thread_local! {
     /// True on pool worker threads; nested `for_range` calls run inline to
     /// avoid self-deadlock.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Stack of pools this thread is currently submitting to (by `Shared`
+    /// address). A nested `for_range` on a pool already on the stack —
+    /// e.g. an outer region's chunk closure launching an inner DOALL on
+    /// the *same* pool — must run inline: the submit mutex is not
+    /// reentrant, and that pool is busy with the outer region anyway.
+    /// Submissions to a *different* pool broadcast normally.
+    static SUBMITTING: std::cell::RefCell<Vec<*const Shared>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
-/// One persistent worker: its private job channel plus the join handle.
-///
-/// `std::sync::mpsc` receivers are single-consumer, so instead of one shared
-/// work queue (the crossbeam-style design) every worker owns its own channel
-/// and the pool broadcasts a clone of the `Arc<Region>` to each. Region
-/// *chunks* are still claimed dynamically off the shared atomic cursor, so
-/// load balancing is unchanged.
-struct Worker {
-    sender: Sender<Message>,
-    handle: Option<JoinHandle<()>>,
+/// Pops the pool from [`SUBMITTING`] on scope exit, even on unwind.
+struct SubmitGuard;
+
+impl SubmitGuard {
+    fn enter(pool: *const Shared) -> SubmitGuard {
+        SUBMITTING.with(|s| s.borrow_mut().push(pool));
+        SubmitGuard
+    }
 }
 
-/// A fixed-size pool of persistent worker threads.
+impl Drop for SubmitGuard {
+    fn drop(&mut self) {
+        SUBMITTING.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// A fixed-size pool of persistent worker threads sharing one broadcast
+/// slot.
 pub struct ThreadPool {
-    workers: Vec<Worker>,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
     n_threads: usize,
-    stats: Arc<PoolStats>,
+}
+
+/// Spin iterations on the atomic epoch before yielding, and yields before
+/// parking on the condvar. Short regions complete in well under the spin
+/// window, so a busy pool rarely touches the futex at all.
+const SPINS: usize = 128;
+const YIELDS: usize = 32;
+
+fn worker_loop(shared: &Shared, me: usize) {
+    IN_WORKER.with(|f| f.set(true));
+    let slot = &shared.slot;
+    // Start from generation 0 so a region published before this thread's
+    // first epoch read is still picked up, not slept through.
+    let mut last_seen = 0u64;
+    loop {
+        // Wait for the epoch to move: spin, then yield, then park.
+        let mut e = slot.epoch.load(Ordering::Acquire);
+        if e == last_seen {
+            'wait: {
+                for spin in 0..(SPINS + YIELDS) {
+                    if spin < SPINS {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                    e = slot.epoch.load(Ordering::Acquire);
+                    if e != last_seen {
+                        break 'wait;
+                    }
+                }
+                let mut guard = slot.mutex.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    e = slot.epoch.load(Ordering::Acquire);
+                    if e != last_seen {
+                        break;
+                    }
+                    guard = slot.cond.wait(guard).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+        last_seen = e;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if e % 2 == 1 {
+            // A region is (or very recently was) live. Announce the
+            // generation, then re-check it: the seqcst store-load pair
+            // ensures the submitter's retire scan either sees our announce
+            // and waits for us, or has already bumped the epoch — in which
+            // case the re-check fails and we never touch the pointer.
+            let cell = &shared.states[me].0;
+            cell.store(e, Ordering::SeqCst);
+            if slot.epoch.load(Ordering::SeqCst) == e {
+                let ptr = slot.region.load(Ordering::Acquire);
+                // SAFETY: the announce/re-check handshake above plus the
+                // retire scan keep the region alive while we drain it.
+                let region = unsafe { &*ptr };
+                region.drain(&shared.stats);
+            }
+            cell.store(IDLE, Ordering::SeqCst);
+        }
+    }
 }
 
 impl ThreadPool {
     /// Create a pool with `n` worker threads (minimum 1). The calling
     /// thread also participates in every region, so the effective
-    /// parallelism of `for_range` is `n` (workers) + 1 (caller), capped by
-    /// the chunk count.
+    /// parallelism of `for_range` is `n - 1` (workers) + 1 (caller),
+    /// capped by the chunk count. `n = 1` spawns no workers at all and
+    /// runs every region inline.
     pub fn new(n: usize) -> ThreadPool {
         let n = n.max(1);
         // The caller participates, so spawn n-1 workers for n-way
         // parallelism.
         let n_workers = n - 1;
-        let stats = Arc::new(PoolStats::default());
-        let workers = (0..n_workers)
+        let shared = Arc::new(Shared {
+            slot: Slot {
+                epoch: AtomicU64::new(0),
+                region: AtomicPtr::new(std::ptr::null_mut()),
+                mutex: Mutex::new(()),
+                cond: Condvar::new(),
+            },
+            states: (0..n_workers)
+                .map(|_| AnnounceCell(AtomicU64::new(IDLE)))
+                .collect(),
+            submit: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            stats: PoolStats::default(),
+        });
+        let handles = (0..n_workers)
             .map(|w| {
-                let (sender, receiver) = std::sync::mpsc::channel::<Message>();
-                let stats = stats.clone();
-                let handle = std::thread::Builder::new()
+                let shared = shared.clone();
+                std::thread::Builder::new()
                     .name(format!("ps-worker-{w}"))
-                    .spawn(move || {
-                        IN_WORKER.with(|f| f.set(true));
-                        while let Ok(Message::Work(region)) = receiver.recv() {
-                            region.drain(&stats);
-                            region.latch.count_down();
-                        }
-                    })
-                    .expect("spawn worker");
-                Worker {
-                    sender,
-                    handle: Some(handle),
-                }
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn worker")
             })
             .collect();
         ThreadPool {
-            workers,
+            shared,
+            handles,
             n_threads: n,
-            stats,
         }
     }
 
@@ -161,7 +323,7 @@ impl ThreadPool {
 
     /// Cumulative execution statistics.
     pub fn stats(&self) -> PoolStatsSnapshot {
-        self.stats.snapshot()
+        self.shared.stats.snapshot()
     }
 }
 
@@ -184,45 +346,84 @@ impl Executor for ThreadPool {
             return;
         }
         let total = hi - lo + 1;
-        self.stats.record_region(total as u64);
+        let shared = &*self.shared;
+        shared.stats.record_region(total as u64);
 
-        // Run inline when parallelism cannot help or when called from a
-        // worker thread (nested DOALL).
-        let nested = IN_WORKER.with(|flag| flag.get());
-        if self.workers.is_empty() || total < 2 || nested {
+        // Run inline when parallelism cannot help or when called reentrantly
+        // (from a worker thread, or from a submitter's own chunk closure
+        // targeting the same pool). A 1-thread pool takes this path for
+        // every region: no latch, no slot traffic, no wakeups.
+        let nested = IN_WORKER.with(|flag| flag.get())
+            || SUBMITTING.with(|s| s.borrow().contains(&(shared as *const Shared)));
+        if self.handles.is_empty() || total < 2 || nested {
+            shared.stats.record_inline();
             f(lo, hi + 1);
             return;
         }
 
         // Aim for several chunks per participant so imbalanced iterations
         // still spread out.
-        let participants = (self.workers.len() + 1) as i64;
+        let participants = self.handles.len() as i64 + 1;
         let chunk = (total / (participants * 4)).max(1);
 
-        let region = Arc::new(Region {
+        let region = Region {
             next: AtomicI64::new(lo),
             end: hi + 1,
+            total,
             chunk,
-            // SAFETY: erased to 'static; `wait` below keeps the borrow live.
+            completed: AtomicI64::new(0),
+            // SAFETY: erased to 'static; the latch wait + retire scan
+            // below keep the borrow live for every dereference.
             func: unsafe {
                 std::mem::transmute::<
                     *const (dyn Fn(i64, i64) + Sync),
                     *const (dyn Fn(i64, i64) + Sync),
                 >(f as *const _)
             },
-            latch: CountLatch::new(self.workers.len()),
+            latch: CountLatch::new(1),
             panicked: AtomicBool::new(false),
-        });
+        };
 
-        for worker in &self.workers {
-            worker
-                .sender
-                .send(Message::Work(region.clone()))
-                .expect("workers alive while pool alive");
+        let slot = &shared.slot;
+        // One live region per pool: serialize concurrent submitters. The
+        // guard marks this thread as submitting to *this* pool, so a
+        // same-pool reentrant submission inlines instead of self-
+        // deadlocking on the non-reentrant mutex.
+        let _reentry = SubmitGuard::enter(shared as *const Shared);
+        let submit = shared.submit.lock().unwrap_or_else(|e| e.into_inner());
+
+        // Publish: pointer first, then the odd generation, then one wake.
+        slot.region
+            .store(&region as *const Region as *mut Region, Ordering::Release);
+        let epoch = slot.epoch.load(Ordering::Relaxed) + 1;
+        debug_assert!(epoch % 2 == 1, "publish must produce an odd epoch");
+        slot.epoch.store(epoch, Ordering::SeqCst);
+        {
+            let _guard = slot.mutex.lock().unwrap_or_else(|e| e.into_inner());
+            slot.cond.notify_all();
         }
-        // The caller works too.
-        region.drain(&self.stats);
+
+        // The caller works too, then waits for the last iteration.
+        region.drain(&shared.stats);
         region.latch.wait();
+
+        // Retire: flip to the even generation, then make sure no worker
+        // still announces the retired one (it would be inside `drain`,
+        // typically for nanoseconds — its cursor is already exhausted).
+        slot.epoch.store(epoch + 1, Ordering::SeqCst);
+        for cell in shared.states.iter() {
+            let mut tries = 0usize;
+            while cell.0.load(Ordering::SeqCst) == epoch {
+                tries += 1;
+                if tries > SPINS {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        slot.region.store(std::ptr::null_mut(), Ordering::Release);
+        drop(submit);
 
         if region.panicked.load(Ordering::Acquire) {
             panic!("a DOALL iteration panicked (see worker output above)");
@@ -232,13 +433,21 @@ impl Executor for ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        for worker in &self.workers {
-            let _ = worker.sender.send(Message::Shutdown);
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Bump by 2: parity stays even (no region), but every waiter sees
+        // a change, re-checks the flag and exits.
+        self.shared.slot.epoch.fetch_add(2, Ordering::SeqCst);
+        {
+            let _guard = self
+                .shared
+                .slot
+                .mutex
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            self.shared.slot.cond.notify_all();
         }
-        for worker in &mut self.workers {
-            if let Some(handle) = worker.handle.take() {
-                let _ = handle.join();
-            }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -257,6 +466,13 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 100);
+        // The inline short-circuit: no workers, no broadcast, all regions
+        // counted as inline.
+        assert!(pool.handles.is_empty());
+        let s = pool.stats();
+        assert_eq!(s.regions, 1);
+        assert_eq!(s.inline_regions, 1);
+        assert_eq!(s.chunks, 0, "inline execution claims no chunks");
     }
 
     #[test]
@@ -287,5 +503,87 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_one_pool() {
+        // Two threads submit regions to the same pool; the submit mutex
+        // serializes the broadcast slot, and every iteration still runs
+        // exactly once.
+        let pool = Arc::new(ThreadPool::new(3));
+        let hits: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..2000).map(|_| AtomicUsize::new(0)).collect());
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let pool = pool.clone();
+            let hits = hits.clone();
+            handles.push(std::thread::spawn(move || {
+                let lo = t * 1000;
+                for _ in 0..10 {
+                    pool.for_range(lo, lo + 99, &|i| {
+                        hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, h) in hits.iter().enumerate() {
+            let n = h.load(Ordering::Relaxed);
+            let expected = if i % 1000 < 100 { 10 } else { 0 };
+            assert_eq!(n, expected, "index {i} ran {n} times");
+        }
+    }
+
+    #[test]
+    fn cross_pool_submission_still_broadcasts() {
+        // While submitting to one pool, a nested submission to a
+        // *different* pool must broadcast; only same-pool reentry inlines.
+        let outer = ThreadPool::new(2);
+        let inner = ThreadPool::new(2);
+        let count = AtomicUsize::new(0);
+        {
+            // Simulate being inside one of `outer`'s chunk closures.
+            let _mid_submit = SubmitGuard::enter(&*outer.shared as *const Shared);
+            inner.for_range(0, 99, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            outer.for_range(0, 99, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 200);
+        assert_eq!(
+            inner.stats().inline_regions,
+            0,
+            "different pool must broadcast"
+        );
+        assert_eq!(
+            outer.stats().inline_regions,
+            1,
+            "same pool must inline while its submit is active"
+        );
+        // Guard popped: outer broadcasts again.
+        outer.for_range(0, 99, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 300);
+        assert_eq!(outer.stats().inline_regions, 1);
+    }
+
+    #[test]
+    fn epoch_parity_tracks_publishes() {
+        let pool = ThreadPool::new(2);
+        let before = pool.shared.slot.epoch.load(Ordering::SeqCst);
+        assert_eq!(before % 2, 0, "idle pool has an even epoch");
+        pool.for_range(0, 9, &|_| {});
+        let after = pool.shared.slot.epoch.load(Ordering::SeqCst);
+        assert_eq!(after % 2, 0, "region fully retired");
+        assert_eq!(after, before + 2, "one publish + one retire");
+        assert!(
+            pool.shared.slot.region.load(Ordering::SeqCst).is_null(),
+            "no stale region pointer after retire"
+        );
     }
 }

@@ -8,6 +8,7 @@ pub struct PoolStats {
     regions: AtomicU64,
     chunks: AtomicU64,
     items: AtomicU64,
+    inline_regions: AtomicU64,
 }
 
 impl PoolStats {
@@ -20,11 +21,18 @@ impl PoolStats {
         self.chunks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A region executed inline (too small, nested, or a 1-thread pool)
+    /// instead of being broadcast.
+    pub(crate) fn record_inline(&self) {
+        self.inline_regions.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> PoolStatsSnapshot {
         PoolStatsSnapshot {
             regions: self.regions.load(Ordering::Relaxed),
             chunks: self.chunks.load(Ordering::Relaxed),
             items: self.items.load(Ordering::Relaxed),
+            inline_regions: self.inline_regions.load(Ordering::Relaxed),
         }
     }
 }
@@ -34,18 +42,22 @@ impl PoolStats {
 pub struct PoolStatsSnapshot {
     /// `for_range` invocations.
     pub regions: u64,
-    /// Chunks claimed by participants (parallel regions only).
+    /// Chunks claimed by participants (broadcast regions only).
     pub chunks: u64,
     /// Total loop iterations requested.
     pub items: u64,
+    /// Regions short-circuited to inline execution (a subset of
+    /// `regions`): single-iteration ranges, nested DOALLs on a worker
+    /// thread, and everything submitted to a 1-thread pool.
+    pub inline_regions: u64,
 }
 
 impl std::fmt::Display for PoolStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} regions, {} chunks, {} items",
-            self.regions, self.chunks, self.items
+            "{} regions ({} inline), {} chunks, {} items",
+            self.regions, self.inline_regions, self.chunks, self.items
         )
     }
 }
@@ -60,10 +72,12 @@ mod tests {
         s.record_region(10);
         s.record_chunk(5);
         s.record_chunk(5);
+        s.record_inline();
         let snap = s.snapshot();
         assert_eq!(snap.regions, 1);
         assert_eq!(snap.chunks, 2);
         assert_eq!(snap.items, 10);
-        assert!(format!("{snap}").contains("1 regions"));
+        assert_eq!(snap.inline_regions, 1);
+        assert!(format!("{snap}").contains("1 regions (1 inline)"));
     }
 }

@@ -5,8 +5,9 @@ use crate::value::{OwnedArray, Value};
 use ps_lang::hir::{DataKind, HirModule};
 use ps_lang::{DataId, ScalarTy, Ty};
 use ps_scheduler::MemoryPlan;
+use ps_support::idx::Idx;
 use ps_support::{FxHashMap, Symbol};
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Parameter bindings supplied by the caller.
 #[derive(Clone, Debug, Default)]
@@ -89,17 +90,57 @@ impl std::fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+/// One lock-free scalar cell: a type tag plus the value bits.
+///
+/// The tag is stored *after* the bits (both release), and read *before*
+/// them (both acquire), so a reader that observes a set tag also observes
+/// the matching bits. Equations are single-assignment, so each cell is
+/// written at most once per execution; writes happen outside parallel
+/// regions and are made visible to workers by the executor's region
+/// publish/complete synchronization.
+#[derive(Default)]
+struct ScalarSlot {
+    /// 0 = unset, 1 = int, 2 = real, 3 = bool.
+    tag: AtomicU8,
+    bits: AtomicU64,
+}
+
+impl ScalarSlot {
+    fn write(&self, v: Value) {
+        let (tag, bits) = match v {
+            Value::Int(i) => (1, i as u64),
+            Value::Real(r) => (2, r.to_bits()),
+            Value::Bool(b) => (3, b as u64),
+        };
+        self.bits.store(bits, Ordering::Release);
+        self.tag.store(tag, Ordering::Release);
+    }
+
+    fn read(&self) -> Option<Value> {
+        let tag = self.tag.load(Ordering::Acquire);
+        let bits = self.bits.load(Ordering::Acquire);
+        match tag {
+            0 => None,
+            1 => Some(Value::Int(bits as i64)),
+            2 => Some(Value::Real(f64::from_bits(bits))),
+            3 => Some(Value::Bool(bits != 0)),
+            _ => unreachable!("corrupt scalar tag {tag}"),
+        }
+    }
+}
+
 /// The live data store for one module execution.
 pub struct Store<'m> {
     pub module: &'m HirModule,
     pub params: FxHashMap<Symbol, i64>,
     arrays: FxHashMap<DataId, ArrayInstance>,
-    /// Scalar *parameters*: immutable after construction, read lock-free —
-    /// guards in hot DOALL bodies read `M`/`maxK` millions of times.
-    param_scalars: FxHashMap<DataId, Value>,
-    /// Scalar locals/results and record fields (written only outside
-    /// loops; a lock keeps the structure simple and is uncontended).
-    scalars: RwLock<FxHashMap<(DataId, usize), Value>>,
+    /// Flat scalar slots, one per `(data item, field)` pair. Guards in hot
+    /// DOALL bodies read parameters like `M`/`maxK` millions of times, so
+    /// every read is two atomic loads — no lock, no hashing. Slot `i` of
+    /// item `d` lives at `scalar_base[d] + i` (field 0 is the scalar
+    /// itself; record fields follow).
+    scalar_base: Vec<u32>,
+    scalar_slots: Box<[ScalarSlot]>,
 }
 
 impl<'m> Store<'m> {
@@ -113,8 +154,25 @@ impl<'m> Store<'m> {
     ) -> Result<Store<'m>, RuntimeError> {
         let params = inputs.param_env();
         let mut arrays = FxHashMap::default();
-        let mut param_scalars = FxHashMap::default();
-        let scalars = FxHashMap::default();
+
+        // Lay out the scalar slot table: one slot per scalar item plus one
+        // per record field (arrays get an unused slot; the waste is a few
+        // bytes and keeps the base map a plain vector).
+        let mut scalar_base = Vec::with_capacity(module.data.len());
+        let mut next_slot = 0u32;
+        for (_, item) in module.data.iter_enumerated() {
+            scalar_base.push(next_slot);
+            let fields = match &item.ty {
+                Ty::Record(rid) => module.records[*rid].fields.len() as u32,
+                _ => 0,
+            };
+            next_slot += 1 + fields;
+        }
+        let scalar_slots: Box<[ScalarSlot]> =
+            (0..next_slot).map(|_| ScalarSlot::default()).collect();
+        let write_param = |id: DataId, v: Value| {
+            scalar_slots[scalar_base[id.index()] as usize].write(v);
+        };
 
         for (id, item) in module.data.iter_enumerated() {
             match item.kind {
@@ -141,7 +199,7 @@ impl<'m> Store<'m> {
                             (Ty::Scalar(ScalarTy::Real), Value::Int(i)) => Value::Real(i as f64),
                             _ => v,
                         };
-                        param_scalars.insert(id, v);
+                        write_param(id, v);
                     }
                 }
                 DataKind::Local | DataKind::Result => {
@@ -169,8 +227,8 @@ impl<'m> Store<'m> {
             module,
             params,
             arrays,
-            param_scalars,
-            scalars: RwLock::new(scalars),
+            scalar_base,
+            scalar_slots,
         })
     }
 
@@ -208,17 +266,10 @@ impl<'m> Store<'m> {
             .unwrap_or_else(|| panic!("array `{}` not allocated", self.module.data[id].name))
     }
 
+    /// Read scalar `field` of `id` — two atomic loads, no lock.
     pub fn read_scalar(&self, id: DataId, field: usize) -> Value {
-        if field == 0 {
-            if let Some(v) = self.param_scalars.get(&id) {
-                return *v;
-            }
-        }
-        self.scalars
+        self.scalar_slots[self.scalar_base[id.index()] as usize + field]
             .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&(id, field))
-            .copied()
             .unwrap_or_else(|| {
                 panic!(
                     "scalar `{}` read before definition",
@@ -228,10 +279,7 @@ impl<'m> Store<'m> {
     }
 
     pub fn write_scalar(&self, id: DataId, field: usize, v: Value) {
-        self.scalars
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert((id, field), v);
+        self.scalar_slots[self.scalar_base[id.index()] as usize + field].write(v);
     }
 
     /// Extract results into [`Outputs`].
@@ -267,6 +315,24 @@ mod tests {
         let env = inputs.param_env();
         assert_eq!(env.get(&Symbol::intern("n")), Some(&5));
         assert!(!env.contains_key(&Symbol::intern("x")), "reals not affine");
+    }
+
+    #[test]
+    fn scalar_slots_round_trip_all_types() {
+        let s = ScalarSlot::default();
+        assert_eq!(s.read(), None, "unset slot reads as None");
+        s.write(Value::Int(-42));
+        assert_eq!(s.read(), Some(Value::Int(-42)));
+        s.write(Value::Real(-0.5));
+        assert_eq!(s.read(), Some(Value::Real(-0.5)));
+        s.write(Value::Bool(true));
+        assert_eq!(s.read(), Some(Value::Bool(true)));
+        // NaN bits survive the round trip (no Value comparison: NaN != NaN).
+        s.write(Value::Real(f64::NAN));
+        match s.read() {
+            Some(Value::Real(r)) => assert!(r.is_nan()),
+            other => panic!("expected NaN, got {other:?}"),
+        }
     }
 
     #[test]

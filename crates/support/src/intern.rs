@@ -2,12 +2,17 @@
 //!
 //! Identifiers flow through every stage of the compiler (AST, HIR, dependency
 //! graph, scheduler, code generator), so they are interned once into
-//! copyable [`Symbol`]s. The interner is a process-global table guarded by a
-//! `std::sync::RwLock`; resolving a `Symbol` back to `&'static str` takes
-//! the (uncontended) read lock on each call.
+//! copyable [`Symbol`]s. Deduplication still goes through a `RwLock`-guarded
+//! map (interning a *new* string is rare after startup), but resolution is
+//! lock-free: [`Symbol::as_str`] is an index load from an append-only
+//! segmented arena, so rendering, `Display` and `Ord` comparisons never
+//! touch a lock.
 
 use crate::fxhash::FxHashMap;
+use std::cell::UnsafeCell;
 use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 use std::sync::{OnceLock, RwLock};
 
 /// An interned string. Cheap to copy, hash and compare; ordering compares the
@@ -15,9 +20,52 @@ use std::sync::{OnceLock, RwLock};
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Symbol(u32);
 
+/// First segment holds `1 << SEG0_BITS` entries; each next segment doubles.
+const SEG0_BITS: u32 = 6;
+/// 26 doubling segments cover the whole `u32` id space.
+const N_SEGMENTS: usize = 26;
+
+type Slot = UnsafeCell<MaybeUninit<&'static str>>;
+
+/// Append-only symbol arena: segment `k` is a lazily allocated, never-freed
+/// block of `64 << k` slots. A slot is written exactly once — under the
+/// interner write lock, *before* its id is published — and never moves, so
+/// readers can dereference it without synchronizing with writers beyond the
+/// `Acquire` load of the segment pointer.
+struct Arena {
+    segments: [AtomicPtr<Slot>; N_SEGMENTS],
+    /// Ids below this are initialized (`Release`-published after the slot
+    /// write; the happens-before edge for readers is carried both by this
+    /// counter and by whatever channel handed them the `Symbol`).
+    published: AtomicU32,
+}
+
+// SAFETY: slots are written once before publication and never mutated after;
+// all cross-thread access to a slot is ordered by the publication edge.
+unsafe impl Sync for Arena {}
+
+static ARENA: Arena = Arena {
+    segments: [const { AtomicPtr::new(std::ptr::null_mut()) }; N_SEGMENTS],
+    published: AtomicU32::new(0),
+};
+
+/// Map an id to its (segment, offset) pair.
+#[inline]
+fn locate(id: u32) -> (usize, usize) {
+    let n = id + (1 << SEG0_BITS);
+    let k = 31 - n.leading_zeros();
+    ((k - SEG0_BITS) as usize, (n - (1u32 << k)) as usize)
+}
+
+/// Slot count of segment `seg`.
+#[inline]
+fn seg_len(seg: usize) -> usize {
+    1usize << (seg as u32 + SEG0_BITS)
+}
+
+/// Deduplication map (string → id). Only [`Symbol::intern`] takes this lock.
 struct Interner {
     map: FxHashMap<&'static str, u32>,
-    strings: Vec<&'static str>,
 }
 
 fn interner() -> &'static RwLock<Interner> {
@@ -25,7 +73,6 @@ fn interner() -> &'static RwLock<Interner> {
     INTERNER.get_or_init(|| {
         RwLock::new(Interner {
             map: FxHashMap::default(),
-            strings: Vec::new(),
         })
     })
 }
@@ -47,15 +94,43 @@ impl Symbol {
         // Leaking is bounded by the set of distinct identifiers in the
         // session; this is the standard rustc-style interner trade-off.
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = guard.strings.len() as u32;
-        guard.strings.push(leaked);
+        let id = ARENA.published.load(Ordering::Relaxed);
+        let (seg, off) = locate(id);
+        let mut seg_ptr = ARENA.segments[seg].load(Ordering::Acquire);
+        if seg_ptr.is_null() {
+            // First id of this segment: allocate it (we hold the write
+            // lock, so no other thread races this store).
+            let block: Box<[Slot]> = (0..seg_len(seg))
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect();
+            seg_ptr = Box::leak(block).as_mut_ptr();
+            ARENA.segments[seg].store(seg_ptr, Ordering::Release);
+        }
+        // SAFETY: `off < seg_len(seg)` by construction of `locate`, and no
+        // reader can hold id yet (it is published below).
+        unsafe {
+            (*seg_ptr.add(off)).get().write(MaybeUninit::new(leaked));
+        }
+        ARENA.published.store(id + 1, Ordering::Release);
         guard.map.insert(leaked, id);
         Symbol(id)
     }
 
-    /// Resolve back to the interned string.
+    /// Resolve back to the interned string — a lock-free arena load.
     pub fn as_str(&self) -> &'static str {
-        interner().read().unwrap_or_else(|e| e.into_inner()).strings[self.0 as usize]
+        let (seg, off) = locate(self.0);
+        debug_assert!(
+            self.0 < ARENA.published.load(Ordering::Acquire),
+            "symbol id {} outside the published arena",
+            self.0
+        );
+        let seg_ptr = ARENA.segments[seg].load(Ordering::Acquire);
+        debug_assert!(!seg_ptr.is_null());
+        // SAFETY: a `Symbol` can only be obtained from `intern`, which
+        // initializes the slot and publishes the id before returning; the
+        // channel that delivered the symbol to this thread carries the
+        // happens-before edge to that write.
+        unsafe { (*seg_ptr.add(off)).get().read().assume_init() }
     }
 
     /// The raw interner index (stable within a process run only).
@@ -135,5 +210,69 @@ mod tests {
             .collect();
         let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn locate_maps_segment_boundaries() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(63), (0, 63));
+        assert_eq!(locate(64), (1, 0));
+        assert_eq!(locate(191), (1, 127));
+        assert_eq!(locate(192), (2, 0));
+        // Every id maps inside its segment, and consecutive ids are
+        // contiguous within a segment.
+        for id in 0..100_000u32 {
+            let (seg, off) = locate(id);
+            assert!(off < seg_len(seg), "id {id}: off {off} seg {seg}");
+        }
+    }
+
+    #[test]
+    fn arena_survives_segment_growth() {
+        // Intern enough distinct strings to force several segment
+        // allocations, then resolve all of them back.
+        let syms: Vec<(Symbol, String)> = (0..300)
+            .map(|i| {
+                let s = format!("growth_test_{i}");
+                (Symbol::intern(&s), s)
+            })
+            .collect();
+        for (sym, s) in &syms {
+            assert_eq!(sym.as_str(), s);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        // Writers intern fresh strings while readers resolve existing
+        // symbols; exercises the publication ordering under load.
+        let base: Vec<Symbol> = (0..64)
+            .map(|i| Symbol::intern(&format!("rw_base_{i}")))
+            .collect();
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let s = format!("rw_new_{t}_{i}");
+                        assert_eq!(Symbol::intern(&s).as_str(), s);
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let base = base.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        for (i, s) in base.iter().enumerate() {
+                            assert_eq!(s.as_str(), format!("rw_base_{i}"));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
     }
 }

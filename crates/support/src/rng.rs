@@ -1,11 +1,17 @@
 //! A tiny deterministic pseudo-random generator for property tests and
-//! synthetic workloads.
+//! synthetic workloads, plus a shrinking property-check driver.
 //!
 //! The workspace is std-only, so instead of `proptest`/`rand` the property
 //! suites drive themselves from this seeded linear congruential generator
 //! (Knuth's MMIX constants) with an xorshift output scramble. Determinism
 //! is the point: every test run explores exactly the same cases, and a
 //! failing case can be reported by its seed and index alone.
+//!
+//! [`check`] adds the missing proptest feature: when a case fails, it
+//! greedily applies caller-provided shrink candidates (see [`shrink_vec`]
+//! for the standard halving + index-bisection sequence) until none fails,
+//! then panics with the minimized case and the exact [`Lcg::state`] that
+//! replays the original.
 
 /// Seeded linear congruential generator.
 ///
@@ -27,6 +33,20 @@ impl Lcg {
         };
         lcg.next_u64();
         lcg
+    }
+
+    /// The raw generator state. Capture it before generating a case and the
+    /// case can be replayed exactly with [`Lcg::from_state`], without
+    /// re-running the stream from the seed.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Resume from a state captured with [`Lcg::state`]. Unlike
+    /// [`Lcg::new`], no scrambling is applied: `from_state(g.state())`
+    /// continues exactly where `g` was.
+    pub fn from_state(state: u64) -> Lcg {
+        Lcg { state }
     }
 
     /// Next raw 64-bit value.
@@ -99,6 +119,153 @@ impl Lcg {
     }
 }
 
+/// A property outcome: `Ok(())` or a failure description.
+pub type PropResult = Result<(), String>;
+
+/// Cap on greedy shrink steps, so a pathological shrink function cannot
+/// loop forever.
+const MAX_SHRINK_STEPS: usize = 10_000;
+
+/// Run `cases` deterministic cases of `gen` against `prop`; on failure,
+/// greedily shrink before panicking.
+///
+/// * `gen` draws one case from the stream — the same closure the
+///   non-shrinking suites already use, so adopting `check` does not change
+///   which cases run.
+/// * `shrink` proposes strictly simpler variants of a failing case (see
+///   [`shrink_vec`]); return an empty vector for atomic cases.
+/// * `prop` checks one case. Panics inside the property are caught and
+///   treated as failures, so `assert!`-style properties shrink too.
+///
+/// The final panic message names the failing case index, the minimized
+/// case, both failure messages, and the `Lcg` state that replays the
+/// original case via [`Lcg::from_state`].
+pub fn check<T, G, S, P>(seed: u64, cases: usize, gen: G, shrink: S, prop: P)
+where
+    T: Clone + std::fmt::Debug,
+    G: Fn(&mut Lcg) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> PropResult,
+{
+    let run = |value: &T| -> PropResult {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(value))) {
+            Ok(r) => r,
+            Err(payload) => Err(panic_message(payload)),
+        }
+    };
+    let mut rng = Lcg::new(seed);
+    for case in 0..cases {
+        let state = rng.state();
+        let value = gen(&mut rng);
+        let Err(original_failure) = run(&value) else {
+            continue;
+        };
+        // Greedy descent: take the first failing candidate, repeat from it.
+        // The default panic hook is silenced for the duration — every
+        // failing probe is a *caught* panic, and hundreds of backtraces
+        // would bury the final minimized report (proptest does the same).
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut minimized = value.clone();
+        let mut min_failure = original_failure.clone();
+        let mut steps = 0;
+        'descent: while steps < MAX_SHRINK_STEPS {
+            for cand in shrink(&minimized) {
+                if let Err(msg) = run(&cand) {
+                    minimized = cand;
+                    min_failure = msg;
+                    steps += 1;
+                    continue 'descent;
+                }
+            }
+            break;
+        }
+        std::panic::set_hook(prev_hook);
+        panic!(
+            "property failed at case {case}/{cases} (seed {seed:#x})\n\
+             original case: {value:?}\n\
+             original failure: {original_failure}\n\
+             minimized case ({steps} shrink steps): {minimized:?}\n\
+             minimized failure: {min_failure}\n\
+             repro: regenerate with Lcg::from_state({state:#x})"
+        );
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Standard shrink candidates for a vector-shaped case, in the order the
+/// greedy driver should try them:
+///
+/// 1. **Halving**: the back half, then the front half (cuts case size
+///    exponentially while a half still fails);
+/// 2. **Index bisection**: single-element removals, visiting indices in
+///    binary-subdivision order (middle first, then quarter points, ...) so
+///    the culprit element is isolated in `O(log n)` failing probes once
+///    halving stalls.
+///
+/// Candidates shorter than `min_len` are not proposed.
+pub fn shrink_vec<T: Clone>(v: &[T], min_len: usize) -> Vec<Vec<T>> {
+    let n = v.len();
+    let mut out = Vec::new();
+    if n > min_len {
+        if n / 2 >= min_len && n >= 2 {
+            out.push(v[n / 2..].to_vec());
+            out.push(v[..n.div_ceil(2)].to_vec());
+        }
+        if n - 1 >= min_len {
+            for i in bisection_order(n) {
+                let mut smaller = v.to_vec();
+                smaller.remove(i);
+                out.push(smaller);
+            }
+        }
+    }
+    out
+}
+
+/// Indices `0..n` in binary-subdivision order: midpoint first, then the
+/// midpoints of each half, and so on.
+fn bisection_order(n: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    if n > 0 {
+        queue.push_back((0, n));
+    }
+    while let Some((lo, hi)) = queue.pop_front() {
+        let mid = (lo + hi) / 2;
+        order.push(mid);
+        if mid > lo {
+            queue.push_back((lo, mid));
+        }
+        if mid + 1 < hi {
+            queue.push_back((mid + 1, hi));
+        }
+    }
+    order
+}
+
+/// Shrink candidates for a bounded integer: pull toward `lo`
+/// (the "smallest" legal value) by halving the distance.
+pub fn shrink_int(v: i64, lo: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut d = v - lo;
+    while d != 0 {
+        out.push(lo + d / 2);
+        d /= 2;
+    }
+    out.dedup();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +321,124 @@ mod tests {
             let v = r.vec_of(0, 4, |r| r.int(0, 9));
             assert!(v.len() <= 4);
         }
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut a = Lcg::new(123);
+        a.next_u64();
+        a.next_u64();
+        let snap = a.state();
+        let from_a: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let mut b = Lcg::from_state(snap);
+        let from_b: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_eq!(from_a, from_b, "from_state resumes the exact stream");
+    }
+
+    #[test]
+    fn bisection_order_is_a_permutation() {
+        for n in [0usize, 1, 2, 3, 7, 8, 100] {
+            let mut order = bisection_order(n);
+            assert_eq!(order.len(), n);
+            order.sort();
+            assert_eq!(order, (0..n).collect::<Vec<_>>());
+        }
+        // Midpoint first.
+        assert_eq!(bisection_order(8)[0], 4);
+    }
+
+    #[test]
+    fn shrink_vec_respects_min_len_and_halves_first() {
+        let v = [1, 2, 3, 4, 5, 6];
+        let cands = shrink_vec(&v, 1);
+        assert_eq!(cands[0], vec![4, 5, 6], "back half first");
+        assert_eq!(cands[1], vec![1, 2, 3], "front half second");
+        assert!(cands.iter().all(|c| c.len() >= 1));
+        // Single-element removals follow.
+        assert!(cands[2..].iter().all(|c| c.len() == 5));
+        // At min_len, nothing is proposed.
+        assert!(shrink_vec(&[1], 1).is_empty());
+        assert!(shrink_vec::<i32>(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn shrink_int_pulls_toward_lo() {
+        assert_eq!(shrink_int(9, 1), vec![5, 3, 2, 1]);
+        assert!(shrink_int(1, 1).is_empty());
+        let toward_zero = shrink_int(100, 0);
+        assert_eq!(toward_zero.first(), Some(&50));
+        assert_eq!(toward_zero.last(), Some(&0));
+    }
+
+    #[test]
+    fn check_passes_quietly_on_true_property() {
+        check(
+            7,
+            50,
+            |r| r.vec_of(0, 8, |r| r.int(0, 9)),
+            |v| shrink_vec(v, 0),
+            |v| {
+                if v.iter().all(|&x| x < 10) {
+                    Ok(())
+                } else {
+                    Err("impossible".into())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn check_shrinks_to_a_minimal_counterexample() {
+        // Property: no element is >= 100. The generator eventually emits
+        // one; shrinking must isolate it as a single-element vector.
+        let outcome = std::panic::catch_unwind(|| {
+            check(
+                42,
+                200,
+                |r| r.vec_of(0, 12, |r| r.int(0, 120)),
+                |v| shrink_vec(v, 0),
+                |v: &Vec<i64>| {
+                    if let Some(&bad) = v.iter().find(|&&x| x >= 100) {
+                        Err(format!("element {bad} out of range"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = panic_message(outcome.expect_err("property must fail"));
+        assert!(msg.contains("minimized case"), "{msg}");
+        assert!(
+            msg.contains("repro: regenerate with Lcg::from_state"),
+            "{msg}"
+        );
+        // The minimized vector has exactly one element (the culprit).
+        let min_line = msg
+            .lines()
+            .find(|l| l.contains("minimized case"))
+            .unwrap()
+            .to_string();
+        let commas = min_line.matches(", ").count();
+        assert_eq!(commas, 0, "single-element minimum: {min_line}");
+    }
+
+    #[test]
+    fn check_catches_panicking_properties() {
+        let outcome = std::panic::catch_unwind(|| {
+            check(
+                1,
+                20,
+                |r| r.int(0, 50),
+                |&v| shrink_int(v, 0),
+                |&v| {
+                    assert!(v < 40, "too big: {v}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = panic_message(outcome.expect_err("assert inside prop must fail"));
+        assert!(msg.contains("panic: too big"), "{msg}");
+        // shrink_int pulls to the boundary value 40.
+        assert!(msg.contains("minimized"), "{msg}");
     }
 }

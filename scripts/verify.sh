@@ -5,7 +5,9 @@
 #   scripts/verify.sh
 #
 # Runs: release build, the full test suite (unit + integration + doc),
-# the benchmark smoke pass (structural figure assertions), and rustfmt.
+# the executor schedule-stress suite (explicitly, so a pool regression
+# names itself), the benchmark smoke pass (structural figure assertions),
+# a bench-JSON smoke step, docs with warnings denied, and rustfmt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,8 +17,23 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+echo "==> cargo test -q --offline --test executor_stress (exactly-once accounting)"
+cargo test -q --offline --test executor_stress
+
 echo "==> cargo test -q --offline --benches (smoke: figure assertions)"
 cargo test -q --offline --benches
+
+echo "==> bench-JSON smoke (exec_dispatch, reduced sampling)"
+# Absolute path: cargo runs bench binaries with the package dir as cwd.
+json_out="$PWD/target/bench_smoke.json"
+rm -f "$json_out"
+PS_BENCH_WARMUP=1 PS_BENCH_SAMPLES=2 \
+    cargo bench --offline --bench exec_dispatch -- --bench-json "$json_out" >/dev/null
+grep -q '"benchmarks"' "$json_out" && grep -q '"median_ns"' "$json_out" \
+    || { echo "bench-json smoke: $json_out missing expected fields" >&2; exit 1; }
+
+echo "==> cargo doc --offline --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -q
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -3,13 +3,16 @@
 //! replay validator, or reports a clean `NotSchedulable` error — it must
 //! never emit an invalid schedule.
 //!
-//! Driven by a seeded LCG (no `proptest`): the same 48 stencil and 24 grid
-//! programs replay on every run; a failure names its case index and source.
+//! Driven by the shrinking `ps_support::rng::check` harness (no
+//! `proptest`): the same 48 stencil and 24 grid programs replay on every
+//! run; a failure is greedily minimized (offset vectors halved, then
+//! bisected) and reported with the `Lcg` state that replays it.
 
 use ps_core::{
     compile, execute, run_naive, CompileError, CompileOptions, Inputs, RuntimeOptions, Sequential,
     ThreadPool,
 };
+use ps_support::rng::{check, shrink_vec};
 use ps_support::{FxHashMap, Lcg, Symbol};
 
 /// A randomly generated 1-D two-array stencil program.
@@ -83,14 +86,38 @@ fn arb_stencil(rng: &mut Lcg) -> StencilProgram {
     p
 }
 
+/// Shrink candidates: thin out each offset vector (the recursive `a_self`
+/// list must stay nonempty), recomputing the derived init-plane count.
+fn shrink_stencil(p: &StencilProgram) -> Vec<StencilProgram> {
+    let rebuild = |a_self: Vec<i64>, a_from_b: Vec<i64>, b_from_a: Vec<i64>| {
+        let mut q = StencilProgram {
+            a_self,
+            a_from_b,
+            b_from_a,
+            init_planes: 0,
+        };
+        q.init_planes = q.max_offset();
+        q
+    };
+    let mut out = Vec::new();
+    for cand in shrink_vec(&p.a_self, 1) {
+        out.push(rebuild(cand, p.a_from_b.clone(), p.b_from_a.clone()));
+    }
+    for cand in shrink_vec(&p.a_from_b, 0) {
+        out.push(rebuild(p.a_self.clone(), cand, p.b_from_a.clone()));
+    }
+    for cand in shrink_vec(&p.b_from_a, 0) {
+        out.push(rebuild(p.a_self.clone(), p.a_from_b.clone(), cand));
+    }
+    out
+}
+
 /// Whatever the offsets, the schedule validates and the scheduled
 /// interpreter agrees with the oracle (b[K] reading a[K] same-iteration
 /// is legal: a's equation runs first inside the fused component).
 #[test]
 fn random_stencils_schedule_correctly() {
-    let mut rng = Lcg::new(0x5c11ed0);
-    for case in 0..48 {
-        let prog = arb_stencil(&mut rng);
+    check(0x5c11ed0, 48, arb_stencil, shrink_stencil, |prog| {
         let src = prog.source();
         let n = 8 + prog.max_offset();
         match compile(&src, CompileOptions::default()) {
@@ -99,7 +126,7 @@ fn random_stencils_schedule_correctly() {
                 let mut params = FxHashMap::default();
                 params.insert(Symbol::intern("n"), n);
                 ps_core::validate_flowchart(&comp.module, &comp.schedule.flowchart, &params)
-                    .expect("schedule must validate");
+                    .map_err(|e| format!("schedule must validate: {e:?}\n{src}"))?;
 
                 // 2. Scheduled execution (with the write checker) matches
                 //    the demand-driven oracle.
@@ -110,21 +137,23 @@ fn random_stencils_schedule_correctly() {
                     &Sequential,
                     RuntimeOptions { check_writes: true },
                 )
-                .expect("runs");
-                let oracle = run_naive(&comp.module, &inputs).expect("oracle runs");
+                .map_err(|e| format!("runs: {e}\n{src}"))?;
+                let oracle =
+                    run_naive(&comp.module, &inputs).map_err(|e| format!("oracle: {e}\n{src}"))?;
                 let s = scheduled.scalar("y").as_real();
                 let o = oracle.scalar("y").as_real();
-                assert!(
-                    (s - o).abs() < 1e-9,
-                    "case {case}: scheduled {s} vs oracle {o}\n{src}"
-                );
+                if (s - o).abs() >= 1e-9 {
+                    return Err(format!("scheduled {s} vs oracle {o}\n{src}"));
+                }
+                Ok(())
             }
             Err(CompileError::Schedule(_)) => {
                 // Clean refusal is acceptable (e.g. same-iteration cycles).
+                Ok(())
             }
-            Err(other) => panic!("case {case}: {other}\n{src}"),
+            Err(other) => Err(format!("{other}\n{src}")),
         }
-    }
+    });
 }
 
 /// Random 2-D grid programs built from a safe offset menu: always
@@ -179,15 +208,22 @@ impl GridProgram {
 
 #[test]
 fn random_grids_parallel_equals_oracle() {
-    let mut rng = Lcg::new(0x5c11ed1);
-    for case in 0..24 {
-        let prog = arb_grid(&mut rng);
+    let shrink = |p: &GridProgram| {
+        shrink_vec(&p.prev_reads, 1)
+            .into_iter()
+            .map(|prev_reads| GridProgram { prev_reads })
+            .collect()
+    };
+    check(0x5c11ed1, 24, arb_grid, shrink, |prog| {
         let src = prog.source();
-        let comp = compile(&src, CompileOptions::default()).expect("schedulable");
+        let comp = compile(&src, CompileOptions::default()).map_err(|e| format!("{e}\n{src}"))?;
         // Jacobi shape: outer DO, inner DOALLs.
         let (do_n, doall_n) = comp.schedule.flowchart.loop_counts();
-        assert_eq!(do_n, 1, "case {case}\n{src}");
-        assert!(doall_n >= 4, "case {case}\n{src}");
+        if do_n != 1 || doall_n < 4 {
+            return Err(format!(
+                "unexpected shape {do_n} DO / {doall_n} DOALL\n{src}"
+            ));
+        }
 
         let m = 5i64;
         let side = (m + 2) as usize;
@@ -197,9 +233,13 @@ fn random_grids_parallel_equals_oracle() {
             ps_core::OwnedArray::real(vec![(0, m + 1), (0, m + 1)], data),
         );
         let pool = ThreadPool::new(3);
-        let par = execute(&comp, &inputs, &pool, RuntimeOptions::default()).expect("parallel");
-        let oracle = run_naive(&comp.module, &inputs).expect("oracle");
+        let par = execute(&comp, &inputs, &pool, RuntimeOptions::default())
+            .map_err(|e| format!("parallel: {e}\n{src}"))?;
+        let oracle = run_naive(&comp.module, &inputs).map_err(|e| format!("oracle: {e}\n{src}"))?;
         let diff = par.array("out").max_abs_diff(oracle.array("out"));
-        assert!(diff < 1e-9, "case {case}: diff {diff}\n{src}");
-    }
+        if diff >= 1e-9 {
+            return Err(format!("diff {diff}\n{src}"));
+        }
+        Ok(())
+    });
 }

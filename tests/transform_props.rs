@@ -2,8 +2,10 @@
 //! unimodular completion on random dependence sets, and the full transform
 //! on random Gauss–Seidel-like stencils.
 //!
-//! Driven by a seeded LCG (no `proptest`): each property replays the same
-//! cases (64 solver, 64 completion, 16 stencil) on every run.
+//! Driven by the shrinking `ps_support::rng::check` harness (no
+//! `proptest`): each property replays the same cases (64 solver, 64
+//! completion, 16 stencil) on every run, and failures are minimized by
+//! halving/bisecting the dependence or offset lists before reporting.
 
 use ps_core::{
     compile, execute, execute_transformed, CompileOptions, Inputs, RuntimeOptions, Sequential,
@@ -11,6 +13,7 @@ use ps_core::{
 };
 use ps_hyperplane::imat::unimodular_completion;
 use ps_hyperplane::solve_time_vector;
+use ps_support::rng::{check, shrink_vec};
 use ps_support::Lcg;
 
 /// Dependence vectors guaranteed feasible: each has a strictly positive
@@ -30,62 +33,82 @@ fn feasible_deps(rng: &mut Lcg, dims: usize) -> Vec<Vec<i64>> {
 /// and is sum-minimal (no vector with a smaller coefficient sum works).
 #[test]
 fn solver_is_sound_and_minimal() {
-    let mut rng = Lcg::new(0x44f0);
-    for case in 0..64 {
-        let deps = feasible_deps(&mut rng, 3);
-        let pi = solve_time_vector(&deps).expect("feasible by construction");
-        assert!(pi.iter().all(|&c| c >= 0), "case {case}");
-        for d in &deps {
-            let dot: i64 = pi.iter().zip(d).map(|(a, b)| a * b).sum();
-            assert!(dot >= 1, "case {case}: pi {pi:?} fails {d:?}");
-        }
-        // Minimality: brute-force all vectors with smaller sum.
-        let sum: i64 = pi.iter().sum();
-        for a in 0..sum {
-            for b in 0..(sum - a) {
-                let c = sum - 1 - a - b;
-                if c < 0 {
-                    continue;
-                }
-                let cand = [a, b, c];
-                let ok = deps
-                    .iter()
-                    .all(|d| cand.iter().zip(d).map(|(x, y)| x * y).sum::<i64>() >= 1);
-                assert!(
-                    !ok,
-                    "case {case}: smaller vector {cand:?} also works (pi {pi:?})"
-                );
+    check(
+        0x44f0,
+        64,
+        |rng| feasible_deps(rng, 3),
+        |deps| shrink_vec(deps, 1),
+        |deps| {
+            let pi =
+                solve_time_vector(deps).map_err(|e| format!("feasible by construction: {e:?}"))?;
+            if pi.iter().any(|&c| c < 0) {
+                return Err(format!("negative coefficient in {pi:?}"));
             }
-        }
-    }
+            for d in deps {
+                let dot: i64 = pi.iter().zip(d).map(|(a, b)| a * b).sum();
+                if dot < 1 {
+                    return Err(format!("pi {pi:?} fails {d:?}"));
+                }
+            }
+            // Minimality: brute-force all vectors with smaller sum.
+            let sum: i64 = pi.iter().sum();
+            for a in 0..sum {
+                for b in 0..(sum - a) {
+                    let c = sum - 1 - a - b;
+                    if c < 0 {
+                        continue;
+                    }
+                    let cand = [a, b, c];
+                    let ok = deps
+                        .iter()
+                        .all(|d| cand.iter().zip(d).map(|(x, y)| x * y).sum::<i64>() >= 1);
+                    if ok {
+                        return Err(format!("smaller vector {cand:?} also works (pi {pi:?})"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Unimodular completion: first row is pi, |det| = 1, exact inverse.
 #[test]
 fn completion_is_unimodular() {
-    let mut rng = Lcg::new(0x44f1);
-    for case in 0..64 {
-        let deps = feasible_deps(&mut rng, 4);
-        let pi = solve_time_vector(&deps).expect("feasible");
-        // The solver result may share a factor only if gcd > 1 is optimal —
-        // the minimal solution always has gcd 1 (dividing by the gcd keeps
-        // all inequalities, contradicting minimality otherwise).
-        let t = unimodular_completion(&pi);
-        assert_eq!(t.row(0), pi.as_slice(), "case {case}");
-        let det = t.det();
-        assert!(det == 1 || det == -1, "case {case}");
-        let inv = t.unimodular_inverse();
-        let prod = t.mul(&inv);
-        for i in 0..4 {
-            for j in 0..4 {
-                assert_eq!(prod[(i, j)], i64::from(i == j), "case {case}");
+    check(
+        0x44f1,
+        64,
+        |rng| feasible_deps(rng, 4),
+        |deps| shrink_vec(deps, 1),
+        |deps| {
+            let pi = solve_time_vector(deps).map_err(|e| format!("feasible: {e:?}"))?;
+            // The solver result may share a factor only if gcd > 1 is optimal —
+            // the minimal solution always has gcd 1 (dividing by the gcd keeps
+            // all inequalities, contradicting minimality otherwise).
+            let t = unimodular_completion(&pi);
+            assert_eq!(t.row(0), pi.as_slice());
+            let det = t.det();
+            if det != 1 && det != -1 {
+                return Err(format!("det {det} not unimodular (pi {pi:?})"));
             }
-        }
-        // Every transformed dependence moves strictly forward in time.
-        for d in &deps {
-            assert!(t.mul_vec(d)[0] >= 1, "case {case}");
-        }
-    }
+            let inv = t.unimodular_inverse();
+            let prod = t.mul(&inv);
+            for i in 0..4 {
+                for j in 0..4 {
+                    if prod[(i, j)] != i64::from(i == j) {
+                        return Err(format!("T * T^-1 != I at ({i},{j})"));
+                    }
+                }
+            }
+            // Every transformed dependence moves strictly forward in time.
+            for d in deps {
+                if t.mul_vec(d)[0] < 1 {
+                    return Err(format!("dependence {d:?} not time-forward"));
+                }
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Random Gauss–Seidel-style stencils: mix of same-iteration reads from the
@@ -141,14 +164,31 @@ impl GsProgram {
     }
 }
 
+/// Shrink candidates: thin out the same-iteration and previous-iteration
+/// read lists (both stay nonempty, preserving the Gauss–Seidel shape).
+fn shrink_gs(p: &GsProgram) -> Vec<GsProgram> {
+    let mut out = Vec::new();
+    for current in shrink_vec(&p.current, 1) {
+        out.push(GsProgram {
+            current,
+            previous: p.previous.clone(),
+        });
+    }
+    for previous in shrink_vec(&p.previous, 1) {
+        out.push(GsProgram {
+            current: p.current.clone(),
+            previous,
+        });
+    }
+    out
+}
+
 /// The windowed wavefront transform preserves semantics on random
 /// Gauss–Seidel stencils, sequentially and in parallel, with the write
 /// checker enabled.
 #[test]
 fn random_gs_transform_preserves_semantics() {
-    let mut rng = Lcg::new(0x44f2);
-    for case in 0..16 {
-        let prog = arb_gs(&mut rng);
+    check(0x44f2, 16, arb_gs, shrink_gs, |prog| {
         let src = prog.source();
         let comp = compile(
             &src,
@@ -157,11 +197,13 @@ fn random_gs_transform_preserves_semantics() {
                 ..Default::default()
             },
         )
-        .expect("transformable");
+        .map_err(|e| format!("transformable: {e}\n{src}"))?;
         let art = comp.transformed.as_ref().unwrap();
         // Legality: all transformed deps step forward in time.
         for d in &art.result.transformed_deps {
-            assert!(d[0] >= 1, "case {case}");
+            if d[0] < 1 {
+                return Err(format!("transformed dep {d:?} not time-forward\n{src}"));
+            }
         }
         // Window = 1 + max time offset.
         let max_t = art
@@ -171,7 +213,12 @@ fn random_gs_transform_preserves_semantics() {
             .map(|d| d[0])
             .max()
             .unwrap();
-        assert_eq!(art.result.window, 1 + max_t, "case {case}");
+        if art.result.window != 1 + max_t {
+            return Err(format!(
+                "window {} != 1 + max time offset {max_t}\n{src}",
+                art.result.window
+            ));
+        }
 
         let m = 5i64;
         let side = (m + 2) as usize;
@@ -180,22 +227,27 @@ fn random_gs_transform_preserves_semantics() {
             "init",
             ps_core::OwnedArray::real(vec![(0, m + 1), (0, m + 1)], data),
         );
-        let base =
-            execute(&comp, &inputs, &Sequential, RuntimeOptions::default()).expect("base runs");
+        let base = execute(&comp, &inputs, &Sequential, RuntimeOptions::default())
+            .map_err(|e| format!("base runs: {e}\n{src}"))?;
         let wave = execute_transformed(
             &comp,
             &inputs,
             &Sequential,
             RuntimeOptions { check_writes: true },
         )
-        .expect("wavefront runs");
+        .map_err(|e| format!("wavefront runs: {e}\n{src}"))?;
         let diff = base.array("out").max_abs_diff(wave.array("out"));
-        assert!(diff < 1e-9, "case {case}: diff {diff}\n{src}");
+        if diff >= 1e-9 {
+            return Err(format!("diff {diff}\n{src}"));
+        }
 
         let pool = ThreadPool::new(3);
         let wave_par = execute_transformed(&comp, &inputs, &pool, RuntimeOptions::default())
-            .expect("parallel wavefront runs");
+            .map_err(|e| format!("parallel wavefront runs: {e}\n{src}"))?;
         let pdiff = wave.array("out").max_abs_diff(wave_par.array("out"));
-        assert!(pdiff == 0.0, "case {case}");
-    }
+        if pdiff != 0.0 {
+            return Err(format!("parallel diff {pdiff}\n{src}"));
+        }
+        Ok(())
+    });
 }
