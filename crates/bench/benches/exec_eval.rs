@@ -1,0 +1,78 @@
+//! Perf D (PR 3): per-iteration evaluation cost of the two engines.
+//!
+//! PR 2 made region dispatch nearly free, so a DOALL iteration's cost is
+//! now the equation body itself. This bench times the same workloads under
+//! `Engine::TreeWalk` (recursive `HExpr` walk, tagged values, environment
+//! scans) and `Engine::Compiled` (typed register tape, strength-reduced
+//! subscripts) on the sequential executor, so the difference is pure
+//! per-iteration evaluation cost:
+//!
+//! * `jacobi/*` — Relaxation v1's guarded five-point stencil body
+//!   (Figure 6), the paper's flagship DOALL loop;
+//! * `wavefront/*` — the transformed Gauss–Seidel body (Section 4), whose
+//!   general affine subscripts (`K' - 2I' - J'`-style) are exactly the
+//!   addressing the strength reduction targets.
+//!
+//! Throughput is in grid cells. In smoke mode both engines run once and
+//! the outputs are asserted identical, so the bench doubles as a
+//! cross-engine regression test.
+
+use ps_bench::{compile_v1, compile_v2, relaxation_inputs, Harness};
+use ps_core::{execute, execute_transformed, Engine, RuntimeOptions, Sequential, StorageMode};
+
+fn opts(engine: Engine) -> RuntimeOptions {
+    RuntimeOptions {
+        engine,
+        ..Default::default()
+    }
+}
+
+const ENGINES: [(&str, Engine); 2] = [
+    ("compiled", Engine::Compiled),
+    ("treewalk", Engine::TreeWalk),
+];
+
+fn main() {
+    let mut g = Harness::new("exec_eval");
+
+    let v1 = compile_v1();
+    for &m in &[32i64, 64] {
+        let maxk = 8i64;
+        let inputs = relaxation_inputs(m, maxk);
+        let cells = ((m + 2) * (m + 2) * maxk) as u64;
+        let baseline = execute(&v1, &inputs, &Sequential, opts(Engine::TreeWalk)).unwrap();
+        for (name, engine) in ENGINES {
+            g.bench_with_elements(&format!("jacobi/{name}/{m}"), cells, || {
+                let out = execute(&v1, &inputs, &Sequential, opts(engine)).unwrap();
+                assert_eq!(
+                    out.array("newA").max_abs_diff(baseline.array("newA")),
+                    0.0,
+                    "engines must agree bitwise"
+                );
+                out
+            });
+        }
+    }
+
+    let v2 = compile_v2(Some(StorageMode::Windowed));
+    for &m in &[48i64] {
+        let maxk = 8i64;
+        let inputs = relaxation_inputs(m, maxk);
+        let cells = ((m + 2) * (m + 2) * maxk) as u64;
+        let baseline =
+            execute_transformed(&v2, &inputs, &Sequential, opts(Engine::TreeWalk)).unwrap();
+        for (name, engine) in ENGINES {
+            g.bench_with_elements(&format!("wavefront/{name}/{m}"), cells, || {
+                let out = execute_transformed(&v2, &inputs, &Sequential, opts(engine)).unwrap();
+                assert_eq!(
+                    out.array("newA").max_abs_diff(baseline.array("newA")),
+                    0.0,
+                    "engines must agree bitwise"
+                );
+                out
+            });
+        }
+    }
+
+    g.finish();
+}

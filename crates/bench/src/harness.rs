@@ -10,26 +10,52 @@
 //!   exactly once so the structural assertions in each bench file stay
 //!   part of the test suite, without paying for timing.
 //!
+//! Two accuracy mechanisms (full mode):
+//!
+//! * **Iteration batching** — a calibration run sizes a batch of `B`
+//!   closure calls per `Instant` sample so each sample is well above the
+//!   clock resolution; reported durations are per-iteration (`elapsed / B`).
+//!   Sub-microsecond benches (`solve_time_vector` and friends) would
+//!   otherwise sit at the timer floor.
+//! * **IQR outlier rejection** — samples outside
+//!   `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` (scheduler preemptions, page faults)
+//!   are discarded before min/median/max are taken; the JSON records how
+//!   many were rejected.
+//!
 //! Tuning knobs (full mode): `PS_BENCH_WARMUP` (default 3) and
-//! `PS_BENCH_SAMPLES` (default 15) iterations per benchmark.
+//! `PS_BENCH_SAMPLES` (default 15) samples per benchmark, and
+//! `PS_BENCH_BATCH` to force a fixed batch size (0 = auto-calibrate).
 //!
 //! Machine-readable output: pass `--bench-json <path>` (after `--` under
 //! `cargo bench`) and [`Harness::finish`] writes every measurement as a
-//! JSON document — name, samples, min/median/max in nanoseconds, and
-//! element throughput where declared — so CI can diff runs and track
-//! regressions. Smoke mode records its single run so the JSON pipeline
-//! itself can be exercised cheaply.
+//! JSON document — name, samples, batch, rejected-outlier count,
+//! min/median/max in nanoseconds, and element throughput where declared —
+//! so CI can diff runs and track regressions. Smoke mode records its
+//! single run so the JSON pipeline itself can be exercised cheaply.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-/// One summarised benchmark measurement.
+/// Target per-sample wall time the auto-calibrator aims for: comfortably
+/// above `Instant` resolution, small enough to keep full runs quick.
+const BATCH_TARGET: Duration = Duration::from_micros(200);
+
+/// Hard cap on the calibrated batch size.
+const BATCH_MAX: usize = 16_384;
+
+/// One summarised benchmark measurement. Durations are per iteration
+/// (batch-normalised); `samples` counts the measurements kept after
+/// outlier rejection and `rejected` those discarded by the IQR fence.
 #[derive(Clone, Copy, Debug)]
 pub struct Summary {
     pub min: Duration,
     pub median: Duration,
     pub max: Duration,
     pub samples: usize,
+    /// Closure invocations per timed sample.
+    pub batch: usize,
+    /// Samples discarded as IQR outliers.
+    pub rejected: usize,
 }
 
 /// One benchmark's row in the `--bench-json` report.
@@ -47,6 +73,8 @@ pub struct Harness {
     full: bool,
     warmup: usize,
     samples: usize,
+    /// Forced batch size (`PS_BENCH_BATCH`); 0 auto-calibrates per bench.
+    batch: usize,
     json_path: Option<String>,
     entries: Vec<JsonEntry>,
 }
@@ -74,6 +102,43 @@ pub fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// Size a batch so one sample spans roughly [`BATCH_TARGET`], given one
+/// timed run of the closure.
+fn calibrate_batch(once: Duration) -> usize {
+    if once >= BATCH_TARGET {
+        return 1;
+    }
+    let once_ns = once.as_nanos().max(1);
+    ((BATCH_TARGET.as_nanos() / once_ns).max(1) as usize).min(BATCH_MAX)
+}
+
+/// Drop samples outside the Tukey fences `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]`.
+/// Input must be sorted ascending; the result is never empty (the
+/// quartiles themselves always sit inside the fences).
+fn reject_outliers(sorted: &[Duration]) -> Vec<Duration> {
+    if sorted.len() < 4 {
+        return sorted.to_vec();
+    }
+    let q1 = sorted[sorted.len() / 4];
+    let q3 = sorted[(3 * sorted.len()) / 4];
+    let margin = {
+        let iqr = q3.saturating_sub(q1);
+        iqr + iqr / 2
+    };
+    let lo = q1.saturating_sub(margin);
+    let hi = q3.saturating_add(margin);
+    let kept: Vec<Duration> = sorted
+        .iter()
+        .copied()
+        .filter(|&t| t >= lo && t <= hi)
+        .collect();
+    if kept.is_empty() {
+        sorted.to_vec()
+    } else {
+        kept
+    }
+}
+
 impl Harness {
     /// Create a group. Mode is taken from the command line: `cargo bench`
     /// invokes bench binaries with `--bench`, `cargo test` does not. A
@@ -91,6 +156,10 @@ impl Harness {
             full,
             warmup: env_usize("PS_BENCH_WARMUP", 3),
             samples: env_usize("PS_BENCH_SAMPLES", 15),
+            batch: std::env::var("PS_BENCH_BATCH")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
             json_path,
             entries: Vec::new(),
         };
@@ -148,6 +217,8 @@ impl Harness {
                     median: once,
                     max: once,
                     samples: 1,
+                    batch: 1,
+                    rejected: 0,
                 },
                 elements,
             });
@@ -156,25 +227,44 @@ impl Harness {
         for _ in 0..self.warmup {
             black_box(f());
         }
+        // Calibrate the batch size off one timed run (which doubles as an
+        // extra warmup): fast closures get batched until a sample spans
+        // BATCH_TARGET, slow ones keep batch = 1.
+        let batch = if self.batch > 0 {
+            self.batch
+        } else {
+            let t0 = Instant::now();
+            black_box(f());
+            calibrate_batch(t0.elapsed())
+        };
         let mut times = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let t0 = Instant::now();
-            black_box(f());
-            times.push(t0.elapsed());
+            for _ in 0..batch {
+                black_box(f());
+            }
+            times.push(t0.elapsed() / batch as u32);
         }
         times.sort();
+        let kept = reject_outliers(&times);
+        let rejected = times.len() - kept.len();
         let s = Summary {
-            min: times[0],
-            median: times[times.len() / 2],
-            max: times[times.len() - 1],
-            samples: times.len(),
+            min: kept[0],
+            median: kept[kept.len() / 2],
+            max: kept[kept.len() - 1],
+            samples: kept.len(),
+            batch,
+            rejected,
         };
         println!(
-            "  {}/{label:<40} min {:>11}  median {:>11}  max {:>11}",
+            "  {}/{label:<40} min {:>11}  median {:>11}  max {:>11}  \
+             (batch {}, {} outliers)",
             self.group,
             fmt_duration(s.min),
             fmt_duration(s.median),
-            fmt_duration(s.max)
+            fmt_duration(s.max),
+            batch,
+            rejected
         );
         if let Some(elements) = elements {
             let secs = s.median.as_secs_f64();
@@ -211,11 +301,14 @@ impl Harness {
                 _ => "null".to_string(),
             };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"samples\": {}, \"min_ns\": {}, \
+                "    {{\"name\": \"{}\", \"samples\": {}, \"batch\": {}, \
+                 \"rejected_outliers\": {}, \"min_ns\": {}, \
                  \"median_ns\": {}, \"max_ns\": {}, \"elements\": {}, \
                  \"throughput_elems_per_s\": {}}}{}\n",
                 json_escape(&e.name),
                 s.samples,
+                s.batch,
+                s.rejected,
                 s.min.as_nanos(),
                 s.median.as_nanos(),
                 s.max.as_nanos(),
@@ -297,12 +390,48 @@ mod tests {
         assert!(doc.contains("\"elements\": null"));
         assert!(doc.contains("\"elements\": 1000"));
         assert!(doc.contains("\"samples\": 1"));
-        for key in ["min_ns", "median_ns", "max_ns", "throughput_elems_per_s"] {
+        for key in [
+            "min_ns",
+            "median_ns",
+            "max_ns",
+            "throughput_elems_per_s",
+            "batch",
+            "rejected_outliers",
+        ] {
             assert!(doc.contains(&format!("\"{key}\"")), "missing {key}\n{doc}");
         }
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn batch_calibration_targets_sample_floor() {
+        // Slow closures stay unbatched.
+        assert_eq!(calibrate_batch(Duration::from_millis(5)), 1);
+        assert_eq!(calibrate_batch(BATCH_TARGET), 1);
+        // A 100 ns closure needs ~2000 iterations to span 200 µs.
+        assert_eq!(calibrate_batch(Duration::from_nanos(100)), 2000);
+        // Zero-duration runs clamp at the cap instead of dividing by zero.
+        assert_eq!(calibrate_batch(Duration::ZERO), BATCH_MAX);
+    }
+
+    #[test]
+    fn iqr_rejection_drops_only_outliers() {
+        let ms = Duration::from_millis;
+        // Tight cluster plus one wild sample: the fence removes it.
+        let mut times: Vec<Duration> = (0..15).map(|i| ms(10 + i % 3)).collect();
+        times.push(ms(500));
+        times.sort();
+        let kept = reject_outliers(&times);
+        assert_eq!(kept.len(), 15, "exactly the wild sample goes");
+        assert!(kept.iter().all(|&t| t <= ms(12)));
+        // A uniform set survives untouched.
+        let flat = vec![ms(7); 9];
+        assert_eq!(reject_outliers(&flat).len(), 9);
+        // Tiny sets are passed through (quartiles are meaningless).
+        let few = vec![ms(1), ms(900)];
+        assert_eq!(reject_outliers(&few).len(), 2);
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub use ps_hyperplane::{
     StorageMode,
 };
 pub use ps_lang::{frontend, HirModule};
-pub use ps_runtime::{run_module, run_naive, Inputs, Outputs, OwnedArray, RuntimeOptions, Value};
+pub use ps_runtime::{
+    run_module, run_naive, Engine, Inputs, Outputs, OwnedArray, RuntimeOptions, Value,
+};
 pub use ps_scheduler::{
     schedule_module, validate_flowchart, Flowchart, MemoryPlan, PickPolicy, ScheduleOptions,
     ScheduleResult,

@@ -474,6 +474,82 @@ pub struct HirModule {
 }
 
 impl HirModule {
+    /// The *runtime* scalar type of a declared type: enumerations and
+    /// characters are carried as integers by the evaluators and the C
+    /// emitter, arrays report their element type. Records have no scalar
+    /// runtime type (fields are read individually via [`HExpr::ReadField`]).
+    pub fn runtime_scalar_ty(&self, ty: &Ty) -> ScalarTy {
+        match ty {
+            Ty::Scalar(ScalarTy::Char) => ScalarTy::Int,
+            Ty::Scalar(s) => *s,
+            Ty::Enum(_) => ScalarTy::Int,
+            Ty::Array { elem, .. } => {
+                if *elem == ScalarTy::Char {
+                    ScalarTy::Int
+                } else {
+                    *elem
+                }
+            }
+            Ty::Record(_) | Ty::Error => {
+                panic!("type {ty:?} has no scalar runtime representation")
+            }
+        }
+    }
+
+    /// Synthesize the runtime scalar type of `e`, a (sub)expression of
+    /// `eq`'s right-hand side.
+    ///
+    /// The checker guarantees every `HExpr` is scalar-typed and inserts
+    /// explicit [`HExpr::CastReal`] widenings, so the type is derivable
+    /// bottom-up without an environment. This is the type information an
+    /// ahead-of-time lowering (e.g. `ps-runtime`'s compiled engine, which
+    /// assigns every node a typed untagged register) needs from the front
+    /// end. Characters and enumeration values report [`ScalarTy::Int`],
+    /// matching their runtime representation.
+    pub fn expr_scalar_ty(&self, eq: &Equation, e: &HExpr) -> ScalarTy {
+        match e {
+            HExpr::Int(_) | HExpr::Char(_) | HExpr::EnumConst(..) | HExpr::Iv(_) => ScalarTy::Int,
+            HExpr::Real(_) | HExpr::CastReal(_) => ScalarTy::Real,
+            HExpr::Bool(_) => ScalarTy::Bool,
+            HExpr::ReadScalar(d) => self.runtime_scalar_ty(&self.data[*d].ty),
+            HExpr::ReadField(d, idx) => match &self.data[*d].ty {
+                Ty::Record(rid) => self.runtime_scalar_ty(&self.records[*rid].fields[*idx].1),
+                other => panic!("field read of non-record type {other:?}"),
+            },
+            HExpr::ReadArray { array, .. } => self.runtime_scalar_ty(&self.data[*array].ty),
+            HExpr::Binary { op, lhs, .. } => match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul => self.expr_scalar_ty(eq, lhs),
+                BinOp::Div => ScalarTy::Real,
+                BinOp::IntDiv | BinOp::Mod => ScalarTy::Int,
+                BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or => ScalarTy::Bool,
+            },
+            HExpr::Unary { op, operand } => match op {
+                UnOp::Neg => self.expr_scalar_ty(eq, operand),
+                UnOp::Not => ScalarTy::Bool,
+            },
+            // The checker widens arms to a common type, so any arm works;
+            // the `else` branch is always present.
+            HExpr::If { else_, .. } => self.expr_scalar_ty(eq, else_),
+            HExpr::Call { builtin, args } => match builtin {
+                Builtin::Abs | Builtin::Min | Builtin::Max => self.expr_scalar_ty(eq, &args[0]),
+                Builtin::Sqrt
+                | Builtin::Exp
+                | Builtin::Ln
+                | Builtin::Sin
+                | Builtin::Cos
+                | Builtin::RealFn => ScalarTy::Real,
+                Builtin::Trunc | Builtin::Round | Builtin::Ord => ScalarTy::Int,
+            },
+        }
+    }
+
     /// Look a data item up by name.
     pub fn data_by_name(&self, name: &str) -> Option<DataId> {
         let sym = Symbol::intern(name);
@@ -555,6 +631,34 @@ mod tests {
         assert_eq!(Builtin::lookup("nope"), None);
         assert_eq!(Builtin::Min.arity(), 2);
         assert_eq!(Builtin::Abs.arity(), 1);
+    }
+
+    #[test]
+    fn expr_scalar_ty_synthesis() {
+        let m = crate::frontend(
+            "T: module (n: int): [y: real];
+             type I = 1 .. n; Color = (red, green);
+             var a: array [I] of real; c: array [I] of int;
+             f: bool; col: Color;
+             define
+                a[I] = real(I) / 2.0 + 1.0;
+                c[I] = if I > 1 then I mod 2 else abs(I - 2);
+                f = a[1] < a[n];
+                col = green;
+                y = a[n] + real(c[n] + ord(col));
+             end T;",
+        )
+        .unwrap();
+        let rhs_ty = |label: &str| {
+            let id = m.equation_by_label(label).unwrap();
+            let eq = &m.equations[id];
+            m.expr_scalar_ty(eq, &eq.rhs)
+        };
+        assert_eq!(rhs_ty("eq.1"), ScalarTy::Real, "real arithmetic");
+        assert_eq!(rhs_ty("eq.2"), ScalarTy::Int, "if/mod/abs over ints");
+        assert_eq!(rhs_ty("eq.3"), ScalarTy::Bool, "comparison");
+        assert_eq!(rhs_ty("eq.4"), ScalarTy::Int, "enum carried as int");
+        assert_eq!(rhs_ty("eq.5"), ScalarTy::Real, "cast + call");
     }
 
     #[test]

@@ -1,0 +1,1762 @@
+//! The compiled evaluation engine: typed register bytecode.
+//!
+//! Once per [`crate::interp::run_module`] call, every equation scheduled in
+//! the flowchart is lowered to a flat postorder instruction tape over
+//! *typed, untagged* registers — separate `f64` / `i64` / `bool` files,
+//! with types synthesized ahead of time by `HirModule::expr_scalar_ty`. An
+//! iteration of a `DO`/`DOALL` body then executes as a non-recursive tape
+//! walk with direct buffer loads and stores:
+//!
+//! * **No tagged dispatch**: every instruction knows its operand types, so
+//!   there is no per-node `Value` matching.
+//! * **Counters are registers**: the first `i64` registers of each
+//!   equation's frame *are* its loop counters — binding a `DO`/`DOALL`
+//!   index is one store, and reading `I` in an expression costs nothing.
+//! * **Strength-reduced subscripts**: each array access is folded against
+//!   the array's *physical* layout into `base + Σ cᵢ·regᵢ` (coefficients
+//!   pre-multiplied by physical strides; dynamic subscripts join the dot
+//!   product through the register holding their value); the window `mod`
+//!   survives only for genuinely windowed dimensions.
+//! * **Constant folding**: module parameters are bound before execution
+//!   starts, so parameter reads and the parameter part of affine
+//!   subscripts become tape constants.
+//! * **Branch-lowered guards**: `if` conditions emit conditional jumps
+//!   directly (short-circuit `and`/`or` become control flow), so boundary
+//!   guards never materialize intermediate booleans.
+//! * **Zero per-iteration allocations**: registers live in per-worker
+//!   reusable [`Frames`]; the tape only indexes into them — with
+//!   *unchecked* indexing, justified by a full validation pass over every
+//!   lowered tape (`validate`) before execution starts.
+//!
+//! Evaluation order matches the tree-walker exactly — the differential
+//! suite asserts bit-identical outputs between engines.
+
+use crate::ndarray::{ParVec, SharedBuffer};
+use crate::store::Store;
+use crate::value::Value;
+use ps_lang::ast::{BinOp, UnOp};
+use ps_lang::hir::{Builtin, DataKind, Equation, HExpr, LhsSub, SubscriptExpr};
+use ps_lang::{DataId, EqId, HirModule, IvId, ScalarTy};
+use ps_scheduler::Flowchart;
+use ps_support::idx::{Idx, IndexVec};
+
+/// Runtime register kind. `char` and enumeration values are carried as
+/// integers, mirroring [`Value`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    F,
+    I,
+    B,
+}
+
+fn kind_of(ty: ScalarTy) -> Kind {
+    match ty {
+        ScalarTy::Real => Kind::F,
+        ScalarTy::Int | ScalarTy::Char => Kind::I,
+        ScalarTy::Bool => Kind::B,
+    }
+}
+
+/// A typed register reference.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Reg {
+    F(u16),
+    I(u16),
+    B(u16),
+}
+
+/// Comparison operator with the tree-walker's `partial_cmp` semantics
+/// (NaN compares false under everything except `<>`).
+#[derive(Clone, Copy, Debug)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn from_binop(op: BinOp) -> CmpOp {
+        match op {
+            BinOp::Eq => CmpOp::Eq,
+            BinOp::Ne => CmpOp::Ne,
+            BinOp::Lt => CmpOp::Lt,
+            BinOp::Le => CmpOp::Le,
+            BinOp::Gt => CmpOp::Gt,
+            BinOp::Ge => CmpOp::Ge,
+            other => panic!("{other:?} is not a comparison"),
+        }
+    }
+
+    #[inline]
+    fn eval<T: PartialOrd>(self, a: T, b: T) -> bool {
+        match a.partial_cmp(&b) {
+            None => matches!(self, CmpOp::Ne),
+            Some(ord) => match self {
+                CmpOp::Eq => ord.is_eq(),
+                CmpOp::Ne => !ord.is_eq(),
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+            },
+        }
+    }
+}
+
+/// One tape instruction. Operands are register indices into the executing
+/// equation's [`Frame`]; `addr` indices refer to the equation's
+/// strength-reduced [`Addr`] table, `buf` indices to the program-wide
+/// typed buffer tables. All indices are range-checked once by
+/// `CompiledEq::validate`, so execution uses unchecked access.
+#[derive(Clone, Copy, Debug)]
+enum Insn {
+    CopyF {
+        src: u16,
+        dst: u16,
+    },
+    CopyI {
+        src: u16,
+        dst: u16,
+    },
+    CopyB {
+        src: u16,
+        dst: u16,
+    },
+    /// Typed read of a live scalar slot (locals/results written earlier in
+    /// the schedule; parameters are constant-folded instead).
+    ReadScalar {
+        slot: u32,
+        dst: Reg,
+    },
+    LoadF {
+        buf: u16,
+        addr: u16,
+        dst: u16,
+    },
+    LoadI {
+        buf: u16,
+        addr: u16,
+        dst: u16,
+    },
+    LoadB {
+        buf: u16,
+        addr: u16,
+        dst: u16,
+    },
+    AddF {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    SubF {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    MulF {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    DivF {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    MinF {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    MaxF {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    AddI {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    SubI {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    MulI {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    DivI {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    ModI {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    MinI {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    MaxI {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    NegF {
+        a: u16,
+        dst: u16,
+    },
+    NegI {
+        a: u16,
+        dst: u16,
+    },
+    AbsF {
+        a: u16,
+        dst: u16,
+    },
+    AbsI {
+        a: u16,
+        dst: u16,
+    },
+    NotB {
+        a: u16,
+        dst: u16,
+    },
+    SqrtF {
+        a: u16,
+        dst: u16,
+    },
+    ExpF {
+        a: u16,
+        dst: u16,
+    },
+    LnF {
+        a: u16,
+        dst: u16,
+    },
+    SinF {
+        a: u16,
+        dst: u16,
+    },
+    CosF {
+        a: u16,
+        dst: u16,
+    },
+    /// `int → real` widening (checker casts and the `real` builtin).
+    CastIF {
+        a: u16,
+        dst: u16,
+    },
+    TruncFI {
+        a: u16,
+        dst: u16,
+    },
+    RoundFI {
+        a: u16,
+        dst: u16,
+    },
+    CmpF {
+        op: CmpOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    CmpI {
+        op: CmpOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    CmpB {
+        op: CmpOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    Jump {
+        target: u32,
+    },
+    JumpIfNot {
+        cond: u16,
+        target: u32,
+    },
+    JumpIf {
+        cond: u16,
+        target: u32,
+    },
+    /// Fused compare-and-branch (branch-lowered `if` guards): jump when
+    /// the comparison is *false*.
+    JumpCmpFNot {
+        op: CmpOp,
+        a: u16,
+        b: u16,
+        target: u32,
+    },
+    JumpCmpINot {
+        op: CmpOp,
+        a: u16,
+        b: u16,
+        target: u32,
+    },
+    /// Fused compare-and-branch: jump when the comparison is *true*.
+    JumpCmpF {
+        op: CmpOp,
+        a: u16,
+        b: u16,
+        target: u32,
+    },
+    JumpCmpI {
+        op: CmpOp,
+        a: u16,
+        b: u16,
+        target: u32,
+    },
+}
+
+/// An affine value over `i64` registers: `base + Σ cᵢ·regᵢ`. Loop counters
+/// and dynamic-subscript results are both plain registers, so one form
+/// covers every subscript shape.
+#[derive(Clone, Debug, Default)]
+struct AffDim {
+    base: i64,
+    terms: Vec<(u16, i64)>,
+}
+
+/// A windowed dimension: physical index is
+/// `(value − lo).rem_euclid(window) · stride`.
+#[derive(Clone, Debug)]
+struct WinDim {
+    stride: i64,
+    lo: i64,
+    window: i64,
+    value: AffDim,
+}
+
+/// A strength-reduced physical address: `base + Σ cᵢ·regᵢ` (coefficients
+/// pre-multiplied by physical strides; constants, subscript offsets and
+/// parameter terms folded into `base`) plus the windowed remainder
+/// dimensions. For any access into an unwindowed array — affine *or*
+/// dynamic — `special` is empty and the address is a single dot product.
+#[derive(Clone, Debug, Default)]
+struct Addr {
+    base: i64,
+    lin: Vec<(u16, i64)>,
+    special: Vec<WinDim>,
+    /// Debug builds keep every dimension's pre-fold affine value and
+    /// logical bounds, so `eval_addr` can assert in-range subscripts with
+    /// the same strictness as `NdSpec::offset` — a schedule bug that
+    /// would silently alias in release panics under `cargo test`.
+    #[cfg(debug_assertions)]
+    dbg_dims: Vec<(AffDim, i64, i64)>,
+}
+
+/// The compiled result store of one equation.
+#[derive(Clone, Copy, Debug)]
+enum OutSpec {
+    Scalar { slot: u32 },
+    ArrayF { buf: u16, addr: u16 },
+    ArrayI { buf: u16, addr: u16 },
+    ArrayB { buf: u16, addr: u16 },
+}
+
+/// One lowered equation: instruction tape, address table, register-file
+/// sizes, preloaded constants, and the final store. The first
+/// `n_counters` `i64` registers are the equation's loop counters in
+/// [`IvId`] order.
+struct CompiledEq {
+    insns: Vec<Insn>,
+    addrs: Vec<Addr>,
+    n_f: u16,
+    n_i: u16,
+    n_b: u16,
+    consts_f: Vec<(u16, f64)>,
+    consts_i: Vec<(u16, i64)>,
+    consts_b: Vec<(u16, bool)>,
+    out: OutSpec,
+    src: Reg,
+}
+
+impl CompiledEq {
+    /// Range-check every register, address, buffer and jump reference in
+    /// the tape. Running this once per lowering makes the unchecked frame
+    /// access in [`CompiledProgram::run_eq`] sound: execution can only
+    /// touch indices this pass has seen.
+    fn validate(&self, n_bufs_f: usize, n_bufs_i: usize, n_bufs_b: usize, n_slots: usize) {
+        let f = |r: u16| assert!(r < self.n_f, "f-register {r} out of range");
+        let i = |r: u16| assert!(r < self.n_i, "i-register {r} out of range");
+        let b = |r: u16| assert!(r < self.n_b, "b-register {r} out of range");
+        let reg = |r: Reg| match r {
+            Reg::F(x) => f(x),
+            Reg::I(x) => i(x),
+            Reg::B(x) => b(x),
+        };
+        let addr = |a: u16| assert!((a as usize) < self.addrs.len(), "addr {a} out of range");
+        let jump = |t: u32| assert!((t as usize) <= self.insns.len(), "jump {t} out of range");
+        let buf_f = |x: u16| assert!((x as usize) < n_bufs_f, "f-buffer {x} out of range");
+        let buf_i = |x: u16| assert!((x as usize) < n_bufs_i, "i-buffer {x} out of range");
+        let buf_b = |x: u16| assert!((x as usize) < n_bufs_b, "b-buffer {x} out of range");
+        for insn in &self.insns {
+            match *insn {
+                Insn::CopyF { src, dst } => {
+                    f(src);
+                    f(dst);
+                }
+                Insn::CopyI { src, dst } => {
+                    i(src);
+                    i(dst);
+                }
+                Insn::CopyB { src, dst } => {
+                    b(src);
+                    b(dst);
+                }
+                Insn::ReadScalar { slot, dst } => {
+                    assert!((slot as usize) < n_slots, "slot {slot} out of range");
+                    reg(dst);
+                }
+                Insn::LoadF { buf, addr: a, dst } => {
+                    buf_f(buf);
+                    addr(a);
+                    f(dst);
+                }
+                Insn::LoadI { buf, addr: a, dst } => {
+                    buf_i(buf);
+                    addr(a);
+                    i(dst);
+                }
+                Insn::LoadB { buf, addr: a, dst } => {
+                    buf_b(buf);
+                    addr(a);
+                    b(dst);
+                }
+                Insn::AddF { a, b: o, dst }
+                | Insn::SubF { a, b: o, dst }
+                | Insn::MulF { a, b: o, dst }
+                | Insn::DivF { a, b: o, dst }
+                | Insn::MinF { a, b: o, dst }
+                | Insn::MaxF { a, b: o, dst } => {
+                    f(a);
+                    f(o);
+                    f(dst);
+                }
+                Insn::AddI { a, b: o, dst }
+                | Insn::SubI { a, b: o, dst }
+                | Insn::MulI { a, b: o, dst }
+                | Insn::DivI { a, b: o, dst }
+                | Insn::ModI { a, b: o, dst }
+                | Insn::MinI { a, b: o, dst }
+                | Insn::MaxI { a, b: o, dst } => {
+                    i(a);
+                    i(o);
+                    i(dst);
+                }
+                Insn::NegF { a, dst } | Insn::AbsF { a, dst } => {
+                    f(a);
+                    f(dst);
+                }
+                Insn::NegI { a, dst } | Insn::AbsI { a, dst } => {
+                    i(a);
+                    i(dst);
+                }
+                Insn::NotB { a, dst } => {
+                    b(a);
+                    b(dst);
+                }
+                Insn::SqrtF { a, dst }
+                | Insn::ExpF { a, dst }
+                | Insn::LnF { a, dst }
+                | Insn::SinF { a, dst }
+                | Insn::CosF { a, dst } => {
+                    f(a);
+                    f(dst);
+                }
+                Insn::CastIF { a, dst } => {
+                    i(a);
+                    f(dst);
+                }
+                Insn::TruncFI { a, dst } | Insn::RoundFI { a, dst } => {
+                    f(a);
+                    i(dst);
+                }
+                Insn::CmpF { a, b: o, dst, .. } => {
+                    f(a);
+                    f(o);
+                    b(dst);
+                }
+                Insn::CmpI { a, b: o, dst, .. } => {
+                    i(a);
+                    i(o);
+                    b(dst);
+                }
+                Insn::CmpB { a, b: o, dst, .. } => {
+                    b(a);
+                    b(o);
+                    b(dst);
+                }
+                Insn::Jump { target } => jump(target),
+                Insn::JumpIfNot { cond, target } | Insn::JumpIf { cond, target } => {
+                    b(cond);
+                    jump(target);
+                }
+                Insn::JumpCmpFNot {
+                    a, b: o, target, ..
+                }
+                | Insn::JumpCmpF {
+                    a, b: o, target, ..
+                } => {
+                    f(a);
+                    f(o);
+                    jump(target);
+                }
+                Insn::JumpCmpINot {
+                    a, b: o, target, ..
+                }
+                | Insn::JumpCmpI {
+                    a, b: o, target, ..
+                } => {
+                    i(a);
+                    i(o);
+                    jump(target);
+                }
+            }
+        }
+        for a in &self.addrs {
+            for &(r, _) in &a.lin {
+                i(r);
+            }
+            for w in &a.special {
+                assert!(w.window > 0, "window must be positive");
+                for &(r, _) in &w.value.terms {
+                    i(r);
+                }
+            }
+        }
+        for &(r, _) in &self.consts_f {
+            f(r);
+        }
+        for &(r, _) in &self.consts_i {
+            i(r);
+        }
+        for &(r, _) in &self.consts_b {
+            b(r);
+        }
+        reg(self.src);
+        match self.out {
+            OutSpec::Scalar { slot } => {
+                assert!((slot as usize) < n_slots, "out slot {slot} out of range")
+            }
+            OutSpec::ArrayF { buf, addr: a } => {
+                buf_f(buf);
+                addr(a);
+            }
+            OutSpec::ArrayI { buf, addr: a } => {
+                buf_i(buf);
+                addr(a);
+            }
+            OutSpec::ArrayB { buf, addr: a } => {
+                buf_b(buf);
+                addr(a);
+            }
+        }
+    }
+}
+
+/// A whole module lowered against one live [`Store`].
+pub(crate) struct CompiledProgram<'s, 'm> {
+    store: &'s Store<'m>,
+    eqs: IndexVec<EqId, Option<CompiledEq>>,
+    bufs_f: Vec<&'s ParVec<f64>>,
+    bufs_i: Vec<&'s ParVec<i64>>,
+    bufs_b: Vec<&'s ParVec<bool>>,
+}
+
+/// Per-equation register file. The first `i`-registers are the equation's
+/// loop counters; the rest (and all `f`/`b` registers) are tape
+/// temporaries and preloaded constants. Reused across every iteration the
+/// owning worker executes — the hot path never allocates.
+#[derive(Clone, Default)]
+struct Frame {
+    f: Vec<f64>,
+    i: Vec<i64>,
+    b: Vec<bool>,
+}
+
+impl Frame {
+    #[inline(always)]
+    fn gf(&self, r: u16) -> f64 {
+        debug_assert!((r as usize) < self.f.len());
+        // SAFETY: validated against n_f, and self.f.len() == n_f.
+        unsafe { *self.f.get_unchecked(r as usize) }
+    }
+
+    #[inline(always)]
+    fn gi(&self, r: u16) -> i64 {
+        debug_assert!((r as usize) < self.i.len());
+        // SAFETY: validated against n_i.
+        unsafe { *self.i.get_unchecked(r as usize) }
+    }
+
+    #[inline(always)]
+    fn gb(&self, r: u16) -> bool {
+        debug_assert!((r as usize) < self.b.len());
+        // SAFETY: validated against n_b.
+        unsafe { *self.b.get_unchecked(r as usize) }
+    }
+
+    #[inline(always)]
+    fn sf(&mut self, r: u16, v: f64) {
+        debug_assert!((r as usize) < self.f.len());
+        // SAFETY: validated against n_f.
+        unsafe { *self.f.get_unchecked_mut(r as usize) = v }
+    }
+
+    #[inline(always)]
+    fn si(&mut self, r: u16, v: i64) {
+        debug_assert!((r as usize) < self.i.len());
+        // SAFETY: validated against n_i.
+        unsafe { *self.i.get_unchecked_mut(r as usize) = v }
+    }
+
+    #[inline(always)]
+    fn sb(&mut self, r: u16, v: bool) {
+        debug_assert!((r as usize) < self.b.len());
+        // SAFETY: validated against n_b.
+        unsafe { *self.b.get_unchecked_mut(r as usize) = v }
+    }
+}
+
+/// All equations' frames for one worker. Cloned per `DOALL` chunk (so
+/// concurrent workers own disjoint counters) with constants preserved.
+#[derive(Clone)]
+pub(crate) struct Frames {
+    frames: IndexVec<EqId, Frame>,
+}
+
+impl Frames {
+    pub(crate) fn new(prog: &CompiledProgram<'_, '_>) -> Frames {
+        let frames = prog
+            .eqs
+            .iter()
+            .map(|opt| match opt {
+                None => Frame::default(),
+                Some(ceq) => {
+                    let mut fr = Frame {
+                        f: vec![0.0; ceq.n_f as usize],
+                        i: vec![0; ceq.n_i as usize],
+                        b: vec![false; ceq.n_b as usize],
+                    };
+                    for &(r, v) in &ceq.consts_f {
+                        fr.f[r as usize] = v;
+                    }
+                    for &(r, v) in &ceq.consts_i {
+                        fr.i[r as usize] = v;
+                    }
+                    for &(r, v) in &ceq.consts_b {
+                        fr.b[r as usize] = v;
+                    }
+                    fr
+                }
+            })
+            .collect();
+        Frames { frames }
+    }
+
+    /// Bind loop counter `iv` of `eq` — counters are the leading
+    /// `i`-registers, so this is a single indexed store.
+    #[inline]
+    pub(crate) fn set_iv(&mut self, eq: EqId, iv: IvId, value: i64) {
+        self.frames[eq].i[iv.index()] = value;
+    }
+
+    /// Clone only the frames of `eqs` (the equations a `DOALL` chunk will
+    /// execute); every other equation gets an empty frame. Keeps the
+    /// per-chunk cost proportional to the loop body, not the module.
+    pub(crate) fn clone_for(&self, eqs: &[EqId]) -> Frames {
+        let mut frames: IndexVec<EqId, Frame> =
+            self.frames.iter().map(|_| Frame::default()).collect();
+        for &eq in eqs {
+            frames[eq] = self.frames[eq].clone();
+        }
+        Frames { frames }
+    }
+}
+
+/// Typed buffer table shared by all equations of one program.
+struct BufTable<'s> {
+    refs: Vec<Option<(Kind, u16)>>,
+    f: Vec<&'s ParVec<f64>>,
+    i: Vec<&'s ParVec<i64>>,
+    b: Vec<&'s ParVec<bool>>,
+}
+
+impl<'s> BufTable<'s> {
+    fn new(n_data: usize) -> BufTable<'s> {
+        BufTable {
+            refs: vec![None; n_data],
+            f: Vec::new(),
+            i: Vec::new(),
+            b: Vec::new(),
+        }
+    }
+
+    fn resolve(&mut self, store: &'s Store<'_>, id: DataId) -> (Kind, u16) {
+        if let Some(r) = self.refs[id.index()] {
+            return r;
+        }
+        let r = match store.array(id).buffer() {
+            SharedBuffer::Real(p) => {
+                self.f.push(p);
+                (Kind::F, (self.f.len() - 1) as u16)
+            }
+            SharedBuffer::Int(p) => {
+                self.i.push(p);
+                (Kind::I, (self.i.len() - 1) as u16)
+            }
+            SharedBuffer::Bool(p) => {
+                self.b.push(p);
+                (Kind::B, (self.b.len() - 1) as u16)
+            }
+        };
+        self.refs[id.index()] = Some(r);
+        r
+    }
+}
+
+/// Lower every equation the flowchart executes against `store`'s layout.
+pub(crate) fn compile_program<'s, 'm>(
+    module: &'m HirModule,
+    flowchart: &Flowchart,
+    store: &'s Store<'m>,
+) -> CompiledProgram<'s, 'm> {
+    let mut bufs = BufTable::new(module.data.len());
+    let mut eqs: IndexVec<EqId, Option<CompiledEq>> =
+        module.equations.iter().map(|_| None).collect();
+    for eq_id in flowchart.equations() {
+        let lowerer = Lowerer::new(module, store, eq_id, &mut bufs);
+        eqs[eq_id] = Some(lowerer.lower_equation());
+    }
+    let n_slots = store.slot_count();
+    for ceq in eqs.iter().flatten() {
+        ceq.validate(bufs.f.len(), bufs.i.len(), bufs.b.len(), n_slots);
+    }
+    CompiledProgram {
+        store,
+        eqs,
+        bufs_f: bufs.f,
+        bufs_i: bufs.i,
+        bufs_b: bufs.b,
+    }
+}
+
+struct Lowerer<'a, 's, 'm> {
+    module: &'m HirModule,
+    store: &'s Store<'m>,
+    eq: &'m Equation,
+    insns: Vec<Insn>,
+    addrs: Vec<Addr>,
+    n_f: u16,
+    n_i: u16,
+    n_b: u16,
+    consts_f: Vec<(u16, f64)>,
+    consts_i: Vec<(u16, i64)>,
+    consts_b: Vec<(u16, bool)>,
+    bufs: &'a mut BufTable<'s>,
+}
+
+impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
+    fn new(
+        module: &'m HirModule,
+        store: &'s Store<'m>,
+        eq_id: EqId,
+        bufs: &'a mut BufTable<'s>,
+    ) -> Lowerer<'a, 's, 'm> {
+        let eq = &module.equations[eq_id];
+        Lowerer {
+            module,
+            store,
+            eq,
+            insns: Vec::new(),
+            addrs: Vec::new(),
+            n_f: 0,
+            // Counters occupy the leading i-registers, one per index var.
+            n_i: u16::try_from(eq.ivs.len()).expect("too many index variables"),
+            n_b: 0,
+            consts_f: Vec::new(),
+            consts_i: Vec::new(),
+            consts_b: Vec::new(),
+            bufs,
+        }
+    }
+
+    fn lower_equation(mut self) -> CompiledEq {
+        let mut src = self.lower(&self.eq.rhs);
+        let eq = self.eq;
+        let out = match eq.lhs_field {
+            Some(fidx) => OutSpec::Scalar {
+                slot: self.store.slot_index(eq.lhs, fidx + 1) as u32,
+            },
+            None if eq.lhs_subs.is_empty() => OutSpec::Scalar {
+                slot: self.store.slot_index(eq.lhs, 0) as u32,
+            },
+            None => {
+                let dims: Vec<AffDim> = eq
+                    .lhs_subs
+                    .iter()
+                    .map(|s| match s {
+                        LhsSub::Const(a) => AffDim {
+                            base: a
+                                .eval(&self.store.params)
+                                .unwrap_or_else(|| panic!("cannot evaluate {a}")),
+                            terms: Vec::new(),
+                        },
+                        LhsSub::Var(iv) => AffDim {
+                            base: 0,
+                            terms: vec![(iv.index() as u16, 1)],
+                        },
+                    })
+                    .collect();
+                let (kind, buf) = self.bufs.resolve(self.store, eq.lhs);
+                let addr = self.push_addr(eq.lhs, dims);
+                // Int results widen into real arrays, mirroring
+                // `ArrayInstance::write`.
+                if kind == Kind::F {
+                    if let Reg::I(r) = src {
+                        let dst = self.alloc_f();
+                        self.insns.push(Insn::CastIF { a: r, dst });
+                        src = Reg::F(dst);
+                    }
+                }
+                match (kind, src) {
+                    (Kind::F, Reg::F(_)) => OutSpec::ArrayF { buf, addr },
+                    (Kind::I, Reg::I(_)) => OutSpec::ArrayI { buf, addr },
+                    (Kind::B, Reg::B(_)) => OutSpec::ArrayB { buf, addr },
+                    (k, s) => panic!("type mismatch writing {s:?} into {k:?} array"),
+                }
+            }
+        };
+        CompiledEq {
+            insns: self.insns,
+            addrs: self.addrs,
+            n_f: self.n_f,
+            n_i: self.n_i,
+            n_b: self.n_b,
+            consts_f: self.consts_f,
+            consts_i: self.consts_i,
+            consts_b: self.consts_b,
+            out,
+            src,
+        }
+    }
+
+    fn alloc_f(&mut self) -> u16 {
+        let r = self.n_f;
+        self.n_f = self.n_f.checked_add(1).expect("f64 register file overflow");
+        r
+    }
+
+    fn alloc_i(&mut self) -> u16 {
+        let r = self.n_i;
+        self.n_i = self.n_i.checked_add(1).expect("i64 register file overflow");
+        r
+    }
+
+    fn alloc_b(&mut self) -> u16 {
+        let r = self.n_b;
+        self.n_b = self
+            .n_b
+            .checked_add(1)
+            .expect("bool register file overflow");
+        r
+    }
+
+    fn alloc(&mut self, kind: Kind) -> Reg {
+        match kind {
+            Kind::F => Reg::F(self.alloc_f()),
+            Kind::I => Reg::I(self.alloc_i()),
+            Kind::B => Reg::B(self.alloc_b()),
+        }
+    }
+
+    fn const_f(&mut self, v: f64) -> u16 {
+        if let Some(&(r, _)) = self
+            .consts_f
+            .iter()
+            .find(|(_, x)| x.to_bits() == v.to_bits())
+        {
+            return r;
+        }
+        let r = self.alloc_f();
+        self.consts_f.push((r, v));
+        r
+    }
+
+    fn const_i(&mut self, v: i64) -> u16 {
+        if let Some(&(r, _)) = self.consts_i.iter().find(|&&(_, x)| x == v) {
+            return r;
+        }
+        let r = self.alloc_i();
+        self.consts_i.push((r, v));
+        r
+    }
+
+    fn const_b(&mut self, v: bool) -> u16 {
+        if let Some(&(r, _)) = self.consts_b.iter().find(|&&(_, x)| x == v) {
+            return r;
+        }
+        let r = self.alloc_b();
+        self.consts_b.push((r, v));
+        r
+    }
+
+    /// Emit a jump placeholder; returns its index for [`Lowerer::patch`].
+    fn emit_jump(&mut self, insn: Insn) -> usize {
+        self.insns.push(insn);
+        self.insns.len() - 1
+    }
+
+    /// Point the jump at `at` to the current end of the tape.
+    fn patch(&mut self, at: usize) {
+        let here = self.insns.len() as u32;
+        match &mut self.insns[at] {
+            Insn::Jump { target }
+            | Insn::JumpIfNot { target, .. }
+            | Insn::JumpIf { target, .. }
+            | Insn::JumpCmpFNot { target, .. }
+            | Insn::JumpCmpINot { target, .. }
+            | Insn::JumpCmpF { target, .. }
+            | Insn::JumpCmpI { target, .. } => *target = here,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn expect_b(&self, r: Reg) -> u16 {
+        match r {
+            Reg::B(x) => x,
+            other => panic!("expected bool operand, got {other:?}"),
+        }
+    }
+
+    fn expect_i(&self, r: Reg) -> u16 {
+        match r {
+            Reg::I(x) => x,
+            other => panic!("expected int operand, got {other:?}"),
+        }
+    }
+
+    fn expect_f(&self, r: Reg) -> u16 {
+        match r {
+            Reg::F(x) => x,
+            other => panic!("expected real operand, got {other:?}"),
+        }
+    }
+
+    fn emit_copy(&mut self, src: Reg, dst: Reg) {
+        match (src, dst) {
+            (Reg::F(s), Reg::F(d)) => self.insns.push(Insn::CopyF { src: s, dst: d }),
+            (Reg::I(s), Reg::I(d)) => self.insns.push(Insn::CopyI { src: s, dst: d }),
+            (Reg::B(s), Reg::B(d)) => self.insns.push(Insn::CopyB { src: s, dst: d }),
+            (s, d) => panic!("arm type mismatch: {s:?} into {d:?}"),
+        }
+    }
+
+    fn lower_bool(&mut self, e: &HExpr) -> u16 {
+        let r = self.lower(e);
+        self.expect_b(r)
+    }
+
+    /// Branch-lower condition `e`: after the emitted code, control *falls
+    /// through* iff `e` is true; every returned placeholder must be
+    /// patched to the false target. Short-circuit `and`/`or` become pure
+    /// control flow and comparisons fuse into compare-and-branch
+    /// instructions, so guards never materialize booleans. Evaluation
+    /// order matches the tree-walker exactly.
+    fn lower_cond(&mut self, e: &HExpr) -> Vec<usize> {
+        match e {
+            HExpr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
+                let mut false_jumps = self.lower_cond(lhs);
+                false_jumps.extend(self.lower_cond(rhs));
+                false_jumps
+            }
+            HExpr::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } => {
+                let lhs_false = self.lower_cond(lhs);
+                // lhs true: the whole `or` is true — skip the rhs.
+                let skip_rhs = self.emit_jump(Insn::Jump { target: u32::MAX });
+                for j in lhs_false {
+                    self.patch(j);
+                }
+                let false_jumps = self.lower_cond(rhs);
+                self.patch(skip_rhs);
+                false_jumps
+            }
+            HExpr::Binary { op, lhs, rhs }
+                if matches!(
+                    op,
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                ) =>
+            {
+                let cmp = CmpOp::from_binop(*op);
+                let l = self.lower(lhs);
+                let r = self.lower(rhs);
+                let insn = match (l, r) {
+                    (Reg::F(a), Reg::F(b)) => Insn::JumpCmpFNot {
+                        op: cmp,
+                        a,
+                        b,
+                        target: u32::MAX,
+                    },
+                    (Reg::I(a), Reg::I(b)) => Insn::JumpCmpINot {
+                        op: cmp,
+                        a,
+                        b,
+                        target: u32::MAX,
+                    },
+                    // Bool comparisons are rare: materialize.
+                    (Reg::B(a), Reg::B(b)) => {
+                        let dst = self.alloc_b();
+                        self.insns.push(Insn::CmpB { op: cmp, a, b, dst });
+                        Insn::JumpIfNot {
+                            cond: dst,
+                            target: u32::MAX,
+                        }
+                    }
+                    (l, r) => panic!("comparison type mismatch: {l:?} vs {r:?}"),
+                };
+                vec![self.emit_jump(insn)]
+            }
+            // `not (a ⋈ b)`: fall through iff the comparison is false —
+            // fuse to a jump-when-true branch.
+            HExpr::Unary {
+                op: UnOp::Not,
+                operand,
+            } if matches!(
+                **operand,
+                HExpr::Binary {
+                    op: BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge,
+                    ..
+                }
+            ) =>
+            {
+                let HExpr::Binary { op, lhs, rhs } = &**operand else {
+                    unreachable!()
+                };
+                let cmp = CmpOp::from_binop(*op);
+                let l = self.lower(lhs);
+                let r = self.lower(rhs);
+                let insn = match (l, r) {
+                    (Reg::F(a), Reg::F(b)) => Insn::JumpCmpF {
+                        op: cmp,
+                        a,
+                        b,
+                        target: u32::MAX,
+                    },
+                    (Reg::I(a), Reg::I(b)) => Insn::JumpCmpI {
+                        op: cmp,
+                        a,
+                        b,
+                        target: u32::MAX,
+                    },
+                    // Bool comparisons are rare: materialize and negate.
+                    (Reg::B(a), Reg::B(b)) => {
+                        let dst = self.alloc_b();
+                        self.insns.push(Insn::CmpB { op: cmp, a, b, dst });
+                        Insn::JumpIf {
+                            cond: dst,
+                            target: u32::MAX,
+                        }
+                    }
+                    (l, r) => panic!("comparison type mismatch: {l:?} vs {r:?}"),
+                };
+                vec![self.emit_jump(insn)]
+            }
+            // Anything else (bool reads, constants, nested `not`):
+            // evaluate as a value and branch on it.
+            other => {
+                let cond = self.lower_bool(other);
+                vec![self.emit_jump(Insn::JumpIfNot {
+                    cond,
+                    target: u32::MAX,
+                })]
+            }
+        }
+    }
+
+    fn lower(&mut self, e: &HExpr) -> Reg {
+        match e {
+            HExpr::Int(v) => Reg::I(self.const_i(*v)),
+            HExpr::Real(v) => Reg::F(self.const_f(*v)),
+            HExpr::Bool(v) => Reg::B(self.const_b(*v)),
+            HExpr::Char(c) => Reg::I(self.const_i(*c as i64)),
+            HExpr::EnumConst(_, ord) => Reg::I(self.const_i(*ord as i64)),
+            HExpr::ReadScalar(d) => self.lower_read_scalar(*d),
+            HExpr::ReadField(d, idx) => {
+                let slot = self.store.slot_index(*d, *idx + 1) as u32;
+                let kind = kind_of(self.module.expr_scalar_ty(self.eq, e));
+                let dst = self.alloc(kind);
+                self.insns.push(Insn::ReadScalar { slot, dst });
+                dst
+            }
+            // Loop counters are the leading i-registers: reading one is
+            // free.
+            HExpr::Iv(iv) => Reg::I(iv.index() as u16),
+            HExpr::ReadArray { array, subs, .. } => {
+                let dims: Vec<AffDim> = subs.iter().map(|s| self.lower_sub(s)).collect();
+                let (kind, buf) = self.bufs.resolve(self.store, *array);
+                let addr = self.push_addr(*array, dims);
+                match kind {
+                    Kind::F => {
+                        let dst = self.alloc_f();
+                        self.insns.push(Insn::LoadF { buf, addr, dst });
+                        Reg::F(dst)
+                    }
+                    Kind::I => {
+                        let dst = self.alloc_i();
+                        self.insns.push(Insn::LoadI { buf, addr, dst });
+                        Reg::I(dst)
+                    }
+                    Kind::B => {
+                        let dst = self.alloc_b();
+                        self.insns.push(Insn::LoadB { buf, addr, dst });
+                        Reg::B(dst)
+                    }
+                }
+            }
+            HExpr::Binary { op, lhs, rhs } => self.lower_binary(*op, lhs, rhs),
+            HExpr::Unary { op, operand } => {
+                let v = self.lower(operand);
+                match (op, v) {
+                    (UnOp::Neg, Reg::F(a)) => {
+                        let dst = self.alloc_f();
+                        self.insns.push(Insn::NegF { a, dst });
+                        Reg::F(dst)
+                    }
+                    (UnOp::Neg, Reg::I(a)) => {
+                        let dst = self.alloc_i();
+                        self.insns.push(Insn::NegI { a, dst });
+                        Reg::I(dst)
+                    }
+                    (UnOp::Not, Reg::B(a)) => {
+                        let dst = self.alloc_b();
+                        self.insns.push(Insn::NotB { a, dst });
+                        Reg::B(dst)
+                    }
+                    (op, v) => panic!("bad unary {op:?} on {v:?}"),
+                }
+            }
+            HExpr::If { arms, else_ } => {
+                let kind = kind_of(self.module.expr_scalar_ty(self.eq, else_));
+                let dst = self.alloc(kind);
+                let mut end_jumps = Vec::with_capacity(arms.len());
+                for (cond, val) in arms {
+                    let false_jumps = self.lower_cond(cond);
+                    let v = self.lower(val);
+                    self.emit_copy(v, dst);
+                    end_jumps.push(self.emit_jump(Insn::Jump { target: u32::MAX }));
+                    for j in false_jumps {
+                        self.patch(j);
+                    }
+                }
+                let e = self.lower(else_);
+                self.emit_copy(e, dst);
+                for j in end_jumps {
+                    self.patch(j);
+                }
+                dst
+            }
+            HExpr::Call { builtin, args } => self.lower_call(*builtin, args),
+            HExpr::CastReal(inner) => {
+                let v = self.lower(inner);
+                match v {
+                    Reg::F(_) => v,
+                    Reg::I(a) => {
+                        let dst = self.alloc_f();
+                        self.insns.push(Insn::CastIF { a, dst });
+                        Reg::F(dst)
+                    }
+                    Reg::B(_) => panic!("cannot widen bool to real"),
+                }
+            }
+        }
+    }
+
+    fn lower_read_scalar(&mut self, d: DataId) -> Reg {
+        let item = &self.module.data[d];
+        if item.kind == DataKind::Param && !item.is_array() {
+            // Parameters are bound before execution starts: fold them into
+            // the constant pool (this is what removes the `M`/`maxK` guard
+            // reads from hot DOALL bodies).
+            return match self.store.read_scalar(d, 0) {
+                Value::Int(v) => Reg::I(self.const_i(v)),
+                Value::Real(v) => Reg::F(self.const_f(v)),
+                Value::Bool(v) => Reg::B(self.const_b(v)),
+            };
+        }
+        if item.kind != DataKind::Param && item.is_array() {
+            panic!("array `{}` read as scalar", item.name);
+        }
+        let slot = self.store.slot_index(d, 0) as u32;
+        let kind = kind_of(self.module.runtime_scalar_ty(&item.ty));
+        let dst = self.alloc(kind);
+        self.insns.push(Insn::ReadScalar { slot, dst });
+        dst
+    }
+
+    fn lower_binary(&mut self, op: BinOp, lhs: &HExpr, rhs: &HExpr) -> Reg {
+        match op {
+            BinOp::And => {
+                let dst = self.alloc_b();
+                let la = self.lower_bool(lhs);
+                let to_false = self.emit_jump(Insn::JumpIfNot {
+                    cond: la,
+                    target: u32::MAX,
+                });
+                let rb = self.lower_bool(rhs);
+                self.insns.push(Insn::CopyB { src: rb, dst });
+                let to_end = self.emit_jump(Insn::Jump { target: u32::MAX });
+                self.patch(to_false);
+                let cfalse = self.const_b(false);
+                self.insns.push(Insn::CopyB { src: cfalse, dst });
+                self.patch(to_end);
+                return Reg::B(dst);
+            }
+            BinOp::Or => {
+                let dst = self.alloc_b();
+                let la = self.lower_bool(lhs);
+                let to_true = self.emit_jump(Insn::JumpIf {
+                    cond: la,
+                    target: u32::MAX,
+                });
+                let rb = self.lower_bool(rhs);
+                self.insns.push(Insn::CopyB { src: rb, dst });
+                let to_end = self.emit_jump(Insn::Jump { target: u32::MAX });
+                self.patch(to_true);
+                let ctrue = self.const_b(true);
+                self.insns.push(Insn::CopyB { src: ctrue, dst });
+                self.patch(to_end);
+                return Reg::B(dst);
+            }
+            _ => {}
+        }
+        let l = self.lower(lhs);
+        let r = self.lower(rhs);
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul => match (l, r) {
+                (Reg::F(a), Reg::F(b)) => {
+                    let dst = self.alloc_f();
+                    self.insns.push(match op {
+                        BinOp::Add => Insn::AddF { a, b, dst },
+                        BinOp::Sub => Insn::SubF { a, b, dst },
+                        _ => Insn::MulF { a, b, dst },
+                    });
+                    Reg::F(dst)
+                }
+                (Reg::I(a), Reg::I(b)) => {
+                    let dst = self.alloc_i();
+                    self.insns.push(match op {
+                        BinOp::Add => Insn::AddI { a, b, dst },
+                        BinOp::Sub => Insn::SubI { a, b, dst },
+                        _ => Insn::MulI { a, b, dst },
+                    });
+                    Reg::I(dst)
+                }
+                (l, r) => panic!("{op:?} type mismatch: {l:?} vs {r:?}"),
+            },
+            BinOp::Div => {
+                let (a, b) = (self.expect_f(l), self.expect_f(r));
+                let dst = self.alloc_f();
+                self.insns.push(Insn::DivF { a, b, dst });
+                Reg::F(dst)
+            }
+            BinOp::IntDiv | BinOp::Mod => {
+                let (a, b) = (self.expect_i(l), self.expect_i(r));
+                let dst = self.alloc_i();
+                self.insns.push(if op == BinOp::IntDiv {
+                    Insn::DivI { a, b, dst }
+                } else {
+                    Insn::ModI { a, b, dst }
+                });
+                Reg::I(dst)
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let cmp = CmpOp::from_binop(op);
+                let dst = self.alloc_b();
+                self.insns.push(match (l, r) {
+                    (Reg::F(a), Reg::F(b)) => Insn::CmpF { op: cmp, a, b, dst },
+                    (Reg::I(a), Reg::I(b)) => Insn::CmpI { op: cmp, a, b, dst },
+                    (Reg::B(a), Reg::B(b)) => Insn::CmpB { op: cmp, a, b, dst },
+                    (l, r) => panic!("comparison type mismatch: {l:?} vs {r:?}"),
+                });
+                Reg::B(dst)
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled via short-circuit"),
+        }
+    }
+
+    fn lower_call(&mut self, builtin: Builtin, args: &[HExpr]) -> Reg {
+        let regs: Vec<Reg> = args.iter().map(|a| self.lower(a)).collect();
+        match builtin {
+            Builtin::Abs => match regs[0] {
+                Reg::F(a) => {
+                    let dst = self.alloc_f();
+                    self.insns.push(Insn::AbsF { a, dst });
+                    Reg::F(dst)
+                }
+                Reg::I(a) => {
+                    let dst = self.alloc_i();
+                    self.insns.push(Insn::AbsI { a, dst });
+                    Reg::I(dst)
+                }
+                v => panic!("abs on {v:?}"),
+            },
+            Builtin::Min | Builtin::Max => match (regs[0], regs[1]) {
+                (Reg::F(a), Reg::F(b)) => {
+                    let dst = self.alloc_f();
+                    self.insns.push(if builtin == Builtin::Min {
+                        Insn::MinF { a, b, dst }
+                    } else {
+                        Insn::MaxF { a, b, dst }
+                    });
+                    Reg::F(dst)
+                }
+                (Reg::I(a), Reg::I(b)) => {
+                    let dst = self.alloc_i();
+                    self.insns.push(if builtin == Builtin::Min {
+                        Insn::MinI { a, b, dst }
+                    } else {
+                        Insn::MaxI { a, b, dst }
+                    });
+                    Reg::I(dst)
+                }
+                (l, r) => panic!("{builtin:?} type mismatch: {l:?} vs {r:?}"),
+            },
+            Builtin::Sqrt | Builtin::Exp | Builtin::Ln | Builtin::Sin | Builtin::Cos => {
+                let a = self.expect_f(regs[0]);
+                let dst = self.alloc_f();
+                self.insns.push(match builtin {
+                    Builtin::Sqrt => Insn::SqrtF { a, dst },
+                    Builtin::Exp => Insn::ExpF { a, dst },
+                    Builtin::Ln => Insn::LnF { a, dst },
+                    Builtin::Sin => Insn::SinF { a, dst },
+                    _ => Insn::CosF { a, dst },
+                });
+                Reg::F(dst)
+            }
+            Builtin::Trunc | Builtin::Round => {
+                let a = self.expect_f(regs[0]);
+                let dst = self.alloc_i();
+                self.insns.push(if builtin == Builtin::Trunc {
+                    Insn::TruncFI { a, dst }
+                } else {
+                    Insn::RoundFI { a, dst }
+                });
+                Reg::I(dst)
+            }
+            Builtin::RealFn => {
+                let a = self.expect_i(regs[0]);
+                let dst = self.alloc_f();
+                self.insns.push(Insn::CastIF { a, dst });
+                Reg::F(dst)
+            }
+            // `ord` is the identity on the runtime int representation.
+            Builtin::Ord => Reg::I(self.expect_i(regs[0])),
+        }
+    }
+
+    /// Lower one RHS subscript to an affine form over `i64` registers.
+    /// Loop counters *are* registers, and a dynamic subscript contributes
+    /// the register its value lands in — so every subscript shape
+    /// uniformly becomes `base + Σ c·reg`.
+    fn lower_sub(&mut self, s: &SubscriptExpr) -> AffDim {
+        match s {
+            SubscriptExpr::Var(iv) => AffDim {
+                base: 0,
+                terms: vec![(iv.index() as u16, 1)],
+            },
+            SubscriptExpr::VarOffset(iv, d) => AffDim {
+                base: *d,
+                terms: vec![(iv.index() as u16, 1)],
+            },
+            SubscriptExpr::Affine(a) => AffDim {
+                base: a
+                    .rest
+                    .eval(&self.store.params)
+                    .unwrap_or_else(|| panic!("cannot evaluate {}", a.rest)),
+                terms: a
+                    .iv_terms
+                    .iter()
+                    .map(|&(iv, c)| (iv.index() as u16, c))
+                    .collect(),
+            },
+            SubscriptExpr::Dynamic(e) => {
+                let r = self.lower(e);
+                AffDim {
+                    base: 0,
+                    terms: vec![(self.expect_i(r), 1)],
+                }
+            }
+        }
+    }
+
+    /// Fold per-dimension affine subscripts against `array`'s physical
+    /// layout into a strength-reduced [`Addr`].
+    fn push_addr(&mut self, array: DataId, dims: Vec<AffDim>) -> u16 {
+        let spec = &self.store.array(array).spec;
+        assert_eq!(dims.len(), spec.dims.len(), "subscript rank mismatch");
+        let n = spec.dims.len();
+        let mut strides = vec![1i64; n];
+        for d in (0..n.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * spec.dims[d + 1].physical_width();
+        }
+        let mut addr = Addr::default();
+        for (d, value) in dims.into_iter().enumerate() {
+            let ds = &spec.dims[d];
+            let stride = strides[d];
+            #[cfg(debug_assertions)]
+            addr.dbg_dims.push((value.clone(), ds.lo, ds.hi));
+            match ds.window {
+                // Genuinely windowed: the mod is load-bearing.
+                Some(w) if w < ds.logical_width() => addr.special.push(WinDim {
+                    stride,
+                    lo: ds.lo,
+                    window: w,
+                    value,
+                }),
+                // Plain dimension: fold into the linear form.
+                _ => {
+                    addr.base += (value.base - ds.lo) * stride;
+                    for (r, c) in value.terms {
+                        match addr.lin.iter_mut().find(|(v, _)| *v == r) {
+                            Some((_, existing)) => *existing += c * stride,
+                            None => addr.lin.push((r, c * stride)),
+                        }
+                    }
+                }
+            }
+        }
+        addr.lin.retain(|&(_, c)| c != 0);
+        self.addrs.push(addr);
+        u16::try_from(self.addrs.len() - 1).expect("address table overflow")
+    }
+}
+
+impl<'s, 'm> CompiledProgram<'s, 'm> {
+    #[inline(always)]
+    fn eval_addr(addr: &Addr, frame: &Frame) -> usize {
+        // Debug builds re-derive each dimension's logical index and bounds
+        // check it, matching `NdSpec::offset`'s strictness; release builds
+        // rely on the schedule (plus the physical-buffer bounds check).
+        #[cfg(debug_assertions)]
+        for (value, lo, hi) in &addr.dbg_dims {
+            let mut v = value.base;
+            for &(r, c) in &value.terms {
+                v += c * frame.gi(r);
+            }
+            assert!(
+                v >= *lo && v <= *hi,
+                "index {v} outside {lo}..{hi} (compiled subscript)"
+            );
+        }
+        let mut off = addr.base;
+        for &(r, c) in &addr.lin {
+            off += c * frame.gi(r);
+        }
+        for w in &addr.special {
+            let mut v = w.value.base;
+            for &(r, c) in &w.value.terms {
+                v += c * frame.gi(r);
+            }
+            off += (v - w.lo).rem_euclid(w.window) * w.stride;
+        }
+        // A schedule bug that produced a negative offset wraps to a huge
+        // usize here and trips the buffer bounds check — memory safe.
+        off as usize
+    }
+
+    /// Execute one equation's tape in `frames` and store the result.
+    pub(crate) fn run_eq(&self, eq_id: EqId, frames: &mut Frames) {
+        let ceq = self.eqs[eq_id]
+            .as_ref()
+            .unwrap_or_else(|| panic!("{eq_id:?} was not lowered"));
+        let frame = &mut frames.frames[eq_id];
+        let insns = &ceq.insns;
+        let mut pc = 0usize;
+        while pc < insns.len() {
+            // SAFETY: `pc < insns.len()` is checked by the loop condition;
+            // jump targets are validated to be ≤ len.
+            match *unsafe { insns.get_unchecked(pc) } {
+                Insn::CopyF { src, dst } => frame.sf(dst, frame.gf(src)),
+                Insn::CopyI { src, dst } => frame.si(dst, frame.gi(src)),
+                Insn::CopyB { src, dst } => frame.sb(dst, frame.gb(src)),
+                Insn::ReadScalar { slot, dst } => {
+                    let v = self
+                        .store
+                        .read_slot(slot as usize)
+                        .unwrap_or_else(|| panic!("scalar slot {slot} read before definition"));
+                    match (dst, v) {
+                        (Reg::F(r), Value::Real(x)) => frame.sf(r, x),
+                        (Reg::I(r), Value::Int(x)) => frame.si(r, x),
+                        (Reg::B(r), Value::Bool(x)) => frame.sb(r, x),
+                        (d, v) => panic!("scalar slot holds {v:?}, tape expects {d:?}"),
+                    }
+                }
+                Insn::LoadF { buf, addr, dst } => {
+                    let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                    frame.sf(dst, self.bufs_f[buf as usize].get(off));
+                }
+                Insn::LoadI { buf, addr, dst } => {
+                    let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                    frame.si(dst, self.bufs_i[buf as usize].get(off));
+                }
+                Insn::LoadB { buf, addr, dst } => {
+                    let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                    frame.sb(dst, self.bufs_b[buf as usize].get(off));
+                }
+                Insn::AddF { a, b, dst } => frame.sf(dst, frame.gf(a) + frame.gf(b)),
+                Insn::SubF { a, b, dst } => frame.sf(dst, frame.gf(a) - frame.gf(b)),
+                Insn::MulF { a, b, dst } => frame.sf(dst, frame.gf(a) * frame.gf(b)),
+                Insn::DivF { a, b, dst } => frame.sf(dst, frame.gf(a) / frame.gf(b)),
+                Insn::MinF { a, b, dst } => frame.sf(dst, frame.gf(a).min(frame.gf(b))),
+                Insn::MaxF { a, b, dst } => frame.sf(dst, frame.gf(a).max(frame.gf(b))),
+                Insn::AddI { a, b, dst } => frame.si(dst, frame.gi(a) + frame.gi(b)),
+                Insn::SubI { a, b, dst } => frame.si(dst, frame.gi(a) - frame.gi(b)),
+                Insn::MulI { a, b, dst } => frame.si(dst, frame.gi(a) * frame.gi(b)),
+                Insn::DivI { a, b, dst } => {
+                    let d = frame.gi(b);
+                    assert!(d != 0, "div by zero");
+                    frame.si(dst, frame.gi(a).div_euclid(d));
+                }
+                Insn::ModI { a, b, dst } => {
+                    let d = frame.gi(b);
+                    assert!(d != 0, "mod by zero");
+                    frame.si(dst, frame.gi(a).rem_euclid(d));
+                }
+                Insn::MinI { a, b, dst } => frame.si(dst, frame.gi(a).min(frame.gi(b))),
+                Insn::MaxI { a, b, dst } => frame.si(dst, frame.gi(a).max(frame.gi(b))),
+                Insn::NegF { a, dst } => frame.sf(dst, -frame.gf(a)),
+                Insn::NegI { a, dst } => frame.si(dst, -frame.gi(a)),
+                Insn::AbsF { a, dst } => frame.sf(dst, frame.gf(a).abs()),
+                Insn::AbsI { a, dst } => frame.si(dst, frame.gi(a).abs()),
+                Insn::NotB { a, dst } => frame.sb(dst, !frame.gb(a)),
+                Insn::SqrtF { a, dst } => frame.sf(dst, frame.gf(a).sqrt()),
+                Insn::ExpF { a, dst } => frame.sf(dst, frame.gf(a).exp()),
+                Insn::LnF { a, dst } => frame.sf(dst, frame.gf(a).ln()),
+                Insn::SinF { a, dst } => frame.sf(dst, frame.gf(a).sin()),
+                Insn::CosF { a, dst } => frame.sf(dst, frame.gf(a).cos()),
+                Insn::CastIF { a, dst } => frame.sf(dst, frame.gi(a) as f64),
+                Insn::TruncFI { a, dst } => frame.si(dst, frame.gf(a).trunc() as i64),
+                Insn::RoundFI { a, dst } => frame.si(dst, frame.gf(a).round() as i64),
+                Insn::CmpF { op, a, b, dst } => frame.sb(dst, op.eval(frame.gf(a), frame.gf(b))),
+                Insn::CmpI { op, a, b, dst } => frame.sb(dst, op.eval(frame.gi(a), frame.gi(b))),
+                Insn::CmpB { op, a, b, dst } => frame.sb(dst, op.eval(frame.gb(a), frame.gb(b))),
+                Insn::Jump { target } => {
+                    pc = target as usize;
+                    continue;
+                }
+                Insn::JumpIfNot { cond, target } => {
+                    if !frame.gb(cond) {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Insn::JumpIf { cond, target } => {
+                    if frame.gb(cond) {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Insn::JumpCmpFNot { op, a, b, target } => {
+                    if !op.eval(frame.gf(a), frame.gf(b)) {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Insn::JumpCmpINot { op, a, b, target } => {
+                    if !op.eval(frame.gi(a), frame.gi(b)) {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Insn::JumpCmpF { op, a, b, target } => {
+                    if op.eval(frame.gf(a), frame.gf(b)) {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Insn::JumpCmpI { op, a, b, target } => {
+                    if op.eval(frame.gi(a), frame.gi(b)) {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+            }
+            pc += 1;
+        }
+        match ceq.out {
+            OutSpec::Scalar { slot } => {
+                let v = match ceq.src {
+                    Reg::F(r) => Value::Real(frame.gf(r)),
+                    Reg::I(r) => Value::Int(frame.gi(r)),
+                    Reg::B(r) => Value::Bool(frame.gb(r)),
+                };
+                self.store.write_slot(slot as usize, v);
+            }
+            OutSpec::ArrayF { buf, addr } => {
+                let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                let Reg::F(r) = ceq.src else { unreachable!() };
+                // SAFETY: the single-assignment schedule guarantees
+                // concurrent DOALL iterations write disjoint offsets (same
+                // contract as `ArrayInstance::write`).
+                unsafe { self.bufs_f[buf as usize].set(off, frame.gf(r)) };
+            }
+            OutSpec::ArrayI { buf, addr } => {
+                let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                let Reg::I(r) = ceq.src else { unreachable!() };
+                // SAFETY: as above.
+                unsafe { self.bufs_i[buf as usize].set(off, frame.gi(r)) };
+            }
+            OutSpec::ArrayB { buf, addr } => {
+                let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                let Reg::B(r) = ceq.src else { unreachable!() };
+                // SAFETY: as above.
+                unsafe { self.bufs_b[buf as usize].set(off, frame.gb(r)) };
+            }
+        }
+    }
+
+    /// Lowering statistics for one equation, used by tests: total
+    /// instructions, address-table size, and how many addresses kept a
+    /// windowed special dimension.
+    #[cfg(test)]
+    fn stats(&self, eq: EqId) -> (usize, usize, usize) {
+        let ceq = self.eqs[eq].as_ref().expect("lowered");
+        let special = ceq.addrs.iter().map(|a| a.special.len()).sum();
+        (ceq.insns.len(), ceq.addrs.len(), special)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Inputs;
+    use ps_depgraph::build_depgraph;
+    use ps_lang::frontend;
+    use ps_scheduler::{schedule_module, ScheduleOptions};
+
+    fn build(src: &str) -> (ps_lang::HirModule, ps_scheduler::ScheduleResult) {
+        let m = frontend(src).unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        (m, sched)
+    }
+
+    #[test]
+    fn affine_subscripts_fold_to_linear_form() {
+        // Unwindowed 2-D array: every access strength-reduces to base+Σc·iv
+        // with no special dims.
+        let src = "T: module (n: int): [out: array[1..n,1..n] of real];
+             type I, J = 1 .. n;
+             var a: array [I,J] of real;
+             define
+                a[I,J] = real(I) + real(J) * 2.0;
+                out[I,J] = a[I,J] * 0.5;
+             end T;";
+        let inputs = Inputs::new().set_int("n", 4);
+        let (m, sched) = build(src);
+        let store = Store::build(&m, &sched.memory, &inputs, false).unwrap();
+        let prog = compile_program(&m, &sched.flowchart, &store);
+        let eq2 = m.equation_by_label("eq.2").unwrap();
+        let (_, addrs, special) = prog.stats(eq2);
+        assert_eq!(addrs, 2, "one load + one store address");
+        assert_eq!(special, 0, "fully linear: no window, no dynamic dims");
+    }
+
+    #[test]
+    fn windowed_dim_keeps_its_mod() {
+        // fib with window 3: the K dimension must stay special.
+        let src = "T: module (n: int): [y: int];
+             type K = 3 .. n;
+             var a: array [1 .. n] of int;
+             define
+                a[1] = 1;
+                a[2] = 1;
+                a[K] = a[K-1] + a[K-2];
+                y = a[n];
+             end T;";
+        let inputs = Inputs::new().set_int("n", 10);
+        let (m, sched) = build(src);
+        let a = m.data_by_name("a").unwrap();
+        assert_eq!(sched.memory.window(a, 0), Some(3), "planner windows a");
+        let store = Store::build(&m, &sched.memory, &inputs, false).unwrap();
+        let prog = compile_program(&m, &sched.flowchart, &store);
+        let eq3 = m.equation_by_label("eq.3").unwrap();
+        let (_, addrs, special) = prog.stats(eq3);
+        assert_eq!(addrs, 3, "two loads + one store");
+        assert_eq!(special, 3, "every access of the windowed dim needs mod");
+    }
+
+    #[test]
+    fn guards_lower_to_fused_branches() {
+        // A guarded body: the `if` condition must produce fused
+        // compare-and-branch instructions, not materialized booleans.
+        let src = "T: module (n: int): [out: array[1..n] of int];
+             type I = 1 .. n;
+             define
+                out[I] = if (I = 1) or (I = n) then 0 else I;
+             end T;";
+        let inputs = Inputs::new().set_int("n", 8);
+        let (m, sched) = build(src);
+        let store = Store::build(&m, &sched.memory, &inputs, false).unwrap();
+        let prog = compile_program(&m, &sched.flowchart, &store);
+        let eq1 = m.equation_by_label("eq.1").unwrap();
+        let ceq = prog.eqs[eq1].as_ref().unwrap();
+        assert!(
+            ceq.insns
+                .iter()
+                .any(|i| matches!(i, Insn::JumpCmpINot { .. })),
+            "guard comparisons fuse into branches: {:?}",
+            ceq.insns
+        );
+        assert!(
+            !ceq.insns.iter().any(|i| matches!(i, Insn::CmpI { .. })),
+            "no materialized guard booleans: {:?}",
+            ceq.insns
+        );
+    }
+
+    #[test]
+    fn tape_executes_a_scalar_chain() {
+        let src = "T: module (x: int): [y: int];
+             var a, b: int;
+             define
+                a = x * 2;
+                b = a + 1;
+                y = b * b;
+             end T;";
+        let inputs = Inputs::new().set_int("x", 3);
+        let (m, sched) = build(src);
+        let store = Store::build(&m, &sched.memory, &inputs, false).unwrap();
+        let prog = compile_program(&m, &sched.flowchart, &store);
+        let mut frames = Frames::new(&prog);
+        for eq in sched.flowchart.equations() {
+            prog.run_eq(eq, &mut frames);
+        }
+        drop(prog);
+        let out = store.into_outputs();
+        assert_eq!(out.scalar("y"), Value::Int(49));
+    }
+}

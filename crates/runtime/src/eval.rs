@@ -49,10 +49,66 @@ impl Env {
     pub fn set_slot(&mut self, slot: usize, value: i64) {
         self.bindings[slot].1 = value;
     }
+
+    /// Current number of bindings; pair with [`Env::truncate`] to pop the
+    /// slots a loop pushed once its iterations are done.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Drop every binding past `len` (restores the state captured by
+    /// [`Env::len`] before a loop pushed its slots).
+    pub fn truncate(&mut self, len: usize) {
+        self.bindings.truncate(len);
+    }
 }
 
-/// Evaluate the right-hand side of `eq` under `env`.
-pub fn eval(store: &Store<'_>, eq_id: EqId, eq: &Equation, env: &Env, e: &HExpr) -> Value {
+/// A pool of reusable subscript vectors.
+///
+/// Array reads need a temporary `Vec<i64>` for the resolved index;
+/// allocating one per access used to dominate the tree-walker's hot path.
+/// Callers [`SubScratch::take`] a vector, fill it, and [`SubScratch::put`]
+/// it back — in steady state no allocation happens. A *pool* (rather than
+/// one buffer) because dynamic subscripts re-enter [`eval`], which may need
+/// a second vector while the outer one is in use.
+#[derive(Clone, Debug, Default)]
+pub struct SubScratch {
+    pool: Vec<Vec<i64>>,
+}
+
+impl SubScratch {
+    pub fn new() -> SubScratch {
+        SubScratch::default()
+    }
+
+    /// Borrow an empty vector from the pool (allocates only on first use at
+    /// each nesting depth).
+    pub fn take(&mut self) -> Vec<i64> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Return a vector to the pool for reuse.
+    pub fn put(&mut self, mut v: Vec<i64>) {
+        v.clear();
+        self.pool.push(v);
+    }
+}
+
+/// Evaluate the right-hand side of `eq` under `env`. `scratch` provides
+/// reusable subscript buffers so array reads allocate nothing in steady
+/// state.
+pub fn eval(
+    store: &Store<'_>,
+    eq_id: EqId,
+    eq: &Equation,
+    env: &Env,
+    scratch: &mut SubScratch,
+    e: &HExpr,
+) -> Value {
     match e {
         HExpr::Int(v) => Value::Int(*v),
         HExpr::Real(v) => Value::Real(*v),
@@ -70,34 +126,37 @@ pub fn eval(store: &Store<'_>, eq_id: EqId, eq: &Equation, env: &Env, e: &HExpr)
         HExpr::ReadField(d, idx) => store.read_scalar(*d, *idx + 1),
         HExpr::Iv(iv) => Value::Int(env.lookup(eq_id, *iv)),
         HExpr::ReadArray { array, subs, .. } => {
-            let index = resolve_subs(store, eq_id, eq, env, subs);
-            store.array(*array).read(&index)
+            let mut index = scratch.take();
+            resolve_subs(store, eq_id, eq, env, scratch, subs, &mut index);
+            let v = store.array(*array).read(&index);
+            scratch.put(index);
+            v
         }
         HExpr::Binary { op, lhs, rhs } => {
             // Short-circuit logical operators first.
             match op {
                 BinOp::And => {
-                    return if eval(store, eq_id, eq, env, lhs).as_bool() {
-                        eval(store, eq_id, eq, env, rhs)
+                    return if eval(store, eq_id, eq, env, scratch, lhs).as_bool() {
+                        eval(store, eq_id, eq, env, scratch, rhs)
                     } else {
                         Value::Bool(false)
                     };
                 }
                 BinOp::Or => {
-                    return if eval(store, eq_id, eq, env, lhs).as_bool() {
+                    return if eval(store, eq_id, eq, env, scratch, lhs).as_bool() {
                         Value::Bool(true)
                     } else {
-                        eval(store, eq_id, eq, env, rhs)
+                        eval(store, eq_id, eq, env, scratch, rhs)
                     };
                 }
                 _ => {}
             }
-            let l = eval(store, eq_id, eq, env, lhs);
-            let r = eval(store, eq_id, eq, env, rhs);
+            let l = eval(store, eq_id, eq, env, scratch, lhs);
+            let r = eval(store, eq_id, eq, env, scratch, rhs);
             binary(*op, l, r)
         }
         HExpr::Unary { op, operand } => {
-            let v = eval(store, eq_id, eq, env, operand);
+            let v = eval(store, eq_id, eq, env, scratch, operand);
             match (op, v) {
                 (UnOp::Neg, Value::Int(x)) => Value::Int(-x),
                 (UnOp::Neg, Value::Real(x)) => Value::Real(-x),
@@ -107,33 +166,44 @@ pub fn eval(store: &Store<'_>, eq_id: EqId, eq: &Equation, env: &Env, e: &HExpr)
         }
         HExpr::If { arms, else_ } => {
             for (cond, value) in arms {
-                if eval(store, eq_id, eq, env, cond).as_bool() {
-                    return eval(store, eq_id, eq, env, value);
+                if eval(store, eq_id, eq, env, scratch, cond).as_bool() {
+                    return eval(store, eq_id, eq, env, scratch, value);
                 }
             }
-            eval(store, eq_id, eq, env, else_)
+            eval(store, eq_id, eq, env, scratch, else_)
         }
         HExpr::Call { builtin, args } => {
-            let vals: Vec<Value> = args
-                .iter()
-                .map(|a| eval(store, eq_id, eq, env, a))
-                .collect();
-            call(*builtin, &vals)
+            // Builtins take at most two arguments; evaluate into a fixed
+            // buffer instead of collecting a Vec.
+            let mut vals = [Value::Int(0); 2];
+            assert!(args.len() <= vals.len(), "builtin arity exceeds buffer");
+            for (slot, a) in vals.iter_mut().zip(args) {
+                *slot = eval(store, eq_id, eq, env, scratch, a);
+            }
+            call(*builtin, &vals[..args.len()])
         }
-        HExpr::CastReal(inner) => Value::Real(eval(store, eq_id, eq, env, inner).widen_real()),
+        HExpr::CastReal(inner) => {
+            Value::Real(eval(store, eq_id, eq, env, scratch, inner).widen_real())
+        }
     }
 }
 
-/// Resolve a subscript vector to concrete indices.
+/// Resolve a subscript vector to concrete indices, appended to the
+/// caller-provided `out` buffer (cleared first). Taking the buffer from the
+/// caller keeps per-access heap allocation out of the hot path; `scratch`
+/// serves any nested dynamic-subscript evaluation.
 pub fn resolve_subs(
     store: &Store<'_>,
     eq_id: EqId,
     eq: &Equation,
     env: &Env,
+    scratch: &mut SubScratch,
     subs: &[SubscriptExpr],
-) -> Vec<i64> {
-    subs.iter()
-        .map(|s| match s {
+    out: &mut Vec<i64>,
+) {
+    out.clear();
+    for s in subs {
+        out.push(match s {
             SubscriptExpr::Var(iv) => env.lookup(eq_id, *iv),
             SubscriptExpr::VarOffset(iv, d) => env.lookup(eq_id, *iv) + d,
             SubscriptExpr::Affine(a) => {
@@ -146,9 +216,9 @@ pub fn resolve_subs(
                 }
                 total
             }
-            SubscriptExpr::Dynamic(e) => eval(store, eq_id, eq, env, e).as_int(),
-        })
-        .collect()
+            SubscriptExpr::Dynamic(e) => eval(store, eq_id, eq, env, scratch, e).as_int(),
+        });
+    }
 }
 
 fn binary(op: BinOp, l: Value, r: Value) -> Value {
@@ -252,6 +322,32 @@ mod tests {
         env.bind(EqId(0), IvId(0), 1);
         env.bind(EqId(0), IvId(0), 2);
         assert_eq!(env.lookup(EqId(0), IvId(0)), 2);
+    }
+
+    #[test]
+    fn env_truncate_pops_loop_slots() {
+        let mut env = Env::new();
+        env.bind(EqId(0), IvId(0), 1);
+        let base = env.len();
+        let s = env.push_slot(EqId(1), IvId(0));
+        env.set_slot(s, 9);
+        assert_eq!(env.lookup(EqId(1), IvId(0)), 9);
+        env.truncate(base);
+        assert_eq!(env.len(), 1);
+        assert_eq!(env.lookup(EqId(0), IvId(0)), 1, "outer binding survives");
+    }
+
+    #[test]
+    fn scratch_pool_reuses_buffers() {
+        let mut s = SubScratch::new();
+        let mut a = s.take();
+        a.push(1);
+        a.push(2);
+        let ptr = a.as_ptr();
+        s.put(a);
+        let b = s.take();
+        assert!(b.is_empty(), "returned buffers come back cleared");
+        assert_eq!(b.as_ptr(), ptr, "the same allocation is reused");
     }
 
     #[test]

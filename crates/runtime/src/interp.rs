@@ -4,8 +4,23 @@
 //! Perfectly nested `DOALL` chains are flattened into a single
 //! `parallel_for` over the product index space so a `DOALL I (DOALL J)`
 //! nest saturates the pool even when the outer extent is small.
+//!
+//! Two execution engines walk the same flowchart:
+//!
+//! * [`Engine::Compiled`] (the default) lowers every scheduled equation to
+//!   a typed register tape once per run (the crate-private `compiled`
+//!   module) and
+//!   executes iterations as non-recursive tape walks with strength-reduced
+//!   addressing and zero per-iteration allocations;
+//! * [`Engine::TreeWalk`] evaluates the `HExpr` trees directly via
+//!   [`crate::eval`] — slower, but structurally independent, so it serves
+//!   as the differential-testing oracle for the compiled engine.
+//!
+//! `check_writes` needs the logical-index tags only the tree-walker's
+//! checked store accessors maintain, so it forces the tree-walk engine.
 
-use crate::eval::{eval, Env};
+use crate::compiled::{compile_program, CompiledProgram, Frames};
+use crate::eval::{eval, Env, SubScratch};
 use crate::store::{Inputs, Outputs, RuntimeError, Store};
 use crate::value::Value;
 use ps_executor::Executor;
@@ -13,12 +28,24 @@ use ps_lang::hir::{HirModule, LhsSub};
 use ps_lang::EqId;
 use ps_scheduler::{Descriptor, DrainSpec, Flowchart, LoopDescriptor, LoopKind, MemoryPlan};
 
+/// Which evaluation engine executes equation bodies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// Typed register bytecode with strength-reduced subscripts (fast).
+    #[default]
+    Compiled,
+    /// Direct recursive `HExpr` evaluation (the differential oracle).
+    TreeWalk,
+}
+
 /// Knobs for [`run_module`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RuntimeOptions {
     /// Track logical tags per physical slot, catching double writes and
-    /// window evictions (slow; for tests).
+    /// window evictions (slow; for tests). Implies [`Engine::TreeWalk`].
     pub check_writes: bool,
+    /// Evaluation engine (compiled by default).
+    pub engine: Engine,
 }
 
 /// Execute a scheduled module.
@@ -31,12 +58,29 @@ pub fn run_module(
     options: RuntimeOptions,
 ) -> Result<Outputs, RuntimeError> {
     let store = Store::build(module, plan, inputs, options.check_writes)?;
-    let cx = Interp {
-        store: &store,
-        executor,
-    };
-    cx.run_items(&flowchart.items, &Env::new());
+    {
+        let cx = Interp {
+            store: &store,
+            executor,
+        };
+        if options.engine == Engine::Compiled && !options.check_writes {
+            let prog = compile_program(module, flowchart, &store);
+            let mut frames = Frames::new(&prog);
+            cx.run_items_compiled(&prog, &flowchart.items, &mut frames);
+        } else {
+            let mut st = TreeState::default();
+            cx.run_items(&flowchart.items, &mut st);
+        }
+    }
     Ok(store.into_outputs())
+}
+
+/// Mutable per-worker state of the tree-walk engine: the index environment
+/// plus reusable subscript buffers.
+#[derive(Clone, Debug, Default)]
+struct TreeState {
+    env: Env,
+    scratch: SubScratch,
 }
 
 struct Interp<'a, 'm> {
@@ -44,21 +88,56 @@ struct Interp<'a, 'm> {
     executor: &'a dyn Executor,
 }
 
+/// Every equation reachable in `items` (loop bodies included), in order.
+fn collect_equations(items: &[Descriptor]) -> Vec<EqId> {
+    let mut out = Vec::new();
+    fn go(items: &[Descriptor], out: &mut Vec<EqId>) {
+        for d in items {
+            match d {
+                Descriptor::Equation(eq) => out.push(*eq),
+                Descriptor::Loop(l) => go(&l.body, out),
+                Descriptor::Drain(_) => {}
+            }
+        }
+    }
+    go(items, &mut out);
+    out
+}
+
+/// Flatten a perfectly nested `DOALL` chain starting at `l`; returns the
+/// chain, per-level `(lo, hi)` ranges and widths, the flattened iteration
+/// count, and the innermost body.
+fn flatten_doall<'l>(
+    l: &'l LoopDescriptor,
+    bounds: impl Fn(ps_lang::SubrangeId) -> (i64, i64),
+) -> (
+    Vec<&'l LoopDescriptor>,
+    Vec<(i64, i64)>,
+    Vec<i64>,
+    i64,
+    &'l [Descriptor],
+) {
+    let mut chain: Vec<&LoopDescriptor> = vec![l];
+    let mut body: &[Descriptor] = &l.body;
+    while let [Descriptor::Loop(inner)] = body {
+        if inner.kind != LoopKind::Doall {
+            break;
+        }
+        chain.push(inner);
+        body = &inner.body;
+    }
+    let ranges: Vec<(i64, i64)> = chain.iter().map(|c| bounds(c.subrange)).collect();
+    let widths: Vec<i64> = ranges
+        .iter()
+        .map(|&(lo, hi)| (hi - lo + 1).max(0))
+        .collect();
+    let total: i64 = widths.iter().product();
+    (chain, ranges, widths, total, body)
+}
+
 impl<'a, 'm> Interp<'a, 'm> {
     fn module(&self) -> &'m HirModule {
         self.store.module
-    }
-
-    fn run_items(&self, items: &[Descriptor], env: &Env) {
-        for d in items {
-            match d {
-                Descriptor::Equation(eq) => self.run_equation(*eq, env),
-                Descriptor::Loop(l) => self.run_loop(l, env),
-                Descriptor::Drain(spec) => {
-                    panic!("drain over {} reached outside a time loop", spec.time_name)
-                }
-            }
-        }
     }
 
     fn bounds(&self, sr: ps_lang::SubrangeId) -> (i64, i64) {
@@ -72,51 +151,132 @@ impl<'a, 'm> Interp<'a, 'm> {
         (lo, hi)
     }
 
-    fn run_loop(&self, l: &LoopDescriptor, env: &Env) {
+    // ---- compiled engine ----
+
+    fn run_items_compiled(
+        &self,
+        prog: &CompiledProgram<'_, 'm>,
+        items: &[Descriptor],
+        frames: &mut Frames,
+    ) {
+        for d in items {
+            match d {
+                Descriptor::Equation(eq) => prog.run_eq(*eq, frames),
+                Descriptor::Loop(l) => self.run_loop_compiled(prog, l, frames),
+                Descriptor::Drain(spec) => {
+                    panic!("drain over {} reached outside a time loop", spec.time_name)
+                }
+            }
+        }
+    }
+
+    fn run_loop_compiled(
+        &self,
+        prog: &CompiledProgram<'_, 'm>,
+        l: &LoopDescriptor,
+        frames: &mut Frames,
+    ) {
         match l.kind {
             LoopKind::Do => {
                 let (lo, hi) = self.bounds(l.subrange);
                 for i in lo..=hi {
-                    let mut child = env.child();
+                    // Counters live in flat per-equation slots: binding is
+                    // an indexed store, no environment structure at all.
                     for &(eq, iv) in &l.bindings {
-                        child.bind(eq, iv, i);
+                        frames.set_iv(eq, iv, i);
+                    }
+                    for d in &l.body {
+                        match d {
+                            Descriptor::Drain(spec) => self.run_drain(spec, i),
+                            other => {
+                                self.run_items_compiled(prog, std::slice::from_ref(other), frames)
+                            }
+                        }
+                    }
+                }
+            }
+            LoopKind::Doall => {
+                let (chain, ranges, widths, total, innermost_body) =
+                    flatten_doall(l, |sr| self.bounds(sr));
+                if total <= 0 {
+                    return;
+                }
+                // Each chunk clones the body equations' frames once
+                // (inheriting outer DO counters and preloaded constants);
+                // the element loop then runs allocation-free.
+                let body_eqs = collect_equations(innermost_body);
+                let parent: &Frames = frames;
+                self.executor.for_chunks(0, total - 1, &|start, stop| {
+                    let mut local = parent.clone_for(&body_eqs);
+                    for flat in start..stop {
+                        let mut rem = flat;
+                        for k in (0..chain.len()).rev() {
+                            let idx = ranges[k].0 + rem % widths[k];
+                            rem /= widths[k];
+                            for &(eq, iv) in &chain[k].bindings {
+                                local.set_iv(eq, iv, idx);
+                            }
+                        }
+                        self.run_items_compiled(prog, innermost_body, &mut local);
+                    }
+                });
+            }
+        }
+    }
+
+    // ---- tree-walk engine ----
+
+    fn run_items(&self, items: &[Descriptor], st: &mut TreeState) {
+        for d in items {
+            match d {
+                Descriptor::Equation(eq) => self.run_equation(*eq, st),
+                Descriptor::Loop(l) => self.run_loop(l, st),
+                Descriptor::Drain(spec) => {
+                    panic!("drain over {} reached outside a time loop", spec.time_name)
+                }
+            }
+        }
+    }
+
+    fn run_loop(&self, l: &LoopDescriptor, st: &mut TreeState) {
+        match l.kind {
+            LoopKind::Do => {
+                let (lo, hi) = self.bounds(l.subrange);
+                // Like the DOALL path: push binding slots once, overwrite
+                // them per iteration, truncate afterwards — no per-iteration
+                // environment clone.
+                let base = st.env.len();
+                let slots: Vec<usize> = l
+                    .bindings
+                    .iter()
+                    .map(|&(eq, iv)| st.env.push_slot(eq, iv))
+                    .collect();
+                for i in lo..=hi {
+                    for &slot in &slots {
+                        st.env.set_slot(slot, i);
                     }
                     // A DO body may contain a Drain, which needs the time
                     // index: handle it inline here.
                     for d in &l.body {
                         match d {
                             Descriptor::Drain(spec) => self.run_drain(spec, i),
-                            other => self.run_items(std::slice::from_ref(other), &child),
+                            other => self.run_items(std::slice::from_ref(other), st),
                         }
                     }
                 }
+                st.env.truncate(base);
             }
             LoopKind::Doall => {
-                // Flatten perfectly nested DOALLs: [this, inner, ...].
-                let mut chain: Vec<&LoopDescriptor> = vec![l];
-                let mut body: &[Descriptor] = &l.body;
-                while let [Descriptor::Loop(inner)] = body {
-                    if inner.kind != LoopKind::Doall {
-                        break;
-                    }
-                    chain.push(inner);
-                    body = &inner.body;
-                }
-                let ranges: Vec<(i64, i64)> =
-                    chain.iter().map(|c| self.bounds(c.subrange)).collect();
-                let widths: Vec<i64> = ranges
-                    .iter()
-                    .map(|&(lo, hi)| (hi - lo + 1).max(0))
-                    .collect();
-                let total: i64 = widths.iter().product();
+                let (chain, ranges, widths, total, innermost_body) =
+                    flatten_doall(l, |sr| self.bounds(sr));
                 if total <= 0 {
                     return;
                 }
-                let innermost_body = body;
                 // One environment per chunk: binding slots are created once
                 // and overwritten per element (hot path).
+                let parent: &TreeState = st;
                 self.executor.for_chunks(0, total - 1, &|start, stop| {
-                    let mut child = env.child();
+                    let mut local = parent.clone();
                     // Slot layout: per chain level, one slot per binding.
                     let mut slots: Vec<Vec<usize>> = Vec::with_capacity(chain.len());
                     for level in &chain {
@@ -124,7 +284,7 @@ impl<'a, 'm> Interp<'a, 'm> {
                             level
                                 .bindings
                                 .iter()
-                                .map(|&(eq, iv)| child.push_slot(eq, iv))
+                                .map(|&(eq, iv)| local.env.push_slot(eq, iv))
                                 .collect(),
                         );
                     }
@@ -134,36 +294,36 @@ impl<'a, 'm> Interp<'a, 'm> {
                             let idx = ranges[k].0 + rem % widths[k];
                             rem /= widths[k];
                             for &slot in &slots[k] {
-                                child.set_slot(slot, idx);
+                                local.env.set_slot(slot, idx);
                             }
                         }
-                        self.run_items(innermost_body, &child);
+                        self.run_items(innermost_body, &mut local);
                     }
                 });
             }
         }
     }
 
-    fn run_equation(&self, eq_id: EqId, env: &Env) {
+    fn run_equation(&self, eq_id: EqId, st: &mut TreeState) {
         let eq = &self.module().equations[eq_id];
-        let value = eval(self.store, eq_id, eq, env, &eq.rhs);
+        let value = eval(self.store, eq_id, eq, &st.env, &mut st.scratch, &eq.rhs);
         match eq.lhs_field {
             Some(fidx) => self.store.write_scalar(eq.lhs, fidx + 1, value),
             None => {
                 if eq.lhs_subs.is_empty() {
                     self.store.write_scalar(eq.lhs, 0, value);
                 } else {
-                    let index: Vec<i64> = eq
-                        .lhs_subs
-                        .iter()
-                        .map(|s| match s {
+                    let mut index = st.scratch.take();
+                    for s in &eq.lhs_subs {
+                        index.push(match s {
                             LhsSub::Const(a) => a
                                 .eval(&self.store.params)
                                 .unwrap_or_else(|| panic!("cannot evaluate {a}")),
-                            LhsSub::Var(iv) => env.lookup(eq_id, *iv),
-                        })
-                        .collect();
+                            LhsSub::Var(iv) => st.env.lookup(eq_id, *iv),
+                        });
+                    }
                     self.store.array(eq.lhs).write(&index, value);
+                    st.scratch.put(index);
                 }
             }
         }
@@ -306,6 +466,7 @@ mod tests {
             executor,
             RuntimeOptions {
                 check_writes: check,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -329,6 +490,34 @@ mod tests {
         assert_eq!(
             diff, 0.0,
             "bitwise identical: same operations, same order per element"
+        );
+    }
+
+    #[test]
+    fn compiled_and_tree_walk_agree_bitwise() {
+        let m = frontend(RELAXATION_V1).unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let run = |engine| {
+            run_module(
+                &m,
+                &sched.flowchart,
+                &sched.memory,
+                &grid_inputs(6, 8),
+                &Sequential,
+                RuntimeOptions {
+                    engine,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let compiled = run(Engine::Compiled);
+        let tree = run(Engine::TreeWalk);
+        assert_eq!(
+            compiled.array("newA").max_abs_diff(tree.array("newA")),
+            0.0,
+            "same operations in the same order, bit-identical"
         );
     }
 
@@ -420,7 +609,10 @@ mod tests {
             &sched.memory,
             &Inputs::new().set_int("n", 30),
             &Sequential,
-            RuntimeOptions { check_writes: true },
+            RuntimeOptions {
+                check_writes: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(out.scalar("y"), Value::Int(832040), "fib(30)");

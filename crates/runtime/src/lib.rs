@@ -1,25 +1,51 @@
 //! Execution of scheduled PS programs.
 //!
-//! Two independent execution paths, used to differentially test each other:
+//! The scheduled interpreter ([`interp`]) walks a flowchart produced by
+//! `ps-scheduler`, executing `DO` loops in order and mapping `DOALL` loops
+//! (flattening perfectly nested ones) onto a [`ps_executor::Executor`].
+//! Array storage honours the virtual-dimension [`MemoryPlan`]: windowed
+//! dimensions are allocated `window` planes and indexed modulo the window,
+//! exactly like the C the paper's compiler emits.
 //!
-//! * [`interp`] — the *scheduled* interpreter: walks a flowchart produced by
-//!   `ps-scheduler`, executes `DO` loops in order and maps `DOALL` loops
-//!   (flattening perfectly nested ones) onto a [`ps_executor::Executor`].
-//!   Array storage honours the virtual-dimension [`MemoryPlan`]: windowed
-//!   dimensions are allocated `window` planes and indexed modulo the window,
-//!   exactly like the C the paper's compiler emits.
-//! * [`naive`] — the *oracle*: a demand-driven memoizing evaluator that
-//!   executes the nonprocedural semantics directly from the equations, with
-//!   no scheduler involved. Slow, sequential, and obviously correct.
+//! # The two-engine design
+//!
+//! Equation bodies execute under one of two engines, selected by
+//! `RuntimeOptions::engine`:
+//!
+//! * **Compiled** (the default, [`interp::Engine::Compiled`]) — once per
+//!   run, every scheduled equation is lowered to a flat postorder tape of
+//!   typed instructions over untagged `f64`/`i64`/`bool` registers, with
+//!   types synthesized ahead of time from the checked HIR. Affine array
+//!   subscripts are strength-reduced against each array's *physical*
+//!   layout into `base + Σ cᵢ·counterᵢ` dot products (the window `mod`
+//!   survives only for genuinely windowed dimensions), module parameters
+//!   are folded into tape constants, and loop counters live in flat
+//!   per-equation slots. An iteration is a non-recursive tape walk with
+//!   direct buffer loads and stores and **zero per-iteration heap
+//!   allocations** — the interpretive cost the paper's loop-level speedups
+//!   would otherwise drown in.
+//! * **TreeWalk** ([`interp::Engine::TreeWalk`]) — direct recursive
+//!   evaluation of the `HExpr` trees via [`eval`], with tagged [`Value`]
+//!   dispatch and an index-variable environment. Slower, but structurally
+//!   independent of the lowering pass, so it doubles as the differential
+//!   oracle for the compiled engine (the `engine_diff` suite asserts
+//!   bit-identical outputs on random programs).
+//!
+//! A third, fully independent path is [`naive`] — a demand-driven
+//! memoizing evaluator executing the nonprocedural semantics straight from
+//! the equations, with no scheduler involved: slow, sequential, and
+//! obviously correct; both scheduled engines are tested against it.
 //!
 //! Writes from `DOALL` iterations go through interior-mutability cells; the
 //! single-assignment discipline (enforced by the checker and the scheduler)
 //! guarantees disjointness. `RuntimeOptions::check_writes` additionally
 //! tags every physical slot with the logical index it holds, catching both
-//! double writes and window-eviction races in tests.
+//! double writes and window-eviction races in tests; the tags live on the
+//! checked accessor path, so `check_writes` forces the tree-walk engine.
 //!
 //! [`MemoryPlan`]: ps_scheduler::MemoryPlan
 
+mod compiled;
 pub mod eval;
 pub mod interp;
 pub mod naive;
@@ -27,7 +53,7 @@ pub mod ndarray;
 pub mod store;
 pub mod value;
 
-pub use interp::{run_module, RuntimeOptions};
+pub use interp::{run_module, Engine, RuntimeOptions};
 pub use naive::run_naive;
 pub use store::{Inputs, Outputs};
 pub use value::{OwnedArray, Value};

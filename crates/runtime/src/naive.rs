@@ -24,6 +24,7 @@ pub fn run_naive(module: &HirModule, inputs: &Inputs) -> Result<Outputs, Runtime
         params: params.clone(),
         memo: RefCell::new(FxHashMap::default()),
         in_progress: RefCell::new(ps_support::FxHashSet::default()),
+        scratch: RefCell::new(Vec::new()),
     };
 
     let mut out = Outputs::default();
@@ -76,6 +77,9 @@ struct Oracle<'m> {
     params: FxHashMap<Symbol, i64>,
     memo: RefCell<FxHashMap<(DataId, Vec<i64>), Value>>,
     in_progress: RefCell<ps_support::FxHashSet<(DataId, Vec<i64>)>>,
+    /// Reusable subscript buffers (a pool, not one buffer: dynamic
+    /// subscripts recurse into `eval_expr` while an outer index is live).
+    scratch: RefCell<Vec<Vec<i64>>>,
 }
 
 impl<'m> Oracle<'m> {
@@ -228,11 +232,14 @@ impl<'m> Oracle<'m> {
             HExpr::ReadField(d, idx) => self.demand_field(*d, *idx)?,
             HExpr::Iv(iv) => Value::Int(env[iv]),
             HExpr::ReadArray { array, subs, .. } => {
-                let mut index = Vec::with_capacity(subs.len());
+                let mut index = self.scratch.borrow_mut().pop().unwrap_or_default();
                 for s in subs {
                     index.push(self.resolve_sub(eq_id, eq, env, s)?);
                 }
-                self.demand(*array, &index)?
+                let v = self.demand(*array, &index);
+                index.clear();
+                self.scratch.borrow_mut().push(index);
+                v?
             }
             HExpr::Binary { op, lhs, rhs } => {
                 // Short-circuit logic.

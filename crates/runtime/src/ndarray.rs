@@ -90,7 +90,7 @@ impl NdSpec {
 }
 
 /// Element-wise `UnsafeCell` buffer for disjoint parallel writes.
-struct ParVec<T> {
+pub(crate) struct ParVec<T> {
     data: Box<[UnsafeCell<T>]>,
 }
 
@@ -109,14 +109,14 @@ impl<T: Copy> ParVec<T> {
     }
 
     #[inline]
-    fn get(&self, i: usize) -> T {
+    pub(crate) fn get(&self, i: usize) -> T {
         unsafe { *self.data[i].get() }
     }
 
     /// # Safety
     /// No concurrent write to the same `i`, and no concurrent read of `i`.
     #[inline]
-    unsafe fn set(&self, i: usize, v: T) {
+    pub(crate) unsafe fn set(&self, i: usize, v: T) {
         unsafe {
             *self.data[i].get() = v;
         }
@@ -131,7 +131,7 @@ impl<T: Copy> ParVec<T> {
     }
 }
 
-enum SharedBuffer {
+pub(crate) enum SharedBuffer {
     Real(ParVec<f64>),
     Int(ParVec<i64>),
     Bool(ParVec<bool>),
@@ -183,6 +183,14 @@ impl ArrayInstance {
             buf,
             tags: None,
         }
+    }
+
+    /// Direct typed access to the shared buffer. The compiled engine
+    /// resolves each array reference to its typed `ParVec` once at lowering
+    /// time; the per-element disjointness obligations of [`ParVec::set`]
+    /// carry over unchanged.
+    pub(crate) fn buffer(&self) -> &SharedBuffer {
+        &self.buf
     }
 
     pub fn read(&self, index: &[i64]) -> Value {

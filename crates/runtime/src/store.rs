@@ -5,7 +5,7 @@ use crate::value::{OwnedArray, Value};
 use ps_lang::hir::{DataKind, HirModule};
 use ps_lang::{DataId, ScalarTy, Ty};
 use ps_scheduler::MemoryPlan;
-use ps_support::idx::Idx;
+use ps_support::idx::{Idx, IndexVec};
 use ps_support::{FxHashMap, Symbol};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
@@ -133,7 +133,9 @@ impl ScalarSlot {
 pub struct Store<'m> {
     pub module: &'m HirModule,
     pub params: FxHashMap<Symbol, i64>,
-    arrays: FxHashMap<DataId, ArrayInstance>,
+    /// Dense per-item array table (`None` for scalars): lookups on the hot
+    /// path are a single indexed load, no hashing.
+    arrays: IndexVec<DataId, Option<ArrayInstance>>,
     /// Flat scalar slots, one per `(data item, field)` pair. Guards in hot
     /// DOALL bodies read parameters like `M`/`maxK` millions of times, so
     /// every read is two atomic loads — no lock, no hashing. Slot `i` of
@@ -153,7 +155,8 @@ impl<'m> Store<'m> {
         check_writes: bool,
     ) -> Result<Store<'m>, RuntimeError> {
         let params = inputs.param_env();
-        let mut arrays = FxHashMap::default();
+        let mut arrays: IndexVec<DataId, Option<ArrayInstance>> =
+            IndexVec::with_capacity(module.data.len());
 
         // Lay out the scalar slot table: one slot per scalar item plus one
         // per record field (arrays get an unused slot; the waste is a few
@@ -161,6 +164,7 @@ impl<'m> Store<'m> {
         let mut scalar_base = Vec::with_capacity(module.data.len());
         let mut next_slot = 0u32;
         for (_, item) in module.data.iter_enumerated() {
+            arrays.push(None);
             scalar_base.push(next_slot);
             let fields = match &item.ty {
                 Ty::Record(rid) => module.records[*rid].fields.len() as u32,
@@ -189,7 +193,7 @@ impl<'m> Store<'m> {
                                 item.name, owned.dims, declared
                             )));
                         }
-                        arrays.insert(id, ArrayInstance::from_owned(owned));
+                        arrays[id] = Some(ArrayInstance::from_owned(owned));
                     } else {
                         let v = inputs.scalar(item.name).ok_or_else(|| {
                             RuntimeError(format!("missing input `{}`", item.name))
@@ -217,7 +221,7 @@ impl<'m> Store<'m> {
                         let elem = item.elem_scalar().ok_or_else(|| {
                             RuntimeError(format!("`{}` has no scalar element", item.name))
                         })?;
-                        arrays.insert(id, ArrayInstance::new(NdSpec { dims }, elem, check_writes));
+                        arrays[id] = Some(ArrayInstance::new(NdSpec { dims }, elem, check_writes));
                     }
                 }
             }
@@ -261,15 +265,35 @@ impl<'m> Store<'m> {
     }
 
     pub fn array(&self, id: DataId) -> &ArrayInstance {
-        self.arrays
-            .get(&id)
+        self.arrays[id]
+            .as_ref()
             .unwrap_or_else(|| panic!("array `{}` not allocated", self.module.data[id].name))
+    }
+
+    /// Flat index of scalar `field` of `id` in the slot table. The compiled
+    /// engine resolves slots once at lowering time and reads them by index.
+    pub(crate) fn slot_index(&self, id: DataId, field: usize) -> usize {
+        self.scalar_base[id.index()] as usize + field
+    }
+
+    /// Total number of scalar slots (for tape validation).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.scalar_slots.len()
+    }
+
+    /// Read a slot by flat index (`None` when never written).
+    pub(crate) fn read_slot(&self, slot: usize) -> Option<Value> {
+        self.scalar_slots[slot].read()
+    }
+
+    /// Write a slot by flat index.
+    pub(crate) fn write_slot(&self, slot: usize, v: Value) {
+        self.scalar_slots[slot].write(v);
     }
 
     /// Read scalar `field` of `id` — two atomic loads, no lock.
     pub fn read_scalar(&self, id: DataId, field: usize) -> Value {
-        self.scalar_slots[self.scalar_base[id.index()] as usize + field]
-            .read()
+        self.read_slot(self.slot_index(id, field))
             .unwrap_or_else(|| {
                 panic!(
                     "scalar `{}` read before definition",
@@ -279,7 +303,7 @@ impl<'m> Store<'m> {
     }
 
     pub fn write_scalar(&self, id: DataId, field: usize, v: Value) {
-        self.scalar_slots[self.scalar_base[id.index()] as usize + field].write(v);
+        self.write_slot(self.slot_index(id, field), v);
     }
 
     /// Extract results into [`Outputs`].
@@ -288,7 +312,7 @@ impl<'m> Store<'m> {
         for &id in &self.module.results.clone() {
             let item = &self.module.data[id];
             if item.is_array() {
-                let inst = self.arrays.remove(&id).expect("result array was allocated");
+                let inst = self.arrays[id].take().expect("result array was allocated");
                 out.arrays
                     .insert(item.name.to_string(), inst.to_owned_array());
             } else {

@@ -164,7 +164,27 @@ where
         // The default panic hook is silenced for the duration — every
         // failing probe is a *caught* panic, and hundreds of backtraces
         // would bury the final minimized report (proptest does the same).
-        let prev_hook = std::panic::take_hook();
+        //
+        // The hook is process-global, so swapping it is serialized by a
+        // lock (several failing property tests may shrink on parallel test
+        // threads) and restored by a drop guard (a panicking `shrink` or
+        // `clone` must not leak the silencer into later tests).
+        static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        struct RestoreHook {
+            prev: Option<Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>>,
+        }
+        impl Drop for RestoreHook {
+            fn drop(&mut self) {
+                if let Some(prev) = self.prev.take() {
+                    std::panic::set_hook(prev);
+                }
+            }
+        }
+        // The final report panics while the lock is held: ignore poisoning.
+        let _hook_lock = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut restore = RestoreHook {
+            prev: Some(std::panic::take_hook()),
+        };
         std::panic::set_hook(Box::new(|_| {}));
         let mut minimized = value.clone();
         let mut min_failure = original_failure.clone();
@@ -180,7 +200,11 @@ where
             }
             break;
         }
-        std::panic::set_hook(prev_hook);
+        // Restore before the final panic so the report is printed (the
+        // guard then has nothing left to do on unwind).
+        if let Some(prev) = restore.prev.take() {
+            std::panic::set_hook(prev);
+        }
         panic!(
             "property failed at case {case}/{cases} (seed {seed:#x})\n\
              original case: {value:?}\n\

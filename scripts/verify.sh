@@ -32,6 +32,15 @@ PS_BENCH_WARMUP=1 PS_BENCH_SAMPLES=2 \
 grep -q '"benchmarks"' "$json_out" && grep -q '"median_ns"' "$json_out" \
     || { echo "bench-json smoke: $json_out missing expected fields" >&2; exit 1; }
 
+echo "==> bench-JSON smoke (exec_eval: engine comparison + batching fields)"
+json_out="$PWD/target/bench_eval_smoke.json"
+rm -f "$json_out"
+PS_BENCH_WARMUP=1 PS_BENCH_SAMPLES=2 \
+    cargo bench --offline --bench exec_eval -- --bench-json "$json_out" >/dev/null
+grep -q 'jacobi/compiled' "$json_out" && grep -q 'jacobi/treewalk' "$json_out" \
+    && grep -q '"batch"' "$json_out" && grep -q '"rejected_outliers"' "$json_out" \
+    || { echo "bench-json smoke: $json_out missing expected fields" >&2; exit 1; }
+
 echo "==> cargo doc --offline --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -q
 

@@ -1,0 +1,136 @@
+//! Allocation accounting for the compiled engine's hot path.
+//!
+//! A counting `GlobalAlloc` wraps the system allocator; the key property is
+//! that the number of heap allocations during a `run_module` is
+//! **independent of the iteration count**: growing the grid side (more
+//! `DOALL` elements per region) or the time extent (more `DO` iterations,
+//! each dispatching the same regions) must not change — or, for regions,
+//! must only linearly shift — the allocation count. Array buffers are
+//! single allocations whatever their length, so store setup cancels out and
+//! any per-iteration allocation in the tape walk would show up directly.
+
+use ps_core::{
+    compile, execute, programs, Compilation, CompileOptions, Engine, Inputs, OwnedArray,
+    RuntimeOptions, Sequential,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn grid_inputs(m: i64, maxk: i64) -> Inputs {
+    let side = (m + 2) as usize;
+    let data: Vec<f64> = (0..side * side)
+        .map(|i| ((i * 31 + 7) % 101) as f64 * 0.25)
+        .collect();
+    Inputs::new()
+        .set_int("M", m)
+        .set_int("maxK", maxk)
+        .set_array(
+            "InitialA",
+            OwnedArray::real(vec![(0, m + 1), (0, m + 1)], data),
+        )
+}
+
+fn run(comp: &Compilation, inputs: &Inputs, engine: Engine) {
+    execute(
+        comp,
+        inputs,
+        &Sequential,
+        RuntimeOptions {
+            engine,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+}
+
+/// Same region structure, vastly different element counts: the compiled
+/// engine must allocate exactly as much for a 26×26 grid as for a 10×10
+/// one (buffers are one allocation regardless of length), proving the
+/// steady-state `DOALL` element loop allocates nothing.
+#[test]
+fn doall_elements_are_allocation_free() {
+    let comp = compile(programs::RELAXATION_V1, CompileOptions::default()).unwrap();
+    let maxk = 6;
+    let small = grid_inputs(8, maxk);
+    let large = grid_inputs(24, maxk);
+    // Warm both shapes once: first-use interning and lazy one-time setup
+    // must not pollute the measured runs.
+    run(&comp, &small, Engine::Compiled);
+    run(&comp, &large, Engine::Compiled);
+
+    let a_small = allocs_during(|| run(&comp, &small, Engine::Compiled));
+    let a_large = allocs_during(|| run(&comp, &large, Engine::Compiled));
+    assert_eq!(
+        a_small, a_large,
+        "allocation count must not depend on the DOALL element count \
+         (10×10 vs 26×26 grid, {maxk} planes)"
+    );
+}
+
+/// Growing the DO extent adds parallel regions (each region costs a
+/// constant: one frames clone per chunk) but no per-element allocations:
+/// the count must grow exactly linearly in the number of DO iterations.
+/// `A` is windowed (2 planes), so storage does not grow with `maxK`.
+#[test]
+fn do_iterations_cost_constant_allocations() {
+    let comp = compile(programs::RELAXATION_V1, CompileOptions::default()).unwrap();
+    let a = comp.module.data_by_name("A").unwrap();
+    assert_eq!(
+        comp.schedule.memory.window(a, 0),
+        Some(2),
+        "A must be windowed so storage is maxK-independent"
+    );
+    let m = 8;
+    let inputs: Vec<Inputs> = [8, 16, 32, 64].iter().map(|&k| grid_inputs(m, k)).collect();
+    for i in &inputs {
+        run(&comp, i, Engine::Compiled);
+    }
+    let counts: Vec<usize> = inputs
+        .iter()
+        .map(|i| allocs_during(|| run(&comp, i, Engine::Compiled)))
+        .collect();
+    // Per-DO-iteration deltas: 8→16, 16→32, 32→64 double the added
+    // iterations, so the deltas must double too (pure linearity).
+    let d1 = counts[1] - counts[0];
+    let d2 = counts[2] - counts[1];
+    let d3 = counts[3] - counts[2];
+    assert_eq!(
+        d2,
+        2 * d1,
+        "superlinear allocation growth in DO: {counts:?}"
+    );
+    assert_eq!(
+        d3,
+        2 * d2,
+        "superlinear allocation growth in DO: {counts:?}"
+    );
+}

@@ -36,7 +36,10 @@ fn jacobi_scheduled_matches_oracle() {
         &comp,
         &inputs,
         &Sequential,
-        RuntimeOptions { check_writes: true },
+        RuntimeOptions {
+            check_writes: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let oracle = run_naive(&comp.module, &inputs).unwrap();
@@ -65,7 +68,10 @@ fn gauss_seidel_scheduled_matches_oracle() {
         &comp,
         &inputs,
         &Sequential,
-        RuntimeOptions { check_writes: true },
+        RuntimeOptions {
+            check_writes: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let oracle = run_naive(&comp.module, &inputs).unwrap();
@@ -93,7 +99,10 @@ fn wavefront_matches_untransformed() {
         &comp,
         &inputs,
         &Sequential,
-        RuntimeOptions { check_writes: true },
+        RuntimeOptions {
+            check_writes: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let diff = base.array("newA").max_abs_diff(wave_checked.array("newA"));
@@ -172,7 +181,10 @@ fn pipeline_with_fusion_matches_without() {
         &fused,
         &inputs,
         &ThreadPool::new(4),
-        RuntimeOptions { check_writes: true },
+        RuntimeOptions {
+            check_writes: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(a.array("out").max_abs_diff(b.array("out")), 0.0);
@@ -255,7 +267,10 @@ fn all_builtins_run_checked() {
             &comp,
             &inputs,
             &Sequential,
-            RuntimeOptions { check_writes: true },
+            RuntimeOptions {
+                check_writes: true,
+                ..Default::default()
+            },
         )
         .unwrap_or_else(|e| panic!("{name}: {e}"));
     }

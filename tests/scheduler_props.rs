@@ -135,7 +135,10 @@ fn random_stencils_schedule_correctly() {
                     &comp,
                     &inputs,
                     &Sequential,
-                    RuntimeOptions { check_writes: true },
+                    RuntimeOptions {
+                        check_writes: true,
+                        ..Default::default()
+                    },
                 )
                 .map_err(|e| format!("runs: {e}\n{src}"))?;
                 let oracle =

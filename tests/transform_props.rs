@@ -233,7 +233,10 @@ fn random_gs_transform_preserves_semantics() {
             &comp,
             &inputs,
             &Sequential,
-            RuntimeOptions { check_writes: true },
+            RuntimeOptions {
+                check_writes: true,
+                ..Default::default()
+            },
         )
         .map_err(|e| format!("wavefront runs: {e}\n{src}"))?;
         let diff = base.array("out").max_abs_diff(wave.array("out"));

@@ -56,7 +56,10 @@ fn windowed_recurrence_matches_oracle() {
             &comp,
             &inputs,
             &Sequential,
-            RuntimeOptions { check_writes: true },
+            RuntimeOptions {
+                check_writes: true,
+                ..Default::default()
+            },
         )
         .expect("windowed run");
         let oracle = run_naive(&comp.module, &inputs).expect("oracle");
