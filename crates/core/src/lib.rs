@@ -20,15 +20,27 @@
 //! assert!(fc.starts_with("DOALL I (DOALL J (eq.1))"));
 //! ```
 //!
-//! See `examples/` for runnable end-to-end programs and `ps-bench` for the
-//! benchmark harness regenerating every figure of the paper.
+//! # Compile once, run many
+//!
+//! Execution splits along the compile/run seam: [`Program::compile`]
+//! performs schedule analysis, store layout planning, and tape lowering
+//! exactly once, and [`Program::run`] serves each request by binding
+//! parameter registers and executing against pooled run state — the shape
+//! a service answering many small solves needs. `&Program` is
+//! `Send + Sync`, so worker threads share one artifact. [`execute`] /
+//! [`execute_transformed`] remain as compile-and-run-once conveniences.
+//!
+//! See `examples/` for runnable end-to-end programs (`quickstart.rs`
+//! demonstrates the compile-once / run-many API) and `ps-bench` for the
+//! benchmark harness regenerating every figure of the paper
+//! (`exec_manyrun` measures the amortization).
 
 pub mod pipeline;
 pub mod programs;
 pub mod report;
 
 pub use pipeline::{
-    compile, execute, execute_transformed, Compilation, CompileError, CompileOptions,
+    compile, execute, execute_transformed, Compilation, CompileError, CompileOptions, Program,
     TransformedArtifacts,
 };
 
@@ -43,7 +55,8 @@ pub use ps_hyperplane::{
 };
 pub use ps_lang::{frontend, HirModule};
 pub use ps_runtime::{
-    run_module, run_naive, Engine, Inputs, Outputs, OwnedArray, RuntimeOptions, Value,
+    run_module, run_naive, Engine, Inputs, Outputs, OwnedArray, RuntimeOptions, StoreArena,
+    StorePlan, Value,
 };
 pub use ps_scheduler::{
     schedule_module, validate_flowchart, Flowchart, MemoryPlan, PickPolicy, ScheduleOptions,

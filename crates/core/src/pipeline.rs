@@ -138,7 +138,84 @@ pub fn compile(source: &str, options: CompileOptions) -> Result<Compilation, Com
     })
 }
 
-/// Execute a compiled module on the given inputs.
+/// A reusable, shareable execution artifact: compile once, run many.
+///
+/// Wraps [`ps_runtime::Program`] over a [`Compilation`]'s scheduled (or
+/// transformed) module. Construction performs store layout planning and
+/// tape lowering exactly once; [`Program::run`] binds parameters,
+/// instantiates pooled storage, and executes. `&Program` is
+/// `Send + Sync`, so independent runs may execute concurrently from
+/// multiple threads sharing one artifact.
+///
+/// ```
+/// use ps_core::{compile, programs, CompileOptions, Program};
+/// use ps_core::{Inputs, RuntimeOptions, Sequential};
+///
+/// let comp = compile(programs::RECURRENCE_1D, CompileOptions::default()).unwrap();
+/// let prog = Program::compile(&comp, RuntimeOptions::default());
+/// let a = prog
+///     .run(&Inputs::new().set_real("rate", 0.5).set_int("n", 10), &Sequential)
+///     .unwrap();
+/// let b = prog
+///     .run(&Inputs::new().set_real("rate", 0.25).set_int("n", 20), &Sequential)
+///     .unwrap();
+/// assert!((a.scalar("final").as_real() - 1.5f64.powi(9)).abs() < 1e-9);
+/// assert!((b.scalar("final").as_real() - 1.25f64.powi(19)).abs() < 1e-9);
+/// ```
+pub struct Program<'c> {
+    inner: ps_runtime::Program<'c>,
+}
+
+impl<'c> Program<'c> {
+    /// Compile the reusable artifact for `comp`'s scheduled module.
+    pub fn compile(comp: &'c Compilation, options: RuntimeOptions) -> Program<'c> {
+        Program {
+            inner: ps_runtime::Program::new(
+                &comp.module,
+                &comp.schedule.flowchart,
+                &comp.schedule.memory,
+                options,
+            ),
+        }
+    }
+
+    /// Compile the artifact for `comp`'s hyperplane-transformed module.
+    ///
+    /// # Panics
+    /// When `comp` was compiled without [`CompileOptions::hyperplane`].
+    pub fn compile_transformed(comp: &'c Compilation, options: RuntimeOptions) -> Program<'c> {
+        let t = comp
+            .transformed
+            .as_ref()
+            .expect("compilation has no transformed artifacts");
+        Program {
+            inner: ps_runtime::Program::new(
+                &t.result.module,
+                &t.schedule.flowchart,
+                &t.schedule.memory,
+                options,
+            ),
+        }
+    }
+
+    /// Execute one run. Reentrant and thread-safe.
+    pub fn run(
+        &self,
+        inputs: &Inputs,
+        executor: &dyn Executor,
+    ) -> Result<Outputs, ps_runtime::store::RuntimeError> {
+        self.inner.run(inputs, executor)
+    }
+
+    /// Number of parameter layouts specialized so far (1 in a steady
+    /// serving loop over one shape).
+    pub fn specialization_count(&self) -> usize {
+        self.inner.specialization_count()
+    }
+}
+
+/// Execute a compiled module on the given inputs (compile-and-run-once;
+/// hold a [`Program`] to amortize over many runs).
 pub fn execute(
     comp: &Compilation,
     inputs: &Inputs,

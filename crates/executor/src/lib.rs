@@ -41,6 +41,39 @@ pub trait Executor: Send + Sync {
     fn for_chunks(&self, lo: i64, hi: i64, f: &(dyn Fn(i64, i64) + Sync));
 }
 
+/// References delegate, so a shared executor can serve concurrent
+/// compile-once / run-many callers without wrapper types.
+impl<E: Executor + ?Sized> Executor for &E {
+    fn threads(&self) -> usize {
+        (**self).threads()
+    }
+
+    fn for_range(&self, lo: i64, hi: i64, f: &(dyn Fn(i64) + Sync)) {
+        (**self).for_range(lo, hi, f)
+    }
+
+    fn for_chunks(&self, lo: i64, hi: i64, f: &(dyn Fn(i64, i64) + Sync)) {
+        (**self).for_chunks(lo, hi, f)
+    }
+}
+
+/// `Arc`-owned executors delegate too: long-lived services hand each
+/// worker thread an `Arc<ThreadPool>` (or `Arc<dyn Executor>`) next to a
+/// shared `&Program`.
+impl<E: Executor + ?Sized> Executor for std::sync::Arc<E> {
+    fn threads(&self) -> usize {
+        (**self).threads()
+    }
+
+    fn for_range(&self, lo: i64, hi: i64, f: &(dyn Fn(i64) + Sync)) {
+        (**self).for_range(lo, hi, f)
+    }
+
+    fn for_chunks(&self, lo: i64, hi: i64, f: &(dyn Fn(i64, i64) + Sync)) {
+        (**self).for_chunks(lo, hi, f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +178,27 @@ mod tests {
         assert_eq!(s.regions, 1);
         assert_eq!(s.items, 1000);
         assert!(s.chunks >= 1);
+    }
+
+    #[test]
+    fn ref_and_arc_delegate() {
+        let arc: std::sync::Arc<dyn Executor> = std::sync::Arc::new(ThreadPool::new(2));
+        assert_eq!(arc.threads(), 2);
+        let total = AtomicI64::new(0);
+        arc.for_range(1, 100, &|i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+        // A reference is itself an executor (generic call sites).
+        fn run_on<E: Executor>(e: E) -> usize {
+            let hits = AtomicUsize::new(0);
+            e.for_chunks(0, 9, &|start, stop| {
+                hits.fetch_add((stop - start) as usize, Ordering::Relaxed);
+            });
+            hits.load(Ordering::Relaxed)
+        }
+        assert_eq!(run_on(&Sequential), 10);
+        assert_eq!(run_on(&arc), 10);
     }
 
     #[test]

@@ -576,6 +576,23 @@ impl HirModule {
             .collect()
     }
 
+    /// Every scalar (non-array) parameter, in declaration order.
+    ///
+    /// This is the runtime's *parameter-register table*: a compiled
+    /// artifact that wants to be reusable across runs assigns each of
+    /// these a slot, binds the slot from the live [`Inputs`] at run time,
+    /// and lowers parameter reads to slot references instead of folding
+    /// the current value in as a constant.
+    ///
+    /// [`Inputs`]: DataKind::Param
+    pub fn scalar_params(&self) -> Vec<DataId> {
+        self.params
+            .iter()
+            .copied()
+            .filter(|&d| !self.data[d].is_array())
+            .collect()
+    }
+
     /// All equations defining `target`.
     pub fn defs_of(&self, target: DataId) -> Vec<EqId> {
         self.equations

@@ -1,44 +1,70 @@
-//! The compiled evaluation engine: typed register bytecode.
+//! The compiled evaluation engine: typed register bytecode, split along
+//! the compile-once / run-many seam.
 //!
-//! Once per [`crate::interp::run_module`] call, every equation scheduled in
-//! the flowchart is lowered to a flat postorder instruction tape over
-//! *typed, untagged* registers — separate `f64` / `i64` / `bool` files,
-//! with types synthesized ahead of time by `HirModule::expr_scalar_ty`. An
-//! iteration of a `DO`/`DOALL` body then executes as a non-recursive tape
-//! walk with direct buffer loads and stores:
+//! Lowering happens **once per [`crate::Program`]**, not once per run.
+//! Every equation scheduled in the flowchart is lowered to a flat
+//! postorder instruction tape over *typed, untagged* registers — separate
+//! `f64` / `i64` / `bool` files, with types synthesized ahead of time by
+//! `HirModule::expr_scalar_ty`. An iteration of a `DO`/`DOALL` body then
+//! executes as a non-recursive tape walk with direct buffer loads and
+//! stores. The artifact splits in three:
+//!
+//! * [`Tapes`] — the parameter-*independent* program: instruction tapes,
+//!   register-file sizes, constant pools, the parameter-register preload
+//!   table, and *symbolic* addresses ([`SymAddr`]: per-dimension affine
+//!   forms over registers, not yet folded against any layout).
+//! * [`Spec`] — one cheap per-parameter-layout *specialization*: every
+//!   symbolic address folded against the concrete array layouts into
+//!   strength-reduced physical offsets. Cached per distinct integer
+//!   parameter vector, so repeat runs skip it entirely.
+//! * [`ExecProg`] — one run's execution view: the tapes + spec + the live
+//!   store's typed buffers resolved by index.
+//!
+//! The engine's invariants:
 //!
 //! * **No tagged dispatch**: every instruction knows its operand types, so
 //!   there is no per-node `Value` matching.
 //! * **Counters are registers**: the first `i64` registers of each
 //!   equation's frame *are* its loop counters — binding a `DO`/`DOALL`
 //!   index is one store, and reading `I` in an expression costs nothing.
-//! * **Strength-reduced subscripts**: each array access is folded against
-//!   the array's *physical* layout into `base + Σ cᵢ·regᵢ` (coefficients
-//!   pre-multiplied by physical strides; dynamic subscripts join the dot
-//!   product through the register holding their value); the window `mod`
-//!   survives only for genuinely windowed dimensions.
-//! * **Constant folding**: module parameters are bound before execution
-//!   starts, so parameter reads and the parameter part of affine
-//!   subscripts become tape constants.
+//! * **Parameters are registers too**: a module parameter read costs
+//!   nothing per iteration — each equation's frame preloads the live
+//!   parameter values once per run ([`Frames::bind_params`]), and
+//!   pure-integer parameter expressions (`M+1` in a boundary guard) are
+//!   hoisted into *derived* registers evaluated once per run, so the tape
+//!   is exactly as short as the old fold-parameters-as-constants lowering.
+//! * **Strength-reduced subscripts**: each array access is folded (at
+//!   specialization time) against the array's *physical* layout into
+//!   `base + Σ cᵢ·regᵢ` (coefficients pre-multiplied by physical strides;
+//!   dynamic subscripts and parameter terms join the dot product through
+//!   the register holding their value); the window `mod` survives only for
+//!   genuinely windowed dimensions.
 //! * **Branch-lowered guards**: `if` conditions emit conditional jumps
 //!   directly (short-circuit `and`/`or` become control flow), so boundary
 //!   guards never materialize intermediate booleans.
 //! * **Zero per-iteration allocations**: registers live in per-worker
 //!   reusable [`Frames`]; the tape only indexes into them — with
 //!   *unchecked* indexing, justified by a full validation pass over every
-//!   lowered tape (`validate`) before execution starts.
+//!   lowered tape (`validate`) at compile time.
+//! * **Optional checked mode**: when built with `check_writes`, every load
+//!   and store re-derives its *logical* index from the same affine forms
+//!   and performs the tree-walker's tag transitions (double-write and
+//!   window-eviction detection) against the store's tag tables — the
+//!   stress suites exercise the compiled path instead of falling back.
 //!
 //! Evaluation order matches the tree-walker exactly — the differential
 //! suite asserts bit-identical outputs between engines.
 
-use crate::ndarray::{ParVec, SharedBuffer};
-use crate::store::Store;
+use crate::ndarray::{NdSpec, ParVec, SharedBuffer};
+use crate::store::{RuntimeError, Store, StorePlan};
 use crate::value::Value;
 use ps_lang::ast::{BinOp, UnOp};
 use ps_lang::hir::{Builtin, DataKind, Equation, HExpr, LhsSub, SubscriptExpr};
-use ps_lang::{DataId, EqId, HirModule, IvId, ScalarTy};
+use ps_lang::{DataId, EqId, HirModule, IvId, ScalarTy, Ty};
 use ps_scheduler::Flowchart;
 use ps_support::idx::{Idx, IndexVec};
+use ps_support::{FxHashMap, Symbol};
+use std::sync::atomic::{AtomicI64, Ordering};
 
 /// Runtime register kind. `char` and enumeration values are carried as
 /// integers, mirroring [`Value`].
@@ -322,13 +348,24 @@ enum Insn {
     },
 }
 
-/// An affine value over `i64` registers: `base + Σ cᵢ·regᵢ`. Loop counters
-/// and dynamic-subscript results are both plain registers, so one form
-/// covers every subscript shape.
+/// An affine value over `i64` registers: `base + Σ cᵢ·regᵢ`. Loop
+/// counters, preloaded parameter registers, and dynamic-subscript results
+/// are all plain registers, so one form covers every subscript shape —
+/// and, crucially, it contains no parameter *values*, so it survives
+/// unchanged across runs with different parameters.
 #[derive(Clone, Debug, Default)]
 struct AffDim {
     base: i64,
     terms: Vec<(u16, i64)>,
+}
+
+/// One array access before layout folding: the target array plus one
+/// affine form per dimension. Produced at lowering time (parameter-free),
+/// folded into an [`Addr`] per specialization.
+#[derive(Clone, Debug)]
+struct SymAddr {
+    array: DataId,
+    dims: Vec<AffDim>,
 }
 
 /// A windowed dimension: physical index is
@@ -341,9 +378,21 @@ struct WinDim {
     value: AffDim,
 }
 
+/// One dimension's pre-fold affine value plus its logical bounds and
+/// logical stride. Carried when the program checks writes (to re-derive
+/// the logical index for the tag tables) and in debug builds (to assert
+/// in-range subscripts with the same strictness as `NdSpec::offset`).
+#[derive(Clone, Debug)]
+struct ChkDim {
+    value: AffDim,
+    lo: i64,
+    hi: i64,
+    lstride: i64,
+}
+
 /// A strength-reduced physical address: `base + Σ cᵢ·regᵢ` (coefficients
 /// pre-multiplied by physical strides; constants, subscript offsets and
-/// parameter terms folded into `base`) plus the windowed remainder
+/// parameter-register terms folded in) plus the windowed remainder
 /// dimensions. For any access into an unwindowed array — affine *or*
 /// dynamic — `special` is empty and the address is a single dot product.
 #[derive(Clone, Debug, Default)]
@@ -351,12 +400,115 @@ struct Addr {
     base: i64,
     lin: Vec<(u16, i64)>,
     special: Vec<WinDim>,
-    /// Debug builds keep every dimension's pre-fold affine value and
-    /// logical bounds, so `eval_addr` can assert in-range subscripts with
-    /// the same strictness as `NdSpec::offset` — a schedule bug that
-    /// would silently alias in release panics under `cargo test`.
-    #[cfg(debug_assertions)]
-    dbg_dims: Vec<(AffDim, i64, i64)>,
+    /// Per-dimension logical views; empty in unchecked release builds.
+    chk: Vec<ChkDim>,
+}
+
+/// A pure-integer expression over module parameters and constants.
+///
+/// Lowering hoists any such subexpression out of the per-iteration tape
+/// into a *derived register* evaluated once per run
+/// ([`Frames::bind_params`]) — the parameter-register generalisation of
+/// constant folding: `M+1` in the jacobi boundary guard costs zero tape
+/// instructions, for every value of `M`. Only total operators are
+/// admitted (`div`/`mod` stay on the tape, where guards can protect
+/// them), and arithmetic wraps — hoisting may evaluate an expression the
+/// tape's guards would have skipped, so evaluation must never panic
+/// (wrapping matches the release-mode semantics of the tape itself).
+#[derive(Clone, Debug, PartialEq)]
+enum PInt {
+    Const(i64),
+    /// Index into the program's parameter table.
+    Param(u16),
+    Add(Box<PInt>, Box<PInt>),
+    Sub(Box<PInt>, Box<PInt>),
+    Mul(Box<PInt>, Box<PInt>),
+    Min(Box<PInt>, Box<PInt>),
+    Max(Box<PInt>, Box<PInt>),
+    Neg(Box<PInt>),
+    Abs(Box<PInt>),
+}
+
+impl PInt {
+    /// Fold constant operands eagerly so a parameter-free expression
+    /// collapses to `Const` (and lands in the constant pool instead).
+    fn bin(op: BinOp, a: PInt, b: PInt) -> PInt {
+        if let (PInt::Const(x), PInt::Const(y)) = (&a, &b) {
+            return PInt::Const(match op {
+                BinOp::Add => x.wrapping_add(*y),
+                BinOp::Sub => x.wrapping_sub(*y),
+                BinOp::Mul => x.wrapping_mul(*y),
+                other => panic!("{other:?} is not a static int op"),
+            });
+        }
+        match op {
+            BinOp::Add => PInt::Add(Box::new(a), Box::new(b)),
+            BinOp::Sub => PInt::Sub(Box::new(a), Box::new(b)),
+            BinOp::Mul => PInt::Mul(Box::new(a), Box::new(b)),
+            other => panic!("{other:?} is not a static int op"),
+        }
+    }
+
+    fn min_max(is_min: bool, a: PInt, b: PInt) -> PInt {
+        if let (PInt::Const(x), PInt::Const(y)) = (&a, &b) {
+            return PInt::Const(if is_min { *x.min(y) } else { *x.max(y) });
+        }
+        if is_min {
+            PInt::Min(Box::new(a), Box::new(b))
+        } else {
+            PInt::Max(Box::new(a), Box::new(b))
+        }
+    }
+
+    fn neg(a: PInt) -> PInt {
+        match a {
+            PInt::Const(x) => PInt::Const(x.wrapping_neg()),
+            a => PInt::Neg(Box::new(a)),
+        }
+    }
+
+    fn abs(a: PInt) -> PInt {
+        match a {
+            PInt::Const(x) => PInt::Const(x.wrapping_abs()),
+            a => PInt::Abs(Box::new(a)),
+        }
+    }
+
+    /// Evaluate under the run's parameter values. Wrapping on purpose:
+    /// this may run for an expression the tape's guards would have
+    /// skipped, so it must be panic-free even in debug builds.
+    fn eval(&self, params: &[Value]) -> i64 {
+        match self {
+            PInt::Const(v) => *v,
+            PInt::Param(ix) => params[*ix as usize].as_int(),
+            PInt::Add(a, b) => a.eval(params).wrapping_add(b.eval(params)),
+            PInt::Sub(a, b) => a.eval(params).wrapping_sub(b.eval(params)),
+            PInt::Mul(a, b) => a.eval(params).wrapping_mul(b.eval(params)),
+            PInt::Min(a, b) => a.eval(params).min(b.eval(params)),
+            PInt::Max(a, b) => a.eval(params).max(b.eval(params)),
+            PInt::Neg(a) => a.eval(params).wrapping_neg(),
+            PInt::Abs(a) => a.eval(params).wrapping_abs(),
+        }
+    }
+
+    /// Range-check every parameter reference (tape validation).
+    fn validate(&self, n_params: usize) {
+        match self {
+            PInt::Const(_) => {}
+            PInt::Param(ix) => {
+                assert!((*ix as usize) < n_params, "param {ix} out of range")
+            }
+            PInt::Add(a, b)
+            | PInt::Sub(a, b)
+            | PInt::Mul(a, b)
+            | PInt::Min(a, b)
+            | PInt::Max(a, b) => {
+                a.validate(n_params);
+                b.validate(n_params);
+            }
+            PInt::Neg(a) | PInt::Abs(a) => a.validate(n_params),
+        }
+    }
 }
 
 /// The compiled result store of one equation.
@@ -368,29 +520,46 @@ enum OutSpec {
     ArrayB { buf: u16, addr: u16 },
 }
 
-/// One lowered equation: instruction tape, address table, register-file
-/// sizes, preloaded constants, and the final store. The first
-/// `n_counters` `i64` registers are the equation's loop counters in
-/// [`IvId`] order.
+/// One lowered equation: instruction tape, symbolic address table,
+/// register-file sizes, preloaded constants, the per-run preload tables
+/// (parameter registers and derived integer registers), and the final
+/// store. The first `n_counters` `i64` registers are the equation's loop
+/// counters in [`IvId`] order.
 struct CompiledEq {
     insns: Vec<Insn>,
-    addrs: Vec<Addr>,
+    sym_addrs: Vec<SymAddr>,
     n_f: u16,
     n_i: u16,
     n_b: u16,
     consts_f: Vec<(u16, f64)>,
     consts_i: Vec<(u16, i64)>,
     consts_b: Vec<(u16, bool)>,
+    /// `(register, parameter-table index)` pairs filled per run.
+    preload_f: Vec<(u16, u16)>,
+    preload_i: Vec<(u16, u16)>,
+    preload_b: Vec<(u16, u16)>,
+    /// Derived integer registers: hoisted pure-parameter expressions,
+    /// evaluated once per run.
+    derived_i: Vec<(u16, PInt)>,
     out: OutSpec,
     src: Reg,
 }
 
 impl CompiledEq {
-    /// Range-check every register, address, buffer and jump reference in
-    /// the tape. Running this once per lowering makes the unchecked frame
-    /// access in [`CompiledProgram::run_eq`] sound: execution can only
-    /// touch indices this pass has seen.
-    fn validate(&self, n_bufs_f: usize, n_bufs_i: usize, n_bufs_b: usize, n_slots: usize) {
+    /// Range-check every register, address, buffer, parameter and jump
+    /// reference in the tape. Running this once at compile time makes the
+    /// unchecked frame access in [`ExecProg::run_eq`] sound: execution can
+    /// only touch indices this pass has seen. Specialization only *folds*
+    /// the validated affine forms (it introduces no new registers), so
+    /// specialized addresses need no second pass.
+    fn validate(
+        &self,
+        n_bufs_f: usize,
+        n_bufs_i: usize,
+        n_bufs_b: usize,
+        n_slots: usize,
+        n_params: usize,
+    ) {
         let f = |r: u16| assert!(r < self.n_f, "f-register {r} out of range");
         let i = |r: u16| assert!(r < self.n_i, "i-register {r} out of range");
         let b = |r: u16| assert!(r < self.n_b, "b-register {r} out of range");
@@ -399,7 +568,7 @@ impl CompiledEq {
             Reg::I(x) => i(x),
             Reg::B(x) => b(x),
         };
-        let addr = |a: u16| assert!((a as usize) < self.addrs.len(), "addr {a} out of range");
+        let addr = |a: u16| assert!((a as usize) < self.sym_addrs.len(), "addr {a} out of range");
         let jump = |t: u32| assert!((t as usize) <= self.insns.len(), "jump {t} out of range");
         let buf_f = |x: u16| assert!((x as usize) < n_bufs_f, "f-buffer {x} out of range");
         let buf_i = |x: u16| assert!((x as usize) < n_bufs_i, "i-buffer {x} out of range");
@@ -528,13 +697,9 @@ impl CompiledEq {
                 }
             }
         }
-        for a in &self.addrs {
-            for &(r, _) in &a.lin {
-                i(r);
-            }
-            for w in &a.special {
-                assert!(w.window > 0, "window must be positive");
-                for &(r, _) in &w.value.terms {
+        for a in &self.sym_addrs {
+            for d in &a.dims {
+                for &(r, _) in &d.terms {
                     i(r);
                 }
             }
@@ -547,6 +712,23 @@ impl CompiledEq {
         }
         for &(r, _) in &self.consts_b {
             b(r);
+        }
+        let param = |p: u16| assert!((p as usize) < n_params, "param {p} out of range");
+        for &(r, p) in &self.preload_f {
+            f(r);
+            param(p);
+        }
+        for &(r, p) in &self.preload_i {
+            i(r);
+            param(p);
+        }
+        for &(r, p) in &self.preload_b {
+            b(r);
+            param(p);
+        }
+        for (r, p) in &self.derived_i {
+            i(*r);
+            p.validate(n_params);
         }
         reg(self.src);
         match self.out {
@@ -569,13 +751,151 @@ impl CompiledEq {
     }
 }
 
-/// A whole module lowered against one live [`Store`].
-pub(crate) struct CompiledProgram<'s, 'm> {
-    store: &'s Store<'m>,
+/// The parameter-independent compiled program: every scheduled equation's
+/// tape plus the tables shared across runs. Immutable once built; one
+/// [`Tapes`] serves any number of (possibly concurrent) runs.
+pub(crate) struct Tapes {
     eqs: IndexVec<EqId, Option<CompiledEq>>,
-    bufs_f: Vec<&'s ParVec<f64>>,
-    bufs_i: Vec<&'s ParVec<i64>>,
-    bufs_b: Vec<&'s ParVec<bool>>,
+    /// Which array each typed buffer index refers to; resolved against the
+    /// live store per run ([`ExecProg::new`]).
+    buf_f: Vec<DataId>,
+    buf_i: Vec<DataId>,
+    buf_b: Vec<DataId>,
+    /// The parameter-register table: scalar parameters in declaration
+    /// order ([`HirModule::scalar_params`]).
+    params: Vec<DataId>,
+    /// Tape-level checked-writes mode: loads and stores perform the
+    /// logical-tag transitions of the tree-walker's checked accessors.
+    pub(crate) checked: bool,
+}
+
+impl Tapes {
+    pub(crate) fn params(&self) -> &[DataId] {
+        &self.params
+    }
+
+    /// Lowering statistics for one equation, used by tests: instruction
+    /// count and address-table size.
+    #[cfg(test)]
+    fn stats(&self, eq: EqId) -> (usize, usize) {
+        let ceq = self.eqs[eq].as_ref().expect("lowered");
+        (ceq.insns.len(), ceq.sym_addrs.len())
+    }
+}
+
+/// One specialization of a [`Tapes`]: every symbolic address folded
+/// against the concrete array layouts induced by one integer parameter
+/// vector (`key`). Building one is cheap — a few arithmetic folds per
+/// array access — and the result is cached per key, so the second run
+/// with the same parameters does no lowering, validation, or folding at
+/// all.
+pub(crate) struct Spec {
+    pub(crate) key: Vec<i64>,
+    addrs: IndexVec<EqId, Vec<Addr>>,
+}
+
+impl Spec {
+    /// How many addresses of `eq` kept a windowed special dimension.
+    #[cfg(test)]
+    fn special_count(&self, eq: EqId) -> usize {
+        self.addrs[eq].iter().map(|a| a.special.len()).sum()
+    }
+}
+
+/// Fold per-dimension affine subscripts against `spec`'s physical layout
+/// into a strength-reduced [`Addr`] (the old per-run lowering's
+/// `push_addr`, now executed once per parameter layout).
+fn fold_addr(sym: &SymAddr, spec: &NdSpec, with_chk: bool) -> Addr {
+    assert_eq!(sym.dims.len(), spec.dims.len(), "subscript rank mismatch");
+    let n = spec.dims.len();
+    let mut strides = vec![1i64; n];
+    let mut lstrides = vec![1i64; n];
+    for d in (0..n.saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * spec.dims[d + 1].physical_width();
+        lstrides[d] = lstrides[d + 1] * spec.dims[d + 1].logical_width();
+    }
+    let mut addr = Addr::default();
+    for (d, value) in sym.dims.iter().enumerate() {
+        let ds = &spec.dims[d];
+        let stride = strides[d];
+        if with_chk {
+            addr.chk.push(ChkDim {
+                value: value.clone(),
+                lo: ds.lo,
+                hi: ds.hi,
+                lstride: lstrides[d],
+            });
+        }
+        match ds.window {
+            // Genuinely windowed: the mod is load-bearing.
+            Some(w) if w < ds.logical_width() => addr.special.push(WinDim {
+                stride,
+                lo: ds.lo,
+                window: w,
+                value: value.clone(),
+            }),
+            // Plain dimension: fold into the linear form.
+            _ => {
+                addr.base += (value.base - ds.lo) * stride;
+                for &(r, c) in &value.terms {
+                    match addr.lin.iter_mut().find(|(v, _)| *v == r) {
+                        Some((_, existing)) => *existing += c * stride,
+                        None => addr.lin.push((r, c * stride)),
+                    }
+                }
+            }
+        }
+    }
+    addr.lin.retain(|&(_, c)| c != 0);
+    addr
+}
+
+/// Build the [`Spec`] for one parameter environment: evaluate each
+/// referenced array's layout once, then fold every symbolic address.
+pub(crate) fn specialize(
+    tapes: &Tapes,
+    plan: &StorePlan<'_>,
+    params: &FxHashMap<Symbol, i64>,
+    key: Vec<i64>,
+) -> Result<Spec, RuntimeError> {
+    let module = plan.module;
+    let mut layouts: IndexVec<DataId, Option<NdSpec>> = module.data.iter().map(|_| None).collect();
+    let mut addrs: IndexVec<EqId, Vec<Addr>> = tapes.eqs.iter().map(|_| Vec::new()).collect();
+    // Checked runs always need the logical views; debug builds keep them
+    // too so `eval_addr` can assert in-range subscripts with the same
+    // strictness as `NdSpec::offset`.
+    let with_chk = tapes.checked || cfg!(debug_assertions);
+    for (eq, opt) in tapes.eqs.iter_enumerated() {
+        let Some(ceq) = opt else { continue };
+        let mut folded = Vec::with_capacity(ceq.sym_addrs.len());
+        for sym in &ceq.sym_addrs {
+            if layouts[sym.array].is_none() {
+                layouts[sym.array] = Some(plan.nd_spec(sym.array, params)?);
+            }
+            folded.push(fold_addr(
+                sym,
+                layouts[sym.array].as_ref().expect("just filled"),
+                with_chk,
+            ));
+        }
+        addrs[eq] = folded;
+    }
+    Ok(Spec { key, addrs })
+}
+
+/// One run's execution view: tapes + specialized addresses + the live
+/// store's typed buffers (and, in checked mode, their tag tables)
+/// resolved by index. Constructed per run; cheap (three short `Vec`s).
+pub(crate) struct ExecProg<'r, 'm> {
+    store: &'r Store<'m>,
+    tapes: &'r Tapes,
+    spec: &'r Spec,
+    bufs_f: Vec<&'r ParVec<f64>>,
+    bufs_i: Vec<&'r ParVec<i64>>,
+    bufs_b: Vec<&'r ParVec<bool>>,
+    tags_f: Vec<Option<&'r [AtomicI64]>>,
+    tags_i: Vec<Option<&'r [AtomicI64]>>,
+    tags_b: Vec<Option<&'r [AtomicI64]>>,
 }
 
 /// Per-equation register file. The first `i`-registers are the equation's
@@ -641,8 +961,8 @@ pub(crate) struct Frames {
 }
 
 impl Frames {
-    pub(crate) fn new(prog: &CompiledProgram<'_, '_>) -> Frames {
-        let frames = prog
+    pub(crate) fn new(tapes: &Tapes) -> Frames {
+        let frames = tapes
             .eqs
             .iter()
             .map(|opt| match opt {
@@ -669,6 +989,29 @@ impl Frames {
         Frames { frames }
     }
 
+    /// Bind this run's parameter values: fill every equation's parameter
+    /// registers and evaluate its derived integer registers. Constants
+    /// persist from [`Frames::new`], so a pooled `Frames` only needs this
+    /// call to be ready for the next run.
+    pub(crate) fn bind_params(&mut self, tapes: &Tapes, values: &[Value]) {
+        for (eq, opt) in tapes.eqs.iter_enumerated() {
+            let Some(ceq) = opt else { continue };
+            let fr = &mut self.frames[eq];
+            for &(r, p) in &ceq.preload_f {
+                fr.f[r as usize] = values[p as usize].widen_real();
+            }
+            for &(r, p) in &ceq.preload_i {
+                fr.i[r as usize] = values[p as usize].as_int();
+            }
+            for &(r, p) in &ceq.preload_b {
+                fr.b[r as usize] = values[p as usize].as_bool();
+            }
+            for (r, pint) in &ceq.derived_i {
+                fr.i[*r as usize] = pint.eval(values);
+            }
+        }
+    }
+
     /// Bind loop counter `iv` of `eq` — counters are the leading
     /// `i`-registers, so this is a single indexed store.
     #[inline]
@@ -689,16 +1032,18 @@ impl Frames {
     }
 }
 
-/// Typed buffer table shared by all equations of one program.
-struct BufTable<'s> {
+/// Typed buffer table shared by all equations of one program. Buffer
+/// *indices* are assigned at compile time from declared element types;
+/// the live `ParVec`s are resolved per run.
+struct BufTable {
     refs: Vec<Option<(Kind, u16)>>,
-    f: Vec<&'s ParVec<f64>>,
-    i: Vec<&'s ParVec<i64>>,
-    b: Vec<&'s ParVec<bool>>,
+    f: Vec<DataId>,
+    i: Vec<DataId>,
+    b: Vec<DataId>,
 }
 
-impl<'s> BufTable<'s> {
-    fn new(n_data: usize) -> BufTable<'s> {
+impl BufTable {
+    fn new(n_data: usize) -> BufTable {
         BufTable {
             refs: vec![None; n_data],
             f: Vec::new(),
@@ -707,21 +1052,22 @@ impl<'s> BufTable<'s> {
         }
     }
 
-    fn resolve(&mut self, store: &'s Store<'_>, id: DataId) -> (Kind, u16) {
+    fn resolve(&mut self, module: &HirModule, id: DataId) -> (Kind, u16) {
         if let Some(r) = self.refs[id.index()] {
             return r;
         }
-        let r = match store.array(id).buffer() {
-            SharedBuffer::Real(p) => {
-                self.f.push(p);
+        let kind = kind_of(module.runtime_scalar_ty(&module.data[id].ty));
+        let r = match kind {
+            Kind::F => {
+                self.f.push(id);
                 (Kind::F, (self.f.len() - 1) as u16)
             }
-            SharedBuffer::Int(p) => {
-                self.i.push(p);
+            Kind::I => {
+                self.i.push(id);
                 (Kind::I, (self.i.len() - 1) as u16)
             }
-            SharedBuffer::Bool(p) => {
-                self.b.push(p);
+            Kind::B => {
+                self.b.push(id);
                 (Kind::B, (self.b.len() - 1) as u16)
             }
         };
@@ -730,61 +1076,109 @@ impl<'s> BufTable<'s> {
     }
 }
 
-/// Lower every equation the flowchart executes against `store`'s layout.
-pub(crate) fn compile_program<'s, 'm>(
-    module: &'m HirModule,
+/// The parameter table: scalar parameters with a symbol lookup side-map
+/// (affine subscript remainders name parameters by symbol).
+struct ParamTable {
+    ids: Vec<DataId>,
+    by_sym: FxHashMap<Symbol, u16>,
+}
+
+impl ParamTable {
+    fn new(module: &HirModule) -> ParamTable {
+        let ids = module.scalar_params();
+        let by_sym = ids
+            .iter()
+            .enumerate()
+            .map(|(ix, &d)| (module.data[d].name, ix as u16))
+            .collect();
+        ParamTable { ids, by_sym }
+    }
+
+    fn index_of(&self, d: DataId) -> Option<u16> {
+        self.ids.iter().position(|&p| p == d).map(|ix| ix as u16)
+    }
+}
+
+/// Lower every equation the flowchart executes. Parameter-independent:
+/// the result can be reused for any number of runs with any inputs.
+/// `fold_static` enables hoisting pure-integer parameter expressions into
+/// derived registers (always on in production; tests disable it to prove
+/// the tapes get shorter).
+pub(crate) fn compile_tapes(
+    module: &HirModule,
+    plan: &StorePlan<'_>,
     flowchart: &Flowchart,
-    store: &'s Store<'m>,
-) -> CompiledProgram<'s, 'm> {
+    checked: bool,
+    fold_static: bool,
+) -> Tapes {
+    let params = ParamTable::new(module);
     let mut bufs = BufTable::new(module.data.len());
     let mut eqs: IndexVec<EqId, Option<CompiledEq>> =
         module.equations.iter().map(|_| None).collect();
     for eq_id in flowchart.equations() {
-        let lowerer = Lowerer::new(module, store, eq_id, &mut bufs);
+        let lowerer = Lowerer::new(module, plan, &params, eq_id, &mut bufs, fold_static);
         eqs[eq_id] = Some(lowerer.lower_equation());
     }
-    let n_slots = store.slot_count();
+    let n_slots = plan.slot_count();
     for ceq in eqs.iter().flatten() {
-        ceq.validate(bufs.f.len(), bufs.i.len(), bufs.b.len(), n_slots);
+        ceq.validate(
+            bufs.f.len(),
+            bufs.i.len(),
+            bufs.b.len(),
+            n_slots,
+            params.ids.len(),
+        );
     }
-    CompiledProgram {
-        store,
+    Tapes {
         eqs,
-        bufs_f: bufs.f,
-        bufs_i: bufs.i,
-        bufs_b: bufs.b,
+        buf_f: bufs.f,
+        buf_i: bufs.i,
+        buf_b: bufs.b,
+        params: params.ids,
+        checked,
     }
 }
 
-struct Lowerer<'a, 's, 'm> {
+struct Lowerer<'a, 'p, 'm> {
     module: &'m HirModule,
-    store: &'s Store<'m>,
+    plan: &'a StorePlan<'m>,
+    params: &'p ParamTable,
     eq: &'m Equation,
     insns: Vec<Insn>,
-    addrs: Vec<Addr>,
+    sym_addrs: Vec<SymAddr>,
     n_f: u16,
     n_i: u16,
     n_b: u16,
     consts_f: Vec<(u16, f64)>,
     consts_i: Vec<(u16, i64)>,
     consts_b: Vec<(u16, bool)>,
-    bufs: &'a mut BufTable<'s>,
+    /// Memoized parameter registers, indexed by parameter-table index.
+    param_regs: Vec<Option<Reg>>,
+    preload_f: Vec<(u16, u16)>,
+    preload_i: Vec<(u16, u16)>,
+    preload_b: Vec<(u16, u16)>,
+    derived_i: Vec<(u16, PInt)>,
+    fold_static: bool,
+    bufs: &'a mut BufTable,
 }
 
-impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
+impl<'a, 'p, 'm> Lowerer<'a, 'p, 'm> {
     fn new(
         module: &'m HirModule,
-        store: &'s Store<'m>,
+        plan: &'a StorePlan<'m>,
+        params: &'p ParamTable,
         eq_id: EqId,
-        bufs: &'a mut BufTable<'s>,
-    ) -> Lowerer<'a, 's, 'm> {
+        bufs: &'a mut BufTable,
+        fold_static: bool,
+    ) -> Lowerer<'a, 'p, 'm> {
         let eq = &module.equations[eq_id];
         Lowerer {
             module,
-            store,
+            plan,
+            params,
             eq,
             insns: Vec::new(),
-            addrs: Vec::new(),
+            sym_addrs: Vec::new(),
             n_f: 0,
             // Counters occupy the leading i-registers, one per index var.
             n_i: u16::try_from(eq.ivs.len()).expect("too many index variables"),
@@ -792,8 +1186,70 @@ impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
             consts_f: Vec::new(),
             consts_i: Vec::new(),
             consts_b: Vec::new(),
+            param_regs: vec![None; params.ids.len()],
+            preload_f: Vec::new(),
+            preload_i: Vec::new(),
+            preload_b: Vec::new(),
+            derived_i: Vec::new(),
+            fold_static,
             bufs,
         }
+    }
+
+    /// The (preloaded) register holding parameter `pidx`, allocating it on
+    /// first use. Reading a parameter in a hot body is thereafter free —
+    /// the run-time generalization of the old constant folding.
+    fn param_reg(&mut self, pidx: u16) -> Reg {
+        if let Some(r) = self.param_regs[pidx as usize] {
+            return r;
+        }
+        let item = &self.module.data[self.params.ids[pidx as usize]];
+        let r = match kind_of(self.module.runtime_scalar_ty(&item.ty)) {
+            Kind::F => {
+                let r = self.alloc_f();
+                self.preload_f.push((r, pidx));
+                Reg::F(r)
+            }
+            Kind::I => {
+                let r = self.alloc_i();
+                self.preload_i.push((r, pidx));
+                Reg::I(r)
+            }
+            Kind::B => {
+                let r = self.alloc_b();
+                self.preload_b.push((r, pidx));
+                Reg::B(r)
+            }
+        };
+        self.param_regs[pidx as usize] = Some(r);
+        r
+    }
+
+    /// The `i64` register for the parameter named `sym` (affine subscript
+    /// remainders name parameters by symbol).
+    fn param_i_reg_by_sym(&mut self, sym: Symbol) -> u16 {
+        let pidx = *self
+            .params
+            .by_sym
+            .get(&sym)
+            .unwrap_or_else(|| panic!("parameter `{sym}` not in table"));
+        let r = self.param_reg(pidx);
+        self.expect_i(r)
+    }
+
+    /// Decompose a parameter-affine form into a register-affine one:
+    /// the constant part stays a constant, each parameter term becomes a
+    /// `(param register, coefficient)` entry.
+    fn affine_dim(&mut self, a: &ps_lang::Affine) -> AffDim {
+        let mut dim = AffDim {
+            base: a.constant_part(),
+            terms: Vec::new(),
+        };
+        for (sym, c) in a.terms() {
+            let reg = self.param_i_reg_by_sym(sym);
+            dim.terms.push((reg, c));
+        }
+        dim
     }
 
     fn lower_equation(mut self) -> CompiledEq {
@@ -801,29 +1257,24 @@ impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
         let eq = self.eq;
         let out = match eq.lhs_field {
             Some(fidx) => OutSpec::Scalar {
-                slot: self.store.slot_index(eq.lhs, fidx + 1) as u32,
+                slot: self.plan.slot_index(eq.lhs, fidx + 1) as u32,
             },
             None if eq.lhs_subs.is_empty() => OutSpec::Scalar {
-                slot: self.store.slot_index(eq.lhs, 0) as u32,
+                slot: self.plan.slot_index(eq.lhs, 0) as u32,
             },
             None => {
                 let dims: Vec<AffDim> = eq
                     .lhs_subs
                     .iter()
                     .map(|s| match s {
-                        LhsSub::Const(a) => AffDim {
-                            base: a
-                                .eval(&self.store.params)
-                                .unwrap_or_else(|| panic!("cannot evaluate {a}")),
-                            terms: Vec::new(),
-                        },
+                        LhsSub::Const(a) => self.affine_dim(a),
                         LhsSub::Var(iv) => AffDim {
                             base: 0,
                             terms: vec![(iv.index() as u16, 1)],
                         },
                     })
                     .collect();
-                let (kind, buf) = self.bufs.resolve(self.store, eq.lhs);
+                let (kind, buf) = self.bufs.resolve(self.module, eq.lhs);
                 let addr = self.push_addr(eq.lhs, dims);
                 // Int results widen into real arrays, mirroring
                 // `ArrayInstance::write`.
@@ -844,15 +1295,83 @@ impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
         };
         CompiledEq {
             insns: self.insns,
-            addrs: self.addrs,
+            sym_addrs: self.sym_addrs,
             n_f: self.n_f,
             n_i: self.n_i,
             n_b: self.n_b,
             consts_f: self.consts_f,
             consts_i: self.consts_i,
             consts_b: self.consts_b,
+            preload_f: self.preload_f,
+            preload_i: self.preload_i,
+            preload_b: self.preload_b,
+            derived_i: self.derived_i,
             out,
             src,
+        }
+    }
+
+    // ---- static integer folding (over the parameter-register form) ----
+
+    /// Classify `e` as a pure-integer expression over parameters and
+    /// constants, if it is one. Only total operators are admitted and
+    /// [`PInt::eval`] wraps, so hoisting the evaluation to run start
+    /// cannot introduce a panic a guard would have prevented.
+    fn static_int(&self, e: &HExpr) -> Option<PInt> {
+        Some(match e {
+            HExpr::Int(v) => PInt::Const(*v),
+            HExpr::Char(c) => PInt::Const(*c as i64),
+            HExpr::EnumConst(_, ord) => PInt::Const(*ord as i64),
+            HExpr::ReadScalar(d) => {
+                let item = &self.module.data[*d];
+                if item.kind != DataKind::Param || item.ty != Ty::Scalar(ScalarTy::Int) {
+                    return None;
+                }
+                PInt::Param(self.params.index_of(*d)?)
+            }
+            HExpr::Binary { op, lhs, rhs }
+                if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) =>
+            {
+                PInt::bin(*op, self.static_int(lhs)?, self.static_int(rhs)?)
+            }
+            HExpr::Unary {
+                op: UnOp::Neg,
+                operand,
+            } => PInt::neg(self.static_int(operand)?),
+            HExpr::Call { builtin, args } => match builtin {
+                Builtin::Abs => PInt::abs(self.static_int(&args[0])?),
+                Builtin::Min => {
+                    PInt::min_max(true, self.static_int(&args[0])?, self.static_int(&args[1])?)
+                }
+                Builtin::Max => PInt::min_max(
+                    false,
+                    self.static_int(&args[0])?,
+                    self.static_int(&args[1])?,
+                ),
+                _ => return None,
+            },
+            _ => return None,
+        })
+    }
+
+    /// The register holding static expression `p`: constants go to the
+    /// constant pool, bare parameters to their parameter register, and
+    /// everything else to a (deduplicated) derived register.
+    fn static_reg(&mut self, p: PInt) -> u16 {
+        match p {
+            PInt::Const(v) => self.const_i(v),
+            PInt::Param(ix) => {
+                let r = self.param_reg(ix);
+                self.expect_i(r)
+            }
+            p => {
+                if let Some(&(r, _)) = self.derived_i.iter().find(|(_, q)| *q == p) {
+                    return r;
+                }
+                let r = self.alloc_i();
+                self.derived_i.push((r, p));
+                r
+            }
         }
     }
 
@@ -1097,6 +1616,13 @@ impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
     }
 
     fn lower(&mut self, e: &HExpr) -> Reg {
+        // Pure-integer parameter expressions vanish from the tape: they
+        // evaluate once per run into a derived register.
+        if self.fold_static {
+            if let Some(p) = self.static_int(e) {
+                return Reg::I(self.static_reg(p));
+            }
+        }
         match e {
             HExpr::Int(v) => Reg::I(self.const_i(*v)),
             HExpr::Real(v) => Reg::F(self.const_f(*v)),
@@ -1105,7 +1631,7 @@ impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
             HExpr::EnumConst(_, ord) => Reg::I(self.const_i(*ord as i64)),
             HExpr::ReadScalar(d) => self.lower_read_scalar(*d),
             HExpr::ReadField(d, idx) => {
-                let slot = self.store.slot_index(*d, *idx + 1) as u32;
+                let slot = self.plan.slot_index(*d, *idx + 1) as u32;
                 let kind = kind_of(self.module.expr_scalar_ty(self.eq, e));
                 let dst = self.alloc(kind);
                 self.insns.push(Insn::ReadScalar { slot, dst });
@@ -1116,7 +1642,7 @@ impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
             HExpr::Iv(iv) => Reg::I(iv.index() as u16),
             HExpr::ReadArray { array, subs, .. } => {
                 let dims: Vec<AffDim> = subs.iter().map(|s| self.lower_sub(s)).collect();
-                let (kind, buf) = self.bufs.resolve(self.store, *array);
+                let (kind, buf) = self.bufs.resolve(self.module, *array);
                 let addr = self.push_addr(*array, dims);
                 match kind {
                     Kind::F => {
@@ -1197,19 +1723,20 @@ impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
     fn lower_read_scalar(&mut self, d: DataId) -> Reg {
         let item = &self.module.data[d];
         if item.kind == DataKind::Param && !item.is_array() {
-            // Parameters are bound before execution starts: fold them into
-            // the constant pool (this is what removes the `M`/`maxK` guard
-            // reads from hot DOALL bodies).
-            return match self.store.read_scalar(d, 0) {
-                Value::Int(v) => Reg::I(self.const_i(v)),
-                Value::Real(v) => Reg::F(self.const_f(v)),
-                Value::Bool(v) => Reg::B(self.const_b(v)),
-            };
+            // Parameters live in preloaded registers: reading one costs
+            // nothing per iteration (this is what keeps `M`/`maxK` guard
+            // reads out of hot DOALL bodies), yet the tape stays valid
+            // for every future parameter binding.
+            let pidx = self
+                .params
+                .index_of(d)
+                .expect("scalar param is in the table");
+            return self.param_reg(pidx);
         }
         if item.kind != DataKind::Param && item.is_array() {
             panic!("array `{}` read as scalar", item.name);
         }
-        let slot = self.store.slot_index(d, 0) as u32;
+        let slot = self.plan.slot_index(d, 0) as u32;
         let kind = kind_of(self.module.runtime_scalar_ty(&item.ty));
         let dst = self.alloc(kind);
         self.insns.push(Insn::ReadScalar { slot, dst });
@@ -1378,9 +1905,11 @@ impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
     }
 
     /// Lower one RHS subscript to an affine form over `i64` registers.
-    /// Loop counters *are* registers, and a dynamic subscript contributes
+    /// Loop counters *are* registers, a parameter term contributes its
+    /// preloaded parameter register, and a dynamic subscript contributes
     /// the register its value lands in — so every subscript shape
-    /// uniformly becomes `base + Σ c·reg`.
+    /// uniformly becomes `base + Σ c·reg` with no parameter values baked
+    /// in.
     fn lower_sub(&mut self, s: &SubscriptExpr) -> AffDim {
         match s {
             SubscriptExpr::Var(iv) => AffDim {
@@ -1391,17 +1920,13 @@ impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
                 base: *d,
                 terms: vec![(iv.index() as u16, 1)],
             },
-            SubscriptExpr::Affine(a) => AffDim {
-                base: a
-                    .rest
-                    .eval(&self.store.params)
-                    .unwrap_or_else(|| panic!("cannot evaluate {}", a.rest)),
-                terms: a
-                    .iv_terms
-                    .iter()
-                    .map(|&(iv, c)| (iv.index() as u16, c))
-                    .collect(),
-            },
+            SubscriptExpr::Affine(a) => {
+                let mut dim = self.affine_dim(&a.rest);
+                for &(iv, c) in &a.iv_terms {
+                    dim.terms.push((iv.index() as u16, c));
+                }
+                dim
+            }
             SubscriptExpr::Dynamic(e) => {
                 let r = self.lower(e);
                 AffDim {
@@ -1412,63 +1937,76 @@ impl<'a, 's, 'm> Lowerer<'a, 's, 'm> {
         }
     }
 
-    /// Fold per-dimension affine subscripts against `array`'s physical
-    /// layout into a strength-reduced [`Addr`].
+    /// Record one symbolic array access; folding against the physical
+    /// layout happens per specialization ([`fold_addr`]).
     fn push_addr(&mut self, array: DataId, dims: Vec<AffDim>) -> u16 {
-        let spec = &self.store.array(array).spec;
-        assert_eq!(dims.len(), spec.dims.len(), "subscript rank mismatch");
-        let n = spec.dims.len();
-        let mut strides = vec![1i64; n];
-        for d in (0..n.saturating_sub(1)).rev() {
-            strides[d] = strides[d + 1] * spec.dims[d + 1].physical_width();
-        }
-        let mut addr = Addr::default();
-        for (d, value) in dims.into_iter().enumerate() {
-            let ds = &spec.dims[d];
-            let stride = strides[d];
-            #[cfg(debug_assertions)]
-            addr.dbg_dims.push((value.clone(), ds.lo, ds.hi));
-            match ds.window {
-                // Genuinely windowed: the mod is load-bearing.
-                Some(w) if w < ds.logical_width() => addr.special.push(WinDim {
-                    stride,
-                    lo: ds.lo,
-                    window: w,
-                    value,
-                }),
-                // Plain dimension: fold into the linear form.
-                _ => {
-                    addr.base += (value.base - ds.lo) * stride;
-                    for (r, c) in value.terms {
-                        match addr.lin.iter_mut().find(|(v, _)| *v == r) {
-                            Some((_, existing)) => *existing += c * stride,
-                            None => addr.lin.push((r, c * stride)),
-                        }
-                    }
-                }
-            }
-        }
-        addr.lin.retain(|&(_, c)| c != 0);
-        self.addrs.push(addr);
-        u16::try_from(self.addrs.len() - 1).expect("address table overflow")
+        assert_eq!(
+            dims.len(),
+            self.module.data[array].dims().len(),
+            "subscript rank mismatch"
+        );
+        self.sym_addrs.push(SymAddr { array, dims });
+        u16::try_from(self.sym_addrs.len() - 1).expect("address table overflow")
     }
 }
 
-impl<'s, 'm> CompiledProgram<'s, 'm> {
+impl<'r, 'm> ExecProg<'r, 'm> {
+    /// Resolve the tapes' buffer indices against one run's live store.
+    pub(crate) fn new(tapes: &'r Tapes, spec: &'r Spec, store: &'r Store<'m>) -> ExecProg<'r, 'm> {
+        fn buf_f<'r>(store: &'r Store<'_>, id: DataId) -> &'r ParVec<f64> {
+            match store.array(id).buffer() {
+                SharedBuffer::Real(p) => p,
+                _ => panic!("buffer kind mismatch for f64 table"),
+            }
+        }
+        fn buf_i<'r>(store: &'r Store<'_>, id: DataId) -> &'r ParVec<i64> {
+            match store.array(id).buffer() {
+                SharedBuffer::Int(p) => p,
+                _ => panic!("buffer kind mismatch for i64 table"),
+            }
+        }
+        fn buf_b<'r>(store: &'r Store<'_>, id: DataId) -> &'r ParVec<bool> {
+            match store.array(id).buffer() {
+                SharedBuffer::Bool(p) => p,
+                _ => panic!("buffer kind mismatch for bool table"),
+            }
+        }
+        let tags = |ids: &[DataId]| -> Vec<Option<&'r [AtomicI64]>> {
+            if tapes.checked {
+                ids.iter().map(|&id| store.array(id).tags()).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        ExecProg {
+            store,
+            tapes,
+            spec,
+            bufs_f: tapes.buf_f.iter().map(|&id| buf_f(store, id)).collect(),
+            bufs_i: tapes.buf_i.iter().map(|&id| buf_i(store, id)).collect(),
+            bufs_b: tapes.buf_b.iter().map(|&id| buf_b(store, id)).collect(),
+            tags_f: tags(&tapes.buf_f),
+            tags_i: tags(&tapes.buf_i),
+            tags_b: tags(&tapes.buf_b),
+        }
+    }
+
     #[inline(always)]
     fn eval_addr(addr: &Addr, frame: &Frame) -> usize {
         // Debug builds re-derive each dimension's logical index and bounds
         // check it, matching `NdSpec::offset`'s strictness; release builds
         // rely on the schedule (plus the physical-buffer bounds check).
         #[cfg(debug_assertions)]
-        for (value, lo, hi) in &addr.dbg_dims {
-            let mut v = value.base;
-            for &(r, c) in &value.terms {
-                v += c * frame.gi(r);
+        for c in &addr.chk {
+            let mut v = c.value.base;
+            for &(r, cc) in &c.value.terms {
+                v += cc * frame.gi(r);
             }
             assert!(
-                v >= *lo && v <= *hi,
-                "index {v} outside {lo}..{hi} (compiled subscript)"
+                v >= c.lo && v <= c.hi,
+                "index {v} outside {}..{} (compiled subscript)",
+                c.lo,
+                c.hi
             );
         }
         let mut off = addr.base;
@@ -1487,12 +2025,91 @@ impl<'s, 'm> CompiledProgram<'s, 'm> {
         off as usize
     }
 
+    /// The *logical* flat index of an access (checked mode): re-derives
+    /// each dimension from its affine form, bounds-asserting like
+    /// `NdSpec::offset`.
+    fn logical_of(addr: &Addr, frame: &Frame) -> i64 {
+        let mut off = 0i64;
+        for c in &addr.chk {
+            let mut v = c.value.base;
+            for &(r, cc) in &c.value.terms {
+                v += cc * frame.gi(r);
+            }
+            assert!(
+                v >= c.lo && v <= c.hi,
+                "index {v} outside {}..{} (checked compiled subscript)",
+                c.lo,
+                c.hi
+            );
+            off += (v - c.lo) * c.lstride;
+        }
+        off
+    }
+
+    /// Checked-mode load: the slot must currently hold exactly the logical
+    /// element being read (same transition as `ArrayInstance::read`).
+    fn check_read(tags: Option<&[AtomicI64]>, addr: &Addr, frame: &Frame, off: usize) {
+        let logical = Self::logical_of(addr, frame);
+        if let Some(tags) = tags {
+            let tag = tags[off].load(Ordering::Acquire);
+            assert!(
+                tag == logical,
+                "read of logical index {logical}: slot holds logical {tag} — \
+                 element missing or evicted from its window"
+            );
+        }
+    }
+
+    /// Checked-mode store: tag the slot with the logical element, panic on
+    /// a double write (same transition as `ArrayInstance::write`).
+    fn check_write(tags: Option<&[AtomicI64]>, addr: &Addr, frame: &Frame, off: usize) {
+        let logical = Self::logical_of(addr, frame);
+        if let Some(tags) = tags {
+            let prev = tags[off].swap(logical, Ordering::AcqRel);
+            assert!(
+                prev != logical,
+                "double write of logical index {logical} (single assignment violated)"
+            );
+        }
+    }
+
     /// Execute one equation's tape in `frames` and store the result.
     pub(crate) fn run_eq(&self, eq_id: EqId, frames: &mut Frames) {
-        let ceq = self.eqs[eq_id]
+        let ceq = self.tapes.eqs[eq_id]
             .as_ref()
             .unwrap_or_else(|| panic!("{eq_id:?} was not lowered"));
+        let addrs = &self.spec.addrs[eq_id];
         let frame = &mut frames.frames[eq_id];
+        self.exec_tape(ceq, addrs, frame);
+    }
+
+    /// Run one equation over a whole counter range (the single-equation
+    /// `DOALL` body on a sequential executor): the tape, address table and
+    /// frame are fetched once, not per element.
+    pub(crate) fn run_eq_range(
+        &self,
+        eq_id: EqId,
+        bindings: &[(EqId, IvId)],
+        lo: i64,
+        hi: i64,
+        frames: &mut Frames,
+    ) {
+        let ceq = self.tapes.eqs[eq_id]
+            .as_ref()
+            .unwrap_or_else(|| panic!("{eq_id:?} was not lowered"));
+        let addrs = &self.spec.addrs[eq_id];
+        let frame = &mut frames.frames[eq_id];
+        debug_assert!(bindings.iter().all(|&(eq, _)| eq == eq_id));
+        for i in lo..=hi {
+            for &(_, iv) in bindings {
+                frame.i[iv.index()] = i;
+            }
+            self.exec_tape(ceq, addrs, frame);
+        }
+    }
+
+    fn exec_tape(&self, ceq: &CompiledEq, addrs: &[Addr], frame: &mut Frame) {
+        let checked = self.tapes.checked;
         let insns = &ceq.insns;
         let mut pc = 0usize;
         while pc < insns.len() {
@@ -1515,15 +2132,27 @@ impl<'s, 'm> CompiledProgram<'s, 'm> {
                     }
                 }
                 Insn::LoadF { buf, addr, dst } => {
-                    let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                    let a = &addrs[addr as usize];
+                    let off = Self::eval_addr(a, frame);
+                    if checked {
+                        Self::check_read(self.tags_f[buf as usize], a, frame, off);
+                    }
                     frame.sf(dst, self.bufs_f[buf as usize].get(off));
                 }
                 Insn::LoadI { buf, addr, dst } => {
-                    let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                    let a = &addrs[addr as usize];
+                    let off = Self::eval_addr(a, frame);
+                    if checked {
+                        Self::check_read(self.tags_i[buf as usize], a, frame, off);
+                    }
                     frame.si(dst, self.bufs_i[buf as usize].get(off));
                 }
                 Insn::LoadB { buf, addr, dst } => {
-                    let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                    let a = &addrs[addr as usize];
+                    let off = Self::eval_addr(a, frame);
+                    if checked {
+                        Self::check_read(self.tags_b[buf as usize], a, frame, off);
+                    }
                     frame.sb(dst, self.bufs_b[buf as usize].get(off));
                 }
                 Insn::AddF { a, b, dst } => frame.sf(dst, frame.gf(a) + frame.gf(b)),
@@ -1616,7 +2245,11 @@ impl<'s, 'm> CompiledProgram<'s, 'm> {
                 self.store.write_slot(slot as usize, v);
             }
             OutSpec::ArrayF { buf, addr } => {
-                let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                let a = &addrs[addr as usize];
+                let off = Self::eval_addr(a, frame);
+                if checked {
+                    Self::check_write(self.tags_f[buf as usize], a, frame, off);
+                }
                 let Reg::F(r) = ceq.src else { unreachable!() };
                 // SAFETY: the single-assignment schedule guarantees
                 // concurrent DOALL iterations write disjoint offsets (same
@@ -1624,44 +2257,58 @@ impl<'s, 'm> CompiledProgram<'s, 'm> {
                 unsafe { self.bufs_f[buf as usize].set(off, frame.gf(r)) };
             }
             OutSpec::ArrayI { buf, addr } => {
-                let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                let a = &addrs[addr as usize];
+                let off = Self::eval_addr(a, frame);
+                if checked {
+                    Self::check_write(self.tags_i[buf as usize], a, frame, off);
+                }
                 let Reg::I(r) = ceq.src else { unreachable!() };
                 // SAFETY: as above.
                 unsafe { self.bufs_i[buf as usize].set(off, frame.gi(r)) };
             }
             OutSpec::ArrayB { buf, addr } => {
-                let off = Self::eval_addr(&ceq.addrs[addr as usize], frame);
+                let a = &addrs[addr as usize];
+                let off = Self::eval_addr(a, frame);
+                if checked {
+                    Self::check_write(self.tags_b[buf as usize], a, frame, off);
+                }
                 let Reg::B(r) = ceq.src else { unreachable!() };
                 // SAFETY: as above.
                 unsafe { self.bufs_b[buf as usize].set(off, frame.gb(r)) };
             }
         }
     }
-
-    /// Lowering statistics for one equation, used by tests: total
-    /// instructions, address-table size, and how many addresses kept a
-    /// windowed special dimension.
-    #[cfg(test)]
-    fn stats(&self, eq: EqId) -> (usize, usize, usize) {
-        let ceq = self.eqs[eq].as_ref().expect("lowered");
-        let special = ceq.addrs.iter().map(|a| a.special.len()).sum();
-        (ceq.insns.len(), ceq.addrs.len(), special)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::Inputs;
+    use crate::store::{Inputs, StoreArena};
     use ps_depgraph::build_depgraph;
     use ps_lang::frontend;
-    use ps_scheduler::{schedule_module, ScheduleOptions};
+    use ps_scheduler::{schedule_module, ScheduleOptions, ScheduleResult};
 
-    fn build(src: &str) -> (ps_lang::HirModule, ps_scheduler::ScheduleResult) {
+    fn build(src: &str) -> (HirModule, ScheduleResult) {
         let m = frontend(src).unwrap();
         let dg = build_depgraph(&m);
         let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
         (m, sched)
+    }
+
+    /// Compile tapes and one specialization against `inputs`.
+    fn compile_all<'m>(
+        m: &'m HirModule,
+        sched: &ScheduleResult,
+        inputs: &Inputs,
+        fold_static: bool,
+    ) -> (StorePlan<'m>, Tapes, Store<'m>, Spec) {
+        let plan = StorePlan::new(m, &sched.memory);
+        let tapes = compile_tapes(m, &plan, &sched.flowchart, false, fold_static);
+        let store = plan
+            .instantiate(inputs, false, &mut StoreArena::default())
+            .unwrap();
+        let spec = specialize(&tapes, &plan, &store.params, Vec::new()).unwrap();
+        (plan, tapes, store, spec)
     }
 
     #[test]
@@ -1677,12 +2324,15 @@ mod tests {
              end T;";
         let inputs = Inputs::new().set_int("n", 4);
         let (m, sched) = build(src);
-        let store = Store::build(&m, &sched.memory, &inputs, false).unwrap();
-        let prog = compile_program(&m, &sched.flowchart, &store);
+        let (_plan, tapes, _store, spec) = compile_all(&m, &sched, &inputs, true);
         let eq2 = m.equation_by_label("eq.2").unwrap();
-        let (_, addrs, special) = prog.stats(eq2);
+        let (_, addrs) = tapes.stats(eq2);
         assert_eq!(addrs, 2, "one load + one store address");
-        assert_eq!(special, 0, "fully linear: no window, no dynamic dims");
+        assert_eq!(
+            spec.special_count(eq2),
+            0,
+            "fully linear: no window, no dynamic dims"
+        );
     }
 
     #[test]
@@ -1701,12 +2351,15 @@ mod tests {
         let (m, sched) = build(src);
         let a = m.data_by_name("a").unwrap();
         assert_eq!(sched.memory.window(a, 0), Some(3), "planner windows a");
-        let store = Store::build(&m, &sched.memory, &inputs, false).unwrap();
-        let prog = compile_program(&m, &sched.flowchart, &store);
+        let (_plan, tapes, _store, spec) = compile_all(&m, &sched, &inputs, true);
         let eq3 = m.equation_by_label("eq.3").unwrap();
-        let (_, addrs, special) = prog.stats(eq3);
+        let (_, addrs) = tapes.stats(eq3);
         assert_eq!(addrs, 3, "two loads + one store");
-        assert_eq!(special, 3, "every access of the windowed dim needs mod");
+        assert_eq!(
+            spec.special_count(eq3),
+            3,
+            "every access of the windowed dim needs mod"
+        );
     }
 
     #[test]
@@ -1720,10 +2373,9 @@ mod tests {
              end T;";
         let inputs = Inputs::new().set_int("n", 8);
         let (m, sched) = build(src);
-        let store = Store::build(&m, &sched.memory, &inputs, false).unwrap();
-        let prog = compile_program(&m, &sched.flowchart, &store);
+        let (_plan, tapes, _store, _spec) = compile_all(&m, &sched, &inputs, true);
         let eq1 = m.equation_by_label("eq.1").unwrap();
-        let ceq = prog.eqs[eq1].as_ref().unwrap();
+        let ceq = tapes.eqs[eq1].as_ref().unwrap();
         assert!(
             ceq.insns
                 .iter()
@@ -1749,14 +2401,124 @@ mod tests {
              end T;";
         let inputs = Inputs::new().set_int("x", 3);
         let (m, sched) = build(src);
-        let store = Store::build(&m, &sched.memory, &inputs, false).unwrap();
-        let prog = compile_program(&m, &sched.flowchart, &store);
-        let mut frames = Frames::new(&prog);
-        for eq in sched.flowchart.equations() {
-            prog.run_eq(eq, &mut frames);
+        let (_plan, tapes, store, spec) = compile_all(&m, &sched, &inputs, true);
+        let mut frames = Frames::new(&tapes);
+        frames.bind_params(&tapes, &store.param_values(tapes.params()));
+        {
+            let view = ExecProg::new(&tapes, &spec, &store);
+            for eq in sched.flowchart.equations() {
+                view.run_eq(eq, &mut frames);
+            }
         }
-        drop(prog);
         let out = store.into_outputs();
         assert_eq!(out.scalar("y"), Value::Int(49));
+    }
+
+    #[test]
+    fn pint_folds_constants_and_evaluates() {
+        let five = PInt::bin(BinOp::Add, PInt::Const(2), PInt::Const(3));
+        assert_eq!(five, PInt::Const(5), "const-const folds at build time");
+        assert_eq!(PInt::neg(PInt::Const(4)), PInt::Const(-4));
+        assert_eq!(PInt::abs(PInt::Const(-4)), PInt::Const(4));
+        assert_eq!(
+            PInt::min_max(true, PInt::Const(2), PInt::Const(9)),
+            PInt::Const(2)
+        );
+        // M*2 + 1 under M = 8.
+        let e = PInt::bin(
+            BinOp::Add,
+            PInt::bin(BinOp::Mul, PInt::Param(0), PInt::Const(2)),
+            PInt::Const(1),
+        );
+        assert_eq!(e.eval(&[Value::Int(8)]), 17);
+    }
+
+    /// The satellite claim: static integer folding over the
+    /// parameter-register representation yields strictly shorter tapes
+    /// for the jacobi and wavefront-style bodies (the `M+1` / `n-1`
+    /// parameter expressions vanish into derived registers).
+    #[test]
+    fn static_folding_shortens_jacobi_and_wavefront_tapes() {
+        let jacobi = "Relaxation: module (InitialA: array[I,J] of real;
+                            M: int; maxK: int):
+                    [newA: array[I,J] of real];
+        type I, J = 0 .. M+1; K = 2 .. maxK;
+        var A: array [1 .. maxK] of array[I,J] of real;
+        define
+            A[1] = InitialA;
+            newA = A[maxK];
+            A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+                       then A[K-1,I,J]
+                       else ( A[K-1,I,J-1] + A[K-1,I-1,J]
+                            + A[K-1,I,J+1] + A[K-1,I+1,J] ) / 4;
+        end Relaxation;";
+        let wavefront = "W: module (n: int; xs: array[1..n] of real):
+                [out: array[1..n] of real];
+            type K = 2 .. n;
+            var a: array [1 .. n] of real;
+            define
+                a[1] = xs[1] * real(n - 1);
+                a[K] = a[K-1] + xs[n+1-K] * real(n - 1);
+                out = a;
+            end W;";
+        for (name, src, label) in [("jacobi", jacobi, "eq.3"), ("wavefront", wavefront, "eq.2")] {
+            let (m, sched) = build(src);
+            let plan = StorePlan::new(&m, &sched.memory);
+            let folded = compile_tapes(&m, &plan, &sched.flowchart, false, true);
+            let unfolded = compile_tapes(&m, &plan, &sched.flowchart, false, false);
+            let eq = m.equation_by_label(label).unwrap();
+            let (f_len, _) = folded.stats(eq);
+            let (u_len, _) = unfolded.stats(eq);
+            assert!(
+                f_len < u_len,
+                "{name}: folded tape ({f_len} insns) must be shorter than \
+                 unfolded ({u_len} insns)"
+            );
+            assert!(
+                !folded.eqs[eq].as_ref().unwrap().derived_i.is_empty(),
+                "{name}: the parameter expression becomes a derived register"
+            );
+        }
+    }
+
+    /// Tapes and specs are parameter-separable: one set of tapes, two
+    /// specializations, bit-correct results under both parameter vectors.
+    #[test]
+    fn one_tape_two_specializations() {
+        let src = "T: module (n: int): [y: int];
+             type K = 2 .. n;
+             var a: array [1 .. n] of int;
+             define
+                a[1] = 1;
+                a[K] = a[K-1] + n;
+                y = a[n];
+             end T;";
+        let (m, sched) = build(src);
+        let plan = StorePlan::new(&m, &sched.memory);
+        let tapes = compile_tapes(&m, &plan, &sched.flowchart, false, true);
+        for n in [3i64, 7] {
+            let inputs = Inputs::new().set_int("n", n);
+            let store = plan
+                .instantiate(&inputs, false, &mut StoreArena::default())
+                .unwrap();
+            let spec = specialize(&tapes, &plan, &store.params, vec![n]).unwrap();
+            let mut frames = Frames::new(&tapes);
+            frames.bind_params(&tapes, &store.param_values(tapes.params()));
+            {
+                let view = ExecProg::new(&tapes, &spec, &store);
+                for eq in sched.flowchart.equations() {
+                    if matches!(m.equations[eq].label.as_str(), "eq.2") {
+                        for k in 2..=n {
+                            frames.set_iv(eq, IvId(0), k);
+                            view.run_eq(eq, &mut frames);
+                        }
+                    } else {
+                        view.run_eq(eq, &mut frames);
+                    }
+                }
+            }
+            let out = store.into_outputs();
+            assert_eq!(out.scalar("y"), Value::Int(1 + (n - 1) * n), "n = {n}");
+        }
     }
 }

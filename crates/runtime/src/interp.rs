@@ -7,20 +7,25 @@
 //!
 //! Two execution engines walk the same flowchart:
 //!
-//! * [`Engine::Compiled`] (the default) lowers every scheduled equation to
-//!   a typed register tape once per run (the crate-private `compiled`
-//!   module) and
-//!   executes iterations as non-recursive tape walks with strength-reduced
+//! * [`Engine::Compiled`] (the default) executes equations as typed
+//!   register tapes — lowered **once per [`crate::Program`]**, specialized
+//!   per parameter layout, and reused across runs — with strength-reduced
 //!   addressing and zero per-iteration allocations;
 //! * [`Engine::TreeWalk`] evaluates the `HExpr` trees directly via
 //!   [`crate::eval`] — slower, but structurally independent, so it serves
 //!   as the differential-testing oracle for the compiled engine.
 //!
-//! `check_writes` needs the logical-index tags only the tree-walker's
-//! checked store accessors maintain, so it forces the tree-walk engine.
+//! `check_writes` works under **both** engines: the tree-walker's checked
+//! store accessors maintain the logical-index tags, and the compiled
+//! engine's checked tape mode performs the identical tag transitions
+//! inline.
+//!
+//! [`run_module`] is a thin compile-and-run-once wrapper over
+//! [`crate::Program`]; callers serving many runs should hold a `Program`.
 
-use crate::compiled::{compile_program, CompiledProgram, Frames};
+use crate::compiled::{ExecProg, Frames};
 use crate::eval::{eval, Env, SubScratch};
+use crate::program::Program;
 use crate::store::{Inputs, Outputs, RuntimeError, Store};
 use crate::value::Value;
 use ps_executor::Executor;
@@ -38,17 +43,21 @@ pub enum Engine {
     TreeWalk,
 }
 
-/// Knobs for [`run_module`].
+/// Knobs for [`run_module`] / [`crate::Program`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RuntimeOptions {
     /// Track logical tags per physical slot, catching double writes and
-    /// window evictions (slow; for tests). Implies [`Engine::TreeWalk`].
+    /// window evictions (slow; for tests). Works under both engines.
     pub check_writes: bool,
     /// Evaluation engine (compiled by default).
     pub engine: Engine,
 }
 
-/// Execute a scheduled module.
+/// Execute a scheduled module: compile a [`Program`] and run it once.
+///
+/// For compile-once / run-many workloads, build the [`Program`] yourself
+/// and call [`Program::run`] repeatedly — that amortizes lowering and
+/// reuses pooled run state.
 pub fn run_module(
     module: &HirModule,
     flowchart: &Flowchart,
@@ -57,35 +66,20 @@ pub fn run_module(
     executor: &dyn Executor,
     options: RuntimeOptions,
 ) -> Result<Outputs, RuntimeError> {
-    let store = Store::build(module, plan, inputs, options.check_writes)?;
-    {
-        let cx = Interp {
-            store: &store,
-            executor,
-        };
-        if options.engine == Engine::Compiled && !options.check_writes {
-            let prog = compile_program(module, flowchart, &store);
-            let mut frames = Frames::new(&prog);
-            cx.run_items_compiled(&prog, &flowchart.items, &mut frames);
-        } else {
-            let mut st = TreeState::default();
-            cx.run_items(&flowchart.items, &mut st);
-        }
-    }
-    Ok(store.into_outputs())
+    Program::new(module, flowchart, plan, options).run(inputs, executor)
 }
 
 /// Mutable per-worker state of the tree-walk engine: the index environment
 /// plus reusable subscript buffers.
 #[derive(Clone, Debug, Default)]
-struct TreeState {
+pub(crate) struct TreeState {
     env: Env,
     scratch: SubScratch,
 }
 
-struct Interp<'a, 'm> {
-    store: &'a Store<'m>,
-    executor: &'a dyn Executor,
+pub(crate) struct Interp<'a, 'm> {
+    pub(crate) store: &'a Store<'m>,
+    pub(crate) executor: &'a dyn Executor,
 }
 
 /// Every equation reachable in `items` (loop bodies included), in order.
@@ -141,21 +135,14 @@ impl<'a, 'm> Interp<'a, 'm> {
     }
 
     fn bounds(&self, sr: ps_lang::SubrangeId) -> (i64, i64) {
-        let s = &self.module().subranges[sr];
-        let lo =
-            s.lo.eval(&self.store.params)
-                .unwrap_or_else(|| panic!("cannot evaluate bound {}", s.lo));
-        let hi =
-            s.hi.eval(&self.store.params)
-                .unwrap_or_else(|| panic!("cannot evaluate bound {}", s.hi));
-        (lo, hi)
+        self.store.subrange_bounds(sr)
     }
 
     // ---- compiled engine ----
 
-    fn run_items_compiled(
+    pub(crate) fn run_items_compiled(
         &self,
-        prog: &CompiledProgram<'_, 'm>,
+        prog: &ExecProg<'_, 'm>,
         items: &[Descriptor],
         frames: &mut Frames,
     ) {
@@ -170,12 +157,7 @@ impl<'a, 'm> Interp<'a, 'm> {
         }
     }
 
-    fn run_loop_compiled(
-        &self,
-        prog: &CompiledProgram<'_, 'm>,
-        l: &LoopDescriptor,
-        frames: &mut Frames,
-    ) {
+    fn run_loop_compiled(&self, prog: &ExecProg<'_, 'm>, l: &LoopDescriptor, frames: &mut Frames) {
         match l.kind {
             LoopKind::Do => {
                 let (lo, hi) = self.bounds(l.subrange);
@@ -196,6 +178,28 @@ impl<'a, 'm> Interp<'a, 'm> {
                 }
             }
             LoopKind::Doall => {
+                // Sequential executor: no flattening, no chunk teardown,
+                // no allocation — bind counters in the caller's frames
+                // and recurse (inner DOALLs take this path too). The
+                // nested order equals the flattened row-major order, so
+                // outputs stay bit-identical; this is what keeps small
+                // solves cheap in compile-once / run-many serving.
+                if self.executor.threads() == 1 {
+                    let (lo, hi) = self.bounds(l.subrange);
+                    // A single-equation body (the common innermost case)
+                    // hoists the tape lookup out of the element loop.
+                    if let [Descriptor::Equation(eq)] = &l.body[..] {
+                        prog.run_eq_range(*eq, &l.bindings, lo, hi, frames);
+                        return;
+                    }
+                    for i in lo..=hi {
+                        for &(eq, iv) in &l.bindings {
+                            frames.set_iv(eq, iv, i);
+                        }
+                        self.run_items_compiled(prog, &l.body, frames);
+                    }
+                    return;
+                }
                 let (chain, ranges, widths, total, innermost_body) =
                     flatten_doall(l, |sr| self.bounds(sr));
                 if total <= 0 {
@@ -226,7 +230,7 @@ impl<'a, 'm> Interp<'a, 'm> {
 
     // ---- tree-walk engine ----
 
-    fn run_items(&self, items: &[Descriptor], st: &mut TreeState) {
+    pub(crate) fn run_items(&self, items: &[Descriptor], st: &mut TreeState) {
         for d in items {
             match d {
                 Descriptor::Equation(eq) => self.run_equation(*eq, st),
@@ -267,6 +271,26 @@ impl<'a, 'm> Interp<'a, 'm> {
                 st.env.truncate(base);
             }
             LoopKind::Doall => {
+                // Sequential executor: bind slots in the caller's
+                // environment and recurse (mirrors the compiled engine's
+                // inline fast path; same element order, bit-identical).
+                if self.executor.threads() == 1 {
+                    let (lo, hi) = self.bounds(l.subrange);
+                    let base = st.env.len();
+                    let slots: Vec<usize> = l
+                        .bindings
+                        .iter()
+                        .map(|&(eq, iv)| st.env.push_slot(eq, iv))
+                        .collect();
+                    for i in lo..=hi {
+                        for &slot in &slots {
+                            st.env.set_slot(slot, i);
+                        }
+                        self.run_items(&l.body, st);
+                    }
+                    st.env.truncate(base);
+                    return;
+                }
                 let (chain, ranges, widths, total, innermost_body) =
                     flatten_doall(l, |sr| self.bounds(sr));
                 if total <= 0 {

@@ -1,4 +1,5 @@
-//! Execution of scheduled PS programs.
+//! Execution of scheduled PS programs, split along the **compile-once /
+//! run-many** seam.
 //!
 //! The scheduled interpreter ([`interp`]) walks a flowchart produced by
 //! `ps-scheduler`, executing `DO` loops in order and mapping `DOALL` loops
@@ -7,29 +8,78 @@
 //! dimensions are allocated `window` planes and indexed modulo the window,
 //! exactly like the C the paper's compiler emits.
 //!
+//! # The compile / run split
+//!
+//! Serving many small solves pays for compilation once, not per request:
+//!
+//! * [`Program`] (see [`program`]) — the immutable, shareable artifact:
+//!   the [`StorePlan`] (scalar-slot layout + window decisions), the
+//!   parameter-independent instruction tapes, a per-parameter-layout
+//!   specialization cache, and a pooled run arena. `&Program` is
+//!   `Send + Sync`; independent runs execute concurrently.
+//! * [`Program::run`] — the cheap per-run half: bind parameter registers,
+//!   evaluate array bounds, draw buffers/frames from the arena, execute.
+//!   Steady-state runs do **zero lowering or validation allocations**.
+//! * [`run_module`] — compile-and-run-once convenience over the same
+//!   machinery.
+//!
+//! ```
+//! use ps_runtime::{Inputs, Program, RuntimeOptions};
+//!
+//! let m = ps_lang::frontend(
+//!     "T: module (n: int; gain: real): [y: real];
+//!      type K = 2 .. n;
+//!      var a: array [1 .. n] of real;
+//!      define
+//!         a[1] = gain;
+//!         a[K] = a[K-1] * gain + 1.0;
+//!         y = a[n];
+//!      end T;",
+//! )
+//! .unwrap();
+//! let dg = ps_depgraph::build_depgraph(&m);
+//! let sched = ps_scheduler::schedule_module(&m, &dg, Default::default()).unwrap();
+//!
+//! // Compile once...
+//! let prog = Program::new(&m, &sched.flowchart, &sched.memory, RuntimeOptions::default());
+//! // ...run many times, with different parameters each time.
+//! let a = prog
+//!     .run(&Inputs::new().set_int("n", 4).set_real("gain", 2.0), &ps_executor::Sequential)
+//!     .unwrap();
+//! let b = prog
+//!     .run(&Inputs::new().set_int("n", 6).set_real("gain", 0.5), &ps_executor::Sequential)
+//!     .unwrap();
+//! assert_eq!(a.scalar("y").as_real(), 23.0);
+//! assert_eq!(b.scalar("y").as_real(), 1.953125);
+//! ```
+//!
 //! # The two-engine design
 //!
 //! Equation bodies execute under one of two engines, selected by
 //! `RuntimeOptions::engine`:
 //!
-//! * **Compiled** (the default, [`interp::Engine::Compiled`]) — once per
-//!   run, every scheduled equation is lowered to a flat postorder tape of
-//!   typed instructions over untagged `f64`/`i64`/`bool` registers, with
-//!   types synthesized ahead of time from the checked HIR. Affine array
-//!   subscripts are strength-reduced against each array's *physical*
-//!   layout into `base + Σ cᵢ·counterᵢ` dot products (the window `mod`
-//!   survives only for genuinely windowed dimensions), module parameters
-//!   are folded into tape constants, and loop counters live in flat
-//!   per-equation slots. An iteration is a non-recursive tape walk with
-//!   direct buffer loads and stores and **zero per-iteration heap
-//!   allocations** — the interpretive cost the paper's loop-level speedups
-//!   would otherwise drown in.
+//! * **Compiled** (the default, [`interp::Engine::Compiled`]) — every
+//!   scheduled equation is lowered **once per [`Program`]** to a flat
+//!   postorder tape of typed instructions over untagged
+//!   `f64`/`i64`/`bool` registers, with types synthesized ahead of time
+//!   from the checked HIR. Module parameters live in *registers* bound at
+//!   run start (pure-integer parameter expressions hoist into derived
+//!   registers), so the tapes are valid for every parameter vector.
+//!   Affine array subscripts strength-reduce — per cached parameter
+//!   layout — into `base + Σ cᵢ·regᵢ` dot products against each array's
+//!   *physical* layout (the window `mod` survives only for genuinely
+//!   windowed dimensions), and loop counters are the leading registers of
+//!   each equation's frame. An iteration is a non-recursive tape walk
+//!   with direct buffer loads and stores and **zero per-iteration heap
+//!   allocations** — the interpretive cost the paper's loop-level
+//!   speedups would otherwise drown in.
 //! * **TreeWalk** ([`interp::Engine::TreeWalk`]) — direct recursive
 //!   evaluation of the `HExpr` trees via [`eval`], with tagged [`Value`]
 //!   dispatch and an index-variable environment. Slower, but structurally
 //!   independent of the lowering pass, so it doubles as the differential
 //!   oracle for the compiled engine (the `engine_diff` suite asserts
-//!   bit-identical outputs on random programs).
+//!   bit-identical outputs on random programs and across one `Program`'s
+//!   sequential and concurrent runs).
 //!
 //! A third, fully independent path is [`naive`] — a demand-driven
 //! memoizing evaluator executing the nonprocedural semantics straight from
@@ -40,8 +90,9 @@
 //! single-assignment discipline (enforced by the checker and the scheduler)
 //! guarantees disjointness. `RuntimeOptions::check_writes` additionally
 //! tags every physical slot with the logical index it holds, catching both
-//! double writes and window-eviction races in tests; the tags live on the
-//! checked accessor path, so `check_writes` forces the tree-walk engine.
+//! double writes and window-eviction races in tests — under **either**
+//! engine: the tree-walker checks in its store accessors, the compiled
+//! engine in its checked tape mode.
 //!
 //! [`MemoryPlan`]: ps_scheduler::MemoryPlan
 
@@ -50,10 +101,12 @@ pub mod eval;
 pub mod interp;
 pub mod naive;
 pub mod ndarray;
+pub mod program;
 pub mod store;
 pub mod value;
 
 pub use interp::{run_module, Engine, RuntimeOptions};
 pub use naive::run_naive;
-pub use store::{Inputs, Outputs};
+pub use program::Program;
+pub use store::{Inputs, Outputs, StoreArena, StorePlan};
 pub use value::{OwnedArray, Value};

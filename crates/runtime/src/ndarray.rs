@@ -108,6 +108,28 @@ impl<T: Copy> ParVec<T> {
         }
     }
 
+    pub(crate) fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Overwrite every element (requires `&mut`, so no concurrent access).
+    /// Used when a pooled buffer is reissued to a new run: reused storage
+    /// must start from the same all-zero state a fresh allocation has, or
+    /// runs would not be bit-identical to fresh-store runs.
+    fn reset(&mut self, v: T) {
+        for c in self.data.iter_mut() {
+            *c.get_mut() = v;
+        }
+    }
+
+    /// Copy `src` in wholesale (requires `&mut`; lengths must match).
+    fn fill_from(&mut self, src: &[T]) {
+        assert_eq!(self.data.len(), src.len());
+        for (c, &v) in self.data.iter_mut().zip(src) {
+            *c.get_mut() = v;
+        }
+    }
+
     #[inline]
     pub(crate) fn get(&self, i: usize) -> T {
         unsafe { *self.data[i].get() }
@@ -137,6 +159,95 @@ pub(crate) enum SharedBuffer {
     Bool(ParVec<bool>),
 }
 
+/// Keep at most this many spare buffers per element kind; beyond it,
+/// recycled buffers are simply dropped. Bounds the arena's footprint when
+/// a long-lived `Program` sees many distinct array shapes.
+const POOL_CAP: usize = 32;
+
+/// Recycled array storage, keyed by exact physical length.
+///
+/// A compile-once / run-many workload allocates the same buffer shapes on
+/// every run; pooling them turns per-run array setup into a `memset` of
+/// existing storage. Buffers whose length matches no request simply age
+/// out ([`POOL_CAP`]).
+#[derive(Default)]
+pub(crate) struct BufferPool {
+    f: Vec<ParVec<f64>>,
+    i: Vec<ParVec<i64>>,
+    b: Vec<ParVec<bool>>,
+    tags: Vec<Vec<AtomicI64>>,
+    /// Recycled (emptied) dimension vectors, so per-run `NdSpec`
+    /// construction reuses capacity instead of allocating per array.
+    dims: Vec<Vec<DimSpec>>,
+}
+
+fn take_buf<T: Copy>(pool: &mut Vec<ParVec<T>>, len: usize, zero: T) -> ParVec<T> {
+    match pool.iter().position(|p| p.len() == len) {
+        Some(ix) => {
+            let mut v = pool.swap_remove(ix);
+            v.reset(zero);
+            v
+        }
+        None => ParVec::new(vec![zero; len]),
+    }
+}
+
+/// Like [`take_buf`] but *without* the zero-reset — for callers that fully
+/// overwrite the buffer anyway (input copies), avoiding a second pass.
+fn take_buf_dirty<T: Copy>(pool: &mut Vec<ParVec<T>>, len: usize, zero: T) -> ParVec<T> {
+    match pool.iter().position(|p| p.len() == len) {
+        Some(ix) => pool.swap_remove(ix),
+        None => ParVec::new(vec![zero; len]),
+    }
+}
+
+fn put_buf<T>(pool: &mut Vec<ParVec<T>>, buf: ParVec<T>) {
+    if pool.len() < POOL_CAP {
+        pool.push(buf);
+    }
+}
+
+impl BufferPool {
+    fn take(&mut self, elem: ScalarTy, len: usize) -> SharedBuffer {
+        match elem {
+            ScalarTy::Real => SharedBuffer::Real(take_buf(&mut self.f, len, 0.0)),
+            ScalarTy::Int | ScalarTy::Char => SharedBuffer::Int(take_buf(&mut self.i, len, 0)),
+            ScalarTy::Bool => SharedBuffer::Bool(take_buf(&mut self.b, len, false)),
+        }
+    }
+
+    fn take_tags(&mut self, len: usize) -> Vec<AtomicI64> {
+        match self.tags.iter().position(|t| t.len() == len) {
+            Some(ix) => {
+                let mut t = self.tags.swap_remove(ix);
+                for tag in t.iter_mut() {
+                    *tag.get_mut() = -1;
+                }
+                t
+            }
+            None => (0..len).map(|_| AtomicI64::new(-1)).collect(),
+        }
+    }
+
+    fn put(&mut self, buf: SharedBuffer, tags: Option<Vec<AtomicI64>>) {
+        match buf {
+            SharedBuffer::Real(v) => put_buf(&mut self.f, v),
+            SharedBuffer::Int(v) => put_buf(&mut self.i, v),
+            SharedBuffer::Bool(v) => put_buf(&mut self.b, v),
+        }
+        if let Some(t) = tags {
+            if self.tags.len() < POOL_CAP {
+                self.tags.push(t);
+            }
+        }
+    }
+
+    /// An empty dimension vector with recycled capacity.
+    pub(crate) fn take_dims(&mut self) -> Vec<DimSpec> {
+        self.dims.pop().unwrap_or_default()
+    }
+}
+
 /// A live array instance: layout + shared buffer + optional write checker.
 pub struct ArrayInstance {
     pub spec: NdSpec,
@@ -149,33 +260,54 @@ pub struct ArrayInstance {
 
 impl ArrayInstance {
     pub fn new(spec: NdSpec, elem: ScalarTy, check_writes: bool) -> ArrayInstance {
+        ArrayInstance::new_pooled(spec, elem, check_writes, &mut BufferPool::default())
+    }
+
+    /// Like [`ArrayInstance::new`], but drawing storage from `pool` when a
+    /// buffer of the right length is available (reset to zero either way).
+    pub(crate) fn new_pooled(
+        spec: NdSpec,
+        elem: ScalarTy,
+        check_writes: bool,
+        pool: &mut BufferPool,
+    ) -> ArrayInstance {
         let len = spec.physical_len();
-        let buf = match elem {
-            ScalarTy::Real => SharedBuffer::Real(ParVec::new(vec![0.0; len])),
-            ScalarTy::Int | ScalarTy::Char => SharedBuffer::Int(ParVec::new(vec![0; len])),
-            ScalarTy::Bool => SharedBuffer::Bool(ParVec::new(vec![false; len])),
-        };
-        let tags = check_writes.then(|| (0..len).map(|_| AtomicI64::new(-1)).collect());
+        let buf = pool.take(elem, len);
+        let tags = check_writes.then(|| pool.take_tags(len));
         ArrayInstance { spec, buf, tags }
     }
 
     /// Build from caller-provided input data (always physical).
     pub fn from_owned(owned: &OwnedArray) -> ArrayInstance {
-        let spec = NdSpec {
-            dims: owned
-                .dims
-                .iter()
-                .map(|&(lo, hi)| DimSpec {
-                    lo,
-                    hi,
-                    window: None,
-                })
-                .collect(),
-        };
+        ArrayInstance::from_owned_pooled(owned, &mut BufferPool::default())
+    }
+
+    /// Like [`ArrayInstance::from_owned`], copying the input into pooled
+    /// storage instead of allocating a fresh clone per run.
+    pub(crate) fn from_owned_pooled(owned: &OwnedArray, pool: &mut BufferPool) -> ArrayInstance {
+        let mut dims = pool.take_dims();
+        dims.extend(owned.dims.iter().map(|&(lo, hi)| DimSpec {
+            lo,
+            hi,
+            window: None,
+        }));
+        let spec = NdSpec { dims };
         let buf = match &owned.data {
-            OwnedBuffer::Real(v) => SharedBuffer::Real(ParVec::new(v.clone())),
-            OwnedBuffer::Int(v) => SharedBuffer::Int(ParVec::new(v.clone())),
-            OwnedBuffer::Bool(v) => SharedBuffer::Bool(ParVec::new(v.clone())),
+            OwnedBuffer::Real(v) => {
+                let mut p = take_buf_dirty(&mut pool.f, v.len(), 0.0);
+                p.fill_from(v);
+                SharedBuffer::Real(p)
+            }
+            OwnedBuffer::Int(v) => {
+                let mut p = take_buf_dirty(&mut pool.i, v.len(), 0);
+                p.fill_from(v);
+                SharedBuffer::Int(p)
+            }
+            OwnedBuffer::Bool(v) => {
+                let mut p = take_buf_dirty(&mut pool.b, v.len(), false);
+                p.fill_from(v);
+                SharedBuffer::Bool(p)
+            }
         };
         // Inputs are fully defined: tag them as such when checking.
         ArrayInstance {
@@ -183,6 +315,24 @@ impl ArrayInstance {
             buf,
             tags: None,
         }
+    }
+
+    /// Return this instance's storage (buffer, tags, dimension vector) to
+    /// `pool` for a later run.
+    pub(crate) fn recycle(self, pool: &mut BufferPool) {
+        pool.put(self.buf, self.tags);
+        let mut dims = self.spec.dims;
+        if pool.dims.len() < POOL_CAP {
+            dims.clear();
+            pool.dims.push(dims);
+        }
+    }
+
+    /// The write-checker tag table, when this instance checks writes. The
+    /// compiled engine's checked mode performs the same tag transitions as
+    /// [`ArrayInstance::read`]/[`ArrayInstance::write`] against it.
+    pub(crate) fn tags(&self) -> Option<&[AtomicI64]> {
+        self.tags.as_deref()
     }
 
     /// Direct typed access to the shared buffer. The compiled engine
@@ -351,5 +501,49 @@ mod tests {
         let input = OwnedArray::real(vec![(0, 1)], vec![5.0, 6.0]);
         let inst = ArrayInstance::from_owned(&input);
         assert_eq!(inst.read(&[1]), Value::Real(6.0));
+    }
+
+    #[test]
+    fn buffer_pool_reuses_and_resets() {
+        let mut pool = BufferPool::default();
+        let spec = || spec2(0, 3, None, 0, 0);
+        let a = ArrayInstance::new_pooled(spec(), ScalarTy::Real, true, &mut pool);
+        a.write(&[2, 0], Value::Real(9.0));
+        a.recycle(&mut pool);
+        // Same length: the buffer comes back zeroed with fresh tags.
+        let b = ArrayInstance::new_pooled(spec(), ScalarTy::Real, true, &mut pool);
+        assert!(pool.f.is_empty(), "the pooled buffer was reissued");
+        b.write(&[2, 0], Value::Real(1.0));
+        assert_eq!(b.read(&[2, 0]), Value::Real(1.0), "no stale tag trips");
+        // A different length misses the pool and allocates fresh.
+        b.recycle(&mut pool);
+        let c = ArrayInstance::new_pooled(
+            NdSpec {
+                dims: vec![DimSpec {
+                    lo: 0,
+                    hi: 9,
+                    window: None,
+                }],
+            },
+            ScalarTy::Real,
+            false,
+            &mut pool,
+        );
+        assert_eq!(c.spec.physical_len(), 10);
+        assert_eq!(pool.f.len(), 1, "the 4-element buffer stays pooled");
+    }
+
+    #[test]
+    fn pooled_input_copy_matches_owned() {
+        let mut pool = BufferPool::default();
+        let input = OwnedArray::int(vec![(1, 3)], vec![7, 8, 9]);
+        let inst = ArrayInstance::from_owned_pooled(&input, &mut pool);
+        assert_eq!(inst.read(&[3]), Value::Int(9));
+        inst.recycle(&mut pool);
+        // Reissue: the copy fully overwrites the recycled contents.
+        let other = OwnedArray::int(vec![(1, 3)], vec![1, 2, 3]);
+        let inst2 = ArrayInstance::from_owned_pooled(&other, &mut pool);
+        assert_eq!(inst2.read(&[1]), Value::Int(1));
+        assert_eq!(inst2.read(&[3]), Value::Int(3));
     }
 }

@@ -1,0 +1,342 @@
+//! The compile-once / run-many execution artifact.
+//!
+//! [`Program`] packages everything derivable from a scheduled module
+//! *without* knowing parameter values: the immutable store layout
+//! ([`StorePlan`]), the parameter-independent instruction tapes, and two
+//! interior-mutability side tables —
+//!
+//! * a **specialization cache**: per distinct integer parameter vector,
+//!   the symbolic addresses folded against that layout (built on first
+//!   sight of a vector, reused thereafter);
+//! * a **run arena**: pooled per-run state (register frames, array
+//!   buffers, tag tables, scalar-slot tables) recycled between runs.
+//!
+//! [`Program::run`] therefore costs: evaluate array bounds, bind
+//! parameters, `memset` pooled buffers, execute. No lowering, no
+//! validation, no tape allocation after the first run with a given
+//! parameter layout.
+//!
+//! `&Program` is `Send + Sync`: independent runs may execute concurrently
+//! from multiple threads sharing one artifact — each run owns its store
+//! and frames; the cache and arena are touched only under brief locks.
+
+use crate::compiled::{compile_tapes, specialize, ExecProg, Frames, Spec, Tapes};
+use crate::interp::{Engine, Interp, RuntimeOptions, TreeState};
+use crate::store::{Inputs, Outputs, RuntimeError, Store, StoreArena, StorePlan};
+use ps_executor::Executor;
+use ps_lang::hir::HirModule;
+use ps_scheduler::{Flowchart, MemoryPlan};
+use ps_support::Symbol;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Upper bound on cached specializations; past it, new parameter layouts
+/// are folded per run but not retained (protects against unbounded keys).
+const SPEC_CACHE_CAP: usize = 64;
+
+/// Upper bound on pooled run slots (each holds one run's recyclable
+/// storage); more than a handful only matters under heavy concurrency.
+const RUN_POOL_CAP: usize = 16;
+
+/// One run's worth of recyclable state. `frames` is `None` until the
+/// slot's first successful compiled run builds them.
+#[derive(Default)]
+struct RunSlot {
+    arena: StoreArena,
+    frames: Option<Frames>,
+}
+
+/// A reusable, shareable execution artifact for one scheduled module.
+///
+/// Construction performs schedule analysis, store layout planning, and
+/// tape lowering exactly once; [`Program::run`] only binds parameters,
+/// instantiates (pooled) storage, and executes.
+pub struct Program<'m> {
+    module: &'m HirModule,
+    flowchart: &'m Flowchart,
+    plan: StorePlan<'m>,
+    options: RuntimeOptions,
+    /// `None` under [`Engine::TreeWalk`] (the oracle needs no tapes).
+    tapes: Option<Tapes>,
+    /// Symbols whose values determine array layouts (scalar int params);
+    /// their value vector keys the specialization cache.
+    key_syms: Vec<Symbol>,
+    specs: RwLock<Vec<Arc<Spec>>>,
+    pool: Mutex<Vec<RunSlot>>,
+    spec_builds: AtomicUsize,
+}
+
+impl<'m> Program<'m> {
+    /// Compile the reusable artifact: layout planning plus (under the
+    /// compiled engine) tape lowering and validation.
+    pub fn new(
+        module: &'m HirModule,
+        flowchart: &'m Flowchart,
+        memory: &MemoryPlan,
+        options: RuntimeOptions,
+    ) -> Program<'m> {
+        let plan = StorePlan::new(module, memory);
+        let tapes = (options.engine == Engine::Compiled)
+            .then(|| compile_tapes(module, &plan, flowchart, options.check_writes, true));
+        let key_syms = module
+            .scalar_int_params()
+            .into_iter()
+            .map(|d| module.data[d].name)
+            .collect();
+        Program {
+            module,
+            flowchart,
+            plan,
+            options,
+            tapes,
+            key_syms,
+            specs: RwLock::new(Vec::new()),
+            pool: Mutex::new(Vec::new()),
+            spec_builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// The module this program executes.
+    pub fn module(&self) -> &'m HirModule {
+        self.module
+    }
+
+    /// The options this program was compiled with.
+    pub fn options(&self) -> RuntimeOptions {
+        self.options
+    }
+
+    /// Number of distinct parameter layouts specialized *and cached* so
+    /// far (at most the cache capacity). A steady-state serving loop over
+    /// one parameter shape sits at 1; uncached over-capacity rebuilds are
+    /// not counted, so the value never grows with run count.
+    pub fn specialization_count(&self) -> usize {
+        self.spec_builds.load(Ordering::Relaxed)
+    }
+
+    /// Execute one run against `inputs`. Reentrant: any number of runs
+    /// may execute concurrently on one shared `&Program`.
+    pub fn run(&self, inputs: &Inputs, executor: &dyn Executor) -> Result<Outputs, RuntimeError> {
+        match &self.tapes {
+            None => self.run_tree(inputs, executor),
+            Some(tapes) => self.run_compiled(tapes, inputs, executor),
+        }
+    }
+
+    /// The tree-walk oracle path: structurally independent of the tapes,
+    /// deliberately unpooled (it exists to cross-check, not to serve).
+    fn run_tree(&self, inputs: &Inputs, executor: &dyn Executor) -> Result<Outputs, RuntimeError> {
+        let store = self.plan.instantiate(
+            inputs,
+            self.options.check_writes,
+            &mut StoreArena::default(),
+        )?;
+        {
+            let cx = Interp {
+                store: &store,
+                executor,
+            };
+            let mut st = TreeState::default();
+            cx.run_items(&self.flowchart.items, &mut st);
+        }
+        Ok(store.into_outputs())
+    }
+
+    fn run_compiled(
+        &self,
+        tapes: &Tapes,
+        inputs: &Inputs,
+        executor: &dyn Executor,
+    ) -> Result<Outputs, RuntimeError> {
+        // Claim a pooled run slot (or start fresh); the lock is released
+        // before any real work so concurrent runs don't serialize. The
+        // slot goes back to the pool even when the run errors (a failing
+        // request must not degrade later runs' pooling).
+        let mut slot = self
+            .pool
+            .lock()
+            .expect("run pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let result = self.run_in_slot(tapes, inputs, executor, &mut slot);
+        let mut pool = self.pool.lock().expect("run pool poisoned");
+        if pool.len() < RUN_POOL_CAP {
+            pool.push(slot);
+        }
+        result
+    }
+
+    fn run_in_slot(
+        &self,
+        tapes: &Tapes,
+        inputs: &Inputs,
+        executor: &dyn Executor,
+        slot: &mut RunSlot,
+    ) -> Result<Outputs, RuntimeError> {
+        let store = self
+            .plan
+            .instantiate(inputs, self.options.check_writes, &mut slot.arena)?;
+        let spec = self.spec_for(tapes, &store)?;
+        let mut frames = slot.frames.take().unwrap_or_else(|| Frames::new(tapes));
+        frames.bind_params(tapes, &store.param_values(tapes.params()));
+        {
+            let view = ExecProg::new(tapes, &spec, &store);
+            let cx = Interp {
+                store: &store,
+                executor,
+            };
+            cx.run_items_compiled(&view, &self.flowchart.items, &mut frames);
+        }
+        let outputs = store.into_outputs_into(&mut slot.arena);
+        slot.frames = Some(frames);
+        Ok(outputs)
+    }
+
+    /// The specialization for this run's parameter layout: cache hit in
+    /// the common case, a cheap address-folding pass on first sight.
+    fn spec_for(&self, tapes: &Tapes, store: &Store<'m>) -> Result<Arc<Spec>, RuntimeError> {
+        let key: Vec<i64> = self
+            .key_syms
+            .iter()
+            .map(|s| store.params.get(s).copied().unwrap_or(i64::MIN))
+            .collect();
+        {
+            let specs = self.specs.read().expect("spec cache poisoned");
+            if let Some(s) = specs.iter().find(|s| s.key == key) {
+                return Ok(Arc::clone(s));
+            }
+        }
+        let built = Arc::new(specialize(tapes, &self.plan, &store.params, key.clone())?);
+        let mut specs = self.specs.write().expect("spec cache poisoned");
+        if let Some(s) = specs.iter().find(|s| s.key == key) {
+            // Lost the build race: another run specialized this layout
+            // concurrently — use (and count) theirs, drop ours.
+            return Ok(Arc::clone(s));
+        }
+        // Count only cached insertions, under the write lock: a
+        // concurrent duplicate build is never double-counted, and
+        // over-capacity rebuilds don't inflate the count per run.
+        if specs.len() < SPEC_CACHE_CAP {
+            self.spec_builds.fetch_add(1, Ordering::Relaxed);
+            specs.push(Arc::clone(&built));
+        }
+        Ok(built)
+    }
+}
+
+/// Independent runs execute concurrently on a shared `&Program`.
+#[allow(dead_code)]
+fn _assert_program_send_sync(p: &Program<'_>) {
+    fn takes<T: Send + Sync>(_: &T) {}
+    takes(p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use ps_depgraph::build_depgraph;
+    use ps_executor::Sequential;
+    use ps_lang::frontend;
+    use ps_scheduler::{schedule_module, ScheduleOptions};
+
+    const RECURRENCE: &str = "T: module (n: int; bias: real): [y: real];
+         type K = 2 .. n;
+         var a: array [1 .. n] of real;
+         define
+            a[1] = bias;
+            a[K] = a[K-1] + bias * real(K);
+            y = a[n];
+         end T;";
+
+    fn expected(n: i64, bias: f64) -> f64 {
+        let mut a = bias;
+        for k in 2..=n {
+            a += bias * k as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn one_program_many_parameter_vectors() {
+        let m = frontend(RECURRENCE).unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let prog = Program::new(
+            &m,
+            &sched.flowchart,
+            &sched.memory,
+            RuntimeOptions::default(),
+        );
+        for (n, bias) in [(4i64, 0.5f64), (9, 1.25), (4, 2.0), (17, -0.75)] {
+            let out = prog
+                .run(
+                    &Inputs::new().set_int("n", n).set_real("bias", bias),
+                    &Sequential,
+                )
+                .unwrap();
+            assert_eq!(out.scalar("y"), Value::Real(expected(n, bias)));
+        }
+        // Three distinct layouts (n ∈ {4, 9, 17}); bias never forces one.
+        assert_eq!(prog.specialization_count(), 3);
+    }
+
+    #[test]
+    fn concurrent_runs_share_one_program() {
+        let m = frontend(RECURRENCE).unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let prog = Program::new(
+            &m,
+            &sched.flowchart,
+            &sched.memory,
+            RuntimeOptions::default(),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let prog = &prog;
+                scope.spawn(move || {
+                    for i in 0..8 {
+                        let n = 3 + ((t + i) % 5) as i64;
+                        let bias = 0.25 * (t + 1) as f64;
+                        let out = prog
+                            .run(
+                                &Inputs::new().set_int("n", n).set_real("bias", bias),
+                                &Sequential,
+                            )
+                            .unwrap();
+                        assert_eq!(out.scalar("y"), Value::Real(expected(n, bias)));
+                    }
+                });
+            }
+        });
+        assert_eq!(prog.specialization_count(), 5, "n ∈ 3..=7");
+    }
+
+    #[test]
+    fn checked_compiled_program_runs() {
+        let m = frontend(RECURRENCE).unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let prog = Program::new(
+            &m,
+            &sched.flowchart,
+            &sched.memory,
+            RuntimeOptions {
+                check_writes: true,
+                ..Default::default()
+            },
+        );
+        // Two runs: the second reuses pooled (tagged) storage, so stale
+        // tags from run one must not trip the checker.
+        for _ in 0..2 {
+            let out = prog
+                .run(
+                    &Inputs::new().set_int("n", 12).set_real("bias", 1.0),
+                    &Sequential,
+                )
+                .unwrap();
+            assert_eq!(out.scalar("y"), Value::Real(expected(12, 1.0)));
+        }
+    }
+}

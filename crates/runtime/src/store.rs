@@ -1,13 +1,28 @@
-//! Input bindings, the live data store, and module outputs.
+//! Input bindings, the compile-time store layout, the live per-run data
+//! store, and module outputs.
+//!
+//! The store is split along the compile-once / run-many seam:
+//!
+//! * [`StorePlan`] — computed once per `(module, memory plan)` pair: the
+//!   flat scalar-slot layout plus each array's window decisions. It holds
+//!   no parameter values and can be shared by any number of runs.
+//! * [`Store`] — one run's live data, instantiated from the plan against a
+//!   concrete [`Inputs`]: evaluated array bounds, allocated (or pooled)
+//!   buffers, and bound parameter slots.
+//!
+//! [`StoreArena`] recycles the per-run storage (buffers, tag tables, the
+//! scalar-slot table) between runs of the same plan, so steady-state
+//! instantiation is layout evaluation plus `memset`, not allocation.
 
-use crate::ndarray::{ArrayInstance, DimSpec, NdSpec};
+use crate::ndarray::{ArrayInstance, BufferPool, DimSpec, NdSpec};
 use crate::value::{OwnedArray, Value};
 use ps_lang::hir::{DataKind, HirModule};
-use ps_lang::{DataId, ScalarTy, Ty};
+use ps_lang::{DataId, ScalarTy, SubrangeId, Ty};
 use ps_scheduler::MemoryPlan;
 use ps_support::idx::{Idx, IndexVec};
 use ps_support::{FxHashMap, Symbol};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// Parameter bindings supplied by the caller.
 #[derive(Clone, Debug, Default)]
@@ -106,6 +121,12 @@ struct ScalarSlot {
 }
 
 impl ScalarSlot {
+    /// Return the slot to the "never written" state (pooled reuse).
+    fn reset(&self) {
+        self.tag.store(0, Ordering::Relaxed);
+        self.bits.store(0, Ordering::Relaxed);
+    }
+
     fn write(&self, v: Value) {
         let (tag, bits) = match v {
             Value::Int(i) => (1, i as u64),
@@ -129,71 +150,203 @@ impl ScalarSlot {
     }
 }
 
-/// The live data store for one module execution.
-pub struct Store<'m> {
-    pub module: &'m HirModule,
-    pub params: FxHashMap<Symbol, i64>,
-    /// Dense per-item array table (`None` for scalars): lookups on the hot
-    /// path are a single indexed load, no hashing.
-    arrays: IndexVec<DataId, Option<ArrayInstance>>,
-    /// Flat scalar slots, one per `(data item, field)` pair. Guards in hot
-    /// DOALL bodies read parameters like `M`/`maxK` millions of times, so
-    /// every read is two atomic loads — no lock, no hashing. Slot `i` of
-    /// item `d` lives at `scalar_base[d] + i` (field 0 is the scalar
-    /// itself; record fields follow).
-    scalar_base: Vec<u32>,
-    scalar_slots: Box<[ScalarSlot]>,
+/// Evaluate one subrange's bounds, naming the bound that failed. The
+/// single source of truth for "cannot evaluate bound" errors — the
+/// instantiate fast path, [`Store::bounds_of`], and
+/// [`Store::subrange_bounds`] all route their failures through here.
+fn eval_subrange(
+    module: &HirModule,
+    params: &FxHashMap<Symbol, i64>,
+    sr: SubrangeId,
+) -> Result<(i64, i64), RuntimeError> {
+    let s = &module.subranges[sr];
+    let lo =
+        s.lo.eval(params)
+            .ok_or_else(|| RuntimeError(format!("cannot evaluate bound {}", s.lo)))?;
+    let hi =
+        s.hi.eval(params)
+            .ok_or_else(|| RuntimeError(format!("cannot evaluate bound {}", s.hi)))?;
+    Ok((lo, hi))
 }
 
-impl<'m> Store<'m> {
-    /// Allocate every array of `module` per the memory plan, binding
-    /// parameters from `inputs`.
-    pub fn build(
-        module: &'m HirModule,
-        plan: &MemoryPlan,
-        inputs: &Inputs,
-        check_writes: bool,
-    ) -> Result<Store<'m>, RuntimeError> {
-        let params = inputs.param_env();
-        let mut arrays: IndexVec<DataId, Option<ArrayInstance>> =
-            IndexVec::with_capacity(module.data.len());
+/// The "declared dimension is empty" error shared by the array paths.
+fn empty_dim_error(module: &HirModule, id: DataId, lo: i64, hi: i64) -> RuntimeError {
+    RuntimeError(format!(
+        "empty dimension {lo}..{hi} for `{}`",
+        module.data[id].name
+    ))
+}
 
-        // Lay out the scalar slot table: one slot per scalar item plus one
-        // per record field (arrays get an unused slot; the waste is a few
-        // bytes and keeps the base map a plain vector).
+/// Recycled per-run storage: array buffers, checker tag tables, and
+/// scalar-slot tables. One arena serves repeated [`StorePlan::instantiate`]
+/// calls; everything it holds is reset before reuse.
+#[derive(Default)]
+pub struct StoreArena {
+    pub(crate) bufs: BufferPool,
+    slots: Vec<Box<[ScalarSlot]>>,
+}
+
+/// How many spare scalar-slot tables to keep (they are all the same size
+/// for one plan; more than a few only helps heavily concurrent runs).
+const SLOT_POOL_CAP: usize = 16;
+
+/// The immutable store layout for one `(module, memory plan)` pair.
+///
+/// Holds everything about storage that does *not* depend on parameter
+/// values: the flat scalar-slot layout and each array dimension's window
+/// decision. Instantiating it against concrete [`Inputs`] yields a
+/// [`Store`]; the bounds themselves (`0..M+1`) are evaluated per run.
+pub struct StorePlan<'m> {
+    pub module: &'m HirModule,
+    /// Slot `i` of item `d` lives at `scalar_base[d] + i` (field 0 is the
+    /// scalar itself; record fields follow). Shared with every [`Store`]
+    /// instantiated from this plan.
+    scalar_base: Arc<[u32]>,
+    n_slots: u32,
+    /// Per-array window decisions copied out of the [`MemoryPlan`]
+    /// (empty for scalars).
+    windows: IndexVec<DataId, Vec<Option<i64>>>,
+}
+
+impl<'m> StorePlan<'m> {
+    /// Lay out the scalar slot table and capture window decisions. One
+    /// slot per scalar item plus one per record field (arrays get an
+    /// unused slot; the waste is a few bytes and keeps the base map a
+    /// plain vector).
+    pub fn new(module: &'m HirModule, plan: &MemoryPlan) -> StorePlan<'m> {
         let mut scalar_base = Vec::with_capacity(module.data.len());
+        let mut windows: IndexVec<DataId, Vec<Option<i64>>> =
+            IndexVec::with_capacity(module.data.len());
         let mut next_slot = 0u32;
-        for (_, item) in module.data.iter_enumerated() {
-            arrays.push(None);
+        for (id, item) in module.data.iter_enumerated() {
             scalar_base.push(next_slot);
             let fields = match &item.ty {
                 Ty::Record(rid) => module.records[*rid].fields.len() as u32,
                 _ => 0,
             };
             next_slot += 1 + fields;
+            windows.push((0..item.dims().len()).map(|d| plan.window(id, d)).collect());
         }
-        let scalar_slots: Box<[ScalarSlot]> =
-            (0..next_slot).map(|_| ScalarSlot::default()).collect();
+        StorePlan {
+            module,
+            scalar_base: scalar_base.into(),
+            n_slots: next_slot,
+            windows,
+        }
+    }
+
+    /// Flat index of scalar `field` of `id` in the slot table.
+    pub(crate) fn slot_index(&self, id: DataId, field: usize) -> usize {
+        self.scalar_base[id.index()] as usize + field
+    }
+
+    /// Total number of scalar slots (for tape validation).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.n_slots as usize
+    }
+
+    /// The concrete layout of array `id` under `params`: declared bounds
+    /// evaluated, window decisions applied. Used both to allocate the
+    /// instance and to specialize compiled address arithmetic, so the two
+    /// agree by construction.
+    pub(crate) fn nd_spec(
+        &self,
+        id: DataId,
+        params: &FxHashMap<Symbol, i64>,
+    ) -> Result<NdSpec, RuntimeError> {
+        let bounds = Store::bounds_of(self.module, params, id)?;
+        Ok(NdSpec {
+            dims: bounds
+                .iter()
+                .enumerate()
+                .map(|(d, &(lo, hi))| DimSpec {
+                    lo,
+                    hi,
+                    window: self.windows[id][d],
+                })
+                .collect(),
+        })
+    }
+
+    /// Bind `inputs` and allocate every array, drawing reusable storage
+    /// from `arena`. This is the cheap per-run half of the old
+    /// `Store::build`.
+    pub fn instantiate(
+        &self,
+        inputs: &Inputs,
+        check_writes: bool,
+        arena: &mut StoreArena,
+    ) -> Result<Store<'m>, RuntimeError> {
+        let module = self.module;
+        let params = inputs.param_env();
+        // Evaluate every subrange once: loop headers and array bounds then
+        // read a table instead of re-evaluating affine forms per use.
+        let subrange_bounds: IndexVec<SubrangeId, Option<(i64, i64)>> = module
+            .subranges
+            .iter()
+            .map(|s| Some((s.lo.eval(&params)?, s.hi.eval(&params)?)))
+            .collect();
+        // Per-dimension bounds lookup: table fast path, shared error path.
+        let dim_bounds = |id: DataId, sr: SubrangeId| -> Result<(i64, i64), RuntimeError> {
+            let (lo, hi) = match subrange_bounds[sr] {
+                Some(b) => b,
+                None => eval_subrange(module, &params, sr)?,
+            };
+            if hi < lo {
+                return Err(empty_dim_error(module, id, lo, hi));
+            }
+            Ok((lo, hi))
+        };
+        let mut arrays: IndexVec<DataId, Option<ArrayInstance>> =
+            IndexVec::with_capacity(module.data.len());
+
+        let scalar_slots: Box<[ScalarSlot]> = match arena
+            .slots
+            .iter()
+            .position(|s| s.len() == self.n_slots as usize)
+        {
+            Some(ix) => {
+                let s = arena.slots.swap_remove(ix);
+                for slot in s.iter() {
+                    slot.reset();
+                }
+                s
+            }
+            None => (0..self.n_slots).map(|_| ScalarSlot::default()).collect(),
+        };
         let write_param = |id: DataId, v: Value| {
-            scalar_slots[scalar_base[id.index()] as usize].write(v);
+            scalar_slots[self.scalar_base[id.index()] as usize].write(v);
         };
 
         for (id, item) in module.data.iter_enumerated() {
+            arrays.push(None);
             match item.kind {
                 DataKind::Param => {
                     if item.is_array() {
                         let owned = inputs.array(item.name).ok_or_else(|| {
                             RuntimeError(format!("missing input array `{}`", item.name))
                         })?;
-                        // Validate the declared shape.
-                        let declared = Self::bounds_of(module, &params, id)?;
-                        if declared != owned.dims {
+                        // Validate the declared shape (allocation-free in
+                        // the match case).
+                        let dims = item.dims();
+                        let mut ok = owned.dims.len() == dims.len();
+                        for (k, &sr) in dims.iter().enumerate() {
+                            if !ok {
+                                break;
+                            }
+                            ok = owned.dims[k] == dim_bounds(id, sr)?;
+                        }
+                        if !ok {
+                            let declared: Vec<(i64, i64)> = dims
+                                .iter()
+                                .map(|&sr| dim_bounds(id, sr))
+                                .collect::<Result<_, _>>()?;
                             return Err(RuntimeError(format!(
                                 "input `{}` has dims {:?}, declared {:?}",
                                 item.name, owned.dims, declared
                             )));
                         }
-                        arrays[id] = Some(ArrayInstance::from_owned(owned));
+                        arrays[id] = Some(ArrayInstance::from_owned_pooled(owned, &mut arena.bufs));
                     } else {
                         let v = inputs.scalar(item.name).ok_or_else(|| {
                             RuntimeError(format!("missing input `{}`", item.name))
@@ -208,20 +361,24 @@ impl<'m> Store<'m> {
                 }
                 DataKind::Local | DataKind::Result => {
                     if item.is_array() {
-                        let bounds = Self::bounds_of(module, &params, id)?;
-                        let dims: Vec<DimSpec> = bounds
-                            .iter()
-                            .enumerate()
-                            .map(|(d, &(lo, hi))| DimSpec {
+                        let mut dims = arena.bufs.take_dims();
+                        for (d, &sr) in item.dims().iter().enumerate() {
+                            let (lo, hi) = dim_bounds(id, sr)?;
+                            dims.push(DimSpec {
                                 lo,
                                 hi,
-                                window: plan.window(id, d),
-                            })
-                            .collect();
+                                window: self.windows[id][d],
+                            });
+                        }
                         let elem = item.elem_scalar().ok_or_else(|| {
                             RuntimeError(format!("`{}` has no scalar element", item.name))
                         })?;
-                        arrays[id] = Some(ArrayInstance::new(NdSpec { dims }, elem, check_writes));
+                        arrays[id] = Some(ArrayInstance::new_pooled(
+                            NdSpec { dims },
+                            elem,
+                            check_writes,
+                            &mut arena.bufs,
+                        ));
                     }
                 }
             }
@@ -230,10 +387,45 @@ impl<'m> Store<'m> {
         Ok(Store {
             module,
             params,
+            subrange_bounds,
             arrays,
-            scalar_base,
+            scalar_base: Arc::clone(&self.scalar_base),
             scalar_slots,
         })
+    }
+}
+
+/// The live data store for one module execution.
+pub struct Store<'m> {
+    pub module: &'m HirModule,
+    pub params: FxHashMap<Symbol, i64>,
+    /// Every subrange's `(lo, hi)` under this run's parameters, evaluated
+    /// once at instantiation; loop headers read the table instead of
+    /// re-evaluating affine forms (`None`: a bound named a missing
+    /// parameter).
+    subrange_bounds: IndexVec<SubrangeId, Option<(i64, i64)>>,
+    /// Dense per-item array table (`None` for scalars): lookups on the hot
+    /// path are a single indexed load, no hashing.
+    arrays: IndexVec<DataId, Option<ArrayInstance>>,
+    /// Flat scalar slots, one per `(data item, field)` pair. Guards in hot
+    /// DOALL bodies read parameters like `M`/`maxK` millions of times, so
+    /// every read is two atomic loads — no lock, no hashing. The layout is
+    /// the plan's ([`StorePlan::slot_index`]).
+    scalar_base: Arc<[u32]>,
+    scalar_slots: Box<[ScalarSlot]>,
+}
+
+impl<'m> Store<'m> {
+    /// Allocate every array of `module` per the memory plan, binding
+    /// parameters from `inputs`. One-shot convenience over
+    /// [`StorePlan::instantiate`] (no storage reuse).
+    pub fn build(
+        module: &'m HirModule,
+        plan: &MemoryPlan,
+        inputs: &Inputs,
+        check_writes: bool,
+    ) -> Result<Store<'m>, RuntimeError> {
+        StorePlan::new(module, plan).instantiate(inputs, check_writes, &mut StoreArena::default())
     }
 
     /// Evaluate the declared inclusive bounds of an array.
@@ -246,22 +438,24 @@ impl<'m> Store<'m> {
             .dims()
             .iter()
             .map(|&sr| {
-                let s = &module.subranges[sr];
-                let lo =
-                    s.lo.eval(params)
-                        .ok_or_else(|| RuntimeError(format!("cannot evaluate bound {}", s.lo)))?;
-                let hi =
-                    s.hi.eval(params)
-                        .ok_or_else(|| RuntimeError(format!("cannot evaluate bound {}", s.hi)))?;
+                let (lo, hi) = eval_subrange(module, params, sr)?;
                 if hi < lo {
-                    return Err(RuntimeError(format!(
-                        "empty dimension {lo}..{hi} for `{}`",
-                        module.data[id].name
-                    )));
+                    return Err(empty_dim_error(module, id, lo, hi));
                 }
                 Ok((lo, hi))
             })
             .collect()
+    }
+
+    /// The evaluated `(lo, hi)` of a subrange — a table load, no affine
+    /// evaluation on the loop-header path.
+    pub fn subrange_bounds(&self, sr: SubrangeId) -> (i64, i64) {
+        self.subrange_bounds[sr].unwrap_or_else(|| {
+            match eval_subrange(self.module, &self.params, sr) {
+                Ok(b) => b,
+                Err(e) => panic!("{e}"),
+            }
+        })
     }
 
     pub fn array(&self, id: DataId) -> &ArrayInstance {
@@ -274,11 +468,6 @@ impl<'m> Store<'m> {
     /// engine resolves slots once at lowering time and reads them by index.
     pub(crate) fn slot_index(&self, id: DataId, field: usize) -> usize {
         self.scalar_base[id.index()] as usize + field
-    }
-
-    /// Total number of scalar slots (for tape validation).
-    pub(crate) fn slot_count(&self) -> usize {
-        self.scalar_slots.len()
     }
 
     /// Read a slot by flat index (`None` when never written).
@@ -306,11 +495,28 @@ impl<'m> Store<'m> {
         self.write_slot(self.slot_index(id, field), v);
     }
 
+    /// The current values of the scalar parameters in `table` order (the
+    /// compiled engine's parameter-register preload source).
+    pub(crate) fn param_values(&self, table: &[DataId]) -> Vec<Value> {
+        table.iter().map(|&d| self.read_scalar(d, 0)).collect()
+    }
+
     /// Extract results into [`Outputs`].
-    pub fn into_outputs(mut self) -> Outputs {
+    pub fn into_outputs(self) -> Outputs {
+        self.finish(None)
+    }
+
+    /// Extract results and recycle the remaining storage into `arena` for
+    /// the next run.
+    pub(crate) fn into_outputs_into(self, arena: &mut StoreArena) -> Outputs {
+        self.finish(Some(arena))
+    }
+
+    fn finish(mut self, arena: Option<&mut StoreArena>) -> Outputs {
+        let module = self.module;
         let mut out = Outputs::default();
-        for &id in &self.module.results.clone() {
-            let item = &self.module.data[id];
+        for &id in &module.results {
+            let item = &module.data[id];
             if item.is_array() {
                 let inst = self.arrays[id].take().expect("result array was allocated");
                 out.arrays
@@ -318,6 +524,18 @@ impl<'m> Store<'m> {
             } else {
                 let v = self.read_scalar(id, 0);
                 out.scalars.insert(item.name.to_string(), v);
+            }
+        }
+        if let Some(arena) = arena {
+            // Result arrays left with the caller; everything else (local
+            // and input buffers, the slot table) feeds the next run.
+            for opt in self.arrays.iter_mut() {
+                if let Some(inst) = opt.take() {
+                    inst.recycle(&mut arena.bufs);
+                }
+            }
+            if arena.slots.len() < SLOT_POOL_CAP {
+                arena.slots.push(self.scalar_slots);
             }
         }
         out

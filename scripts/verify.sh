@@ -41,6 +41,15 @@ grep -q 'jacobi/compiled' "$json_out" && grep -q 'jacobi/treewalk' "$json_out" \
     && grep -q '"batch"' "$json_out" && grep -q '"rejected_outliers"' "$json_out" \
     || { echo "bench-json smoke: $json_out missing expected fields" >&2; exit 1; }
 
+echo "==> bench-JSON smoke (exec_manyrun: compile-once/run-many amortization)"
+json_out="$PWD/target/bench_manyrun_smoke.json"
+rm -f "$json_out"
+PS_BENCH_WARMUP=1 PS_BENCH_SAMPLES=2 \
+    cargo bench --offline --bench exec_manyrun -- --bench-json "$json_out" >/dev/null
+grep -q 'chain/percall' "$json_out" && grep -q 'chain/program' "$json_out" \
+    && grep -q 'jacobi/program' "$json_out" \
+    || { echo "bench-json smoke: $json_out missing expected fields" >&2; exit 1; }
+
 echo "==> cargo doc --offline --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -q
 

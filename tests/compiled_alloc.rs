@@ -10,7 +10,7 @@
 //! any per-iteration allocation in the tape walk would show up directly.
 
 use ps_core::{
-    compile, execute, programs, Compilation, CompileOptions, Engine, Inputs, OwnedArray,
+    compile, execute, programs, Compilation, CompileOptions, Engine, Inputs, OwnedArray, Program,
     RuntimeOptions, Sequential,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -93,6 +93,49 @@ fn doall_elements_are_allocation_free() {
         a_small, a_large,
         "allocation count must not depend on the DOALL element count \
          (10×10 vs 26×26 grid, {maxk} planes)"
+    );
+}
+
+/// Compile-once / run-many: after the first run of a `Program` with a
+/// given parameter vector, later runs perform **zero lowering or
+/// validation allocations** — the tapes were lowered at `Program::compile`,
+/// the address specialization is a cache hit, and the store draws every
+/// buffer from the run arena. Observable two ways: the per-run allocation
+/// count reaches a fixed point immediately (run 2 == run 3 == run 4), and
+/// it sits far below the compile-per-call path, whose every call re-lowers
+/// and re-validates each tape.
+#[test]
+fn program_second_run_does_no_lowering_allocations() {
+    let comp = compile(programs::RELAXATION_V1, CompileOptions::default()).unwrap();
+    let inputs = grid_inputs(8, 6);
+    let prog = Program::compile(&comp, RuntimeOptions::default());
+    prog.run(&inputs, &Sequential).unwrap(); // first run: specialize + fill pools
+    let steady: Vec<usize> = (0..3)
+        .map(|_| {
+            allocs_during(|| {
+                prog.run(&inputs, &Sequential).unwrap();
+            })
+        })
+        .collect();
+    assert_eq!(
+        steady[0], steady[1],
+        "second and third runs allocate identically: {steady:?}"
+    );
+    assert_eq!(steady[1], steady[2], "the fixed point holds: {steady:?}");
+    assert_eq!(
+        prog.specialization_count(),
+        1,
+        "repeat runs never re-lower or re-specialize"
+    );
+    // The compile-per-call path pays lowering + validation + fresh-store
+    // allocation on every call.
+    run(&comp, &inputs, Engine::Compiled); // warm interning etc.
+    let per_call = allocs_during(|| run(&comp, &inputs, Engine::Compiled));
+    assert!(
+        steady[0] * 2 < per_call,
+        "pooled Program::run ({}) must allocate less than half of the \
+         compile-per-call path ({per_call})",
+        steady[0]
     );
 }
 

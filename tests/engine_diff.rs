@@ -13,7 +13,7 @@
 //! with the `Lcg` state that replays it.
 
 use ps_core::{
-    compile, execute, Compilation, CompileOptions, Engine, Inputs, Outputs, OwnedArray,
+    compile, execute, Compilation, CompileOptions, Engine, Inputs, Outputs, OwnedArray, Program,
     RuntimeOptions, Sequential, ThreadPool,
 };
 use ps_runtime::value::OwnedBuffer;
@@ -288,6 +288,114 @@ impl GridProgram {
             count = terms.len()
         )
     }
+}
+
+// ---- compile-once / run-many ----
+
+/// A random batch of parameter vectors for the fixed grid program: one
+/// `Program` must serve all of them — sequentially *and* concurrently —
+/// each run bit-identical to a fresh tree-walk execution.
+#[derive(Clone, Debug)]
+struct ParamBatch {
+    vecs: Vec<(i64, i64)>,
+}
+
+fn grid_param_inputs(m: i64, maxk: i64) -> Inputs {
+    let side = (m + 2) as usize;
+    let data: Vec<f64> = (0..side * side)
+        .map(|i| ((i * 17 + 5) % 29) as f64 * 0.375)
+        .collect();
+    Inputs::new()
+        .set_int("M", m)
+        .set_int("maxK", maxk)
+        .set_array("init", OwnedArray::real(vec![(0, m + 1), (0, m + 1)], data))
+}
+
+#[test]
+fn one_program_many_runs_bit_identical() {
+    let arb = |rng: &mut Lcg| ParamBatch {
+        vecs: rng.vec_of(8, 12, |r| (r.int(2, 6), r.int(2, 6))),
+    };
+    let shrink = |p: &ParamBatch| {
+        shrink_vec(&p.vecs, 8)
+            .into_iter()
+            .map(|vecs| ParamBatch { vecs })
+            .collect()
+    };
+    // A fixed stencil: the randomness here is in the *parameter vectors*,
+    // not the program — exactly the many-small-solves serving shape.
+    let src = GridProgram {
+        reads: vec![(0, 0), (-1, 0), (0, 1)],
+    }
+    .source();
+    let comp = compile(&src, CompileOptions::default()).expect("grid compiles");
+    check(0xd1ff_e4e3, 6, arb, shrink, |batch| {
+        let prog = Program::compile(&comp, RuntimeOptions::default());
+        // Fresh tree-walk oracle per vector.
+        let oracles: Vec<Outputs> = batch
+            .vecs
+            .iter()
+            .map(|&(m, maxk)| {
+                execute(
+                    &comp,
+                    &grid_param_inputs(m, maxk),
+                    &Sequential,
+                    RuntimeOptions {
+                        engine: Engine::TreeWalk,
+                        ..Default::default()
+                    },
+                )
+                .expect("oracle runs")
+            })
+            .collect();
+        // Sequential pass: every vector twice (the second run of each
+        // exercises the pooled-storage and specialization-cache paths).
+        for round in 0..2 {
+            for (ix, &(m, maxk)) in batch.vecs.iter().enumerate() {
+                let out = prog
+                    .run(&grid_param_inputs(m, maxk), &Sequential)
+                    .map_err(|e| format!("program run: {e}"))?;
+                assert_bits_eq(
+                    &format!("program vs tree-walk (round {round}, vec {ix})"),
+                    &out,
+                    &oracles[ix],
+                )?;
+            }
+        }
+        // Concurrent pass: 4 threads share the artifact; each runs the
+        // whole batch. A pooled executor inside one thread mixes in the
+        // parallel DOALL path.
+        let results: Vec<Result<(), String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let prog = &prog;
+                    let oracles = &oracles;
+                    let vecs = &batch.vecs;
+                    scope.spawn(move || -> Result<(), String> {
+                        let pool;
+                        let executor: &dyn ps_core::Executor = if t == 0 {
+                            pool = ThreadPool::new(2);
+                            &pool
+                        } else {
+                            &Sequential
+                        };
+                        for (ix, &(m, maxk)) in vecs.iter().enumerate() {
+                            let out = prog
+                                .run(&grid_param_inputs(m, maxk), executor)
+                                .map_err(|e| format!("thread {t}: {e}"))?;
+                            assert_bits_eq(&format!("thread {t}, vec {ix}"), &out, &oracles[ix])?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(())
+    });
 }
 
 #[test]
