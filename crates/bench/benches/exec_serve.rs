@@ -1,0 +1,149 @@
+//! Perf F (PR 5): end-to-end solve-service throughput.
+//!
+//! The ROADMAP's north star is "serve heavy traffic": this bench measures
+//! requests/sec through the full `ps-service` stack — queue, registry,
+//! micro-batching, pooled run-slot sessions — on the chain workload of
+//! `exec_manyrun` (18 equations over a length-8 array: the
+//! compile-overhead-dominated shape a solve service amortizes).
+//!
+//! Variants:
+//!
+//! * `chain/percall_compile_run` — the baseline a caller without the
+//!   service must hand-roll: compile the source *and* run it, per request.
+//! * `chain/serve_warm/w{1,2,4}` — a burst of requests through a service
+//!   with a warm registry at 1/2/4 worker threads (one artifact, zero
+//!   compiles in the timed region).
+//! * `chain/serve_cold` — a fresh service per call: spawn workers, compile
+//!   into the registry, one solve, drain — the worst-case first request.
+//!
+//! Full mode asserts the acceptance bar: warm-registry requests/sec beat
+//! per-call compile+run by ≥ 3×. (On the 1-CPU CI box extra workers
+//! measure dispatch overhead, not scaling.)
+
+use ps_bench::{synthetic_chain, Harness};
+use ps_core::{
+    compile, execute, CompileOptions, Inputs, OwnedArray, RuntimeOptions, Sequential, Service,
+    ServiceOptions, SolveRequest,
+};
+
+/// Requests per timed closure call (the burst the throughput figures are
+/// normalized by, via `bench_with_elements`).
+const BURST: u64 = 32;
+
+fn main() {
+    let mut g = Harness::new("exec_serve");
+    let source = synthetic_chain(16);
+    let m = 8i64;
+    let xs: Vec<f64> = (0..m).map(|i| (i % 7) as f64 * 0.5 - 1.0).collect();
+    let inputs = Inputs::new()
+        .set_int("n", m)
+        .set_array("xs", OwnedArray::real(vec![(1, m)], xs));
+
+    // The reference answer every variant must reproduce bitwise.
+    let reference = {
+        let comp = compile(&source, CompileOptions::default()).expect("chain compiles");
+        execute(&comp, &inputs, &Sequential, RuntimeOptions::default())
+            .unwrap()
+            .scalar("y")
+            .as_real()
+            .to_bits()
+    };
+    let verify = |bits: u64, label: &str| {
+        assert_eq!(
+            bits, reference,
+            "{label} must agree bitwise with the baseline"
+        );
+    };
+
+    // Baseline: compile + run per request (what hand-rolled callers pay).
+    let percall = g.bench_with_elements("chain/percall_compile_run/m8", BURST, || {
+        let mut last = 0u64;
+        for _ in 0..BURST {
+            let comp = compile(&source, CompileOptions::default()).expect("chain compiles");
+            let out = execute(&comp, &inputs, &Sequential, RuntimeOptions::default()).unwrap();
+            last = out.scalar("y").as_real().to_bits();
+        }
+        verify(last, "per-call compile+run");
+        last
+    });
+
+    // Warm service: the registry holds the compiled artifact; a burst of
+    // requests rides the queue, batching, and pooled sessions.
+    let mut warm_medians = Vec::new();
+    for &workers in &[1usize, 2, 4] {
+        let service = Service::new(ServiceOptions {
+            workers,
+            ..Default::default()
+        });
+        let key = service
+            .register(&source)
+            .expect("service compiles the chain");
+        // Warm the registry, the spec cache, and the slot pool.
+        verify(
+            service
+                .solve(&key, inputs.clone())
+                .unwrap()
+                .scalar("y")
+                .as_real()
+                .to_bits(),
+            "warm-up solve",
+        );
+        let summary =
+            g.bench_with_elements(&format!("chain/serve_warm/w{workers}/m8"), BURST, || {
+                let handles: Vec<_> = (0..BURST)
+                    .map(|_| service.submit(SolveRequest::new(key.clone(), inputs.clone())))
+                    .collect();
+                let mut last = 0u64;
+                for h in handles {
+                    last = h.wait().unwrap().scalar("y").as_real().to_bits();
+                }
+                verify(last, "warm service burst");
+                last
+            });
+        let stats = service.stats();
+        assert!(
+            stats.cache_hits > stats.compiles,
+            "warm path must hit the registry (hits {}, compiles {})",
+            stats.cache_hits,
+            stats.compiles
+        );
+        if let Some(s) = summary {
+            warm_medians.push((workers, s.median));
+        }
+    }
+
+    // Cold service: worker spawn + first compile + first solve.
+    g.bench("chain/serve_cold", || {
+        let service = Service::new(ServiceOptions {
+            workers: 1,
+            ..Default::default()
+        });
+        let key = service
+            .register(&source)
+            .expect("service compiles the chain");
+        let out = service.solve(&key, inputs.clone()).unwrap();
+        verify(out.scalar("y").as_real().to_bits(), "cold service solve");
+        out
+    });
+
+    // Acceptance bar (full mode only; smoke runs once, untimed): the warm
+    // service beats per-call compile+run by ≥ 3× on requests/sec.
+    if let Some(percall) = percall {
+        for (workers, warm) in &warm_medians {
+            let speedup = percall.median.as_secs_f64() / warm.as_secs_f64().max(1e-12);
+            println!(
+                "  warm w{workers}: {speedup:.1}x over per-call compile+run \
+                 ({:.1} vs {:.1} us/request)",
+                warm.as_secs_f64() * 1e6 / BURST as f64,
+                percall.median.as_secs_f64() * 1e6 / BURST as f64,
+            );
+            assert!(
+                speedup >= 3.0,
+                "warm registry must beat per-call compile+run 3x, got {speedup:.2}x at \
+                 {workers} workers"
+            );
+        }
+    }
+
+    g.finish();
+}

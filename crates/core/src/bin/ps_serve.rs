@@ -1,0 +1,417 @@
+//! `ps-serve` — the TCP front-end over [`ps_core::Service`], plus a load
+//! generator, speaking the newline protocol of `ps_service::proto`.
+//!
+//! ```text
+//! ps-serve listen [--addr 127.0.0.1:0] [--workers N] [--solve-threads N]
+//!                 [--batch-max N] [--registry-capacity N]
+//! ps-serve load --addr HOST:PORT [--clients C] [--requests R]
+//!               [--program NAME] [--param k=v]... [--vary name=lo:hi]
+//! ps-serve shutdown --addr HOST:PORT
+//! ```
+//!
+//! `listen` prints `listening on <addr>` (with the kernel-chosen port when
+//! `--addr` ends in `:0`) and serves until a client sends `shutdown`.
+//! Programs are addressed by built-in name (`psc --list`); each
+//! connection's requests are answered in order, while the service workers
+//! batch across connections.
+//!
+//! `load` opens `--clients` concurrent connections, fires `--requests`
+//! solve lines each, verifies every response, and reports throughput plus
+//! the server's own stats line — the measurable end of the ROADMAP's
+//! "serve heavy traffic" goal.
+
+use ps_core::{programs, proto, ProgramKey, RuntimeOptions, Service, ServiceOptions};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n\
+         ps-serve listen [--addr 127.0.0.1:0] [--workers N] [--solve-threads N]\n\
+         \x20                [--batch-max N] [--registry-capacity N]\n\
+         ps-serve load --addr HOST:PORT [--clients C] [--requests R]\n\
+         \x20             [--program NAME] [--param k=v]... [--vary name=lo:hi]\n\
+         ps-serve shutdown --addr HOST:PORT"
+    );
+    std::process::exit(2)
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            usage()
+        })
+        .clone()
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag}: `{s}` is not a number");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("listen") => listen(&args[1..]),
+        Some("load") => load(&args[1..]),
+        Some("shutdown") => shutdown(&args[1..]),
+        _ => usage(),
+    }
+}
+
+// ---- server ----
+
+fn listen(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut options = ServiceOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = take_value(args, &mut i, "--addr"),
+            "--workers" => {
+                options.workers = parse_num(&take_value(args, &mut i, "--workers"), "--workers")
+            }
+            "--solve-threads" => {
+                options.solve_threads = parse_num(
+                    &take_value(args, &mut i, "--solve-threads"),
+                    "--solve-threads",
+                )
+            }
+            "--batch-max" => {
+                options.batch_max =
+                    parse_num(&take_value(args, &mut i, "--batch-max"), "--batch-max")
+            }
+            "--registry-capacity" => {
+                options.registry_capacity = parse_num(
+                    &take_value(args, &mut i, "--registry-capacity"),
+                    "--registry-capacity",
+                )
+            }
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = listener.local_addr().expect("bound socket has an address");
+    // The port line is the startup handshake scripts wait for.
+    println!("listening on {local}");
+    std::io::stdout().flush().ok();
+
+    let service = Arc::new(Service::new(options));
+    // Program names resolve to built-in sources; keys are precomputed so
+    // the per-request path does no hashing of source text.
+    let keys: Arc<HashMap<&'static str, ProgramKey>> = Arc::new(
+        programs::ALL
+            .iter()
+            .map(|&(name, src)| (name, ProgramKey::new(src, RuntimeOptions::default())))
+            .collect(),
+    );
+
+    for conn in listener.incoming() {
+        let Ok(stream) = conn else { continue };
+        let service = Arc::clone(&service);
+        let keys = Arc::clone(&keys);
+        std::thread::spawn(move || {
+            if serve_connection(stream, &service, &keys) == Flow::Shutdown {
+                // Explicit operator shutdown: the accept loop is parked in
+                // `accept`, so end the process (queued work on other
+                // connections is abandoned by design here).
+                std::process::exit(0);
+            }
+        });
+    }
+    ExitCode::SUCCESS
+}
+
+#[derive(PartialEq)]
+enum Flow {
+    Closed,
+    Shutdown,
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    service: &Service,
+    keys: &HashMap<&'static str, ProgramKey>,
+) -> Flow {
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return Flow::Closed,
+    });
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match proto::parse_request(&line) {
+            Err(msg) => proto::format_error(&msg),
+            Ok(proto::WireCommand::Quit) => break,
+            Ok(proto::WireCommand::Shutdown) => {
+                let _ = writeln!(writer, "ok bye");
+                let _ = writer.flush();
+                return Flow::Shutdown;
+            }
+            Ok(proto::WireCommand::Stats) => {
+                let s = service.stats();
+                format!(
+                    "ok requests={} responses={} errors={} panics={} batches={} \
+                     max_batch={} queue_depth={} compiles={} cache_hits={} \
+                     cache_evictions={} p50_us={} p99_us={}",
+                    s.requests,
+                    s.responses,
+                    s.errors,
+                    s.panics,
+                    s.batches,
+                    s.max_batch,
+                    s.queue_depth,
+                    s.compiles,
+                    s.cache_hits,
+                    s.cache_evictions,
+                    s.p50.as_micros(),
+                    s.p99.as_micros()
+                )
+            }
+            Ok(proto::WireCommand::Solve { program, inputs }) => {
+                match keys.get(program.trim_start_matches('@')) {
+                    None => proto::format_error(&format!(
+                        "unknown program `{program}` (try psc --list)"
+                    )),
+                    Some(key) => match service.solve(key, inputs) {
+                        Ok(outputs) => proto::format_outputs(&outputs),
+                        Err(e) => proto::format_error(&e.to_string()),
+                    },
+                }
+            }
+        };
+        if writeln!(writer, "{reply}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+    Flow::Closed
+}
+
+// ---- load generator ----
+
+fn load(args: &[String]) -> ExitCode {
+    let mut addr = String::new();
+    let mut clients = 2usize;
+    let mut requests = 32usize;
+    let mut program = "recurrence_1d".to_string();
+    let mut params: Vec<String> = Vec::new();
+    let mut vary: Option<(String, i64, i64)> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = take_value(args, &mut i, "--addr"),
+            "--clients" => clients = parse_num(&take_value(args, &mut i, "--clients"), "--clients"),
+            "--requests" => {
+                requests = parse_num(&take_value(args, &mut i, "--requests"), "--requests")
+            }
+            "--program" => program = take_value(args, &mut i, "--program"),
+            "--param" => params.push(take_value(args, &mut i, "--param")),
+            "--vary" => {
+                let spec = take_value(args, &mut i, "--vary");
+                let parsed = spec.split_once('=').and_then(|(name, range)| {
+                    let (lo, hi) = range.split_once(':')?;
+                    Some((name.to_string(), lo.parse().ok()?, hi.parse().ok()?))
+                });
+                match parsed {
+                    Some(v) if v.1 <= v.2 => vary = Some(v),
+                    _ => {
+                        eprintln!("error: --vary wants name=lo:hi, got `{spec}`");
+                        usage()
+                    }
+                }
+            }
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if addr.is_empty() {
+        eprintln!("error: load needs --addr");
+        usage()
+    }
+    if params.is_empty() {
+        params = default_params(&program);
+    }
+
+    let started = Instant::now();
+    let mut ok_total = 0u64;
+    let mut err_total = 0u64;
+    let results: Vec<Result<(u64, u64), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|c| {
+                let addr = addr.clone();
+                let program = program.clone();
+                let params = params.clone();
+                let vary = vary.clone();
+                scope.spawn(move || client_loop(&addr, &program, &params, &vary, requests, c))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for r in &results {
+        match r {
+            Ok((ok, err)) => {
+                ok_total += ok;
+                err_total += err;
+            }
+            Err(e) => {
+                eprintln!("client error: {e}");
+                err_total += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    let rate = ok_total as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "load: {clients} clients x {requests} requests -> {ok_total} ok, {err_total} err \
+         in {:.1} ms ({rate:.0} req/s)",
+        elapsed.as_secs_f64() * 1e3
+    );
+    // One stats probe so operators (and the verify script) see the
+    // registry behave: warm traffic must hit, not recompile.
+    match probe_stats(&addr) {
+        Ok(line) => println!("server {line}"),
+        Err(e) => eprintln!("stats probe failed: {e}"),
+    }
+    if err_total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Default parameter lists making every scalar-input built-in loadable
+/// out of the box.
+fn default_params(program: &str) -> Vec<String> {
+    match program {
+        "recurrence_1d" => vec!["rate=0.05".into(), "n=64".into()],
+        "table_2d" => vec!["n=24".into()],
+        _ => Vec::new(),
+    }
+}
+
+fn client_loop(
+    addr: &str,
+    program: &str,
+    params: &[String],
+    vary: &Option<(String, i64, i64)>,
+    requests: usize,
+    client: usize,
+) -> Result<(u64, u64), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+    let (mut ok, mut err) = (0u64, 0u64);
+    let mut response = String::new();
+    for r in 0..requests {
+        let mut line = format!("solve {program}");
+        for p in params {
+            line.push(' ');
+            line.push_str(p);
+        }
+        if let Some((name, lo, hi)) = vary {
+            // Deterministic per-client cycle through the varied range.
+            let span = (hi - lo + 1).max(1);
+            let v = lo + ((client * 31 + r) as i64 % span);
+            line.push_str(&format!(" {name}={v}"));
+        }
+        writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        response.clear();
+        let n = reader.read_line(&mut response).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        if response.starts_with("ok") {
+            ok += 1;
+        } else {
+            err += 1;
+            if err <= 3 {
+                eprintln!("client {client}: {}", response.trim_end());
+            }
+        }
+    }
+    writeln!(writer, "quit").ok();
+    writer.flush().ok();
+    Ok((ok, err))
+}
+
+fn probe_stats(addr: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "stats").map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    writeln!(writer, "quit").ok();
+    writer.flush().ok();
+    Ok(line.trim_end().to_string())
+}
+
+// ---- remote shutdown ----
+
+fn shutdown(args: &[String]) -> ExitCode {
+    let mut addr = String::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = take_value(args, &mut i, "--addr"),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if addr.is_empty() {
+        eprintln!("error: shutdown needs --addr");
+        usage()
+    }
+    let Ok(stream) = TcpStream::connect(&addr) else {
+        eprintln!("error: cannot connect {addr}");
+        return ExitCode::FAILURE;
+    };
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = BufWriter::new(stream);
+    if writeln!(writer, "shutdown")
+        .and_then(|_| writer.flush())
+        .is_err()
+    {
+        return ExitCode::FAILURE;
+    }
+    let mut line = String::new();
+    reader.read_line(&mut line).ok();
+    println!("{}", line.trim_end());
+    ExitCode::SUCCESS
+}

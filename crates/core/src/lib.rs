@@ -30,10 +30,21 @@
 //! `Send + Sync`, so worker threads share one artifact. [`execute`] /
 //! [`execute_transformed`] remain as compile-and-run-once conveniences.
 //!
+//! # Serving many clients
+//!
+//! On top of that seam, [`Service`] (re-exported from `ps-service`) is the
+//! embeddable concurrent solve service: a lock-free compile-once
+//! [`Registry`] keyed by `(source, RuntimeOptions)`, worker threads that
+//! micro-batch requests sharing a program onto one pooled run-slot
+//! session, panic isolation at the request boundary, and p50/p99 latency
+//! counters. The `ps-serve` binary puts a newline-delimited TCP protocol
+//! plus a load generator in front of it.
+//!
 //! See `examples/` for runnable end-to-end programs (`quickstart.rs`
-//! demonstrates the compile-once / run-many API) and `ps-bench` for the
-//! benchmark harness regenerating every figure of the paper
-//! (`exec_manyrun` measures the amortization).
+//! demonstrates the compile-once / run-many API, `solve_service.rs` the
+//! embedded service) and `ps-bench` for the benchmark harness
+//! regenerating every figure of the paper (`exec_manyrun` measures the
+//! amortization, `exec_serve` the service throughput).
 
 pub mod pipeline;
 pub mod programs;
@@ -61,4 +72,8 @@ pub use ps_runtime::{
 pub use ps_scheduler::{
     schedule_module, validate_flowchart, Flowchart, MemoryPlan, PickPolicy, ScheduleOptions,
     ScheduleResult,
+};
+pub use ps_service::{
+    proto, CompiledProgram, ProgramKey, Registry, ResponseHandle, Service, ServiceError,
+    ServiceOptions, ServiceStats, SolveError, SolveRequest,
 };

@@ -273,6 +273,16 @@ fn worker_loop(shared: &Shared, me: usize) {
 }
 
 impl ThreadPool {
+    /// Create a pool wrapped in an [`Arc`] — the shape long-lived services
+    /// want: every service worker thread holds a clone of the handle next
+    /// to its shared `&Program`, and the `Executor for Arc<E>` impl makes
+    /// the handle itself an executor. One pool serves all workers; the
+    /// broadcast slot serializes overlapping regions (see the module docs),
+    /// so concurrent submitters queue rather than interleave.
+    pub fn shared(n: usize) -> Arc<ThreadPool> {
+        Arc::new(ThreadPool::new(n))
+    }
+
     /// Create a pool with `n` worker threads (minimum 1). The calling
     /// thread also participates in every region, so the effective
     /// parallelism of `for_range` is `n - 1` (workers) + 1 (caller),

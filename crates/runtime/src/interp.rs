@@ -44,13 +44,32 @@ pub enum Engine {
 }
 
 /// Knobs for [`run_module`] / [`crate::Program`].
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// `PartialEq`/`Eq` make options usable as part of a compile-cache key
+/// (a serving registry caches one `Program` per `(source, options)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RuntimeOptions {
     /// Track logical tags per physical slot, catching double writes and
     /// window evictions (slow; for tests). Works under both engines.
     pub check_writes: bool,
     /// Evaluation engine (compiled by default).
     pub engine: Engine,
+    /// Upper bound on cached per-integer-parameter-layout specializations
+    /// held by a [`crate::Program`]. Past it, the least-recently-used
+    /// layout is evicted (see [`crate::Program::spec_evictions`]), so
+    /// adversarial parameter diversity under serving load cannot grow
+    /// memory without bound. Clamped to at least 1.
+    pub spec_cache_cap: usize,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> RuntimeOptions {
+        RuntimeOptions {
+            check_writes: false,
+            engine: Engine::default(),
+            spec_cache_cap: 64,
+        }
+    }
 }
 
 /// Execute a scheduled module: compile a [`Program`] and run it once.
@@ -81,6 +100,13 @@ pub(crate) struct Interp<'a, 'm> {
     pub(crate) store: &'a Store<'m>,
     pub(crate) executor: &'a dyn Executor,
 }
+
+/// Pool workers switch from the flattened per-element walk to chunking the
+/// *outer* `DOALL` range once each outer iteration carries at least this
+/// many inner elements: above the threshold a chunk runs the inner nest
+/// with the sequential inline walk (`run_eq_range` innermost fast path, no
+/// per-element `div`/`mod` index decomposition).
+const INLINE_NEST_MIN_INNER: i64 = 8;
 
 /// Every equation reachable in `items` (loop bodies included), in order.
 fn collect_equations(items: &[Descriptor]) -> Vec<EqId> {
@@ -180,29 +206,43 @@ impl<'a, 'm> Interp<'a, 'm> {
             LoopKind::Doall => {
                 // Sequential executor: no flattening, no chunk teardown,
                 // no allocation — bind counters in the caller's frames
-                // and recurse (inner DOALLs take this path too). The
-                // nested order equals the flattened row-major order, so
-                // outputs stay bit-identical; this is what keeps small
-                // solves cheap in compile-once / run-many serving.
+                // and walk the nest inline. The nested order equals the
+                // flattened row-major order, so outputs stay bit-identical;
+                // this is what keeps small solves cheap in compile-once /
+                // run-many serving.
                 if self.executor.threads() == 1 {
-                    let (lo, hi) = self.bounds(l.subrange);
-                    // A single-equation body (the common innermost case)
-                    // hoists the tape lookup out of the element loop.
-                    if let [Descriptor::Equation(eq)] = &l.body[..] {
-                        prog.run_eq_range(*eq, &l.bindings, lo, hi, frames);
-                        return;
-                    }
-                    for i in lo..=hi {
-                        for &(eq, iv) in &l.bindings {
-                            frames.set_iv(eq, iv, i);
-                        }
-                        self.run_items_compiled(prog, &l.body, frames);
-                    }
+                    self.run_doall_compiled_inline(prog, l, frames);
                     return;
                 }
                 let (chain, ranges, widths, total, innermost_body) =
                     flatten_doall(l, |sr| self.bounds(sr));
                 if total <= 0 {
+                    return;
+                }
+                // Nested chains with enough work per outer iteration skip
+                // the flattened decomposition: workers claim chunks of the
+                // *outer* range and each chunk reuses the sequential inline
+                // nested walk (`run_eq_range` innermost fast path) — one
+                // frame clone per chunk, no per-element `div`/`mod`. Row-
+                // major element order per outer index is preserved, so
+                // outputs stay bit-identical to the flattened walk.
+                let inner_per_outer = total / widths[0].max(1);
+                if chain.len() > 1
+                    && inner_per_outer >= INLINE_NEST_MIN_INNER
+                    && widths[0] >= self.executor.threads() as i64
+                {
+                    let body_eqs = collect_equations(&l.body);
+                    let parent: &Frames = frames;
+                    let (lo0, hi0) = ranges[0];
+                    self.executor.for_chunks(lo0, hi0, &|start, stop| {
+                        let mut local = parent.clone_for(&body_eqs);
+                        for i in start..stop {
+                            for &(eq, iv) in &l.bindings {
+                                local.set_iv(eq, iv, i);
+                            }
+                            self.run_items_compiled_inline(prog, &l.body, &mut local);
+                        }
+                    });
                     return;
                 }
                 // Each chunk clones the body equations' frames once
@@ -225,6 +265,73 @@ impl<'a, 'm> Interp<'a, 'm> {
                     }
                 });
             }
+        }
+    }
+
+    /// The sequential inline walk over `items`: every `DOALL` met below
+    /// here runs on the current thread. Used both by the sequential
+    /// executor and inside a pool worker's outer-range chunk (where the
+    /// region is already parallel at the outer level).
+    fn run_items_compiled_inline(
+        &self,
+        prog: &ExecProg<'_, 'm>,
+        items: &[Descriptor],
+        frames: &mut Frames,
+    ) {
+        for d in items {
+            match d {
+                Descriptor::Equation(eq) => prog.run_eq(*eq, frames),
+                Descriptor::Loop(l) => match l.kind {
+                    LoopKind::Do => self.run_do_compiled_inline(prog, l, frames),
+                    LoopKind::Doall => self.run_doall_compiled_inline(prog, l, frames),
+                },
+                Descriptor::Drain(spec) => {
+                    panic!("drain over {} reached outside a time loop", spec.time_name)
+                }
+            }
+        }
+    }
+
+    fn run_do_compiled_inline(
+        &self,
+        prog: &ExecProg<'_, 'm>,
+        l: &LoopDescriptor,
+        frames: &mut Frames,
+    ) {
+        let (lo, hi) = self.bounds(l.subrange);
+        for i in lo..=hi {
+            for &(eq, iv) in &l.bindings {
+                frames.set_iv(eq, iv, i);
+            }
+            for d in &l.body {
+                match d {
+                    Descriptor::Drain(spec) => self.run_drain(spec, i),
+                    other => {
+                        self.run_items_compiled_inline(prog, std::slice::from_ref(other), frames)
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_doall_compiled_inline(
+        &self,
+        prog: &ExecProg<'_, 'm>,
+        l: &LoopDescriptor,
+        frames: &mut Frames,
+    ) {
+        let (lo, hi) = self.bounds(l.subrange);
+        // A single-equation body (the common innermost case) hoists the
+        // tape lookup out of the element loop.
+        if let [Descriptor::Equation(eq)] = &l.body[..] {
+            prog.run_eq_range(*eq, &l.bindings, lo, hi, frames);
+            return;
+        }
+        for i in lo..=hi {
+            for &(eq, iv) in &l.bindings {
+                frames.set_iv(eq, iv, i);
+            }
+            self.run_items_compiled_inline(prog, &l.body, frames);
         }
     }
 

@@ -107,6 +107,6 @@ pub mod value;
 
 pub use interp::{run_module, Engine, RuntimeOptions};
 pub use naive::run_naive;
-pub use program::Program;
+pub use program::{Program, RunSession};
 pub use store::{Inputs, Outputs, StoreArena, StorePlan};
 pub use value::{OwnedArray, Value};

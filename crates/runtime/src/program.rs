@@ -27,12 +27,8 @@ use ps_executor::Executor;
 use ps_lang::hir::HirModule;
 use ps_scheduler::{Flowchart, MemoryPlan};
 use ps_support::Symbol;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-
-/// Upper bound on cached specializations; past it, new parameter layouts
-/// are folded per run but not retained (protects against unbounded keys).
-const SPEC_CACHE_CAP: usize = 64;
 
 /// Upper bound on pooled run slots (each holds one run's recyclable
 /// storage); more than a handful only matters under heavy concurrency.
@@ -44,6 +40,14 @@ const RUN_POOL_CAP: usize = 16;
 struct RunSlot {
     arena: StoreArena,
     frames: Option<Frames>,
+}
+
+/// One cached specialization plus its last-use tick (the LRU key). The
+/// tick is written under the cache's *read* lock — a relaxed atomic store,
+/// so cache hits stay lock-free with respect to each other.
+struct CachedSpec {
+    spec: Arc<Spec>,
+    touched: AtomicU64,
 }
 
 /// A reusable, shareable execution artifact for one scheduled module.
@@ -61,9 +65,11 @@ pub struct Program<'m> {
     /// Symbols whose values determine array layouts (scalar int params);
     /// their value vector keys the specialization cache.
     key_syms: Vec<Symbol>,
-    specs: RwLock<Vec<Arc<Spec>>>,
+    specs: RwLock<Vec<CachedSpec>>,
+    spec_clock: AtomicU64,
     pool: Mutex<Vec<RunSlot>>,
     spec_builds: AtomicUsize,
+    spec_evictions: AtomicUsize,
 }
 
 impl<'m> Program<'m> {
@@ -91,8 +97,10 @@ impl<'m> Program<'m> {
             tapes,
             key_syms,
             specs: RwLock::new(Vec::new()),
+            spec_clock: AtomicU64::new(0),
             pool: Mutex::new(Vec::new()),
             spec_builds: AtomicUsize::new(0),
+            spec_evictions: AtomicUsize::new(0),
         }
     }
 
@@ -106,12 +114,23 @@ impl<'m> Program<'m> {
         self.options
     }
 
-    /// Number of distinct parameter layouts specialized *and cached* so
-    /// far (at most the cache capacity). A steady-state serving loop over
-    /// one parameter shape sits at 1; uncached over-capacity rebuilds are
-    /// not counted, so the value never grows with run count.
+    /// Number of parameter layouts specialized *and cached* so far. A
+    /// steady-state serving loop over one parameter shape sits at 1; a
+    /// layout rebuilt after LRU eviction counts again (the cache itself
+    /// never exceeds [`RuntimeOptions::spec_cache_cap`] entries).
     pub fn specialization_count(&self) -> usize {
         self.spec_builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of specializations evicted from the cache so far (LRU
+    /// replacement under adversarial parameter diversity).
+    pub fn spec_evictions(&self) -> usize {
+        self.spec_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of specializations currently cached (≤ the configured cap).
+    pub fn spec_cached(&self) -> usize {
+        self.specs.read().expect("spec cache poisoned").len()
     }
 
     /// Execute one run against `inputs`. Reentrant: any number of runs
@@ -193,34 +212,116 @@ impl<'m> Program<'m> {
     }
 
     /// The specialization for this run's parameter layout: cache hit in
-    /// the common case, a cheap address-folding pass on first sight.
+    /// the common case, a cheap address-folding pass on first sight. The
+    /// cache is bounded by [`RuntimeOptions::spec_cache_cap`]; at capacity
+    /// the least-recently-used layout is replaced (its `Arc` keeps
+    /// in-flight runs of the evicted spec alive).
     fn spec_for(&self, tapes: &Tapes, store: &Store<'m>) -> Result<Arc<Spec>, RuntimeError> {
         let key: Vec<i64> = self
             .key_syms
             .iter()
             .map(|s| store.params.get(s).copied().unwrap_or(i64::MIN))
             .collect();
+        let touch = |c: &CachedSpec| {
+            c.touched.store(
+                self.spec_clock.fetch_add(1, Ordering::Relaxed) + 1,
+                Ordering::Relaxed,
+            )
+        };
         {
             let specs = self.specs.read().expect("spec cache poisoned");
-            if let Some(s) = specs.iter().find(|s| s.key == key) {
-                return Ok(Arc::clone(s));
+            if let Some(c) = specs.iter().find(|c| c.spec.key == key) {
+                touch(c);
+                return Ok(Arc::clone(&c.spec));
             }
         }
         let built = Arc::new(specialize(tapes, &self.plan, &store.params, key.clone())?);
         let mut specs = self.specs.write().expect("spec cache poisoned");
-        if let Some(s) = specs.iter().find(|s| s.key == key) {
+        if let Some(c) = specs.iter().find(|c| c.spec.key == key) {
             // Lost the build race: another run specialized this layout
             // concurrently — use (and count) theirs, drop ours.
-            return Ok(Arc::clone(s));
+            touch(c);
+            return Ok(Arc::clone(&c.spec));
         }
-        // Count only cached insertions, under the write lock: a
-        // concurrent duplicate build is never double-counted, and
-        // over-capacity rebuilds don't inflate the count per run.
-        if specs.len() < SPEC_CACHE_CAP {
-            self.spec_builds.fetch_add(1, Ordering::Relaxed);
-            specs.push(Arc::clone(&built));
+        // Insert under the write lock: a concurrent duplicate build is
+        // never double-counted, and the cache never exceeds its cap.
+        if specs.len() >= self.options.spec_cache_cap.max(1) {
+            let lru = specs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.touched.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("cap >= 1 implies a nonempty cache here");
+            specs.swap_remove(lru);
+            self.spec_evictions.fetch_add(1, Ordering::Relaxed);
         }
+        self.spec_builds.fetch_add(1, Ordering::Relaxed);
+        let entry = CachedSpec {
+            spec: Arc::clone(&built),
+            touched: AtomicU64::new(0),
+        };
+        touch(&entry);
+        specs.push(entry);
         Ok(built)
+    }
+}
+
+impl<'m> Program<'m> {
+    /// Claim a pooled run slot for a *sequence* of runs: a service worker
+    /// holding a session across a micro-batch touches the slot pool lock
+    /// once per batch instead of twice per request. Dropping the session
+    /// returns the slot.
+    pub fn session(&self) -> RunSession<'_, 'm> {
+        let slot = self.pool.lock().expect("run pool poisoned").pop();
+        RunSession { prog: self, slot }
+    }
+}
+
+/// A claimed run slot bound to its [`Program`]; see [`Program::session`].
+///
+/// Panic-safe by construction: the slot is moved *out* of the session for
+/// the duration of each run, so a panicking request drops it (the next
+/// call simply starts a fresh slot) and the pool itself — whose lock is
+/// never held across user code — cannot be poisoned.
+pub struct RunSession<'p, 'm> {
+    prog: &'p Program<'m>,
+    slot: Option<RunSlot>,
+}
+
+impl<'p, 'm> RunSession<'p, 'm> {
+    /// Execute one run, reusing this session's claimed slot.
+    pub fn run(
+        &mut self,
+        inputs: &Inputs,
+        executor: &dyn Executor,
+    ) -> Result<Outputs, RuntimeError> {
+        match &self.prog.tapes {
+            None => self.prog.run_tree(inputs, executor),
+            Some(tapes) => {
+                let mut slot = self.slot.take().unwrap_or_default();
+                let result = self.prog.run_in_slot(tapes, inputs, executor, &mut slot);
+                // Only reached when the run did not panic; errors still
+                // recycle the slot (a failing request must not degrade
+                // later runs' pooling).
+                self.slot = Some(slot);
+                result
+            }
+        }
+    }
+}
+
+impl Drop for RunSession<'_, '_> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            // `lock()` cannot normally fail here (the pool lock is never
+            // held across user code); swallow a poisoned pool rather than
+            // double-panicking during unwind.
+            if let Ok(mut pool) = self.prog.pool.lock() {
+                if pool.len() < RUN_POOL_CAP {
+                    pool.push(slot);
+                }
+            }
+        }
     }
 }
 
@@ -311,6 +412,78 @@ mod tests {
             }
         });
         assert_eq!(prog.specialization_count(), 5, "n ∈ 3..=7");
+    }
+
+    #[test]
+    fn spec_cache_evicts_least_recently_used() {
+        let m = frontend(RECURRENCE).unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let prog = Program::new(
+            &m,
+            &sched.flowchart,
+            &sched.memory,
+            RuntimeOptions {
+                spec_cache_cap: 2,
+                ..Default::default()
+            },
+        );
+        let run = |n: i64| {
+            let out = prog
+                .run(
+                    &Inputs::new().set_int("n", n).set_real("bias", 1.0),
+                    &Sequential,
+                )
+                .unwrap();
+            assert_eq!(out.scalar("y"), Value::Real(expected(n, 1.0)));
+        };
+        run(4); // cache: {4}
+        run(9); // cache: {4, 9}
+        assert_eq!(prog.spec_evictions(), 0);
+        run(4); // touch 4, so 9 is now the LRU
+        run(17); // evicts 9; cache: {4, 17}
+        assert_eq!(prog.spec_evictions(), 1);
+        assert_eq!(prog.spec_cached(), 2, "cache never exceeds its cap");
+        run(4); // still cached: no new build
+        assert_eq!(prog.specialization_count(), 3, "4, 9, 17");
+        run(9); // rebuilt after eviction (evicting the LRU, 17)
+        assert_eq!(prog.specialization_count(), 4);
+        assert_eq!(prog.spec_evictions(), 2);
+        assert_eq!(prog.spec_cached(), 2);
+        // Adversarial diversity: memory stays bounded at the cap.
+        for n in 3..40 {
+            run(n);
+        }
+        assert_eq!(prog.spec_cached(), 2);
+    }
+
+    #[test]
+    fn session_reuses_one_slot_across_runs() {
+        let m = frontend(RECURRENCE).unwrap();
+        let dg = build_depgraph(&m);
+        let sched = schedule_module(&m, &dg, ScheduleOptions::default()).unwrap();
+        let prog = Program::new(
+            &m,
+            &sched.flowchart,
+            &sched.memory,
+            RuntimeOptions::default(),
+        );
+        {
+            let mut session = prog.session();
+            for (n, bias) in [(4i64, 0.5f64), (9, 1.25), (4, 2.0)] {
+                let out = session
+                    .run(
+                        &Inputs::new().set_int("n", n).set_real("bias", bias),
+                        &Sequential,
+                    )
+                    .unwrap();
+                assert_eq!(out.scalar("y"), Value::Real(expected(n, bias)));
+            }
+            // The pool is empty while the session holds the slot.
+            assert_eq!(prog.pool.lock().unwrap().len(), 0);
+        }
+        // Dropping the session returned the slot.
+        assert_eq!(prog.pool.lock().unwrap().len(), 1);
     }
 
     #[test]

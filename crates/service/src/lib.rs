@@ -1,0 +1,124 @@
+//! `ps-service` — an embeddable concurrent solve service over the
+//! compile-once / run-many execution stack.
+//!
+//! The paper's scheduling model analyzes a nonprocedural program once and
+//! executes it many times; `ps_runtime::Program` is that artifact, and
+//! this crate is the subsystem that multiplexes **many independent solve
+//! requests from many clients** over a cache of such artifacts:
+//!
+//! * [`Registry`] — the compile-once cache, keyed by
+//!   `(source hash, RuntimeOptions)`. Reads are **lock-free** (an
+//!   RCU-style published snapshot; see [`registry`]), the table is
+//!   LRU-bounded, and evicted programs stay alive for their in-flight
+//!   requests through `Arc`s.
+//! * [`Service`] — a request queue drained by worker threads.
+//!   [`Service::submit`] returns a [`ResponseHandle`] immediately;
+//!   requests sharing a program are **micro-batched** onto one pooled
+//!   run-slot session, and a panicking request is isolated at the request
+//!   boundary (its handle resolves to [`SolveError::Panicked`]; the
+//!   worker, the slot pool, and every other request carry on).
+//! * [`ServiceStats`] — per-service counters: compiles, cache hits and
+//!   evictions, queue depth, batch sizes, and p50/p99 latency from a
+//!   lock-free log₂ histogram.
+//! * [`proto`] — the newline-delimited wire protocol the `ps-serve` TCP
+//!   front-end speaks (requests and load generation live in
+//!   `ps-core/src/bin/ps_serve.rs`).
+//!
+//! # Embedding the service
+//!
+//! ```
+//! use ps_service::{Service, ServiceOptions, SolveRequest};
+//! use ps_runtime::Inputs;
+//!
+//! let service = Service::new(ServiceOptions {
+//!     workers: 2,
+//!     ..Default::default()
+//! });
+//!
+//! // Compile once (warms the registry), submit many.
+//! let key = service
+//!     .register(
+//!         "Compound: module (rate: real; n: int): [final: real];
+//!          type K = 2 .. n;
+//!          var balance: array [1 .. n] of real;
+//!          define
+//!             balance[1] = 1.0;
+//!             balance[K] = balance[K-1] * (1.0 + rate);
+//!             final = balance[n];
+//!          end Compound;",
+//!     )
+//!     .unwrap();
+//!
+//! let handles: Vec<_> = (1..=8)
+//!     .map(|i| {
+//!         service.submit(SolveRequest::new(
+//!             key.clone(),
+//!             Inputs::new().set_real("rate", 0.5).set_int("n", 2 + i),
+//!         ))
+//!     })
+//!     .collect();
+//! for (i, h) in handles.into_iter().enumerate() {
+//!     let out = h.wait().unwrap();
+//!     let expected = 1.5f64.powi(i as i32 + 2);
+//!     assert!((out.scalar("final").as_real() - expected).abs() < 1e-9);
+//! }
+//!
+//! let stats = service.stats();
+//! assert_eq!(stats.compiles, 1, "one artifact served every request");
+//! assert_eq!(stats.responses, 8);
+//! assert!(stats.cache_hits >= 1, "warm path hits the registry");
+//! ```
+
+pub mod program;
+pub mod proto;
+pub mod registry;
+pub mod service;
+pub mod stats;
+
+pub use program::{BatchSession, CompiledProgram};
+pub use registry::{ProgramKey, Registry};
+pub use service::{ResponseHandle, Service, ServiceOptions, SolveRequest};
+pub use stats::ServiceStats;
+
+/// Failure compiling a program into the registry.
+#[derive(Clone, Debug)]
+pub enum ServiceError {
+    /// Front end or scheduler rejected the source (rendered diagnostics).
+    Compile(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Compile(msg) => write!(f, "compile: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Per-request failure delivered through a [`ResponseHandle`].
+#[derive(Clone, Debug)]
+pub enum SolveError {
+    /// The request's program failed to compile.
+    Compile(String),
+    /// The solve reported a runtime error (missing input, bad bound, ...).
+    Runtime(String),
+    /// The solve panicked; the panic was caught at the request boundary.
+    Panicked(String),
+    /// The service was shut down before the request was accepted.
+    Shutdown,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Compile(msg) => write!(f, "compile: {msg}"),
+            SolveError::Runtime(msg) => write!(f, "runtime: {msg}"),
+            SolveError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            SolveError::Shutdown => write!(f, "service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

@@ -1,0 +1,247 @@
+//! The owning compile artifact cached by the [`crate::Registry`].
+//!
+//! `ps_runtime::Program<'m>` borrows its module and flowchart — the right
+//! shape for callers that hold a `Compilation` on the stack, but a serving
+//! registry must *own* what it caches. [`CompiledProgram`] closes that gap:
+//! it owns the HIR module and schedule in stable heap allocations and keeps
+//! the borrowing `Program` next to them, exposing only owning or
+//! `&self`-scoped APIs so the internal lifetime never escapes.
+
+use crate::ServiceError;
+use ps_depgraph::build_depgraph;
+use ps_lang::{frontend, HirModule};
+use ps_runtime::store::RuntimeError;
+use ps_runtime::{Inputs, Outputs, RunSession, RuntimeOptions};
+use ps_scheduler::{schedule_module, ScheduleOptions, ScheduleResult};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// One compiled, reusable, *owned* solve artifact: the HIR module, its
+/// schedule, and the tape-lowered [`ps_runtime::Program`] built from them.
+///
+/// Construction runs the front end, dependence analysis, scheduling, store
+/// layout planning, and tape lowering exactly once; [`CompiledProgram::run`]
+/// and [`CompiledProgram::session`] then serve any number of concurrent
+/// requests (`&CompiledProgram` is `Send + Sync`).
+pub struct CompiledProgram {
+    /// Borrows the `module`/`sched` allocations below. `ManuallyDrop` so
+    /// [`Drop`] can order it strictly before freeing its referents.
+    program: std::mem::ManuallyDrop<ps_runtime::Program<'static>>,
+    /// Leaked owners of the allocations `program` borrows, reclaimed in
+    /// [`Drop`]. Raw pointers (not `Box` fields) deliberately: moving a
+    /// `Box` asserts unique ownership and would invalidate the borrows
+    /// under Stacked Borrows; `*mut` carries no such assertion.
+    sched: *mut ScheduleResult,
+    module: *mut HirModule,
+    source: Arc<str>,
+    options: RuntimeOptions,
+    /// Last-use tick maintained by the registry (its LRU key).
+    pub(crate) touched: AtomicU64,
+}
+
+// SAFETY: the raw pointers are uniquely owned by this struct (created by
+// `Box::into_raw`, freed only in `Drop`) and only ever reborrowed shared;
+// every pointee — and the `Program` built over them — is itself
+// `Send + Sync` (`_assert_components_send_sync` proves it at compile
+// time), so sharing or moving the artifact across threads is sound.
+unsafe impl Send for CompiledProgram {}
+unsafe impl Sync for CompiledProgram {}
+
+#[allow(dead_code)]
+fn _assert_components_send_sync(
+    p: &ps_runtime::Program<'static>,
+    m: &HirModule,
+    s: &ScheduleResult,
+) {
+    fn takes<T: Send + Sync>(_: &T) {}
+    takes(p);
+    takes(m);
+    takes(s);
+}
+
+impl CompiledProgram {
+    /// Compile `source` through the pipeline (front end → dependence graph
+    /// → schedule → tape lowering) into an owned artifact.
+    pub fn compile(
+        source: Arc<str>,
+        options: RuntimeOptions,
+    ) -> Result<Arc<CompiledProgram>, ServiceError> {
+        // All fallible work happens before anything is leaked.
+        let module = frontend(&source).map_err(ServiceError::Compile)?;
+        let depgraph = build_depgraph(&module);
+        let sched = schedule_module(&module, &depgraph, ScheduleOptions::default())
+            .map_err(|e| ServiceError::Compile(e.to_string()))?;
+        let module = Box::into_raw(Box::new(module));
+        let sched = Box::into_raw(Box::new(sched));
+        // SAFETY: `program` borrows `*module` and `*sched` with a
+        // fabricated 'static lifetime. This is sound because:
+        //  * both allocations are leaked above and freed only by `Drop`,
+        //    which drops `program` first — the borrows are dead before the
+        //    allocations go away;
+        //  * the struct stores raw pointers, so no later `Box` move can
+        //    retag (and invalidate) the references `program` holds;
+        //  * no public API lets the fabricated 'static lifetime escape:
+        //    `run` returns owned `Outputs`, `session`/`module` tie their
+        //    results to `&self`, which in turn keeps the `Arc` alive.
+        let program = unsafe {
+            ps_runtime::Program::new(&*module, &(*sched).flowchart, &(*sched).memory, options)
+        };
+        Ok(Arc::new(CompiledProgram {
+            program: std::mem::ManuallyDrop::new(program),
+            sched,
+            module,
+            source,
+            options,
+            touched: AtomicU64::new(0),
+        }))
+    }
+
+    /// Execute one run. Reentrant and thread-safe; run state is pooled
+    /// inside the artifact.
+    pub fn run(&self, inputs: &Inputs, executor: &dyn Executor) -> Result<Outputs, RuntimeError> {
+        self.program.run(inputs, executor)
+    }
+
+    /// Claim a pooled run slot for a sequence of runs (a worker's
+    /// micro-batch); see [`ps_runtime::Program::session`].
+    pub fn session(&self) -> BatchSession<'_> {
+        BatchSession(self.program.session())
+    }
+
+    /// The checked HIR module this artifact executes.
+    pub fn module(&self) -> &HirModule {
+        // SAFETY: `module` is a live allocation owned by `self` (freed
+        // only in `Drop`); the shared reborrow is bounded by `&self`.
+        unsafe { &*self.module }
+    }
+
+    /// The source text this artifact was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The runtime options this artifact was compiled with.
+    pub fn options(&self) -> RuntimeOptions {
+        self.options
+    }
+
+    /// Parameter layouts specialized so far (delegates to the inner
+    /// program).
+    pub fn specialization_count(&self) -> usize {
+        self.program.specialization_count()
+    }
+
+    /// Parameter layouts currently cached (bounded by
+    /// `RuntimeOptions::spec_cache_cap`).
+    pub fn spec_cached(&self) -> usize {
+        self.program.spec_cached()
+    }
+
+    /// Specializations evicted from the bounded per-layout cache.
+    pub fn spec_evictions(&self) -> usize {
+        self.program.spec_evictions()
+    }
+}
+
+use ps_executor::Executor;
+
+/// A claimed run slot scoped to one worker batch: wraps
+/// [`ps_runtime::RunSession`] so the artifact's internal lifetime stays
+/// private. Panic-safe: a request that panics mid-run drops the slot and
+/// the next call starts fresh.
+pub struct BatchSession<'p>(RunSession<'p, 'static>);
+
+impl BatchSession<'_> {
+    /// Execute one run, reusing the session's claimed slot.
+    pub fn run(
+        &mut self,
+        inputs: &Inputs,
+        executor: &dyn Executor,
+    ) -> Result<Outputs, RuntimeError> {
+        self.0.run(inputs, executor)
+    }
+}
+
+impl Drop for CompiledProgram {
+    fn drop(&mut self) {
+        // SAFETY: `program` is dropped exactly once and strictly before
+        // the allocations it borrows; the pointers were made by
+        // `Box::into_raw` in `compile` and are reclaimed exactly once.
+        unsafe {
+            std::mem::ManuallyDrop::drop(&mut self.program);
+            drop(Box::from_raw(self.sched));
+            drop(Box::from_raw(self.module));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_executor::Sequential;
+
+    const RECURRENCE: &str = "Compound: module (rate: real; n: int): [final: real];
+        type K = 2 .. n;
+        var balance: array [1 .. n] of real;
+        define
+            balance[1] = 1.0;
+            balance[K] = balance[K-1] * (1.0 + rate);
+            final = balance[n];
+        end Compound;";
+
+    #[test]
+    fn owned_artifact_runs_after_moves() {
+        let prog = CompiledProgram::compile(RECURRENCE.into(), RuntimeOptions::default()).unwrap();
+        // Move the Arc around (into a vec, out again): the boxed module
+        // and schedule stay put, so the internal borrows stay valid.
+        let held = [prog];
+        let prog = &held[0];
+        for (rate, n) in [(0.5f64, 10i64), (0.25, 20)] {
+            let out = prog
+                .run(
+                    &Inputs::new().set_real("rate", rate).set_int("n", n),
+                    &Sequential,
+                )
+                .unwrap();
+            let expected = (1.0 + rate).powi(n as i32 - 1);
+            assert!((out.scalar("final").as_real() - expected).abs() < 1e-9);
+        }
+        assert_eq!(prog.specialization_count(), 2, "n ∈ {{10, 20}}");
+    }
+
+    #[test]
+    fn compile_errors_are_reported_not_cached() {
+        let Err(err) = CompiledProgram::compile("not a module".into(), RuntimeOptions::default())
+        else {
+            panic!("garbage must not compile");
+        };
+        let ServiceError::Compile(msg) = err;
+        assert!(!msg.is_empty());
+    }
+
+    #[test]
+    fn sessions_share_the_artifact_across_threads() {
+        let prog = CompiledProgram::compile(RECURRENCE.into(), RuntimeOptions::default()).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let prog = &prog;
+                scope.spawn(move || {
+                    let mut session = prog.session();
+                    for i in 0..4 {
+                        let n = 4 + ((t + i) % 3) as i64;
+                        let out = session
+                            .run(
+                                &Inputs::new().set_real("rate", 1.0).set_int("n", n),
+                                &Sequential,
+                            )
+                            .unwrap();
+                        assert!(
+                            (out.scalar("final").as_real() - 2.0f64.powi(n as i32 - 1)).abs()
+                                < 1e-9
+                        );
+                    }
+                });
+            }
+        });
+    }
+}

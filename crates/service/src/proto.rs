@@ -1,0 +1,279 @@
+//! The newline-delimited wire protocol spoken by the `ps-serve` TCP
+//! front-end (and reusable by any embedding).
+//!
+//! One request per line, one response line per request, in order:
+//!
+//! ```text
+//! solve <program> [name=value]...   → ok <name>=<value>...  |  err <msg>
+//! stats                             → ok requests=... compiles=...
+//! quit                              → (closes the connection)
+//! shutdown                          → ok bye   (stops the server)
+//! ```
+//!
+//! Scalar values: `42` (int), `1.5`/`2e3` (real, anything that is not an
+//! int), `true`/`false` (bool). 1-D arrays: `@lo:hi:v1,v2,...` — an int
+//! array when every element parses as an int, real otherwise. Response
+//! reals round-trip (Rust's shortest-representation float formatting).
+
+use ps_runtime::value::OwnedBuffer;
+use ps_runtime::{Inputs, Outputs, OwnedArray, Value};
+use std::fmt::Write as _;
+
+/// One parsed request line.
+#[derive(Clone, Debug)]
+pub enum WireCommand {
+    Solve { program: String, inputs: Inputs },
+    Stats,
+    Quit,
+    Shutdown,
+}
+
+/// Parse one request line (the line terminator already stripped).
+pub fn parse_request(line: &str) -> Result<WireCommand, String> {
+    let mut parts = line.split_whitespace();
+    match parts.next() {
+        None => Err("empty request".into()),
+        Some("stats") => Ok(WireCommand::Stats),
+        Some("quit") => Ok(WireCommand::Quit),
+        Some("shutdown") => Ok(WireCommand::Shutdown),
+        Some("solve") => {
+            let program = parts
+                .next()
+                .ok_or_else(|| "solve: missing program name".to_string())?
+                .to_string();
+            let mut inputs = Inputs::new();
+            for kv in parts {
+                let (name, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("solve: `{kv}` is not name=value"))?;
+                inputs = bind(inputs, name, value)?;
+            }
+            Ok(WireCommand::Solve { program, inputs })
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn bind(inputs: Inputs, name: &str, value: &str) -> Result<Inputs, String> {
+    if let Some(rest) = value.strip_prefix('@') {
+        let mut it = rest.splitn(3, ':');
+        let (lo, hi, elems) = (it.next(), it.next(), it.next());
+        let (Some(lo), Some(hi), Some(elems)) = (lo, hi, elems) else {
+            return Err(format!("array `{name}`: expected @lo:hi:v1,v2,..."));
+        };
+        let lo: i64 = lo.parse().map_err(|_| format!("array `{name}`: bad lo"))?;
+        let hi: i64 = hi.parse().map_err(|_| format!("array `{name}`: bad hi"))?;
+        let raw: Vec<&str> = if elems.is_empty() {
+            Vec::new()
+        } else {
+            elems.split(',').collect()
+        };
+        let want = (hi - lo + 1).max(0) as usize;
+        if raw.len() != want {
+            return Err(format!(
+                "array `{name}`: {lo}..{hi} needs {want} elements, got {}",
+                raw.len()
+            ));
+        }
+        if let Ok(ints) = raw
+            .iter()
+            .map(|s| s.parse::<i64>())
+            .collect::<Result<Vec<_>, _>>()
+        {
+            return Ok(inputs.set_array(name, OwnedArray::int(vec![(lo, hi)], ints)));
+        }
+        let reals = raw
+            .iter()
+            .map(|s| s.parse::<f64>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| format!("array `{name}`: non-numeric element"))?;
+        return Ok(inputs.set_array(name, OwnedArray::real(vec![(lo, hi)], reals)));
+    }
+    if value == "true" || value == "false" {
+        return Ok(inputs.set_bool(name, value == "true"));
+    }
+    if let Ok(i) = value.parse::<i64>() {
+        return Ok(inputs.set_int(name, i));
+    }
+    let r: f64 = value
+        .parse()
+        .map_err(|_| format!("`{name}`: cannot parse value `{value}`"))?;
+    Ok(inputs.set_real(name, r))
+}
+
+fn push_value(out: &mut String, v: Value) {
+    match v {
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Real(r) => {
+            // Force a distinguishing mark so the value parses back as
+            // real: whatever the shortest-roundtrip formatting produced,
+            // a digits-only rendering (any whole real, at any magnitude)
+            // gets a `.0` appended.
+            let start = out.len();
+            let _ = write!(out, "{r}");
+            // `NaN`/`inf` already parse as reals; only digits-only
+            // renderings need the mark.
+            if !out[start..].contains(['.', 'e', 'E', 'n', 'i', 'N']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Render a successful solve as one `ok` line: scalars then arrays, each
+/// group sorted by name (the response is deterministic).
+pub fn format_outputs(outputs: &Outputs) -> String {
+    let mut line = String::from("ok");
+    let mut scalars: Vec<(&String, &Value)> = outputs.scalars.iter().collect();
+    scalars.sort_by_key(|(name, _)| name.as_str());
+    for (name, &v) in scalars {
+        let _ = write!(line, " {name}=");
+        push_value(&mut line, v);
+    }
+    let mut arrays: Vec<(&String, &OwnedArray)> = outputs.arrays.iter().collect();
+    arrays.sort_by_key(|(name, _)| name.as_str());
+    for (name, a) in arrays {
+        if a.dims.len() != 1 {
+            // The wire format is 1-D; flatten with the full bounds list.
+            let _ = write!(line, " {name}=<{}-d array of {}>", a.dims.len(), a.len());
+            continue;
+        }
+        let (lo, hi) = a.dims[0];
+        let _ = write!(line, " {name}=@{lo}:{hi}:");
+        match &a.data {
+            OwnedBuffer::Real(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    push_value(&mut line, Value::Real(*x));
+                }
+            }
+            OwnedBuffer::Int(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    let _ = write!(line, "{x}");
+                }
+            }
+            OwnedBuffer::Bool(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    let _ = write!(line, "{x}");
+                }
+            }
+        }
+    }
+    line
+}
+
+/// Render a failure as one `err` line (newlines flattened so the framing
+/// survives multi-line compiler diagnostics).
+pub fn format_error(msg: &str) -> String {
+    let flat: String = msg
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    format!("err {}", flat.trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_line_parses_scalars_and_arrays() {
+        let cmd =
+            parse_request("solve heat_1d M=4 maxK=6 alpha=0.25 u0=@0:5:0.0,1,2,3,4,0").unwrap();
+        let WireCommand::Solve { program, inputs } = cmd else {
+            panic!("expected solve");
+        };
+        assert_eq!(program, "heat_1d");
+        assert_eq!(
+            inputs.scalar(ps_support::Symbol::intern("M")),
+            Some(Value::Int(4))
+        );
+        assert_eq!(
+            inputs.scalar(ps_support::Symbol::intern("alpha")),
+            Some(Value::Real(0.25))
+        );
+        let u0 = inputs.array(ps_support::Symbol::intern("u0")).unwrap();
+        assert_eq!(u0.dims, vec![(0, 5)]);
+        // Mixed elements force a real array.
+        assert_eq!(u0.get(&[2]), Value::Real(2.0));
+    }
+
+    #[test]
+    fn int_arrays_stay_int() {
+        let WireCommand::Solve { inputs, .. } =
+            parse_request("solve gather n=3 perm=@1:3:3,1,2").unwrap()
+        else {
+            panic!("expected solve");
+        };
+        let perm = inputs.array(ps_support::Symbol::intern("perm")).unwrap();
+        assert_eq!(perm.get(&[1]), Value::Int(3));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("warp 9").is_err());
+        assert!(parse_request("solve").is_err());
+        assert!(parse_request("solve p x").is_err());
+        assert!(
+            parse_request("solve p xs=@1:3:1,2").is_err(),
+            "length mismatch"
+        );
+        assert!(parse_request("solve p x=abc").is_err());
+    }
+
+    #[test]
+    fn outputs_round_trip_through_the_wire_format() {
+        let mut out = Outputs::default();
+        out.scalars.insert("y".into(), Value::Real(0.5));
+        out.scalars.insert("k".into(), Value::Int(-3));
+        out.arrays.insert(
+            "xs".into(),
+            OwnedArray::real(vec![(1, 3)], vec![1.0, 2.5, -0.25]),
+        );
+        let line = format_outputs(&out);
+        assert_eq!(line, "ok k=-3 y=0.5 xs=@1:3:1.0,2.5,-0.25");
+        // Whole reals keep a mark so they parse back as reals — at every
+        // magnitude (2e15 formats digits-only without the guard).
+        for (v, want) in [
+            (2.0, "ok y=2.0"),
+            (2e15, "ok y=2000000000000000.0"),
+            (f64::NEG_INFINITY, "ok y=-inf"),
+            (f64::NAN, "ok y=NaN"),
+        ] {
+            let mut whole = Outputs::default();
+            whole.scalars.insert("y".into(), Value::Real(v));
+            assert_eq!(format_outputs(&whole), want);
+        }
+    }
+
+    #[test]
+    fn errors_are_single_line() {
+        let e = format_error("front end:\nline 1: bad\nline 2: worse");
+        assert!(!e.contains('\n'));
+        assert!(e.starts_with("err "));
+    }
+
+    #[test]
+    fn control_commands_parse() {
+        assert!(matches!(parse_request("stats"), Ok(WireCommand::Stats)));
+        assert!(matches!(parse_request("quit"), Ok(WireCommand::Quit)));
+        assert!(matches!(
+            parse_request("shutdown"),
+            Ok(WireCommand::Shutdown)
+        ));
+    }
+}

@@ -1,0 +1,335 @@
+//! The compile-once Program registry: lock-free reads, LRU-bounded.
+//!
+//! The hot path of a solve service is "look up the artifact for this
+//! request's `(source, options)` key" — executed once per micro-batch,
+//! concurrently from every worker. The registry keeps those lookups
+//! **lock-free** with an RCU-style published snapshot:
+//!
+//! * the live entry table is an immutable snapshot behind an
+//!   `AtomicPtr`; a reader increments a reader count, loads the pointer,
+//!   scans (capacity is small, a linear probe beats hashing), clones the
+//!   entry `Arc`, and decrements — no mutex, no waiting, ever;
+//! * writers (compile / evict — the cold path) serialize on a mutex,
+//!   publish a new snapshot with a single pointer store, then wait for the
+//!   reader count to drain before freeing the old table. Entry `Arc`s make
+//!   eviction safe for in-flight requests: an evicted program dies only
+//!   when its last request completes.
+//!
+//! The table is bounded: at capacity the least-recently-used entry (ticks
+//! are relaxed atomic stores on the read path) is evicted, so adversarial
+//! source diversity cannot grow memory without bound. Keys are
+//! `(source hash, RuntimeOptions)`; hash collisions are disambiguated by
+//! comparing the source text itself, so two programs can never alias.
+
+use crate::program::CompiledProgram;
+use crate::ServiceError;
+use ps_runtime::RuntimeOptions;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A precomputed registry key: the program source, the runtime options the
+/// artifact must be compiled with, and the source hash (computed once at
+/// key construction, not per lookup).
+#[derive(Clone, Debug)]
+pub struct ProgramKey {
+    source: Arc<str>,
+    options: RuntimeOptions,
+    hash: u64,
+}
+
+impl ProgramKey {
+    pub fn new(source: impl Into<Arc<str>>, options: RuntimeOptions) -> ProgramKey {
+        let source = source.into();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        source.hash(&mut h);
+        ProgramKey {
+            hash: h.finish(),
+            source,
+            options,
+        }
+    }
+
+    pub fn source(&self) -> &Arc<str> {
+        &self.source
+    }
+
+    pub fn options(&self) -> RuntimeOptions {
+        self.options
+    }
+}
+
+impl PartialEq for ProgramKey {
+    fn eq(&self, other: &ProgramKey) -> bool {
+        self.hash == other.hash && self.options == other.options && self.source == other.source
+    }
+}
+
+impl Eq for ProgramKey {}
+
+/// One immutable published generation of the entry table.
+struct Snapshot {
+    entries: Vec<(u64, Arc<CompiledProgram>)>,
+}
+
+/// The bounded compile-once cache. See the module docs for the read/write
+/// protocol.
+pub struct Registry {
+    /// The current snapshot; readers only ever load this pointer.
+    published: AtomicPtr<Snapshot>,
+    /// In-flight lock-free readers; a writer frees a retired snapshot only
+    /// after observing zero.
+    readers: AtomicUsize,
+    /// Serializes compile/evict/publish (the cold path).
+    writer: Mutex<()>,
+    capacity: usize,
+    /// LRU clock: lookups stamp entries with `clock++` (relaxed).
+    clock: AtomicU64,
+    compiles: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Registry {
+    /// An empty registry holding at most `capacity` compiled programs
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> Registry {
+        Registry {
+            published: AtomicPtr::new(Box::into_raw(Box::new(Snapshot {
+                entries: Vec::new(),
+            }))),
+            readers: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The lock-free fast path: find `key`'s artifact in the published
+    /// snapshot. Counts a cache hit and stamps the entry's LRU tick when
+    /// found.
+    pub fn lookup(&self, key: &ProgramKey) -> Option<Arc<CompiledProgram>> {
+        // SeqCst on the counter and the pointer load gives the writer its
+        // quiescence guarantee: once it observes `readers == 0` after
+        // publishing, any later reader must observe the new pointer, so
+        // the retired snapshot is unreachable and safe to free.
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: the snapshot observed here is freed only after the
+        // writer has watched `readers` reach zero following its swap;
+        // our increment keeps it alive while we scan.
+        let snapshot = unsafe { &*self.published.load(Ordering::SeqCst) };
+        let found = snapshot
+            .entries
+            .iter()
+            .find(|(h, e)| {
+                *h == key.hash && e.options() == key.options && e.source() == &*key.source
+            })
+            .map(|(_, e)| Arc::clone(e));
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        if let Some(e) = &found {
+            e.touched.store(
+                self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+                Ordering::Relaxed,
+            );
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Return the cached artifact for `key`, compiling (and publishing) it
+    /// on first sight. At capacity the least-recently-used entry is
+    /// evicted; in-flight users of the evicted artifact keep it alive
+    /// through their `Arc`s. Compile failures are returned, not cached.
+    pub fn get_or_compile(&self, key: &ProgramKey) -> Result<Arc<CompiledProgram>, ServiceError> {
+        if let Some(e) = self.lookup(key) {
+            return Ok(e);
+        }
+        let _writer = self.writer.lock().expect("registry writer poisoned");
+        // Double-check under the writer lock: another thread may have
+        // compiled this key while we waited (its hit is counted normally).
+        if let Some(e) = self.lookup(key) {
+            return Ok(e);
+        }
+        let entry = CompiledProgram::compile(Arc::clone(&key.source), key.options)?;
+        entry.touched.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        // Build the successor snapshot: copy the live entries, evict the
+        // LRU entry at capacity, append the new one.
+        let old_ptr = self.published.load(Ordering::SeqCst);
+        // SAFETY: only the writer (serialized by the mutex we hold) ever
+        // retires snapshots, so `old_ptr` is alive.
+        let mut entries = unsafe { &*old_ptr }.entries.clone();
+        if entries.len() >= self.capacity {
+            let lru = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, e))| e.touched.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("capacity >= 1 implies entries is nonempty here");
+            entries.swap_remove(lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push((key.hash, Arc::clone(&entry)));
+        let new_ptr = Box::into_raw(Box::new(Snapshot { entries }));
+        self.published.store(new_ptr, Ordering::SeqCst);
+        // Quiescence: readers hold the counter only across a short scan,
+        // so this drains in microseconds — and it is the cold compile
+        // path, serialized by the writer lock anyway.
+        while self.readers.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        // SAFETY: the old snapshot is unpublished and no reader holds it
+        // (counter drained after the SeqCst store above).
+        unsafe { drop(Box::from_raw(old_ptr)) };
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        Ok(entry)
+    }
+
+    /// Programs compiled (and published) so far.
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Lookups served from the published snapshot.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of programs currently cached (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: as in `lookup`.
+        let n = unsafe { &*self.published.load(Ordering::SeqCst) }
+            .entries
+            .len();
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        // `&mut self`: no readers can exist; free the final snapshot.
+        let ptr = *self.published.get_mut();
+        // SAFETY: `published` always holds a live Box-allocated snapshot.
+        unsafe { drop(Box::from_raw(ptr)) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(tag: i64) -> String {
+        format!(
+            "P{tag}: module (x: real): [y: real];
+             define y = x * {tag}.0; end P{tag};"
+        )
+    }
+
+    #[test]
+    fn compile_once_then_hit() {
+        let reg = Registry::new(4);
+        let key = ProgramKey::new(src(2), RuntimeOptions::default());
+        assert!(reg.lookup(&key).is_none());
+        let a = reg.get_or_compile(&key).unwrap();
+        let b = reg.get_or_compile(&key).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call is a cache hit");
+        assert_eq!(reg.compiles(), 1);
+        assert_eq!(reg.hits(), 1);
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let reg = Registry::new(4);
+        let source: Arc<str> = src(3).into();
+        let fast = ProgramKey::new(Arc::clone(&source), RuntimeOptions::default());
+        let checked = ProgramKey::new(
+            source,
+            RuntimeOptions {
+                check_writes: true,
+                ..Default::default()
+            },
+        );
+        let a = reg.get_or_compile(&fast).unwrap();
+        let b = reg.get_or_compile(&checked).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "same source, different options");
+        assert_eq!(reg.compiles(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let reg = Registry::new(2);
+        let keys: Vec<ProgramKey> = (0..3)
+            .map(|i| ProgramKey::new(src(i), RuntimeOptions::default()))
+            .collect();
+        reg.get_or_compile(&keys[0]).unwrap();
+        reg.get_or_compile(&keys[1]).unwrap();
+        reg.lookup(&keys[0]); // touch 0 so 1 is the LRU
+        reg.get_or_compile(&keys[2]).unwrap(); // evicts 1
+        assert_eq!(reg.evictions(), 1);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.lookup(&keys[0]).is_some(), "recently used survives");
+        assert!(reg.lookup(&keys[1]).is_none(), "LRU entry evicted");
+        // An evicted program recompiles on demand.
+        reg.get_or_compile(&keys[1]).unwrap();
+        assert_eq!(reg.compiles(), 4);
+    }
+
+    #[test]
+    fn concurrent_lookups_and_compiles_are_safe() {
+        let reg = Arc::new(Registry::new(3));
+        let keys: Vec<ProgramKey> = (0..6)
+            .map(|i| ProgramKey::new(src(i), RuntimeOptions::default()))
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let reg = Arc::clone(&reg);
+                let keys = &keys;
+                scope.spawn(move || {
+                    for i in 0..60 {
+                        // Six keys over a 3-entry cache: constant churn of
+                        // concurrent compiles, evictions, and lookups.
+                        let key = &keys[(t * 7 + i) % keys.len()];
+                        let entry = reg.get_or_compile(key).unwrap();
+                        assert_eq!(entry.source(), &**key.source());
+                    }
+                });
+            }
+        });
+        assert!(reg.len() <= 3, "capacity respected under churn");
+        // A working set that *fits* then hits the cache from every thread.
+        let (warm_base, hits_base) = (reg.compiles(), reg.hits());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let reg = Arc::clone(&reg);
+                let keys = &keys;
+                scope.spawn(move || {
+                    for i in 0..40 {
+                        reg.get_or_compile(&keys[i % 2]).unwrap();
+                    }
+                });
+            }
+        });
+        let (warm_compiles, warm_hits) = (reg.compiles() - warm_base, reg.hits() - hits_base);
+        assert!(
+            warm_compiles <= 2,
+            "a fitting working set compiles each program at most once more"
+        );
+        assert!(warm_hits > warm_compiles, "warm traffic hits the cache");
+    }
+}

@@ -1,0 +1,616 @@
+//! The concurrent solve service: a request queue, worker threads with
+//! micro-batching, and panic isolation at the request boundary.
+
+use crate::registry::{ProgramKey, Registry};
+use crate::stats::{LatencyHistogram, ServiceStats};
+use crate::{ServiceError, SolveError};
+use ps_executor::{Executor, Sequential, ThreadPool};
+use ps_runtime::{Inputs, Outputs, RuntimeOptions};
+use ps_support::rng::panic_message;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Knobs for [`Service::new`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceOptions {
+    /// Worker threads draining the request queue (clamped to ≥ 1). Each
+    /// worker serves one micro-batch at a time, so this is the service's
+    /// request-level parallelism.
+    pub workers: usize,
+    /// Intra-solve `DOALL` parallelism: 1 runs each solve sequentially on
+    /// its worker (the right default for many small solves); above 1 the
+    /// workers share one [`ThreadPool`] handle of this size.
+    pub solve_threads: usize,
+    /// Programs the registry caches before LRU eviction (clamped to ≥ 1).
+    pub registry_capacity: usize,
+    /// Most requests a worker batches per program pickup (clamped to ≥ 1).
+    pub batch_max: usize,
+    /// Runtime options used by the [`Service::register`] convenience
+    /// (requests carry their own options inside their [`ProgramKey`]).
+    pub runtime: RuntimeOptions,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> ServiceOptions {
+        ServiceOptions {
+            workers: 2,
+            solve_threads: 1,
+            registry_capacity: 32,
+            batch_max: 8,
+            runtime: RuntimeOptions::default(),
+        }
+    }
+}
+
+/// One solve request: which program (by registry key) and its inputs.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    pub key: ProgramKey,
+    pub inputs: Inputs,
+}
+
+impl SolveRequest {
+    pub fn new(key: ProgramKey, inputs: Inputs) -> SolveRequest {
+        SolveRequest { key, inputs }
+    }
+}
+
+/// The filled-exactly-once response cell a handle waits on. `Taken` is a
+/// distinct terminal state so a `wait` after `try_take` fails loudly
+/// instead of parking on a condvar that can never fire again.
+#[derive(Default)]
+enum ResponseCell {
+    #[default]
+    Pending,
+    Ready(Result<Outputs, SolveError>),
+    Taken,
+}
+
+#[derive(Default)]
+struct ResponseState {
+    cell: Mutex<ResponseCell>,
+    ready: Condvar,
+}
+
+impl ResponseState {
+    fn fulfill(&self, result: Result<Outputs, SolveError>) {
+        let mut cell = self.cell.lock().expect("response cell poisoned");
+        debug_assert!(
+            matches!(*cell, ResponseCell::Pending),
+            "a response is fulfilled exactly once"
+        );
+        *cell = ResponseCell::Ready(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A typed handle to one in-flight solve: block on [`wait`], poll with
+/// [`try_take`], or probe with [`is_ready`].
+///
+/// [`wait`]: ResponseHandle::wait
+/// [`try_take`]: ResponseHandle::try_take
+/// [`is_ready`]: ResponseHandle::is_ready
+pub struct ResponseHandle {
+    state: Arc<ResponseState>,
+}
+
+impl ResponseHandle {
+    /// Block until the response arrives and return it.
+    ///
+    /// # Panics
+    /// When the response was already consumed by [`try_take`] — waiting
+    /// for it again would otherwise park forever.
+    ///
+    /// [`try_take`]: ResponseHandle::try_take
+    pub fn wait(self) -> Result<Outputs, SolveError> {
+        let mut cell = self.state.cell.lock().expect("response cell poisoned");
+        loop {
+            match std::mem::replace(&mut *cell, ResponseCell::Taken) {
+                ResponseCell::Ready(result) => return result,
+                ResponseCell::Taken => {
+                    panic!("response was already consumed by try_take")
+                }
+                ResponseCell::Pending => {
+                    *cell = ResponseCell::Pending;
+                    cell = self.state.ready.wait(cell).expect("response cell poisoned");
+                }
+            }
+        }
+    }
+
+    /// Take the response if it already arrived (non-blocking; returns
+    /// `None` both while pending and after the response was taken).
+    pub fn try_take(&self) -> Option<Result<Outputs, SolveError>> {
+        let mut cell = self.state.cell.lock().expect("response cell poisoned");
+        match std::mem::replace(&mut *cell, ResponseCell::Taken) {
+            ResponseCell::Ready(result) => Some(result),
+            other => {
+                *cell = other;
+                None
+            }
+        }
+    }
+
+    /// Whether the response has arrived — `true` even after it was
+    /// consumed by [`try_take`] (so pollers can distinguish "still
+    /// pending" from "done").
+    ///
+    /// [`try_take`]: ResponseHandle::try_take
+    pub fn is_ready(&self) -> bool {
+        !matches!(
+            *self.state.cell.lock().expect("response cell poisoned"),
+            ResponseCell::Pending
+        )
+    }
+}
+
+/// One queued request.
+struct Pending {
+    key: ProgramKey,
+    inputs: Inputs,
+    state: Arc<ResponseState>,
+    submitted: Instant,
+}
+
+/// State shared between the handle type, the workers, and the queue.
+struct Inner {
+    queue: Mutex<VecDeque<Pending>>,
+    nonempty: Condvar,
+    /// Once set, `submit` rejects and workers exit after draining.
+    closed: AtomicBool,
+    registry: Registry,
+    batch_max: usize,
+    depth: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl Inner {
+    fn respond(&self, p: Pending, result: Result<Outputs, SolveError>) {
+        if result.is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(p.submitted.elapsed());
+        self.responses.fetch_add(1, Ordering::Relaxed);
+        p.state.fulfill(result);
+    }
+}
+
+/// An embeddable concurrent solve service.
+///
+/// `Service::new` spawns the worker threads; [`Service::submit`] enqueues
+/// a request and returns a [`ResponseHandle`] immediately. Requests that
+/// share a program are micro-batched onto one pooled run-slot session, and
+/// a request that panics mid-solve is isolated at the request boundary:
+/// its handle resolves to [`SolveError::Panicked`] while the worker — and
+/// every other request — carries on. Dropping the service (or calling
+/// [`Service::shutdown`]) drains the queue and joins the workers.
+pub struct Service {
+    inner: Arc<Inner>,
+    executor: Arc<dyn Executor>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    default_runtime: RuntimeOptions,
+}
+
+impl Service {
+    pub fn new(options: ServiceOptions) -> Service {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            nonempty: Condvar::new(),
+            closed: AtomicBool::new(false),
+            registry: Registry::new(options.registry_capacity),
+            batch_max: options.batch_max.max(1),
+            depth: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        });
+        // One executor shared by every worker: a `ThreadPool` handle when
+        // intra-solve parallelism was requested, otherwise `Sequential`
+        // (requests are the parallelism).
+        let executor: Arc<dyn Executor> = if options.solve_threads > 1 {
+            ThreadPool::shared(options.solve_threads)
+        } else {
+            Arc::new(Sequential)
+        };
+        let workers = (0..options.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let executor = Arc::clone(&executor);
+                std::thread::Builder::new()
+                    .name(format!("ps-service-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, &*executor))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service {
+            inner,
+            executor,
+            workers: Mutex::new(workers),
+            default_runtime: options.runtime,
+        }
+    }
+
+    /// Compile `source` into the registry (warming it) under the service's
+    /// default runtime options and return the key for submitting requests.
+    pub fn register(&self, source: &str) -> Result<ProgramKey, ServiceError> {
+        self.register_with(source, self.default_runtime)
+    }
+
+    /// Like [`Service::register`] with explicit runtime options.
+    pub fn register_with(
+        &self,
+        source: &str,
+        options: RuntimeOptions,
+    ) -> Result<ProgramKey, ServiceError> {
+        let key = ProgramKey::new(source, options);
+        self.inner.registry.get_or_compile(&key)?;
+        Ok(key)
+    }
+
+    /// Enqueue one request; returns immediately. The program compiles
+    /// lazily on first pickup if it was never registered.
+    pub fn submit(&self, request: SolveRequest) -> ResponseHandle {
+        let state = Arc::new(ResponseState::default());
+        {
+            // The closed check happens *under the queue lock* — `shutdown`
+            // flips the flag under the same lock, so a request can never
+            // slip into the queue after the workers were told to drain
+            // (it would hang forever with nobody left to serve it).
+            let mut queue = self.inner.queue.lock().expect("request queue poisoned");
+            if self.inner.closed.load(Ordering::Acquire) {
+                drop(queue);
+                state.fulfill(Err(SolveError::Shutdown));
+                return ResponseHandle { state };
+            }
+            self.inner.requests.fetch_add(1, Ordering::Relaxed);
+            self.inner.depth.fetch_add(1, Ordering::Relaxed);
+            queue.push_back(Pending {
+                key: request.key,
+                inputs: request.inputs,
+                state: Arc::clone(&state),
+                submitted: Instant::now(),
+            });
+        }
+        self.inner.nonempty.notify_one();
+        ResponseHandle { state }
+    }
+
+    /// Submit and block for the response (convenience).
+    pub fn solve(&self, key: &ProgramKey, inputs: Inputs) -> Result<Outputs, SolveError> {
+        self.submit(SolveRequest::new(key.clone(), inputs)).wait()
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = &self.inner;
+        ServiceStats {
+            requests: inner.requests.load(Ordering::Relaxed),
+            responses: inner.responses.load(Ordering::Relaxed),
+            errors: inner.errors.load(Ordering::Relaxed),
+            panics: inner.panics.load(Ordering::Relaxed),
+            batches: inner.batches.load(Ordering::Relaxed),
+            max_batch: inner.max_batch.load(Ordering::Relaxed),
+            queue_depth: inner.depth.load(Ordering::Relaxed),
+            compiles: inner.registry.compiles(),
+            cache_hits: inner.registry.hits(),
+            cache_evictions: inner.registry.evictions(),
+            p50: inner.latency.quantile(0.5),
+            p99: inner.latency.quantile(0.99),
+            mean: inner.latency.mean(),
+        }
+    }
+
+    /// The executor solves run on (the shared pool handle when
+    /// `solve_threads > 1`).
+    pub fn executor(&self) -> &Arc<dyn Executor> {
+        &self.executor
+    }
+
+    /// Stop accepting requests, drain the queue, and join the workers.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        {
+            // Flip the flag while holding the queue mutex: a worker that
+            // just observed `closed == false` still holds the lock, so its
+            // subsequent `Condvar::wait` releases it *before* this
+            // notification fires — the wakeup cannot be lost (and `join`
+            // below cannot deadlock on a sleeping worker).
+            let _queue = self.inner.queue.lock().expect("request queue poisoned");
+            self.inner.closed.store(true, Ordering::Release);
+        }
+        self.inner.nonempty.notify_all();
+        let handles: Vec<JoinHandle<()>> = {
+            let mut workers = self.workers.lock().expect("worker table poisoned");
+            workers.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Drain the queue until the service closes *and* the queue is empty:
+/// shutdown never abandons an accepted request.
+fn worker_loop(inner: &Inner, executor: &dyn Executor) {
+    loop {
+        let batch = {
+            let mut queue = inner.queue.lock().expect("request queue poisoned");
+            loop {
+                if let Some(first) = queue.pop_front() {
+                    let mut batch = vec![first];
+                    // Micro-batch: pull later requests for the *same*
+                    // program, leaving other keys in arrival order. All
+                    // batched requests share one registry lookup and one
+                    // pooled run-slot session below.
+                    let mut i = 0;
+                    while batch.len() < inner.batch_max && i < queue.len() {
+                        if queue[i].key == batch[0].key {
+                            batch.push(queue.remove(i).expect("index checked"));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    break batch;
+                }
+                if inner.closed.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = inner.nonempty.wait(queue).expect("request queue poisoned");
+            }
+        };
+        inner.depth.fetch_sub(batch.len() as u64, Ordering::Relaxed);
+        inner.batches.fetch_add(1, Ordering::Relaxed);
+        inner
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        match inner.registry.get_or_compile(&batch[0].key) {
+            Err(err) => {
+                // The whole batch shares the program, so it shares the
+                // compile failure.
+                let msg = err.to_string();
+                for p in batch {
+                    inner.respond(p, Err(SolveError::Compile(msg.clone())));
+                }
+            }
+            Ok(entry) => {
+                let mut session = entry.session();
+                for p in batch {
+                    // The request boundary: a panicking solve resolves
+                    // *this* handle to an error; the session drops the
+                    // claimed slot and the worker carries on.
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| session.run(&p.inputs, executor)));
+                    let result = match outcome {
+                        Ok(Ok(outputs)) => Ok(outputs),
+                        Ok(Err(e)) => Err(SolveError::Runtime(e.to_string())),
+                        Err(payload) => {
+                            inner.panics.fetch_add(1, Ordering::Relaxed);
+                            Err(SolveError::Panicked(panic_message(payload)))
+                        }
+                    };
+                    inner.respond(p, result);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECURRENCE: &str = "Compound: module (rate: real; n: int): [final: real];
+        type K = 2 .. n;
+        var balance: array [1 .. n] of real;
+        define
+            balance[1] = 1.0;
+            balance[K] = balance[K-1] * (1.0 + rate);
+            final = balance[n];
+        end Compound;";
+
+    /// Integer division panics on a zero divisor — the deliberate panic
+    /// injection used by the isolation tests.
+    const DIVIDER: &str = "Divider: module (p: int; q: int): [y: int];
+        define y = p div q; end Divider;";
+
+    fn service() -> Service {
+        Service::new(ServiceOptions::default())
+    }
+
+    #[test]
+    fn submit_and_wait_round_trip() {
+        let svc = service();
+        let key = svc.register(RECURRENCE).unwrap();
+        let out = svc
+            .solve(&key, Inputs::new().set_real("rate", 0.5).set_int("n", 10))
+            .unwrap();
+        assert!((out.scalar("final").as_real() - 1.5f64.powi(9)).abs() < 1e-9);
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.responses, 1);
+        assert_eq!(stats.compiles, 1);
+        assert!(stats.p50 > Duration::from_nanos(0));
+    }
+
+    use std::time::Duration;
+
+    #[test]
+    fn batching_shares_one_registry_hit() {
+        let svc = service();
+        let key = svc.register(RECURRENCE).unwrap();
+        let handles: Vec<ResponseHandle> = (0..16)
+            .map(|i| {
+                svc.submit(SolveRequest::new(
+                    key.clone(),
+                    Inputs::new()
+                        .set_real("rate", 0.5)
+                        .set_int("n", 4 + (i % 3)),
+                ))
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.responses, 16);
+        assert!(
+            stats.cache_hits > stats.compiles,
+            "warm path: hits {} > compiles {}",
+            stats.cache_hits,
+            stats.compiles
+        );
+    }
+
+    #[test]
+    fn a_panicking_request_is_isolated() {
+        let svc = service();
+        let key = svc.register(DIVIDER).unwrap();
+        let ok1 = svc.solve(&key, Inputs::new().set_int("p", 7).set_int("q", 2));
+        assert_eq!(ok1.unwrap().scalar("y").as_int(), 3);
+        let boom = svc.solve(&key, Inputs::new().set_int("p", 7).set_int("q", 0));
+        match boom {
+            Err(SolveError::Panicked(msg)) => assert!(msg.contains("div"), "{msg}"),
+            other => panic!("expected a panic response, got {other:?}"),
+        }
+        // The same worker keeps serving correct answers afterwards.
+        for _ in 0..4 {
+            let ok = svc
+                .solve(&key, Inputs::new().set_int("p", 9).set_int("q", 3))
+                .unwrap();
+            assert_eq!(ok.scalar("y").as_int(), 3);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn missing_input_is_a_runtime_error_not_a_crash() {
+        let svc = service();
+        let key = svc.register(RECURRENCE).unwrap();
+        let r = svc.solve(&key, Inputs::new().set_real("rate", 0.5));
+        match r {
+            Err(SolveError::Runtime(msg)) => assert!(msg.contains("missing input"), "{msg}"),
+            other => panic!("expected runtime error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_errors_reach_every_batched_request() {
+        let svc = service();
+        let bad = ProgramKey::new("garbage ???", RuntimeOptions::default());
+        let handles: Vec<ResponseHandle> = (0..3)
+            .map(|_| svc.submit(SolveRequest::new(bad.clone(), Inputs::new())))
+            .collect();
+        for h in handles {
+            match h.wait() {
+                Err(SolveError::Compile(_)) => {}
+                other => panic!("expected compile error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_take_then_wait_fails_loudly_instead_of_hanging() {
+        let svc = service();
+        let key = svc.register(RECURRENCE).unwrap();
+        let h = svc.submit(SolveRequest::new(
+            key,
+            Inputs::new().set_real("rate", 0.5).set_int("n", 6),
+        ));
+        let taken = loop {
+            if let Some(result) = h.try_take() {
+                break result;
+            }
+            std::thread::yield_now();
+        };
+        taken.unwrap();
+        assert!(h.is_ready(), "consumed responses still read as done");
+        assert!(h.try_take().is_none(), "a response is taken at most once");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || h.wait()));
+        assert!(outcome.is_err(), "waiting on a consumed response panics");
+    }
+
+    #[test]
+    fn shutdown_races_with_submitters_without_losing_requests() {
+        // Hammer the submit/shutdown race: every handle must resolve —
+        // either with a real response (enqueued before the close) or with
+        // a Shutdown rejection — never by hanging on a request that
+        // slipped into a queue nobody drains.
+        for round in 0..24 {
+            let svc = Service::new(ServiceOptions {
+                workers: 2,
+                ..Default::default()
+            });
+            let key = svc.register(RECURRENCE).unwrap();
+            std::thread::scope(|scope| {
+                for t in 0..3 {
+                    let svc = &svc;
+                    let key = key.clone();
+                    scope.spawn(move || {
+                        for i in 0..8 {
+                            let h = svc.submit(SolveRequest::new(
+                                key.clone(),
+                                Inputs::new()
+                                    .set_real("rate", 0.25)
+                                    .set_int("n", 3 + ((t + i) % 5) as i64),
+                            ));
+                            match h.wait() {
+                                Ok(_) | Err(SolveError::Shutdown) => {}
+                                other => panic!("unexpected outcome {other:?}"),
+                            }
+                        }
+                    });
+                }
+                if round % 2 == 0 {
+                    std::thread::yield_now();
+                }
+                svc.shutdown();
+            });
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_then_rejects() {
+        let svc = service();
+        let key = svc.register(RECURRENCE).unwrap();
+        let pending: Vec<ResponseHandle> = (0..8)
+            .map(|_| {
+                svc.submit(SolveRequest::new(
+                    key.clone(),
+                    Inputs::new().set_real("rate", 0.1).set_int("n", 50),
+                ))
+            })
+            .collect();
+        svc.shutdown();
+        // Accepted requests were served, not abandoned.
+        for h in pending {
+            h.wait().unwrap();
+        }
+        // New requests are rejected immediately.
+        match svc.solve(&key, Inputs::new().set_real("rate", 0.1).set_int("n", 5)) {
+            Err(SolveError::Shutdown) => {}
+            other => panic!("expected shutdown rejection, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-service counters and a lock-free log₂ latency histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets: bucket `i` counts samples whose
+/// nanosecond latency has `floor(log2(ns)) == i` (bucket 0 also takes
+/// sub-nanosecond samples). 2⁶³ ns ≈ 292 years, so the top bucket is
+/// unreachable in practice.
+const BUCKETS: usize = 64;
+
+/// Lock-free latency histogram: recording is one relaxed `fetch_add`, so
+/// worker threads never contend on a lock for bookkeeping. Quantiles are
+/// read by scanning the bucket counts (each reported value is the upper
+/// bound of its bucket, i.e. within 2× of the true sample).
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub(crate) fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        let idx = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// The latency below which a fraction `q` (0..=1) of samples fall,
+    /// reported as the enclosing bucket's upper bound. Zero when nothing
+    /// was recorded yet.
+    pub(crate) fn quantile(&self, q: f64) -> Duration {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Duration::from_nanos(upper);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    pub(crate) fn mean(&self) -> Duration {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / total)
+    }
+}
+
+/// A point-in-time snapshot of a service's counters, returned by
+/// [`crate::Service::stats`].
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests accepted by `submit` (including ones still queued).
+    pub requests: u64,
+    /// Responses delivered (success or error).
+    pub responses: u64,
+    /// Responses that carried an error (compile, runtime, or panic).
+    pub errors: u64,
+    /// Requests whose solve panicked (isolated at the request boundary).
+    pub panics: u64,
+    /// Worker micro-batches executed.
+    pub batches: u64,
+    /// Largest micro-batch executed so far.
+    pub max_batch: u64,
+    /// Requests currently queued (a gauge, racy by nature).
+    pub queue_depth: u64,
+    /// Programs compiled into the registry.
+    pub compiles: u64,
+    /// Registry lookups served from cache.
+    pub cache_hits: u64,
+    /// Registry entries evicted to stay within capacity.
+    pub cache_evictions: u64,
+    /// Median submit→response latency (log₂-bucket upper bound).
+    pub p50: Duration,
+    /// 99th-percentile submit→response latency (log₂-bucket upper bound).
+    pub p99: Duration,
+    /// Mean submit→response latency.
+    pub mean: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_land_in_the_right_buckets() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples (~1 µs), 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(1));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 >= Duration::from_micros(1) && p50 < Duration::from_micros(3));
+        assert!(p99 >= Duration::from_millis(1) && p99 < Duration::from_millis(3));
+        assert!(h.mean() > p50 / 2, "mean pulled up by the slow tail");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_duration_is_recorded() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(1));
+    }
+}

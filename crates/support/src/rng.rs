@@ -150,7 +150,7 @@ where
     let run = |value: &T| -> PropResult {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(value))) {
             Ok(r) => r,
-            Err(payload) => Err(panic_message(payload)),
+            Err(payload) => Err(format!("panic: {}", panic_message(payload))),
         }
     };
     let mut rng = Lcg::new(seed);
@@ -216,13 +216,16 @@ where
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Extract a human-readable message from a caught panic payload (the
+/// `Box<dyn Any>` `catch_unwind` returns). Shared by the shrinking driver
+/// here and by panic-isolating servers (`ps-service`).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        format!("panic: {s}")
+        (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
-        format!("panic: {s}")
+        s.clone()
     } else {
-        "panic: <non-string payload>".to_string()
+        "<non-string panic payload>".to_string()
     }
 }
 

@@ -1,0 +1,93 @@
+//! Embed the concurrent solve service: one `Service`, several programs,
+//! many clients.
+//!
+//! ```sh
+//! cargo run --example solve_service
+//! ```
+//!
+//! Three built-in programs are registered once; twelve client threads then
+//! fire mixed requests at the shared service. Requests that share a
+//! program are micro-batched onto one pooled run-slot, the registry serves
+//! every artifact from cache after its single compile, and one deliberately
+//! poisoned request (a divide-by-zero panic) is isolated at the request
+//! boundary while the workers keep serving.
+
+use ps_core::{programs, Inputs, Service, ServiceOptions, SolveError, SolveRequest};
+
+fn main() {
+    let service = Service::new(ServiceOptions {
+        workers: 4,
+        batch_max: 8,
+        ..Default::default()
+    });
+
+    // Compile once per program (warms the registry).
+    let compound = service.register(programs::RECURRENCE_1D).unwrap();
+    let table = service.register(programs::TABLE_2D).unwrap();
+    let divider = service
+        .register("Divider: module (p: int; q: int): [y: int]; define y = p div q; end Divider;")
+        .unwrap();
+
+    // Twelve concurrent clients, mixed programs and parameters.
+    std::thread::scope(|scope| {
+        for t in 0..12u32 {
+            let service = &service;
+            let (compound, table) = (compound.clone(), table.clone());
+            scope.spawn(move || {
+                for i in 0..8u32 {
+                    let (key, inputs) = if (t + i) % 2 == 0 {
+                        (
+                            compound.clone(),
+                            Inputs::new()
+                                .set_real("rate", 0.01 * (1 + t) as f64)
+                                .set_int("n", 16 + (i % 4) as i64),
+                        )
+                    } else {
+                        (
+                            table.clone(),
+                            Inputs::new().set_int("n", 8 + (i % 3) as i64),
+                        )
+                    };
+                    let out = service.submit(SolveRequest::new(key, inputs)).wait();
+                    assert!(out.is_ok(), "healthy requests always solve");
+                }
+            });
+        }
+    });
+
+    // A poisoned request: the panic is caught at the request boundary.
+    match service.solve(&divider, Inputs::new().set_int("p", 1).set_int("q", 0)) {
+        Err(SolveError::Panicked(msg)) => {
+            println!("poisoned request isolated: {msg}");
+        }
+        other => panic!("expected an isolated panic, got {other:?}"),
+    }
+    // ...and the very next request on the same workers still solves.
+    let err = service
+        .solve(&divider, Inputs::new().set_int("p", 9))
+        .err()
+        .map(|e| e.to_string());
+    assert!(
+        err.unwrap().contains("missing input"),
+        "runtime errors are typed too"
+    );
+    let y = service
+        .solve(&divider, Inputs::new().set_int("p", 9).set_int("q", 3))
+        .unwrap();
+    assert_eq!(y.scalar("y").as_int(), 3);
+
+    let stats = service.stats();
+    println!(
+        "served {} requests in {} batches (max batch {}) | compiles {} cache-hits {} | \
+         p50 {:?} p99 {:?} | panics isolated: {}",
+        stats.responses,
+        stats.batches,
+        stats.max_batch,
+        stats.compiles,
+        stats.cache_hits,
+        stats.p50,
+        stats.p99,
+        stats.panics,
+    );
+    assert!(stats.cache_hits > stats.compiles, "warm registry");
+}

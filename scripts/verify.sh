@@ -50,6 +50,38 @@ grep -q 'chain/percall' "$json_out" && grep -q 'chain/program' "$json_out" \
     && grep -q 'jacobi/program' "$json_out" \
     || { echo "bench-json smoke: $json_out missing expected fields" >&2; exit 1; }
 
+echo "==> bench-JSON smoke (exec_serve: service throughput)"
+json_out="$PWD/target/bench_serve_smoke.json"
+rm -f "$json_out"
+PS_BENCH_WARMUP=1 PS_BENCH_SAMPLES=2 \
+    cargo bench --offline --bench exec_serve -- --bench-json "$json_out" >/dev/null
+grep -q 'serve_warm/w4' "$json_out" && grep -q 'percall_compile_run' "$json_out" \
+    && grep -q 'serve_cold' "$json_out" \
+    || { echo "bench-json smoke: $json_out missing expected fields" >&2; exit 1; }
+
+echo "==> ps-serve TCP round-trip smoke (ephemeral port)"
+serve_log="$PWD/target/ps_serve_smoke.log"
+rm -f "$serve_log"
+./target/release/ps-serve listen --addr 127.0.0.1:0 --workers 2 >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$serve_log" | head -n 1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "ps-serve did not announce a port" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+load_out=$(./target/release/ps-serve load --addr "$addr" --clients 2 --requests 16 \
+               --program recurrence_1d --vary n=8:24) \
+    || { echo "ps-serve load failed" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+echo "$load_out"
+echo "$load_out" | grep -q ' 0 err ' \
+    || { echo "ps-serve load saw error responses" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+echo "$load_out" | grep -Eq 'cache_hits=[1-9]' \
+    || { echo "warm registry did not report cache hits" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+./target/release/ps-serve shutdown --addr "$addr" >/dev/null
+wait "$serve_pid" 2>/dev/null || true
+
 echo "==> cargo doc --offline --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -q
 
