@@ -1,0 +1,476 @@
+//! Per-equation forward dataflow: definite assignment + interval analysis.
+//!
+//! Tape control flow is forward-only (every branch target points past the
+//! branch), so instruction order is a topological order of the CFG and a
+//! single forward pass with per-edge state joins computes, for every step:
+//!
+//! * which registers are *definitely assigned* on **all** paths reaching
+//!   it (meet = intersection over incoming edges), and
+//! * a symbolic interval for every integer register (join = convex hull),
+//!   refined along the edges of fused compare-and-branch guards.
+
+use crate::interval::{fmt_affine, refine, Facts, Ival};
+use crate::ir::{ADim, AProgram, ArrayIx, CmpInfo, CmpOp, EqIx, EqTape, IVal, Reg, Step};
+use crate::report::Verdict;
+use ps_lang::Affine;
+use ps_support::diag::Diagnostic;
+use std::collections::HashSet;
+
+/// One enclosing scheduled loop, as seen by one equation.
+pub struct LoopCtx<'a> {
+    pub parallel: bool,
+    pub name: &'a str,
+    pub lo: &'a Affine,
+    pub hi: &'a Affine,
+    /// The i-register this equation binds the counter to.
+    pub counter: u16,
+}
+
+/// Verdict for one array load.
+pub struct LoadOutcome {
+    pub array: ArrayIx,
+    pub verdict: Verdict,
+}
+
+/// Everything the driver needs to know about an equation's final store.
+pub struct StoreOutcome {
+    pub array: ArrayIx,
+    pub in_bounds: Verdict,
+    /// Injective over *every* enclosing counter: two distinct iteration
+    /// vectors of the enclosing loop nest never write the same element
+    /// (per-equation single assignment).
+    pub injective: bool,
+    /// Injective over the parallel (DOALL) counters alone, with the
+    /// sequential counters held fixed — the paper's independence condition
+    /// for the innermost parallel nest.
+    pub doall_injective: bool,
+    /// An enclosing counter the address provably does not depend on —
+    /// iterations overwrite each other (reported as E0603).
+    pub overlap: Option<String>,
+    /// Write interval per logical dimension, at tape exit.
+    pub dims: Vec<Ival>,
+}
+
+/// Result of analyzing one equation in one scheduled region.
+pub struct EqOutcome {
+    pub diags: Vec<Diagnostic>,
+    pub loads: Vec<LoadOutcome>,
+    pub store: Option<StoreOutcome>,
+}
+
+/// Dataflow state at one program point.
+#[derive(Clone)]
+struct State {
+    f: Vec<bool>,
+    i: Vec<bool>,
+    b: Vec<bool>,
+    iv: Vec<Ival>,
+}
+
+impl State {
+    fn defined(&self, reg: Reg) -> bool {
+        match reg {
+            Reg::F(r) => self.f[r as usize],
+            Reg::I(r) => self.i[r as usize],
+            Reg::B(r) => self.b[r as usize],
+        }
+    }
+
+    fn define(&mut self, reg: Reg) {
+        match reg {
+            Reg::F(r) => self.f[r as usize] = true,
+            Reg::I(r) => {
+                self.i[r as usize] = true;
+                self.iv[r as usize] = Ival::top();
+            }
+            Reg::B(r) => self.b[r as usize] = true,
+        }
+    }
+
+    /// Meet definedness (intersection), join intervals (hull).
+    fn merge_from(&mut self, other: &State, facts: &Facts) {
+        for (d, s) in self.f.iter_mut().zip(&other.f) {
+            *d &= s;
+        }
+        for (d, s) in self.i.iter_mut().zip(&other.i) {
+            *d &= s;
+        }
+        for (d, s) in self.b.iter_mut().zip(&other.b) {
+            *d &= s;
+        }
+        for (d, s) in self.iv.iter_mut().zip(&other.iv) {
+            *d = d.join(s, facts);
+        }
+    }
+}
+
+fn merge(states: &mut [Option<State>], target: usize, st: State, facts: &Facts) {
+    match &mut states[target] {
+        Some(cur) => cur.merge_from(&st, facts),
+        slot => *slot = Some(st),
+    }
+}
+
+/// Copy `st` onto the edge where `a op b` effectively holds, refining the
+/// interval of either operand when the other is a known single value.
+fn refine_edge(st: &State, c: &CmpInfo, op: CmpOp) -> State {
+    let mut out = st.clone();
+    if let (Reg::I(a), Reg::I(b)) = (c.a, c.b) {
+        let (a, b) = (a as usize, b as usize);
+        if let Some(k) = st.iv[b].singleton().cloned() {
+            out.iv[a] = refine(&st.iv[a], op, &k);
+        }
+        if let Some(k) = st.iv[a].singleton().cloned() {
+            out.iv[b] = refine(&st.iv[b], op.swap(), &k);
+        }
+    }
+    out
+}
+
+/// Interval of one address dimension under `st`.
+fn dim_interval(d: &ADim, st: &State) -> Ival {
+    let mut lo = Some(Affine::constant(d.base));
+    let mut hi = Some(Affine::constant(d.base));
+    for &(r, c) in &d.terms {
+        let iv = &st.iv[r as usize];
+        let (end_lo, end_hi) = if c >= 0 {
+            (&iv.lo, &iv.hi)
+        } else {
+            (&iv.hi, &iv.lo)
+        };
+        lo = match (lo, end_lo) {
+            (Some(acc), Some(x)) => Some(acc.add(&x.scale(c))),
+            _ => None,
+        };
+        hi = match (hi, end_hi) {
+            (Some(acc), Some(x)) => Some(acc.add(&x.scale(c))),
+            _ => None,
+        };
+    }
+    Ival { lo, hi }
+}
+
+/// Prove every dimension of an access inside its declared bounds.
+/// Returns the combined verdict and the per-dimension intervals; provable
+/// violations are emitted as `E0602` diagnostics.
+#[allow(clippy::too_many_arguments)]
+fn access_check(
+    p: &AProgram,
+    array: ArrayIx,
+    dims: &[ADim],
+    st: &State,
+    facts: &Facts,
+    eq_label: &str,
+    what: &str,
+    region: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> (Verdict, Vec<Ival>) {
+    let info = &p.arrays[array];
+    let mut verdict = Verdict::Proven;
+    let mut ivals = Vec::with_capacity(dims.len());
+    for (d, (adim, dim)) in dims.iter().zip(&info.dims).enumerate() {
+        let iv = dim_interval(adim, st);
+        let mut side = |end: &Option<Affine>, declared: &Affine, below: bool| {
+            // Proven: end inside the declared bound for all admissible
+            // parameter vectors. Rejected: provably outside by a constant
+            // margin. Otherwise: leave to the runtime checks.
+            let proven = match end {
+                Some(e) if below => facts.le(declared, e),
+                Some(e) => facts.le(e, declared),
+                None => false,
+            };
+            if proven {
+                return;
+            }
+            let exceeded = match end {
+                Some(e) if below => {
+                    matches!(declared.const_difference(e), Some(k) if k > 0)
+                }
+                Some(e) => matches!(e.const_difference(declared), Some(k) if k > 0),
+                None => false,
+            };
+            if exceeded {
+                verdict = Verdict::Rejected;
+                let word = if below { "below" } else { "above" };
+                diags.push(Diagnostic::error(
+                    "E0602",
+                    format!(
+                        "{eq_label}: {what} of {} dimension {d} reaches index {} — \
+                         {word} the declared bounds {}..{} (region: {region})",
+                        info.name,
+                        end.as_ref().map(|e| fmt_affine(e)).unwrap_or_default(),
+                        fmt_affine(&dim.lo),
+                        fmt_affine(&dim.hi),
+                    ),
+                ));
+            } else if verdict == Verdict::Proven {
+                verdict = Verdict::RuntimeChecks;
+            }
+        };
+        side(&iv.lo, &dim.lo, true);
+        side(&iv.hi, &dim.hi, false);
+        ivals.push(iv);
+    }
+    (verdict, ivals)
+}
+
+/// Greedy triangular pinning: the store address is injective in `counters`
+/// if we can repeatedly find a dimension whose terms involve exactly one
+/// unpinned counter (nonzero coefficient) and otherwise only pinned
+/// counters or iteration-invariant registers. Equal addresses then force
+/// the counters equal one at a time.
+pub(crate) fn injective_in(
+    dims: &[ADim],
+    counters: &[u16],
+    invariant: &dyn Fn(u16) -> bool,
+) -> bool {
+    let mut unpinned: Vec<u16> = counters.to_vec();
+    let mut pinned: Vec<u16> = Vec::new();
+    let mut avail = vec![true; dims.len()];
+    while !unpinned.is_empty() {
+        let mut pick = None;
+        'dims: for (dix, d) in dims.iter().enumerate() {
+            if !avail[dix] {
+                continue;
+            }
+            let mut sole: Option<u16> = None;
+            for &(r, c) in &d.terms {
+                if unpinned.contains(&r) {
+                    if c == 0 {
+                        continue;
+                    }
+                    match sole {
+                        None => sole = Some(r),
+                        Some(s) if s == r => {}
+                        Some(_) => continue 'dims,
+                    }
+                } else if !(pinned.contains(&r) || invariant(r)) {
+                    // A register that may vary between iterations without
+                    // being a counter (e.g. a dynamic subscript).
+                    continue 'dims;
+                }
+            }
+            if let Some(r) = sole {
+                pick = Some((dix, r));
+                break;
+            }
+        }
+        match pick {
+            Some((dix, r)) => {
+                avail[dix] = false;
+                unpinned.retain(|&x| x != r);
+                pinned.push(r);
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Analyze one equation occurrence under its enclosing loop context.
+pub fn analyze_eq(
+    p: &AProgram,
+    eq_ix: EqIx,
+    loops: &[LoopCtx<'_>],
+    facts: &Facts,
+    region: &str,
+) -> EqOutcome {
+    let eq: &EqTape = &p.eqs[eq_ix];
+    let n = eq.steps.len();
+    let mut diags = Vec::new();
+    let mut loads = Vec::new();
+    let mut reported: HashSet<(u8, u16)> = HashSet::new();
+
+    // --- entry state ---
+    let mut entry = State {
+        f: vec![false; eq.n_f as usize],
+        i: vec![false; eq.n_i as usize],
+        b: vec![false; eq.n_b as usize],
+        iv: vec![Ival::top(); eq.n_i as usize],
+    };
+    for &r in &eq.entry_f {
+        entry.f[r as usize] = true;
+    }
+    for &r in &eq.entry_b {
+        entry.b[r as usize] = true;
+    }
+    for (r, v) in eq.ivals.iter().enumerate() {
+        match v {
+            IVal::Counter => {
+                // Defined only when some enclosing loop actually binds it;
+                // a counter no loop binds is a schedule defect and shows up
+                // as use-before-assignment below.
+                if let Some(lc) = loops.iter().find(|l| l.counter == r as u16) {
+                    entry.i[r] = true;
+                    entry.iv[r] = Ival::range(lc.lo.clone(), lc.hi.clone());
+                }
+            }
+            IVal::Exact(a) => {
+                entry.i[r] = true;
+                entry.iv[r] = Ival::exact(a.clone());
+            }
+            IVal::Opaque => entry.i[r] = true,
+            IVal::Temp => {}
+        }
+    }
+
+    let mut check_use = |st: &State, reg: Reg, at: &str, diags: &mut Vec<Diagnostic>| {
+        if st.defined(reg) {
+            return;
+        }
+        let key = match reg {
+            Reg::F(r) => (0u8, r),
+            Reg::I(r) => (1, r),
+            Reg::B(r) => (2, r),
+        };
+        if reported.insert(key) {
+            diags.push(Diagnostic::error(
+                "E0601",
+                format!(
+                    "{}: register {reg} may be read before assignment at {at} \
+                     — some control path reaches it without a definition \
+                     (region: {region})",
+                    eq.label
+                ),
+            ));
+        }
+    };
+
+    // --- forward pass ---
+    let mut states: Vec<Option<State>> = vec![None; n + 1];
+    states[0] = Some(entry);
+    for ix in 0..n {
+        let Some(st) = states[ix].clone() else {
+            continue; // unreachable step
+        };
+        let mut st = st;
+        match &eq.steps[ix] {
+            Step::Op { uses, def } => {
+                for &u in uses {
+                    check_use(&st, u, &format!("step {ix}"), &mut diags);
+                }
+                if let Some(d) = def {
+                    st.define(*d);
+                }
+                merge(&mut states, ix + 1, st, facts);
+            }
+            Step::CopyI { src, dst } => {
+                check_use(&st, Reg::I(*src), &format!("step {ix}"), &mut diags);
+                let iv = st.iv[*src as usize].clone();
+                st.i[*dst as usize] = true;
+                st.iv[*dst as usize] = iv;
+                merge(&mut states, ix + 1, st, facts);
+            }
+            Step::Load { array, addr, def } => {
+                for dim in addr {
+                    for &(r, _) in &dim.terms {
+                        check_use(&st, Reg::I(r), &format!("step {ix} (address)"), &mut diags);
+                    }
+                }
+                let (verdict, _) = access_check(
+                    p, *array, addr, &st, facts, &eq.label, "load", region, &mut diags,
+                );
+                loads.push(LoadOutcome {
+                    array: *array,
+                    verdict,
+                });
+                st.define(*def);
+                merge(&mut states, ix + 1, st, facts);
+            }
+            Step::Jump { target } => merge(&mut states, *target, st, facts),
+            Step::Branch { uses, target, cmp } => {
+                for &u in uses {
+                    check_use(&st, u, &format!("step {ix}"), &mut diags);
+                }
+                let (jump_st, fall_st) = match cmp {
+                    Some(c) => {
+                        let jop = if c.jump_on_true { c.op } else { c.op.negate() };
+                        (refine_edge(&st, c, jop), refine_edge(&st, c, jop.negate()))
+                    }
+                    None => (st.clone(), st),
+                };
+                merge(&mut states, *target, jump_st, facts);
+                merge(&mut states, ix + 1, fall_st, facts);
+            }
+        }
+    }
+
+    // --- exit: result + final store ---
+    let exit = states[n].take();
+    let store = match (&eq.store, exit) {
+        (_, None) => None, // no path reaches exit: vacuous (empty tape only)
+        (store, Some(exit)) => {
+            check_use(&exit, eq.result, "tape exit (result)", &mut diags);
+            store.as_ref().map(|sp| {
+                for dim in &sp.dims {
+                    for &(r, _) in &dim.terms {
+                        check_use(&exit, Reg::I(r), "tape exit (store address)", &mut diags);
+                    }
+                }
+                let (in_bounds, dims) = access_check(
+                    p, sp.array, &sp.dims, &exit, facts, &eq.label, "store", region, &mut diags,
+                );
+                let invariant = |r: u16| {
+                    matches!(
+                        eq.ivals.get(r as usize),
+                        Some(IVal::Exact(_)) | Some(IVal::Opaque)
+                    )
+                };
+                let all: Vec<u16> = loops.iter().map(|l| l.counter).collect();
+                let par: Vec<u16> = loops
+                    .iter()
+                    .filter(|l| l.parallel)
+                    .map(|l| l.counter)
+                    .collect();
+                // Sequential counters are fixed while a DOALL nest runs.
+                let seq: Vec<u16> = loops
+                    .iter()
+                    .filter(|l| !l.parallel)
+                    .map(|l| l.counter)
+                    .collect();
+                let overlap = all
+                    .iter()
+                    .find(|&&c| {
+                        sp.dims
+                            .iter()
+                            .all(|d| d.terms.iter().all(|&(r, k)| r != c || k == 0))
+                    })
+                    .map(|&c| {
+                        loops
+                            .iter()
+                            .find(|l| l.counter == c)
+                            .map(|l| l.name.to_string())
+                            .unwrap_or_else(|| format!("i{c}"))
+                    });
+                if let Some(name) = &overlap {
+                    diags.push(Diagnostic::error(
+                        "E0603",
+                        format!(
+                            "{}: store address into {} never varies with enclosing \
+                             counter {name} — loop iterations overwrite the same \
+                             elements (region: {region})",
+                            eq.label, p.arrays[sp.array].name
+                        ),
+                    ));
+                }
+                let injective = injective_in(&sp.dims, &all, &invariant);
+                let doall_injective =
+                    injective_in(&sp.dims, &par, &|r| invariant(r) || seq.contains(&r));
+                StoreOutcome {
+                    array: sp.array,
+                    in_bounds,
+                    injective,
+                    doall_injective,
+                    overlap,
+                    dims,
+                }
+            })
+        }
+    };
+
+    EqOutcome {
+        diags,
+        loads,
+        store,
+    }
+}

@@ -1,0 +1,674 @@
+//! `ps-analyze` — static verification of compiled PS tapes.
+//!
+//! The paper's contribution is a *static* legality argument: loop-level
+//! parallelism is safe because the compiler proves loop iterations
+//! independent before scheduling them. This crate re-proves that argument
+//! on the compiled artifact itself — a branch-aware abstract interpretation
+//! of the register tapes the runtime actually executes — so the unchecked
+//! engine's assumptions become theorems rather than trust. Three analyses
+//! run over an [`AProgram`]:
+//!
+//! 1. **Def-before-use** — a forward definite-assignment pass over every
+//!    f64/i64/bool register file. Tape control flow is forward-only, so one
+//!    pass with intersection joins covers all control paths through the
+//!    fused compare-and-branch guards.
+//! 2. **In-bounds addressing** — interval analysis with [`ps_lang::Affine`]
+//!    endpoints over the integer registers. Loop counters seed from their
+//!    schedule ranges, guard edges refine intervals (`I ≠ 0` excludes an
+//!    endpoint, `I = M+1` pins a value), and every affine address is
+//!    compared against the array's declared bounds for *all admissible
+//!    parameter vectors* — using the fact base that declared dimensions
+//!    are non-empty whenever the program instantiates at all.
+//! 3. **Write-disjointness** — the paper's independence condition: store
+//!    addresses must be injective in the loop induction registers (greedy
+//!    triangular pinning over the affine coefficients), plus pairwise
+//!    interval disjointness across equations targeting the same array.
+//!
+//! Verdicts are three-valued: `Proven`, `RuntimeChecks` (undecidable —
+//! e.g. dynamic subscripts — left to the runtime's checked mode), and
+//! `Rejected` (provably violated, an `E06xx` error diagnostic naming
+//! equation, region and instruction). Arrays whose every access is proven
+//! may skip the runtime's checked-writes shadow tags entirely; see
+//! [`Report::verified_mask`].
+
+#![forbid(unsafe_code)]
+
+mod eq;
+mod interval;
+mod ir;
+mod report;
+
+pub use eq::{analyze_eq, EqOutcome, LoadOutcome, LoopCtx, StoreOutcome};
+pub use interval::{fmt_affine, Facts, Ival};
+pub use ir::{
+    ADim, AProgram, ArrayInfo, ArrayIx, CmpInfo, CmpOp, DimInfo, EqIx, EqTape, IVal, Node, Reg,
+    Step, StoreSpec,
+};
+pub use report::{ArrayReport, Report, Verdict};
+
+use ps_lang::Affine;
+use ps_support::diag::Diagnostic;
+
+struct StoreRec {
+    array: ArrayIx,
+    eq_label: String,
+    in_bounds: Verdict,
+    injective: bool,
+    overlap: bool,
+    dims: Vec<Ival>,
+}
+
+struct Acc {
+    diags: Vec<Diagnostic>,
+    eq_lines: Vec<String>,
+    loads: Vec<Vec<Verdict>>,
+    stores: Vec<StoreRec>,
+}
+
+struct StackLoop<'a> {
+    parallel: bool,
+    name: &'a str,
+    lo: &'a Affine,
+    hi: &'a Affine,
+    bindings: &'a [(EqIx, u16)],
+}
+
+/// Run all three analyses over `p`.
+pub fn analyze(p: &AProgram) -> Report {
+    // Premise base: every declared array dimension `lo..hi` is non-empty
+    // for any parameter vector the runtime accepts (instantiation fails
+    // otherwise), so `lo ≤ hi` are global facts.
+    let mut base = Facts::new();
+    for a in &p.arrays {
+        for d in &a.dims {
+            base.push(d.lo.clone(), d.hi.clone());
+        }
+    }
+    let mut acc = Acc {
+        diags: Vec::new(),
+        eq_lines: Vec::new(),
+        loads: vec![Vec::new(); p.arrays.len()],
+        stores: Vec::new(),
+    };
+    let mut facts = base.clone();
+    let mut stack = Vec::new();
+    walk(p, &p.schedule, &mut stack, &mut facts, &mut acc);
+
+    let mut arrays = Vec::with_capacity(p.arrays.len());
+    for (aix, info) in p.arrays.iter().enumerate() {
+        let loads = &acc.loads[aix];
+        let stores: Vec<&StoreRec> = acc.stores.iter().filter(|s| s.array == aix).collect();
+        let mut notes: Vec<String> = Vec::new();
+        let rejected = loads.iter().any(|v| *v == Verdict::Rejected)
+            || stores
+                .iter()
+                .any(|s| s.in_bounds == Verdict::Rejected || s.overlap);
+        let mut writes_ok = stores
+            .iter()
+            .all(|s| s.in_bounds == Verdict::Proven && s.injective && !s.overlap);
+        // Cross-equation disjointness: two equations targeting the same
+        // array must be separated in at least one dimension. Only the
+        // global fact base applies here (loop-local facts are conditional
+        // on that loop running).
+        for i in 0..stores.len() {
+            for j in i + 1..stores.len() {
+                if !dims_disjoint(&stores[i].dims, &stores[j].dims, &base) {
+                    writes_ok = false;
+                    notes.push(format!(
+                        "writes of {} and {} not provably disjoint",
+                        stores[i].eq_label, stores[j].eq_label
+                    ));
+                }
+            }
+        }
+        let reads_ok = loads.iter().all(|v| *v == Verdict::Proven);
+        let verdict = if rejected {
+            Verdict::Rejected
+        } else if writes_ok && reads_ok {
+            Verdict::Proven
+        } else {
+            Verdict::RuntimeChecks
+        };
+        // Windowed arrays keep their tags even when proven: the tags also
+        // catch window evictions, which the interval domain does not model.
+        let verified = info.elidable && !info.windowed && verdict == Verdict::Proven;
+        let mut detail = format!(
+            "{} write site(s), {} load site(s)",
+            stores.len(),
+            loads.len()
+        );
+        if info.input {
+            detail.push_str(", input");
+        }
+        if info.windowed {
+            detail.push_str(", windowed");
+        }
+        for n in notes {
+            detail.push_str("; ");
+            detail.push_str(&n);
+        }
+        arrays.push(ArrayReport {
+            name: info.name.clone(),
+            verdict,
+            verified,
+            detail,
+        });
+    }
+    Report {
+        diags: acc.diags,
+        eq_lines: acc.eq_lines,
+        arrays,
+    }
+}
+
+/// Provable disjointness of two write regions: separated in some dimension.
+fn dims_disjoint(a: &[Ival], b: &[Ival], facts: &Facts) -> bool {
+    let lt = |h: &Option<Affine>, l: &Option<Affine>| matches!((h, l), (Some(h), Some(l)) if facts.lt(h, l));
+    a.iter()
+        .zip(b)
+        .any(|(x, y)| lt(&x.hi, &y.lo) || lt(&y.hi, &x.lo))
+}
+
+fn walk<'a>(
+    p: &'a AProgram,
+    nodes: &'a [Node],
+    stack: &mut Vec<StackLoop<'a>>,
+    facts: &mut Facts,
+    acc: &mut Acc,
+) {
+    for node in nodes {
+        match node {
+            Node::Eq(ix) => {
+                let loops: Vec<LoopCtx<'a>> = stack
+                    .iter()
+                    .filter_map(|l| {
+                        l.bindings
+                            .iter()
+                            .find(|(e, _)| e == ix)
+                            .map(|&(_, reg)| LoopCtx {
+                                parallel: l.parallel,
+                                name: l.name,
+                                lo: l.lo,
+                                hi: l.hi,
+                                counter: reg,
+                            })
+                    })
+                    .collect();
+                let region = if stack.is_empty() {
+                    "top level".to_string()
+                } else {
+                    stack
+                        .iter()
+                        .map(|l| format!("{} {}", if l.parallel { "DOALL" } else { "DO" }, l.name))
+                        .collect::<Vec<_>>()
+                        .join(" · ")
+                };
+                let out = analyze_eq(p, *ix, &loops, facts, &region);
+                let eq_label = p.eqs[*ix].label.clone();
+                let mut line = match &out.store {
+                    Some(s) => {
+                        let dims = s
+                            .dims
+                            .iter()
+                            .map(|iv| iv.render())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let disj = if s.overlap.is_some() {
+                            "OVERLAPPING"
+                        } else if s.injective {
+                            "injective in all counters"
+                        } else if s.doall_injective {
+                            "DOALL-disjoint"
+                        } else {
+                            "disjointness unproven"
+                        };
+                        format!(
+                            "{region}: {eq_label} stores {}[{dims}] — in-bounds {}, {disj}",
+                            p.arrays[s.array].name, s.in_bounds
+                        )
+                    }
+                    None => format!("{region}: {eq_label} — scalar result"),
+                };
+                if !out.loads.is_empty() {
+                    let n_p = out
+                        .loads
+                        .iter()
+                        .filter(|l| l.verdict == Verdict::Proven)
+                        .count();
+                    line.push_str(&format!("; loads {n_p}/{} proven", out.loads.len()));
+                }
+                acc.eq_lines.push(line);
+                acc.diags.extend(out.diags);
+                for l in out.loads {
+                    acc.loads[l.array].push(l.verdict);
+                }
+                if let Some(s) = out.store {
+                    acc.stores.push(StoreRec {
+                        array: s.array,
+                        eq_label,
+                        in_bounds: s.in_bounds,
+                        injective: s.injective,
+                        overlap: s.overlap.is_some(),
+                        dims: s.dims,
+                    });
+                }
+            }
+            Node::Loop {
+                parallel,
+                name,
+                lo,
+                hi,
+                bindings,
+                body,
+            } => {
+                // Inside the loop its range is non-empty: a sound extra
+                // premise for the body only.
+                let mark = facts.len();
+                facts.push(lo.clone(), hi.clone());
+                stack.push(StackLoop {
+                    parallel: *parallel,
+                    name,
+                    lo,
+                    hi,
+                    bindings,
+                });
+                walk(p, body, stack, facts, acc);
+                stack.pop();
+                facts.truncate(mark);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_support::Symbol;
+
+    fn param(name: &str) -> Affine {
+        Affine::param(Symbol::intern(name))
+    }
+
+    fn arr(name: &str, dims: Vec<(Affine, Affine)>) -> ArrayInfo {
+        ArrayInfo {
+            name: name.into(),
+            dims: dims
+                .into_iter()
+                .map(|(lo, hi)| DimInfo { lo, hi })
+                .collect(),
+            windowed: false,
+            elidable: true,
+            input: false,
+        }
+    }
+
+    /// Corruption class 1: a register defined on only one branch path.
+    #[test]
+    fn branch_path_use_before_def_is_rejected() {
+        let eq = EqTape {
+            label: "eq.1".into(),
+            n_f: 2,
+            n_i: 0,
+            n_b: 1,
+            entry_f: vec![0],
+            entry_b: vec![0],
+            ivals: vec![],
+            steps: vec![
+                Step::Branch {
+                    uses: vec![Reg::B(0)],
+                    target: 2,
+                    cmp: None,
+                },
+                Step::Op {
+                    uses: vec![Reg::F(0)],
+                    def: Some(Reg::F(1)),
+                },
+                // f1 is defined only on the fall-through path.
+                Step::Op {
+                    uses: vec![Reg::F(1)],
+                    def: Some(Reg::F(1)),
+                },
+            ],
+            store: None,
+            result: Reg::F(1),
+        };
+        let p = AProgram {
+            arrays: vec![],
+            eqs: vec![eq],
+            schedule: vec![Node::Eq(0)],
+        };
+        let r = analyze(&p);
+        assert!(
+            r.diags
+                .iter()
+                .any(|d| d.code == "E0601" && d.message.contains("f1")),
+            "{}",
+            r.render()
+        );
+    }
+
+    /// Corruption class 2: an affine store address escaping its bounds.
+    #[test]
+    fn out_of_bounds_affine_store_is_rejected() {
+        // a: array [1..n]; DOALL I = 0..n writes a[I] — index 0 underflows.
+        let eq = EqTape {
+            label: "eq.1".into(),
+            n_f: 1,
+            n_i: 1,
+            n_b: 0,
+            entry_f: vec![0],
+            entry_b: vec![],
+            ivals: vec![IVal::Counter],
+            steps: vec![],
+            store: Some(StoreSpec {
+                array: 0,
+                dims: vec![ADim {
+                    base: 0,
+                    terms: vec![(0, 1)],
+                }],
+            }),
+            result: Reg::F(0),
+        };
+        let p = AProgram {
+            arrays: vec![arr("a", vec![(Affine::constant(1), param("n"))])],
+            eqs: vec![eq],
+            schedule: vec![Node::Loop {
+                parallel: true,
+                name: "I".into(),
+                lo: Affine::constant(0),
+                hi: param("n"),
+                bindings: vec![(0, 0)],
+                body: vec![Node::Eq(0)],
+            }],
+        };
+        let r = analyze(&p);
+        assert!(r.diags.iter().any(|d| d.code == "E0602"), "{}", r.render());
+        assert_eq!(r.arrays[0].verdict, Verdict::Rejected);
+        assert!(!r.verified_mask()[0]);
+    }
+
+    /// Corruption class 3: DOALL iterations all writing the same element.
+    #[test]
+    fn overlapping_doall_writes_are_rejected() {
+        let eq = EqTape {
+            label: "eq.1".into(),
+            n_f: 1,
+            n_i: 1,
+            n_b: 0,
+            entry_f: vec![0],
+            entry_b: vec![],
+            ivals: vec![IVal::Counter],
+            steps: vec![],
+            store: Some(StoreSpec {
+                array: 0,
+                dims: vec![ADim {
+                    base: 3,
+                    terms: vec![],
+                }],
+            }),
+            result: Reg::F(0),
+        };
+        let p = AProgram {
+            arrays: vec![arr("a", vec![(Affine::constant(1), param("n"))])],
+            eqs: vec![eq],
+            schedule: vec![Node::Loop {
+                parallel: true,
+                name: "I".into(),
+                lo: Affine::constant(1),
+                hi: param("n"),
+                bindings: vec![(0, 0)],
+                body: vec![Node::Eq(0)],
+            }],
+        };
+        let r = analyze(&p);
+        assert!(
+            r.diags
+                .iter()
+                .any(|d| d.code == "E0603" && d.message.contains('I')),
+            "{}",
+            r.render()
+        );
+        assert_eq!(r.arrays[0].verdict, Verdict::Rejected);
+    }
+
+    /// Guard refinement: `if I = 0 then a[1] else a[I]` with `I ∈ 0..M+1`
+    /// and `a: 1..M+1` — safe only because the else-edge excludes `I = 0`.
+    #[test]
+    fn guard_refinement_proves_interior_access() {
+        let m1 = param("M").add_const(1);
+        let eq = EqTape {
+            label: "eq.1".into(),
+            n_f: 1,
+            n_i: 2,
+            n_b: 0,
+            entry_f: vec![],
+            entry_b: vec![],
+            ivals: vec![IVal::Counter, IVal::Exact(Affine::constant(0))],
+            steps: vec![
+                // Fused guard: fall through when I = 0, jump when I ≠ 0.
+                Step::Branch {
+                    uses: vec![Reg::I(0), Reg::I(1)],
+                    target: 3,
+                    cmp: Some(CmpInfo {
+                        op: CmpOp::Eq,
+                        a: Reg::I(0),
+                        b: Reg::I(1),
+                        jump_on_true: false,
+                    }),
+                },
+                Step::Load {
+                    array: 0,
+                    addr: vec![ADim {
+                        base: 1,
+                        terms: vec![],
+                    }],
+                    def: Reg::F(0),
+                },
+                Step::Jump { target: 4 },
+                Step::Load {
+                    array: 0,
+                    addr: vec![ADim {
+                        base: 0,
+                        terms: vec![(0, 1)],
+                    }],
+                    def: Reg::F(0),
+                },
+            ],
+            store: None,
+            result: Reg::F(0),
+        };
+        let p = AProgram {
+            arrays: vec![arr("a", vec![(Affine::constant(1), m1.clone())])],
+            eqs: vec![eq],
+            schedule: vec![Node::Loop {
+                parallel: true,
+                name: "I".into(),
+                lo: Affine::constant(0),
+                hi: m1,
+                bindings: vec![(0, 0)],
+                body: vec![Node::Eq(0)],
+            }],
+        };
+        let r = analyze(&p);
+        assert!(!r.has_errors(), "{}", r.render());
+        assert_eq!(r.arrays[0].verdict, Verdict::Proven, "{}", r.render());
+    }
+
+    /// Recurrence shape: `a[1] = c; DO K = 2..n: a[K] = a[K-1]` — injective,
+    /// cross-equation disjoint, in-bounds through the non-empty-dim fact.
+    #[test]
+    fn recurrence_writes_verify_for_elision() {
+        let eq1 = EqTape {
+            label: "eq.1".into(),
+            n_f: 1,
+            n_i: 0,
+            n_b: 0,
+            entry_f: vec![0],
+            entry_b: vec![],
+            ivals: vec![],
+            steps: vec![],
+            store: Some(StoreSpec {
+                array: 0,
+                dims: vec![ADim {
+                    base: 1,
+                    terms: vec![],
+                }],
+            }),
+            result: Reg::F(0),
+        };
+        let eq2 = EqTape {
+            label: "eq.2".into(),
+            n_f: 1,
+            n_i: 1,
+            n_b: 0,
+            entry_f: vec![],
+            entry_b: vec![],
+            ivals: vec![IVal::Counter],
+            steps: vec![Step::Load {
+                array: 0,
+                addr: vec![ADim {
+                    base: -1,
+                    terms: vec![(0, 1)],
+                }],
+                def: Reg::F(0),
+            }],
+            store: Some(StoreSpec {
+                array: 0,
+                dims: vec![ADim {
+                    base: 0,
+                    terms: vec![(0, 1)],
+                }],
+            }),
+            result: Reg::F(0),
+        };
+        let p = AProgram {
+            arrays: vec![arr("a", vec![(Affine::constant(1), param("n"))])],
+            eqs: vec![eq1, eq2],
+            schedule: vec![
+                Node::Eq(0),
+                Node::Loop {
+                    parallel: false,
+                    name: "K".into(),
+                    lo: Affine::constant(2),
+                    hi: param("n"),
+                    bindings: vec![(1, 0)],
+                    body: vec![Node::Eq(1)],
+                },
+            ],
+        };
+        let r = analyze(&p);
+        assert!(!r.has_errors(), "{}", r.render());
+        assert_eq!(r.arrays[0].verdict, Verdict::Proven, "{}", r.render());
+        assert!(r.verified_mask()[0], "{}", r.render());
+        assert_eq!(r.eq_lines.len(), 2);
+    }
+
+    /// Windowed arrays report proven but never elide their tags.
+    #[test]
+    fn windowed_array_keeps_runtime_tags() {
+        let eq = EqTape {
+            label: "eq.1".into(),
+            n_f: 1,
+            n_i: 1,
+            n_b: 0,
+            entry_f: vec![0],
+            entry_b: vec![],
+            ivals: vec![IVal::Counter],
+            steps: vec![],
+            store: Some(StoreSpec {
+                array: 0,
+                dims: vec![ADim {
+                    base: 0,
+                    terms: vec![(0, 1)],
+                }],
+            }),
+            result: Reg::F(0),
+        };
+        let mut a = arr("a", vec![(Affine::constant(1), param("n"))]);
+        a.windowed = true;
+        a.elidable = false;
+        let p = AProgram {
+            arrays: vec![a],
+            eqs: vec![eq],
+            schedule: vec![Node::Loop {
+                parallel: false,
+                name: "K".into(),
+                lo: Affine::constant(1),
+                hi: param("n"),
+                bindings: vec![(0, 0)],
+                body: vec![Node::Eq(0)],
+            }],
+        };
+        let r = analyze(&p);
+        assert!(!r.has_errors(), "{}", r.render());
+        assert_eq!(r.arrays[0].verdict, Verdict::Proven);
+        assert!(!r.verified_mask()[0]);
+    }
+
+    /// A dynamic subscript downgrades to RuntimeChecks — never an error.
+    #[test]
+    fn dynamic_subscript_needs_runtime_checks() {
+        // out[I] = xs[ks[I]]: the xs load address flows through a loaded
+        // integer register with unknown interval.
+        let eq = EqTape {
+            label: "eq.1".into(),
+            n_f: 1,
+            n_i: 2,
+            n_b: 0,
+            entry_f: vec![],
+            entry_b: vec![],
+            ivals: vec![IVal::Counter, IVal::Temp],
+            steps: vec![
+                Step::Load {
+                    array: 2,
+                    addr: vec![ADim {
+                        base: 0,
+                        terms: vec![(0, 1)],
+                    }],
+                    def: Reg::I(1),
+                },
+                Step::Load {
+                    array: 1,
+                    addr: vec![ADim {
+                        base: 0,
+                        terms: vec![(1, 1)],
+                    }],
+                    def: Reg::F(0),
+                },
+            ],
+            store: Some(StoreSpec {
+                array: 0,
+                dims: vec![ADim {
+                    base: 0,
+                    terms: vec![(0, 1)],
+                }],
+            }),
+            result: Reg::F(0),
+        };
+        let bounds = || (Affine::constant(1), param("n"));
+        let mut xs = arr("xs", vec![bounds()]);
+        xs.input = true;
+        let mut ks = arr("ks", vec![bounds()]);
+        ks.input = true;
+        let p = AProgram {
+            arrays: vec![arr("out", vec![bounds()]), xs, ks],
+            eqs: vec![eq],
+            schedule: vec![Node::Loop {
+                parallel: true,
+                name: "I".into(),
+                lo: Affine::constant(1),
+                hi: param("n"),
+                bindings: vec![(0, 0)],
+                body: vec![Node::Eq(0)],
+            }],
+        };
+        let r = analyze(&p);
+        assert!(!r.has_errors(), "{}", r.render());
+        // The gathered-from array cannot be proven...
+        assert_eq!(r.arrays[1].verdict, Verdict::RuntimeChecks);
+        // ...but the written array still verifies and elides.
+        assert_eq!(r.arrays[0].verdict, Verdict::Proven);
+        assert!(r.verified_mask()[0]);
+        assert!(r.verified_mask()[2], "ks reads are affine and proven");
+    }
+}

@@ -1,0 +1,95 @@
+//! Analysis results: per-array verdicts, region lines, diagnostics.
+
+use ps_support::diag::{Diagnostic, Severity};
+use std::fmt;
+
+/// Safety verdict for an access, an array, or a region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Proven safe for every admissible parameter vector.
+    Proven,
+    /// Not decidable statically (dynamic subscripts, incomparable affine
+    /// bounds) — the runtime's checked mode remains responsible.
+    RuntimeChecks,
+    /// Provably violated: surfaced as an error diagnostic.
+    Rejected,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Proven => write!(f, "proven"),
+            Verdict::RuntimeChecks => write!(f, "needs runtime checks"),
+            Verdict::Rejected => write!(f, "REJECTED"),
+        }
+    }
+}
+
+/// Summary verdict for one array.
+#[derive(Clone, Debug)]
+pub struct ArrayReport {
+    pub name: String,
+    pub verdict: Verdict,
+    /// All writes proven in-bounds, injective and cross-equation disjoint,
+    /// all reads proven in-bounds, and producer policy allows elision —
+    /// the runtime may skip this array's checked-writes tags.
+    pub verified: bool,
+    pub detail: String,
+}
+
+/// The full result of one [`crate::analyze`] run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub diags: Vec<Diagnostic>,
+    /// One human-readable line per analyzed equation occurrence.
+    pub eq_lines: Vec<String>,
+    /// One entry per [`crate::AProgram`] array, same order.
+    pub arrays: Vec<ArrayReport>,
+}
+
+impl Report {
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Per-array elision mask, index-aligned with `AProgram::arrays`.
+    pub fn verified_mask(&self) -> Vec<bool> {
+        self.arrays.iter().map(|a| a.verified).collect()
+    }
+
+    /// Render the whole report (region lines, array verdicts, diagnostics)
+    /// without needing a source map — analysis diagnostics are spanless.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.eq_lines {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        for a in &self.arrays {
+            let elide = if a.verified {
+                " [checked-writes elided]"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  array {}: {}{} — {}\n",
+                a.name, a.verdict, elide, a.detail
+            ));
+        }
+        for d in &self.diags {
+            out.push_str(&format!("  {}[{}]: {}\n", d.severity, d.code, d.message));
+            for (note, _) in &d.notes {
+                out.push_str(&format!("    = note: {note}\n"));
+            }
+        }
+        out
+    }
+}

@@ -18,7 +18,10 @@
 //! cross-engine regression test.
 
 use ps_bench::{compile_v1, compile_v2, relaxation_inputs, Harness};
-use ps_core::{execute, execute_transformed, Engine, RuntimeOptions, Sequential, StorageMode};
+use ps_core::{
+    compile, execute, execute_transformed, programs, AnalysisLevel, CompileOptions, Engine, Inputs,
+    OwnedArray, Program, RuntimeOptions, Sequential, StorageMode,
+};
 
 fn opts(engine: Engine) -> RuntimeOptions {
     RuntimeOptions {
@@ -72,6 +75,49 @@ fn main() {
                 out
             });
         }
+    }
+
+    // Perf F (PR 6): checked-writes cost, with and without static
+    // elision. Every array of the pipeline program proves safe, so
+    // `AnalysisLevel::Verify` drops all tag allocations and per-write
+    // tag swaps; the residual gap to the unchecked row is what the
+    // verifier cannot remove (instantiation, output copies).
+    let pipe = compile(programs::PIPELINE, CompileOptions::default()).unwrap();
+    let n = 16384i64;
+    let xs: Vec<f64> = (0..n).map(|i| ((i % 97) as f64) * 0.25 - 12.0).collect();
+    let inputs = Inputs::new()
+        .set_int("n", n)
+        .set_array("xs", OwnedArray::real(vec![(1, n)], xs));
+    let rows: [(&str, bool, AnalysisLevel); 3] = [
+        ("unchecked", false, AnalysisLevel::Off),
+        ("checked", true, AnalysisLevel::Off),
+        ("checked_elide", true, AnalysisLevel::Verify),
+    ];
+    let baseline = {
+        let prog = Program::compile(&pipe, RuntimeOptions::default());
+        prog.run(&inputs, &Sequential).unwrap()
+    };
+    for (name, check_writes, analysis) in rows {
+        let prog = Program::compile(
+            &pipe,
+            RuntimeOptions {
+                check_writes,
+                analysis,
+                ..Default::default()
+            },
+        );
+        if analysis == AnalysisLevel::Verify {
+            assert!(prog.verified_arrays() > 0, "pipeline arrays must elide");
+        }
+        g.bench_with_elements(&format!("pipeline/{name}/{n}"), n as u64, || {
+            let out = prog.run(&inputs, &Sequential).unwrap();
+            assert_eq!(
+                out.array("out").max_abs_diff(baseline.array("out")),
+                0.0,
+                "checked modes must agree bitwise"
+            );
+            out
+        });
     }
 
     g.finish();

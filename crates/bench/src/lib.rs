@@ -4,6 +4,8 @@
 //! paper; see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
 //! recorded paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 pub use harness::{fmt_duration, Harness, Summary};

@@ -24,6 +24,8 @@
 //! test that compiles the emitted C with the system compiler and compares
 //! against the Rust interpreter.
 
+#![forbid(unsafe_code)]
+
 pub mod cemit;
 pub mod ctypes;
 pub mod names;

@@ -1,0 +1,56 @@
+//! `ps-analyze` — lint every built-in program with the static verifier.
+//!
+//! ```text
+//! ps-analyze            per-region safety report for all built-ins
+//! ps-analyze <name>     report for one built-in (e.g. `pipeline`)
+//! ```
+//!
+//! For each program, prints the per-region proof lines (def-before-use,
+//! in-bounds, `DOALL` disjointness) and the per-array verdicts, then a
+//! summary line `N programs, M errors`. Exits nonzero when any program
+//! is rejected.
+
+use ps_core::{analyze, compile, programs, CompileOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let filter: Option<String> = std::env::args().nth(1);
+    let mut checked = 0usize;
+    let mut errors = 0usize;
+    for (name, src) in programs::ALL {
+        if filter.as_deref().is_some_and(|f| f != *name) {
+            continue;
+        }
+        checked += 1;
+        println!("== {name} ==");
+        match compile(src, CompileOptions::default()) {
+            Ok(comp) => {
+                let report = analyze(&comp);
+                errors += report.error_count();
+                println!("{}", report.render());
+            }
+            Err(e) => {
+                errors += 1;
+                println!("compile error: {e}\n");
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!(
+            "no such built-in: {} (try one of {})",
+            filter.unwrap_or_default(),
+            programs::ALL
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    }
+    println!("{checked} programs, {errors} errors");
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

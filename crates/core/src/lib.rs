@@ -51,8 +51,8 @@ pub mod programs;
 pub mod report;
 
 pub use pipeline::{
-    compile, execute, execute_transformed, Compilation, CompileError, CompileOptions, Program,
-    TransformedArtifacts,
+    analyze, compile, execute, execute_transformed, Compilation, CompileError, CompileOptions,
+    Program, TransformedArtifacts,
 };
 
 // Re-export the building blocks so downstream users need one dependency.
@@ -66,8 +66,8 @@ pub use ps_hyperplane::{
 };
 pub use ps_lang::{frontend, HirModule};
 pub use ps_runtime::{
-    run_module, run_naive, Engine, Inputs, Outputs, OwnedArray, RuntimeOptions, StoreArena,
-    StorePlan, Value,
+    analyze_compiled, run_module, run_naive, AnalysisLevel, AnalysisReport, AnalysisVerdict,
+    Engine, Inputs, Outputs, OwnedArray, RuntimeOptions, StoreArena, StorePlan, Value,
 };
 pub use ps_scheduler::{
     schedule_module, validate_flowchart, Flowchart, MemoryPlan, PickPolicy, ScheduleOptions,

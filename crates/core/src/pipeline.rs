@@ -168,6 +168,9 @@ pub struct Program<'c> {
 
 impl<'c> Program<'c> {
     /// Compile the reusable artifact for `comp`'s scheduled module.
+    ///
+    /// Panics if [`ps_runtime::AnalysisLevel::Verify`] rejects the
+    /// program; use [`Program::try_compile`] to receive the diagnostics.
     pub fn compile(comp: &'c Compilation, options: RuntimeOptions) -> Program<'c> {
         Program {
             inner: ps_runtime::Program::new(
@@ -177,6 +180,28 @@ impl<'c> Program<'c> {
                 options,
             ),
         }
+    }
+
+    /// Like [`Program::compile`], but surfaces static-verifier
+    /// rejections (rendered `E06xx` diagnostics) as an error.
+    pub fn try_compile(
+        comp: &'c Compilation,
+        options: RuntimeOptions,
+    ) -> Result<Program<'c>, ps_runtime::store::RuntimeError> {
+        Ok(Program {
+            inner: ps_runtime::Program::try_new(
+                &comp.module,
+                &comp.schedule.flowchart,
+                &comp.schedule.memory,
+                options,
+            )?,
+        })
+    }
+
+    /// Number of arrays the static verifier proved safe for tag elision
+    /// (zero when analysis is off).
+    pub fn verified_arrays(&self) -> usize {
+        self.inner.verified_arrays()
     }
 
     /// Compile the artifact for `comp`'s hyperplane-transformed module.
@@ -212,6 +237,18 @@ impl<'c> Program<'c> {
     pub fn specialization_count(&self) -> usize {
         self.inner.specialization_count()
     }
+}
+
+/// Run the `ps-analyze` static verifier over `comp`'s scheduled module:
+/// def-before-use, in-bounds addressing, and `DOALL` write-disjointness,
+/// proven per scheduled region from the compiled tapes. The report
+/// carries one verdict per array plus any `E06xx` diagnostics.
+pub fn analyze(comp: &Compilation) -> ps_runtime::AnalysisReport {
+    ps_runtime::analyze_compiled(
+        &comp.module,
+        &comp.schedule.flowchart,
+        &comp.schedule.memory,
+    )
 }
 
 /// Execute a compiled module on the given inputs (compile-and-run-once;

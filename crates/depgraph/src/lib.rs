@@ -24,6 +24,8 @@
 //! field definitions appear as def edges on the record's node (documented
 //! substitution, see DESIGN.md).
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod dot;
 pub mod graph;

@@ -16,6 +16,8 @@
 //! over from the previous iteration, the initial plane comes from an input
 //! array, and the result is the final plane.
 
+#![forbid(unsafe_code)]
+
 use ps_support::{Diagnostic, DiagnosticSink};
 
 /// Translation failure with a human-readable reason.

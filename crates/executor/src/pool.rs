@@ -32,6 +32,8 @@
 //! `ThreadPool::new(1)` spawns no workers and short-circuits every region
 //! to inline execution — same behaviour as [`Sequential`], plus counters.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use crate::latch::CountLatch;
 use crate::stats::{PoolStats, PoolStatsSnapshot};
 use crate::Executor;

@@ -15,6 +15,8 @@
 //! * [`traverse`] — DFS/BFS iterators and reachability,
 //! * [`dot`] — Graphviz export used to render Figure 3.
 
+#![forbid(unsafe_code)]
+
 pub mod digraph;
 pub mod dot;
 pub mod scc;

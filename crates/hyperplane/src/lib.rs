@@ -20,6 +20,8 @@
 //!    *drain* step inside the wavefront loop (the paper's preferred
 //!    "rotate / unrotate" implementation choice).
 
+#![forbid(unsafe_code)]
+
 pub mod depvec;
 pub mod imat;
 pub mod solve;

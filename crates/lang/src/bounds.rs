@@ -116,6 +116,36 @@ impl Affine {
 
     /// Evaluate under a parameter environment. `None` if a parameter is
     /// missing from `env`.
+    /// Compact single-token rendering for diagnostics and reports:
+    /// `maxK-1`, `2`, `n+M+3` — no spaces, no `*` on unit coefficients
+    /// (contrast [`fmt::Display`], which spaces terms for source-level
+    /// printing).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        for (sym, c) in self.terms() {
+            let name = sym.as_str();
+            match c {
+                0 => {}
+                1 if out.is_empty() => out.push_str(name),
+                1 => out.push_str(&format!("+{name}")),
+                -1 => out.push_str(&format!("-{name}")),
+                c if c < 0 => out.push_str(&format!("{c}{name}")),
+                c if out.is_empty() => out.push_str(&format!("{c}{name}")),
+                c => out.push_str(&format!("+{c}{name}")),
+            }
+        }
+        let k = self.constant_part();
+        if out.is_empty() {
+            return k.to_string();
+        }
+        match k {
+            0 => {}
+            k if k > 0 => out.push_str(&format!("+{k}")),
+            k => out.push_str(&k.to_string()),
+        }
+        out
+    }
+
     pub fn eval(&self, env: &FxHashMap<Symbol, i64>) -> Option<i64> {
         let mut total = self.konst;
         for (&p, &c) in &self.terms {

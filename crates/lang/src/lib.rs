@@ -20,6 +20,8 @@
 //! variables so the scheduler can generate the `DOALL I (DOALL J (eq.1))`
 //! nests of Figure 5.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod bounds;
 pub mod check;

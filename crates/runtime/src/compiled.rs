@@ -55,15 +55,21 @@
 //! Evaluation order matches the tree-walker exactly — the differential
 //! suite asserts bit-identical outputs between engines.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use crate::ndarray::{NdSpec, ParVec, SharedBuffer};
 use crate::store::{RuntimeError, Store, StorePlan};
 use crate::value::Value;
+use ps_analyze as pa;
 use ps_lang::ast::{BinOp, UnOp};
 use ps_lang::hir::{Builtin, DataKind, Equation, HExpr, LhsSub, SubscriptExpr};
+use ps_lang::Affine;
 use ps_lang::{DataId, EqId, HirModule, IvId, ScalarTy, Ty};
 use ps_scheduler::Flowchart;
+use ps_support::diag::Diagnostic;
 use ps_support::idx::{Idx, IndexVec};
 use ps_support::{FxHashMap, Symbol};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicI64, Ordering};
 
 /// Runtime register kind. `char` and enumeration values are carried as
@@ -491,22 +497,32 @@ impl PInt {
         }
     }
 
-    /// Range-check every parameter reference (tape validation).
-    fn validate(&self, n_params: usize) {
+    /// Range-check every parameter reference (tape validation); returns
+    /// fault messages instead of panicking so the caller can attach the
+    /// equation and instruction context.
+    fn validate(&self, n_params: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        self.validate_into(n_params, &mut out);
+        out
+    }
+
+    fn validate_into(&self, n_params: usize, out: &mut Vec<String>) {
         match self {
             PInt::Const(_) => {}
             PInt::Param(ix) => {
-                assert!((*ix as usize) < n_params, "param {ix} out of range")
+                if (*ix as usize) >= n_params {
+                    out.push(format!("param {ix} out of range"));
+                }
             }
             PInt::Add(a, b)
             | PInt::Sub(a, b)
             | PInt::Mul(a, b)
             | PInt::Min(a, b)
             | PInt::Max(a, b) => {
-                a.validate(n_params);
-                b.validate(n_params);
+                a.validate_into(n_params, out);
+                b.validate_into(n_params, out);
             }
-            PInt::Neg(a) | PInt::Abs(a) => a.validate(n_params),
+            PInt::Neg(a) | PInt::Abs(a) => a.validate_into(n_params, out),
         }
     }
 }
@@ -552,6 +568,11 @@ impl CompiledEq {
     /// only touch indices this pass has seen. Specialization only *folds*
     /// the validated affine forms (it introduces no new registers), so
     /// specialized addresses need no second pass.
+    ///
+    /// Returns the list of faults (empty means the tape is well-formed);
+    /// each names the offending instruction or table section, so the
+    /// caller can surface a structural diagnostic instead of a bare index
+    /// panic.
     fn validate(
         &self,
         n_bufs_f: usize,
@@ -559,21 +580,62 @@ impl CompiledEq {
         n_bufs_b: usize,
         n_slots: usize,
         n_params: usize,
-    ) {
-        let f = |r: u16| assert!(r < self.n_f, "f-register {r} out of range");
-        let i = |r: u16| assert!(r < self.n_i, "i-register {r} out of range");
-        let b = |r: u16| assert!(r < self.n_b, "b-register {r} out of range");
+    ) -> Vec<String> {
+        let faults: RefCell<Vec<String>> = RefCell::new(Vec::new());
+        let ctx: RefCell<String> = RefCell::new(String::from("tape"));
+        let fault = |msg: String| faults.borrow_mut().push(format!("{}: {msg}", ctx.borrow()));
+        let f = |r: u16| {
+            if r >= self.n_f {
+                fault(format!("f-register {r} out of range"));
+            }
+        };
+        let i = |r: u16| {
+            if r >= self.n_i {
+                fault(format!("i-register {r} out of range"));
+            }
+        };
+        let b = |r: u16| {
+            if r >= self.n_b {
+                fault(format!("b-register {r} out of range"));
+            }
+        };
         let reg = |r: Reg| match r {
             Reg::F(x) => f(x),
             Reg::I(x) => i(x),
             Reg::B(x) => b(x),
         };
-        let addr = |a: u16| assert!((a as usize) < self.sym_addrs.len(), "addr {a} out of range");
-        let jump = |t: u32| assert!((t as usize) <= self.insns.len(), "jump {t} out of range");
-        let buf_f = |x: u16| assert!((x as usize) < n_bufs_f, "f-buffer {x} out of range");
-        let buf_i = |x: u16| assert!((x as usize) < n_bufs_i, "i-buffer {x} out of range");
-        let buf_b = |x: u16| assert!((x as usize) < n_bufs_b, "b-buffer {x} out of range");
-        for insn in &self.insns {
+        let addr = |a: u16| {
+            if (a as usize) >= self.sym_addrs.len() {
+                fault(format!("addr {a} out of range"));
+            }
+        };
+        let jump = |t: u32| {
+            if (t as usize) > self.insns.len() {
+                fault(format!("jump {t} out of range"));
+            }
+        };
+        let buf_f = |x: u16| {
+            if (x as usize) >= n_bufs_f {
+                fault(format!("f-buffer {x} out of range"));
+            }
+        };
+        let buf_i = |x: u16| {
+            if (x as usize) >= n_bufs_i {
+                fault(format!("i-buffer {x} out of range"));
+            }
+        };
+        let buf_b = |x: u16| {
+            if (x as usize) >= n_bufs_b {
+                fault(format!("b-buffer {x} out of range"));
+            }
+        };
+        let slot_ok = |slot: u32| {
+            if (slot as usize) >= n_slots {
+                fault(format!("slot {slot} out of range"));
+            }
+        };
+        for (ix, insn) in self.insns.iter().enumerate() {
+            *ctx.borrow_mut() = format!("insn {ix} `{insn:?}`");
             match *insn {
                 Insn::CopyF { src, dst } => {
                     f(src);
@@ -588,7 +650,7 @@ impl CompiledEq {
                     b(dst);
                 }
                 Insn::ReadScalar { slot, dst } => {
-                    assert!((slot as usize) < n_slots, "slot {slot} out of range");
+                    slot_ok(slot);
                     reg(dst);
                 }
                 Insn::LoadF { buf, addr: a, dst } => {
@@ -697,6 +759,7 @@ impl CompiledEq {
                 }
             }
         }
+        *ctx.borrow_mut() = String::from("address table");
         for a in &self.sym_addrs {
             for d in &a.dims {
                 for &(r, _) in &d.terms {
@@ -704,6 +767,7 @@ impl CompiledEq {
                 }
             }
         }
+        *ctx.borrow_mut() = String::from("constant pool");
         for &(r, _) in &self.consts_f {
             f(r);
         }
@@ -713,7 +777,12 @@ impl CompiledEq {
         for &(r, _) in &self.consts_b {
             b(r);
         }
-        let param = |p: u16| assert!((p as usize) < n_params, "param {p} out of range");
+        *ctx.borrow_mut() = String::from("preload table");
+        let param = |p: u16| {
+            if (p as usize) >= n_params {
+                fault(format!("param {p} out of range"));
+            }
+        };
         for &(r, p) in &self.preload_f {
             f(r);
             param(p);
@@ -726,15 +795,17 @@ impl CompiledEq {
             b(r);
             param(p);
         }
+        *ctx.borrow_mut() = String::from("derived registers");
         for (r, p) in &self.derived_i {
             i(*r);
-            p.validate(n_params);
+            for fp in p.validate(n_params) {
+                fault(fp);
+            }
         }
+        *ctx.borrow_mut() = String::from("output");
         reg(self.src);
         match self.out {
-            OutSpec::Scalar { slot } => {
-                assert!((slot as usize) < n_slots, "out slot {slot} out of range")
-            }
+            OutSpec::Scalar { slot } => slot_ok(slot),
             OutSpec::ArrayF { buf, addr: a } => {
                 buf_f(buf);
                 addr(a);
@@ -748,6 +819,7 @@ impl CompiledEq {
                 addr(a);
             }
         }
+        faults.into_inner()
     }
 }
 
@@ -780,6 +852,278 @@ impl Tapes {
     fn stats(&self, eq: EqId) -> (usize, usize) {
         let ceq = self.eqs[eq].as_ref().expect("lowered");
         (ceq.insns.len(), ceq.sym_addrs.len())
+    }
+
+    /// Lower one compiled equation into the `ps-analyze` neutral IR (see
+    /// [`crate::analysis`]). `array_ix` maps a referenced array's `DataId`
+    /// to its index in the analyzer's array table. Returns `None` for
+    /// equations the flowchart never scheduled.
+    ///
+    /// The conversion is *structural*: every instruction keeps its exact
+    /// use/def sets and the forward-only jump targets, fused integer
+    /// compares carry their operator so the analyzer can refine intervals
+    /// along guard edges, and entry i-registers are classified as loop
+    /// counters (the leading [`IvId`]-ordered registers), exact affine
+    /// forms (constants, preloaded parameters, affine derived registers),
+    /// opaque preset values (`min`/`max`/`abs` derived forms), or plain
+    /// temporaries.
+    pub(crate) fn analysis_tape(
+        &self,
+        eq_id: EqId,
+        module: &HirModule,
+        array_ix: &dyn Fn(DataId) -> usize,
+    ) -> Option<pa::EqTape> {
+        let ceq = self.eqs[eq_id].as_ref()?;
+        let eq = &module.equations[eq_id];
+        let cmp = |op: CmpOp| match op {
+            CmpOp::Eq => pa::CmpOp::Eq,
+            CmpOp::Ne => pa::CmpOp::Ne,
+            CmpOp::Lt => pa::CmpOp::Lt,
+            CmpOp::Le => pa::CmpOp::Le,
+            CmpOp::Gt => pa::CmpOp::Gt,
+            CmpOp::Ge => pa::CmpOp::Ge,
+        };
+        let reg = |r: Reg| match r {
+            Reg::F(x) => pa::Reg::F(x),
+            Reg::I(x) => pa::Reg::I(x),
+            Reg::B(x) => pa::Reg::B(x),
+        };
+        let adim = |d: &AffDim| pa::ADim {
+            base: d.base,
+            terms: d.terms.iter().copied().filter(|&(_, c)| c != 0).collect(),
+        };
+        let access = |a: u16| {
+            let sym = &ceq.sym_addrs[a as usize];
+            (
+                array_ix(sym.array),
+                sym.dims.iter().map(adim).collect::<Vec<_>>(),
+            )
+        };
+        let mut ivals = vec![pa::IVal::Temp; ceq.n_i as usize];
+        for c in ivals.iter_mut().take(eq.ivs.len()) {
+            *c = pa::IVal::Counter;
+        }
+        for &(r, v) in &ceq.consts_i {
+            ivals[r as usize] = pa::IVal::Exact(Affine::constant(v));
+        }
+        for &(r, p) in &ceq.preload_i {
+            let name = module.data[self.params[p as usize]].name;
+            ivals[r as usize] = pa::IVal::Exact(Affine::param(name));
+        }
+        for (r, pint) in &ceq.derived_i {
+            ivals[*r as usize] = match self.pint_affine(pint, module) {
+                Some(a) => pa::IVal::Exact(a),
+                None => pa::IVal::Opaque,
+            };
+        }
+        let mut steps = Vec::with_capacity(ceq.insns.len());
+        for insn in &ceq.insns {
+            steps.push(match *insn {
+                Insn::CopyF { src, dst } => pa::Step::Op {
+                    uses: vec![pa::Reg::F(src)],
+                    def: Some(pa::Reg::F(dst)),
+                },
+                Insn::CopyI { src, dst } => pa::Step::CopyI { src, dst },
+                Insn::CopyB { src, dst } => pa::Step::Op {
+                    uses: vec![pa::Reg::B(src)],
+                    def: Some(pa::Reg::B(dst)),
+                },
+                Insn::ReadScalar { dst, .. } => pa::Step::Op {
+                    uses: Vec::new(),
+                    def: Some(reg(dst)),
+                },
+                Insn::LoadF { addr, dst, .. } => {
+                    let (array, dims) = access(addr);
+                    pa::Step::Load {
+                        array,
+                        addr: dims,
+                        def: pa::Reg::F(dst),
+                    }
+                }
+                Insn::LoadI { addr, dst, .. } => {
+                    let (array, dims) = access(addr);
+                    pa::Step::Load {
+                        array,
+                        addr: dims,
+                        def: pa::Reg::I(dst),
+                    }
+                }
+                Insn::LoadB { addr, dst, .. } => {
+                    let (array, dims) = access(addr);
+                    pa::Step::Load {
+                        array,
+                        addr: dims,
+                        def: pa::Reg::B(dst),
+                    }
+                }
+                Insn::AddF { a, b, dst }
+                | Insn::SubF { a, b, dst }
+                | Insn::MulF { a, b, dst }
+                | Insn::DivF { a, b, dst }
+                | Insn::MinF { a, b, dst }
+                | Insn::MaxF { a, b, dst } => pa::Step::Op {
+                    uses: vec![pa::Reg::F(a), pa::Reg::F(b)],
+                    def: Some(pa::Reg::F(dst)),
+                },
+                Insn::AddI { a, b, dst }
+                | Insn::SubI { a, b, dst }
+                | Insn::MulI { a, b, dst }
+                | Insn::DivI { a, b, dst }
+                | Insn::ModI { a, b, dst }
+                | Insn::MinI { a, b, dst }
+                | Insn::MaxI { a, b, dst } => pa::Step::Op {
+                    uses: vec![pa::Reg::I(a), pa::Reg::I(b)],
+                    def: Some(pa::Reg::I(dst)),
+                },
+                Insn::NegF { a, dst }
+                | Insn::AbsF { a, dst }
+                | Insn::SqrtF { a, dst }
+                | Insn::ExpF { a, dst }
+                | Insn::LnF { a, dst }
+                | Insn::SinF { a, dst }
+                | Insn::CosF { a, dst } => pa::Step::Op {
+                    uses: vec![pa::Reg::F(a)],
+                    def: Some(pa::Reg::F(dst)),
+                },
+                Insn::NegI { a, dst } | Insn::AbsI { a, dst } => pa::Step::Op {
+                    uses: vec![pa::Reg::I(a)],
+                    def: Some(pa::Reg::I(dst)),
+                },
+                Insn::NotB { a, dst } => pa::Step::Op {
+                    uses: vec![pa::Reg::B(a)],
+                    def: Some(pa::Reg::B(dst)),
+                },
+                Insn::CastIF { a, dst } => pa::Step::Op {
+                    uses: vec![pa::Reg::I(a)],
+                    def: Some(pa::Reg::F(dst)),
+                },
+                Insn::TruncFI { a, dst } | Insn::RoundFI { a, dst } => pa::Step::Op {
+                    uses: vec![pa::Reg::F(a)],
+                    def: Some(pa::Reg::I(dst)),
+                },
+                Insn::CmpF { a, b, dst, .. } => pa::Step::Op {
+                    uses: vec![pa::Reg::F(a), pa::Reg::F(b)],
+                    def: Some(pa::Reg::B(dst)),
+                },
+                Insn::CmpI { a, b, dst, .. } => pa::Step::Op {
+                    uses: vec![pa::Reg::I(a), pa::Reg::I(b)],
+                    def: Some(pa::Reg::B(dst)),
+                },
+                Insn::CmpB { a, b, dst, .. } => pa::Step::Op {
+                    uses: vec![pa::Reg::B(a), pa::Reg::B(b)],
+                    def: Some(pa::Reg::B(dst)),
+                },
+                Insn::Jump { target } => pa::Step::Jump {
+                    target: target as usize,
+                },
+                Insn::JumpIfNot { cond, target } | Insn::JumpIf { cond, target } => {
+                    pa::Step::Branch {
+                        uses: vec![pa::Reg::B(cond)],
+                        target: target as usize,
+                        cmp: None,
+                    }
+                }
+                Insn::JumpCmpFNot { op, a, b, target } => pa::Step::Branch {
+                    uses: vec![pa::Reg::F(a), pa::Reg::F(b)],
+                    target: target as usize,
+                    cmp: Some(pa::CmpInfo {
+                        op: cmp(op),
+                        a: pa::Reg::F(a),
+                        b: pa::Reg::F(b),
+                        jump_on_true: false,
+                    }),
+                },
+                Insn::JumpCmpF { op, a, b, target } => pa::Step::Branch {
+                    uses: vec![pa::Reg::F(a), pa::Reg::F(b)],
+                    target: target as usize,
+                    cmp: Some(pa::CmpInfo {
+                        op: cmp(op),
+                        a: pa::Reg::F(a),
+                        b: pa::Reg::F(b),
+                        jump_on_true: true,
+                    }),
+                },
+                Insn::JumpCmpINot { op, a, b, target } => pa::Step::Branch {
+                    uses: vec![pa::Reg::I(a), pa::Reg::I(b)],
+                    target: target as usize,
+                    cmp: Some(pa::CmpInfo {
+                        op: cmp(op),
+                        a: pa::Reg::I(a),
+                        b: pa::Reg::I(b),
+                        jump_on_true: false,
+                    }),
+                },
+                Insn::JumpCmpI { op, a, b, target } => pa::Step::Branch {
+                    uses: vec![pa::Reg::I(a), pa::Reg::I(b)],
+                    target: target as usize,
+                    cmp: Some(pa::CmpInfo {
+                        op: cmp(op),
+                        a: pa::Reg::I(a),
+                        b: pa::Reg::I(b),
+                        jump_on_true: true,
+                    }),
+                },
+            });
+        }
+        let store = match ceq.out {
+            OutSpec::Scalar { .. } => None,
+            OutSpec::ArrayF { addr, .. }
+            | OutSpec::ArrayI { addr, .. }
+            | OutSpec::ArrayB { addr, .. } => {
+                let (array, dims) = access(addr);
+                Some(pa::StoreSpec { array, dims })
+            }
+        };
+        Some(pa::EqTape {
+            label: eq.label.clone(),
+            n_f: ceq.n_f,
+            n_i: ceq.n_i,
+            n_b: ceq.n_b,
+            entry_f: ceq
+                .consts_f
+                .iter()
+                .map(|&(r, _)| r)
+                .chain(ceq.preload_f.iter().map(|&(r, _)| r))
+                .collect(),
+            entry_b: ceq
+                .consts_b
+                .iter()
+                .map(|&(r, _)| r)
+                .chain(ceq.preload_b.iter().map(|&(r, _)| r))
+                .collect(),
+            ivals,
+            steps,
+            store,
+            result: reg(ceq.src),
+        })
+    }
+
+    /// A derived register's value as an affine form over the module's
+    /// integer parameters, when it is one (`min`/`max`/`abs` are not).
+    fn pint_affine(&self, p: &PInt, module: &HirModule) -> Option<Affine> {
+        Some(match p {
+            PInt::Const(v) => Affine::constant(*v),
+            PInt::Param(ix) => Affine::param(module.data[self.params[*ix as usize]].name),
+            PInt::Add(a, b) => self
+                .pint_affine(a, module)?
+                .add(&self.pint_affine(b, module)?),
+            PInt::Sub(a, b) => self
+                .pint_affine(a, module)?
+                .sub(&self.pint_affine(b, module)?),
+            PInt::Mul(a, b) => {
+                let x = self.pint_affine(a, module)?;
+                let y = self.pint_affine(b, module)?;
+                if let Some(k) = x.as_constant() {
+                    y.scale(k)
+                } else if let Some(k) = y.as_constant() {
+                    x.scale(k)
+                } else {
+                    return None;
+                }
+            }
+            PInt::Neg(a) => self.pint_affine(a, module)?.scale(-1),
+            PInt::Min(..) | PInt::Max(..) | PInt::Abs(..) => return None,
+        })
     }
 }
 
@@ -857,14 +1201,11 @@ pub(crate) fn specialize(
     plan: &StorePlan<'_>,
     params: &FxHashMap<Symbol, i64>,
     key: Vec<i64>,
+    verified: Option<&[bool]>,
 ) -> Result<Spec, RuntimeError> {
     let module = plan.module;
     let mut layouts: IndexVec<DataId, Option<NdSpec>> = module.data.iter().map(|_| None).collect();
     let mut addrs: IndexVec<EqId, Vec<Addr>> = tapes.eqs.iter().map(|_| Vec::new()).collect();
-    // Checked runs always need the logical views; debug builds keep them
-    // too so `eval_addr` can assert in-range subscripts with the same
-    // strictness as `NdSpec::offset`.
-    let with_chk = tapes.checked || cfg!(debug_assertions);
     for (eq, opt) in tapes.eqs.iter_enumerated() {
         let Some(ceq) = opt else { continue };
         let mut folded = Vec::with_capacity(ceq.sym_addrs.len());
@@ -872,6 +1213,13 @@ pub(crate) fn specialize(
             if layouts[sym.array].is_none() {
                 layouts[sym.array] = Some(plan.nd_spec(sym.array, params)?);
             }
+            // Checked runs need the logical views — except for arrays the
+            // static analysis fully verified, whose tags are elided along
+            // with the per-access logical re-derivation. Debug builds keep
+            // them regardless so `eval_addr` can assert in-range
+            // subscripts with the same strictness as `NdSpec::offset`.
+            let elided = verified.is_some_and(|m| m[sym.array.index()]);
+            let with_chk = (tapes.checked && !elided) || cfg!(debug_assertions);
             folded.push(fold_addr(
                 sym,
                 layouts[sym.array].as_ref().expect("just filled"),
@@ -1120,14 +1468,38 @@ pub(crate) fn compile_tapes(
         eqs[eq_id] = Some(lowerer.lower_equation());
     }
     let n_slots = plan.slot_count();
-    for ceq in eqs.iter().flatten() {
-        ceq.validate(
+    for (eq_id, opt) in eqs.iter_enumerated() {
+        let Some(ceq) = opt else { continue };
+        let faults = ceq.validate(
             bufs.f.len(),
             bufs.i.len(),
             bufs.b.len(),
             n_slots,
             params.ids.len(),
         );
+        if !faults.is_empty() {
+            // A malformed tape is a lowering bug, not a user error: still
+            // fatal, but surfaced as a structural diagnostic naming the
+            // equation, its target, and the offending instruction rather
+            // than a bare index panic deep in the validator.
+            let eq = &module.equations[eq_id];
+            let mut diag = Diagnostic::error(
+                "E0604",
+                format!(
+                    "internal tape fault in {} (writes `{}`): {}",
+                    eq.label, module.data[eq.lhs].name, faults[0]
+                ),
+            );
+            for extra in &faults[1..] {
+                diag = diag.with_note(extra.clone(), None);
+            }
+            let notes: String = diag
+                .notes
+                .iter()
+                .map(|(n, _)| format!("\n  = note: {n}"))
+                .collect();
+            panic!("{}[{}]: {}{notes}", diag.severity, diag.code, diag.message);
+        }
     }
     Tapes {
         eqs,
@@ -2049,8 +2421,10 @@ impl<'r, 'm> ExecProg<'r, 'm> {
     /// Checked-mode load: the slot must currently hold exactly the logical
     /// element being read (same transition as `ArrayInstance::read`).
     fn check_read(tags: Option<&[AtomicI64]>, addr: &Addr, frame: &Frame, off: usize) {
-        let logical = Self::logical_of(addr, frame);
+        // Tag-less arrays (analysis-verified, or parameter inputs) skip the
+        // logical re-derivation entirely — that skip *is* the elision win.
         if let Some(tags) = tags {
+            let logical = Self::logical_of(addr, frame);
             let tag = tags[off].load(Ordering::Acquire);
             assert!(
                 tag == logical,
@@ -2063,8 +2437,8 @@ impl<'r, 'm> ExecProg<'r, 'm> {
     /// Checked-mode store: tag the slot with the logical element, panic on
     /// a double write (same transition as `ArrayInstance::write`).
     fn check_write(tags: Option<&[AtomicI64]>, addr: &Addr, frame: &Frame, off: usize) {
-        let logical = Self::logical_of(addr, frame);
         if let Some(tags) = tags {
+            let logical = Self::logical_of(addr, frame);
             let prev = tags[off].swap(logical, Ordering::AcqRel);
             assert!(
                 prev != logical,
@@ -2307,7 +2681,7 @@ mod tests {
         let store = plan
             .instantiate(inputs, false, &mut StoreArena::default())
             .unwrap();
-        let spec = specialize(&tapes, &plan, &store.params, Vec::new()).unwrap();
+        let spec = specialize(&tapes, &plan, &store.params, Vec::new(), None).unwrap();
         (plan, tapes, store, spec)
     }
 
@@ -2501,7 +2875,7 @@ mod tests {
             let store = plan
                 .instantiate(&inputs, false, &mut StoreArena::default())
                 .unwrap();
-            let spec = specialize(&tapes, &plan, &store.params, vec![n]).unwrap();
+            let spec = specialize(&tapes, &plan, &store.params, vec![n], None).unwrap();
             let mut frames = Frames::new(&tapes);
             frames.bind_params(&tapes, &store.param_values(tapes.params()));
             {

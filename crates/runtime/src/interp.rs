@@ -43,6 +43,22 @@ pub enum Engine {
     TreeWalk,
 }
 
+/// How much static verification [`crate::Program`] construction performs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AnalysisLevel {
+    /// No static analysis beyond structural tape validation.
+    #[default]
+    Off,
+    /// Run the `ps-analyze` verifier over the compiled tapes: prove
+    /// def-before-use, in-bounds addressing, and write-disjointness for
+    /// every admissible parameter vector. Construction fails on any
+    /// provable violation; arrays whose accesses are fully proven skip the
+    /// `check_writes` tag machinery. Only meaningful under
+    /// [`Engine::Compiled`] (the tree-walker has no tapes to analyze; the
+    /// level is then a documented no-op).
+    Verify,
+}
+
 /// Knobs for [`run_module`] / [`crate::Program`].
 ///
 /// `PartialEq`/`Eq` make options usable as part of a compile-cache key
@@ -60,6 +76,8 @@ pub struct RuntimeOptions {
     /// adversarial parameter diversity under serving load cannot grow
     /// memory without bound. Clamped to at least 1.
     pub spec_cache_cap: usize,
+    /// Static verification level (off by default).
+    pub analysis: AnalysisLevel,
 }
 
 impl Default for RuntimeOptions {
@@ -68,6 +86,7 @@ impl Default for RuntimeOptions {
             check_writes: false,
             engine: Engine::default(),
             spec_cache_cap: 64,
+            analysis: AnalysisLevel::default(),
         }
     }
 }

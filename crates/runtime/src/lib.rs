@@ -94,8 +94,24 @@
 //! engine: the tree-walker checks in its store accessors, the compiled
 //! engine in its checked tape mode.
 //!
+//! # Static verification ([`analysis`])
+//!
+//! `RuntimeOptions::analysis` = [`AnalysisLevel::Verify`] runs the
+//! `ps-analyze` static verifier over the compiled tapes at
+//! [`Program::try_new`] time. Three analyses, per scheduled region:
+//! **def-before-use** (every register defined along all control paths
+//! before it is read), **in-bounds addressing** (interval analysis over
+//! the affine subscripts against declared bounds, for all admissible
+//! parameter vectors), and **`DOALL` write-disjointness** (store
+//! addresses injective in the loop counters). Rejections surface as
+//! rendered `E06xx` diagnostics; arrays whose every access is *proven*
+//! safe skip the checked-write tag machinery entirely — proving most of
+//! `check_writes`' cost away while keeping runtime checks exactly where
+//! the proof fell back (e.g. dynamic gather subscripts).
+//!
 //! [`MemoryPlan`]: ps_scheduler::MemoryPlan
 
+pub mod analysis;
 mod compiled;
 pub mod eval;
 pub mod interp;
@@ -105,8 +121,10 @@ pub mod program;
 pub mod store;
 pub mod value;
 
-pub use interp::{run_module, Engine, RuntimeOptions};
+pub use analysis::analyze_compiled;
+pub use interp::{run_module, AnalysisLevel, Engine, RuntimeOptions};
 pub use naive::run_naive;
 pub use program::{Program, RunSession};
+pub use ps_analyze::{Report as AnalysisReport, Verdict as AnalysisVerdict};
 pub use store::{Inputs, Outputs, StoreArena, StorePlan};
 pub use value::{OwnedArray, Value};

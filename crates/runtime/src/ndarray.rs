@@ -1,6 +1,8 @@
 //! Strided N-d array storage with per-dimension windows and interior
 //! mutability for disjoint parallel writes.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use crate::value::{OwnedArray, OwnedBuffer, Value};
 use ps_lang::ScalarTy;
 use std::cell::UnsafeCell;
@@ -132,6 +134,9 @@ impl<T: Copy> ParVec<T> {
 
     #[inline]
     pub(crate) fn get(&self, i: usize) -> T {
+        // SAFETY: `&self` plus the schedule's single-assignment discipline
+        // (see the `Sync` impl above) rule out a concurrent `set` to `i`;
+        // the cell pointer is valid for the indexed element.
         unsafe { *self.data[i].get() }
     }
 
@@ -375,6 +380,9 @@ impl ArrayInstance {
                 "double write of logical index {index:?} (single assignment violated)"
             );
         }
+        // SAFETY: distinct `DOALL` iterations write distinct offsets (the
+        // scheduler's independence condition, re-proven by `ps-analyze`),
+        // and no reader observes `off` until the writing phase completes.
         match (&self.buf, value) {
             (SharedBuffer::Real(v), Value::Real(x)) => unsafe { v.set(off, x) },
             (SharedBuffer::Real(v), Value::Int(x)) => unsafe { v.set(off, x as f64) },

@@ -20,8 +20,9 @@
 //! from multiple threads sharing one artifact — each run owns its store
 //! and frames; the cache and arena are touched only under brief locks.
 
+use crate::analysis::analyze_tapes;
 use crate::compiled::{compile_tapes, specialize, ExecProg, Frames, Spec, Tapes};
-use crate::interp::{Engine, Interp, RuntimeOptions, TreeState};
+use crate::interp::{AnalysisLevel, Engine, Interp, RuntimeOptions, TreeState};
 use crate::store::{Inputs, Outputs, RuntimeError, Store, StoreArena, StorePlan};
 use ps_executor::Executor;
 use ps_lang::hir::HirModule;
@@ -62,6 +63,10 @@ pub struct Program<'m> {
     options: RuntimeOptions,
     /// `None` under [`Engine::TreeWalk`] (the oracle needs no tapes).
     tapes: Option<Tapes>,
+    /// Per-`DataId` tag-elision mask from [`AnalysisLevel::Verify`]:
+    /// arrays the static verifier proved safe skip checked-write tags
+    /// and runtime bounds dims. `None` when analysis is off.
+    verified: Option<Vec<bool>>,
     /// Symbols whose values determine array layouts (scalar int params);
     /// their value vector keys the specialization cache.
     key_syms: Vec<Symbol>,
@@ -75,33 +80,69 @@ pub struct Program<'m> {
 impl<'m> Program<'m> {
     /// Compile the reusable artifact: layout planning plus (under the
     /// compiled engine) tape lowering and validation.
+    ///
+    /// Panics if [`AnalysisLevel::Verify`] rejects the program; use
+    /// [`Program::try_new`] to receive the diagnostics instead.
     pub fn new(
         module: &'m HirModule,
         flowchart: &'m Flowchart,
         memory: &MemoryPlan,
         options: RuntimeOptions,
     ) -> Program<'m> {
+        match Program::try_new(module, flowchart, memory, options) {
+            Ok(p) => p,
+            Err(e) => panic!("static analysis rejected program: {e}"),
+        }
+    }
+
+    /// Like [`Program::new`], but surfaces static-verifier rejections
+    /// (`E06xx` diagnostics, rendered) as an error instead of panicking.
+    pub fn try_new(
+        module: &'m HirModule,
+        flowchart: &'m Flowchart,
+        memory: &MemoryPlan,
+        options: RuntimeOptions,
+    ) -> Result<Program<'m>, RuntimeError> {
         let plan = StorePlan::new(module, memory);
         let tapes = (options.engine == Engine::Compiled)
             .then(|| compile_tapes(module, &plan, flowchart, options.check_writes, true));
+        let verified = match (&tapes, options.analysis) {
+            (Some(tapes), AnalysisLevel::Verify) => {
+                let outcome = analyze_tapes(module, flowchart, &plan, tapes);
+                if outcome.report.has_errors() {
+                    return Err(RuntimeError(outcome.report.render()));
+                }
+                Some(outcome.verified)
+            }
+            _ => None,
+        };
         let key_syms = module
             .scalar_int_params()
             .into_iter()
             .map(|d| module.data[d].name)
             .collect();
-        Program {
+        Ok(Program {
             module,
             flowchart,
             plan,
             options,
             tapes,
+            verified,
             key_syms,
             specs: RwLock::new(Vec::new()),
             spec_clock: AtomicU64::new(0),
             pool: Mutex::new(Vec::new()),
             spec_builds: AtomicUsize::new(0),
             spec_evictions: AtomicUsize::new(0),
-        }
+        })
+    }
+
+    /// Number of arrays the static verifier proved safe for tag elision
+    /// (zero when analysis is off).
+    pub fn verified_arrays(&self) -> usize {
+        self.verified
+            .as_ref()
+            .map_or(0, |m| m.iter().filter(|&&v| v).count())
     }
 
     /// The module this program executes.
@@ -192,9 +233,12 @@ impl<'m> Program<'m> {
         executor: &dyn Executor,
         slot: &mut RunSlot,
     ) -> Result<Outputs, RuntimeError> {
-        let store = self
-            .plan
-            .instantiate(inputs, self.options.check_writes, &mut slot.arena)?;
+        let store = self.plan.instantiate_masked(
+            inputs,
+            self.options.check_writes,
+            self.verified.as_deref(),
+            &mut slot.arena,
+        )?;
         let spec = self.spec_for(tapes, &store)?;
         let mut frames = slot.frames.take().unwrap_or_else(|| Frames::new(tapes));
         frames.bind_params(tapes, &store.param_values(tapes.params()));
@@ -235,7 +279,13 @@ impl<'m> Program<'m> {
                 return Ok(Arc::clone(&c.spec));
             }
         }
-        let built = Arc::new(specialize(tapes, &self.plan, &store.params, key.clone())?);
+        let built = Arc::new(specialize(
+            tapes,
+            &self.plan,
+            &store.params,
+            key.clone(),
+            self.verified.as_deref(),
+        )?);
         let mut specs = self.specs.write().expect("spec cache poisoned");
         if let Some(c) = specs.iter().find(|c| c.spec.key == key) {
             // Lost the build race: another run specialized this layout

@@ -268,6 +268,13 @@ impl<'m> StorePlan<'m> {
         })
     }
 
+    /// Whether any dimension of array `id` received a window decision
+    /// (used by the static analysis: windowed arrays never elide their
+    /// runtime tags — the tags also catch window evictions).
+    pub(crate) fn is_windowed(&self, id: DataId) -> bool {
+        self.windows[id].iter().any(|w| w.is_some())
+    }
+
     /// Bind `inputs` and allocate every array, drawing reusable storage
     /// from `arena`. This is the cheap per-run half of the old
     /// `Store::build`.
@@ -275,6 +282,20 @@ impl<'m> StorePlan<'m> {
         &self,
         inputs: &Inputs,
         check_writes: bool,
+        arena: &mut StoreArena,
+    ) -> Result<Store<'m>, RuntimeError> {
+        self.instantiate_masked(inputs, check_writes, None, arena)
+    }
+
+    /// [`StorePlan::instantiate`] with a per-array tag-elision mask
+    /// (indexed by `DataId`): under `check_writes`, arrays the static
+    /// analysis fully verified skip tag allocation (and the O(n) per-run
+    /// tag reset) entirely.
+    pub(crate) fn instantiate_masked(
+        &self,
+        inputs: &Inputs,
+        check_writes: bool,
+        verified: Option<&[bool]>,
         arena: &mut StoreArena,
     ) -> Result<Store<'m>, RuntimeError> {
         let module = self.module;
@@ -373,10 +394,11 @@ impl<'m> StorePlan<'m> {
                         let elem = item.elem_scalar().ok_or_else(|| {
                             RuntimeError(format!("`{}` has no scalar element", item.name))
                         })?;
+                        let elided = verified.is_some_and(|m| m[id.index()]);
                         arrays[id] = Some(ArrayInstance::new_pooled(
                             NdSpec { dims },
                             elem,
-                            check_writes,
+                            check_writes && !elided,
                             &mut arena.bufs,
                         ));
                     }

@@ -20,6 +20,8 @@
 //!   implementation work,
 //! * [`render`] — the Figure 5/6/7 textual renderings.
 
+#![forbid(unsafe_code)]
+
 pub mod dims;
 pub mod flowchart;
 pub mod fusion;

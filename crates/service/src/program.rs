@@ -7,6 +7,8 @@
 //! the borrowing `Program` next to them, exposing only owning or
 //! `&self`-scoped APIs so the internal lifetime never escapes.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use crate::ServiceError;
 use ps_depgraph::build_depgraph;
 use ps_lang::{frontend, HirModule};

@@ -21,6 +21,8 @@
 //! `(source hash, RuntimeOptions)`; hash collisions are disambiguated by
 //! comparing the source text itself, so two programs can never alias.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use crate::program::CompiledProgram;
 use crate::ServiceError;
 use ps_runtime::RuntimeOptions;

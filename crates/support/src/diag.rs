@@ -31,7 +31,10 @@ pub struct Diagnostic {
     pub severity: Severity,
     /// Stable machine-readable code, e.g. `E0103`. Codes are grouped per
     /// pipeline stage: `E01xx` lexer/parser, `E02xx` semantic analysis,
-    /// `E03xx` scheduler, `E04xx` hyperplane transform, `E05xx` runtime.
+    /// `E03xx` scheduler, `E04xx` hyperplane transform, `E05xx` runtime,
+    /// `E06xx` static tape verification (`ps-analyze`: E0601
+    /// use-before-def, E0602 out-of-bounds, E0603 overlapping DOALL
+    /// writes, E0604 structural tape fault).
     pub code: &'static str,
     pub message: String,
     pub span: Option<Span>,

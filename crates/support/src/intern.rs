@@ -8,6 +8,8 @@
 //! segmented arena, so rendering, `Display` and `Ord` comparisons never
 //! touch a lock.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use crate::fxhash::FxHashMap;
 use std::cell::UnsafeCell;
 use std::fmt;

@@ -7,7 +7,8 @@
 # Runs: release build, the full test suite (unit + integration + doc),
 # the executor schedule-stress suite (explicitly, so a pool regression
 # names itself), the benchmark smoke pass (structural figure assertions),
-# a bench-JSON smoke step, docs with warnings denied, and rustfmt.
+# a bench-JSON smoke step, the ps-analyze static verification of every
+# builtin program, docs with warnings denied, and rustfmt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +39,7 @@ rm -f "$json_out"
 PS_BENCH_WARMUP=1 PS_BENCH_SAMPLES=2 \
     cargo bench --offline --bench exec_eval -- --bench-json "$json_out" >/dev/null
 grep -q 'jacobi/compiled' "$json_out" && grep -q 'jacobi/treewalk' "$json_out" \
+    && grep -q 'pipeline/checked_elide' "$json_out" \
     && grep -q '"batch"' "$json_out" && grep -q '"rejected_outliers"' "$json_out" \
     || { echo "bench-json smoke: $json_out missing expected fields" >&2; exit 1; }
 
@@ -81,6 +83,13 @@ echo "$load_out" | grep -Eq 'cache_hits=[1-9]' \
     || { echo "warm registry did not report cache hits" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
 ./target/release/ps-serve shutdown --addr "$addr" >/dev/null
 wait "$serve_pid" 2>/dev/null || true
+
+echo "==> ps-analyze static verification of every builtin (zero diagnostics)"
+analyze_out=$(./target/release/ps-analyze) \
+    || { echo "ps-analyze rejected a builtin program" >&2; exit 1; }
+echo "$analyze_out" | tail -n 1
+echo "$analyze_out" | grep -q ' 0 errors$' \
+    || { echo "ps-analyze reported diagnostics on builtin programs" >&2; exit 1; }
 
 echo "==> cargo doc --offline --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -q
