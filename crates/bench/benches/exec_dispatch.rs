@@ -11,12 +11,39 @@
 //! is regions per second and `median / REGIONS` is the per-region latency.
 //!
 //! Expected shape: `Sequential` and `par1` (zero workers, inline) set the
-//! floor; the broadcast-slot pool keeps `par2`..`par8` within a small
+//! floor; the work-stealing pool keeps `par2`..`par8` within a small
 //! multiple of it instead of the per-worker-channel-send multiple.
+//!
+//! The `parN_concurrent` rows split the same region count across two
+//! submitter threads sharing one pool: each publishes on its own lane, so
+//! their regions are in flight simultaneously. Against a pool that admits
+//! only one live region (the pre-work-stealing design), this shape
+//! serializes on the submit lock and costs *more* than the single-threaded
+//! row; with per-lane publication it must come out cheaper.
 
 use ps_bench::Harness;
 use ps_core::{Executor, Sequential, ThreadPool};
 use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Split `REGIONS` regions of `size` iterations across `submitters`
+/// concurrent threads sharing `pool`; returns the combined checksum.
+fn concurrent_burst(pool: &ThreadPool, size: i64, submitters: usize) -> i64 {
+    let total = AtomicI64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..submitters {
+            s.spawn(|| {
+                let sink = AtomicI64::new(0);
+                for _ in 0..REGIONS / submitters {
+                    pool.for_range(0, size - 1, &|i| {
+                        sink.fetch_add(i + 1, Ordering::Relaxed);
+                    });
+                }
+                total.fetch_add(sink.load(Ordering::Relaxed), Ordering::Relaxed);
+            });
+        }
+    });
+    total.load(Ordering::Relaxed)
+}
 
 /// Regions per timed call: enough to amortise `Instant` resolution while
 /// keeping one sample well under a millisecond at the expected latencies.
@@ -51,6 +78,26 @@ fn main() {
                 let got = dispatch_burst(ex.as_ref(), size);
                 assert_eq!(got, expected, "{name}/m{size} lost iterations");
             });
+        }
+    }
+    // Multi-submitter rows: the same total region count, two racing
+    // submitter lanes (thread spawn cost is part of the shape and is
+    // identical across pool widths, so the rows stay comparable).
+    for &threads in &[2usize, 4] {
+        let pool = ThreadPool::new(threads);
+        for &size in &[4i64, 64] {
+            let expected = REGIONS as i64 * (size * (size + 1) / 2);
+            g.bench_with_elements(
+                &format!("par{threads}_concurrent/m{size}"),
+                REGIONS as u64,
+                || {
+                    let got = concurrent_burst(&pool, size, 2);
+                    assert_eq!(
+                        got, expected,
+                        "par{threads}_concurrent/m{size} lost iterations"
+                    );
+                },
+            );
         }
     }
     g.finish();

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! ps-serve listen [--addr 127.0.0.1:0] [--workers N] [--solve-threads N]
-//!                 [--batch-max N] [--registry-capacity N]
+//!                 [--batch-max N] [--registry-capacity N] [--queue-cap N]
 //! ps-serve load --addr HOST:PORT [--clients C] [--requests R]
 //!               [--program NAME] [--param k=v]... [--vary name=lo:hi]
 //! ps-serve shutdown --addr HOST:PORT
@@ -19,20 +19,105 @@
 //! solve lines each, verifies every response, and reports throughput plus
 //! the server's own stats line — the measurable end of the ROADMAP's
 //! "serve heavy traffic" goal.
+//!
+//! `shutdown` drains **every** live connection, not just the issuing one:
+//! the server stops accepting, half-closes the read side of all other
+//! connections (in-flight requests still complete and their responses
+//! still flush — only the *next* read sees EOF), waits for those
+//! connection threads to finish, then answers `ok bye` and exits.
 
 use ps_core::{programs, proto, ProgramKey, RuntimeOptions, Service, ServiceOptions};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::process::ExitCode;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Live-connection table for the graceful cross-connection drain.
+///
+/// Each connection thread registers a `try_clone` handle on accept and
+/// deregisters on exit. The first `shutdown` command flips `draining`
+/// (new connections are refused), half-closes every *other* connection's
+/// read side — their in-flight frame still completes and its response
+/// flushes, because only the read direction is shut — and waits for the
+/// table to drain down to the issuing connection.
+#[derive(Default)]
+struct ConnTable {
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    changed: Condvar,
+    draining: AtomicBool,
+    next_id: AtomicU64,
+}
+
+impl ConnTable {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let handle = stream.try_clone().ok()?;
+        self.conns
+            .lock()
+            .expect("connection table poisoned")
+            .insert(id, handle);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.conns
+            .lock()
+            .expect("connection table poisoned")
+            .remove(&id);
+        self.changed.notify_all();
+    }
+
+    /// First caller wins the drain coordinator role; later `shutdown`
+    /// commands just close their own connection.
+    fn begin_drain(&self, me: u64) -> bool {
+        if self
+            .draining
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        let conns = self.conns.lock().expect("connection table poisoned");
+        for (&id, stream) in conns.iter() {
+            if id != me {
+                // Half-close: the peer's in-flight request still gets its
+                // response; its next read returns EOF and the connection
+                // thread exits cleanly.
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        true
+    }
+
+    /// Block until only connection `me` remains (bounded: a connection
+    /// wedged in a pathological solve cannot hold the exit hostage
+    /// forever).
+    fn wait_drained(&self, me: u64) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut conns = self.conns.lock().expect("connection table poisoned");
+        while !conns.keys().all(|&id| id == me) {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                eprintln!("shutdown: drain timed out; exiting with connections live");
+                return;
+            }
+            let (guard, _) = self
+                .changed
+                .wait_timeout(conns, left)
+                .expect("connection table poisoned");
+            conns = guard;
+        }
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n\
          ps-serve listen [--addr 127.0.0.1:0] [--workers N] [--solve-threads N]\n\
-         \x20                [--batch-max N] [--registry-capacity N]\n\
+         \x20                [--batch-max N] [--registry-capacity N] [--queue-cap N]\n\
          ps-serve load --addr HOST:PORT [--clients C] [--requests R]\n\
          \x20             [--program NAME] [--param k=v]... [--vary name=lo:hi]\n\
          ps-serve shutdown --addr HOST:PORT"
@@ -95,6 +180,10 @@ fn listen(args: &[String]) -> ExitCode {
                     "--registry-capacity",
                 )
             }
+            "--queue-cap" => {
+                options.queue_cap =
+                    parse_num(&take_value(args, &mut i, "--queue-cap"), "--queue-cap")
+            }
             other => {
                 eprintln!("error: unknown flag `{other}`");
                 usage()
@@ -125,15 +214,28 @@ fn listen(args: &[String]) -> ExitCode {
             .collect(),
     );
 
+    let table = Arc::new(ConnTable::default());
     for conn in listener.incoming() {
         let Ok(stream) = conn else { continue };
+        // Refuse connections accepted after a drain began (the drain
+        // coordinator exits the process; until then, just close).
+        if table.draining.load(Ordering::SeqCst) {
+            drop(stream);
+            continue;
+        }
+        let Some(id) = table.register(&stream) else {
+            continue;
+        };
         let service = Arc::clone(&service);
         let keys = Arc::clone(&keys);
+        let table = Arc::clone(&table);
         std::thread::spawn(move || {
-            if serve_connection(stream, &service, &keys) == Flow::Shutdown {
-                // Explicit operator shutdown: the accept loop is parked in
-                // `accept`, so end the process (queued work on other
-                // connections is abandoned by design here).
+            let flow = serve_connection(stream, &service, &keys, &table, id);
+            table.deregister(id);
+            if flow == Flow::Shutdown {
+                // This thread won the drain: every other connection has
+                // finished its in-flight frames and closed (see
+                // `ConnTable`), so the process can end.
                 std::process::exit(0);
             }
         });
@@ -151,6 +253,8 @@ fn serve_connection(
     stream: TcpStream,
     service: &Service,
     keys: &HashMap<&'static str, ProgramKey>,
+    table: &ConnTable,
+    my_id: u64,
 ) -> Flow {
     let reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -166,17 +270,28 @@ fn serve_connection(
             Err(msg) => proto::format_error(&msg),
             Ok(proto::WireCommand::Quit) => break,
             Ok(proto::WireCommand::Shutdown) => {
+                if table.begin_drain(my_id) {
+                    // Every other connection finishes its in-flight
+                    // frames and closes before we acknowledge.
+                    table.wait_drained(my_id);
+                    let _ = writeln!(writer, "ok bye");
+                    let _ = writer.flush();
+                    return Flow::Shutdown;
+                }
+                // A concurrent shutdown already owns the drain; just
+                // acknowledge and close this connection.
                 let _ = writeln!(writer, "ok bye");
                 let _ = writer.flush();
-                return Flow::Shutdown;
+                break;
             }
             Ok(proto::WireCommand::Stats) => {
                 let s = service.stats();
                 format!(
-                    "ok requests={} responses={} errors={} panics={} batches={} \
+                    "ok requests={} rejected={} responses={} errors={} panics={} batches={} \
                      max_batch={} queue_depth={} compiles={} cache_hits={} \
                      cache_evictions={} p50_us={} p99_us={}",
                     s.requests,
+                    s.rejected,
                     s.responses,
                     s.errors,
                     s.panics,

@@ -59,7 +59,7 @@ pub use pipeline::{
 pub use ps_codegen::{emit_main, emit_module, CodegenOptions};
 pub use ps_depgraph::{build_depgraph, DepGraph};
 pub use ps_eqfront::translate_equation;
-pub use ps_executor::{Executor, Sequential, ThreadPool};
+pub use ps_executor::{Executor, PoolStatsSnapshot, Sequential, ThreadPool};
 pub use ps_hyperplane::{
     find_recursive_target, hyperplane_transform, schedule_transformed, HyperplaneResult,
     StorageMode,

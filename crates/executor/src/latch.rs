@@ -8,9 +8,9 @@ use std::sync::{Condvar, Mutex};
 /// The counter starts at `n`; workers call [`CountLatch::count_down`] once
 /// each; the owner calls [`CountLatch::wait`] and returns once the counter
 /// reaches zero. The fast path is a single atomic, followed by a bounded
-/// spin (the broadcast pool signals within nanoseconds of the waiter
-/// arriving for small regions); the `std::sync` mutex / condvar pair only
-/// engages when the waiter actually sleeps.
+/// spin (the work-stealing pool counts a small region down within
+/// nanoseconds of the waiter arriving); the `std::sync` mutex / condvar
+/// pair only engages when the waiter actually sleeps.
 pub struct CountLatch {
     remaining: AtomicUsize,
     mutex: Mutex<()>,

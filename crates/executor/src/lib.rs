@@ -8,12 +8,16 @@
 //! (self-scheduling, in the spirit of the era's *guided self-scheduling*
 //! literature the paper cites).
 //!
-//! Built strictly from the standard library — a lock-free generation-
-//! counted broadcast slot publishes each region to all workers with a
-//! single `notify_all` (see [`pool`] for the protocol), and an item-counted
-//! mutex/condvar latch detects completion — following the construction
-//! patterns of *Rust Atomics and Locks*. The workspace carries zero
-//! external dependencies.
+//! Built strictly from the standard library — a lock-free work-stealing
+//! pool admits many concurrent in-flight regions: each submitter
+//! publishes regions on its own *lane* (an epoch-validated slot stack),
+//! idle workers steal chunks off every live region's atomic cursor, and
+//! an item-counted mutex/condvar latch detects completion (see [`pool`]
+//! for the full protocol) — following the construction patterns of *Rust
+//! Atomics and Locks*. Concurrent submitters never serialize, and a
+//! `DOALL` spawned from inside a running chunk publishes a real nested
+//! region instead of inlining. The workspace carries zero external
+//! dependencies.
 
 pub mod latch;
 pub mod pool;
@@ -138,9 +142,10 @@ mod tests {
     }
 
     #[test]
-    fn nested_parallel_for_runs_inline() {
-        // A DOALL inside a DOALL must not deadlock; the inner loop runs
-        // sequentially on the worker.
+    fn nested_parallel_for_runs_parallel() {
+        // A DOALL inside a DOALL must not deadlock; the inner loop is
+        // published as a real region (workers steal its chunks) rather
+        // than inlined serially.
         let pool = ThreadPool::new(4);
         let total = AtomicI64::new(0);
         pool.for_range(0, 9, &|_| {
@@ -149,6 +154,7 @@ mod tests {
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), 45 * 10);
+        assert!(pool.stats().nested_regions > 0, "inner loops published");
     }
 
     #[test]

@@ -1,33 +1,51 @@
 //! The worker pool and the sequential executor.
 //!
-//! ## Broadcast-slot design
+//! ## Work-stealing multi-region design
 //!
-//! Publishing a region costs one pointer store, one generation bump and one
-//! `notify_all`, regardless of pool width — there are no per-worker
-//! channels and no per-region allocations (the `Region` lives on the
-//! submitter's stack). The shared `Slot` carries a generation counter
-//! (`epoch`, even = idle, odd = a region is live) and the raw pointer to
-//! the current region:
+//! The pool admits **many concurrent in-flight regions**. Every region is
+//! published on a *lane* — a small fixed stack of publication slots — and
+//! drained cooperatively by its submitter plus any idle workers:
 //!
-//! * **Publish** (submitter, serialized by the `submit` mutex): store the
-//!   region pointer, bump `epoch` to odd, take the slot mutex and
-//!   `notify_all`. Workers spin briefly on the atomic `epoch` before ever
-//!   touching the mutex (futex-style fast path), so back-to-back regions
-//!   are often picked up without any sleep/wake transition.
-//! * **Drain**: every participant (workers + the calling thread) claims
-//!   `[next, next+chunk)` slices off the region's atomic cursor. Completion
-//!   is *item-counted*: whoever retires the last iteration signals the
-//!   region's one-shot latch. A worker that never wakes for a short region
-//!   simply misses it — it cannot delay completion, which is what makes
-//!   the many-small-region pattern fast.
-//! * **Retire** (submitter, after the latch): bump `epoch` back to even,
-//!   then wait until no worker still *announces* the retired generation.
-//!   Workers announce the epoch they are about to drain in a padded
-//!   per-worker cell and re-check the epoch afterwards (both seqcst, a
-//!   store-load handshake); the submitter's retire scan therefore cannot
-//!   return while any worker can still touch the stack-held region, and a
-//!   late-waking worker observes the bumped epoch and backs off without
-//!   dereferencing the stale pointer.
+//! * **Lanes.** Each pool worker owns one lane; a bounded set of extra
+//!   *submitter lanes* serves external threads (a thread claims one with a
+//!   single CAS for the duration of a top-level region and releases it on
+//!   retire). A lane is a stack of `LANE_DEPTH` (8) slots: the owner pushes
+//!   nested regions at the bottom (deepest slot) and pops them LIFO as
+//!   they retire; thieves scan from the top (slot 0, the outermost —
+//!   oldest — region first, where the most work lives).
+//! * **Publish** (lane owner): store the region pointer, then a globally
+//!   unique odd *epoch* into the slot, bump the pool version and wake
+//!   sleepers only if any worker actually parked. No mutex is taken on the
+//!   fast path, and concurrent submitters never serialize — each publishes
+//!   on its own lane.
+//! * **Steal** (idle workers): scan every lane's slots for a nonzero
+//!   epoch, *announce* that epoch in a padded per-worker cell, re-check
+//!   the slot still carries it (a seqcst store-load handshake), and only
+//!   then drain the region. Epochs are never reused, so the re-check can
+//!   never confuse two publications of the same slot (no ABA).
+//! * **Drain** (chunk-granularity stealing): all participants claim
+//!   `[next, next+chunk)` slices off the region's atomic cursor, so uneven
+//!   wavefront rows rebalance across workers at chunk granularity.
+//!   Completion stays *item-counted*: whoever retires the last iteration
+//!   signals the region's one-shot [`CountLatch`]. A worker that never
+//!   wakes for a short region cannot delay it.
+//! * **Reentrant spawn.** `for_range` from inside a running chunk — on a
+//!   worker or on a submitting thread — publishes a *nested* region on the
+//!   current thread's lane (one slot deeper) instead of inlining serially:
+//!   the spawning thread drains chunks of it while idle workers steal the
+//!   rest. Nesting beyond `LANE_DEPTH` levels, and submitters beyond the
+//!   lane budget, fall back to inline execution (correct, just serial).
+//! * **Retire** (lane owner, after the latch): clear the slot's epoch,
+//!   then wait until no worker still *announces* the retired epoch. The
+//!   announce/re-check handshake guarantees the scan cannot return while
+//!   any worker can still touch the stack-held `Region`, so the region —
+//!   and the user closure it borrows — may live on the submitter's stack
+//!   with zero per-region allocations.
+//!
+//! Progress does not depend on workers at all: every submitter drains its
+//! own region's cursor to exhaustion before waiting on the latch, so a
+//! fully busy (or 0-worker) pool still completes every region — nested
+//! submissions cannot deadlock, whatever their shape.
 //!
 //! `ThreadPool::new(1)` spawns no workers and short-circuits every region
 //! to inline execution — same behaviour as [`Sequential`], plus counters.
@@ -37,7 +55,7 @@
 use crate::latch::CountLatch;
 use crate::stats::{PoolStats, PoolStatsSnapshot};
 use crate::Executor;
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -82,8 +100,8 @@ struct Region {
     /// completes when this reaches `total`.
     completed: AtomicI64,
     /// The user chunk closure `f(start, stop)`. Lifetime-erased: the caller
-    /// of `for_range`/`for_chunks` blocks on `latch` before returning, so
-    /// the borrow outlives all uses.
+    /// of `for_range`/`for_chunks` blocks on `latch` (and then the retire
+    /// scan) before returning, so the borrow outlives all uses.
     func: *const (dyn Fn(i64, i64) + Sync),
     /// One-shot completion latch, signalled by whichever participant
     /// retires the final iteration.
@@ -98,17 +116,22 @@ struct Region {
 unsafe impl Sync for Region {}
 
 impl Region {
-    /// Drain chunks until the cursor passes `end`.
-    fn drain(&self, stats: &PoolStats) {
-        // SAFETY: see the `Sync` justification above.
+    /// Drain chunks until the cursor passes `end`. Returns the number of
+    /// iterations this participant retired (0 = the visit was
+    /// unproductive: every chunk was already claimed).
+    fn drain(&self, stats: &PoolStats, stolen: bool) -> i64 {
+        // SAFETY: see the `Sync` justification above; the announce
+        // handshake (thieves) or ownership (submitter) keeps the borrow
+        // alive for the whole drain.
         let f = unsafe { &*self.func };
+        let mut done = 0i64;
         loop {
             let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.end {
-                return;
+                return done;
             }
             let stop = (start + self.chunk).min(self.end);
-            stats.record_chunk((stop - start) as u64);
+            stats.record_chunk((stop - start) as u64, stolen);
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 f(start, stop);
             }));
@@ -121,9 +144,10 @@ impl Region {
                 let unclaimed = self.next.swap(self.end, Ordering::Relaxed);
                 let skipped = (self.end - unclaimed).max(0);
                 self.retire((stop - start) + skipped);
-                return;
+                return done + (stop - start);
             }
             self.retire(stop - start);
+            done += stop - start;
         }
     }
 
@@ -147,130 +171,226 @@ impl Region {
 #[repr(align(128))]
 struct AnnounceCell(AtomicU64);
 
-/// Announce value meaning "not inside any region" (epochs start at 1).
+/// Announce value meaning "not draining any stolen region".
 const IDLE: u64 = 0;
 
-/// The generation-stamped broadcast cell all workers watch.
-struct Slot {
-    /// Even = idle, odd = a region is published. Monotonic.
+/// Live regions one lane can advertise at once — the maximum reentrant
+/// nesting depth before spawns fall back to inline execution.
+const LANE_DEPTH: usize = 8;
+
+/// One publication slot of a lane.
+struct LaneSlot {
+    /// 0 = empty; otherwise the unique odd epoch of the published region.
+    /// Epochs come from a pool-wide counter and are never reused, so a
+    /// thief's announce/re-check can never confuse two publications.
     epoch: AtomicU64,
-    /// Pointer to the live region while `epoch` is odd.
+    /// Pointer to the live region while `epoch` is nonzero. Stored
+    /// *before* the epoch on publish; a thief therefore validates the
+    /// (epoch, pointer) pair by re-checking the epoch after reading both.
     region: AtomicPtr<Region>,
-    /// Sleep/wake plumbing; the mutex protects no data, only the condvar
-    /// protocol (workers re-check `epoch` under it before waiting).
-    mutex: Mutex<()>,
-    cond: Condvar,
+}
+
+/// One publication lane: a bounded LIFO stack of live regions owned by a
+/// single thread at a time. Padded so thieves scanning one lane do not
+/// false-share with owners publishing on a neighbour.
+#[repr(align(128))]
+struct Lane {
+    slots: [LaneSlot; LANE_DEPTH],
+    /// Submitter lanes only: claimed by one external thread for the
+    /// duration of a top-level region (worker lanes stay claimed forever).
+    claimed: AtomicBool,
+}
+
+impl Lane {
+    fn new(claimed: bool) -> Lane {
+        Lane {
+            slots: std::array::from_fn(|_| LaneSlot {
+                epoch: AtomicU64::new(0),
+                region: AtomicPtr::new(std::ptr::null_mut()),
+            }),
+            claimed: AtomicBool::new(claimed),
+        }
+    }
 }
 
 struct Shared {
-    slot: Slot,
-    /// One announce cell per worker.
-    states: Box<[AnnounceCell]>,
-    /// Serializes submitters: one live region per pool at a time.
-    submit: Mutex<()>,
+    /// `[0, n_workers)` are worker lanes; the rest are submitter lanes.
+    lanes: Box<[Lane]>,
+    n_workers: usize,
+    /// One announce cell per worker (thieves only; submitters never steal).
+    announces: Box<[AnnounceCell]>,
+    /// Epoch allocator: starts at 1, steps by 2 — every publish gets a
+    /// fresh odd epoch, pool-wide.
+    epoch_gen: AtomicU64,
+    /// Bumped on every publish; idle workers spin on it and park when it
+    /// stops moving.
+    version: AtomicU64,
+    /// Regions currently published (a gauge feeding the
+    /// `max_live_regions` high-water stat).
+    live: AtomicU64,
+    /// Workers currently parked (or about to park) on `cond`.
+    sleepers: AtomicU64,
+    /// Sleep/wake plumbing; the mutex protects no data, only the condvar
+    /// protocol (workers re-check `version` under it before waiting).
+    mutex: Mutex<()>,
+    cond: Condvar,
     shutdown: AtomicBool,
     stats: PoolStats,
 }
 
+/// One entry of the thread-local lane stack: this thread currently owns
+/// `lane` on `pool`, with `depth` live regions published on it.
+struct ActiveLane {
+    pool: *const Shared,
+    lane: usize,
+    depth: usize,
+    /// Worker lanes are never released; claimed submitter lanes are.
+    permanent: bool,
+}
+
 thread_local! {
-    /// True on pool worker threads; nested `for_range` calls run inline to
-    /// avoid self-deadlock.
-    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
-    /// Stack of pools this thread is currently submitting to (by `Shared`
-    /// address). A nested `for_range` on a pool already on the stack —
-    /// e.g. an outer region's chunk closure launching an inner DOALL on
-    /// the *same* pool — must run inline: the submit mutex is not
-    /// reentrant, and that pool is busy with the outer region anyway.
-    /// Submissions to a *different* pool broadcast normally.
-    static SUBMITTING: std::cell::RefCell<Vec<*const Shared>> =
-        const { std::cell::RefCell::new(Vec::new()) };
+    /// Lanes this thread currently owns, newest last. A nested `for_range`
+    /// on a pool already present publishes one slot deeper on the same
+    /// lane; a submission to a new pool claims a fresh submitter lane.
+    static ACTIVE: RefCell<Vec<ActiveLane>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Pops the pool from [`SUBMITTING`] on scope exit, even on unwind.
-struct SubmitGuard;
-
-impl SubmitGuard {
-    fn enter(pool: *const Shared) -> SubmitGuard {
-        SUBMITTING.with(|s| s.borrow_mut().push(pool));
-        SubmitGuard
-    }
-}
-
-impl Drop for SubmitGuard {
-    fn drop(&mut self) {
-        SUBMITTING.with(|s| {
-            s.borrow_mut().pop();
-        });
-    }
-}
-
-/// A fixed-size pool of persistent worker threads sharing one broadcast
-/// slot.
+/// A fixed-size pool of persistent worker threads with per-lane region
+/// publication and chunk-granularity work stealing.
 pub struct ThreadPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     n_threads: usize,
 }
 
-/// Spin iterations on the atomic epoch before yielding, and yields before
-/// parking on the condvar. Short regions complete in well under the spin
-/// window, so a busy pool rarely touches the futex at all.
+/// Spin iterations on the version counter before yielding, and yields
+/// before parking on the condvar. Short regions complete in well under the
+/// spin window, so a busy pool rarely touches the futex at all.
 const SPINS: usize = 128;
 const YIELDS: usize = 32;
 
-fn worker_loop(shared: &Shared, me: usize) {
-    IN_WORKER.with(|f| f.set(true));
-    let slot = &shared.slot;
-    // Start from generation 0 so a region published before this thread's
-    // first epoch read is still picked up, not slept through.
-    let mut last_seen = 0u64;
-    loop {
-        // Wait for the epoch to move: spin, then yield, then park.
-        let mut e = slot.epoch.load(Ordering::Acquire);
-        if e == last_seen {
-            'wait: {
-                for spin in 0..(SPINS + YIELDS) {
-                    if spin < SPINS {
-                        std::hint::spin_loop();
-                    } else {
-                        std::thread::yield_now();
-                    }
-                    e = slot.epoch.load(Ordering::Acquire);
-                    if e != last_seen {
-                        break 'wait;
-                    }
-                }
-                let mut guard = slot.mutex.lock().unwrap_or_else(|e| e.into_inner());
-                loop {
-                    e = slot.epoch.load(Ordering::Acquire);
-                    if e != last_seen {
-                        break;
-                    }
-                    guard = slot.cond.wait(guard).unwrap_or_else(|e| e.into_inner());
-                }
+/// Scan every lane for a region with unclaimed chunks and drain the first
+/// one found. Returns `true` if any iterations were executed.
+///
+/// Scan order: lanes rotated by the worker index (spreading thieves),
+/// slots from the top (slot 0 — the outermost, oldest region, where the
+/// most unclaimed work usually lives). Lane slots fill bottom-up and pop
+/// LIFO, so the first empty slot ends the lane.
+fn try_steal(shared: &Shared, me: usize) -> bool {
+    let n = shared.lanes.len();
+    let announce = &shared.announces[me].0;
+    for k in 0..n {
+        let lane = &shared.lanes[(me + 1 + k) % n];
+        for slot in lane.slots.iter() {
+            let e = slot.epoch.load(Ordering::SeqCst);
+            if e == 0 {
+                break; // slots fill contiguously from 0
+            }
+            // Validate the (epoch, pointer) pair: read both, announce the
+            // epoch, then re-check the slot still carries it. The seqcst
+            // announce/re-check pair means the owner's retire scan either
+            // sees our announce and waits for us, or already cleared the
+            // epoch — in which case the re-check fails and we never touch
+            // the pointer. Unique epochs rule out ABA across republishes.
+            let ptr = slot.region.load(Ordering::SeqCst);
+            announce.store(e, Ordering::SeqCst);
+            let mut done = 0i64;
+            if slot.epoch.load(Ordering::SeqCst) == e && !ptr.is_null() {
+                // SAFETY: the announce/re-check handshake above plus the
+                // owner's retire scan keep the region alive while we
+                // drain it.
+                let region = unsafe { &*ptr };
+                done = region.drain(&shared.stats, true);
+            }
+            announce.store(IDLE, Ordering::SeqCst);
+            if done > 0 {
+                return true;
             }
         }
-        last_seen = e;
+    }
+    false
+}
+
+fn worker_loop(shared: &Arc<Shared>, me: usize) {
+    // The worker's lane is its permanent publication home for regions
+    // spawned reentrantly from inside chunks it executes.
+    ACTIVE.with(|a| {
+        a.borrow_mut().push(ActiveLane {
+            pool: Arc::as_ptr(shared),
+            lane: me,
+            depth: 0,
+            permanent: true,
+        })
+    });
+    loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        if e % 2 == 1 {
-            // A region is (or very recently was) live. Announce the
-            // generation, then re-check it: the seqcst store-load pair
-            // ensures the submitter's retire scan either sees our announce
-            // and waits for us, or has already bumped the epoch — in which
-            // case the re-check fails and we never touch the pointer.
-            let cell = &shared.states[me].0;
-            cell.store(e, Ordering::SeqCst);
-            if slot.epoch.load(Ordering::SeqCst) == e {
-                let ptr = slot.region.load(Ordering::Acquire);
-                // SAFETY: the announce/re-check handshake above plus the
-                // retire scan keep the region alive while we drain it.
-                let region = unsafe { &*ptr };
-                region.drain(&shared.stats);
-            }
-            cell.store(IDLE, Ordering::SeqCst);
+        // Snapshot the version *before* scanning: a publish that lands
+        // mid-scan moves it, so the idle path below rescans instead of
+        // sleeping through it.
+        let v = shared.version.load(Ordering::SeqCst);
+        if try_steal(shared, me) {
+            continue;
         }
+        // Nothing productive at version v: spin, then yield, then park
+        // until a new region is published.
+        let mut moved = false;
+        for spin in 0..(SPINS + YIELDS) {
+            if spin < SPINS {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            if shared.version.load(Ordering::SeqCst) != v || shared.shutdown.load(Ordering::Acquire)
+            {
+                moved = true;
+                break;
+            }
+        }
+        if moved {
+            continue;
+        }
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut guard = shared.mutex.lock().unwrap_or_else(|e| e.into_inner());
+            while shared.version.load(Ordering::SeqCst) == v
+                && !shared.shutdown.load(Ordering::Acquire)
+            {
+                guard = shared.cond.wait(guard).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Restores the thread-local lane stack (and the lane claim) on scope
+/// exit, even on unwind.
+struct LaneScope {
+    pool: *const Shared,
+    lane: usize,
+}
+
+impl Drop for LaneScope {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| {
+            let mut active = a.borrow_mut();
+            let i = active
+                .iter()
+                .rposition(|e| e.pool == self.pool && e.lane == self.lane)
+                .expect("lane scope entry present");
+            active[i].depth -= 1;
+            if active[i].depth == 0 && !active[i].permanent {
+                let entry = active.remove(i);
+                // SAFETY: the pool outlives every lane scope — external
+                // submitters hold `&ThreadPool` across `for_chunks`, and
+                // worker threads are joined before `Shared` drops.
+                let shared = unsafe { &*entry.pool };
+                shared.lanes[entry.lane]
+                    .claimed
+                    .store(false, Ordering::Release);
+            }
+        });
     }
 }
 
@@ -278,9 +398,9 @@ impl ThreadPool {
     /// Create a pool wrapped in an [`Arc`] — the shape long-lived services
     /// want: every service worker thread holds a clone of the handle next
     /// to its shared `&Program`, and the `Executor for Arc<E>` impl makes
-    /// the handle itself an executor. One pool serves all workers; the
-    /// broadcast slot serializes overlapping regions (see the module docs),
-    /// so concurrent submitters queue rather than interleave.
+    /// the handle itself an executor. One pool serves all workers, and
+    /// concurrent submitters genuinely overlap: each publishes regions on
+    /// its own lane while idle workers steal chunks from all of them.
     pub fn shared(n: usize) -> Arc<ThreadPool> {
         Arc::new(ThreadPool::new(n))
     }
@@ -295,17 +415,23 @@ impl ThreadPool {
         // The caller participates, so spawn n-1 workers for n-way
         // parallelism.
         let n_workers = n - 1;
+        // Submitter lanes bound how many external threads can have live
+        // regions at once; extra submitters fall back to inline execution.
+        let n_submit_lanes = (2 * n).max(8);
         let shared = Arc::new(Shared {
-            slot: Slot {
-                epoch: AtomicU64::new(0),
-                region: AtomicPtr::new(std::ptr::null_mut()),
-                mutex: Mutex::new(()),
-                cond: Condvar::new(),
-            },
-            states: (0..n_workers)
+            lanes: (0..n_workers + n_submit_lanes)
+                .map(|i| Lane::new(i < n_workers))
+                .collect(),
+            n_workers,
+            announces: (0..n_workers)
                 .map(|_| AnnounceCell(AtomicU64::new(IDLE)))
                 .collect(),
-            submit: Mutex::new(()),
+            epoch_gen: AtomicU64::new(1),
+            version: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            sleepers: AtomicU64::new(0),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: PoolStats::default(),
         });
@@ -337,6 +463,39 @@ impl ThreadPool {
     pub fn stats(&self) -> PoolStatsSnapshot {
         self.shared.stats.snapshot()
     }
+
+    /// Find this thread's lane on the pool: the existing entry for a
+    /// nested spawn, or a freshly claimed submitter lane. Returns the lane
+    /// index and the slot depth to publish at, or `None` when the region
+    /// must run inline (nesting too deep, or all submitter lanes busy).
+    /// The matching [`LaneScope`] restores the stack on drop.
+    fn enter_lane(&self, shared: &Shared) -> Option<(usize, usize, bool, LaneScope)> {
+        let pool = shared as *const Shared;
+        ACTIVE.with(|a| {
+            let mut active = a.borrow_mut();
+            if let Some(e) = active.iter_mut().rfind(|e| e.pool == pool) {
+                if e.depth >= LANE_DEPTH {
+                    return None;
+                }
+                let (lane, depth) = (e.lane, e.depth);
+                e.depth += 1;
+                return Some((lane, depth, true, LaneScope { pool, lane }));
+            }
+            let lane = (shared.n_workers..shared.lanes.len()).find(|&i| {
+                shared.lanes[i]
+                    .claimed
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            })?;
+            active.push(ActiveLane {
+                pool,
+                lane,
+                depth: 1,
+                permanent: false,
+            });
+            Some((lane, 0, false, LaneScope { pool, lane }))
+        })
+    }
 }
 
 impl Executor for ThreadPool {
@@ -361,21 +520,29 @@ impl Executor for ThreadPool {
         let shared = &*self.shared;
         shared.stats.record_region(total as u64);
 
-        // Run inline when parallelism cannot help or when called reentrantly
-        // (from a worker thread, or from a submitter's own chunk closure
-        // targeting the same pool). A 1-thread pool takes this path for
-        // every region: no latch, no slot traffic, no wakeups.
-        let nested = IN_WORKER.with(|flag| flag.get())
-            || SUBMITTING.with(|s| s.borrow().contains(&(shared as *const Shared)));
-        if self.handles.is_empty() || total < 2 || nested {
+        // Run inline when parallelism cannot help. A 1-thread pool takes
+        // this path for every region: no latch, no lane traffic, no
+        // wakeups.
+        if self.handles.is_empty() || total < 2 {
             shared.stats.record_inline();
             f(lo, hi + 1);
             return;
         }
+        // Find (or claim) this thread's lane; when the nesting budget or
+        // the submitter-lane budget is exhausted, inline is the correct
+        // serial fallback.
+        let Some((lane_idx, depth, nested, _scope)) = self.enter_lane(shared) else {
+            shared.stats.record_inline();
+            f(lo, hi + 1);
+            return;
+        };
+        if nested {
+            shared.stats.record_nested();
+        }
 
         // Aim for several chunks per participant so imbalanced iterations
-        // still spread out.
-        let participants = self.handles.len() as i64 + 1;
+        // still spread out (and thieves have something to steal).
+        let participants = self.n_threads as i64;
         let chunk = (total / (participants * 4)).max(1);
 
         let region = Region {
@@ -396,34 +563,35 @@ impl Executor for ThreadPool {
             panicked: AtomicBool::new(false),
         };
 
-        let slot = &shared.slot;
-        // One live region per pool: serialize concurrent submitters. The
-        // guard marks this thread as submitting to *this* pool, so a
-        // same-pool reentrant submission inlines instead of self-
-        // deadlocking on the non-reentrant mutex.
-        let _reentry = SubmitGuard::enter(shared as *const Shared);
-        let submit = shared.submit.lock().unwrap_or_else(|e| e.into_inner());
-
-        // Publish: pointer first, then the odd generation, then one wake.
+        // Publish: pointer first, then the fresh odd epoch, then bump the
+        // version and wake workers only if any are actually parked.
+        let slot = &shared.lanes[lane_idx].slots[depth];
+        let epoch = shared.epoch_gen.fetch_add(2, Ordering::Relaxed);
+        debug_assert!(epoch % 2 == 1, "epochs are odd");
         slot.region
-            .store(&region as *const Region as *mut Region, Ordering::Release);
-        let epoch = slot.epoch.load(Ordering::Relaxed) + 1;
-        debug_assert!(epoch % 2 == 1, "publish must produce an odd epoch");
+            .store(&region as *const Region as *mut Region, Ordering::SeqCst);
         slot.epoch.store(epoch, Ordering::SeqCst);
-        {
-            let _guard = slot.mutex.lock().unwrap_or_else(|e| e.into_inner());
-            slot.cond.notify_all();
+        shared
+            .stats
+            .record_live(shared.live.fetch_add(1, Ordering::Relaxed) + 1);
+        shared.version.fetch_add(1, Ordering::SeqCst);
+        if shared.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = shared.mutex.lock().unwrap_or_else(|e| e.into_inner());
+            shared.cond.notify_all();
         }
 
         // The caller works too, then waits for the last iteration.
-        region.drain(&shared.stats);
+        region.drain(&shared.stats, false);
         region.latch.wait();
 
-        // Retire: flip to the even generation, then make sure no worker
-        // still announces the retired one (it would be inside `drain`,
-        // typically for nanoseconds — its cursor is already exhausted).
-        slot.epoch.store(epoch + 1, Ordering::SeqCst);
-        for cell in shared.states.iter() {
+        // Retire: clear the epoch (new thieves now fail the re-check),
+        // then make sure no worker still announces the retired epoch (it
+        // would be inside `drain`, typically for nanoseconds — the cursor
+        // is already exhausted).
+        slot.epoch.store(0, Ordering::SeqCst);
+        slot.region.store(std::ptr::null_mut(), Ordering::Relaxed);
+        shared.live.fetch_sub(1, Ordering::Relaxed);
+        for cell in shared.announces.iter() {
             let mut tries = 0usize;
             while cell.0.load(Ordering::SeqCst) == epoch {
                 tries += 1;
@@ -434,8 +602,7 @@ impl Executor for ThreadPool {
                 }
             }
         }
-        slot.region.store(std::ptr::null_mut(), Ordering::Release);
-        drop(submit);
+        drop(_scope);
 
         if region.panicked.load(Ordering::Acquire) {
             panic!("a DOALL iteration panicked (see worker output above)");
@@ -446,17 +613,11 @@ impl Executor for ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        // Bump by 2: parity stays even (no region), but every waiter sees
-        // a change, re-checks the flag and exits.
-        self.shared.slot.epoch.fetch_add(2, Ordering::SeqCst);
+        // Move the version so every spinner re-checks the flag and exits.
+        self.shared.version.fetch_add(1, Ordering::SeqCst);
         {
-            let _guard = self
-                .shared
-                .slot
-                .mutex
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            self.shared.slot.cond.notify_all();
+            let _guard = self.shared.mutex.lock().unwrap_or_else(|e| e.into_inner());
+            self.shared.cond.notify_all();
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -478,8 +639,8 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 100);
-        // The inline short-circuit: no workers, no broadcast, all regions
-        // counted as inline.
+        // The inline short-circuit: no workers, no publication, all
+        // regions counted as inline.
         assert!(pool.handles.is_empty());
         let s = pool.stats();
         assert_eq!(s.regions, 1);
@@ -519,9 +680,9 @@ mod tests {
 
     #[test]
     fn concurrent_submitters_share_one_pool() {
-        // Two threads submit regions to the same pool; the submit mutex
-        // serializes the broadcast slot, and every iteration still runs
-        // exactly once.
+        // Two threads submit regions to the same pool concurrently — each
+        // on its own lane, with live regions overlapping — and every
+        // iteration still runs exactly once.
         let pool = Arc::new(ThreadPool::new(3));
         let hits: Arc<Vec<AtomicUsize>> =
             Arc::new((0..2000).map(|_| AtomicUsize::new(0)).collect());
@@ -549,53 +710,113 @@ mod tests {
     }
 
     #[test]
-    fn cross_pool_submission_still_broadcasts() {
-        // While submitting to one pool, a nested submission to a
-        // *different* pool must broadcast; only same-pool reentry inlines.
-        let outer = ThreadPool::new(2);
-        let inner = ThreadPool::new(2);
+    fn nested_spawn_publishes_instead_of_inlining() {
+        // A nested for_range on the same pool publishes a real region one
+        // lane slot deeper (no self-deadlock, no serial inlining).
+        let pool = ThreadPool::new(2);
         let count = AtomicUsize::new(0);
-        {
-            // Simulate being inside one of `outer`'s chunk closures.
-            let _mid_submit = SubmitGuard::enter(&*outer.shared as *const Shared);
-            inner.for_range(0, 99, &|_| {
+        pool.for_range(0, 3, &|_| {
+            pool.for_range(0, 63, &|_| {
                 count.fetch_add(1, Ordering::Relaxed);
             });
-            outer.for_range(0, 99, &|_| {
-                count.fetch_add(1, Ordering::Relaxed);
-            });
-        }
-        assert_eq!(count.load(Ordering::Relaxed), 200);
-        assert_eq!(
-            inner.stats().inline_regions,
-            0,
-            "different pool must broadcast"
-        );
-        assert_eq!(
-            outer.stats().inline_regions,
-            1,
-            "same pool must inline while its submit is active"
-        );
-        // Guard popped: outer broadcasts again.
-        outer.for_range(0, 99, &|_| {
-            count.fetch_add(1, Ordering::Relaxed);
         });
-        assert_eq!(count.load(Ordering::Relaxed), 300);
-        assert_eq!(outer.stats().inline_regions, 1);
+        assert_eq!(count.load(Ordering::Relaxed), 4 * 64);
+        let s = pool.stats();
+        assert_eq!(s.regions, 5, "outer + 4 inner");
+        assert_eq!(s.nested_regions, 4, "every inner region was nested");
+        assert_eq!(s.inline_regions, 0, "nothing fell back to inline");
     }
 
     #[test]
-    fn epoch_parity_tracks_publishes() {
+    fn nesting_beyond_lane_depth_falls_back_inline() {
         let pool = ThreadPool::new(2);
-        let before = pool.shared.slot.epoch.load(Ordering::SeqCst);
-        assert_eq!(before % 2, 0, "idle pool has an even epoch");
+        let count = AtomicUsize::new(0);
+        fn recurse(pool: &ThreadPool, depth: usize, count: &AtomicUsize) {
+            if depth == 0 {
+                count.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            pool.for_range(0, 1, &|_| recurse(pool, depth - 1, count));
+        }
+        // Deeper than LANE_DEPTH: the overflow levels run inline, and
+        // every leaf still executes exactly once.
+        recurse(&pool, LANE_DEPTH + 3, &count);
+        assert_eq!(count.load(Ordering::Relaxed), 1 << (LANE_DEPTH + 3));
+        assert!(pool.stats().inline_regions > 0, "deep levels inlined");
+    }
+
+    #[test]
+    fn cross_pool_submission_broadcasts_on_both() {
+        // A nested submission to a *different* pool claims a lane there
+        // and broadcasts; the same-pool nested submission publishes too.
+        let outer = ThreadPool::new(2);
+        let inner = ThreadPool::new(2);
+        let count = AtomicUsize::new(0);
+        outer.for_range(0, 3, &|_| {
+            inner.for_range(0, 24, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4 * 25);
+        assert_eq!(inner.stats().regions, 4);
+        assert_eq!(inner.stats().inline_regions, 0, "cross-pool broadcasts");
+        assert_eq!(inner.stats().nested_regions, 0, "fresh lane, not nested");
+        assert_eq!(outer.stats().nested_regions, 0);
+    }
+
+    #[test]
+    fn lane_slots_clear_after_retire() {
+        let pool = ThreadPool::new(2);
         pool.for_range(0, 9, &|_| {});
-        let after = pool.shared.slot.epoch.load(Ordering::SeqCst);
-        assert_eq!(after % 2, 0, "region fully retired");
-        assert_eq!(after, before + 2, "one publish + one retire");
+        for lane in pool.shared.lanes.iter() {
+            for slot in lane.slots.iter() {
+                assert_eq!(slot.epoch.load(Ordering::SeqCst), 0, "slot retired");
+                assert!(slot.region.load(Ordering::SeqCst).is_null());
+            }
+            // Worker lanes stay claimed; submitter lanes were released.
+        }
+        for lane in pool.shared.lanes[pool.shared.n_workers..].iter() {
+            assert!(!lane.claimed.load(Ordering::SeqCst), "lane released");
+        }
+    }
+
+    #[test]
+    fn overlapping_regions_make_progress_together() {
+        // Two submitters publish regions whose first iterations wait for
+        // *each other* — impossible unless both regions are live at once.
+        let pool = Arc::new(ThreadPool::new(2));
+        let flags: Arc<[AtomicBool; 2]> =
+            Arc::new([AtomicBool::new(false), AtomicBool::new(false)]);
+        let mut handles = Vec::new();
+        for t in 0..2usize {
+            let pool = pool.clone();
+            let flags = flags.clone();
+            handles.push(std::thread::spawn(move || {
+                pool.for_range(0, 3, &|i| {
+                    flags[t].store(true, Ordering::SeqCst);
+                    if i == 0 {
+                        // Wait (bounded) until the other submitter's
+                        // region has started too.
+                        let deadline =
+                            std::time::Instant::now() + std::time::Duration::from_secs(20);
+                        while !flags[1 - t].load(Ordering::SeqCst) {
+                            assert!(
+                                std::time::Instant::now() < deadline,
+                                "regions never overlapped"
+                            );
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(flags[0].load(Ordering::SeqCst) && flags[1].load(Ordering::SeqCst));
         assert!(
-            pool.shared.slot.region.load(Ordering::SeqCst).is_null(),
-            "no stale region pointer after retire"
+            pool.stats().max_live_regions >= 2,
+            "both regions were live at once"
         );
     }
 }

@@ -9,6 +9,9 @@ pub struct PoolStats {
     chunks: AtomicU64,
     items: AtomicU64,
     inline_regions: AtomicU64,
+    steals: AtomicU64,
+    nested_regions: AtomicU64,
+    max_live_regions: AtomicU64,
 }
 
 impl PoolStats {
@@ -17,14 +20,30 @@ impl PoolStats {
         self.items.fetch_add(items, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_chunk(&self, _items: u64) {
+    /// A chunk claimed off a region's cursor; `stolen` when the claimer
+    /// is an idle worker rather than the region's submitter.
+    pub(crate) fn record_chunk(&self, _items: u64, stolen: bool) {
         self.chunks.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// A region executed inline (too small, nested, or a 1-thread pool)
-    /// instead of being broadcast.
+    /// A region executed inline (too small, lane budget exhausted, or a
+    /// 1-thread pool) instead of being published.
     pub(crate) fn record_inline(&self) {
         self.inline_regions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A region published reentrantly from inside a running chunk.
+    pub(crate) fn record_nested(&self) {
+        self.nested_regions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// High-water mark of simultaneously live regions, observed at
+    /// publish time.
+    pub(crate) fn record_live(&self, live_now: u64) {
+        self.max_live_regions.fetch_max(live_now, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> PoolStatsSnapshot {
@@ -33,6 +52,9 @@ impl PoolStats {
             chunks: self.chunks.load(Ordering::Relaxed),
             items: self.items.load(Ordering::Relaxed),
             inline_regions: self.inline_regions.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            nested_regions: self.nested_regions.load(Ordering::Relaxed),
+            max_live_regions: self.max_live_regions.load(Ordering::Relaxed),
         }
     }
 }
@@ -42,22 +64,37 @@ impl PoolStats {
 pub struct PoolStatsSnapshot {
     /// `for_range` invocations.
     pub regions: u64,
-    /// Chunks claimed by participants (broadcast regions only).
+    /// Chunks claimed by participants (published regions only).
     pub chunks: u64,
     /// Total loop iterations requested.
     pub items: u64,
     /// Regions short-circuited to inline execution (a subset of
-    /// `regions`): single-iteration ranges, nested DOALLs on a worker
-    /// thread, and everything submitted to a 1-thread pool.
+    /// `regions`): single-iteration ranges, spawns past the lane-depth
+    /// or submitter-lane budget, and everything on a 1-thread pool.
     pub inline_regions: u64,
+    /// Chunks drained by an idle worker rather than the region's own
+    /// submitter (a subset of `chunks`). Inherently schedule-dependent.
+    pub steals: u64,
+    /// Regions published reentrantly from inside a running chunk (a
+    /// subset of `regions`) instead of falling back to inline execution.
+    pub nested_regions: u64,
+    /// High-water mark of regions live at once (counted at publish;
+    /// ≥ 2 proves concurrent submitters — or nesting — genuinely
+    /// overlapped). Inherently schedule-dependent.
+    pub max_live_regions: u64,
 }
 
 impl std::fmt::Display for PoolStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} regions ({} inline), {} chunks, {} items",
-            self.regions, self.inline_regions, self.chunks, self.items
+            "{} regions ({} inline, {} nested), {} chunks ({} stolen), {} items",
+            self.regions,
+            self.inline_regions,
+            self.nested_regions,
+            self.chunks,
+            self.steals,
+            self.items
         )
     }
 }
@@ -70,14 +107,17 @@ mod tests {
     fn snapshot_reads_counters() {
         let s = PoolStats::default();
         s.record_region(10);
-        s.record_chunk(5);
-        s.record_chunk(5);
+        s.record_chunk(5, false);
+        s.record_chunk(5, true);
         s.record_inline();
+        s.record_nested();
         let snap = s.snapshot();
         assert_eq!(snap.regions, 1);
         assert_eq!(snap.chunks, 2);
         assert_eq!(snap.items, 10);
         assert_eq!(snap.inline_regions, 1);
-        assert!(format!("{snap}").contains("1 regions (1 inline)"));
+        assert_eq!(snap.steals, 1);
+        assert_eq!(snap.nested_regions, 1);
+        assert!(format!("{snap}").contains("1 regions (1 inline"));
     }
 }

@@ -289,8 +289,12 @@ impl<'a, 'm> Interp<'a, 'm> {
 
     /// The sequential inline walk over `items`: every `DOALL` met below
     /// here runs on the current thread. Used both by the sequential
-    /// executor and inside a pool worker's outer-range chunk (where the
-    /// region is already parallel at the outer level).
+    /// executor and inside a pool worker's outer-range chunk. The
+    /// work-stealing pool does allow reentrant `for_chunks` from inside a
+    /// running chunk (it publishes a nested region), but at this
+    /// granularity the inline walk is the deliberate choice: the outer
+    /// region already saturates the pool, so nested publication would add
+    /// latch and steal traffic without exposing new parallelism.
     fn run_items_compiled_inline(
         &self,
         prog: &ExecProg<'_, 'm>,

@@ -106,6 +106,9 @@ pub enum SolveError {
     Runtime(String),
     /// The solve panicked; the panic was caught at the request boundary.
     Panicked(String),
+    /// The request queue was full ([`ServiceOptions::queue_cap`]); the
+    /// request was shed instead of growing the queue without bound.
+    Busy,
     /// The service was shut down before the request was accepted.
     Shutdown,
 }
@@ -116,6 +119,7 @@ impl std::fmt::Display for SolveError {
             SolveError::Compile(msg) => write!(f, "compile: {msg}"),
             SolveError::Runtime(msg) => write!(f, "runtime: {msg}"),
             SolveError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            SolveError::Busy => write!(f, "service queue is full"),
             SolveError::Shutdown => write!(f, "service is shut down"),
         }
     }

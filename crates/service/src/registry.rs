@@ -10,10 +10,13 @@
 //!   scans (capacity is small, a linear probe beats hashing), clones the
 //!   entry `Arc`, and decrements — no mutex, no waiting, ever;
 //! * writers (compile / evict — the cold path) serialize on a mutex,
-//!   publish a new snapshot with a single pointer store, then wait for the
-//!   reader count to drain before freeing the old table. Entry `Arc`s make
-//!   eviction safe for in-flight requests: an evicted program dies only
-//!   when its last request completes.
+//!   publish a new snapshot with a single pointer store, and move the old
+//!   table onto a **grace-period retirement list**. Retired tables are
+//!   freed in batches whenever a writer observes the reader count at
+//!   zero — writers never spin waiting for readers, so a publish
+//!   completes in bounded time even under a sustained stream of lock-free
+//!   lookups. Entry `Arc`s make eviction safe for in-flight requests: an
+//!   evicted program dies only when its last request completes.
 //!
 //! The table is bounded: at capacity the least-recently-used entry (ticks
 //! are relaxed atomic stores on the read path) is evicted, so adversarial
@@ -74,16 +77,31 @@ struct Snapshot {
     entries: Vec<(u64, Arc<CompiledProgram>)>,
 }
 
+/// An unpublished snapshot awaiting reader quiescence before it can be
+/// freed.
+struct RetiredSnapshot(*mut Snapshot);
+
+// SAFETY: a retired snapshot is exclusively owned by the retirement list
+// (it was unpublished by the writer that pushed it); the raw pointer is
+// only dereferenced to free the box, after quiescence proves no reader
+// still scans it.
+unsafe impl Send for RetiredSnapshot {}
+
 /// The bounded compile-once cache. See the module docs for the read/write
 /// protocol.
 pub struct Registry {
     /// The current snapshot; readers only ever load this pointer.
     published: AtomicPtr<Snapshot>,
-    /// In-flight lock-free readers; a writer frees a retired snapshot only
+    /// In-flight lock-free readers; a writer frees retired snapshots only
     /// after observing zero.
     readers: AtomicUsize,
     /// Serializes compile/evict/publish (the cold path).
     writer: Mutex<()>,
+    /// Grace-period list: unpublished snapshots whose readers may still be
+    /// in flight. Freed in batches at the next zero-reader observation;
+    /// growth is bounded by the number of compiles between quiescent
+    /// moments (the cold path), never by read traffic.
+    retired: Mutex<Vec<RetiredSnapshot>>,
     capacity: usize,
     /// LRU clock: lookups stamp entries with `clock++` (relaxed).
     clock: AtomicU64,
@@ -102,6 +120,7 @@ impl Registry {
             }))),
             readers: AtomicUsize::new(0),
             writer: Mutex::new(()),
+            retired: Mutex::new(Vec::new()),
             capacity: capacity.max(1),
             clock: AtomicU64::new(0),
             compiles: AtomicU64::new(0),
@@ -179,17 +198,52 @@ impl Registry {
         entries.push((key.hash, Arc::clone(&entry)));
         let new_ptr = Box::into_raw(Box::new(Snapshot { entries }));
         self.published.store(new_ptr, Ordering::SeqCst);
-        // Quiescence: readers hold the counter only across a short scan,
-        // so this drains in microseconds — and it is the cold compile
-        // path, serialized by the writer lock anyway.
-        while self.readers.load(Ordering::SeqCst) != 0 {
-            std::thread::yield_now();
+        // Grace period instead of a quiescence spin: retire the old table
+        // and free whatever the list holds at the next zero-reader
+        // observation. A publish therefore completes in bounded time even
+        // while readers hammer `lookup` without a gap.
+        {
+            let mut retired = self.retired.lock().expect("retired list poisoned");
+            retired.push(RetiredSnapshot(old_ptr));
+            self.reclaim(&mut retired);
         }
-        // SAFETY: the old snapshot is unpublished and no reader holds it
-        // (counter drained after the SeqCst store above).
-        unsafe { drop(Box::from_raw(old_ptr)) };
         self.compiles.fetch_add(1, Ordering::Relaxed);
         Ok(entry)
+    }
+
+    /// Free every retired snapshot if the readers are quiescent *right
+    /// now*; otherwise keep them for a later writer (or `Drop`).
+    ///
+    /// Sound because a reader increments `readers` *before* loading the
+    /// published pointer (both SeqCst): at the instant this load returns
+    /// zero, every reader that could have seen a retired pointer has
+    /// finished its scan, and all later readers load the current snapshot
+    /// — so nothing on the list is reachable any more.
+    fn reclaim(&self, retired: &mut Vec<RetiredSnapshot>) {
+        if retired.is_empty() {
+            return;
+        }
+        // A handful of bounded samples ride out a momentary reader; if
+        // traffic never pauses, the list simply waits for a luckier
+        // writer — memory stays bounded by compile count, and we never
+        // block the publish.
+        for _ in 0..8 {
+            if self.readers.load(Ordering::SeqCst) == 0 {
+                for snap in retired.drain(..) {
+                    // SAFETY: unpublished, and quiescence was observed
+                    // after it was retired (see above).
+                    unsafe { drop(Box::from_raw(snap.0)) };
+                }
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Snapshots currently parked on the grace list (test visibility).
+    #[cfg(test)]
+    fn retired_len(&self) -> usize {
+        self.retired.lock().expect("retired list poisoned").len()
     }
 
     /// Programs compiled (and published) so far.
@@ -225,10 +279,20 @@ impl Registry {
 
 impl Drop for Registry {
     fn drop(&mut self) {
-        // `&mut self`: no readers can exist; free the final snapshot.
+        // `&mut self`: no readers can exist; free the final snapshot and
+        // anything still parked on the grace list.
         let ptr = *self.published.get_mut();
         // SAFETY: `published` always holds a live Box-allocated snapshot.
         unsafe { drop(Box::from_raw(ptr)) };
+        for snap in self
+            .retired
+            .get_mut()
+            .expect("retired list poisoned")
+            .drain(..)
+        {
+            // SAFETY: retired snapshots are exclusively owned by the list.
+            unsafe { drop(Box::from_raw(snap.0)) };
+        }
     }
 }
 
@@ -333,5 +397,58 @@ mod tests {
             "a fitting working set compiles each program at most once more"
         );
         assert!(warm_hits > warm_compiles, "warm traffic hits the cache");
+    }
+
+    #[test]
+    fn publish_completes_while_a_reader_hammers_get() {
+        // Writers must not busy-spin on reader quiescence: with reader
+        // threads doing back-to-back lock-free lookups, every publish
+        // still completes (retiring the old snapshot to the grace list),
+        // and the grace list drains once the readers stop.
+        use std::sync::atomic::AtomicBool;
+        let reg = Arc::new(Registry::new(8));
+        let hot = ProgramKey::new(src(100), RuntimeOptions::default());
+        reg.get_or_compile(&hot).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let lookups = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let (reg, stop, hot) = (Arc::clone(&reg), Arc::clone(&stop), hot.clone());
+                let lookups = Arc::clone(&lookups);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // `hot` may get LRU-evicted by the writer's churn;
+                        // the point is sustained lock-free read traffic.
+                        let _ = reg.lookup(&hot);
+                        lookups.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        // Don't start publishing until the readers demonstrably hammer.
+        while lookups.load(Ordering::Relaxed) < 100 {
+            std::thread::yield_now();
+        }
+        // 30 publishes against the hammering readers; each must finish
+        // well inside the deadline (the old spin could stall a writer for
+        // as long as read traffic never pauses).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        for i in 0..30 {
+            let key = ProgramKey::new(src(i), RuntimeOptions::default());
+            reg.get_or_compile(&key).unwrap();
+            assert!(
+                std::time::Instant::now() < deadline,
+                "publish {i} stalled behind lock-free readers"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        // With readers quiescent, the next publish reclaims the list.
+        let last = ProgramKey::new(src(999), RuntimeOptions::default());
+        reg.get_or_compile(&last).unwrap();
+        assert_eq!(reg.retired_len(), 0, "grace list drained at quiescence");
+        assert!(reg.lookup(&last).is_some(), "entries survive the churn");
     }
 }

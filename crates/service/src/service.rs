@@ -29,6 +29,11 @@ pub struct ServiceOptions {
     pub registry_capacity: usize,
     /// Most requests a worker batches per program pickup (clamped to ≥ 1).
     pub batch_max: usize,
+    /// Admission control: most requests the queue holds before `submit`
+    /// sheds load with [`SolveError::Busy`] instead of growing without
+    /// bound (clamped to ≥ 1). Shed requests are counted in
+    /// [`ServiceStats::rejected`] and never reach a worker.
+    pub queue_cap: usize,
     /// Runtime options used by the [`Service::register`] convenience
     /// (requests carry their own options inside their [`ProgramKey`]).
     pub runtime: RuntimeOptions,
@@ -41,6 +46,7 @@ impl Default for ServiceOptions {
             solve_threads: 1,
             registry_capacity: 32,
             batch_max: 8,
+            queue_cap: 1024,
             runtime: RuntimeOptions::default(),
         }
     }
@@ -164,8 +170,10 @@ struct Inner {
     closed: AtomicBool,
     registry: Registry,
     batch_max: usize,
+    queue_cap: usize,
     depth: AtomicU64,
     requests: AtomicU64,
+    rejected: AtomicU64,
     responses: AtomicU64,
     errors: AtomicU64,
     panics: AtomicU64,
@@ -197,6 +205,9 @@ impl Inner {
 pub struct Service {
     inner: Arc<Inner>,
     executor: Arc<dyn Executor>,
+    /// The concrete pool behind `executor` when `solve_threads > 1`,
+    /// kept so its counters stay observable through the trait object.
+    pool: Option<Arc<ThreadPool>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     default_runtime: RuntimeOptions,
 }
@@ -209,8 +220,10 @@ impl Service {
             closed: AtomicBool::new(false),
             registry: Registry::new(options.registry_capacity),
             batch_max: options.batch_max.max(1),
+            queue_cap: options.queue_cap.max(1),
             depth: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             responses: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             panics: AtomicU64::new(0),
@@ -221,10 +234,10 @@ impl Service {
         // One executor shared by every worker: a `ThreadPool` handle when
         // intra-solve parallelism was requested, otherwise `Sequential`
         // (requests are the parallelism).
-        let executor: Arc<dyn Executor> = if options.solve_threads > 1 {
-            ThreadPool::shared(options.solve_threads)
-        } else {
-            Arc::new(Sequential)
+        let pool = (options.solve_threads > 1).then(|| ThreadPool::shared(options.solve_threads));
+        let executor: Arc<dyn Executor> = match &pool {
+            Some(pool) => Arc::clone(pool) as Arc<dyn Executor>,
+            None => Arc::new(Sequential),
         };
         let workers = (0..options.workers.max(1))
             .map(|i| {
@@ -239,6 +252,7 @@ impl Service {
         Service {
             inner,
             executor,
+            pool,
             workers: Mutex::new(workers),
             default_runtime: options.runtime,
         }
@@ -276,6 +290,15 @@ impl Service {
                 state.fulfill(Err(SolveError::Shutdown));
                 return ResponseHandle { state };
             }
+            // Admission control: at capacity the request is shed *now*
+            // (cheap, bounded memory) rather than queued behind work the
+            // workers may never catch up with.
+            if queue.len() >= self.inner.queue_cap {
+                drop(queue);
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                state.fulfill(Err(SolveError::Busy));
+                return ResponseHandle { state };
+            }
             self.inner.requests.fetch_add(1, Ordering::Relaxed);
             self.inner.depth.fetch_add(1, Ordering::Relaxed);
             queue.push_back(Pending {
@@ -299,6 +322,7 @@ impl Service {
         let inner = &self.inner;
         ServiceStats {
             requests: inner.requests.load(Ordering::Relaxed),
+            rejected: inner.rejected.load(Ordering::Relaxed),
             responses: inner.responses.load(Ordering::Relaxed),
             errors: inner.errors.load(Ordering::Relaxed),
             panics: inner.panics.load(Ordering::Relaxed),
@@ -318,6 +342,14 @@ impl Service {
     /// `solve_threads > 1`).
     pub fn executor(&self) -> &Arc<dyn Executor> {
         &self.executor
+    }
+
+    /// Counters of the shared solve pool, or `None` when
+    /// `solve_threads <= 1` (solves run on `Sequential`). The pool's
+    /// `max_live_regions` high-water mark is the service's observable
+    /// proof that solves from different workers genuinely overlapped.
+    pub fn pool_stats(&self) -> Option<ps_executor::PoolStatsSnapshot> {
+        self.pool.as_ref().map(|p| p.stats())
     }
 
     /// Stop accepting requests, drain the queue, and join the workers.
@@ -549,6 +581,51 @@ mod tests {
         assert!(h.try_take().is_none(), "a response is taken at most once");
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || h.wait()));
         assert!(outcome.is_err(), "waiting on a consumed response panics");
+    }
+
+    #[test]
+    fn full_queue_sheds_load_with_busy() {
+        let svc = Service::new(ServiceOptions {
+            workers: 1,
+            queue_cap: 2,
+            ..Default::default()
+        });
+        let key = svc.register(RECURRENCE).unwrap();
+        // Occupy the single worker with a slow solve, and wait until it is
+        // actually picked up (the queue gauge drops to zero) so later
+        // submissions sit in the queue behind it.
+        let slow = svc.submit(SolveRequest::new(
+            key.clone(),
+            Inputs::new().set_real("rate", 1e-9).set_int("n", 4_000_000),
+        ));
+        while svc.stats().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        // Fill the queue to its cap, then overflow it.
+        let queued: Vec<ResponseHandle> = (0..2)
+            .map(|_| {
+                svc.submit(SolveRequest::new(
+                    key.clone(),
+                    Inputs::new().set_real("rate", 0.5).set_int("n", 4),
+                ))
+            })
+            .collect();
+        let shed = svc.submit(SolveRequest::new(
+            key.clone(),
+            Inputs::new().set_real("rate", 0.5).set_int("n", 4),
+        ));
+        match shed.wait() {
+            Err(SolveError::Busy) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.rejected, 1, "the shed request is counted");
+        // Accepted requests still resolve normally.
+        slow.wait().unwrap();
+        for h in queued {
+            h.wait().unwrap();
+        }
+        assert_eq!(svc.stats().responses, 3, "shed requests never queue");
     }
 
     #[test]

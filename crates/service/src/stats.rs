@@ -79,6 +79,10 @@ impl LatencyHistogram {
 pub struct ServiceStats {
     /// Requests accepted by `submit` (including ones still queued).
     pub requests: u64,
+    /// Requests shed by `submit` because the queue was at
+    /// [`crate::ServiceOptions::queue_cap`] (resolved to
+    /// [`crate::SolveError::Busy`], never queued).
+    pub rejected: u64,
     /// Responses delivered (success or error).
     pub responses: u64,
     /// Responses that carried an error (compile, runtime, or panic).

@@ -6,7 +6,9 @@
 #
 # Runs: release build, the full test suite (unit + integration + doc),
 # the executor schedule-stress suite (explicitly, so a pool regression
-# names itself), the benchmark smoke pass (structural figure assertions),
+# names itself), the service/TCP concurrency suites (overlapping solves,
+# bounded-queue shedding, cross-connection shutdown drain), the benchmark
+# smoke pass (structural figure assertions),
 # a bench-JSON smoke step, the ps-analyze static verification of every
 # builtin program, docs with warnings denied, and rustfmt.
 set -euo pipefail
@@ -20,6 +22,12 @@ cargo test -q --offline
 
 echo "==> cargo test -q --offline --test executor_stress (exactly-once accounting)"
 cargo test -q --offline --test executor_stress
+
+echo "==> cargo test -q --offline --test service_stress (oracle-diffed concurrent solves)"
+cargo test -q --offline --test service_stress
+
+echo "==> cargo test -q --offline --test serve_tcp (TCP shutdown drain)"
+cargo test -q --offline --test serve_tcp
 
 echo "==> cargo test -q --offline --benches (smoke: figure assertions)"
 cargo test -q --offline --benches

@@ -1,22 +1,29 @@
-//! Deterministic schedule-stress suite for the broadcast executor.
+//! Deterministic schedule-stress suite for the work-stealing executor.
 //!
-//! The lock-free broadcast-slot pool (see `ps_executor::pool`) replaces
-//! per-worker channel sends with an epoch-stamped shared cell; its safety
-//! argument leans on a store-load announce handshake and an item-counted
-//! completion latch. This suite is the safety net: thousands of
-//! mixed-size regions — empty, singleton, nested, and concurrently
-//! submitted from several threads and several pools — each asserting that
-//! every iteration runs **exactly once**.
+//! The work-stealing pool (see `ps_executor::pool`) publishes regions
+//! into per-thread lanes of epoch-validated slots; idle workers steal
+//! chunks off any live region's cursor, several regions can be in flight
+//! at once, and a region spawned from inside a running chunk publishes
+//! reentrantly instead of serializing inline. The safety argument leans
+//! on globally-unique epochs, a store-load announce handshake at retire,
+//! and an item-counted completion latch. This suite is the safety net:
+//! thousands of mixed-size regions — empty, singleton, nested, stolen,
+//! overlapping, and concurrently submitted from several threads and
+//! several pools — each asserting that every iteration runs **exactly
+//! once**.
 //!
-//! Driven by a seeded LCG so every run replays the same schedule shapes;
-//! sizes are drawn from a mix that deliberately hammers the regimes the
-//! broadcast protocol distinguishes (inline short-circuit, broadcast with
-//! idle workers, broadcast under contention).
+//! Driven by a seeded LCG so every run replays the same schedule shapes
+//! (failing cases shrink to a minimal region vector via
+//! `ps_support::rng::check`); sizes are drawn from mixes that
+//! deliberately hammer the regimes the protocol distinguishes: inline
+//! short-circuit, publication with idle workers, steal-heavy skew, and
+//! multiple live regions.
 
 use ps_core::{Executor, Sequential, ThreadPool};
-use ps_support::Lcg;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use ps_support::rng::{check, shrink_vec, Lcg};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Draw a region size from a mix biased toward the dispatch-bound regimes:
 /// empty, singleton, tiny, medium, and the occasional large region.
@@ -101,8 +108,9 @@ fn degenerate_regions() {
 
 /// Nested `for_range` reentry: outer region bodies launch inner regions on
 /// the same pool, from the submitting thread and from workers alike. The
-/// inner regions must run inline (no self-deadlock on the broadcast slot)
-/// and still cover every (outer, inner) pair exactly once.
+/// inner regions publish into the spawning thread's lane (no
+/// self-deadlock: the spawner drains its own region before waiting) and
+/// still cover every (outer, inner) pair exactly once.
 #[test]
 fn nested_reentry_exactly_once() {
     let mut rng = Lcg::new(0x57e55_1);
@@ -127,9 +135,11 @@ fn nested_reentry_exactly_once() {
     }
 }
 
-/// Three levels of nesting, mixing `for_range` and `for_chunks`.
+/// Three levels of nesting, mixing `for_range` and `for_chunks`: each
+/// level publishes reentrantly (lane depth permitting) and the count
+/// still comes out exact.
 #[test]
-fn deep_nesting_runs_inline() {
+fn deep_nesting_exactly_once() {
     let pool = ThreadPool::new(3);
     let count = AtomicUsize::new(0);
     pool.for_range(0, 5, &|_| {
@@ -163,8 +173,9 @@ fn concurrent_pools() {
 }
 
 /// One shared pool, four submitter threads racing 150 regions each into
-/// disjoint slices of one hit array: the submit lock serializes the
-/// broadcast slot, and nothing is lost or doubled.
+/// disjoint slices of one hit array: each submitter publishes into its
+/// own claimed lane, regions overlap freely, and nothing is lost or
+/// doubled.
 #[test]
 fn concurrent_submitters_exactly_once() {
     const SUBMITTERS: usize = 4;
@@ -237,8 +248,8 @@ fn panicking_regions_do_not_poison_the_pool() {
 
 /// The whole suite above at a fixed seed is the regression net; this case
 /// additionally replays one seed on two identical pools and checks the
-/// *stats* agree — the broadcast protocol must be deterministic in what it
-/// requests, even though chunk claiming is racy.
+/// *stats* agree — the publication protocol must be deterministic in what
+/// it requests, even though chunk claiming (and hence stealing) is racy.
 #[test]
 fn replayed_schedule_has_deterministic_accounting() {
     let run = || {
@@ -251,4 +262,180 @@ fn replayed_schedule_has_deterministic_accounting() {
     let a = run();
     let b = run();
     assert_eq!(a, b, "same seed, same requested schedule");
+}
+
+/// Like [`drive_exactly_once`] but returns a shrink-friendly `Err`
+/// instead of panicking, so `rng::check` can minimize a failing size
+/// vector.
+fn run_sizes(ex: &dyn Executor, sizes: &[i64], tag: &str) -> Result<(), String> {
+    for (r, &size) in sizes.iter().enumerate() {
+        let hits: Vec<AtomicU32> = (0..size).map(|_| AtomicU32::new(0)).collect();
+        ex.for_range(0, size - 1, &|i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for (k, h) in hits.iter().enumerate() {
+            let n = h.load(Ordering::Relaxed);
+            if n != 1 {
+                return Err(format!(
+                    "{tag}: region {r} (size {size}): index {k} ran {n} times"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Two submitters on one shared pool force their first regions to be
+/// live *simultaneously* — each region's first iteration parks until the
+/// other region has demonstrably started — then race a seeded mixed-size
+/// tail. Exactly-once must hold throughout, and the pool's high-water
+/// mark must have seen ≥ 2 live regions: the overlap the old
+/// single-slot broadcast pool could never produce.
+#[test]
+fn overlapping_submitters_exactly_once() {
+    check(
+        0x57e55_6,
+        4,
+        |rng| rng.vec_of(4, 24, mixed_size),
+        |sizes| shrink_vec(sizes, 1),
+        |sizes| {
+            let pool = Arc::new(ThreadPool::new(3));
+            let started: Arc<[AtomicBool; 2]> =
+                Arc::new([AtomicBool::new(false), AtomicBool::new(false)]);
+            let handles: Vec<_> = (0..2usize)
+                .map(|t| {
+                    let pool = Arc::clone(&pool);
+                    let started = Arc::clone(&started);
+                    let sizes = sizes.to_vec();
+                    std::thread::spawn(move || -> Result<(), String> {
+                        // Rendezvous region: iteration 0 (its own chunk at
+                        // this size) spins until the other submitter's
+                        // region has started, proving both were in flight
+                        // at once. Bounded so a regression fails loudly
+                        // instead of hanging the suite.
+                        let deadline = Instant::now() + Duration::from_secs(30);
+                        pool.for_range(0, 7, &|i| {
+                            if i == 0 {
+                                started[t].store(true, Ordering::SeqCst);
+                                while !started[1 - t].load(Ordering::SeqCst) {
+                                    assert!(
+                                        Instant::now() < deadline,
+                                        "overlap rendezvous timed out"
+                                    );
+                                    std::thread::yield_now();
+                                }
+                            }
+                        });
+                        run_sizes(&*pool, &sizes, &format!("submitter {t}"))
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("submitter thread must not panic")?;
+            }
+            let live = pool.stats().max_live_regions;
+            if live < 2 {
+                return Err(format!(
+                    "rendezvous regions completed but max_live_regions is {live}"
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Seeded nested-spawn shapes: outer regions whose bodies spawn inner
+/// regions on the same pool. Every (outer, inner) pair runs exactly
+/// once, and every publishable inner region (size ≥ 2) is accounted as a
+/// *nested* publication — none may fall back to serial inlining while
+/// the lane stack has room.
+#[test]
+fn nested_spawn_publishes_under_check() {
+    check(
+        0x57e55_7,
+        4,
+        |rng| rng.vec_of(3, 12, |rng| (rng.int(2, 10), rng.int(0, 8))),
+        |shapes| shrink_vec(shapes, 1),
+        |shapes| {
+            let pool = ThreadPool::new(3);
+            for (r, &(outer, inner)) in shapes.iter().enumerate() {
+                let hits: Vec<AtomicU32> = (0..outer * inner.max(1))
+                    .map(|_| AtomicU32::new(0))
+                    .collect();
+                pool.for_range(0, outer - 1, &|o| {
+                    pool.for_range(0, inner - 1, &|i| {
+                        hits[(o * inner + i) as usize].fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+                if inner > 0 {
+                    for (k, h) in hits.iter().enumerate() {
+                        let n = h.load(Ordering::Relaxed);
+                        if n != 1 {
+                            return Err(format!(
+                                "shape {r} ({outer}×{inner}): pair {k} ran {n} times"
+                            ));
+                        }
+                    }
+                }
+            }
+            // Inner spawns always find a lane (depth 2 ≤ LANE_DEPTH), so
+            // the nested count is schedule-independent: one per outer
+            // iteration whose inner region is big enough to publish.
+            let want: u64 = shapes
+                .iter()
+                .filter(|&&(_, inner)| inner >= 2)
+                .map(|&(outer, _)| outer as u64)
+                .sum();
+            let s = pool.stats();
+            if s.nested_regions != want {
+                return Err(format!(
+                    "nested_regions {} != publishable inner regions {want}",
+                    s.nested_regions
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Steal-heavy skew: occasional huge regions amid swarms of tiny ones,
+/// raced by two submitters sharing a 4-thread pool. Huge regions are
+/// where thieves concentrate; exactly-once and the items accounting must
+/// be indifferent to who claimed each chunk (the steal *count* itself is
+/// schedule-dependent and deliberately not asserted).
+#[test]
+fn steal_heavy_skewed_mix_exactly_once() {
+    check(
+        0x57e55_8,
+        4,
+        |rng| {
+            rng.vec_of(6, 20, |rng| {
+                if rng.index(4) == 0 {
+                    rng.int(1500, 6000)
+                } else {
+                    rng.int(0, 8)
+                }
+            })
+        },
+        |sizes| shrink_vec(sizes, 1),
+        |sizes| {
+            let pool = Arc::new(ThreadPool::new(4));
+            let handles: Vec<_> = (0..2usize)
+                .map(|t| {
+                    let pool = Arc::clone(&pool);
+                    let sizes = sizes.to_vec();
+                    std::thread::spawn(move || run_sizes(&*pool, &sizes, &format!("skew {t}")))
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("skew thread must not panic")?;
+            }
+            let want_items: u64 = 2 * sizes.iter().map(|&s| s as u64).sum::<u64>();
+            let s = pool.stats();
+            if s.items != want_items {
+                return Err(format!("items {} != requested {want_items}", s.items));
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,197 @@
+//! End-to-end TCP tests for the `ps-serve` front-end, focused on the
+//! graceful cross-connection shutdown drain: `shutdown` must stop
+//! accepting, let every live connection finish its in-flight frame, and
+//! only then acknowledge and exit.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A listening `ps-serve` child whose port was parsed from the startup
+/// handshake line. Killed on drop so a failing test cannot leak servers.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn spawn(extra_args: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_ps-serve"))
+            .arg("listen")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn ps-serve");
+        let stdout = child.stdout.take().expect("child stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines
+            .next()
+            .expect("ps-serve prints a startup line")
+            .expect("readable startup line");
+        let addr = banner
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+            .to_string();
+        Server { child, addr }
+    }
+
+    fn connect(&self) -> Client {
+        let stream = TcpStream::connect(&self.addr).expect("connect to ps-serve");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("read timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    /// Wait (bounded) for the server process to exit and return its
+    /// success flag.
+    fn wait_exit(&mut self) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status.success();
+            }
+            assert!(
+                Instant::now() < deadline,
+                "ps-serve did not exit after shutdown"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send request");
+        self.writer.flush().expect("flush request");
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection mid-conversation");
+        line.trim_end().to_string()
+    }
+
+    /// The next read must observe a clean EOF (the server closed us).
+    fn expect_eof(&mut self) {
+        let mut buf = [0u8; 64];
+        let n = self.reader.read(&mut buf).expect("read at EOF");
+        assert_eq!(n, 0, "expected EOF, got {:?}", &buf[..n]);
+    }
+}
+
+/// The accepted-requests counter from a fresh `stats` probe connection.
+fn probe_requests(server: &Server) -> u64 {
+    let mut c = server.connect();
+    c.send("stats");
+    let line = c.read_line();
+    c.send("quit");
+    let field = line
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("requests="))
+        .unwrap_or_else(|| panic!("no requests= in {line:?}"));
+    field.parse().expect("requests= is a number")
+}
+
+#[test]
+fn solve_round_trip_over_tcp() {
+    let mut server = Server::spawn(&[]);
+    let mut c = server.connect();
+    c.send("solve recurrence_1d rate=0.5 n=4");
+    let reply = c.read_line();
+    // balance[4] = 1.5^3
+    assert_eq!(reply, "ok final=3.375");
+    c.send("badcmd");
+    assert!(c.read_line().starts_with("err "), "junk gets an err line");
+    c.send("quit");
+    c.expect_eof();
+    let mut d = server.connect();
+    d.send("shutdown");
+    assert_eq!(d.read_line(), "ok bye");
+    assert!(server.wait_exit(), "clean exit after shutdown");
+}
+
+#[test]
+fn shutdown_drains_the_other_connections_in_flight_request() {
+    // One service worker so the slow solve occupies the server while the
+    // shutdown arrives on a different connection.
+    let mut server = Server::spawn(&["--workers", "1"]);
+
+    // Client B fires a slow request (an 8M-element recurrence takes long
+    // enough to still be in flight below) and leaves it pending.
+    let mut b = server.connect();
+    b.send("solve recurrence_1d rate=0.0000001 n=8000000");
+
+    // Wait until the server demonstrably *accepted* B's request: the
+    // connection thread submits synchronously, so once the counter moves
+    // the frame is in flight server-side.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while probe_requests(&server) < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "server never accepted the slow request"
+        );
+        std::thread::yield_now();
+    }
+
+    // Client A asks for shutdown while B's request is in flight.
+    let mut a = server.connect();
+    a.send("shutdown");
+
+    // B's in-flight request still completes with a full response...
+    let reply = b.read_line();
+    assert!(
+        reply.starts_with("ok final="),
+        "in-flight request was answered, got {reply:?}"
+    );
+    // ...and only then does B's connection close.
+    b.expect_eof();
+
+    // The drain acknowledges A after B finished, and the process exits.
+    assert_eq!(a.read_line(), "ok bye");
+    assert!(server.wait_exit(), "clean exit after drain");
+}
+
+#[test]
+fn concurrent_shutdowns_do_not_wedge_the_drain() {
+    let mut server = Server::spawn(&[]);
+    // Two clients race shutdown: one wins the drain, the other is just
+    // acknowledged and closed; the server must still exit.
+    let mut a = server.connect();
+    let mut b = server.connect();
+    a.send("shutdown");
+    b.send("shutdown");
+    // The drain winner always gets `ok bye`; the loser gets either the
+    // acknowledgement or a clean EOF (its line may arrive after its read
+    // side was half-closed by the winner's drain). Neither may hang.
+    let mut byes = 0;
+    for c in [&mut a, &mut b] {
+        let mut line = String::new();
+        let n = c.reader.read_line(&mut line).expect("read response");
+        if n > 0 {
+            assert_eq!(line.trim_end(), "ok bye");
+            byes += 1;
+        }
+    }
+    assert!(byes >= 1, "the drain winner is acknowledged");
+    assert!(server.wait_exit(), "clean exit with racing shutdowns");
+}

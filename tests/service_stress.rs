@@ -125,8 +125,16 @@ fn response_bits(req: &Req, out: &ps_core::Outputs) -> Vec<u64> {
 
 /// Fire `reqs` at a fresh service from `client_threads` concurrent client
 /// threads; every response must match the oracle bit-for-bit, and every
-/// injected fault must come back as a panic error.
-fn run_mix(reqs: &[Req], client_threads: usize, workers: usize) -> Result<(), String> {
+/// injected fault must come back as a panic error. `solve_threads > 1`
+/// runs every solve on the service's shared work-stealing pool — the
+/// oracle stays `Sequential`, so this also proves parallel solves are
+/// bit-identical to serial ones.
+fn run_mix(
+    reqs: &[Req],
+    client_threads: usize,
+    workers: usize,
+    solve_threads: usize,
+) -> Result<(), String> {
     let oracle = Oracle::new();
     let programs: Vec<Program<'_>> = oracle
         .comps
@@ -140,6 +148,7 @@ fn run_mix(reqs: &[Req], client_threads: usize, workers: usize) -> Result<(), St
 
     let service = Service::new(ServiceOptions {
         workers,
+        solve_threads,
         batch_max: 4,
         ..Default::default()
     });
@@ -221,7 +230,7 @@ fn seeded_mixed_load_is_bit_identical_to_direct_runs() {
         6,
         |rng| rng.vec_of(8, 40, gen_req),
         |reqs| shrink_vec(reqs, 1),
-        |reqs| run_mix(reqs, 4, 4),
+        |reqs| run_mix(reqs, 4, 4, 1),
     );
 }
 
@@ -243,7 +252,24 @@ fn panic_heavy_mix_never_poisons_workers() {
             reqs
         },
         |reqs| shrink_vec(reqs, 1),
-        |reqs| run_mix(reqs, 4, 2),
+        |reqs| run_mix(reqs, 4, 2, 1),
+    );
+}
+
+/// The full mixed load again, but with `solve_threads: 2` so every solve
+/// runs its `DOALL` regions on the shared work-stealing pool while two
+/// workers submit concurrently. Responses must stay bit-identical to the
+/// `Sequential` oracle — parallel chunking may not perturb a single bit —
+/// and injected panics now unwind out of pool chunks instead of a plain
+/// loop, exercising the region abort path end to end.
+#[test]
+fn parallel_solves_are_bit_identical_to_sequential_oracle() {
+    check(
+        0x5e41_ce02,
+        5,
+        |rng| rng.vec_of(8, 32, gen_req),
+        |reqs| shrink_vec(reqs, 1),
+        |reqs| run_mix(reqs, 4, 2, 2),
     );
 }
 
@@ -316,4 +342,56 @@ fn spec_cache_stays_bounded_under_adversarial_diversity() {
         entry.spec_evictions() >= 35 - 3,
         "a 38-layout sweep over a 3-slot cache evicts constantly"
     );
+}
+
+/// With `solve_threads: 2` and two service workers, concurrent solves
+/// must *observably* overlap inside the shared pool: the pool's
+/// `max_live_regions` high-water mark reaches ≥ 2 (two workers' `DOALL`
+/// regions in flight at once) — the exact scenario the old one-region
+/// broadcast executor serialized. Overlap is schedule-dependent on a
+/// loaded box, so waves of wide solves are retried under a deadline
+/// until the mark is observed; `batch_max: 1` keeps the two workers on
+/// separate requests instead of micro-batching them onto one.
+#[test]
+fn parallel_solves_observably_overlap_in_the_shared_pool() {
+    use std::time::{Duration, Instant};
+
+    let service = Service::new(ServiceOptions {
+        workers: 2,
+        solve_threads: 2,
+        batch_max: 1,
+        ..Default::default()
+    });
+    let key = service.register(PIPELINE).unwrap();
+    let mut rng = Lcg::new(0x0ae8_1a9);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        // One wave: 8 wide solves (three n-element DOALL regions each)
+        // racing through 2 workers onto the shared pool.
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let n = 200_000;
+                let base = rng.int(-4, 4) as f64 * 0.5;
+                let xs: Vec<f64> = (0..n).map(|i| base + i as f64 * 1e-5).collect();
+                let inputs = Inputs::new()
+                    .set_int("n", n)
+                    .set_array("xs", OwnedArray::real(vec![(1, n)], xs));
+                service.submit(SolveRequest::new(key.clone(), inputs))
+            })
+            .collect();
+        for h in handles {
+            h.wait().expect("wide solve succeeds");
+        }
+        let pool = service
+            .pool_stats()
+            .expect("solve_threads > 1 exposes the shared pool");
+        assert!(pool.regions > 0, "solves dispatched DOALL regions");
+        if pool.max_live_regions >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no overlap observed before the deadline: {pool}"
+        );
+    }
 }
