@@ -4,34 +4,53 @@
 //! ```text
 //! ps-serve listen [--addr 127.0.0.1:0] [--workers N] [--solve-threads N]
 //!                 [--batch-max N] [--registry-capacity N] [--queue-cap N]
+//!                 [--deadline-ms MS] [--drain-timeout SECS]
+//!                 [--io-timeout SECS] [--max-frame BYTES] [--inflight N]
+//!                 [--chaos SPEC]
 //! ps-serve load --addr HOST:PORT [--clients C] [--requests R]
 //!               [--program NAME] [--param k=v]... [--vary name=lo:hi]
+//!               [--seed S] [--retries N]
 //! ps-serve shutdown --addr HOST:PORT
 //! ```
 //!
 //! `listen` prints `listening on <addr>` (with the kernel-chosen port when
 //! `--addr` ends in `:0`) and serves until a client sends `shutdown`.
 //! Programs are addressed by built-in name (`psc --list`); each
-//! connection's requests are answered in order, while the service workers
-//! batch across connections.
+//! connection's requests are answered in order (pipelined up to
+//! `--inflight` deep), while the service workers batch across
+//! connections. Connections are defended: reads and writes time out after
+//! `--io-timeout`, a frame longer than `--max-frame` is answered with a
+//! structured error (the oversized bytes are discarded, the connection
+//! survives), and malformed lines get an `err` reply instead of a
+//! disconnect. `--chaos seed=42,panic=50,slow=100,stall=80,disconnect=40`
+//! arms the seeded fault injector across the service *and* the socket
+//! layer — the chaos suite's reproducible adversary.
 //!
 //! `load` opens `--clients` concurrent connections, fires `--requests`
 //! solve lines each, verifies every response, and reports throughput plus
 //! the server's own stats line — the measurable end of the ROADMAP's
-//! "serve heavy traffic" goal.
+//! "serve heavy traffic" goal. Shed (`Busy`/`DeadlineExceeded`) responses
+//! and dropped connections are retried with seeded jittered exponential
+//! backoff (up to `--retries` attempts); retry and reconnect counts land
+//! in the report.
 //!
 //! `shutdown` drains **every** live connection, not just the issuing one:
 //! the server stops accepting, half-closes the read side of all other
 //! connections (in-flight requests still complete and their responses
 //! still flush — only the *next* read sees EOF), waits for those
-//! connection threads to finish, then answers `ok bye` and exits.
+//! connection threads to finish (bounded by `--drain-timeout`), then
+//! answers `ok bye` and exits.
 
-use ps_core::{programs, proto, ProgramKey, RuntimeOptions, Service, ServiceOptions};
+use ps_core::{
+    programs, proto, FaultInjector, FaultPoint, FaultSpec, Lcg, ProgramKey, ResponseHandle,
+    RuntimeOptions, Service, ServiceOptions, SolveRequest,
+};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -43,15 +62,26 @@ use std::time::{Duration, Instant};
 /// read side — their in-flight frame still completes and its response
 /// flushes, because only the read direction is shut — and waits for the
 /// table to drain down to the issuing connection.
-#[derive(Default)]
 struct ConnTable {
     conns: Mutex<HashMap<u64, TcpStream>>,
     changed: Condvar,
     draining: AtomicBool,
     next_id: AtomicU64,
+    /// Budget for `wait_drained` (`--drain-timeout`).
+    drain_timeout: Duration,
 }
 
 impl ConnTable {
+    fn new(drain_timeout: Duration) -> ConnTable {
+        ConnTable {
+            conns: Mutex::new(HashMap::new()),
+            changed: Condvar::new(),
+            draining: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            drain_timeout,
+        }
+    }
+
     fn register(&self, stream: &TcpStream) -> Option<u64> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let handle = stream.try_clone().ok()?;
@@ -92,11 +122,11 @@ impl ConnTable {
         true
     }
 
-    /// Block until only connection `me` remains (bounded: a connection
-    /// wedged in a pathological solve cannot hold the exit hostage
-    /// forever).
+    /// Block until only connection `me` remains (bounded by the drain
+    /// timeout: a connection wedged in a pathological solve cannot hold
+    /// the exit hostage forever).
     fn wait_drained(&self, me: u64) {
-        let deadline = Instant::now() + Duration::from_secs(30);
+        let deadline = Instant::now() + self.drain_timeout;
         let mut conns = self.conns.lock().expect("connection table poisoned");
         while !conns.keys().all(|&id| id == me) {
             let left = deadline.saturating_duration_since(Instant::now());
@@ -118,8 +148,12 @@ fn usage() -> ! {
         "usage:\n\
          ps-serve listen [--addr 127.0.0.1:0] [--workers N] [--solve-threads N]\n\
          \x20                [--batch-max N] [--registry-capacity N] [--queue-cap N]\n\
+         \x20                [--deadline-ms MS] [--drain-timeout SECS]\n\
+         \x20                [--io-timeout SECS] [--max-frame BYTES] [--inflight N]\n\
+         \x20                [--chaos seed=S,panic=P,slow=P,compile=P,stall=P,disconnect=P]\n\
          ps-serve load --addr HOST:PORT [--clients C] [--requests R]\n\
          \x20             [--program NAME] [--param k=v]... [--vary name=lo:hi]\n\
+         \x20             [--seed S] [--retries N]\n\
          ps-serve shutdown --addr HOST:PORT"
     );
     std::process::exit(2)
@@ -154,9 +188,28 @@ fn main() -> ExitCode {
 
 // ---- server ----
 
+/// Per-connection defence knobs shared by every connection thread.
+struct ConnLimits {
+    /// Socket read/write timeout; a peer silent (or unwritable) this long
+    /// is dropped.
+    io_timeout: Duration,
+    /// Longest accepted request line, in bytes. Longer frames get an
+    /// `err` reply and are discarded without unbounded buffering.
+    max_frame: usize,
+    /// Responses a connection may have in flight before the reader stops
+    /// pulling new requests off the socket (pipelining depth).
+    inflight: usize,
+}
+
 fn listen(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:0".to_string();
     let mut options = ServiceOptions::default();
+    let mut limits = ConnLimits {
+        io_timeout: Duration::from_secs(30),
+        max_frame: 64 * 1024,
+        inflight: 4,
+    };
+    let mut chaos = FaultInjector::disabled();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -184,6 +237,40 @@ fn listen(args: &[String]) -> ExitCode {
                 options.queue_cap =
                     parse_num(&take_value(args, &mut i, "--queue-cap"), "--queue-cap")
             }
+            "--deadline-ms" => {
+                let ms = parse_num(&take_value(args, &mut i, "--deadline-ms"), "--deadline-ms");
+                options.default_deadline = (ms > 0).then(|| Duration::from_millis(ms as u64));
+            }
+            "--drain-timeout" => {
+                options.drain_timeout = Duration::from_secs(parse_num(
+                    &take_value(args, &mut i, "--drain-timeout"),
+                    "--drain-timeout",
+                ) as u64)
+            }
+            "--io-timeout" => {
+                limits.io_timeout = Duration::from_secs(parse_num(
+                    &take_value(args, &mut i, "--io-timeout"),
+                    "--io-timeout",
+                ) as u64)
+            }
+            "--max-frame" => {
+                limits.max_frame =
+                    parse_num(&take_value(args, &mut i, "--max-frame"), "--max-frame").max(64)
+            }
+            "--inflight" => {
+                limits.inflight =
+                    parse_num(&take_value(args, &mut i, "--inflight"), "--inflight").max(1)
+            }
+            "--chaos" => {
+                let spec = take_value(args, &mut i, "--chaos");
+                match FaultSpec::parse(&spec) {
+                    Ok(spec) => chaos = FaultInjector::new(spec),
+                    Err(e) => {
+                        eprintln!("error: --chaos: {e}");
+                        usage()
+                    }
+                }
+            }
             other => {
                 eprintln!("error: unknown flag `{other}`");
                 usage()
@@ -191,6 +278,11 @@ fn listen(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
+    // One injector drives both layers: the service draws the worker-side
+    // points (panic, slow, compile), the connection writers draw the
+    // socket-side points (stall, disconnect) — all from one seed.
+    options.faults = chaos.clone();
+    let drain_timeout = options.drain_timeout;
 
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,
@@ -214,7 +306,9 @@ fn listen(args: &[String]) -> ExitCode {
             .collect(),
     );
 
-    let table = Arc::new(ConnTable::default());
+    let limits = Arc::new(limits);
+    let chaos = Arc::new(chaos);
+    let table = Arc::new(ConnTable::new(drain_timeout));
     for conn in listener.incoming() {
         let Ok(stream) = conn else { continue };
         // Refuse connections accepted after a drain began (the drain
@@ -229,8 +323,10 @@ fn listen(args: &[String]) -> ExitCode {
         let service = Arc::clone(&service);
         let keys = Arc::clone(&keys);
         let table = Arc::clone(&table);
+        let limits = Arc::clone(&limits);
+        let chaos = Arc::clone(&chaos);
         std::thread::spawn(move || {
-            let flow = serve_connection(stream, &service, &keys, &table, id);
+            let flow = serve_connection(stream, &service, &keys, &table, &limits, &chaos, id);
             table.deregister(id);
             if flow == Flow::Shutdown {
                 // This thread won the drain: every other connection has
@@ -249,82 +345,266 @@ enum Flow {
     Shutdown,
 }
 
+/// One frame pulled off a connection.
+enum Frame {
+    Line(String),
+    /// The line exceeded the frame limit; `0` bytes of it were kept. The
+    /// payload is how much was buffered when the limit tripped.
+    Oversized(usize),
+    Closed,
+}
+
+/// A bounded, timeout-aware line reader: buffers at most `max_frame`
+/// bytes looking for a newline; past it, the frame is reported oversized
+/// and its remainder discarded (up to a hard budget) so one hostile line
+/// cannot balloon memory or kill the connection.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl FrameReader {
+    fn next_frame(&mut self) -> Frame {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                if pos > self.max_frame {
+                    // The newline arrived in the same read burst as the
+                    // oversized payload: the whole frame is already
+                    // buffered, so discarding is just dropping it.
+                    self.buf.drain(..=pos);
+                    return Frame::Oversized(pos);
+                }
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Frame::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() > self.max_frame {
+                let had = self.buf.len();
+                return if self.discard_to_newline() {
+                    Frame::Oversized(had)
+                } else {
+                    Frame::Closed
+                };
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Frame::Closed,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                // Read timeout or socket error: drop the connection. A
+                // peer that goes silent mid-frame is indistinguishable
+                // from a dead one.
+                Err(_) => return Frame::Closed,
+            }
+        }
+    }
+
+    /// Swallow the rest of an oversized frame so the *next* line can be
+    /// served. Bounded: a peer streaming more than 8× the frame limit
+    /// with no newline is cut off instead of drained forever.
+    fn discard_to_newline(&mut self) -> bool {
+        let mut discarded = 0usize;
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                self.buf.drain(..=pos);
+                return true;
+            }
+            discarded = discarded.saturating_add(self.buf.len());
+            self.buf.clear();
+            if discarded > self.max_frame.saturating_mul(8) {
+                return false;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return false,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return false,
+            }
+        }
+    }
+}
+
+/// One queued reply, written strictly in submission order.
+enum Reply {
+    Line(String),
+    /// A pipelined solve; the writer blocks on the handle when its turn
+    /// comes, so slow solves never reorder responses.
+    Solve(ResponseHandle),
+}
+
 fn serve_connection(
     stream: TcpStream,
     service: &Service,
     keys: &HashMap<&'static str, ProgramKey>,
     table: &ConnTable,
+    limits: &ConnLimits,
+    chaos: &FaultInjector,
     my_id: u64,
 ) -> Flow {
-    let reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return Flow::Closed,
-    });
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let _ = stream.set_read_timeout(Some(limits.io_timeout));
+    let _ = stream.set_write_timeout(Some(limits.io_timeout));
+    let Ok(write_half) = stream.try_clone() else {
+        return Flow::Closed;
+    };
+    let Ok(ctl) = stream.try_clone() else {
+        return Flow::Closed;
+    };
+    // Writer thread: replies leave in submission order while the reader
+    // keeps pulling requests — pipelining bounded by the in-flight cap
+    // (the sync_channel depth). `dead` flips when the socket broke, so
+    // the reader stops parsing requests whose replies can never land.
+    let dead = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Reply>(limits.inflight);
+    let writer = {
+        let dead = Arc::clone(&dead);
+        let chaos = chaos.clone();
+        std::thread::spawn(move || writer_loop(&write_half, &rx, &chaos, &dead))
+    };
+    let mut frames = FrameReader {
+        stream,
+        buf: Vec::new(),
+        max_frame: limits.max_frame,
+    };
+    let mut flow = Flow::Closed;
+    loop {
+        if dead.load(Ordering::Relaxed) {
+            break;
+        }
+        let line = match frames.next_frame() {
+            Frame::Closed => break,
+            Frame::Oversized(len) => {
+                // Malformed-frame recovery: answer, keep the connection.
+                let err = proto::format_error(&format!(
+                    "frame exceeds {} bytes (got {len} and counting); request dropped",
+                    limits.max_frame
+                ));
+                if tx.send(Reply::Line(err)).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Frame::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let reply = match proto::parse_request(&line) {
-            Err(msg) => proto::format_error(&msg),
+        let reply = match proto::parse_request_limited(&line, limits.max_frame) {
+            Err(msg) => Reply::Line(proto::format_error(&msg)),
             Ok(proto::WireCommand::Quit) => break,
             Ok(proto::WireCommand::Shutdown) => {
-                if table.begin_drain(my_id) {
-                    // Every other connection finishes its in-flight
-                    // frames and closes before we acknowledge.
-                    table.wait_drained(my_id);
-                    let _ = writeln!(writer, "ok bye");
-                    let _ = writer.flush();
-                    return Flow::Shutdown;
-                }
-                // A concurrent shutdown already owns the drain; just
-                // acknowledge and close this connection.
-                let _ = writeln!(writer, "ok bye");
-                let _ = writer.flush();
+                flow = Flow::Shutdown;
                 break;
             }
-            Ok(proto::WireCommand::Stats) => {
-                let s = service.stats();
-                format!(
-                    "ok requests={} rejected={} responses={} errors={} panics={} batches={} \
-                     max_batch={} queue_depth={} compiles={} cache_hits={} \
-                     cache_evictions={} p50_us={} p99_us={}",
-                    s.requests,
-                    s.rejected,
-                    s.responses,
-                    s.errors,
-                    s.panics,
-                    s.batches,
-                    s.max_batch,
-                    s.queue_depth,
-                    s.compiles,
-                    s.cache_hits,
-                    s.cache_evictions,
-                    s.p50.as_micros(),
-                    s.p99.as_micros()
-                )
-            }
+            Ok(proto::WireCommand::Stats) => Reply::Line(stats_line(service, chaos)),
             Ok(proto::WireCommand::Solve { program, inputs }) => {
                 match keys.get(program.trim_start_matches('@')) {
-                    None => proto::format_error(&format!(
+                    None => Reply::Line(proto::format_error(&format!(
                         "unknown program `{program}` (try psc --list)"
-                    )),
-                    Some(key) => match service.solve(key, inputs) {
-                        Ok(outputs) => proto::format_outputs(&outputs),
-                        Err(e) => proto::format_error(&e.to_string()),
-                    },
+                    ))),
+                    // Submit without waiting: the writer resolves the
+                    // handle when this reply's turn comes.
+                    Some(key) => {
+                        Reply::Solve(service.submit(SolveRequest::new(key.clone(), inputs)))
+                    }
                 }
             }
         };
-        if writeln!(writer, "{reply}")
-            .and_then(|_| writer.flush())
-            .is_err()
-        {
+        if tx.send(reply).is_err() {
             break;
         }
     }
+    // Let the writer flush every reply accepted so far (quit and shutdown
+    // both promise in-flight responses), then close or coordinate.
+    drop(tx);
+    let _ = writer.join();
+    if flow == Flow::Shutdown {
+        let coordinator = table.begin_drain(my_id);
+        if coordinator {
+            // Every other connection finishes its in-flight frames and
+            // closes before we acknowledge.
+            table.wait_drained(my_id);
+        }
+        let mut w = BufWriter::new(ctl);
+        let _ = writeln!(w, "ok bye");
+        let _ = w.flush();
+        if coordinator {
+            return Flow::Shutdown;
+        }
+        // A concurrent shutdown already owns the drain; just acknowledge
+        // and close this connection.
+    }
     Flow::Closed
+}
+
+fn writer_loop(stream: &TcpStream, rx: &Receiver<Reply>, chaos: &FaultInjector, dead: &AtomicBool) {
+    let mut writer = BufWriter::new(stream);
+    let mut broken = false;
+    for reply in rx.iter() {
+        if broken {
+            // Keep draining so the reader can never wedge on a full
+            // channel; dropped solve handles resolve in the service and
+            // are simply discarded.
+            continue;
+        }
+        let line = match reply {
+            Reply::Line(line) => line,
+            Reply::Solve(handle) => match handle.wait() {
+                Ok(outputs) => proto::format_outputs(&outputs),
+                Err(e) => proto::format_error(&e.to_string()),
+            },
+        };
+        if chaos.should_fire(FaultPoint::SocketStall) {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        if chaos.should_fire(FaultPoint::MidFrameDisconnect) {
+            // A hostile server-side death: half the reply, then the
+            // socket drops. Clients must treat the partial line as a
+            // failed request and retry on a fresh connection.
+            let _ = writer.write_all(&line.as_bytes()[..line.len() / 2]);
+            let _ = writer.flush();
+            let _ = stream.shutdown(Shutdown::Both);
+            broken = true;
+            dead.store(true, Ordering::Relaxed);
+            continue;
+        }
+        if writeln!(writer, "{line}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            broken = true;
+            dead.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+fn stats_line(service: &Service, chaos: &FaultInjector) -> String {
+    let s = service.stats();
+    let mut line = format!(
+        "ok requests={} rejected={} responses={} errors={} panics={} deadline_expired={} \
+         batches={} max_batch={} queue_depth={} compiles={} cache_hits={} \
+         cache_evictions={} p50_us={} p99_us={}",
+        s.requests,
+        s.rejected,
+        s.responses,
+        s.errors,
+        s.panics,
+        s.deadline_expired,
+        s.batches,
+        s.max_batch,
+        s.queue_depth,
+        s.compiles,
+        s.cache_hits,
+        s.cache_evictions,
+        s.p50.as_micros(),
+        s.p99.as_micros()
+    );
+    if chaos.is_enabled() {
+        line.push_str(&format!(" chaos={}", chaos.summary()));
+    }
+    line
 }
 
 // ---- load generator ----
@@ -336,6 +616,8 @@ fn load(args: &[String]) -> ExitCode {
     let mut program = "recurrence_1d".to_string();
     let mut params: Vec<String> = Vec::new();
     let mut vary: Option<(String, i64, i64)> = None;
+    let mut seed = 0x5EED_u64;
+    let mut retries = 4u32;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -346,6 +628,10 @@ fn load(args: &[String]) -> ExitCode {
             }
             "--program" => program = take_value(args, &mut i, "--program"),
             "--param" => params.push(take_value(args, &mut i, "--param")),
+            "--seed" => seed = parse_num(&take_value(args, &mut i, "--seed"), "--seed") as u64,
+            "--retries" => {
+                retries = parse_num(&take_value(args, &mut i, "--retries"), "--retries") as u32
+            }
             "--vary" => {
                 let spec = take_value(args, &mut i, "--vary");
                 let parsed = spec.split_once('=').and_then(|(name, range)| {
@@ -376,16 +662,17 @@ fn load(args: &[String]) -> ExitCode {
     }
 
     let started = Instant::now();
-    let mut ok_total = 0u64;
-    let mut err_total = 0u64;
-    let results: Vec<Result<(u64, u64), String>> = std::thread::scope(|scope| {
+    let mut total = ClientReport::default();
+    let results: Vec<Result<ClientReport, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients.max(1))
             .map(|c| {
                 let addr = addr.clone();
                 let program = program.clone();
                 let params = params.clone();
                 let vary = vary.clone();
-                scope.spawn(move || client_loop(&addr, &program, &params, &vary, requests, c))
+                scope.spawn(move || {
+                    client_loop(&addr, &program, &params, &vary, requests, c, seed, retries)
+                })
             })
             .collect();
         handles
@@ -395,21 +682,27 @@ fn load(args: &[String]) -> ExitCode {
     });
     for r in &results {
         match r {
-            Ok((ok, err)) => {
-                ok_total += ok;
-                err_total += err;
+            Ok(report) => {
+                total.ok += report.ok;
+                total.err += report.err;
+                total.retries += report.retries;
+                total.reconnects += report.reconnects;
             }
             Err(e) => {
                 eprintln!("client error: {e}");
-                err_total += 1;
+                total.err += 1;
             }
         }
     }
     let elapsed = started.elapsed();
-    let rate = ok_total as f64 / elapsed.as_secs_f64().max(1e-9);
+    let rate = total.ok as f64 / elapsed.as_secs_f64().max(1e-9);
     println!(
-        "load: {clients} clients x {requests} requests -> {ok_total} ok, {err_total} err \
-         in {:.1} ms ({rate:.0} req/s)",
+        "load: {clients} clients x {requests} requests -> {} ok, {} err, {} retries, \
+         {} reconnects in {:.1} ms ({rate:.0} req/s)",
+        total.ok,
+        total.err,
+        total.retries,
+        total.reconnects,
         elapsed.as_secs_f64() * 1e3
     );
     // One stats probe so operators (and the verify script) see the
@@ -418,7 +711,7 @@ fn load(args: &[String]) -> ExitCode {
         Ok(line) => println!("server {line}"),
         Err(e) => eprintln!("stats probe failed: {e}"),
     }
-    if err_total == 0 {
+    if total.err == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -435,6 +728,68 @@ fn default_params(program: &str) -> Vec<String> {
     }
 }
 
+#[derive(Default)]
+struct ClientReport {
+    ok: u64,
+    err: u64,
+    /// Send attempts beyond the first (shed responses and reconnects).
+    retries: u64,
+    /// Fresh connections dialled after the server dropped one mid-frame.
+    reconnects: u64,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn connect(addr: &str) -> Result<Conn, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    Ok(Conn {
+        reader,
+        writer: BufWriter::new(stream),
+    })
+}
+
+/// Send one request line and read its response. `Err` means the
+/// connection is unusable (EOF, socket error, or a mid-frame disconnect
+/// leaving a partial line) and the caller must redial to retry.
+fn send_recv(conn: &mut Conn, line: &str) -> Result<String, String> {
+    writeln!(conn.writer, "{line}").map_err(|e| e.to_string())?;
+    conn.writer.flush().map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    let n = conn
+        .reader
+        .read_line(&mut response)
+        .map_err(|e| e.to_string())?;
+    if n == 0 {
+        return Err("server closed the connection".into());
+    }
+    if !response.ends_with('\n') {
+        return Err("connection dropped mid-response".into());
+    }
+    Ok(response)
+}
+
+/// Responses worth re-sending: transient shedding, not real failures.
+fn retryable(response: &str) -> bool {
+    response.starts_with("err service queue is full")
+        || response.starts_with("err deadline exceeded")
+}
+
+/// Seeded jittered exponential backoff: ~2^attempt ms (capped at 64 ms),
+/// ±50% jitter from the client's LCG, so retry storms decorrelate
+/// deterministically under a fixed seed.
+fn backoff(rng: &mut Lcg, attempt: u32) {
+    let base_us = 1000u64 << attempt.min(6);
+    let jitter = rng.int(-(base_us as i64) / 2, base_us as i64 / 2);
+    std::thread::sleep(Duration::from_micros(
+        (base_us as i64 + jitter).max(100) as u64
+    ));
+}
+
+#[allow(clippy::too_many_arguments)]
 fn client_loop(
     addr: &str,
     program: &str,
@@ -442,12 +797,12 @@ fn client_loop(
     vary: &Option<(String, i64, i64)>,
     requests: usize,
     client: usize,
-) -> Result<(u64, u64), String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = BufWriter::new(stream);
-    let (mut ok, mut err) = (0u64, 0u64);
-    let mut response = String::new();
+    seed: u64,
+    max_retries: u32,
+) -> Result<ClientReport, String> {
+    let mut rng = Lcg::new(seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut conn = connect(addr)?;
+    let mut report = ClientReport::default();
     for r in 0..requests {
         let mut line = format!("solve {program}");
         for p in params {
@@ -460,38 +815,62 @@ fn client_loop(
             let v = lo + ((client * 31 + r) as i64 % span);
             line.push_str(&format!(" {name}={v}"));
         }
-        writeln!(writer, "{line}").map_err(|e| e.to_string())?;
-        writer.flush().map_err(|e| e.to_string())?;
-        response.clear();
-        let n = reader.read_line(&mut response).map_err(|e| e.to_string())?;
-        if n == 0 {
-            return Err("server closed the connection".into());
-        }
-        if response.starts_with("ok") {
-            ok += 1;
-        } else {
-            err += 1;
-            if err <= 3 {
-                eprintln!("client {client}: {}", response.trim_end());
+        let mut attempt = 0u32;
+        loop {
+            match send_recv(&mut conn, &line) {
+                Ok(response) if response.starts_with("ok") => {
+                    report.ok += 1;
+                    break;
+                }
+                Ok(response) if retryable(&response) && attempt < max_retries => {
+                    attempt += 1;
+                    report.retries += 1;
+                    backoff(&mut rng, attempt);
+                }
+                Ok(response) => {
+                    report.err += 1;
+                    if report.err <= 3 {
+                        eprintln!("client {client}: {}", response.trim_end());
+                    }
+                    break;
+                }
+                Err(_) if attempt < max_retries => {
+                    // The connection died (server chaos, or a mid-frame
+                    // drop): dial a fresh one and re-send after backoff.
+                    attempt += 1;
+                    report.retries += 1;
+                    report.reconnects += 1;
+                    backoff(&mut rng, attempt);
+                    conn = connect(addr)?;
+                }
+                Err(e) => return Err(e),
             }
         }
     }
-    writeln!(writer, "quit").ok();
-    writer.flush().ok();
-    Ok((ok, err))
+    writeln!(conn.writer, "quit").ok();
+    conn.writer.flush().ok();
+    Ok(report)
 }
 
 fn probe_stats(addr: &str) -> Result<String, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = BufWriter::new(stream);
-    writeln!(writer, "stats").map_err(|e| e.to_string())?;
-    writer.flush().map_err(|e| e.to_string())?;
-    let mut line = String::new();
-    reader.read_line(&mut line).map_err(|e| e.to_string())?;
-    writeln!(writer, "quit").ok();
-    writer.flush().ok();
-    Ok(line.trim_end().to_string())
+    // The stats reply flows through the same (possibly chaotic) writer as
+    // solve responses; a few redials keep the probe reliable under
+    // injected disconnects.
+    let mut last_err = String::new();
+    for _ in 0..5 {
+        let attempt = (|| {
+            let mut conn = connect(addr)?;
+            let line = send_recv(&mut conn, "stats")?;
+            writeln!(conn.writer, "quit").ok();
+            conn.writer.flush().ok();
+            Ok(line.trim_end().to_string())
+        })();
+        match attempt {
+            Ok(line) => return Ok(line),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
 }
 
 // ---- remote shutdown ----

@@ -59,7 +59,9 @@ pub use pipeline::{
 pub use ps_codegen::{emit_main, emit_module, CodegenOptions};
 pub use ps_depgraph::{build_depgraph, DepGraph};
 pub use ps_eqfront::translate_equation;
-pub use ps_executor::{Executor, PoolStatsSnapshot, Sequential, ThreadPool};
+pub use ps_executor::{
+    CancelToken, Cancelled, Executor, PoolStatsSnapshot, Sequential, ThreadPool,
+};
 pub use ps_hyperplane::{
     find_recursive_target, hyperplane_transform, schedule_transformed, HyperplaneResult,
     StorageMode,
@@ -77,3 +79,5 @@ pub use ps_service::{
     proto, CompiledProgram, ProgramKey, Registry, ResponseHandle, Service, ServiceError,
     ServiceOptions, ServiceStats, SolveError, SolveRequest,
 };
+pub use ps_support::faults::{FaultInjector, FaultPoint, FaultSpec};
+pub use ps_support::rng::Lcg;

@@ -1,0 +1,215 @@
+//! Cooperative cancellation for region execution.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag (optionally armed with a
+//! deadline) that callers thread *implicitly* to the executor: the
+//! submitting thread wraps its solve in [`CancelToken::enter`], and the
+//! pool picks the token up via [`CancelToken::current`] when a region is
+//! submitted. Workers never see the token directly — the region checks it
+//! at chunk boundaries, which is the natural cancellation grain: a chunk
+//! is the unit of work a thread claims atomically, so cancellation never
+//! tears an iteration in half.
+//!
+//! Cancellation is reported by unwinding with the [`Cancelled`] payload
+//! (via `panic_any`), reusing the pool's existing panic plumbing: the
+//! region fast-forwards its cursor so stealers stop claiming, retires the
+//! skipped items so the latch still settles, and the submitter re-raises
+//! `Cancelled` once the region quiesces. The pool is *not* poisoned — the
+//! payload type lets callers (and the service worker) distinguish "told to
+//! stop" from "crashed".
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The unwind payload used when a region stops because its token fired.
+///
+/// Catch with `payload.is::<Cancelled>()` to tell a cancellation apart
+/// from a genuine worker panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+struct TokenInner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation flag, optionally with a wall-clock deadline.
+///
+/// All clones share one flag: [`cancel`](CancelToken::cancel) on any clone
+/// is visible through every other. A deadline token additionally reports
+/// cancelled once `Instant::now()` passes the deadline, with no timer
+/// thread — expiry is evaluated lazily at each
+/// [`is_cancelled`](CancelToken::is_cancelled) poll.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`cancel`](CancelToken::cancel) is called.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that auto-cancels at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token that auto-cancels `timeout` from now.
+    pub fn after(timeout: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Request cancellation. Idempotent; visible through all clones.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`cancel`](CancelToken::cancel) was called or the
+    /// deadline (if any) has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire)
+            || self.inner.deadline.map_or(false, |d| Instant::now() >= d)
+    }
+
+    /// The deadline this token was armed with, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Install this token as the calling thread's current token until the
+    /// returned scope is dropped. Regions submitted (or run inline) while
+    /// the scope is live observe it via [`CancelToken::current`].
+    ///
+    /// Scopes nest; the innermost wins.
+    pub fn enter(&self) -> CancelScope {
+        CURRENT.with(|stack| stack.borrow_mut().push(self.clone()));
+        CancelScope { _private: () }
+    }
+
+    /// The calling thread's innermost entered token, if any.
+    pub fn current() -> Option<CancelToken> {
+        CURRENT.with(|stack| stack.borrow().last().cloned())
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<CancelToken>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`CancelToken::enter`]; pops the token on drop.
+pub struct CancelScope {
+    _private: (),
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// `true` when the calling thread's current token (if any) is cancelled.
+pub fn current_cancelled() -> bool {
+    CancelToken::current().map_or(false, |t| t.is_cancelled())
+}
+
+/// Unwind with [`Cancelled`] if the calling thread's current token fired.
+/// Executors call this at submission boundaries so even inline execution
+/// respects the token.
+pub fn check_current() {
+    if current_cancelled() {
+        std::panic::panic_any(Cancelled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_token_expires() {
+        let t = CancelToken::after(Duration::from_millis(10));
+        assert!(!t.is_cancelled());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn enter_scopes_nest_and_pop() {
+        assert!(CancelToken::current().is_none());
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        {
+            let _a = outer.enter();
+            {
+                let _b = inner.enter();
+                inner.cancel();
+                assert!(current_cancelled());
+            }
+            // Inner scope popped; outer is still clean.
+            assert!(!current_cancelled());
+            assert!(CancelToken::current().is_some());
+        }
+        assert!(CancelToken::current().is_none());
+    }
+
+    #[test]
+    fn tokens_do_not_leak_across_threads() {
+        let t = CancelToken::new();
+        let _scope = t.enter();
+        t.cancel();
+        std::thread::spawn(|| {
+            assert!(CancelToken::current().is_none());
+            assert!(!current_cancelled());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn check_current_unwinds_with_cancelled_payload() {
+        let t = CancelToken::new();
+        t.cancel();
+        let _scope = t.enter();
+        let err = std::panic::catch_unwind(check_current).unwrap_err();
+        assert!(err.is::<Cancelled>());
+    }
+}

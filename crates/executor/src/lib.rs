@@ -19,10 +19,12 @@
 //! region instead of inlining. The workspace carries zero external
 //! dependencies.
 
+pub mod cancel;
 pub mod latch;
 pub mod pool;
 pub mod stats;
 
+pub use cancel::{CancelScope, CancelToken, Cancelled};
 pub use pool::{Sequential, ThreadPool};
 pub use stats::PoolStatsSnapshot;
 

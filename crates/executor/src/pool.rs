@@ -52,6 +52,7 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::latch::CountLatch;
 use crate::stats::{PoolStats, PoolStatsSnapshot};
 use crate::Executor;
@@ -70,12 +71,14 @@ impl Executor for Sequential {
     }
 
     fn for_range(&self, lo: i64, hi: i64, f: &(dyn Fn(i64) + Sync)) {
+        crate::cancel::check_current();
         for i in lo..=hi {
             f(i);
         }
     }
 
     fn for_chunks(&self, lo: i64, hi: i64, f: &(dyn Fn(i64, i64) + Sync)) {
+        crate::cancel::check_current();
         if hi >= lo {
             f(lo, hi + 1);
         }
@@ -108,6 +111,13 @@ struct Region {
     latch: CountLatch,
     /// Set when any invocation panicked.
     panicked: AtomicBool,
+    /// Cancel token captured from the submitter's [`CancelToken::enter`]
+    /// scope, checked at every chunk boundary by all participants.
+    cancel: Option<CancelToken>,
+    /// Set when the region stopped because `cancel` fired (distinct from
+    /// `panicked`: the submitter re-raises [`Cancelled`], not a pool
+    /// panic, and the pool is not considered poisoned).
+    cancelled: AtomicBool,
 }
 
 // SAFETY: `func` points to a `Sync` closure that outlives the region (the
@@ -124,8 +134,27 @@ impl Region {
         // handshake (thieves) or ownership (submitter) keeps the borrow
         // alive for the whole drain.
         let f = unsafe { &*self.func };
+        // Participants (the submitter re-entering, and thieves) install the
+        // region's token so nested regions spawned from inside its chunks
+        // observe cancellation too.
+        let _scope = self.cancel.as_ref().map(|t| t.enter());
         let mut done = 0i64;
         loop {
+            // Chunk-boundary cancellation: stop claiming, fast-forward the
+            // cursor past the unclaimed remainder and retire it as skipped
+            // (same shape as the panic path below) so the latch settles.
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    self.cancelled.store(true, Ordering::Release);
+                    let unclaimed = self.next.swap(self.end, Ordering::Relaxed);
+                    let skipped = (self.end - unclaimed).max(0);
+                    if skipped > 0 {
+                        stats.record_cancelled(((skipped + self.chunk - 1) / self.chunk) as u64);
+                    }
+                    self.retire(skipped);
+                    return done;
+                }
+            }
             let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.end {
                 return done;
@@ -135,14 +164,25 @@ impl Region {
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 f(start, stop);
             }));
-            if result.is_err() {
-                self.panicked.store(true, Ordering::Release);
+            if let Err(payload) = result {
+                // A `Cancelled` unwind (a nested region observed the
+                // token) stops the range like a panic but is reported as
+                // cancellation, not poisoning.
+                let was_cancel = payload.is::<Cancelled>();
+                if was_cancel {
+                    self.cancelled.store(true, Ordering::Release);
+                } else {
+                    self.panicked.store(true, Ordering::Release);
+                }
                 // Cancel the rest of the range: claim whatever is still
                 // unclaimed and retire it as skipped, so the latch still
                 // completes. Concurrently claimed chunks are retired by
                 // their claimers; anything past `end` was never real work.
                 let unclaimed = self.next.swap(self.end, Ordering::Relaxed);
                 let skipped = (self.end - unclaimed).max(0);
+                if was_cancel && skipped > 0 {
+                    stats.record_cancelled(((skipped + self.chunk - 1) / self.chunk) as u64);
+                }
                 self.retire((stop - start) + skipped);
                 return done + (stop - start);
             }
@@ -520,6 +560,14 @@ impl Executor for ThreadPool {
         let shared = &*self.shared;
         shared.stats.record_region(total as u64);
 
+        // A token already fired before any work was claimed: shed the
+        // whole region (this also covers the inline fallbacks below).
+        let cancel = CancelToken::current();
+        if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            shared.stats.record_cancelled(1);
+            std::panic::panic_any(Cancelled);
+        }
+
         // Run inline when parallelism cannot help. A 1-thread pool takes
         // this path for every region: no latch, no lane traffic, no
         // wakeups.
@@ -561,6 +609,8 @@ impl Executor for ThreadPool {
             },
             latch: CountLatch::new(1),
             panicked: AtomicBool::new(false),
+            cancel,
+            cancelled: AtomicBool::new(false),
         };
 
         // Publish: pointer first, then the fresh odd epoch, then bump the
@@ -606,6 +656,12 @@ impl Executor for ThreadPool {
 
         if region.panicked.load(Ordering::Acquire) {
             panic!("a DOALL iteration panicked (see worker output above)");
+        }
+        // A genuine panic wins over cancellation: the region may have both
+        // (a chunk crashed while the token fired), and the crash is the
+        // information the caller must not lose.
+        if region.cancelled.load(Ordering::Acquire) {
+            std::panic::panic_any(Cancelled);
         }
     }
 }
@@ -778,6 +834,91 @@ mod tests {
         for lane in pool.shared.lanes[pool.shared.n_workers..].iter() {
             assert!(!lane.claimed.load(Ordering::SeqCst), "lane released");
         }
+    }
+
+    #[test]
+    fn cancelled_token_stops_region_early_without_poisoning() {
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        let count = AtomicUsize::new(0);
+        {
+            let _scope = token.enter();
+            let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.for_range(0, 99_999, &|i| {
+                    if i == 0 {
+                        token.cancel();
+                    }
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }))
+            .expect_err("cancellation must unwind to the submitter");
+            assert!(
+                payload.is::<Cancelled>(),
+                "payload is Cancelled, not a panic"
+            );
+        }
+        let ran = count.load(Ordering::Relaxed);
+        assert!(ran < 100_000, "cancellation skipped work (ran {ran})");
+        assert!(pool.stats().cancelled_chunks > 0, "skipped chunks counted");
+        // The pool is not poisoned: a fresh region runs normally.
+        let again = AtomicUsize::new(0);
+        pool.for_range(0, 9, &|_| {
+            again.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(again.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn pre_cancelled_token_sheds_the_whole_region() {
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let _scope = token.enter();
+        let count = AtomicUsize::new(0);
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_range(0, 999, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }))
+        .expect_err("pre-cancelled region must not run");
+        assert!(payload.is::<Cancelled>());
+        assert_eq!(count.load(Ordering::Relaxed), 0, "no iteration executed");
+        assert!(pool.stats().cancelled_chunks >= 1);
+    }
+
+    #[test]
+    fn sequential_respects_current_token() {
+        let token = CancelToken::new();
+        token.cancel();
+        let _scope = token.enter();
+        let count = AtomicUsize::new(0);
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Sequential.for_range(0, 99, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }))
+        .expect_err("sequential execution checks the token at entry");
+        assert!(payload.is::<Cancelled>());
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn real_panic_wins_over_cancellation() {
+        // When a chunk crashes and the token fires, the submitter must see
+        // the panic (the bug), not the quieter Cancelled payload.
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        let _scope = token.enter();
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_range(0, 9_999, &|i| {
+                if i % 1000 == 7 {
+                    token.cancel();
+                    panic!("real bug at {i}");
+                }
+            });
+        }))
+        .expect_err("panic must propagate");
+        assert!(!payload.is::<Cancelled>(), "panic outranks cancellation");
     }
 
     #[test]

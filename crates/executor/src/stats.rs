@@ -12,6 +12,7 @@ pub struct PoolStats {
     steals: AtomicU64,
     nested_regions: AtomicU64,
     max_live_regions: AtomicU64,
+    cancelled_chunks: AtomicU64,
 }
 
 impl PoolStats {
@@ -46,6 +47,12 @@ impl PoolStats {
         self.max_live_regions.fetch_max(live_now, Ordering::Relaxed);
     }
 
+    /// `n` chunks skipped because a region's cancel token fired before
+    /// they were claimed.
+    pub(crate) fn record_cancelled(&self, n: u64) {
+        self.cancelled_chunks.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> PoolStatsSnapshot {
         PoolStatsSnapshot {
             regions: self.regions.load(Ordering::Relaxed),
@@ -55,6 +62,7 @@ impl PoolStats {
             steals: self.steals.load(Ordering::Relaxed),
             nested_regions: self.nested_regions.load(Ordering::Relaxed),
             max_live_regions: self.max_live_regions.load(Ordering::Relaxed),
+            cancelled_chunks: self.cancelled_chunks.load(Ordering::Relaxed),
         }
     }
 }
@@ -82,19 +90,25 @@ pub struct PoolStatsSnapshot {
     /// ≥ 2 proves concurrent submitters — or nesting — genuinely
     /// overlapped). Inherently schedule-dependent.
     pub max_live_regions: u64,
+    /// Chunks skipped because a region's cancel token fired before they
+    /// were claimed (whole pre-cancelled regions count once). Nonzero
+    /// proves a timed-out solve genuinely stopped early instead of
+    /// running to completion.
+    pub cancelled_chunks: u64,
 }
 
 impl std::fmt::Display for PoolStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} regions ({} inline, {} nested), {} chunks ({} stolen), {} items",
+            "{} regions ({} inline, {} nested), {} chunks ({} stolen), {} items, {} cancelled",
             self.regions,
             self.inline_regions,
             self.nested_regions,
             self.chunks,
             self.steals,
-            self.items
+            self.items,
+            self.cancelled_chunks
         )
     }
 }

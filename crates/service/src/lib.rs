@@ -24,6 +24,35 @@
 //!   front-end speaks (requests and load generation live in
 //!   `ps-core/src/bin/ps_serve.rs`).
 //!
+//! # Deadlines, shedding, and fault injection
+//!
+//! Every request can carry a deadline — per service via
+//! [`ServiceOptions::default_deadline`], per request via
+//! [`Service::submit_with_deadline`] — backed by a
+//! [`ps_executor::CancelToken`]:
+//!
+//! * a request whose deadline passed while it was still **queued** is shed
+//!   at dequeue with [`SolveError::DeadlineExceeded`] and never executes
+//!   (counted in [`ServiceStats::deadline_expired`]);
+//! * a request that times out **mid-solve** is cancelled cooperatively at
+//!   the executor's chunk boundaries — the pool's `cancelled_chunks`
+//!   counter records the skipped work, and the shared pool is *not*
+//!   poisoned: the next solve runs normally;
+//! * [`ResponseHandle::wait_timeout`] bounds the caller's wait without
+//!   consuming the handle, and [`ResponseHandle::cancel`] abandons a
+//!   request explicitly.
+//!
+//! [`Service::shutdown`] still drains every accepted request, but the
+//! drain is bounded by [`ServiceOptions::drain_timeout`]: past it, the
+//! remaining queue is answered with [`SolveError::Shutdown`] instead of
+//! holding the process hostage.
+//!
+//! To *prove* the degradation story, [`ServiceOptions::faults`] takes a
+//! seeded [`ps_support::faults::FaultInjector`]: worker panics, slow
+//! solves, and registry compile failures fire at configured per-mille
+//! rates from one LCG, so the chaos suite (`tests/chaos.rs`) can replay
+//! any failing schedule from its seed.
+//!
 //! # Embedding the service
 //!
 //! ```
@@ -109,6 +138,9 @@ pub enum SolveError {
     /// The request queue was full ([`ServiceOptions::queue_cap`]); the
     /// request was shed instead of growing the queue without bound.
     Busy,
+    /// The request's deadline passed before it completed: shed unexecuted
+    /// at dequeue, or cancelled mid-solve at an executor chunk boundary.
+    DeadlineExceeded,
     /// The service was shut down before the request was accepted.
     Shutdown,
 }
@@ -120,6 +152,7 @@ impl std::fmt::Display for SolveError {
             SolveError::Runtime(msg) => write!(f, "runtime: {msg}"),
             SolveError::Panicked(msg) => write!(f, "panicked: {msg}"),
             SolveError::Busy => write!(f, "service queue is full"),
+            SolveError::DeadlineExceeded => write!(f, "deadline exceeded"),
             SolveError::Shutdown => write!(f, "service is shut down"),
         }
     }

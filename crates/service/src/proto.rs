@@ -28,8 +28,18 @@ pub enum WireCommand {
     Shutdown,
 }
 
-/// Parse one request line (the line terminator already stripped).
+/// Parse one request line (the line terminator already stripped), with no
+/// bound on declared array sizes. Prefer [`parse_request_limited`]
+/// anywhere the line comes from an untrusted peer.
 pub fn parse_request(line: &str) -> Result<WireCommand, String> {
+    parse_request_limited(line, usize::MAX)
+}
+
+/// Parse one request line, rejecting any `@lo:hi` array header whose
+/// declared element count could not possibly fit in a `max_frame`-byte
+/// line. The check runs *before* any allocation sized by the header, so a
+/// hostile `@1:9999999999999999` cannot reserve memory it never sends.
+pub fn parse_request_limited(line: &str, max_frame: usize) -> Result<WireCommand, String> {
     let mut parts = line.split_whitespace();
     match parts.next() {
         None => Err("empty request".into()),
@@ -46,7 +56,7 @@ pub fn parse_request(line: &str) -> Result<WireCommand, String> {
                 let (name, value) = kv
                     .split_once('=')
                     .ok_or_else(|| format!("solve: `{kv}` is not name=value"))?;
-                inputs = bind(inputs, name, value)?;
+                inputs = bind(inputs, name, value, max_frame)?;
             }
             Ok(WireCommand::Solve { program, inputs })
         }
@@ -54,7 +64,7 @@ pub fn parse_request(line: &str) -> Result<WireCommand, String> {
     }
 }
 
-fn bind(inputs: Inputs, name: &str, value: &str) -> Result<Inputs, String> {
+fn bind(inputs: Inputs, name: &str, value: &str, max_frame: usize) -> Result<Inputs, String> {
     if let Some(rest) = value.strip_prefix('@') {
         let mut it = rest.splitn(3, ':');
         let (lo, hi, elems) = (it.next(), it.next(), it.next());
@@ -63,12 +73,30 @@ fn bind(inputs: Inputs, name: &str, value: &str) -> Result<Inputs, String> {
         };
         let lo: i64 = lo.parse().map_err(|_| format!("array `{name}`: bad lo"))?;
         let hi: i64 = hi.parse().map_err(|_| format!("array `{name}`: bad hi"))?;
+        // Checked width: `hi - lo + 1` overflows i64 for hostile bound
+        // pairs (e.g. lo = i64::MIN), which must be a parse error, not a
+        // debug-build panic.
+        let want: usize = match hi.checked_sub(lo).and_then(|d| d.checked_add(1)) {
+            Some(n) if n <= 0 => 0,
+            Some(n) => n as usize,
+            None => {
+                return Err(format!("array `{name}`: range {lo}..{hi} is out of range"));
+            }
+        };
+        // Pre-validate against the frame limit before touching `elems`:
+        // every element costs at least two bytes on the wire (a digit and
+        // its separator), so more than max_frame/2 + 1 of them cannot fit
+        // in a legal line and the header is lying.
+        if want > max_frame / 2 + 1 {
+            return Err(format!(
+                "array `{name}`: {want} elements exceed the frame limit"
+            ));
+        }
         let raw: Vec<&str> = if elems.is_empty() {
             Vec::new()
         } else {
             elems.split(',').collect()
         };
-        let want = (hi - lo + 1).max(0) as usize;
         if raw.len() != want {
             return Err(format!(
                 "array `{name}`: {lo}..{hi} needs {want} elements, got {}",
@@ -233,6 +261,27 @@ mod tests {
             "length mismatch"
         );
         assert!(parse_request("solve p x=abc").is_err());
+    }
+
+    #[test]
+    fn hostile_array_headers_are_structured_errors() {
+        // Overflowing bound pairs must not panic (hi - lo + 1 overflows).
+        for line in [
+            "solve p xs=@-9223372036854775808:9223372036854775807:1",
+            "solve p xs=@0:9223372036854775807:1",
+            "solve p xs=@9223372036854775807:-9223372036854775808:1",
+        ] {
+            assert!(parse_request(line).is_err(), "{line}");
+        }
+        // A header declaring more elements than any max_frame-byte line
+        // could carry is rejected before the element Vec is built.
+        let err = parse_request_limited("solve p xs=@1:999999:1,2", 4096).unwrap_err();
+        assert!(err.contains("frame limit"), "{err}");
+        // The same header is merely a length mismatch with no limit.
+        let err = parse_request("solve p xs=@1:999999:1,2").unwrap_err();
+        assert!(err.contains("needs"), "{err}");
+        // Reversed (empty) ranges parse fine under a limit.
+        assert!(parse_request_limited("solve p xs=@3:1:", 4096).is_ok());
     }
 
     #[test]

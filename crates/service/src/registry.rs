@@ -29,6 +29,7 @@
 use crate::program::CompiledProgram;
 use crate::ServiceError;
 use ps_runtime::RuntimeOptions;
+use ps_support::faults::{FaultInjector, FaultPoint};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -108,12 +109,21 @@ pub struct Registry {
     compiles: AtomicU64,
     hits: AtomicU64,
     evictions: AtomicU64,
+    /// Chaos hook: lets the seeded injector turn a compile into a failure.
+    faults: FaultInjector,
 }
 
 impl Registry {
     /// An empty registry holding at most `capacity` compiled programs
     /// (clamped to at least 1).
     pub fn new(capacity: usize) -> Registry {
+        Registry::with_faults(capacity, FaultInjector::disabled())
+    }
+
+    /// Like [`Registry::new`] with a seeded fault injector: the
+    /// `CompileFail` point fires on the compile path (after the cache
+    /// double-check, before any real compilation work).
+    pub fn with_faults(capacity: usize, faults: FaultInjector) -> Registry {
         Registry {
             published: AtomicPtr::new(Box::into_raw(Box::new(Snapshot {
                 entries: Vec::new(),
@@ -126,6 +136,7 @@ impl Registry {
             compiles: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            faults,
         }
     }
 
@@ -173,6 +184,11 @@ impl Registry {
         // compiled this key while we waited (its hit is counted normally).
         if let Some(e) = self.lookup(key) {
             return Ok(e);
+        }
+        if self.faults.should_fire(FaultPoint::CompileFail) {
+            return Err(ServiceError::Compile(
+                "injected fault: registry compile failure".into(),
+            ));
         }
         let entry = CompiledProgram::compile(Arc::clone(&key.source), key.options)?;
         entry.touched.store(

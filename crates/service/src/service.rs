@@ -4,18 +4,19 @@
 use crate::registry::{ProgramKey, Registry};
 use crate::stats::{LatencyHistogram, ServiceStats};
 use crate::{ServiceError, SolveError};
-use ps_executor::{Executor, Sequential, ThreadPool};
+use ps_executor::{CancelToken, Cancelled, Executor, Sequential, ThreadPool};
 use ps_runtime::{Inputs, Outputs, RuntimeOptions};
+use ps_support::faults::{FaultInjector, FaultPoint};
 use ps_support::rng::panic_message;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Knobs for [`Service::new`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceOptions {
     /// Worker threads draining the request queue (clamped to ≥ 1). Each
     /// worker serves one micro-batch at a time, so this is the service's
@@ -37,6 +38,21 @@ pub struct ServiceOptions {
     /// Runtime options used by the [`Service::register`] convenience
     /// (requests carry their own options inside their [`ProgramKey`]).
     pub runtime: RuntimeOptions,
+    /// Deadline applied to every [`Service::submit`] (none by default).
+    /// `submit_with_deadline` overrides it per request. A request past its
+    /// deadline at dequeue is shed with [`SolveError::DeadlineExceeded`];
+    /// one that expires mid-solve is cancelled at executor chunk
+    /// boundaries.
+    pub default_deadline: Option<Duration>,
+    /// How long [`Service::shutdown`] keeps serving the already-accepted
+    /// backlog before answering the remainder with
+    /// [`SolveError::Shutdown`] (30 s by default). Bounds shutdown's
+    /// wall-clock however deep the queue is.
+    pub drain_timeout: Duration,
+    /// Seeded fault injection for chaos testing (disabled by default):
+    /// worker panics, slow solves, and registry compile failures fire at
+    /// the spec's per-mille rates.
+    pub faults: FaultInjector,
 }
 
 impl Default for ServiceOptions {
@@ -48,6 +64,9 @@ impl Default for ServiceOptions {
             batch_max: 8,
             queue_cap: 1024,
             runtime: RuntimeOptions::default(),
+            default_deadline: None,
+            drain_timeout: Duration::from_secs(30),
+            faults: FaultInjector::disabled(),
         }
     }
 }
@@ -102,6 +121,8 @@ impl ResponseState {
 /// [`is_ready`]: ResponseHandle::is_ready
 pub struct ResponseHandle {
     state: Arc<ResponseState>,
+    /// Clone of the request's cancel token ([`ResponseHandle::cancel`]).
+    cancel: CancelToken,
 }
 
 impl ResponseHandle {
@@ -152,6 +173,47 @@ impl ResponseHandle {
             ResponseCell::Pending
         )
     }
+
+    /// Block for at most `timeout` and take the response if it arrived
+    /// (`None` on timeout; the handle stays usable, so callers can keep
+    /// polling or [`cancel`](ResponseHandle::cancel) and walk away).
+    ///
+    /// # Panics
+    /// When the response was already consumed by
+    /// [`try_take`](ResponseHandle::try_take).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Outputs, SolveError>> {
+        let deadline = Instant::now() + timeout;
+        let mut cell = self.state.cell.lock().expect("response cell poisoned");
+        loop {
+            match std::mem::replace(&mut *cell, ResponseCell::Taken) {
+                ResponseCell::Ready(result) => return Some(result),
+                ResponseCell::Taken => {
+                    panic!("response was already consumed by try_take")
+                }
+                ResponseCell::Pending => {
+                    *cell = ResponseCell::Pending;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (guard, _) = self
+                        .state
+                        .ready
+                        .wait_timeout(cell, deadline.saturating_duration_since(now))
+                        .expect("response cell poisoned");
+                    cell = guard;
+                }
+            }
+        }
+    }
+
+    /// Cancel this request: if still queued it is shed at dequeue; if
+    /// mid-solve it stops at the next executor chunk boundary. Either way
+    /// the handle resolves to [`SolveError::DeadlineExceeded`]. A no-op
+    /// once the solve already finished.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
 }
 
 /// One queued request.
@@ -160,6 +222,8 @@ struct Pending {
     inputs: Inputs,
     state: Arc<ResponseState>,
     submitted: Instant,
+    /// The request's deadline/cancellation token, shared with its handle.
+    cancel: CancelToken,
 }
 
 /// State shared between the handle type, the workers, and the queue.
@@ -177,9 +241,15 @@ struct Inner {
     responses: AtomicU64,
     errors: AtomicU64,
     panics: AtomicU64,
+    deadline_expired: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
     latency: LatencyHistogram,
+    faults: FaultInjector,
+    drain_timeout: Duration,
+    /// Set by `shutdown` (under the queue lock): when the drain runs past
+    /// this instant, workers answer the remaining backlog with `Shutdown`.
+    drain_deadline: Mutex<Option<Instant>>,
 }
 
 impl Inner {
@@ -210,6 +280,7 @@ pub struct Service {
     pool: Option<Arc<ThreadPool>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     default_runtime: RuntimeOptions,
+    default_deadline: Option<Duration>,
 }
 
 impl Service {
@@ -218,7 +289,7 @@ impl Service {
             queue: Mutex::new(VecDeque::new()),
             nonempty: Condvar::new(),
             closed: AtomicBool::new(false),
-            registry: Registry::new(options.registry_capacity),
+            registry: Registry::with_faults(options.registry_capacity, options.faults.clone()),
             batch_max: options.batch_max.max(1),
             queue_cap: options.queue_cap.max(1),
             depth: AtomicU64::new(0),
@@ -227,9 +298,13 @@ impl Service {
             responses: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            faults: options.faults.clone(),
+            drain_timeout: options.drain_timeout,
+            drain_deadline: Mutex::new(None),
         });
         // One executor shared by every worker: a `ThreadPool` handle when
         // intra-solve parallelism was requested, otherwise `Sequential`
@@ -255,6 +330,7 @@ impl Service {
             pool,
             workers: Mutex::new(workers),
             default_runtime: options.runtime,
+            default_deadline: options.default_deadline,
         }
     }
 
@@ -276,9 +352,30 @@ impl Service {
     }
 
     /// Enqueue one request; returns immediately. The program compiles
-    /// lazily on first pickup if it was never registered.
+    /// lazily on first pickup if it was never registered. The service's
+    /// [`ServiceOptions::default_deadline`] (if any) applies.
     pub fn submit(&self, request: SolveRequest) -> ResponseHandle {
+        self.submit_inner(request, self.default_deadline)
+    }
+
+    /// Like [`Service::submit`] with an explicit deadline (measured from
+    /// now, overriding the service default). Past it, the request is shed
+    /// at dequeue or cancelled mid-solve, and the handle resolves to
+    /// [`SolveError::DeadlineExceeded`].
+    pub fn submit_with_deadline(
+        &self,
+        request: SolveRequest,
+        deadline: Duration,
+    ) -> ResponseHandle {
+        self.submit_inner(request, Some(deadline))
+    }
+
+    fn submit_inner(&self, request: SolveRequest, deadline: Option<Duration>) -> ResponseHandle {
         let state = Arc::new(ResponseState::default());
+        let cancel = match deadline {
+            Some(d) => CancelToken::after(d),
+            None => CancelToken::new(),
+        };
         {
             // The closed check happens *under the queue lock* — `shutdown`
             // flips the flag under the same lock, so a request can never
@@ -288,7 +385,7 @@ impl Service {
             if self.inner.closed.load(Ordering::Acquire) {
                 drop(queue);
                 state.fulfill(Err(SolveError::Shutdown));
-                return ResponseHandle { state };
+                return ResponseHandle { state, cancel };
             }
             // Admission control: at capacity the request is shed *now*
             // (cheap, bounded memory) rather than queued behind work the
@@ -297,7 +394,7 @@ impl Service {
                 drop(queue);
                 self.inner.rejected.fetch_add(1, Ordering::Relaxed);
                 state.fulfill(Err(SolveError::Busy));
-                return ResponseHandle { state };
+                return ResponseHandle { state, cancel };
             }
             self.inner.requests.fetch_add(1, Ordering::Relaxed);
             self.inner.depth.fetch_add(1, Ordering::Relaxed);
@@ -306,10 +403,11 @@ impl Service {
                 inputs: request.inputs,
                 state: Arc::clone(&state),
                 submitted: Instant::now(),
+                cancel: cancel.clone(),
             });
         }
         self.inner.nonempty.notify_one();
-        ResponseHandle { state }
+        ResponseHandle { state, cancel }
     }
 
     /// Submit and block for the response (convenience).
@@ -326,6 +424,7 @@ impl Service {
             responses: inner.responses.load(Ordering::Relaxed),
             errors: inner.errors.load(Ordering::Relaxed),
             panics: inner.panics.load(Ordering::Relaxed),
+            deadline_expired: inner.deadline_expired.load(Ordering::Relaxed),
             batches: inner.batches.load(Ordering::Relaxed),
             max_batch: inner.max_batch.load(Ordering::Relaxed),
             queue_depth: inner.depth.load(Ordering::Relaxed),
@@ -363,6 +462,16 @@ impl Service {
             // below cannot deadlock on a sleeping worker).
             let _queue = self.inner.queue.lock().expect("request queue poisoned");
             self.inner.closed.store(true, Ordering::Release);
+            // Arm the drain budget: workers keep serving the backlog until
+            // this instant, then answer the rest with `Shutdown`.
+            let mut drain = self
+                .inner
+                .drain_deadline
+                .lock()
+                .expect("drain deadline poisoned");
+            if drain.is_none() {
+                *drain = Some(Instant::now() + self.inner.drain_timeout);
+            }
         }
         self.inner.nonempty.notify_all();
         let handles: Vec<JoinHandle<()>> = {
@@ -415,6 +524,22 @@ fn worker_loop(inner: &Inner, executor: &dyn Executor) {
         inner
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        // Bounded drain: once shutdown's budget is spent, the backlog is
+        // answered (with `Shutdown`) instead of executed — every handle
+        // still resolves, but a deep queue can no longer hold the process.
+        if inner.closed.load(Ordering::Acquire) {
+            let drain_expired = inner
+                .drain_deadline
+                .lock()
+                .expect("drain deadline poisoned")
+                .is_some_and(|d| Instant::now() >= d);
+            if drain_expired {
+                for p in batch {
+                    inner.respond(p, Err(SolveError::Shutdown));
+                }
+                continue;
+            }
+        }
         match inner.registry.get_or_compile(&batch[0].key) {
             Err(err) => {
                 // The whole batch shares the program, so it shares the
@@ -427,14 +552,39 @@ fn worker_loop(inner: &Inner, executor: &dyn Executor) {
             Ok(entry) => {
                 let mut session = entry.session();
                 for p in batch {
+                    // A request already past its deadline is shed here, at
+                    // dequeue — it never executes at all.
+                    if p.cancel.is_cancelled() {
+                        inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                        inner.respond(p, Err(SolveError::DeadlineExceeded));
+                        continue;
+                    }
                     // The request boundary: a panicking solve resolves
                     // *this* handle to an error; the session drops the
-                    // claimed slot and the worker carries on.
-                    let outcome =
-                        catch_unwind(AssertUnwindSafe(|| session.run(&p.inputs, executor)));
+                    // claimed slot and the worker carries on. The cancel
+                    // scope lets a mid-solve expiry stop the solve at the
+                    // executor's next chunk boundary.
+                    let _scope = p.cancel.enter();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if inner.faults.should_fire(FaultPoint::WorkerPanic) {
+                            panic!("injected fault: worker panic");
+                        }
+                        if inner.faults.should_fire(FaultPoint::SlowSolve) {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        session.run(&p.inputs, executor)
+                    }));
+                    drop(_scope);
                     let result = match outcome {
                         Ok(Ok(outputs)) => Ok(outputs),
                         Ok(Err(e)) => Err(SolveError::Runtime(e.to_string())),
+                        Err(payload) if payload.is::<Cancelled>() => {
+                            // Mid-solve cancellation is a deadline event,
+                            // not a crash: the pool skipped the region's
+                            // remaining chunks and stays healthy.
+                            inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                            Err(SolveError::DeadlineExceeded)
+                        }
                         Err(payload) => {
                             inner.panics.fetch_add(1, Ordering::Relaxed);
                             Err(SolveError::Panicked(panic_message(payload)))
@@ -626,6 +776,108 @@ mod tests {
             h.wait().unwrap();
         }
         assert_eq!(svc.stats().responses, 3, "shed requests never queue");
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_at_dequeue_without_executing() {
+        let svc = Service::new(ServiceOptions {
+            workers: 1,
+            ..Default::default()
+        });
+        let key = svc.register(RECURRENCE).unwrap();
+        // Occupy the single worker so the doomed request sits queued past
+        // its (already-expired) deadline.
+        let slow = svc.submit(SolveRequest::new(
+            key.clone(),
+            Inputs::new().set_real("rate", 1e-9).set_int("n", 4_000_000),
+        ));
+        while svc.stats().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        let doomed = svc.submit_with_deadline(
+            SolveRequest::new(
+                key.clone(),
+                Inputs::new().set_real("rate", 0.5).set_int("n", 4),
+            ),
+            Duration::ZERO,
+        );
+        match doomed.wait() {
+            Err(SolveError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        slow.wait().unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        // A generous deadline still succeeds.
+        let ok = svc.submit_with_deadline(
+            SolveRequest::new(key, Inputs::new().set_real("rate", 0.5).set_int("n", 4)),
+            Duration::from_secs(120),
+        );
+        ok.wait().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_delivers() {
+        let svc = service();
+        let key = svc.register(RECURRENCE).unwrap();
+        let h = svc.submit(SolveRequest::new(
+            key,
+            Inputs::new().set_real("rate", 1e-9).set_int("n", 4_000_000),
+        ));
+        // A 0-length wait on a multi-million-step solve times out...
+        assert!(h.wait_timeout(Duration::ZERO).is_none());
+        // ...and a patient one takes the same response the handle owns.
+        let out = h
+            .wait_timeout(Duration::from_secs(120))
+            .expect("solve finishes well within the bound");
+        out.unwrap();
+        assert!(h.try_take().is_none(), "wait_timeout consumed the response");
+    }
+
+    #[test]
+    fn handle_cancel_sheds_a_queued_request() {
+        let svc = Service::new(ServiceOptions {
+            workers: 1,
+            ..Default::default()
+        });
+        let key = svc.register(RECURRENCE).unwrap();
+        let slow = svc.submit(SolveRequest::new(
+            key.clone(),
+            Inputs::new().set_real("rate", 1e-9).set_int("n", 4_000_000),
+        ));
+        while svc.stats().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        let victim = svc.submit(SolveRequest::new(
+            key,
+            Inputs::new().set_real("rate", 0.5).set_int("n", 4),
+        ));
+        victim.cancel();
+        match victim.wait() {
+            Err(SolveError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        slow.wait().unwrap();
+        assert_eq!(svc.stats().deadline_expired, 1);
+    }
+
+    #[test]
+    fn injected_worker_panics_are_counted_and_isolated() {
+        use ps_support::faults::FaultSpec;
+        let svc = Service::new(ServiceOptions {
+            workers: 1,
+            // Rate 1000‰: every request hits the injected panic.
+            faults: FaultInjector::new(FaultSpec::seeded(3).rate(FaultPoint::WorkerPanic, 1000)),
+            ..Default::default()
+        });
+        let key = svc.register(RECURRENCE).unwrap();
+        match svc.solve(&key, Inputs::new().set_real("rate", 0.5).set_int("n", 4)) {
+            Err(SolveError::Panicked(msg)) => assert!(msg.contains("injected fault"), "{msg}"),
+            other => panic!("expected injected panic, got {other:?}"),
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.responses, 1, "the worker survived its own fault");
     }
 
     #[test]

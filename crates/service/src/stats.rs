@@ -89,6 +89,10 @@ pub struct ServiceStats {
     pub errors: u64,
     /// Requests whose solve panicked (isolated at the request boundary).
     pub panics: u64,
+    /// Requests resolved to [`crate::SolveError::DeadlineExceeded`]: shed
+    /// unexecuted at dequeue, or cancelled mid-solve (a subset of
+    /// `errors`).
+    pub deadline_expired: u64,
     /// Worker micro-batches executed.
     pub batches: u64,
     /// Largest micro-batch executed so far.

@@ -12,13 +12,16 @@
 //!   the workspace stays free of external crates,
 //! * [`idx`] — strongly-typed index newtypes and [`idx::IndexVec`],
 //! * [`pretty`] — an indenting text writer used by all renderers,
-//! * [`rng`] — a seeded LCG driving the deterministic property tests.
+//! * [`rng`] — a seeded LCG driving the deterministic property tests,
+//! * [`faults`] — the seeded fault-injection switchboard the chaos suites
+//!   drive (worker panics, slow solves, socket stalls, ...).
 //!
 //! Nothing in here is specific to the PS language; it is the kind of support
 //! layer the paper's 24,000-line Pascal implementation would have carried
 //! implicitly.
 
 pub mod diag;
+pub mod faults;
 pub mod fxhash;
 pub mod idx;
 pub mod intern;
@@ -28,6 +31,7 @@ pub mod source;
 pub mod span;
 
 pub use diag::{Diagnostic, DiagnosticSink, Severity};
+pub use faults::{FaultInjector, FaultPoint, FaultSpec};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use intern::Symbol;
 pub use rng::Lcg;

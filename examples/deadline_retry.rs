@@ -1,0 +1,98 @@
+//! Deadlines, shedding, and a seeded retry loop against the embedded
+//! solve service.
+//!
+//! ```sh
+//! cargo run --example deadline_retry
+//! ```
+//!
+//! One worker is kept busy with a long solve while a client submits the
+//! same request under an impossibly short deadline — the service sheds it
+//! (`SolveError::DeadlineExceeded`, counted in `deadline_expired`)
+//! without ever executing it. The client then does what a real caller
+//! should: retry under seeded jittered exponential backoff with a more
+//! generous deadline until the answer arrives. `wait_timeout` shows the
+//! non-blocking side of the same lifecycle.
+
+use ps_core::{Inputs, Lcg, Service, ServiceOptions, SolveError, SolveRequest};
+use std::time::Duration;
+
+fn main() {
+    let service = Service::new(ServiceOptions {
+        workers: 1, // one worker => deadlines demonstrably queue-sensitive
+        ..Default::default()
+    });
+    let key = service.register(ps_core::programs::RECURRENCE_1D).unwrap();
+    let inputs = || Inputs::new().set_real("rate", 0.001).set_int("n", 4096);
+
+    // Occupy the single worker so deadlined requests wait behind it.
+    let occupy = service.submit(SolveRequest::new(
+        key.clone(),
+        Inputs::new().set_real("rate", 1e-7).set_int("n", 2_000_000),
+    ));
+
+    // An expired deadline is shed at dequeue: the request never executes.
+    let shed = service
+        .submit_with_deadline(SolveRequest::new(key.clone(), inputs()), Duration::ZERO)
+        .wait();
+    assert!(matches!(shed, Err(SolveError::DeadlineExceeded)));
+    println!("impatient request shed: {}", shed.unwrap_err());
+
+    // `wait_timeout` polls without blocking forever: while the occupying
+    // solve runs, a 1 ms wait on a fresh request usually returns None
+    // (on a fast box the answer may already be in — both are valid).
+    let pending = service.submit(SolveRequest::new(key.clone(), inputs()));
+    let mut early = pending.wait_timeout(Duration::from_millis(1));
+    if early.is_none() {
+        println!("wait_timeout: response not ready yet (worker still busy)");
+    }
+
+    // ...and the retry loop is the production pattern: each attempt gets
+    // a real (but finite) deadline, and failures back off with seeded
+    // jitter so a thundering herd of clients decorrelates.
+    let mut rng = Lcg::new(0xD11E);
+    let mut attempt = 0u32;
+    let outcome = loop {
+        let got = service
+            .submit_with_deadline(
+                SolveRequest::new(key.clone(), inputs()),
+                Duration::from_millis(2 << attempt.min(8)),
+            )
+            .wait();
+        match got {
+            Err(SolveError::DeadlineExceeded) | Err(SolveError::Busy) if attempt < 10 => {
+                attempt += 1;
+                let base_us = 500u64 << attempt.min(6);
+                let jitter = rng.int(-(base_us as i64) / 2, base_us as i64 / 2);
+                std::thread::sleep(Duration::from_micros(
+                    (base_us as i64 + jitter).max(100) as u64
+                ));
+            }
+            other => break other,
+        }
+    };
+    let out = outcome.expect("the retry loop eventually lands");
+    println!(
+        "retried to success after {attempt} backoffs: final = {}",
+        out.scalar("final").as_real()
+    );
+
+    // The parked wait_timeout request and the occupier both complete too.
+    let parked = early
+        .take()
+        .or_else(|| pending.wait_timeout(Duration::from_secs(60)))
+        .expect("ready well inside a minute")
+        .expect("undeadlined request solves");
+    assert_eq!(
+        parked.scalar("final").as_real(),
+        out.scalar("final").as_real()
+    );
+    occupy.wait().expect("long solve completes");
+
+    let stats = service.stats();
+    println!(
+        "requests {} responses {} deadline_expired {} (panics {})",
+        stats.requests, stats.responses, stats.deadline_expired, stats.panics
+    );
+    assert!(stats.deadline_expired >= 1, "the shed request was counted");
+    service.shutdown();
+}

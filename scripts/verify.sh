@@ -7,27 +7,46 @@
 # Runs: release build, the full test suite (unit + integration + doc),
 # the executor schedule-stress suite (explicitly, so a pool regression
 # names itself), the service/TCP concurrency suites (overlapping solves,
-# bounded-queue shedding, cross-connection shutdown drain), the benchmark
-# smoke pass (structural figure assertions),
+# bounded-queue shedding, cross-connection shutdown drain), the seeded
+# chaos suite (fault injection across service, executor, and TCP), the
+# benchmark smoke pass (structural figure assertions),
 # a bench-JSON smoke step, the ps-analyze static verification of every
 # builtin program, docs with warnings denied, and rustfmt.
+#
+# The stress/TCP/chaos suites run under a hang watchdog: a wedged drain or
+# a deadlocked pool fails the gate with a kill instead of hanging CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Watchdog wrapper for suites that exercise blocking concurrency: SIGTERM
+# after $1 seconds, SIGKILL 30 s later if the process ignored it.
+bounded() {
+    local secs="$1"
+    shift
+    timeout --kill-after=30 "$secs" "$@" \
+        || { echo "watchdog: '$*' exceeded ${secs}s or failed" >&2; exit 1; }
+}
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
 echo "==> cargo test -q --offline"
-cargo test -q --offline
+bounded 1800 cargo test -q --offline
 
 echo "==> cargo test -q --offline --test executor_stress (exactly-once accounting)"
-cargo test -q --offline --test executor_stress
+bounded 600 cargo test -q --offline --test executor_stress
 
 echo "==> cargo test -q --offline --test service_stress (oracle-diffed concurrent solves)"
-cargo test -q --offline --test service_stress
+bounded 600 cargo test -q --offline --test service_stress
 
 echo "==> cargo test -q --offline --test serve_tcp (TCP shutdown drain)"
-cargo test -q --offline --test serve_tcp
+bounded 600 cargo test -q --offline --test serve_tcp
+
+echo "==> cargo test -q --offline --test chaos (seeded fault injection)"
+bounded 600 cargo test -q --offline --test chaos
+
+echo "==> cargo test -q --offline --test proto_fuzz (wire-parser properties)"
+bounded 300 cargo test -q --offline --test proto_fuzz
 
 echo "==> cargo test -q --offline --benches (smoke: figure assertions)"
 cargo test -q --offline --benches
@@ -81,14 +100,38 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 [ -n "$addr" ] || { echo "ps-serve did not announce a port" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
-load_out=$(./target/release/ps-serve load --addr "$addr" --clients 2 --requests 16 \
+load_out=$(bounded 300 ./target/release/ps-serve load --addr "$addr" --clients 2 --requests 16 \
                --program recurrence_1d --vary n=8:24) \
     || { echo "ps-serve load failed" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
 echo "$load_out"
-echo "$load_out" | grep -q ' 0 err ' \
+echo "$load_out" | grep -q ' 0 err,' \
     || { echo "ps-serve load saw error responses" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
 echo "$load_out" | grep -Eq 'cache_hits=[1-9]' \
     || { echo "warm registry did not report cache hits" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+./target/release/ps-serve shutdown --addr "$addr" >/dev/null
+wait "$serve_pid" 2>/dev/null || true
+
+echo "==> ps-serve chaos smoke (seeded stalls + disconnects, retrying load)"
+serve_log="$PWD/target/ps_serve_chaos_smoke.log"
+rm -f "$serve_log"
+./target/release/ps-serve listen --addr 127.0.0.1:0 --workers 2 \
+    --chaos seed=7,slow=60,stall=60,disconnect=40 --io-timeout 10 >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$serve_log" | head -n 1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "chaos ps-serve did not announce a port" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+chaos_out=$(bounded 300 ./target/release/ps-serve load --addr "$addr" --clients 2 --requests 16 \
+               --program recurrence_1d --retries 8 --seed 7) \
+    || { echo "ps-serve chaos load failed" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+echo "$chaos_out"
+echo "$chaos_out" | grep -q ' 0 err,' \
+    || { echo "chaos load: retries did not recover every request" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+echo "$chaos_out" | grep -q ' chaos=' \
+    || { echo "chaos load: stats line missing the chaos summary" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
 ./target/release/ps-serve shutdown --addr "$addr" >/dev/null
 wait "$serve_pid" 2>/dev/null || true
 

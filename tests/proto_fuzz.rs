@@ -1,0 +1,250 @@
+//! Property and fuzz suite for the `ps_service::proto` wire parser.
+//!
+//! Two families, both seeded through `ps_support::rng::check` so every
+//! failure replays and shrinks:
+//!
+//! * **Round-trip**: a random `Outputs` rendered by `format_outputs`
+//!   re-enters the parser (the response grammar *is* the request value
+//!   grammar) and every scalar and array element comes back bit-exact.
+//! * **Never-panic**: mutated, truncated, concatenated, and random lines
+//!   — plus adversarial `@lo:hi` headers at the i64 extremes — always
+//!   return `Ok`/`Err` from `parse_request_limited`, never panic, and
+//!   never accept an array the frame limit proves impossible.
+
+use ps_core::proto::{self, WireCommand};
+use ps_core::{Inputs, Outputs, OwnedArray, Value};
+use ps_support::rng::{check, panic_message, shrink_vec, Lcg};
+use ps_support::Symbol;
+
+const MAX_FRAME: usize = 4096;
+
+/// A random scalar that survives text round-tripping (any finite real
+/// does — Rust's shortest formatting is read back exactly).
+fn gen_value(rng: &mut Lcg) -> Value {
+    match rng.index(3) {
+        0 => Value::Int(rng.int(-1_000_000, 1_000_000)),
+        1 => {
+            let mantissa = rng.int(-(1 << 30), 1 << 30) as f64;
+            let exp = rng.int(-6, 6) as i32;
+            Value::Real(mantissa * 10f64.powi(exp))
+        }
+        _ => Value::Bool(rng.bool()),
+    }
+}
+
+/// One generated response: named scalars plus one optional 1-D array
+/// (small enough that the rendered line stays within `MAX_FRAME`).
+#[derive(Clone, Debug)]
+struct Resp {
+    scalars: Vec<(String, Value)>,
+    array: Option<(String, i64, Vec<f64>)>,
+}
+
+fn gen_resp(rng: &mut Lcg) -> Resp {
+    let names = ["alpha", "beta", "gamma", "delta"];
+    let picked = rng.subsequence(&names, 0, names.len());
+    let scalars = picked
+        .into_iter()
+        .map(|n| (n.to_string(), gen_value(rng)))
+        .collect();
+    let array = rng.bool().then(|| {
+        let lo = rng.int(-4, 4);
+        let len = rng.usize(0, 12);
+        let data: Vec<f64> = (0..len)
+            .map(|_| rng.int(-1000, 1000) as f64 * 0.125)
+            .collect();
+        ("out".to_string(), lo, data)
+    });
+    Resp { scalars, array }
+}
+
+fn build_outputs(resp: &Resp) -> Outputs {
+    let mut out = Outputs::default();
+    for (name, v) in &resp.scalars {
+        out.scalars.insert(name.clone(), *v);
+    }
+    if let Some((name, lo, data)) = &resp.array {
+        let hi = lo + data.len() as i64 - 1;
+        out.arrays.insert(
+            name.clone(),
+            OwnedArray::real(vec![(*lo, hi)], data.clone()),
+        );
+    }
+    out
+}
+
+fn scalar(inputs: &Inputs, name: &str) -> Option<Value> {
+    inputs.scalar(Symbol::intern(name))
+}
+
+/// `format_outputs` → rewrite `ok ...` as `solve p ...` → parse → every
+/// value bit-exact.
+#[test]
+fn formatted_responses_round_trip_through_the_parser() {
+    check(
+        0xF0_22_17,
+        64,
+        gen_resp,
+        |_| Vec::new(),
+        |resp| {
+            let line = proto::format_outputs(&build_outputs(resp));
+            let request = format!(
+                "solve p{}",
+                line.strip_prefix("ok").expect("ok-prefixed response")
+            );
+            let cmd = proto::parse_request_limited(&request, MAX_FRAME)
+                .map_err(|e| format!("rendered line failed to parse: {e}\nline: {request}"))?;
+            let WireCommand::Solve { inputs, .. } = cmd else {
+                return Err(format!("parsed as non-solve: {request}"));
+            };
+            for (name, v) in &resp.scalars {
+                let got = scalar(&inputs, name)
+                    .ok_or_else(|| format!("scalar `{name}` lost in round trip"))?;
+                let same = match (*v, got) {
+                    (Value::Int(a), Value::Int(b)) => a == b,
+                    (Value::Real(a), Value::Real(b)) => a.to_bits() == b.to_bits(),
+                    (Value::Bool(a), Value::Bool(b)) => a == b,
+                    // A whole real re-parsing as an int would mean the
+                    // `.0` marker failed; treat as a round-trip break.
+                    _ => false,
+                };
+                if !same {
+                    return Err(format!("scalar `{name}`: {v:?} came back as {got:?}"));
+                }
+            }
+            if let Some((name, lo, data)) = &resp.array {
+                let arr = inputs
+                    .array(Symbol::intern(name))
+                    .ok_or_else(|| format!("array `{name}` lost in round trip"))?;
+                let hi = lo + data.len() as i64 - 1;
+                if arr.dims != vec![(*lo, hi)] {
+                    return Err(format!("array `{name}` bounds changed: {:?}", arr.dims));
+                }
+                if data.is_empty() {
+                    // `@2:1:` carries no element to mark the element type;
+                    // an empty array legitimately round-trips as int.
+                    if arr.len() != 0 {
+                        return Err(format!("empty array `{name}` grew: {}", arr.len()));
+                    }
+                    return Ok(());
+                }
+                // Every rendered element carries a `.0`/exponent marker,
+                // so the parser must classify the array as real.
+                let got = arr.as_real_slice();
+                for (i, (a, b)) in data.iter().zip(got.iter()).enumerate() {
+                    if a.to_bits() != b.to_bits() {
+                        return Err(format!("array `{name}`[{i}]: {a} came back as {b}"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Feed the parser garbage derived from valid lines — truncations, byte
+/// substitutions, insertions, duplications — plus fully random ASCII. It
+/// must return without panicking every time.
+#[test]
+fn mutated_lines_never_panic_the_parser() {
+    let templates = [
+        "solve heat_1d M=4 maxK=6 alpha=0.25 u0=@0:5:0.0,1,2,3,4,0",
+        "solve p x=1 y=-2.5e3 z=true a=@-3:3:1,2,3,4,5,6,7",
+        "stats",
+        "quit",
+        "shutdown",
+        "solve p a=@1:0: b=@0:0:42",
+    ];
+    check(
+        0xFA_22_E5,
+        256,
+        |rng| {
+            let mut line: Vec<u8> = templates[rng.index(templates.len())].bytes().collect();
+            for _ in 0..rng.usize(0, 8) {
+                match rng.index(4) {
+                    0 if !line.is_empty() => {
+                        // Substitute a byte (printable-ish range keeps the
+                        // split_whitespace paths busy; \0 hits the rest).
+                        let i = rng.index(line.len());
+                        line[i] = rng.int(0, 126) as u8;
+                    }
+                    1 if !line.is_empty() => {
+                        line.truncate(rng.index(line.len()));
+                    }
+                    2 => {
+                        let i = rng.index(line.len() + 1);
+                        line.insert(i, rng.int(0, 126) as u8);
+                    }
+                    _ => {
+                        // Duplicate a random slice (repeated k=v, repeated
+                        // commas, doubled prefixes).
+                        if !line.is_empty() {
+                            let a = rng.index(line.len());
+                            let b = rng.usize(a, line.len());
+                            let slice: Vec<u8> = line[a..b].to_vec();
+                            line.extend(slice);
+                        }
+                    }
+                }
+            }
+            String::from_utf8_lossy(&line).into_owned()
+        },
+        |line| {
+            shrink_vec(&line.bytes().collect::<Vec<u8>>(), 0)
+                .into_iter()
+                .map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+                .collect()
+        },
+        |line| {
+            let outcome = std::panic::catch_unwind(|| {
+                let _ = proto::parse_request_limited(line, MAX_FRAME);
+            });
+            outcome.map_err(|p| format!("parser panicked: {}", panic_message(p)))
+        },
+    );
+}
+
+/// Adversarial `@lo:hi` headers: bounds drawn from the full i64 range
+/// (including the overflow corners) must parse to a structured error or a
+/// small array — never panic, and never accept a width the frame limit
+/// proves impossible.
+#[test]
+fn extreme_array_headers_never_panic_and_never_overallocate() {
+    check(
+        0xA2_24_7E,
+        256,
+        |rng| {
+            let corner = [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX];
+            let pick = |rng: &mut Lcg| {
+                if rng.bool() {
+                    corner[rng.index(corner.len())]
+                } else {
+                    rng.int(-1_000_000_000, 1_000_000_000)
+                }
+            };
+            let lo = pick(rng);
+            let hi = pick(rng);
+            let elems = rng.usize(0, 3);
+            let body: Vec<String> = (0..elems).map(|i| i.to_string()).collect();
+            format!("solve p a=@{lo}:{hi}:{}", body.join(","))
+        },
+        |_| Vec::new(),
+        |line| {
+            let parsed = std::panic::catch_unwind(|| proto::parse_request_limited(line, MAX_FRAME))
+                .map_err(|p| format!("parser panicked on {line:?}: {}", panic_message(p)))?;
+            if let Ok(WireCommand::Solve { inputs, .. }) = parsed {
+                // Accepted: the array must actually be small enough to
+                // have fit in a legal frame.
+                if let Some(arr) = inputs.array(Symbol::intern("a")) {
+                    if arr.len() > MAX_FRAME / 2 + 1 {
+                        return Err(format!(
+                            "accepted a {}-element array past the frame limit: {line:?}",
+                            arr.len()
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
