@@ -1,0 +1,154 @@
+//! Perf H (PR 10): the tracing layer's overhead contract.
+//!
+//! ps-trace instrumentation is compiled into release builds and stays in
+//! the hot path forever, so its *disabled* cost is a standing tax on every
+//! request. This bench prices that tax and asserts the acceptance bar:
+//! a generously over-counted 64 instrumentation sites per request must
+//! cost ≤ 2% of a warm-service request with tracing off.
+//!
+//! Variants:
+//!
+//! * `trace/emit_off` — one instrumentation site, tracing disabled (the
+//!   single relaxed load every site pays in production).
+//! * `trace/emit_on` — the same site with tracing enabled (ring write +
+//!   monotonic clock read), for the record.
+//! * `trace/serve_off` — the `exec_serve` warm-service burst with tracing
+//!   disabled: the denominator of the overhead budget.
+//! * `trace/serve_on` — the same burst fully traced (rings + per-stage
+//!   histograms + span minting), to keep the enabled cost honest too.
+//!
+//! Full mode asserts `64 × emit_off ≤ 2% × (serve_off / request)`.
+
+use ps_bench::{synthetic_chain, Harness};
+use ps_core::ps_trace::{self, EvKind, Phase, Stage};
+use ps_core::{Inputs, OwnedArray, Service, ServiceOptions, SolveRequest};
+
+/// Emits per timed closure call (normalized out via elements).
+const EMITS: u64 = 1024;
+/// Requests per warm-service burst (mirrors `exec_serve`).
+const BURST: u64 = 32;
+/// Instrumentation sites charged against one request — a deliberate
+/// over-count (a real request crosses ~15 sites; see the payload table in
+/// `ps-trace`'s event module).
+const SITES_PER_REQUEST: f64 = 64.0;
+/// Disabled-tracing overhead budget as a fraction of a warm request.
+const BUDGET: f64 = 0.02;
+
+fn emit_burst() {
+    for i in 0..EMITS {
+        ps_trace::emit(EvKind::Steal, Phase::Instant, i, i, i);
+        std::hint::black_box(i);
+    }
+}
+
+fn serve_burst(service: &Service, key: &ps_core::ProgramKey, inputs: &Inputs) -> u64 {
+    let handles: Vec<_> = (0..BURST)
+        .map(|_| service.submit(SolveRequest::new(key.clone(), inputs.clone())))
+        .collect();
+    let mut last = 0u64;
+    for h in handles {
+        last = h.wait().unwrap().scalar("y").as_real().to_bits();
+    }
+    last
+}
+
+fn warm_service(source: &str, inputs: &Inputs) -> (Service, ps_core::ProgramKey) {
+    let service = Service::new(ServiceOptions {
+        workers: 2,
+        ..Default::default()
+    });
+    let key = service.register(source).expect("chain compiles");
+    // Warm the registry, spec cache, and slot pool out of the timed region.
+    service.solve(&key, inputs.clone()).expect("warm-up solve");
+    (service, key)
+}
+
+fn main() {
+    let mut g = Harness::new("exec_trace");
+    assert!(
+        !ps_trace::enabled(),
+        "bench must start with tracing disabled"
+    );
+
+    // The production-path cost: one relaxed load per site.
+    let emit_off = g.bench_with_elements("emit_off", EMITS, emit_burst);
+
+    // The enabled cost: clock read + five relaxed stores + head bump.
+    ps_trace::enable();
+    emit_burst(); // first emit on this thread allocates its ring
+    g.bench_with_elements("emit_on", EMITS, emit_burst);
+    ps_trace::disable();
+
+    let source = synthetic_chain(16);
+    let m = 8i64;
+    let xs: Vec<f64> = (0..m).map(|i| (i % 7) as f64 * 0.5 - 1.0).collect();
+    let inputs = Inputs::new()
+        .set_int("n", m)
+        .set_array("xs", OwnedArray::real(vec![(1, m)], xs));
+
+    // Denominator: warm service burst, tracing off.
+    let (service_off, key_off) = warm_service(&source, &inputs);
+    let serve_off = g.bench_with_elements("serve_off", BURST, || {
+        serve_burst(&service_off, &key_off, &inputs)
+    });
+    let reference = serve_burst(&service_off, &key_off, &inputs);
+    service_off.shutdown();
+
+    // Fully traced burst: rings, span minting, per-stage histograms.
+    ps_trace::enable();
+    let (service_on, key_on) = warm_service(&source, &inputs);
+    let serve_on = g.bench_with_elements("serve_on", BURST, || {
+        serve_burst(&service_on, &key_on, &inputs)
+    });
+    assert_eq!(
+        serve_burst(&service_on, &key_on, &inputs),
+        reference,
+        "tracing must not change results"
+    );
+    // The traced service really recorded its lifecycle: one solve sample
+    // per response, spans minted, rings populated.
+    let stats = service_on.stats();
+    assert_eq!(
+        stats.stages.get(Stage::Solve).count,
+        stats.responses,
+        "per-stage histograms reconcile with the response counter"
+    );
+    assert!(
+        ps_trace::snapshot().iter().any(|t| !t.events.is_empty()),
+        "traced bursts leave events in the rings"
+    );
+    service_on.shutdown();
+    ps_trace::disable();
+
+    // Acceptance bar (full mode only): 64 disabled sites ≤ 2% of a warm
+    // request. Also report the honest enabled-path ratio.
+    if let (Some(emit_off), Some(serve_off)) = (emit_off, serve_off) {
+        let per_emit_off = emit_off.median.as_secs_f64() / EMITS as f64;
+        let per_request = serve_off.median.as_secs_f64() / BURST as f64;
+        let overhead = SITES_PER_REQUEST * per_emit_off;
+        println!(
+            "  disabled overhead: {SITES_PER_REQUEST} sites x {:.2} ns = {:.1} ns \
+             vs request {:.1} us ({:.3}% of budgeted {:.0}%)",
+            per_emit_off * 1e9,
+            overhead * 1e9,
+            per_request * 1e6,
+            overhead / per_request * 100.0,
+            BUDGET * 100.0,
+        );
+        assert!(
+            overhead <= BUDGET * per_request,
+            "disabled tracing must cost <= {:.0}% of a warm request: \
+             {SITES_PER_REQUEST} sites x {:.2} ns = {:.1} ns vs {:.1} ns budget",
+            BUDGET * 100.0,
+            per_emit_off * 1e9,
+            overhead * 1e9,
+            BUDGET * per_request * 1e9,
+        );
+        if let Some(serve_on) = serve_on {
+            let ratio = serve_on.median.as_secs_f64() / serve_off.median.as_secs_f64().max(1e-12);
+            println!("  enabled tracing serve ratio: {ratio:.3}x over disabled");
+        }
+    }
+
+    g.finish();
+}

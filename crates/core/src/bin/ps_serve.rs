@@ -6,7 +6,7 @@
 //!                 [--batch-max N] [--registry-capacity N] [--queue-cap N]
 //!                 [--deadline-ms MS] [--drain-timeout SECS]
 //!                 [--io-timeout SECS] [--max-frame BYTES] [--inflight N]
-//!                 [--chaos SPEC]
+//!                 [--chaos SPEC] [--trace-out FILE]
 //! ps-serve load --addr HOST:PORT [--clients C] [--requests R]
 //!               [--program NAME] [--param k=v]... [--vary name=lo:hi]
 //!               [--seed S] [--retries N]
@@ -25,6 +25,15 @@
 //! disconnect. `--chaos seed=42,panic=50,slow=100,stall=80,disconnect=40`
 //! arms the seeded fault injector across the service *and* the socket
 //! layer — the chaos suite's reproducible adversary.
+//!
+//! `--trace-out FILE` turns on `ps_trace` for the process: every request
+//! lifecycle event (frame read, parse, queue, batch, compile, solve,
+//! per-chunk executor work, reply) lands in per-thread lock-free rings,
+//! and at shutdown the rings are exported as Chrome `trace_event` JSON to
+//! FILE — open it in `chrome://tracing`/Perfetto or summarize with the
+//! `ps-trace` CLI. The wire `stats` reply additionally carries executor
+//! counters (`steals`, `max_live_regions`, `cancelled_chunks`) and the
+//! per-stage latency histograms (`stages=...`).
 //!
 //! `load` opens `--clients` concurrent connections, fires `--requests`
 //! solve lines each, verifies every response, and reports throughput plus
@@ -45,6 +54,7 @@ use ps_core::{
     programs, proto, FaultInjector, FaultPoint, FaultSpec, Lcg, ProgramKey, ResponseHandle,
     RuntimeOptions, Service, ServiceOptions, SolveRequest,
 };
+use ps_trace::{EvKind, Phase};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -151,6 +161,7 @@ fn usage() -> ! {
          \x20                [--deadline-ms MS] [--drain-timeout SECS]\n\
          \x20                [--io-timeout SECS] [--max-frame BYTES] [--inflight N]\n\
          \x20                [--chaos seed=S,panic=P,slow=P,compile=P,stall=P,disconnect=P]\n\
+         \x20                [--trace-out FILE]\n\
          ps-serve load --addr HOST:PORT [--clients C] [--requests R]\n\
          \x20             [--program NAME] [--param k=v]... [--vary name=lo:hi]\n\
          \x20             [--seed S] [--retries N]\n\
@@ -210,10 +221,12 @@ fn listen(args: &[String]) -> ExitCode {
         inflight: 4,
     };
     let mut chaos = FaultInjector::disabled();
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => addr = take_value(args, &mut i, "--addr"),
+            "--trace-out" => trace_out = Some(take_value(args, &mut i, "--trace-out")),
             "--workers" => {
                 options.workers = parse_num(&take_value(args, &mut i, "--workers"), "--workers")
             }
@@ -283,6 +296,9 @@ fn listen(args: &[String]) -> ExitCode {
     // socket-side points (stall, disconnect) — all from one seed.
     options.faults = chaos.clone();
     let drain_timeout = options.drain_timeout;
+    if trace_out.is_some() {
+        ps_trace::enable();
+    }
 
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,
@@ -308,6 +324,7 @@ fn listen(args: &[String]) -> ExitCode {
 
     let limits = Arc::new(limits);
     let chaos = Arc::new(chaos);
+    let trace_out = Arc::new(trace_out);
     let table = Arc::new(ConnTable::new(drain_timeout));
     for conn in listener.incoming() {
         let Ok(stream) = conn else { continue };
@@ -325,13 +342,21 @@ fn listen(args: &[String]) -> ExitCode {
         let table = Arc::clone(&table);
         let limits = Arc::clone(&limits);
         let chaos = Arc::clone(&chaos);
+        let trace_out = Arc::clone(&trace_out);
         std::thread::spawn(move || {
             let flow = serve_connection(stream, &service, &keys, &table, &limits, &chaos, id);
             table.deregister(id);
             if flow == Flow::Shutdown {
                 // This thread won the drain: every other connection has
                 // finished its in-flight frames and closed (see
-                // `ConnTable`), so the process can end.
+                // `ConnTable`), so the process can end — after flushing
+                // the trace rings, while the service still lives.
+                if let Some(path) = trace_out.as_deref() {
+                    match ps_trace::write_chrome_trace(path) {
+                        Ok(n) => eprintln!("trace: wrote {n} events to {path}"),
+                        Err(e) => eprintln!("trace: cannot write {path}: {e}"),
+                    }
+                }
                 std::process::exit(0);
             }
         });
@@ -461,7 +486,8 @@ fn serve_connection(
     let writer = {
         let dead = Arc::clone(&dead);
         let chaos = chaos.clone();
-        std::thread::spawn(move || writer_loop(&write_half, &rx, &chaos, &dead))
+        let stages = service.stages();
+        std::thread::spawn(move || writer_loop(&write_half, &rx, &chaos, &dead, &stages))
     };
     let mut frames = FrameReader {
         stream,
@@ -491,7 +517,25 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let reply = match proto::parse_request_limited(&line, limits.max_frame) {
+        ps_trace::emit(
+            EvKind::FrameRead,
+            Phase::Instant,
+            0,
+            line.len() as u64,
+            my_id,
+        );
+        let parse_t0 = ps_trace::enabled().then(Instant::now);
+        let parsed = proto::parse_request_limited(&line, limits.max_frame);
+        if let Some(t0) = parse_t0 {
+            ps_trace::emit(
+                EvKind::Parse,
+                Phase::Complete,
+                0,
+                t0.elapsed().as_nanos() as u64,
+                my_id,
+            );
+        }
+        let reply = match parsed {
             Err(msg) => Reply::Line(proto::format_error(&msg)),
             Ok(proto::WireCommand::Quit) => break,
             Ok(proto::WireCommand::Shutdown) => {
@@ -539,7 +583,13 @@ fn serve_connection(
     Flow::Closed
 }
 
-fn writer_loop(stream: &TcpStream, rx: &Receiver<Reply>, chaos: &FaultInjector, dead: &AtomicBool) {
+fn writer_loop(
+    stream: &TcpStream,
+    rx: &Receiver<Reply>,
+    chaos: &FaultInjector,
+    dead: &AtomicBool,
+    stages: &ps_trace::StageSet,
+) {
     let mut writer = BufWriter::new(stream);
     let mut broken = false;
     for reply in rx.iter() {
@@ -549,20 +599,41 @@ fn writer_loop(stream: &TcpStream, rx: &Receiver<Reply>, chaos: &FaultInjector, 
             // are simply discarded.
             continue;
         }
-        let line = match reply {
-            Reply::Line(line) => line,
-            Reply::Solve(handle) => match handle.wait() {
-                Ok(outputs) => proto::format_outputs(&outputs),
-                Err(e) => proto::format_error(&e.to_string()),
-            },
+        let (line, span) = match reply {
+            Reply::Line(line) => (line, 0),
+            Reply::Solve(handle) => {
+                let span = handle.trace_span();
+                let line = match handle.wait() {
+                    Ok(outputs) => proto::format_outputs(&outputs),
+                    Err(e) => proto::format_error(&e.to_string()),
+                };
+                (line, span)
+            }
         };
+        // Reply stage: serialization already happened above; time the
+        // write + flush (the socket side of answering), per solve reply.
+        let reply_t0 = ps_trace::enabled().then(Instant::now);
         if chaos.should_fire(FaultPoint::SocketStall) {
+            ps_trace::emit(
+                EvKind::Fault,
+                Phase::Instant,
+                span,
+                ps_trace::label_if_enabled("socket_stall"),
+                0,
+            );
             std::thread::sleep(Duration::from_millis(25));
         }
         if chaos.should_fire(FaultPoint::MidFrameDisconnect) {
             // A hostile server-side death: half the reply, then the
             // socket drops. Clients must treat the partial line as a
             // failed request and retry on a fresh connection.
+            ps_trace::emit(
+                EvKind::Fault,
+                Phase::Instant,
+                span,
+                ps_trace::label_if_enabled("mid_frame_disconnect"),
+                0,
+            );
             let _ = writer.write_all(&line.as_bytes()[..line.len() / 2]);
             let _ = writer.flush();
             let _ = stream.shutdown(Shutdown::Both);
@@ -576,6 +647,19 @@ fn writer_loop(stream: &TcpStream, rx: &Receiver<Reply>, chaos: &FaultInjector, 
         {
             broken = true;
             dead.store(true, Ordering::Relaxed);
+        }
+        if let Some(t0) = reply_t0 {
+            let took = t0.elapsed();
+            ps_trace::emit(
+                EvKind::Reply,
+                Phase::Complete,
+                span,
+                took.as_nanos() as u64,
+                span,
+            );
+            if span != 0 {
+                stages.record(ps_trace::Stage::Reply, took);
+            }
         }
     }
 }
@@ -601,6 +685,16 @@ fn stats_line(service: &Service, chaos: &FaultInjector) -> String {
         s.p50.as_micros(),
         s.p99.as_micros()
     );
+    // Executor-level counters (the shared solve pool, when one exists):
+    // proof of overlap, stealing, and genuine cancellation under load.
+    if let Some(pool) = service.pool_stats() {
+        line.push_str(&format!(
+            " steals={} max_live_regions={} cancelled_chunks={}",
+            pool.steals, pool.max_live_regions, pool.cancelled_chunks
+        ));
+    }
+    // Per-stage latency histograms (populated while tracing is on).
+    line.push_str(&format!(" stages={}", s.stages.wire_form()));
     if chaos.is_enabled() {
         line.push_str(&format!(" chaos={}", chaos.summary()));
     }
@@ -708,7 +802,25 @@ fn load(args: &[String]) -> ExitCode {
     // One stats probe so operators (and the verify script) see the
     // registry behave: warm traffic must hit, not recompile.
     match probe_stats(&addr) {
-        Ok(line) => println!("server {line}"),
+        Ok(line) => {
+            println!("server {line}");
+            // Pull the degradation/overlap counters into one summary line
+            // so a load run's outcome is readable without parsing the
+            // whole stats reply.
+            let picks = [
+                "rejected",
+                "deadline_expired",
+                "panics",
+                "steals",
+                "max_live_regions",
+                "cancelled_chunks",
+            ];
+            let shed: Vec<String> = picks
+                .iter()
+                .filter_map(|k| stat_field(&line, k).map(|v| format!("{k}={v}")))
+                .collect();
+            println!("shed/overlap: {}", shed.join(" "));
+        }
         Err(e) => eprintln!("stats probe failed: {e}"),
     }
     if total.err == 0 {
@@ -850,6 +962,15 @@ fn client_loop(
     writeln!(conn.writer, "quit").ok();
     conn.writer.flush().ok();
     Ok(report)
+}
+
+/// Extract `key=value` from a stats reply line (`None` when the server
+/// didn't report the key, e.g. no shared pool → no `steals=`).
+fn stat_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
 }
 
 fn probe_stats(addr: &str) -> Result<String, String> {

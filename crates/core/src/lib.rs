@@ -81,3 +81,6 @@ pub use ps_service::{
 };
 pub use ps_support::faults::{FaultInjector, FaultPoint, FaultSpec};
 pub use ps_support::rng::Lcg;
+// The tracing layer is a façade citizen too: embedders enable it, export
+// Chrome traces, and read per-stage histograms through one dependency.
+pub use ps_trace;

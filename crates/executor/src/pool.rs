@@ -56,6 +56,7 @@ use crate::cancel::{CancelToken, Cancelled};
 use crate::latch::CountLatch;
 use crate::stats::{PoolStats, PoolStatsSnapshot};
 use crate::Executor;
+use ps_trace::{EvKind, Phase};
 use std::cell::RefCell;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU64, Ordering};
@@ -99,6 +100,9 @@ struct Region {
     total: i64,
     /// Chunk width.
     chunk: i64,
+    /// The region's unique publication epoch — also its trace span id, so
+    /// chunk/steal/cancel events correlate with the publish span.
+    epoch: u64,
     /// Iterations retired (executed, or skipped after a panic). The region
     /// completes when this reaches `total`.
     completed: AtomicI64,
@@ -150,6 +154,13 @@ impl Region {
                     let skipped = (self.end - unclaimed).max(0);
                     if skipped > 0 {
                         stats.record_cancelled(((skipped + self.chunk - 1) / self.chunk) as u64);
+                        ps_trace::emit(
+                            EvKind::Cancel,
+                            Phase::Instant,
+                            self.epoch,
+                            self.epoch,
+                            skipped as u64,
+                        );
                     }
                     self.retire(skipped);
                     return done;
@@ -161,9 +172,23 @@ impl Region {
             }
             let stop = (start + self.chunk).min(self.end);
             stats.record_chunk((stop - start) as u64, stolen);
+            let chunk_t0 = if ps_trace::enabled() {
+                ps_trace::now_ns()
+            } else {
+                0
+            };
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 f(start, stop);
             }));
+            if chunk_t0 != 0 {
+                ps_trace::emit(
+                    EvKind::Chunk,
+                    Phase::Complete,
+                    self.epoch,
+                    ps_trace::now_ns().saturating_sub(chunk_t0),
+                    start as u64,
+                );
+            }
             if let Err(payload) = result {
                 // A `Cancelled` unwind (a nested region observed the
                 // token) stops the range like a panic but is reported as
@@ -182,6 +207,13 @@ impl Region {
                 let skipped = (self.end - unclaimed).max(0);
                 if was_cancel && skipped > 0 {
                     stats.record_cancelled(((skipped + self.chunk - 1) / self.chunk) as u64);
+                    ps_trace::emit(
+                        EvKind::Cancel,
+                        Phase::Instant,
+                        self.epoch,
+                        self.epoch,
+                        skipped as u64,
+                    );
                 }
                 self.retire((stop - start) + skipped);
                 return done + (stop - start);
@@ -344,6 +376,7 @@ fn try_steal(shared: &Shared, me: usize) -> bool {
             }
             announce.store(IDLE, Ordering::SeqCst);
             if done > 0 {
+                ps_trace::emit(EvKind::Steal, Phase::Instant, e, e, done as u64);
                 return true;
             }
         }
@@ -565,6 +598,7 @@ impl Executor for ThreadPool {
         let cancel = CancelToken::current();
         if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
             shared.stats.record_cancelled(1);
+            ps_trace::emit(EvKind::Cancel, Phase::Instant, 0, 0, total as u64);
             std::panic::panic_any(Cancelled);
         }
 
@@ -592,12 +626,18 @@ impl Executor for ThreadPool {
         // still spread out (and thieves have something to steal).
         let participants = self.n_threads as i64;
         let chunk = (total / (participants * 4)).max(1);
+        let epoch = shared.epoch_gen.fetch_add(2, Ordering::Relaxed);
+        debug_assert!(epoch % 2 == 1, "epochs are odd");
+        if nested {
+            ps_trace::emit(EvKind::Nested, Phase::Instant, epoch, epoch, total as u64);
+        }
 
         let region = Region {
             next: AtomicI64::new(lo),
             end: hi + 1,
             total,
             chunk,
+            epoch,
             completed: AtomicI64::new(0),
             // SAFETY: erased to 'static; the latch wait + retire scan
             // below keep the borrow live for every dereference.
@@ -616,8 +656,13 @@ impl Executor for ThreadPool {
         // Publish: pointer first, then the fresh odd epoch, then bump the
         // version and wake workers only if any are actually parked.
         let slot = &shared.lanes[lane_idx].slots[depth];
-        let epoch = shared.epoch_gen.fetch_add(2, Ordering::Relaxed);
-        debug_assert!(epoch % 2 == 1, "epochs are odd");
+        ps_trace::emit(
+            EvKind::Publish,
+            Phase::Begin,
+            epoch,
+            total as u64,
+            lane_idx as u64,
+        );
         slot.region
             .store(&region as *const Region as *mut Region, Ordering::SeqCst);
         slot.epoch.store(epoch, Ordering::SeqCst);
@@ -652,6 +697,7 @@ impl Executor for ThreadPool {
                 }
             }
         }
+        ps_trace::emit(EvKind::Publish, Phase::End, epoch, 0, 0);
         drop(_scope);
 
         if region.panicked.load(Ordering::Acquire) {

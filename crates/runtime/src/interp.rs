@@ -32,6 +32,8 @@ use ps_executor::Executor;
 use ps_lang::hir::{HirModule, LhsSub};
 use ps_lang::EqId;
 use ps_scheduler::{Descriptor, DrainSpec, Flowchart, LoopDescriptor, LoopKind, MemoryPlan};
+use ps_support::idx::Idx;
+use ps_trace::EvKind;
 
 /// Which evaluation engine executes equation bodies.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -118,6 +120,9 @@ pub(crate) struct TreeState {
 pub(crate) struct Interp<'a, 'm> {
     pub(crate) store: &'a Store<'m>,
     pub(crate) executor: &'a dyn Executor,
+    /// Trace label per equation (see [`crate::Program`]); empty slices are
+    /// fine — region events then carry label 0 ("unnamed").
+    pub(crate) eq_labels: &'a [u64],
 }
 
 /// Pool workers switch from the flattened per-element walk to chunking the
@@ -177,6 +182,34 @@ fn flatten_doall<'l>(
 impl<'a, 'm> Interp<'a, 'm> {
     fn module(&self) -> &'m HirModule {
         self.store.module
+    }
+
+    /// Open a trace span for a parallel region about to be handed to the
+    /// executor, labelled with the first equation in `body` (so profiles
+    /// and flight dumps name the equation, not just an epoch). `None` —
+    /// and zero work — while tracing is disabled.
+    fn region_span(&self, body: &[Descriptor], total: i64) -> Option<ps_trace::SpanGuard> {
+        if !ps_trace::enabled() {
+            return None;
+        }
+        fn first_eq(items: &[Descriptor]) -> Option<EqId> {
+            for d in items {
+                match d {
+                    Descriptor::Equation(eq) => return Some(*eq),
+                    Descriptor::Loop(l) => {
+                        if let Some(eq) = first_eq(&l.body) {
+                            return Some(eq);
+                        }
+                    }
+                    Descriptor::Drain(_) => {}
+                }
+            }
+            None
+        }
+        let label = first_eq(body)
+            .and_then(|eq| self.eq_labels.get(eq.index()).copied())
+            .unwrap_or(0);
+        Some(ps_trace::span(EvKind::Region, label, total as u64))
     }
 
     fn bounds(&self, sr: ps_lang::SubrangeId) -> (i64, i64) {
@@ -253,6 +286,7 @@ impl<'a, 'm> Interp<'a, 'm> {
                     let body_eqs = collect_equations(&l.body);
                     let parent: &Frames = frames;
                     let (lo0, hi0) = ranges[0];
+                    let _rspan = self.region_span(&l.body, total);
                     self.executor.for_chunks(lo0, hi0, &|start, stop| {
                         let mut local = parent.clone_for(&body_eqs);
                         for i in start..stop {
@@ -269,6 +303,7 @@ impl<'a, 'm> Interp<'a, 'm> {
                 // the element loop then runs allocation-free.
                 let body_eqs = collect_equations(innermost_body);
                 let parent: &Frames = frames;
+                let _rspan = self.region_span(innermost_body, total);
                 self.executor.for_chunks(0, total - 1, &|start, stop| {
                     let mut local = parent.clone_for(&body_eqs);
                     for flat in start..stop {

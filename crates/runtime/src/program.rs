@@ -28,8 +28,10 @@ use ps_executor::Executor;
 use ps_lang::hir::HirModule;
 use ps_scheduler::{Flowchart, MemoryPlan};
 use ps_support::Symbol;
+use ps_trace::{EvKind, Phase, Stage, StageSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Upper bound on pooled run slots (each holds one run's recyclable
 /// storage); more than a handful only matters under heavy concurrency.
@@ -75,6 +77,13 @@ pub struct Program<'m> {
     pool: Mutex<Vec<RunSlot>>,
     spec_builds: AtomicUsize,
     spec_evictions: AtomicUsize,
+    /// Trace label id per equation (the LHS data item's name), indexed by
+    /// `EqId`; lets region events and flight dumps name the equation they
+    /// were running.
+    eq_labels: Vec<u64>,
+    /// Optional per-stage histogram sink (the owning service's set):
+    /// spec-cache builds record their duration as [`Stage::Specialize`].
+    stage_sink: Mutex<Option<Arc<StageSet>>>,
 }
 
 impl<'m> Program<'m> {
@@ -121,6 +130,13 @@ impl<'m> Program<'m> {
             .into_iter()
             .map(|d| module.data[d].name)
             .collect();
+        // Intern the per-equation trace labels once, at compile time —
+        // event emission must never touch the intern table.
+        let eq_labels = module
+            .equations
+            .iter()
+            .map(|e| ps_trace::label(module.data[e.lhs].name.as_str()))
+            .collect();
         Ok(Program {
             module,
             flowchart,
@@ -134,7 +150,16 @@ impl<'m> Program<'m> {
             pool: Mutex::new(Vec::new()),
             spec_builds: AtomicUsize::new(0),
             spec_evictions: AtomicUsize::new(0),
+            eq_labels,
+            stage_sink: Mutex::new(None),
         })
+    }
+
+    /// Install a per-stage histogram sink (typically the owning service's
+    /// [`StageSet`]); spec-cache builds then record [`Stage::Specialize`]
+    /// durations into it.
+    pub fn set_stage_sink(&self, sink: Arc<StageSet>) {
+        *self.stage_sink.lock().expect("stage sink poisoned") = Some(sink);
     }
 
     /// Number of arrays the static verifier proved safe for tag elision
@@ -195,6 +220,7 @@ impl<'m> Program<'m> {
             let cx = Interp {
                 store: &store,
                 executor,
+                eq_labels: &self.eq_labels,
             };
             let mut st = TreeState::default();
             cx.run_items(&self.flowchart.items, &mut st);
@@ -247,6 +273,7 @@ impl<'m> Program<'m> {
             let cx = Interp {
                 store: &store,
                 executor,
+                eq_labels: &self.eq_labels,
             };
             cx.run_items_compiled(&view, &self.flowchart.items, &mut frames);
         }
@@ -276,9 +303,11 @@ impl<'m> Program<'m> {
             let specs = self.specs.read().expect("spec cache poisoned");
             if let Some(c) = specs.iter().find(|c| c.spec.key == key) {
                 touch(c);
+                ps_trace::emit(EvKind::SpecHit, Phase::Instant, 0, specs.len() as u64, 0);
                 return Ok(Arc::clone(&c.spec));
             }
         }
+        let build_t0 = Instant::now();
         let built = Arc::new(specialize(
             tapes,
             &self.plan,
@@ -306,6 +335,19 @@ impl<'m> Program<'m> {
             self.spec_evictions.fetch_add(1, Ordering::Relaxed);
         }
         self.spec_builds.fetch_add(1, Ordering::Relaxed);
+        let build_dur = build_t0.elapsed();
+        if ps_trace::enabled() {
+            ps_trace::emit(
+                EvKind::SpecBuild,
+                Phase::Complete,
+                0,
+                build_dur.as_nanos() as u64,
+                specs.len() as u64,
+            );
+            if let Some(sink) = &*self.stage_sink.lock().expect("stage sink poisoned") {
+                sink.record(Stage::Specialize, build_dur);
+            }
+        }
         let entry = CachedSpec {
             spec: Arc::clone(&built),
             touched: AtomicU64::new(0),

@@ -53,6 +53,40 @@
 //! rates from one LCG, so the chaos suite (`tests/chaos.rs`) can replay
 //! any failing schedule from its seed.
 //!
+//! # Observability
+//!
+//! The service is instrumented end to end with [`ps_trace`], and the
+//! instrumentation is **always compiled in**: while tracing is disabled
+//! (the default) every probe is a single relaxed atomic load with zero
+//! allocation, so there is no feature flag to forget and no "debug build"
+//! to reproduce on.
+//!
+//! Call [`ps_trace::enable`] (or run `ps-serve --trace-out FILE`) and the
+//! full request lifecycle lands in per-thread lock-free rings:
+//!
+//! * **submit** mints a span id ([`ResponseHandle::trace_span`]) and emits
+//!   `Enqueue`; the worker that picks the request up emits `Dequeue`,
+//!   `QueueWait`, and `Batch`;
+//! * the **registry** emits `RegistryHit`/`RegistryMiss` instants and a
+//!   `Compile` span; the runtime artifact emits `SpecHit`/`SpecBuild` for
+//!   its parameter-layout cache;
+//! * each **solve** runs under a `Solve` span carrying the request's span
+//!   id and the program's interned module-name label; inside it the
+//!   executor emits per-region `Region`/`Publish` spans and per-chunk
+//!   `Chunk`/`Steal`/`Nested`/`Cancel` events;
+//! * injected **faults** emit `Fault` instants, and a panicking solve
+//!   emits `Panic` and triggers the [`ps_trace::flight`] recorder: the
+//!   last events of every thread become a structured postmortem dump.
+//!
+//! Aggregates ride along in two forms: [`ServiceStats::stages`] exposes
+//! per-stage log₂ histograms (queue wait, compile, specialize, solve,
+//! reply) with geometric-midpoint p50/p99, and `ps-serve` carries the
+//! same snapshot in its wire `stats` reply. Traces written by
+//! `--trace-out` are Chrome `trace_event` JSON — open them in
+//! `chrome://tracing`/Perfetto or summarize with the `ps-trace` CLI.
+//! See `examples/trace_a_request.rs` in `ps-core` for a guided walk
+//! through one request's span tree.
+//!
 //! # Embedding the service
 //!
 //! ```

@@ -15,6 +15,7 @@ use ps_lang::{frontend, HirModule};
 use ps_runtime::store::RuntimeError;
 use ps_runtime::{Inputs, Outputs, RunSession, RuntimeOptions};
 use ps_scheduler::{schedule_module, ScheduleOptions, ScheduleResult};
+use ps_trace::StageSet;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
@@ -39,6 +40,9 @@ pub struct CompiledProgram {
     options: RuntimeOptions,
     /// Last-use tick maintained by the registry (its LRU key).
     pub(crate) touched: AtomicU64,
+    /// Interned [`ps_trace::label`] id of the module name, carried by the
+    /// artifact's `Solve`/`Panic` trace events.
+    trace_label: u64,
 }
 
 // SAFETY: the raw pointers are uniquely owned by this struct (created by
@@ -68,8 +72,20 @@ impl CompiledProgram {
         source: Arc<str>,
         options: RuntimeOptions,
     ) -> Result<Arc<CompiledProgram>, ServiceError> {
+        CompiledProgram::compile_with_sink(source, options, None)
+    }
+
+    /// Like [`CompiledProgram::compile`], additionally wiring the inner
+    /// program's specialization timings into a shared [`StageSet`] (the
+    /// registry passes the service's set here).
+    pub fn compile_with_sink(
+        source: Arc<str>,
+        options: RuntimeOptions,
+        sink: Option<Arc<StageSet>>,
+    ) -> Result<Arc<CompiledProgram>, ServiceError> {
         // All fallible work happens before anything is leaked.
         let module = frontend(&source).map_err(ServiceError::Compile)?;
+        let trace_label = ps_trace::label(module.name.as_str());
         let depgraph = build_depgraph(&module);
         let sched = schedule_module(&module, &depgraph, ScheduleOptions::default())
             .map_err(|e| ServiceError::Compile(e.to_string()))?;
@@ -88,6 +104,9 @@ impl CompiledProgram {
         let program = unsafe {
             ps_runtime::Program::new(&*module, &(*sched).flowchart, &(*sched).memory, options)
         };
+        if let Some(sink) = sink {
+            program.set_stage_sink(sink);
+        }
         Ok(Arc::new(CompiledProgram {
             program: std::mem::ManuallyDrop::new(program),
             sched,
@@ -95,7 +114,13 @@ impl CompiledProgram {
             source,
             options,
             touched: AtomicU64::new(0),
+            trace_label,
         }))
+    }
+
+    /// The interned [`ps_trace::label()`] id of this artifact's module name.
+    pub fn trace_label(&self) -> u64 {
+        self.trace_label
     }
 
     /// Execute one run. Reentrant and thread-safe; run state is pooled

@@ -30,6 +30,7 @@ use crate::program::CompiledProgram;
 use crate::ServiceError;
 use ps_runtime::RuntimeOptions;
 use ps_support::faults::{FaultInjector, FaultPoint};
+use ps_trace::{EvKind, Phase, Stage, StageSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -111,6 +112,9 @@ pub struct Registry {
     evictions: AtomicU64,
     /// Chaos hook: lets the seeded injector turn a compile into a failure.
     faults: FaultInjector,
+    /// Shared per-stage histograms (compile time lands here); also wired
+    /// into each compiled artifact so specialization builds report too.
+    stages: Option<Arc<StageSet>>,
 }
 
 impl Registry {
@@ -124,6 +128,17 @@ impl Registry {
     /// `CompileFail` point fires on the compile path (after the cache
     /// double-check, before any real compilation work).
     pub fn with_faults(capacity: usize, faults: FaultInjector) -> Registry {
+        Registry::with_observability(capacity, faults, None)
+    }
+
+    /// Like [`Registry::with_faults`], additionally recording compile and
+    /// specialization durations into a shared [`StageSet`] (the service
+    /// passes its per-instance set here).
+    pub fn with_observability(
+        capacity: usize,
+        faults: FaultInjector,
+        stages: Option<Arc<StageSet>>,
+    ) -> Registry {
         Registry {
             published: AtomicPtr::new(Box::into_raw(Box::new(Snapshot {
                 entries: Vec::new(),
@@ -137,6 +152,7 @@ impl Registry {
             hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             faults,
+            stages,
         }
     }
 
@@ -167,6 +183,7 @@ impl Registry {
                 Ordering::Relaxed,
             );
             self.hits.fetch_add(1, Ordering::Relaxed);
+            ps_trace::emit(EvKind::RegistryHit, Phase::Instant, 0, key.hash, 0);
         }
         found
     }
@@ -185,12 +202,35 @@ impl Registry {
         if let Some(e) = self.lookup(key) {
             return Ok(e);
         }
+        ps_trace::emit(EvKind::RegistryMiss, Phase::Instant, 0, key.hash, 0);
         if self.faults.should_fire(FaultPoint::CompileFail) {
+            if ps_trace::enabled() {
+                ps_trace::emit(
+                    EvKind::Fault,
+                    Phase::Instant,
+                    0,
+                    ps_trace::label("compile_fail"),
+                    0,
+                );
+                ps_trace::flight::record("injected registry compile failure");
+            }
             return Err(ServiceError::Compile(
                 "injected fault: registry compile failure".into(),
             ));
         }
-        let entry = CompiledProgram::compile(Arc::clone(&key.source), key.options)?;
+        let compile_t0 = std::time::Instant::now();
+        let _compile_span = ps_trace::span(EvKind::Compile, key.hash, 0);
+        let entry = CompiledProgram::compile_with_sink(
+            Arc::clone(&key.source),
+            key.options,
+            self.stages.clone(),
+        )?;
+        drop(_compile_span);
+        if ps_trace::enabled() {
+            if let Some(stages) = &self.stages {
+                stages.record(Stage::Compile, compile_t0.elapsed());
+            }
+        }
         entry.touched.store(
             self.clock.fetch_add(1, Ordering::Relaxed) + 1,
             Ordering::Relaxed,

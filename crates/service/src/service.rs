@@ -8,6 +8,7 @@ use ps_executor::{CancelToken, Cancelled, Executor, Sequential, ThreadPool};
 use ps_runtime::{Inputs, Outputs, RuntimeOptions};
 use ps_support::faults::{FaultInjector, FaultPoint};
 use ps_support::rng::panic_message;
+use ps_trace::{EvKind, Phase, Stage, StageSet};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -123,6 +124,9 @@ pub struct ResponseHandle {
     state: Arc<ResponseState>,
     /// Clone of the request's cancel token ([`ResponseHandle::cancel`]).
     cancel: CancelToken,
+    /// The request's trace span id (0 when tracing was disabled at
+    /// submit); ties the caller's view to the request's trace events.
+    span: u64,
 }
 
 impl ResponseHandle {
@@ -214,6 +218,14 @@ impl ResponseHandle {
     pub fn cancel(&self) {
         self.cancel.cancel();
     }
+
+    /// The trace span id minted for this request at submit (0 when
+    /// tracing was disabled). Every `Enqueue`/`Dequeue`/`QueueWait`/
+    /// `Solve` event of the request carries it, so a caller holding the
+    /// handle can find its request in an exported trace.
+    pub fn trace_span(&self) -> u64 {
+        self.span
+    }
 }
 
 /// One queued request.
@@ -224,6 +236,8 @@ struct Pending {
     submitted: Instant,
     /// The request's deadline/cancellation token, shared with its handle.
     cancel: CancelToken,
+    /// Trace span id (0 when tracing was disabled at submit).
+    span: u64,
 }
 
 /// State shared between the handle type, the workers, and the queue.
@@ -245,6 +259,10 @@ struct Inner {
     batches: AtomicU64,
     max_batch: AtomicU64,
     latency: LatencyHistogram,
+    /// Per-stage duration histograms, shared with the registry (compile),
+    /// each artifact (specialize), and the TCP front-end (reply). Recorded
+    /// only while tracing is enabled.
+    stages: Arc<StageSet>,
     faults: FaultInjector,
     drain_timeout: Duration,
     /// Set by `shutdown` (under the queue lock): when the drain runs past
@@ -285,11 +303,16 @@ pub struct Service {
 
 impl Service {
     pub fn new(options: ServiceOptions) -> Service {
+        let stages = Arc::new(StageSet::new());
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             nonempty: Condvar::new(),
             closed: AtomicBool::new(false),
-            registry: Registry::with_faults(options.registry_capacity, options.faults.clone()),
+            registry: Registry::with_observability(
+                options.registry_capacity,
+                options.faults.clone(),
+                Some(Arc::clone(&stages)),
+            ),
             batch_max: options.batch_max.max(1),
             queue_cap: options.queue_cap.max(1),
             depth: AtomicU64::new(0),
@@ -302,6 +325,7 @@ impl Service {
             batches: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            stages,
             faults: options.faults.clone(),
             drain_timeout: options.drain_timeout,
             drain_deadline: Mutex::new(None),
@@ -376,6 +400,13 @@ impl Service {
             Some(d) => CancelToken::after(d),
             None => CancelToken::new(),
         };
+        // The request's trace span id, carried by every lifecycle event
+        // from enqueue to reply (0 while tracing is disabled).
+        let span = if ps_trace::enabled() {
+            ps_trace::new_span()
+        } else {
+            0
+        };
         {
             // The closed check happens *under the queue lock* — `shutdown`
             // flips the flag under the same lock, so a request can never
@@ -385,7 +416,11 @@ impl Service {
             if self.inner.closed.load(Ordering::Acquire) {
                 drop(queue);
                 state.fulfill(Err(SolveError::Shutdown));
-                return ResponseHandle { state, cancel };
+                return ResponseHandle {
+                    state,
+                    cancel,
+                    span,
+                };
             }
             // Admission control: at capacity the request is shed *now*
             // (cheap, bounded memory) rather than queued behind work the
@@ -394,7 +429,11 @@ impl Service {
                 drop(queue);
                 self.inner.rejected.fetch_add(1, Ordering::Relaxed);
                 state.fulfill(Err(SolveError::Busy));
-                return ResponseHandle { state, cancel };
+                return ResponseHandle {
+                    state,
+                    cancel,
+                    span,
+                };
             }
             self.inner.requests.fetch_add(1, Ordering::Relaxed);
             self.inner.depth.fetch_add(1, Ordering::Relaxed);
@@ -404,10 +443,22 @@ impl Service {
                 state: Arc::clone(&state),
                 submitted: Instant::now(),
                 cancel: cancel.clone(),
+                span,
             });
+            ps_trace::emit(
+                EvKind::Enqueue,
+                Phase::Instant,
+                span,
+                span,
+                queue.len() as u64,
+            );
         }
         self.inner.nonempty.notify_one();
-        ResponseHandle { state, cancel }
+        ResponseHandle {
+            state,
+            cancel,
+            span,
+        }
     }
 
     /// Submit and block for the response (convenience).
@@ -434,7 +485,16 @@ impl Service {
             p50: inner.latency.quantile(0.5),
             p99: inner.latency.quantile(0.99),
             mean: inner.latency.mean(),
+            stages: inner.stages.snapshot(),
         }
+    }
+
+    /// The service's shared per-stage histogram set. The TCP front-end
+    /// records its `Reply` stage here so one snapshot covers the whole
+    /// request lifecycle; embedders can do the same for their own reply
+    /// path. Stage recording happens only while [`ps_trace::enabled`].
+    pub fn stages(&self) -> Arc<StageSet> {
+        Arc::clone(&self.inner.stages)
     }
 
     /// The executor solves run on (the shared pool handle when
@@ -524,6 +584,23 @@ fn worker_loop(inner: &Inner, executor: &dyn Executor) {
         inner
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        if ps_trace::enabled() {
+            // Dequeue + queue-wait per request, stamped on the worker that
+            // picked the batch up.
+            let depth = inner.depth.load(Ordering::Relaxed);
+            for p in &batch {
+                let waited = p.submitted.elapsed();
+                ps_trace::emit(EvKind::Dequeue, Phase::Instant, p.span, p.span, depth);
+                ps_trace::emit(
+                    EvKind::QueueWait,
+                    Phase::Complete,
+                    p.span,
+                    waited.as_nanos() as u64,
+                    p.span,
+                );
+                inner.stages.record(Stage::QueueWait, waited);
+            }
+        }
         // Bounded drain: once shutdown's budget is spent, the backlog is
         // answered (with `Shutdown`) instead of executed — every handle
         // still resolves, but a deep queue can no longer hold the process.
@@ -550,8 +627,15 @@ fn worker_loop(inner: &Inner, executor: &dyn Executor) {
                 }
             }
             Ok(entry) => {
+                ps_trace::emit(
+                    EvKind::Batch,
+                    Phase::Instant,
+                    0,
+                    batch.len() as u64,
+                    entry.trace_label(),
+                );
                 let mut session = entry.session();
-                for p in batch {
+                for (i, p) in batch.into_iter().enumerate() {
                     // A request already past its deadline is shed here, at
                     // dequeue — it never executes at all.
                     if p.cancel.is_cancelled() {
@@ -565,16 +649,38 @@ fn worker_loop(inner: &Inner, executor: &dyn Executor) {
                     // scope lets a mid-solve expiry stop the solve at the
                     // executor's next chunk boundary.
                     let _scope = p.cancel.enter();
+                    let tracing = ps_trace::enabled();
+                    let solve_span =
+                        ps_trace::span_with(EvKind::Solve, p.span, entry.trace_label(), i as u64);
+                    let solve_t0 = tracing.then(Instant::now);
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if inner.faults.should_fire(FaultPoint::WorkerPanic) {
+                            ps_trace::emit(
+                                EvKind::Fault,
+                                Phase::Instant,
+                                p.span,
+                                ps_trace::label_if_enabled("worker_panic"),
+                                0,
+                            );
                             panic!("injected fault: worker panic");
                         }
                         if inner.faults.should_fire(FaultPoint::SlowSolve) {
+                            ps_trace::emit(
+                                EvKind::Fault,
+                                Phase::Instant,
+                                p.span,
+                                ps_trace::label_if_enabled("slow_solve"),
+                                0,
+                            );
                             std::thread::sleep(Duration::from_millis(2));
                         }
                         session.run(&p.inputs, executor)
                     }));
+                    drop(solve_span);
                     drop(_scope);
+                    if let (Some(t0), Ok(_)) = (solve_t0, &outcome) {
+                        inner.stages.record(Stage::Solve, t0.elapsed());
+                    }
                     let result = match outcome {
                         Ok(Ok(outputs)) => Ok(outputs),
                         Ok(Err(e)) => Err(SolveError::Runtime(e.to_string())),
@@ -587,7 +693,24 @@ fn worker_loop(inner: &Inner, executor: &dyn Executor) {
                         }
                         Err(payload) => {
                             inner.panics.fetch_add(1, Ordering::Relaxed);
-                            Err(SolveError::Panicked(panic_message(payload)))
+                            let msg = panic_message(payload);
+                            if tracing {
+                                // Postmortem: the dump's event tail names
+                                // the thread, the request span, and (via
+                                // Region events) the equation being solved.
+                                ps_trace::emit(
+                                    EvKind::Panic,
+                                    Phase::Instant,
+                                    p.span,
+                                    entry.trace_label(),
+                                    p.span,
+                                );
+                                ps_trace::flight::record(&format!(
+                                    "worker panic serving request span {} ({msg})",
+                                    p.span
+                                ));
+                            }
+                            Err(SolveError::Panicked(msg))
                         }
                     };
                     inner.respond(p, result);

@@ -1,75 +1,40 @@
-//! Per-service counters and a lock-free log₂ latency histogram.
+//! Per-service counters and latency/stage histograms.
+//!
+//! The latency histogram delegates to [`ps_trace::Histogram`]: lock-free
+//! log₂ buckets with geometric-midpoint quantile interpolation, so the
+//! reported p50/p99 sit *inside* their bucket instead of overstating by up
+//! to 2× at the bucket's upper edge.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use ps_trace::{Histogram, StageSnapshot};
 use std::time::Duration;
 
-/// Number of power-of-two buckets: bucket `i` counts samples whose
-/// nanosecond latency has `floor(log2(ns)) == i` (bucket 0 also takes
-/// sub-nanosecond samples). 2⁶³ ns ≈ 292 years, so the top bucket is
-/// unreachable in practice.
-const BUCKETS: usize = 64;
-
-/// Lock-free latency histogram: recording is one relaxed `fetch_add`, so
-/// worker threads never contend on a lock for bookkeeping. Quantiles are
-/// read by scanning the bucket counts (each reported value is the upper
-/// bound of its bucket, i.e. within 2× of the true sample).
+/// Lock-free latency histogram: recording is three relaxed `fetch_add`s,
+/// so worker threads never contend on a lock for bookkeeping. A thin
+/// `Duration`-typed wrapper over [`ps_trace::Histogram`].
 pub(crate) struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_ns: AtomicU64,
+    inner: Histogram,
 }
 
 impl LatencyHistogram {
     pub(crate) fn new() -> LatencyHistogram {
         LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
+            inner: Histogram::new(),
         }
     }
 
     pub(crate) fn record(&self, d: Duration) {
-        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
-        let idx = if ns == 0 {
-            0
-        } else {
-            63 - ns.leading_zeros() as usize
-        };
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.inner.record(d);
     }
 
     /// The latency below which a fraction `q` (0..=1) of samples fall,
-    /// reported as the enclosing bucket's upper bound. Zero when nothing
-    /// was recorded yet.
+    /// geometric-midpoint interpolated within its log₂ bucket. Zero when
+    /// nothing was recorded yet.
     pub(crate) fn quantile(&self, q: f64) -> Duration {
-        let total = self.count.load(Ordering::Relaxed);
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                let upper = if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
-                return Duration::from_nanos(upper);
-            }
-        }
-        Duration::from_nanos(u64::MAX)
+        Duration::from_nanos(self.inner.quantile_ns(q))
     }
 
     pub(crate) fn mean(&self) -> Duration {
-        let total = self.count.load(Ordering::Relaxed);
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / total)
+        Duration::from_nanos(self.inner.mean_ns())
     }
 }
 
@@ -105,12 +70,17 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Registry entries evicted to stay within capacity.
     pub cache_evictions: u64,
-    /// Median submit→response latency (log₂-bucket upper bound).
+    /// Median submit→response latency (geometric-midpoint interpolated).
     pub p50: Duration,
-    /// 99th-percentile submit→response latency (log₂-bucket upper bound).
+    /// 99th-percentile submit→response latency (interpolated).
     pub p99: Duration,
     /// Mean submit→response latency.
     pub mean: Duration,
+    /// Per-stage duration histograms (queue wait, compile, specialize,
+    /// solve, reply), recorded only while [`ps_trace::enabled`]. The
+    /// `reply` stage is filled by the TCP front-end; it stays empty for
+    /// embedded services.
+    pub stages: StageSnapshot,
 }
 
 #[cfg(test)]
@@ -118,7 +88,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quantiles_land_in_the_right_buckets() {
+    fn quantiles_interpolate_within_their_buckets() {
         let h = LatencyHistogram::new();
         // 90 fast samples (~1 µs), 10 slow (~1 ms).
         for _ in 0..90 {
@@ -129,8 +99,17 @@ mod tests {
         }
         let p50 = h.quantile(0.5);
         let p99 = h.quantile(0.99);
-        assert!(p50 >= Duration::from_micros(1) && p50 < Duration::from_micros(3));
-        assert!(p99 >= Duration::from_millis(1) && p99 < Duration::from_millis(3));
+        // 1000 ns lands in bucket 9 ([512, 1024)); the interpolated p50
+        // sits inside that bucket, no longer at the 2047 ns upper edge.
+        assert!(
+            p50 >= Duration::from_nanos(512) && p50 < Duration::from_nanos(1024),
+            "p50 = {p50:?}"
+        );
+        // 1 ms lands in bucket 19 ([524288, 1048576) ns).
+        assert!(
+            p99 >= Duration::from_nanos(524_288) && p99 < Duration::from_nanos(1_048_576),
+            "p99 = {p99:?}"
+        );
         assert!(h.mean() > p50 / 2, "mean pulled up by the slow tail");
     }
 

@@ -1,0 +1,158 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Serializes ring snapshots into the Trace Event Format consumed by
+//! `chrome://tracing` / Perfetto: a JSON array of objects with `name`,
+//! `ph` (B/E/X/i), `ts`/`dur` in microseconds, `pid`/`tid`, and an `args`
+//! object carrying the raw payload words plus resolved labels. Records
+//! are globally sorted by start timestamp (stable, so per-thread order —
+//! and therefore B/E nesting — is preserved), which also makes the file
+//! trivially checkable for timestamp monotonicity.
+
+use crate::event::Phase;
+use crate::label::label_name;
+use crate::ring::ThreadEvents;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with nanosecond precision: `123.456`.
+pub(crate) fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+struct Record {
+    /// Sort key: the record's *start* time in ns (for `X` events the
+    /// timestamp minus the duration).
+    start_ns: u64,
+    json: String,
+}
+
+/// Render a snapshot as a Chrome trace JSON array (one record per line).
+pub fn chrome_trace_json(snap: &[ThreadEvents]) -> String {
+    let mut records: Vec<Record> = Vec::new();
+    for t in snap {
+        let tname = esc(&t.name);
+        for e in &t.events {
+            let (ph, start_ns, dur_ns) = match e.phase {
+                Phase::Begin => ("B", e.ts, None),
+                Phase::End => ("E", e.ts, None),
+                Phase::Instant => ("i", e.ts, None),
+                Phase::Complete => ("X", e.ts.saturating_sub(e.a), Some(e.a)),
+            };
+            let mut json = format!(
+                "{{\"name\":\"{}\",\"cat\":\"ps\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+                e.kind.name(),
+                ph,
+                us(start_ns),
+                t.tid
+            );
+            if let Some(d) = dur_ns {
+                let _ = write!(json, ",\"dur\":{}", us(d));
+            }
+            if e.phase == Phase::Instant {
+                json.push_str(",\"s\":\"t\"");
+            }
+            let _ = write!(
+                json,
+                ",\"args\":{{\"span\":{},\"a\":{},\"b\":{},\"thread\":\"{}\"",
+                e.span, e.a, e.b, tname
+            );
+            if e.kind.a_is_label() {
+                if let Some(name) = label_name(e.a) {
+                    let _ = write!(json, ",\"label\":\"{}\"", esc(&name));
+                }
+            }
+            json.push_str("}}");
+            records.push(Record { start_ns, json });
+        }
+    }
+    records.sort_by_key(|r| r.start_ns);
+    let mut out = String::with_capacity(records.len() * 128 + 16);
+    out.push_str("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&r.json);
+        out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Snapshot every ring and write the Chrome trace to `path`. Returns the
+/// number of records written.
+pub fn write_chrome_trace(path: &str) -> std::io::Result<usize> {
+    let snap = crate::ring::snapshot();
+    let n = snap.iter().map(|t| t.events.len()).sum();
+    std::fs::write(path, chrome_trace_json(&snap))?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EvKind, Event};
+
+    fn ev(ts: u64, kind: EvKind, phase: Phase, span: u64, a: u64, b: u64) -> Event {
+        Event {
+            ts,
+            kind,
+            phase,
+            span,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_and_sorted() {
+        let snap = vec![
+            ThreadEvents {
+                tid: 1,
+                name: "main \"quoted\"".into(),
+                events: vec![
+                    ev(100, EvKind::Solve, Phase::Begin, 1, 0, 0),
+                    ev(900, EvKind::Solve, Phase::End, 1, 0, 0),
+                ],
+            },
+            ThreadEvents {
+                tid: 2,
+                name: "worker".into(),
+                events: vec![
+                    ev(500, EvKind::Steal, Phase::Instant, 3, 4, 5),
+                    // Complete: ts is the end, start = 700 - 300 = 400.
+                    ev(700, EvKind::QueueWait, Phase::Complete, 9, 300, 0),
+                ],
+            },
+        ];
+        let json = chrome_trace_json(&snap);
+        crate::summary::validate_json(&json).expect("valid JSON");
+        let recs = crate::summary::parse_trace(&json).expect("parseable");
+        assert_eq!(recs.len(), 4);
+        let ts: Vec<f64> = recs.iter().map(|r| r.ts_us).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "sorted: {ts:?}");
+        assert!(json.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn empty_snapshot_is_an_empty_array() {
+        let json = chrome_trace_json(&[]);
+        crate::summary::validate_json(&json).expect("valid JSON");
+        assert_eq!(json.trim(), "[\n]");
+    }
+}

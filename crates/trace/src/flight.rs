@@ -1,0 +1,129 @@
+//! The flight recorder: postmortem dumps of the last events per thread.
+//!
+//! On a worker panic, a `SolveError::Panicked`, or a chaos-injected
+//! fault, [`record`] snapshots the tail of every thread's ring into a
+//! structured text dump — thread identity, span ids, resolved labels —
+//! and retains it for retrieval by tests/operators. The first few dumps
+//! also go to stderr so an unattended server leaves evidence behind.
+
+use crate::event::Phase;
+use crate::label::label_name;
+use crate::ring::{enabled, snapshot_last};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Events retained per thread in a dump: enough to see the failing
+/// request's whole lifecycle without drowning the postmortem.
+pub const FLIGHT_EVENTS_PER_THREAD: usize = 64;
+
+/// Retained dumps cap: a panic storm keeps the earliest dumps (the ones
+/// closest to the root cause) and drops the rest.
+const MAX_DUMPS: usize = 16;
+
+/// Dumps echoed to stderr before going quiet.
+const MAX_STDERR_DUMPS: usize = 4;
+
+static DUMPS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+static STDERR_BUDGET: AtomicUsize = AtomicUsize::new(MAX_STDERR_DUMPS);
+
+/// Snapshot the last [`FLIGHT_EVENTS_PER_THREAD`] events of every thread
+/// into a structured dump tagged with `reason`. Returns `None` (and does
+/// nothing) while tracing is disabled — the flight recorder only has
+/// evidence to offer when the rings are live.
+pub fn record(reason: &str) -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    let snap = snapshot_last(FLIGHT_EVENTS_PER_THREAD);
+    let mut out = String::new();
+    let _ = writeln!(out, "=== ps-trace flight recorder: {reason} ===");
+    for t in &snap {
+        if t.events.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "-- thread {} \"{}\" (last {} events) --",
+            t.tid,
+            t.name,
+            t.events.len()
+        );
+        for e in &t.events {
+            let ph = match e.phase {
+                Phase::Begin => "B",
+                Phase::End => "E",
+                Phase::Instant => "i",
+                Phase::Complete => "X",
+            };
+            let _ = write!(
+                out,
+                "  +{:>12} {} {} span={}",
+                crate::export::us(e.ts),
+                e.kind.name(),
+                ph,
+                e.span
+            );
+            if e.phase == Phase::Complete {
+                let _ = write!(out, " dur={} b={}", crate::export::us(e.a), e.b);
+            } else {
+                let _ = write!(out, " a={} b={}", e.a, e.b);
+            }
+            if e.kind.a_is_label() {
+                if let Some(name) = label_name(e.a) {
+                    let _ = write!(out, " [{name}]");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    {
+        let mut dumps = DUMPS.lock().expect("flight dumps poisoned");
+        if dumps.len() < MAX_DUMPS {
+            dumps.push(out.clone());
+        }
+    }
+    if STDERR_BUDGET
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
+    {
+        eprintln!("{out}");
+    }
+    Some(out)
+}
+
+/// Drain the retained dumps (oldest first).
+pub fn take_dumps() -> Vec<String> {
+    std::mem::take(&mut *DUMPS.lock().expect("flight dumps poisoned"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EvKind, Phase};
+    use crate::ring::{disable, emit, enable};
+
+    #[test]
+    fn record_captures_labeled_tail() {
+        enable();
+        let lab = crate::label::label("eq:y");
+        emit(EvKind::Solve, Phase::Begin, 77, lab, 0);
+        let dump = record("test reason").expect("enabled");
+        disable();
+        assert!(dump.contains("test reason"));
+        assert!(dump.contains("span=77"));
+        assert!(dump.contains("[eq:y]"));
+        assert!(dump.contains("thread"));
+        let drained = take_dumps();
+        assert!(drained.iter().any(|d| d.contains("test reason")));
+    }
+
+    #[test]
+    fn disabled_recorder_stays_silent() {
+        // Tracing off → no dump (other tests may race the global flag;
+        // this only asserts the disabled contract when it holds).
+        if !crate::ring::enabled() {
+            assert!(record("noop").is_none());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Lock-free log₂ duration histograms with geometric-midpoint quantiles.
+//!
+//! Bucket `i` counts samples whose nanosecond value has
+//! `floor(log2(ns)) == i` (bucket 0 also takes sub-nanosecond samples).
+//! Recording is three relaxed `fetch_add`s — no locks, safe from any
+//! thread. Quantiles interpolate *geometrically* within the enclosing
+//! bucket instead of reporting its edge: a rank falling a fraction `f`
+//! of the way through bucket `i` reports `2^(i+f)`, which is unbiased on
+//! a log scale (the old bucket-upper-bound reporting overstated p99 by up
+//! to 2×). The top bucket (`i = 63`) cannot interpolate — any sample
+//! ≥ 2⁶³ ns saturates and the quantile reports exactly 2⁶³ ns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets. 2⁶³ ns ≈ 292 years, so the top bucket
+/// is unreachable for real latencies and exists only as the documented
+/// saturation point.
+pub const BUCKETS: usize = 64;
+
+/// A lock-free log₂ histogram of nanosecond durations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let idx = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_ns(&self) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) / total
+        }
+    }
+
+    /// The latency below which a fraction `q` (0..=1) of samples fall,
+    /// geometric-midpoint interpolated (see module docs). Zero when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        self.snapshot().quantile_ns(q)
+    }
+
+    /// Freeze the counts for consistent multi-quantile reads.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (c, b) in counts.iter_mut().zip(self.buckets.iter()) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            count: self.count(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: the same quantile math over captured counts, so a
+/// p50/p99/mean triple read together is self-consistent.
+#[derive(Clone, Copy, Debug)]
+pub struct HistogramSnapshot {
+    pub counts: [u64; BUCKETS],
+    pub count: u64,
+    pub sum_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_ns / self.count
+        }
+    }
+
+    /// Geometric-midpoint interpolated quantile (see module docs).
+    ///
+    /// The rank's position within its bucket maps to an exponent fraction:
+    /// the `k`-th of `c` samples in bucket `i` (0-based, counted at its
+    /// midpoint `k + 0.5`) reports `2^(i + (k + 0.5)/c)`, clamped to the
+    /// bucket `[2^i, 2^(i+1))`. Bucket 63 saturates to exactly `2^63`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count;
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                if i >= 63 {
+                    // Top-bucket saturation: no upper edge to interpolate
+                    // toward; report the bucket's lower bound exactly.
+                    return 1u64 << 63;
+                }
+                let k = (rank - seen - 1) as f64; // 0-based index in bucket
+                let f = (k + 0.5) / c as f64; // midpoint fraction in (0,1)
+                let lo = (1u64 << i) as f64;
+                let v = lo * f.exp2();
+                let hi = (1u64 << (i + 1)) - 1;
+                return (v as u64).clamp(1u64 << i, hi);
+            }
+            seen += c;
+        }
+        1u64 << 63
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_midpoint_interpolation_within_a_bucket() {
+        // 1000 samples all in bucket 10 ([1024, 2048)).
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(Duration::from_nanos(1500));
+        }
+        // p50 rank sits halfway through the bucket: 2^(10 + ~0.5) ≈ 1448,
+        // not the old bucket-edge 2047.
+        let p50 = h.quantile_ns(0.5);
+        assert!((1400..=1500).contains(&p50), "p50 = {p50}");
+        // p01 hugs the lower edge, p99 approaches (but stays inside) the
+        // upper edge.
+        let p01 = h.quantile_ns(0.01);
+        let p99 = h.quantile_ns(0.99);
+        assert!((1024..1100).contains(&p01), "p01 = {p01}");
+        assert!((1900..2048).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantile_never_reports_a_bucket_edge_overshoot() {
+        // The motivating defect: a uniform population at ~1 µs used to
+        // report p99 = 2047 ns (the bucket upper bound, ~2× the truth).
+        let h = Histogram::new();
+        for _ in 0..10_000 {
+            h.record(Duration::from_nanos(1100));
+        }
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 < 2048, "p99 must stay inside the bucket, got {p99}");
+        assert!(
+            (1024..2048).contains(&p99),
+            "p99 within the enclosing bucket"
+        );
+    }
+
+    #[test]
+    fn top_bucket_saturates_to_2_pow_63() {
+        let h = Histogram::new();
+        h.record_ns(u64::MAX);
+        h.record_ns(1u64 << 63);
+        assert_eq!(h.quantile_ns(0.5), 1u64 << 63);
+        assert_eq!(h.quantile_ns(1.0), 1u64 << 63);
+    }
+
+    #[test]
+    fn empty_and_zero_behave() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.mean_ns(), 0);
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile_ns(0.5), 1, "zero lands in bucket 0, floor 1");
+    }
+
+    #[test]
+    fn mixed_population_orders_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(1));
+        }
+        // 1000 ns sits in bucket 9 ([512, 1024)); 1 ms in bucket 19.
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        assert!((512..1024).contains(&p50), "p50 = {p50}");
+        assert!((524_288..1_048_576).contains(&p99), "p99 = {p99}");
+        assert!(h.mean_ns() > p50 / 2);
+    }
+}

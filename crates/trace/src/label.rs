@@ -1,0 +1,72 @@
+//! A tiny global intern table mapping strings to `u64` payload ids.
+//!
+//! Event payloads are fixed 64-bit words; anything human-readable (a
+//! program's equation targets, a fault-point name) is interned *once* on a
+//! cold path (program compile, fault wiring) and carried by id. The
+//! exporter, flight recorder, and CLI resolve ids back to names. Id 0 is
+//! reserved for "no label".
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+struct Table {
+    by_name: HashMap<String, u64>,
+    names: Vec<String>,
+}
+
+static TABLE: Mutex<Option<Table>> = Mutex::new(None);
+
+/// Intern `name`, returning its stable id (≥ 1). Repeated calls with the
+/// same string return the same id. Lock-guarded — call from cold paths
+/// only (compiles, registrations), never per-event.
+pub fn label(name: &str) -> u64 {
+    let mut guard = TABLE.lock().expect("label table poisoned");
+    let table = guard.get_or_insert_with(|| Table {
+        by_name: HashMap::new(),
+        names: Vec::new(),
+    });
+    if let Some(&id) = table.by_name.get(name) {
+        return id;
+    }
+    table.names.push(name.to_string());
+    let id = table.names.len() as u64;
+    table.by_name.insert(name.to_string(), id);
+    id
+}
+
+/// [`label`] when tracing is enabled, otherwise 0 — for call sites that
+/// only want to pay the intern lock while events are actually recorded
+/// (e.g. fault-injection firings).
+pub fn label_if_enabled(name: &str) -> u64 {
+    if crate::ring::enabled() {
+        label(name)
+    } else {
+        0
+    }
+}
+
+/// Resolve an id minted by [`label`]; `None` for 0 or unknown ids.
+pub fn label_name(id: u64) -> Option<String> {
+    if id == 0 {
+        return None;
+    }
+    let guard = TABLE.lock().expect("label table poisoned");
+    guard
+        .as_ref()
+        .and_then(|t| t.names.get(id as usize - 1).cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn intern_is_stable_and_resolvable() {
+        let a = super::label("jacobi");
+        let b = super::label("chain");
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(super::label("jacobi"), a);
+        assert_eq!(super::label_name(a).as_deref(), Some("jacobi"));
+        assert_eq!(super::label_name(0), None);
+        assert_eq!(super::label_name(u64::MAX), None);
+    }
+}

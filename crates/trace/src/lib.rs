@@ -1,0 +1,52 @@
+//! ps-trace — always-on, low-overhead tracing for the ps stack.
+//!
+//! A process-wide tracing, profiling, and flight-recorder layer built for
+//! the serving pipeline (executor → runtime → service → TCP front-end):
+//!
+//! * **Per-thread lock-free rings** ([`ring`]): fixed-size timestamped
+//!   events (monotonic clock, thread id, span id, kind + two payload
+//!   words). Emission is wait-free on the owner thread; the **disabled
+//!   path is a single relaxed load** with zero allocation, so
+//!   instrumentation stays in release builds.
+//! * **Per-stage log₂ histograms** ([`hist`], [`stage`]): lock-free
+//!   duration aggregation with geometric-midpoint quantiles (queue wait,
+//!   compile, specialize, solve, reply), surfaced through `ServiceStats`
+//!   and the ps-serve wire `stats` reply.
+//! * **Chrome `trace_event` export** ([`export`]): `ps-serve --trace-out
+//!   FILE` writes a trace openable in `chrome://tracing` / Perfetto.
+//! * **Flight recorder** ([`flight`]): on a panic or injected fault, the
+//!   last events of every thread become a structured postmortem dump.
+//! * **Trace summarization** ([`summary`]): the `ps-trace` CLI's parser
+//!   and analyzer (per-stage p50/p99, steal/region overlap, top spans).
+//!
+//! Typical instrumentation site:
+//!
+//! ```
+//! use ps_trace::{EvKind, Phase};
+//! // Disabled: one relaxed load, nothing else.
+//! ps_trace::emit(EvKind::Steal, Phase::Instant, 0, 42, 7);
+//! // Spans pair Begin/End automatically.
+//! let _g = ps_trace::span(EvKind::Solve, 0, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod export;
+pub mod flight;
+pub mod hist;
+pub mod label;
+pub mod ring;
+pub mod stage;
+pub mod summary;
+
+pub use event::{EvKind, Event, Phase};
+pub use export::{chrome_trace_json, write_chrome_trace};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use label::{label, label_if_enabled, label_name};
+pub use ring::{
+    current_thread_events, disable, emit, enable, enabled, new_span, now_ns, snapshot,
+    snapshot_last, span, span_with, SpanGuard, ThreadEvents, RING_CAP,
+};
+pub use stage::{Stage, StageSet, StageSnapshot};
+pub use summary::{parse_trace, summarize, validate_json, TraceRecord, TraceSummary};

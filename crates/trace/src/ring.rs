@@ -1,0 +1,290 @@
+//! Per-thread lock-free event rings and the global enable gate.
+//!
+//! Each thread that emits while tracing is enabled lazily allocates one
+//! fixed-capacity ring of atomic slots and registers it in a global list.
+//! Only the owning thread ever *writes* its ring (plain relaxed stores, a
+//! release head bump to publish), so emission is wait-free and
+//! allocation-free after the first event. Snapshots (exporter, flight
+//! recorder) read any ring from any thread; the only slot that can race a
+//! snapshot is the one currently being overwritten, and a torn read there
+//! decodes to an invalid kind and is dropped.
+//!
+//! The **disabled path is a single relaxed load**: [`emit`] checks
+//! [`enabled`] and returns before touching the thread-local, the clock, or
+//! any allocation. `tests/trace.rs` pins this with a counting
+//! `GlobalAlloc`.
+
+use crate::event::{EvKind, Event, Phase};
+use std::cell::OnceCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events retained per thread. At ~40 bytes/event this is ~160 KiB per
+/// emitting thread — big enough to hold several thousand requests' worth
+/// of lifecycle events, small enough to snapshot on a panic.
+pub const RING_CAP: usize = 4096;
+
+/// Number of atomic words per slot: ts, kind|phase, span, a, b.
+const WORDS: usize = 5;
+
+struct Slot {
+    words: [AtomicU64; WORDS],
+}
+
+/// One thread's event ring. `head` counts events ever pushed; slot
+/// `head % RING_CAP` is the next write target.
+pub struct Ring {
+    tid: u64,
+    name: String,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new(tid: u64, name: String) -> Ring {
+        let slots = (0..RING_CAP)
+            .map(|_| Slot {
+                words: [const { AtomicU64::new(0) }; WORDS],
+            })
+            .collect();
+        Ring {
+            tid,
+            name,
+            head: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Owner-thread push. Field stores are relaxed; the head bump is a
+    /// release so a snapshot that acquires `head` sees complete slots for
+    /// every index below it.
+    fn push(&self, ts: u64, kind: EvKind, phase: Phase, span: u64, a: u64, b: u64) {
+        let h = self.head.load(Ordering::Relaxed);
+        let s = &self.slots[(h as usize) % RING_CAP];
+        s.words[0].store(ts, Ordering::Relaxed);
+        s.words[1].store((kind as u64) | ((phase as u64) << 8), Ordering::Relaxed);
+        s.words[2].store(span, Ordering::Relaxed);
+        s.words[3].store(a, Ordering::Relaxed);
+        s.words[4].store(b, Ordering::Relaxed);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Oldest→newest decode of the last `max` retained events. Slots that
+    /// decode to an invalid kind/phase (possible only for the slot being
+    /// concurrently overwritten) are skipped.
+    fn read_last(&self, max: usize) -> Vec<Event> {
+        let h = self.head.load(Ordering::Acquire);
+        let n = (h as usize).min(RING_CAP).min(max);
+        let mut out = Vec::with_capacity(n);
+        for i in (h - n as u64)..h {
+            let s = &self.slots[(i as usize) % RING_CAP];
+            let ts = s.words[0].load(Ordering::Relaxed);
+            let kp = s.words[1].load(Ordering::Relaxed);
+            let (kind, phase) = (
+                EvKind::from_u8((kp & 0xff) as u8),
+                Phase::from_u8(((kp >> 8) & 0xff) as u8),
+            );
+            if let (Some(kind), Some(phase)) = (kind, phase) {
+                out.push(Event {
+                    ts,
+                    kind,
+                    phase,
+                    span: s.words[2].load(Ordering::Relaxed),
+                    a: s.words[3].load(Ordering::Relaxed),
+                    b: s.words[4].load(Ordering::Relaxed),
+                });
+            }
+        }
+        out
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static REGISTRY: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static RING: OnceCell<Arc<Ring>> = const { OnceCell::new() };
+}
+
+/// Whether tracing is live. One relaxed load — this is the *entire*
+/// disabled-path cost of every instrumentation site.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn tracing on process-wide (idempotent). Pins the trace epoch on
+/// first call so timestamps are comparable across threads.
+pub fn enable() {
+    EPOCH.get_or_init(Instant::now);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn tracing off. Rings stay registered (and readable) but no new
+/// events are recorded.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Nanoseconds since the trace epoch (pinned on first use).
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Allocate a fresh span id (process-unique, never 0).
+#[inline]
+pub fn new_span() -> u64 {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+fn current_ring(cell: &OnceCell<Arc<Ring>>) -> &Arc<Ring> {
+    cell.get_or_init(|| {
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .unwrap_or("unnamed")
+            .to_string();
+        let ring = Arc::new(Ring::new(tid, name));
+        REGISTRY
+            .lock()
+            .expect("trace registry poisoned")
+            .push(Arc::clone(&ring));
+        ring
+    })
+}
+
+/// Record one event on the current thread's ring. No-op (one relaxed
+/// load) while tracing is disabled.
+#[inline]
+pub fn emit(kind: EvKind, phase: Phase, span: u64, a: u64, b: u64) {
+    if !enabled() {
+        return;
+    }
+    emit_enabled(kind, phase, span, a, b);
+}
+
+#[inline(never)]
+fn emit_enabled(kind: EvKind, phase: Phase, span: u64, a: u64, b: u64) {
+    let ts = now_ns();
+    RING.with(|cell| current_ring(cell).push(ts, kind, phase, span, a, b));
+}
+
+/// RAII span: emits `Begin` on construction (when enabled) and the
+/// matching `End` on drop. A guard built while tracing was disabled stays
+/// inert even if tracing is enabled before it drops, so `Begin`/`End`
+/// always pair.
+pub struct SpanGuard {
+    kind: EvKind,
+    span: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            emit(self.kind, Phase::End, self.span, 0, 0);
+        }
+    }
+}
+
+/// Open a span of `kind` with payloads `a`/`b` under a fresh span id.
+#[inline]
+pub fn span(kind: EvKind, a: u64, b: u64) -> SpanGuard {
+    span_with(kind, new_span(), a, b)
+}
+
+/// Open a span under a caller-chosen span id (e.g. a request id minted at
+/// submit time, or a region epoch).
+#[inline]
+pub fn span_with(kind: EvKind, span: u64, a: u64, b: u64) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            kind,
+            span: 0,
+            active: false,
+        };
+    }
+    emit(kind, Phase::Begin, span, a, b);
+    SpanGuard {
+        kind,
+        span,
+        active: true,
+    }
+}
+
+/// One thread's snapshot: identity plus decoded events, oldest first.
+#[derive(Clone, Debug)]
+pub struct ThreadEvents {
+    pub tid: u64,
+    pub name: String,
+    pub events: Vec<Event>,
+}
+
+/// Snapshot the last `max` events of every registered ring. Safe to call
+/// from any thread at any time (including while emitters are live — see
+/// the module docs for the torn-slot caveat).
+pub fn snapshot_last(max: usize) -> Vec<ThreadEvents> {
+    let rings: Vec<Arc<Ring>> = REGISTRY
+        .lock()
+        .expect("trace registry poisoned")
+        .iter()
+        .cloned()
+        .collect();
+    rings
+        .iter()
+        .map(|r| ThreadEvents {
+            tid: r.tid,
+            name: r.name.clone(),
+            events: r.read_last(max),
+        })
+        .collect()
+}
+
+/// Snapshot every retained event of every registered ring.
+pub fn snapshot() -> Vec<ThreadEvents> {
+    snapshot_last(RING_CAP)
+}
+
+/// The calling thread's own retained events (oldest first). Handy for
+/// deterministic tests that must not observe other threads' rings.
+pub fn current_thread_events() -> Vec<Event> {
+    RING.with(|cell| match cell.get() {
+        Some(r) => r.read_last(RING_CAP),
+        None => Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_guard_pairs_begin_end() {
+        enable();
+        let before = current_thread_events().len();
+        {
+            let _g = span(EvKind::Solve, 7, 0);
+            emit(EvKind::Steal, Phase::Instant, 1, 2, 3);
+        }
+        let evs = current_thread_events();
+        let new = &evs[before.min(evs.len())..];
+        assert!(new.len() >= 3);
+        let solve: Vec<_> = new.iter().filter(|e| e.kind == EvKind::Solve).collect();
+        assert_eq!(solve.len(), 2);
+        assert_eq!(solve[0].phase, Phase::Begin);
+        assert_eq!(solve[1].phase, Phase::End);
+        assert_eq!(solve[0].span, solve[1].span);
+        disable();
+    }
+}

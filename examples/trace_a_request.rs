@@ -1,0 +1,102 @@
+//! Trace one request end to end with ps-trace.
+//!
+//! ```sh
+//! cargo run --example trace_a_request
+//! ```
+//!
+//! Enables the tracing layer, serves a handful of requests through an
+//! embedded [`Service`], then walks one request's span through the ring
+//! snapshot: enqueue → dequeue (queue wait) → solve → response. Finally
+//! it exports a Chrome `trace_event` file (open it in `chrome://tracing`
+//! or Perfetto) and prints the same summary the `ps-trace` CLI would.
+
+use ps_core::ps_trace::{self, EvKind, Stage};
+use ps_core::{programs, Inputs, Service, ServiceOptions, SolveRequest};
+
+fn main() {
+    // 1. Flip the global switch. Before this line every instrumentation
+    //    site in the stack was a single relaxed load; after it, events
+    //    land in per-thread lock-free rings.
+    ps_trace::enable();
+
+    let service = Service::new(ServiceOptions {
+        workers: 2,
+        ..Default::default()
+    });
+    let key = service.register(programs::RECURRENCE_1D).unwrap();
+
+    // A little traffic so the trace has texture...
+    for i in 0..5 {
+        let inputs = Inputs::new()
+            .set_real("rate", 0.05)
+            .set_int("n", 8 + i as i64);
+        service.solve(&key, inputs).unwrap();
+    }
+
+    // ...and then THE request we follow. Every live request gets a span
+    // id at submit; the handle carries it.
+    let traced = service.submit(SolveRequest::new(
+        key.clone(),
+        Inputs::new().set_real("rate", 0.10).set_int("n", 16),
+    ));
+    let span = traced.trace_span();
+    traced.wait().unwrap();
+    println!("followed request got span id {span}");
+
+    // 2. Walk the rings and pick out that span's lifecycle.
+    let snapshot = ps_trace::snapshot();
+    let mut lifecycle: Vec<String> = Vec::new();
+    for thread in &snapshot {
+        for e in &thread.events {
+            if e.span == span {
+                lifecycle.push(format!(
+                    "  {:>10} ns  {:<10} {:?} on {}",
+                    e.ts,
+                    e.kind.name(),
+                    e.phase,
+                    thread.name
+                ));
+            }
+        }
+    }
+    lifecycle.sort(); // ts is zero-padded enough for a demo sort
+    println!("lifecycle of span {span} ({} events):", lifecycle.len());
+    for line in &lifecycle {
+        println!("{line}");
+    }
+    let kinds: Vec<EvKind> = snapshot
+        .iter()
+        .flat_map(|t| t.events.iter())
+        .filter(|e| e.span == span)
+        .map(|e| e.kind)
+        .collect();
+    assert!(kinds.contains(&EvKind::Enqueue), "submit was traced");
+    assert!(kinds.contains(&EvKind::Dequeue), "worker pickup was traced");
+    assert!(kinds.contains(&EvKind::Solve), "the solve span was traced");
+
+    // 3. The per-stage histograms aggregate the same lifecycle across all
+    //    requests — this is what `stats` serves over the wire.
+    let stats = service.stats();
+    let solve = stats.stages.get(Stage::Solve);
+    let wait = stats.stages.get(Stage::QueueWait);
+    println!(
+        "stages: solve count={} p50={}ns p99={}ns | queue-wait count={} p50={}ns",
+        solve.count,
+        solve.quantile_ns(0.5),
+        solve.quantile_ns(0.99),
+        wait.count,
+        wait.quantile_ns(0.5),
+    );
+    assert_eq!(solve.count, stats.responses as u64);
+
+    // 4. Export a Chrome trace and summarize it exactly like the
+    //    `ps-trace summarize` CLI does.
+    let path = std::env::temp_dir().join("ps_trace_example.json");
+    let path = path.to_string_lossy().into_owned();
+    let n = ps_trace::write_chrome_trace(&path).expect("write trace");
+    println!("wrote {n} events to {path} (open in chrome://tracing)");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let records = ps_trace::parse_trace(&text).expect("the exporter emits valid traces");
+    print!("{}", ps_trace::summarize(&records));
+    service.shutdown();
+}

@@ -10,8 +10,10 @@
 # bounded-queue shedding, cross-connection shutdown drain), the seeded
 # chaos suite (fault injection across service, executor, and TCP), the
 # benchmark smoke pass (structural figure assertions),
-# a bench-JSON smoke step, the ps-analyze static verification of every
-# builtin program, docs with warnings denied, and rustfmt.
+# a bench-JSON smoke step (including the ps-trace overhead contract), a
+# traced serve round-trip (--trace-out export validated and summarized by
+# the ps-trace CLI), the ps-analyze static verification of every builtin
+# program, docs with warnings denied, and rustfmt.
 #
 # The stress/TCP/chaos suites run under a hang watchdog: a wedged drain or
 # a deadlocked pool fails the gate with a kill instead of hanging CI.
@@ -88,6 +90,15 @@ grep -q 'serve_warm/w4' "$json_out" && grep -q 'percall_compile_run' "$json_out"
     && grep -q 'serve_cold' "$json_out" \
     || { echo "bench-json smoke: $json_out missing expected fields" >&2; exit 1; }
 
+echo "==> bench-JSON smoke (exec_trace: tracing overhead contract)"
+json_out="$PWD/target/bench_trace_smoke.json"
+rm -f "$json_out"
+PS_BENCH_WARMUP=1 PS_BENCH_SAMPLES=2 \
+    cargo bench --offline --bench exec_trace -- --bench-json "$json_out" >/dev/null
+grep -q 'exec_trace/emit_off' "$json_out" && grep -q 'exec_trace/serve_off' "$json_out" \
+    && grep -q 'exec_trace/serve_on' "$json_out" \
+    || { echo "bench-json smoke: $json_out missing expected fields" >&2; exit 1; }
+
 echo "==> ps-serve TCP round-trip smoke (ephemeral port)"
 serve_log="$PWD/target/ps_serve_smoke.log"
 rm -f "$serve_log"
@@ -134,6 +145,43 @@ echo "$chaos_out" | grep -q ' chaos=' \
     || { echo "chaos load: stats line missing the chaos summary" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
 ./target/release/ps-serve shutdown --addr "$addr" >/dev/null
 wait "$serve_pid" 2>/dev/null || true
+
+echo "==> ps-serve traced smoke (--trace-out + ps-trace summarize)"
+serve_log="$PWD/target/ps_serve_trace_smoke.log"
+trace_out="$PWD/target/ps_serve_trace_smoke.json"
+rm -f "$serve_log" "$trace_out"
+# --solve-threads 2 puts a shared executor pool behind the service so the
+# stats line carries the steals/max_live_regions/cancelled_chunks counters.
+./target/release/ps-serve listen --addr 127.0.0.1:0 --workers 2 --solve-threads 2 \
+    --trace-out "$trace_out" >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$serve_log" | head -n 1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "traced ps-serve did not announce a port" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+trace_load=$(bounded 300 ./target/release/ps-serve load --addr "$addr" --clients 2 --requests 16 \
+               --program recurrence_1d --vary n=8:24) \
+    || { echo "traced ps-serve load failed" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+echo "$trace_load"
+echo "$trace_load" | grep -q ' stages=' \
+    || { echo "traced load: stats line missing per-stage histograms" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+echo "$trace_load" | grep -q ' steals=' \
+    || { echo "traced load: stats line missing executor counters" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+./target/release/ps-serve shutdown --addr "$addr" >/dev/null
+wait "$serve_pid" 2>/dev/null || true
+[ -s "$trace_out" ] || { echo "--trace-out wrote no trace file" >&2; exit 1; }
+./target/release/ps-trace validate "$trace_out" >/dev/null \
+    || { echo "exported trace is not valid JSON" >&2; exit 1; }
+trace_summary=$(./target/release/ps-trace summarize "$trace_out") \
+    || { echo "ps-trace summarize rejected the exported trace" >&2; exit 1; }
+echo "$trace_summary" | head -n 1
+echo "$trace_summary" | grep -q 'ts_regressions=0' \
+    || { echo "exported trace has timestamp regressions" >&2; exit 1; }
+echo "$trace_summary" | grep -q 'solve' \
+    || { echo "trace summary is missing the solve stage" >&2; exit 1; }
 
 echo "==> ps-analyze static verification of every builtin (zero diagnostics)"
 analyze_out=$(./target/release/ps-analyze) \
